@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one figure or quantitative claim of the paper
+(see DESIGN.md's per-experiment index).  Besides pytest-benchmark timings,
+every benchmark writes its table to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference reproducible artifacts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir import build_model
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Write a named result table; also echo it to stdout."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def yolov4():
+    """YoloV4 at 416 px, built once per session (the Fig. 4 workload)."""
+    return build_model("yolov4", image_size=416)
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return build_model("resnet50")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_v3():
+    return build_model("mobilenet_v3_large")

@@ -1,0 +1,168 @@
+"""Ablation — the paper's accelerator taxonomy on one workload.
+
+Sec. II-B: "four different types of DL accelerators are explored:
+(1) existing off-the-shelf; (2) statically configured; (3) dynamically
+reconfigurable; and (4) fully simultaneous co-design … preliminary results
+have shown that no single accelerator can provide a better match to
+different models."
+
+This ablation runs the same int8 matrix-vector workload (a dense-layer
+inner loop) on the simulated SoC three ways — pure software, through the
+tightly-coupled CFU (type 4), and through the memory-mapped static engine
+(type 2) — at two problem sizes, showing the crossover: the CFU wins on
+small tensors (no offload overhead), the static engine wins on large ones
+(wide MAC array), i.e. "no single accelerator is the better match".
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    ACCEL_BASE,
+    Machine,
+    RAM_BASE,
+    SimdMacCfu,
+    attach_accelerator,
+    halt_with,
+)
+
+WEIGHTS = RAM_BASE + 0x10000
+VECTOR = RAM_BASE + 0x20000
+RESULT = RAM_BASE + 0x30000
+
+
+def software_program(rows, cols):
+    return f"""
+        li   s0, {WEIGHTS}
+        li   s1, {RESULT}
+        li   s2, {rows}
+    row_loop:
+        li   t1, {VECTOR}
+        li   t2, {cols}
+        li   a0, 0
+    col_loop:
+        lb   a1, 0(s0)
+        lb   a2, 0(t1)
+        mul  a3, a1, a2
+        add  a0, a0, a3
+        addi s0, s0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bnez t2, col_loop
+        sw   a0, 0(s1)
+        addi s1, s1, 4
+        addi s2, s2, -1
+        bnez s2, row_loop
+    """ + halt_with(0)
+
+
+def cfu_program(rows, cols):
+    assert cols % 4 == 0
+    return f"""
+        li   s0, {WEIGHTS}
+        li   s1, {RESULT}
+        li   s2, {rows}
+    row_loop:
+        li   t1, {VECTOR}
+        li   t2, {cols // 4}
+        cfu  zero, zero, zero, 2, 0
+    col_loop:
+        lw   a1, 0(s0)
+        lw   a2, 0(t1)
+        cfu  a0, a1, a2, 0, 0
+        addi s0, s0, 4
+        addi t1, t1, 4
+        addi t2, t2, -1
+        bnez t2, col_loop
+        cfu  a0, zero, zero, 1, 0
+        sw   a0, 0(s1)
+        addi s1, s1, 4
+        addi s2, s2, -1
+        bnez s2, row_loop
+    """ + halt_with(0)
+
+
+def engine_program(rows, cols):
+    return f"""
+        li   t0, {ACCEL_BASE}
+        li   t1, {WEIGHTS}
+        sw   t1, 8(t0)
+        li   t1, {VECTOR}
+        sw   t1, 12(t0)
+        li   t1, {RESULT}
+        sw   t1, 16(t0)
+        li   t1, {rows}
+        sw   t1, 20(t0)
+        li   t1, {cols}
+        sw   t1, 24(t0)
+        li   t1, 1
+        sw   t1, 0(t0)
+        lw   a0, 4(t0)
+    """ + halt_with(0)
+
+
+def run_backend(kind, rows, cols, matrix, vector):
+    if kind == "software":
+        machine = Machine()
+        program = software_program(rows, cols)
+    elif kind == "cfu":
+        machine = Machine(cfu=SimdMacCfu())
+        program = cfu_program(rows, cols)
+    else:
+        machine = Machine()
+        # Loosely-coupled engines pay a real offload cost per job: DMA
+        # descriptor setup, cache maintenance, completion signalling.
+        attach_accelerator(machine, macs_per_cycle=64, setup_cycles=400)
+        program = engine_program(rows, cols)
+    machine.load_binary(matrix.tobytes(), WEIGHTS)
+    machine.load_binary(vector.tobytes(), VECTOR)
+    machine.load_assembly(program)
+    result = machine.run(max_steps=2_000_000)
+    assert result.halted
+    got = np.array([machine.read_word(RESULT + 4 * i) for i in range(rows)],
+                   dtype=np.uint32).astype(np.int32)
+    return got, result.cycles
+
+
+def evaluate(sizes=((4, 16), (32, 128))):
+    table = {}
+    for rows, cols in sizes:
+        rng = np.random.default_rng(rows)
+        matrix = rng.integers(-128, 128, size=(rows, cols), dtype=np.int8)
+        vector = rng.integers(-128, 128, size=cols, dtype=np.int8)
+        want = matrix.astype(np.int32) @ vector.astype(np.int32)
+        entry = {}
+        for kind in ("software", "cfu", "engine"):
+            got, cycles = run_backend(kind, rows, cols, matrix, vector)
+            np.testing.assert_array_equal(got, want)
+            entry[kind] = cycles
+        table[(rows, cols)] = entry
+    return table
+
+
+def render(table):
+    lines = [f"{'size':<10}{'software':>10}{'CFU (t4)':>10}"
+             f"{'engine (t2)':>12}{'best':>10}"]
+    for (rows, cols), cycles in table.items():
+        best = min(cycles, key=cycles.get)
+        lines.append(f"{f'{rows}x{cols}':<10}{cycles['software']:>10}"
+                     f"{cycles['cfu']:>10}{cycles['engine']:>12}"
+                     f"{best:>10}")
+    return "\n".join(lines)
+
+
+def test_abl_accelerator_types(benchmark, report):
+    table = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    report("abl_accelerator_types", render(table))
+
+    small = table[(4, 16)]
+    large = table[(32, 128)]
+    # Both accelerators beat software at both sizes.
+    for entry in (small, large):
+        assert entry["cfu"] < entry["software"]
+        assert entry["engine"] < entry["software"]
+    # The crossover: the tightly-coupled CFU wins the small problem (the
+    # engine's setup overhead dominates), the wide static engine wins the
+    # large one — "no single accelerator can provide a better match".
+    assert small["cfu"] < small["engine"]
+    assert large["engine"] < large["cfu"]

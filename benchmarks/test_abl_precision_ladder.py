@@ -1,0 +1,79 @@
+"""Ablation — the precision ladder: FP32 -> FP16 -> INT8 -> binary.
+
+Fig. 3's survey spans precisions "ranging from FP32 to INT8 and even
+binary weights".  This ablation walks one trained model down that ladder
+and reports the three quantities the toolchain trades: model size,
+accuracy, and predicted latency/energy on an embedded GPU target.
+"""
+
+import pytest
+
+from repro.core import evaluate_accuracy, train_readout
+from repro.datasets import make_shapes_dataset
+from repro.hw import RooflineModel, get_accelerator
+from repro.ir import build_model
+from repro.ir.tensor import DType
+from repro.optim import binarize, convert_fp16, fuse_graph, quantize_int8
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_shapes_dataset(240, image_size=32, seed=0)
+    train, test = dataset.split(0.8, seed=0)
+    graph = train_readout(
+        build_model("tiny_convnet", batch=8, num_classes=4), train).graph
+    return fuse_graph(graph), train, test
+
+
+def build_ladder(fused, train, test):
+    feeds = [{"input": train.features[:8]}]
+    variants = {
+        "fp32": (fused, DType.FP32),
+        "fp16": (convert_fp16(fused), DType.FP16),
+        "int8": (quantize_int8(fused, feeds), DType.INT8),
+        "binary": (train_readout(binarize(fused), train).graph, DType.INT8),
+    }
+    target = RooflineModel(get_accelerator("XavierAGX"))
+    rows = []
+    for name, (graph, run_dtype) in variants.items():
+        accuracy = evaluate_accuracy(graph, test)
+        # Binary backbones execute on INT8-capable fabric; the roofline
+        # sees their 1-bit weight traffic through the graph costs.
+        prediction = target.predict(graph, batch=1, dtype=run_dtype)
+        rows.append((name, graph.parameter_bytes(), accuracy,
+                     prediction.latency_s, prediction.energy_per_inference_j))
+    return rows
+
+
+def render(rows):
+    base_bytes = rows[0][1]
+    lines = [f"{'precision':<10}{'size KiB':>10}{'vs fp32':>9}"
+             f"{'accuracy':>10}{'lat ms':>8}{'mJ/inf':>8}"]
+    for name, size, accuracy, latency, energy in rows:
+        lines.append(f"{name:<10}{size / 1024:>10.1f}"
+                     f"{base_bytes / size:>8.1f}x{accuracy:>10.3f}"
+                     f"{latency * 1e3:>8.3f}{energy * 1e3:>8.3f}")
+    return "\n".join(lines)
+
+
+def test_abl_precision_ladder(benchmark, report, setup):
+    fused, train, test = setup
+    rows = benchmark.pedantic(build_ladder, args=(fused, train, test),
+                              rounds=1, iterations=1)
+    report("abl_precision_ladder", render(rows))
+
+    by_name = {row[0]: row for row in rows}
+    # 1. Size strictly shrinks down the ladder.
+    sizes = [by_name[n][1] for n in ("fp32", "fp16", "int8", "binary")]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+    # 2. FP16 and INT8 are near-lossless; binary costs some accuracy but
+    #    stays far above chance (0.25).
+    fp32_acc = by_name["fp32"][2]
+    assert abs(by_name["fp16"][2] - fp32_acc) < 0.03
+    assert abs(by_name["int8"][2] - fp32_acc) < 0.10
+    assert by_name["binary"][2] > 0.55
+    # 3. Size ratios land near the storage arithmetic: 2x for fp16,
+    #    ~4x for int8, and binary beyond int8.
+    assert by_name["fp16"][1] == pytest.approx(by_name["fp32"][1] / 2,
+                                               rel=0.01)
+    assert by_name["binary"][1] < by_name["int8"][1]

@@ -1,0 +1,81 @@
+"""Fig. 2 — Computer-On-Module form factors supported by the platforms.
+
+The figure arranges COM standards by footprint against the compute-
+performance range they serve, from credit-card modules to COM-HPC Server.
+This benchmark regenerates the catalog table and checks the figure's
+ordering claims, plus the chassis/form-factor compatibility matrix that
+realizes "covering the complete range from embedded via edge to cloud".
+"""
+
+import pytest
+
+from repro.hw import (
+    ALL_CHASSIS,
+    PerformanceClass,
+    form_factors,
+    get_form_factor,
+)
+
+_CLASS_ORDER = {
+    PerformanceClass.EMBEDDED: 0,
+    PerformanceClass.LOW_POWER: 1,
+    PerformanceClass.MID_RANGE: 2,
+    PerformanceClass.HIGH_END: 3,
+}
+
+
+def build_fig2_table():
+    rows = []
+    for ff in form_factors():
+        rows.append((ff.name, ff.width_mm, ff.height_mm, ff.area_mm2,
+                     ff.max_power_w, ff.performance_class,
+                     [a.value for a in ff.architectures]))
+    return rows
+
+
+def render(rows):
+    lines = [f"{'form factor':<22}{'size mm':>12}{'area':>8}{'max W':>7}"
+             f"{'class':<12} architectures"]
+    for name, w, h, area, power, perf, archs in rows:
+        lines.append(f"{name:<22}{f'{w:.0f}x{h:.0f}':>12}{area:>8.0f}"
+                     f"{power:>7.0f} {perf.value:<12}{', '.join(archs)}")
+    lines.append("")
+    lines.append("chassis compatibility:")
+    for chassis in ALL_CHASSIS:
+        lines.append(f"  {chassis.name:<10} ({chassis.target}): "
+                     + ", ".join(chassis.accepted_form_factors))
+    return "\n".join(lines)
+
+
+def test_fig2_form_factors(benchmark, report):
+    rows = benchmark(build_fig2_table)
+    report("fig2_form_factors", render(rows))
+
+    # 1. Footprint correlates with performance class (Fig. 2's diagonal):
+    #    the mean area grows monotonically across classes.
+    by_class = {}
+    for row in rows:
+        by_class.setdefault(row[5], []).append(row[3])
+    means = [sum(v) / len(v) for _, v in
+             sorted(by_class.items(), key=lambda kv: _CLASS_ORDER[kv[0]])]
+    assert all(a < b for a, b in zip(means, means[1:]))
+
+    # 2. Power envelopes grow with class.
+    powers = {perf: max(row[4] for row in rows if row[5] is perf)
+              for perf in by_class}
+    assert powers[PerformanceClass.EMBEDDED] < \
+        powers[PerformanceClass.HIGH_END]
+
+    # 3. SMARC carries x86, ARM, and FPGA SoCs (the figure's callout).
+    smarc = get_form_factor("SMARC")
+    assert len(smarc.architectures) >= 3
+
+    # 4. Each chassis tier accepts a disjoint power class of modules:
+    #    uRECS only embedded form factors, RECS|Box only COM Express.
+    urecs = next(c for c in ALL_CHASSIS if c.name == "uRECS")
+    for name in urecs.accepted_form_factors:
+        assert get_form_factor(name).performance_class is \
+            PerformanceClass.EMBEDDED
+    recs_box = next(c for c in ALL_CHASSIS if c.name == "RECS|Box")
+    assert all("COM-Express" in name
+               for name in recs_box.accepted_form_factors)

@@ -1,0 +1,71 @@
+"""Fig. 3 — Peak Performance of DL Accelerators.
+
+The paper plots vendor peak performance (GOPS) against power (W) for the
+surveyed accelerators and observes that "most architectures cluster around
+an energy efficiency of about 1 TOPS/W, independent of their individual
+performance (or power demand)".
+
+This benchmark regenerates the survey table and the efficiency histogram
+and checks the clustering claim quantitatively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import DeviceFamily, catalog
+
+
+def build_fig3_table():
+    rows = []
+    for spec in sorted(catalog(), key=lambda s: s.tdp_w):
+        rows.append((spec.name, spec.family.value, spec.peak_gops_best,
+                     spec.best_precision.value, spec.tdp_w,
+                     spec.efficiency_tops_per_w))
+    return rows
+
+
+def efficiency_histogram(rows, bins=np.arange(-2.0, 1.5, 0.5)):
+    logs = np.log10([r[5] for r in rows])
+    counts, edges = np.histogram(logs, bins=bins)
+    return counts, edges, logs
+
+
+def render(rows, counts, edges, logs):
+    lines = [f"{'accelerator':<16}{'class':<7}{'peak GOPS':>11}"
+             f"{'prec':>6}{'power W':>9}{'TOPS/W':>8}"]
+    for name, family, gops, precision, power, eff in rows:
+        lines.append(f"{name:<16}{family:<7}{gops:>11,.0f}{precision:>6}"
+                     f"{power:>9.2f}{eff:>8.2f}")
+    lines.append("")
+    lines.append("efficiency histogram (log10 TOPS/W):")
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * count
+        lines.append(f"  [{lo:+.1f}, {hi:+.1f})  {bar} {count}")
+    lines.append("")
+    lines.append(f"median efficiency: {10 ** np.median(logs):.2f} TOPS/W")
+    lines.append(f"devices within one decade of 1 TOPS/W: "
+                 f"{np.mean(np.abs(logs) < 1.0):.0%}")
+    return "\n".join(lines)
+
+
+def test_fig3_peak_performance(benchmark, report):
+    rows = benchmark(build_fig3_table)
+    counts, edges, logs = efficiency_histogram(rows)
+    report("fig3_peak_performance", render(rows, counts, edges, logs))
+
+    # Shape assertions (the paper's qualitative observations):
+    # 1. The survey spans > 4 decades of power.
+    powers = [r[4] for r in rows]
+    assert max(powers) / min(powers) > 1e4
+    # 2. Efficiencies cluster near 1 TOPS/W: the modal histogram bin lies
+    #    within [0.1, 3.2) TOPS/W and the median within a factor ~5.
+    modal_bin = int(np.argmax(counts))
+    assert -1.0 <= edges[modal_bin] <= 0.5
+    assert 0.2 <= 10 ** np.median(logs) <= 5.0
+    # 3. Clustering is independent of power: efficiency/power correlation
+    #    is weak compared to performance/power correlation.
+    eff_corr = np.corrcoef(np.log10(powers), logs)[0, 1]
+    perf_corr = np.corrcoef(np.log10(powers),
+                            np.log10([r[2] for r in rows]))[0, 1]
+    assert perf_corr > 0.7          # more power -> more peak GOPS
+    assert abs(eff_corr) < 0.6      # ...but efficiency stays in the band

@@ -1,0 +1,93 @@
+"""Fig. 4 — YoloV4 performance evaluation of DL accelerators.
+
+The paper measures YoloV4 throughput (GOPS) and power (W) on ten platforms
+(x86 CPUs, a desktop GPU, Jetson eGPUs including two Xavier AGX power
+modes, two Zynq FPGAs, and the Myriad VPU) at batch sizes 1/4/8, each at
+its vendor-recommended precision.
+
+This benchmark regenerates the full table from the roofline model and
+asserts the figure's qualitative shape.
+"""
+
+import pytest
+
+from repro.hw import FIG4_PLATFORMS, RooflineModel, resolve_platform
+
+BATCHES = (1, 4, 8)
+
+
+def evaluate_platforms(graph):
+    table = {}
+    for name in FIG4_PLATFORMS:
+        model = RooflineModel(resolve_platform(name))
+        table[name] = model.sweep_batches(graph, batches=BATCHES)
+    return table
+
+
+def render(table):
+    lines = [f"{'platform':<16}{'dtype':<6}"
+             + "".join(f"{f'B{b} GOPS':>10}" for b in BATCHES)
+             + "".join(f"{f'B{b} W':>8}" for b in BATCHES)
+             + f"{'fps@B1':>8}"]
+    for name, preds in table.items():
+        row = f"{name:<16}{preds[0].dtype.value:<6}"
+        row += "".join(f"{p.throughput_gops:>10.0f}" for p in preds)
+        row += "".join(f"{p.avg_power_w:>8.1f}" for p in preds)
+        row += f"{preds[0].fps:>8.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def test_fig4_yolov4_eval(benchmark, report, yolov4):
+    table = benchmark.pedantic(evaluate_platforms, args=(yolov4,),
+                               rounds=1, iterations=1)
+    report("fig4_yolov4_eval", render(table))
+
+    b8 = {name: preds[2] for name, preds in table.items()}
+    b1 = {name: preds[0] for name, preds in table.items()}
+
+    # 1. The desktop GPU leads in absolute throughput and absolute power
+    #    (among accelerators; the 100 W server CPU draws more than eGPUs).
+    top = max(b8, key=lambda n: b8[n].throughput_gops)
+    assert top == "GTX1660"
+    # 2. eGPU ordering: AGX MAXN > NX > TX2; AGX 10 W mode below MAXN.
+    assert b8["XavierAGX"].throughput_gops > b8["XavierNX"].throughput_gops \
+        > b8["JetsonTX2"].throughput_gops
+    assert b8["XavierAGX:10W"].throughput_gops < \
+        b8["XavierAGX"].throughput_gops
+    assert b1["XavierAGX:10W"].avg_power_w < b1["XavierAGX"].avg_power_w
+    # 3. FPGAs: the big ZU15 clearly beats the small ZU3.
+    assert b8["ZynqZU15"].throughput_gops > 2 * b8["ZynqZU3"].throughput_gops
+    # 4. The VPU is the lowest-power platform.
+    lowest_power = min(b1, key=lambda n: b1[n].avg_power_w)
+    assert lowest_power == "Myriad"
+    # 5. Batch scaling: GPUs gain strongly from B1 to B8, CPUs barely.
+    for gpu in ("GTX1660", "XavierAGX", "XavierNX"):
+        assert b8[gpu].throughput_gops > 1.8 * b1[gpu].throughput_gops
+    for cpu in ("Epyc3451", "D1577"):
+        assert b8[cpu].throughput_gops < 1.15 * b1[cpu].throughput_gops
+    # 6. Power grows sublinearly with batch everywhere.
+    for name in table:
+        assert b8[name].avg_power_w < 1.5 * b1[name].avg_power_w
+    # 7. CPUs sit at the bottom of the per-watt ranking.
+    eff = {n: p.efficiency_gops_per_w for n, p in b8.items()}
+    cpu_eff = max(eff["Epyc3451"], eff["D1577"])
+    for accel in ("GTX1660", "XavierAGX", "XavierNX", "ZynqZU15", "Myriad"):
+        assert eff[accel] > cpu_eff
+
+
+def test_fig4_precision_selection(benchmark, yolov4, report):
+    """Platforms run at their vendor-recommended precision (Sec. II-C)."""
+    from repro.ir.tensor import DType
+
+    table = benchmark.pedantic(evaluate_platforms, args=(yolov4,),
+                               rounds=1, iterations=1)
+    expected = {
+        "Epyc3451": DType.INT8, "D1577": DType.INT8,
+        "GTX1660": DType.INT8, "XavierAGX": DType.INT8,
+        "XavierNX": DType.INT8, "JetsonTX2": DType.FP16,
+        "ZynqZU15": DType.INT8, "ZynqZU3": DType.INT8,
+        "Myriad": DType.FP16,
+    }
+    for name, dtype in expected.items():
+        assert table[name][0].dtype is dtype, name

@@ -1,0 +1,97 @@
+"""Txt-F — Arc detection: ultra-low FNR at very low first-spark latency.
+
+Paper Sec. V-B: "detect unwanted arcs in DC power distribution cabinets …
+A challenge is to guarantee a very low latency from the first spark till
+inference, including sensing and pre-processing, and an ultra-low
+false-negative error rate for a smooth operation."
+
+This benchmark trains the detector, runs a large stream campaign on the
+embedded target, and sweeps the k-of-n debounce (the DESIGN.md ablation
+trading false positives against detection latency).
+"""
+
+import pytest
+
+from repro.apps.industrial import ArcDetector, run_arc_campaign
+from repro.core import train_readout
+from repro.datasets import make_arc_dataset
+from repro.hw import get_accelerator
+from repro.ir import build_model
+
+PROTECTION_DEADLINE_S = 0.010  # 10 ms breaker budget
+
+
+@pytest.fixture(scope="module")
+def arc_model():
+    dataset = make_arc_dataset(250, window=128, seed=0)
+    graph = build_model("arc_net", batch=16, window=128)
+    return train_readout(graph, dataset).graph.with_batch(1)
+
+
+def debounce_sweep(arc_model):
+    rows = []
+    for k_of_n in ((1, 1), (2, 3), (3, 4), (4, 5)):
+        detector = ArcDetector(arc_model, k_of_n=k_of_n,
+                               platform=get_accelerator("K210"))
+        stats = run_arc_campaign(detector, num_streams=60, seed=1)
+        rows.append((k_of_n, stats))
+    return rows
+
+
+def render(rows):
+    lines = [f"protection deadline: {PROTECTION_DEADLINE_S * 1e3:.0f} ms "
+             "(sensing 100 kHz, window 128, hop 32)",
+             f"{'k-of-n':>8}{'FNR':>8}{'FPR':>8}{'mean ms':>9}"
+             f"{'p99 ms':>8}"]
+    for (k, n), stats in rows:
+        lines.append(f"{f'{k}/{n}':>8}{stats.false_negative_rate:>8.3f}"
+                     f"{stats.false_positive_rate:>8.3f}"
+                     f"{stats.mean_latency_s * 1e3:>9.2f}"
+                     f"{stats.p99_latency_s * 1e3:>8.2f}")
+    return "\n".join(lines)
+
+
+def test_txt_arc_detection(benchmark, report, arc_model):
+    rows = benchmark.pedantic(debounce_sweep, args=(arc_model,),
+                              rounds=1, iterations=1)
+    report("txt_arc_detection", render(rows))
+
+    stats_by_kn = {kn: stats for kn, stats in rows}
+    # 1. The operating point (2-of-3) achieves ultra-low error rates.
+    operating = stats_by_kn[(2, 3)]
+    assert operating.false_negative_rate <= 0.04
+    assert operating.false_positive_rate <= 0.04
+    # 2. Detection latency is far below the protection deadline.
+    assert operating.p99_latency_s < PROTECTION_DEADLINE_S
+    # 3. The debounce ablation: more agreement -> never-worse FPR but
+    #    monotonically later trips.
+    latencies = [stats.mean_latency_s for _, stats in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    fprs = [stats.false_positive_rate for _, stats in rows]
+    assert fprs[-1] <= fprs[0] + 1e-9
+
+
+def test_txt_arc_embedded_energy(benchmark, report, arc_model):
+    """The detector fits MCU-class silicon with microjoule inferences."""
+
+    def measure():
+        rows = []
+        for platform in ("K210", "GAP8", "MAX78000"):
+            detector = ArcDetector(arc_model,
+                                   platform=get_accelerator(platform))
+            rows.append((platform, detector.inference_latency_s,
+                         detector.energy_per_inference_j))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'platform':<12}{'latency us':>12}{'energy uJ':>11}"]
+    for platform, latency, energy in rows:
+        lines.append(f"{platform:<12}{latency * 1e6:>12.1f}"
+                     f"{energy * 1e6:>11.2f}")
+    report("txt_arc_embedded_energy", "\n".join(lines))
+
+    for platform, latency, energy in rows:
+        # Inference adds negligible latency vs. the 0.32 ms hop period and
+        # costs micro- to milli-joules.
+        assert latency < 0.00032
+        assert energy < 1e-3

@@ -1,0 +1,106 @@
+"""Txt-E — PAEB: distributing detection between car and edge.
+
+Paper Sec. V-A: "The major development goals are the distribution of the
+deep learning models and the decision making between different on-car
+systems and edge devices at varying speeds and reliability of mobile
+networks … The overall goal is to optimize the energy efficiency in total
+and minimize the on-car energy consumption."
+
+This benchmark sweeps vehicle speed and network quality with the YoloV4
+detector (TX2 on-car, GTX1660 edge station) and regenerates the offload
+decision surface: offload fraction, on-car energy saving, and deadline
+behaviour.  The hysteresis ablation from DESIGN.md is included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.automotive import (
+    MobileNetwork,
+    PaebSimulation,
+    braking_deadline_s,
+    default_paeb_setup,
+)
+
+SPEEDS = (30, 50, 70, 90, 110)
+FRAMES = 40
+
+
+def sweep_speeds(detector, outage_probability=0.01, seed=0):
+    rows = []
+    for speed in SPEEDS:
+        engine, network = default_paeb_setup(detector, seed=seed)
+        network.outage_probability = outage_probability
+        stats = PaebSimulation(engine, network).run([float(speed)] * FRAMES)
+        rows.append((speed, braking_deadline_s(speed), stats))
+    return rows
+
+
+def render(rows, title):
+    lines = [title,
+             f"{'km/h':>6}{'deadline ms':>13}{'offload':>9}{'saving':>9}"
+             f"{'misses':>8}{'onboard J':>11}"]
+    for speed, deadline, stats in rows:
+        lines.append(f"{speed:>6}{deadline * 1e3:>13.0f}"
+                     f"{stats.offload_fraction:>9.2f}"
+                     f"{stats.oncar_energy_saving:>9.2f}"
+                     f"{stats.deadline_misses:>8}"
+                     f"{stats.oncar_energy_j:>11.2f}")
+    return "\n".join(lines)
+
+
+def test_txt_paeb_offload(benchmark, report, yolov4):
+    rows = benchmark.pedantic(sweep_speeds, args=(yolov4,),
+                              rounds=1, iterations=1)
+    bad_rows = sweep_speeds(yolov4, outage_probability=0.5, seed=1)
+    text = render(rows, "reliable network (1% outage):") + "\n\n" + \
+        render(bad_rows, "unreliable network (50% outage):")
+    report("txt_paeb_offload", text)
+
+    by_speed = {row[0]: row[2] for row in rows}
+    # 1. At city/highway speeds with a good network, the decision engine
+    #    offloads nearly everything and slashes on-car energy.
+    assert by_speed[50].offload_fraction > 0.9
+    assert by_speed[50].oncar_energy_saving > 0.8
+    assert by_speed[50].deadline_misses == 0
+    # 2. The offload fraction is non-increasing in speed (network degrades
+    #    and the braking deadline tightens) and collapses at the extreme.
+    fractions = [row[2].offload_fraction for row in rows]
+    assert all(a >= b - 0.10 for a, b in zip(fractions, fractions[1:]))
+    assert by_speed[110].offload_fraction == 0.0
+    # 3. Unreliable networks push the decision back on-car at every speed.
+    for (speed, _, good), (_, _, bad) in zip(rows, bad_rows):
+        assert bad.offload_fraction <= good.offload_fraction + 1e-9
+    # 4. On-car inference (264 ms on TX2) cannot meet the deadline at
+    #    110+ km/h — the physical limit the paper's distribution targets.
+    assert by_speed[110].deadline_misses == FRAMES
+
+
+def test_txt_paeb_hysteresis_ablation(benchmark, report, yolov4):
+    """DESIGN.md ablation: decision hysteresis suppresses placement
+    flapping on a noisy channel without giving up the energy win."""
+
+    def run(hysteresis, seed=3):
+        engine, network = default_paeb_setup(yolov4, seed=seed,
+                                             hysteresis=hysteresis)
+        engine.min_reliability = 0.5
+        rng = np.random.default_rng(0)
+        profile = 70 + 25 * rng.random(100)
+        return PaebSimulation(engine, network).run(profile)
+
+    def ablate():
+        return {h: run(h) for h in (0.0, 0.25, 0.5)}
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    lines = [f"{'hysteresis':>11}{'switches':>10}{'offload':>9}"
+             f"{'saving':>9}"]
+    for h, stats in results.items():
+        lines.append(f"{h:>11.2f}{stats.switches:>10}"
+                     f"{stats.offload_fraction:>9.2f}"
+                     f"{stats.oncar_energy_saving:>9.2f}")
+    report("txt_paeb_hysteresis", "\n".join(lines))
+
+    assert results[0.5].switches <= results[0.0].switches
+    # The energy win survives hysteresis (within a few points).
+    assert results[0.5].oncar_energy_saving >= \
+        results[0.0].oncar_energy_saving - 0.1

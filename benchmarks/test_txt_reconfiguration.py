@@ -1,0 +1,102 @@
+"""Txt-I — Run-time partial reconfiguration with power/performance variants.
+
+Paper Sec. II-A: "partial reconfiguration is used to adapt to changing
+application requirements at run-time, e.g., using implementations with
+different power/performance footprints."
+
+This benchmark drives a day-cycle workload (long idle phases with load
+bursts) through the reconfigurable region twice: adaptively (switching DPU
+variants per phase) and statically (fastest variant always loaded), and
+reports the energy saving and the amortization of reconfiguration costs.
+"""
+
+import pytest
+
+from repro.hw import VariantScheduler, WorkloadPhase, default_dl_region
+
+DAY_CYCLE = [
+    WorkloadPhase("night-idle", 40, 120.0),
+    WorkloadPhase("morning-burst", 1100, 20.0),
+    WorkloadPhase("daytime", 300, 90.0),
+    WorkloadPhase("evening-burst", 1300, 15.0),
+    WorkloadPhase("late-idle", 60, 90.0),
+]
+
+
+def run_policies():
+    adaptive_region = default_dl_region()
+    adaptive = VariantScheduler(adaptive_region).run_phases(DAY_CYCLE,
+                                                            adaptive=True)
+    static_region = default_dl_region()
+    static = VariantScheduler(static_region).run_phases(DAY_CYCLE,
+                                                        adaptive=False)
+    return adaptive, static, adaptive_region, static_region
+
+
+def render(adaptive, static, adaptive_region):
+    lines = [f"{'phase':<16}{'demand GOPS/s':>14}"
+             f"{'adaptive variant':>18}{'E_adapt J':>11}"
+             f"{'static variant':>16}{'E_static J':>12}"]
+    for phase, a, s in zip(DAY_CYCLE, adaptive, static):
+        lines.append(f"{phase.name:<16}{phase.required_gops_per_s:>14.0f}"
+                     f"{a.variant:>18}{a.energy_j:>11.1f}"
+                     f"{s.variant:>16}{s.energy_j:>12.1f}")
+    total_a = sum(o.energy_j for o in adaptive)
+    total_s = sum(o.energy_j for o in static)
+    lines.append("")
+    lines.append(f"adaptive total: {total_a:.1f} J "
+                 f"({adaptive_region.reconfig_count} reconfigurations, "
+                 f"{adaptive_region.reconfig_seconds:.2f} s, "
+                 f"{adaptive_region.reconfig_energy_j:.2f} J spent "
+                 "reconfiguring)")
+    lines.append(f"static total:   {total_s:.1f} J")
+    lines.append(f"energy saving:  {1 - total_a / total_s:.1%}")
+    return "\n".join(lines)
+
+
+def test_txt_reconfiguration(benchmark, report):
+    adaptive, static, adaptive_region, _ = benchmark.pedantic(
+        run_policies, rounds=1, iterations=1)
+    report("txt_reconfiguration", render(adaptive, static, adaptive_region))
+
+    # 1. Both policies meet every phase's demand.
+    assert all(o.met_demand for o in adaptive)
+    assert all(o.met_demand for o in static)
+    # 2. The adaptive policy uses the small variant in idle phases and the
+    #    large one in bursts — the "different power/performance footprints".
+    variants = [o.variant for o in adaptive]
+    assert variants[0] == "dpu-small"
+    assert variants[1] == "dpu-large"
+    # 3. Adaptation saves substantial energy over the static-fastest
+    #    baseline, net of reconfiguration costs.
+    total_adaptive = sum(o.energy_j for o in adaptive)
+    total_static = sum(o.energy_j for o in static)
+    assert total_adaptive < 0.8 * total_static
+    # 4. Reconfiguration overhead is amortized: time spent reconfiguring
+    #    is a tiny fraction of the cycle.
+    cycle_seconds = sum(p.duration_s for p in DAY_CYCLE)
+    assert adaptive_region.reconfig_seconds < 0.01 * cycle_seconds
+
+
+def test_txt_reconfiguration_break_even(benchmark, report):
+    """Rapidly alternating phases: the scheduler declines to switch when a
+    phase is too short to amortize the bitstream load."""
+
+    def run():
+        flip_flop = []
+        for index in range(8):
+            demand = 1100 if index % 2 else 50
+            # Phases shorter than the window over which dropping to the
+            # small variant would amortize its bitstream load.
+            flip_flop.append(WorkloadPhase(f"p{index}", demand, 0.1))
+        region = default_dl_region()
+        outcomes = VariantScheduler(region).run_phases(flip_flop)
+        return region, outcomes
+
+    region, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("txt_reconfiguration_break_even",
+           f"{len(outcomes)} x 0.1 s alternating phases: "
+           f"{region.reconfig_count} reconfigurations, "
+           f"variants: {[o.variant for o in outcomes]}")
+    # Far fewer reconfigurations than phase changes.
+    assert region.reconfig_count < len(outcomes)

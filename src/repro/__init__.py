@@ -1,0 +1,41 @@
+"""repro: a full-stack reproduction of "VEDLIoT: Very Efficient Deep
+Learning in IoT" (DATE 2022).
+
+Subpackages
+-----------
+ir
+    ONNX-like model graph IR, shape/cost inference, serialization, model zoo.
+runtime
+    Numpy reference executor, quantized kernels, profiler.
+optim
+    Optimizing toolchain: fusion, PTQ quantization, pruning, deep
+    compression, hardware-aware search.
+core
+    Kenning-style deployment pipeline, training, measurements, reports.
+hw
+    Accelerator catalog (Fig. 3), roofline performance model (Fig. 4),
+    COM form factors (Fig. 2), RECS chassis, interconnect, FPGA
+    reconfiguration.
+simulator
+    Renode-style functional SoC simulation: RV32IM core, assembler, CFUs.
+security
+    TEEs (SGX-like enclaves, TrustZone, RISC-V PMP), remote attestation,
+    Wasm sandbox, Twine-style trusted runtime.
+safety
+    Input-quality monitors, output robustness service, fault injection,
+    architectural hybridization.
+requirements
+    The 2-D architectural framework for AIoT requirements engineering.
+apps
+    The three use cases: PAEB offloading, motor/arc monitoring, smart
+    mirror.
+datasets
+    Synthetic data substrate (images, vibration, DC current, audio).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ir", "runtime", "optim", "core", "hw", "simulator", "security",
+    "safety", "requirements", "apps", "datasets",
+]

@@ -1,0 +1,5 @@
+"""Use-case applications: automotive, industrial IoT, and smart home."""
+
+from . import automotive, industrial, smarthome
+
+__all__ = ["automotive", "industrial", "smarthome"]

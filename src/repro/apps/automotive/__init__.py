@@ -1,0 +1,20 @@
+"""Automotive use case: PAEB with dynamic edge offloading (paper Sec. V-A)."""
+
+from .network import ChannelSample, MobileNetwork
+from .split import SplitOffloadStudy, SplitOption
+from .paeb import (
+    DriveStats,
+    EdgeStation,
+    ExecutionOption,
+    OffloadDecisionEngine,
+    PaebSimulation,
+    braking_deadline_s,
+    default_paeb_setup,
+)
+
+__all__ = [
+    "ChannelSample", "MobileNetwork",
+    "DriveStats", "EdgeStation", "ExecutionOption", "OffloadDecisionEngine",
+    "PaebSimulation", "braking_deadline_s", "default_paeb_setup",
+    "SplitOffloadStudy", "SplitOption",
+]

@@ -1,0 +1,111 @@
+"""Mobile-network model for the PAEB offloading use case.
+
+Paper Sec. V-A: "Dynamic distributing of sensor data to edge stations …
+requires quick monitoring of available mobile networks, their speed and
+latency, available computing resources of the edge devices and a management
+system that can quickly react to the current situation."
+
+The channel model captures what matters for the offload decision: effective
+uplink bandwidth and round-trip latency that degrade with vehicle speed
+(handovers, Doppler), log-normal fading, and occasional outages.  It is the
+calibrated stochastic substitute for a real cellular modem (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelSample:
+    """Network state observed during one monitoring interval."""
+
+    bandwidth_mbps: float
+    rtt_ms: float
+    available: bool
+
+    def uplink_seconds(self, num_bytes: int) -> float:
+        """Time to push ``num_bytes`` plus half the RTT."""
+        if not self.available:
+            return float("inf")
+        return num_bytes * 8 / (self.bandwidth_mbps * 1e6) \
+            + self.rtt_ms / 2 * 1e-3
+
+    def downlink_seconds(self, num_bytes: int) -> float:
+        if not self.available:
+            return float("inf")
+        # Downlink is typically several times faster than uplink.
+        return num_bytes * 8 / (self.bandwidth_mbps * 4 * 1e6) \
+            + self.rtt_ms / 2 * 1e-3
+
+
+class MobileNetwork:
+    """Speed-dependent stochastic cellular channel.
+
+    Parameters
+    ----------
+    base_bandwidth_mbps
+        Uplink bandwidth when stationary under good coverage.
+    base_rtt_ms
+        Round-trip latency when stationary.
+    speed_knee_kmh
+        Speed at which bandwidth has dropped to half (handover churn).
+    outage_probability
+        Per-sample probability of a total outage (coverage hole).
+    fading_sigma
+        Log-normal shadow-fading spread.
+    """
+
+    def __init__(self, base_bandwidth_mbps: float = 40.0,
+                 base_rtt_ms: float = 25.0,
+                 speed_knee_kmh: float = 90.0,
+                 outage_probability: float = 0.01,
+                 fading_sigma: float = 0.35,
+                 seed: int = 0) -> None:
+        if base_bandwidth_mbps <= 0 or base_rtt_ms <= 0:
+            raise ValueError("bandwidth and RTT must be positive")
+        if not 0 <= outage_probability < 1:
+            raise ValueError("outage probability must be in [0, 1)")
+        self.base_bandwidth_mbps = base_bandwidth_mbps
+        self.base_rtt_ms = base_rtt_ms
+        self.speed_knee_kmh = speed_knee_kmh
+        self.outage_probability = outage_probability
+        self.fading_sigma = fading_sigma
+        self.rng = np.random.default_rng(seed)
+
+    def mean_bandwidth_mbps(self, speed_kmh: float) -> float:
+        """Deterministic speed-degradation curve (before fading)."""
+        knee = self.speed_knee_kmh
+        return self.base_bandwidth_mbps * knee / (knee + max(0.0, speed_kmh))
+
+    def mean_rtt_ms(self, speed_kmh: float) -> float:
+        return self.base_rtt_ms * (1.0 + max(0.0, speed_kmh) / 200.0)
+
+    def sample(self, speed_kmh: float) -> ChannelSample:
+        """Draw the channel state for one monitoring interval."""
+        if self.rng.random() < self.outage_probability:
+            return ChannelSample(0.0, float("inf"), False)
+        fading = float(np.exp(self.rng.normal(0.0, self.fading_sigma)))
+        bandwidth = self.mean_bandwidth_mbps(speed_kmh) * fading
+        jitter = float(np.exp(self.rng.normal(0.0, 0.2)))
+        rtt = self.mean_rtt_ms(speed_kmh) * jitter
+        return ChannelSample(bandwidth, rtt, True)
+
+    def reliability(self, speed_kmh: float, deadline_s: float,
+                    payload_bytes: int, samples: int = 64) -> float:
+        """Monte-Carlo estimate of P(round trip fits in ``deadline_s``).
+
+        This is the "quick monitoring" statistic the decision engine keys
+        on; it degrades with speed, which drives the paper's crossover.
+        """
+        hits = 0
+        for _ in range(samples):
+            channel = self.sample(speed_kmh)
+            total = channel.uplink_seconds(payload_bytes) \
+                + channel.downlink_seconds(256)
+            if total <= deadline_s:
+                hits += 1
+        return hits / samples

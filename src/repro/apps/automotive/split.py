@@ -1,0 +1,122 @@
+"""Layer-wise model splitting between car and edge (Neurosurgeon-style).
+
+Completes the PAEB distribution spectrum (Sec. V-A: "the distribution of
+the deep learning models … between different on-car systems and edge
+devices"): instead of choosing *where* to run the whole detector, cut it
+after any layer — the head runs on-car, the boundary activations cross the
+mobile network, the tail runs on the edge station.
+
+The study is analytic: per-layer roofline times on each platform (prefix
+sums) plus boundary traffic per cut, so the full curve over hundreds of
+cut positions costs two model predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ...core.partition import enumerate_splits
+from ...hw.accelerators import AcceleratorSpec
+from ...hw.performance_model import RooflineModel
+from ...ir.graph import Graph
+from .network import ChannelSample
+
+
+@dataclass(frozen=True)
+class SplitOption:
+    """One strategy: cut after ``position`` layers (0 = all edge, N = all car).
+
+    ``boundary_bytes`` is what crosses the network: the raw input frame for
+    position 0, the cut activations otherwise, nothing at position N.
+    """
+
+    position: int
+    boundary_bytes: int
+    latency_s: float
+    oncar_energy_j: float
+    after_node: str
+
+    @property
+    def kind(self) -> str:
+        if self.position == 0:
+            return "all-edge"
+        if self.boundary_bytes == 0:
+            return "all-oncar"
+        return "split"
+
+
+class SplitOffloadStudy:
+    """Evaluates every cut of a detector between two platforms."""
+
+    def __init__(self, detector: Graph, oncar: AcceleratorSpec,
+                 edge: AcceleratorSpec,
+                 radio_tx_power_w: float = 2.2,
+                 activation_compression: float = 1.0) -> None:
+        """``activation_compression`` > 1 models quantizing/compressing the
+        boundary activations before transmission (e.g. 4.0 for INT8)."""
+        self.detector = detector
+        self.radio_tx_power_w = radio_tx_power_w
+        self.activation_compression = activation_compression
+        oncar_prediction = RooflineModel(oncar).predict(detector, batch=1,
+                                                        keep_layers=True)
+        edge_prediction = RooflineModel(edge).predict(detector, batch=1,
+                                                      keep_layers=True)
+        self._oncar_layer_s = [l.seconds for l in oncar_prediction.layers]
+        self._edge_layer_s = [l.seconds for l in edge_prediction.layers]
+        self._oncar_power_w = oncar_prediction.avg_power_w
+        self._splits = enumerate_splits(detector)
+        self._input_bytes = sum(s.size_bytes for s in detector.inputs)
+
+    # -- per-strategy costing ---------------------------------------------------
+
+    def _option(self, position: int, channel: ChannelSample) -> SplitOption:
+        total = len(self._oncar_layer_s)
+        head_s = sum(self._oncar_layer_s[:position])
+        tail_s = sum(self._edge_layer_s[position:])
+        if position == 0:
+            boundary = self._input_bytes
+            after = "(input frame)"
+        elif position == total:
+            boundary = 0
+            after = "(no transfer)"
+        else:
+            point = self._splits[position - 1]
+            boundary = int(point.boundary_bytes
+                           / self.activation_compression)
+            after = point.after_node
+        transfer_s = channel.uplink_seconds(boundary) if boundary else 0.0
+        latency = head_s + transfer_s + tail_s
+        energy = (self._oncar_power_w * head_s
+                  + self.radio_tx_power_w * transfer_s)
+        return SplitOption(position, boundary, latency, energy, after)
+
+    # -- the study ------------------------------------------------------------------
+
+    def curve(self, channel: ChannelSample) -> List[SplitOption]:
+        """Every strategy from all-edge (0) to all-on-car (N)."""
+        total = len(self._oncar_layer_s)
+        return [self._option(position, channel)
+                for position in range(total + 1)]
+
+    def best(self, channel: ChannelSample, deadline_s: float,
+             objective: str = "oncar_energy") -> SplitOption:
+        """Best feasible strategy under ``deadline_s``.
+
+        ``objective`` is ``"oncar_energy"`` (the paper's goal) or
+        ``"latency"``.  Falls back to the lowest-latency option when
+        nothing meets the deadline.
+        """
+        options = self.curve(channel)
+        feasible = [o for o in options if o.latency_s <= deadline_s]
+        if not feasible:
+            return min(options, key=lambda o: o.latency_s)
+        if objective == "latency":
+            return min(feasible, key=lambda o: o.latency_s)
+        return min(feasible, key=lambda o: o.oncar_energy_j)
+
+    def endpoints(self, channel: ChannelSample
+                  ) -> Sequence[SplitOption]:
+        """(all-edge, all-on-car) for baseline comparison."""
+        total = len(self._oncar_layer_s)
+        return (self._option(0, channel), self._option(total, channel))

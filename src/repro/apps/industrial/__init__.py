@@ -1,0 +1,23 @@
+"""Industrial IoT use cases: motor monitoring and arc detection (Sec. V-B)."""
+
+from .motor import (
+    Alert,
+    BatteryModel,
+    MonitoringResult,
+    MotorConditionMonitor,
+    synthetic_motor_stream,
+)
+from .arc import (
+    ArcDetector,
+    CampaignStats,
+    StreamResult,
+    TripEvent,
+    run_arc_campaign,
+)
+
+__all__ = [
+    "Alert", "BatteryModel", "MonitoringResult", "MotorConditionMonitor",
+    "synthetic_motor_stream",
+    "ArcDetector", "CampaignStats", "StreamResult", "TripEvent",
+    "run_arc_campaign",
+]

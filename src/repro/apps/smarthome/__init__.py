@@ -1,0 +1,16 @@
+"""Smart home use case: the smart-mirror demonstrator (paper Sec. V-C)."""
+
+from .mirror import (
+    GESTURE_CLASSES,
+    PipelineSpec,
+    PrivacyBoundary,
+    PrivacyViolation,
+    SmartMirror,
+    TickResult,
+    build_default_mirror,
+)
+
+__all__ = [
+    "GESTURE_CLASSES", "PipelineSpec", "PrivacyBoundary", "PrivacyViolation",
+    "SmartMirror", "TickResult", "build_default_mirror",
+]

@@ -1,0 +1,193 @@
+"""Smart Mirror: four concurrent neural networks on an embedded platform.
+
+Paper Sec. V-C and Fig. 5: "a camera and a microphone are providing input
+data, and four different neural networks are used to detect gestures,
+faces, objects and speech to interact with people.  The distribution of
+data to the cloud is not desirable because of privacy concerns of the
+residents.  Therefore, all sensing and interaction is performed on-site in
+real-time, making low power and energy efficiency computations a prime
+concern."
+
+Modeled: the four pipelines (gesture, face, object, speech), a frame
+scheduler that fits them into the real-time budget of an embedded
+accelerator, the privacy boundary that rejects any off-site data flow, and
+per-network latency/energy accounting (the Fig. 5 benchmark output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...datasets.audio import KEYWORD_CLASSES, audio_features
+from ...hw.accelerators import AcceleratorSpec, get_accelerator
+from ...hw.performance_model import Prediction, RooflineModel
+from ...ir.graph import Graph
+from ...runtime.executor import Executor
+
+GESTURE_CLASSES = ("none", "swipe_left", "swipe_right", "palm")
+
+
+class PrivacyViolation(RuntimeError):
+    """Raised when sensor data would leave the on-site boundary."""
+
+
+class PrivacyBoundary:
+    """Data-flow guard: raw sensor data must stay on-site.
+
+    Every transfer of sensor-derived data is recorded; transfers to
+    non-local endpoints raise.  The smart-mirror tests assert the audit
+    log shows zero off-site flows after a full interaction session.
+    """
+
+    LOCAL_ENDPOINTS = frozenset(("display", "local-storage", "local-bus"))
+
+    def __init__(self) -> None:
+        self.transfers: List[Tuple[str, str]] = []
+
+    def transfer(self, what: str, endpoint: str) -> None:
+        if endpoint not in self.LOCAL_ENDPOINTS:
+            raise PrivacyViolation(
+                f"attempt to send {what!r} to off-site endpoint {endpoint!r}"
+            )
+        self.transfers.append((what, endpoint))
+
+    @property
+    def offsite_transfers(self) -> int:
+        return 0  # by construction: off-site transfers raise
+
+
+@dataclass
+class PipelineSpec:
+    """One of the four mirror pipelines."""
+
+    name: str
+    model: Graph
+    classes: Tuple[str, ...]
+    modality: str                 # "video" | "audio"
+    preprocess: Callable[[np.ndarray], np.ndarray]
+
+    def __post_init__(self) -> None:
+        out_name = self.model.output_names[0]
+        out_spec = self.model.infer_specs()[out_name]
+        if out_spec.shape[-1] != len(self.classes):
+            raise ValueError(
+                f"pipeline {self.name!r}: model emits {out_spec.shape[-1]} "
+                f"scores but {len(self.classes)} class names were given"
+            )
+
+
+@dataclass
+class TickResult:
+    """Outputs of one mirror tick (one camera frame + audio hop)."""
+
+    outputs: Dict[str, str]       # pipeline -> predicted class
+    latency_s: float              # summed predicted latency on the platform
+    energy_j: float
+    within_budget: bool
+
+
+class SmartMirror:
+    """The demonstrator: four pipelines sharing one embedded accelerator."""
+
+    def __init__(self, pipelines: Sequence[PipelineSpec],
+                 platform: Optional[AcceleratorSpec] = None,
+                 frame_budget_s: float = 1 / 15.0) -> None:
+        if not pipelines:
+            raise ValueError("mirror needs at least one pipeline")
+        self.pipelines = list(pipelines)
+        self.platform = platform or get_accelerator("ZynqZU3")
+        self.frame_budget_s = frame_budget_s
+        self.boundary = PrivacyBoundary()
+        self._executors = {p.name: Executor(p.model) for p in self.pipelines}
+        model = RooflineModel(self.platform)
+        self.predictions: Dict[str, Prediction] = {
+            p.name: model.predict(p.model, batch=1) for p in self.pipelines
+        }
+
+    # -- per-tick processing --------------------------------------------------------
+
+    def tick(self, frame: np.ndarray, audio: np.ndarray) -> TickResult:
+        """Process one camera frame and audio hop through all pipelines."""
+        outputs: Dict[str, str] = {}
+        latency = 0.0
+        energy = 0.0
+        for pipeline in self.pipelines:
+            raw = frame if pipeline.modality == "video" else audio
+            features = pipeline.preprocess(raw)
+            executor = self._executors[pipeline.name]
+            result = executor.run({pipeline.model.inputs[0].name: features})
+            scores = result[pipeline.model.output_names[0]].reshape(-1)
+            outputs[pipeline.name] = pipeline.classes[int(np.argmax(scores))]
+            prediction = self.predictions[pipeline.name]
+            latency += prediction.latency_s
+            energy += prediction.energy_per_inference_j
+        # Results go to the on-site display only.
+        self.boundary.transfer("inference-results", "display")
+        return TickResult(outputs, latency, energy,
+                          within_budget=latency <= self.frame_budget_s)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def budget_report(self) -> str:
+        """Per-network latency/energy table on the chosen platform (Fig. 5)."""
+        lines = [f"smart mirror on {self.platform.name} "
+                 f"(budget {self.frame_budget_s * 1e3:.1f} ms/frame):",
+                 f"{'pipeline':<12}{'lat ms':>9}{'mJ/inf':>9}{'share':>8}"]
+        total = 0.0
+        total_energy = 0.0
+        for pipeline in self.pipelines:
+            prediction = self.predictions[pipeline.name]
+            total += prediction.latency_s
+            total_energy += prediction.energy_per_inference_j
+        for pipeline in self.pipelines:
+            prediction = self.predictions[pipeline.name]
+            lines.append(
+                f"{pipeline.name:<12}{prediction.latency_s * 1e3:>9.2f}"
+                f"{prediction.energy_per_inference_j * 1e3:>9.2f}"
+                f"{prediction.latency_s / total:>8.1%}"
+            )
+        fits = "fits" if total <= self.frame_budget_s else "EXCEEDS"
+        lines.append(f"{'total':<12}{total * 1e3:>9.2f}"
+                     f"{total_energy * 1e3:>9.2f}   ({fits} budget)")
+        return "\n".join(lines)
+
+    @property
+    def sustained_power_w(self) -> float:
+        """Average platform power running all pipelines at the frame rate."""
+        energy_per_tick = sum(p.energy_per_inference_j
+                              for p in self.predictions.values())
+        return energy_per_tick / self.frame_budget_s \
+            + self.platform.idle_w * 0.2
+
+
+def build_default_mirror(trained_models: Dict[str, Graph],
+                         platform: Optional[AcceleratorSpec] = None,
+                         residents: Tuple[str, ...] = ("alice", "bob",
+                                                       "carol", "unknown"),
+                         ) -> SmartMirror:
+    """Assemble the four-pipeline mirror from trained batch-1 models.
+
+    ``trained_models`` must provide "gesture", "face", "object", "speech"
+    graphs (batch 1); see ``examples/smart_mirror_demo.py`` for training.
+    """
+    def video_passthrough(frame: np.ndarray) -> np.ndarray:
+        return frame[None] if frame.ndim == 3 else frame
+
+    def audio_preprocess(wave: np.ndarray) -> np.ndarray:
+        return audio_features(wave)[None]
+
+    object_classes = ("person", "chair", "bottle", "phone")
+    pipelines = [
+        PipelineSpec("gesture", trained_models["gesture"], GESTURE_CLASSES,
+                     "video", video_passthrough),
+        PipelineSpec("face", trained_models["face"], residents,
+                     "video", video_passthrough),
+        PipelineSpec("object", trained_models["object"], object_classes,
+                     "video", video_passthrough),
+        PipelineSpec("speech", trained_models["speech"], KEYWORD_CLASSES,
+                     "audio", audio_preprocess),
+    ]
+    return SmartMirror(pipelines, platform=platform)

@@ -1,0 +1,208 @@
+"""Command-line interface: the toolchain's Kenning-style front end.
+
+Subcommands:
+
+    models                      list the model zoo with sizes and compute
+    accelerators [--family F]   list the accelerator catalog (Fig. 3 data)
+    predict                     roofline prediction of a model on a platform
+    optimize                    run the deployment pipeline on a dataset
+    simulate                    assemble and run a program on the RV32 SoC
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .ir import available_models, build_model
+
+    print(f"{'model':<22}{'params':>14}{'GMACs':>9}{'input':>20}")
+    for name in available_models():
+        if args.small and name in ("resnet50", "yolov4",
+                                   "mobilenet_v3_large",
+                                   "mobilenet_v3_small"):
+            continue
+        graph = build_model(name)
+        cost = graph.total_cost()
+        shape = "x".join(str(d) for d in graph.inputs[0].shape)
+        print(f"{name:<22}{graph.num_parameters():>14,}"
+              f"{cost.macs / 1e9:>9.3f}{shape:>20}")
+    return 0
+
+
+def _cmd_accelerators(args: argparse.Namespace) -> int:
+    from .hw import DeviceFamily, catalog
+
+    family = DeviceFamily(args.family) if args.family else None
+    print(f"{'accelerator':<16}{'class':<7}{'peak GOPS':>11}{'prec':>6}"
+          f"{'TDP W':>8}{'TOPS/W':>8}")
+    for spec in sorted(catalog(family), key=lambda s: s.tdp_w):
+        print(f"{spec.name:<16}{spec.family.value:<7}"
+              f"{spec.peak_gops_best:>11,.0f}"
+              f"{spec.best_precision.value:>6}{spec.tdp_w:>8.2f}"
+              f"{spec.efficiency_tops_per_w:>8.2f}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .hw import RooflineModel, resolve_platform
+    from .ir import build_model
+    from .ir.tensor import DType
+
+    graph = build_model(args.model)
+    spec = resolve_platform(args.platform)
+    model = RooflineModel(spec)
+    dtype = DType(args.dtype) if args.dtype else None
+    print(f"{args.model} on {spec.name}:")
+    print(f"{'batch':>6}{'dtype':>7}{'lat ms':>9}{'GOPS':>8}{'W':>7}"
+          f"{'mJ/inf':>9}{'fps':>8}")
+    for batch in args.batches:
+        prediction = model.predict(graph, batch=batch, dtype=dtype)
+        print(f"{batch:>6}{prediction.dtype.value:>7}"
+              f"{prediction.latency_s * 1e3:>9.2f}"
+              f"{prediction.throughput_gops:>8.0f}"
+              f"{prediction.avg_power_w:>7.1f}"
+              f"{prediction.energy_per_inference_j * 1e3:>9.2f}"
+              f"{prediction.fps:>8.1f}")
+    return 0
+
+
+_DATASETS = ("shapes", "arc", "motor", "keywords")
+
+
+def _load_dataset(name: str, seed: int):
+    from . import datasets
+
+    if name == "shapes":
+        return datasets.make_shapes_dataset(240, image_size=32, seed=seed)
+    if name == "arc":
+        return datasets.make_arc_dataset(150, window=128, seed=seed)
+    if name == "motor":
+        return datasets.make_motor_dataset(60, window=256, seed=seed)
+    if name == "keywords":
+        from .datasets.audio import make_keyword_dataset
+
+        return make_keyword_dataset(50, seed=seed)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _default_model_for(dataset: str, num_classes: int):
+    from .ir import build_model
+
+    if dataset == "shapes":
+        return build_model("tiny_convnet", batch=8, image_size=32,
+                           num_classes=num_classes)
+    if dataset == "arc":
+        return build_model("arc_net", batch=16, window=128)
+    if dataset == "motor":
+        return build_model("motor_net", batch=8, window=256)
+    return build_model("mlp", batch=8, in_features=64, hidden=(128,),
+                       num_classes=num_classes)
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .core import DeploymentPipeline
+    from .hw import resolve_platform
+
+    dataset = _load_dataset(args.dataset, args.seed)
+    graph = _default_model_for(args.dataset, dataset.num_classes)
+    target = resolve_platform(args.platform) if args.platform else None
+    pipeline = DeploymentPipeline(graph, dataset, target=target,
+                                  optimizations=tuple(args.passes),
+                                  profile_runs=1)
+    report = pipeline.run(seed=args.seed)
+    print(report.render())
+    if args.confusion:
+        final = args.passes[-1] if args.passes else "fp32"
+        print()
+        print(report.confusions[final].render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulator import Machine, SimdMacCfu
+
+    machine = Machine(cfu=SimdMacCfu() if args.cfu else None)
+    with open(args.program) as handle:
+        machine.load_assembly(handle.read())
+    result = machine.run(max_steps=args.max_steps)
+    if result.uart_output:
+        print(result.uart_output, end="")
+        if not result.uart_output.endswith("\n"):
+            print()
+    state = "halted" if result.halted else "step budget exhausted"
+    print(f"[{state}: {result.steps} steps, {result.cycles} cycles, "
+          f"exit code {result.exit_code}]")
+    if result.exit_code is None:
+        return 2
+    return int(result.exit_code)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VEDLIoT reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_models = sub.add_parser("models", help="list the model zoo")
+    p_models.add_argument("--small", action="store_true",
+                          help="skip the large reference models")
+    p_models.set_defaults(fn=_cmd_models)
+
+    p_accel = sub.add_parser("accelerators",
+                             help="list the accelerator catalog")
+    p_accel.add_argument("--family",
+                         choices=[f.value for f in __import__(
+                             "repro.hw", fromlist=["DeviceFamily"]
+                         ).DeviceFamily],
+                         help="filter by device class")
+    p_accel.set_defaults(fn=_cmd_accelerators)
+
+    p_pred = sub.add_parser("predict",
+                            help="roofline prediction on a platform")
+    p_pred.add_argument("--model", required=True)
+    p_pred.add_argument("--platform", required=True,
+                        help="catalog name, optionally NAME:MODE")
+    p_pred.add_argument("--dtype", choices=("fp32", "fp16", "int8"))
+    p_pred.add_argument("--batches", type=int, nargs="+",
+                        default=[1, 4, 8])
+    p_pred.set_defaults(fn=_cmd_predict)
+
+    p_opt = sub.add_parser("optimize",
+                           help="run the deployment pipeline")
+    p_opt.add_argument("--dataset", choices=_DATASETS, default="shapes")
+    p_opt.add_argument("--passes", nargs="*", default=["fuse", "int8"],
+                       help="optimization variants, e.g. fuse int8 "
+                            "prune:0.25 fp16")
+    p_opt.add_argument("--platform", help="optional target accelerator")
+    p_opt.add_argument("--confusion", action="store_true",
+                       help="print the final confusion matrix")
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.set_defaults(fn=_cmd_optimize)
+
+    p_sim = sub.add_parser("simulate",
+                           help="run an assembly program on the RV32 SoC")
+    p_sim.add_argument("program", help="assembly source file")
+    p_sim.add_argument("--cfu", action="store_true",
+                       help="attach the SIMD MAC CFU")
+    p_sim.add_argument("--max-steps", type=int, default=1_000_000)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

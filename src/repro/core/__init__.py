@@ -1,0 +1,67 @@
+"""Core toolchain: the Kenning-style deployment pipeline and its reports."""
+
+from .training import (
+    TrainingError,
+    TrainResult,
+    accuracy_quality_fn,
+    evaluate_accuracy,
+    train_readout,
+)
+from .reports import (
+    ConfusionMatrix,
+    Detection,
+    DetectionReport,
+    PrecisionRecallPoint,
+    detection_report,
+    match_detections,
+)
+from .detection import (
+    TINY_ANCHORS,
+    decode_yolo_head,
+    encode_yolo_target,
+    non_max_suppression,
+)
+from .measurements import (
+    MeasurementRecord,
+    current_rss_mb,
+    measure_host,
+    render_measurements,
+    render_target_predictions,
+)
+from .orchestrator import (
+    Assignment,
+    ComputeNode,
+    Orchestrator,
+    Placement,
+    PlacementError,
+    Workload,
+)
+from .partition import (
+    PartitionError,
+    SplitPoint,
+    enumerate_splits,
+    run_split,
+    split_at,
+)
+from .pipeline import (
+    CompiledModel,
+    DeploymentPipeline,
+    PipelineError,
+    PipelineReport,
+)
+
+__all__ = [
+    "TrainingError", "TrainResult", "accuracy_quality_fn",
+    "evaluate_accuracy", "train_readout",
+    "ConfusionMatrix", "Detection", "DetectionReport",
+    "PrecisionRecallPoint", "detection_report", "match_detections",
+    "TINY_ANCHORS", "decode_yolo_head", "encode_yolo_target",
+    "non_max_suppression",
+    "MeasurementRecord", "current_rss_mb", "measure_host",
+    "render_measurements", "render_target_predictions",
+    "Assignment", "ComputeNode", "Orchestrator", "Placement",
+    "PlacementError", "Workload",
+    "PartitionError", "SplitPoint", "enumerate_splits", "run_split",
+    "split_at",
+    "CompiledModel", "DeploymentPipeline", "PipelineError", "PipelineReport",
+]

@@ -1,0 +1,153 @@
+"""YOLO head decoding and non-maximum suppression.
+
+Completes the detection half of the Kenning-style reporting (paper
+Sec. III: Kenning can "generate … recall/precision graphs for detection
+algorithms"): raw detector head tensors are decoded into scored boxes,
+filtered by NMS, and fed to :func:`repro.core.reports.detection_report`.
+
+The decoding follows the YOLO convention the zoo's detectors emit: a head
+of shape ``(N, A*(5+C), H, W)`` where each anchor cell carries
+``(tx, ty, tw, th, objectness, class logits...)``; box centres are
+``sigmoid(tx/ty)`` offsets within the cell, sizes are
+``anchor * exp(tw/th)``, all scaled by the stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.images import Box
+from .reports import Detection
+
+# Default anchors (pixels) for the single-head tiny detector at stride 32.
+TINY_ANCHORS: Tuple[Tuple[float, float], ...] = ((16, 16), (32, 32), (64, 48))
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def decode_yolo_head(
+    head: np.ndarray,
+    anchors: Sequence[Tuple[float, float]] = TINY_ANCHORS,
+    stride: int = 32,
+    num_classes: int = 4,
+    conf_threshold: float = 0.5,
+    image_size: Optional[int] = None,
+) -> List[Detection]:
+    """Decode one image's head tensor ``(A*(5+C), H, W)`` into detections.
+
+    Score = objectness * best-class probability; boxes are clipped to the
+    image when ``image_size`` is given.
+    """
+    num_anchors = len(anchors)
+    channels, grid_h, grid_w = head.shape
+    expected = num_anchors * (5 + num_classes)
+    if channels != expected:
+        raise ValueError(
+            f"head has {channels} channels, expected "
+            f"{num_anchors} anchors * (5 + {num_classes} classes) = {expected}"
+        )
+    lanes = head.reshape(num_anchors, 5 + num_classes, grid_h, grid_w)
+    detections: List[Detection] = []
+    for anchor_index, (anchor_w, anchor_h) in enumerate(anchors):
+        lane = lanes[anchor_index]
+        objectness = _sigmoid(lane[4])
+        class_probs = _sigmoid(lane[5:])
+        for cy in range(grid_h):
+            for cx in range(grid_w):
+                best_class = int(np.argmax(class_probs[:, cy, cx]))
+                score = float(objectness[cy, cx]
+                              * class_probs[best_class, cy, cx])
+                if score < conf_threshold:
+                    continue
+                centre_x = (cx + _sigmoid(lane[0, cy, cx])) * stride
+                centre_y = (cy + _sigmoid(lane[1, cy, cx])) * stride
+                width = anchor_w * float(np.exp(
+                    np.clip(lane[2, cy, cx], -10, 10)))
+                height = anchor_h * float(np.exp(
+                    np.clip(lane[3, cy, cx], -10, 10)))
+                x0 = centre_x - width / 2
+                y0 = centre_y - height / 2
+                x1 = centre_x + width / 2
+                y1 = centre_y + height / 2
+                if image_size is not None:
+                    x0 = max(0.0, min(x0, image_size))
+                    y0 = max(0.0, min(y0, image_size))
+                    x1 = max(0.0, min(x1, image_size))
+                    y1 = max(0.0, min(y1, image_size))
+                if x1 <= x0 or y1 <= y0:
+                    continue
+                detections.append(Detection(
+                    Box(int(round(x0)), int(round(y0)),
+                        int(round(x1)), int(round(y1)), best_class),
+                    score,
+                ))
+    return detections
+
+
+def non_max_suppression(detections: Sequence[Detection],
+                        iou_threshold: float = 0.5) -> List[Detection]:
+    """Greedy per-class NMS: keep the best-scoring box of each cluster."""
+    kept: List[Detection] = []
+    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        remaining = [
+            d for d in remaining
+            if d.box.label != best.box.label
+            or d.box.iou(best.box) < iou_threshold
+        ]
+    return kept
+
+
+def encode_yolo_target(
+    boxes: Sequence[Box],
+    grid: int,
+    anchors: Sequence[Tuple[float, float]] = TINY_ANCHORS,
+    stride: int = 32,
+    num_classes: int = 4,
+    logit_scale: float = 6.0,
+) -> np.ndarray:
+    """Build the head tensor that decodes exactly to ``boxes``.
+
+    The inverse of :func:`decode_yolo_head` — used by tests and by the
+    oracle-detector harness to exercise the decode/NMS/report path with
+    known ground truth.  Each box is assigned to its best-matching anchor
+    in its centre cell; ``logit_scale`` saturates objectness/class logits.
+    """
+    num_anchors = len(anchors)
+    head = np.full((num_anchors, 5 + num_classes, grid, grid),
+                   -logit_scale, dtype=np.float32)
+    head[:, 0:4] = 0.0
+    for box in boxes:
+        centre_x = (box.x0 + box.x1) / 2
+        centre_y = (box.y0 + box.y1) / 2
+        width = box.x1 - box.x0
+        height = box.y1 - box.y0
+        cx = min(grid - 1, int(centre_x // stride))
+        cy = min(grid - 1, int(centre_y // stride))
+        anchor_index = int(np.argmin([
+            abs(np.log(max(width, 1) / aw)) + abs(np.log(max(height, 1) / ah))
+            for aw, ah in anchors
+        ]))
+        aw, ah = anchors[anchor_index]
+        fx = np.clip(centre_x / stride - cx, 1e-4, 1 - 1e-4)
+        fy = np.clip(centre_y / stride - cy, 1e-4, 1 - 1e-4)
+        lane = head[anchor_index]
+        lane[0, cy, cx] = np.log(fx / (1 - fx))     # inverse sigmoid
+        lane[1, cy, cx] = np.log(fy / (1 - fy))
+        lane[2, cy, cx] = np.log(max(width, 1) / aw)
+        lane[3, cy, cx] = np.log(max(height, 1) / ah)
+        lane[4, cy, cx] = logit_scale                # objectness ~ 1
+        lane[5 + box.label, cy, cx] = logit_scale
+    return head.reshape(num_anchors * (5 + num_classes), grid, grid)

@@ -1,0 +1,99 @@
+"""Deployment measurements: what Kenning records per target.
+
+"Based on the implemented interfaces, the Kenning framework can measure the
+inference duration, resource usage, and processing quality on a given
+target.  Depending on a target, Kenning can monitor inference time, mean
+CPU usage, and CPU and GPU memory usage." (paper Sec. III)
+
+Host measurements come from the reference runtime profiler; target
+measurements come from the roofline model.  Both are folded into one
+:class:`MeasurementRecord` so reports can show host-measured quality next
+to target-predicted latency/energy.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..hw.performance_model import Prediction
+from ..ir.graph import Graph
+from ..runtime.profiler import ProfileResult
+
+
+@dataclass
+class MeasurementRecord:
+    """One benchmarking run of one model variant."""
+
+    model_name: str
+    variant: str                          # e.g. "fp32", "fused+int8"
+    host_latency_ms: float
+    host_peak_activation_kb: float
+    host_rss_mb: float
+    model_size_bytes: int
+    num_parameters: int
+    quality: Dict[str, float] = field(default_factory=dict)
+    target_predictions: List[Prediction] = field(default_factory=list)
+
+    def quality_summary(self) -> str:
+        return ", ".join(f"{k}={v:.4f}" for k, v in sorted(self.quality.items()))
+
+
+def current_rss_mb() -> float:
+    """Resident set size of this process in MiB."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return usage / (1024 * 1024)
+    return usage / 1024
+
+
+def measure_host(graph: Graph, profile: ProfileResult,
+                 variant: str, quality: Optional[Dict[str, float]] = None
+                 ) -> MeasurementRecord:
+    """Fold a profiler result into a measurement record."""
+    return MeasurementRecord(
+        model_name=graph.name,
+        variant=variant,
+        host_latency_ms=profile.mean_latency_seconds * 1e3,
+        host_peak_activation_kb=profile.peak_activation_bytes / 1024,
+        host_rss_mb=current_rss_mb(),
+        model_size_bytes=graph.parameter_bytes(),
+        num_parameters=graph.num_parameters(),
+        quality=dict(quality or {}),
+    )
+
+
+def render_measurements(records: List[MeasurementRecord]) -> str:
+    """Comparison table across variants (the Kenning report core)."""
+    header = (f"{'variant':<18}{'latency ms':>12}{'size KB':>10}"
+              f"{'params':>12}{'act KB':>9}  quality")
+    lines = [header, "-" * len(header)]
+    for record in records:
+        lines.append(
+            f"{record.variant:<18}{record.host_latency_ms:>12.3f}"
+            f"{record.model_size_bytes / 1024:>10.1f}"
+            f"{record.num_parameters:>12,}"
+            f"{record.host_peak_activation_kb:>9.1f}  "
+            f"{record.quality_summary()}"
+        )
+    return "\n".join(lines)
+
+
+def render_target_predictions(record: MeasurementRecord) -> str:
+    """Per-target predicted latency/power/energy table."""
+    lines = [f"target predictions for {record.model_name} ({record.variant}):",
+             f"{'platform':<22}{'dtype':<6}{'batch':>6}{'lat ms':>9}"
+             f"{'GOPS':>8}{'W':>7}{'mJ/inf':>9}"]
+    for p in record.target_predictions:
+        lines.append(
+            f"{p.platform:<22}{p.dtype.value:<6}{p.batch:>6}"
+            f"{p.latency_s * 1e3:>9.2f}{p.throughput_gops:>8.0f}"
+            f"{p.avg_power_w:>7.1f}{p.energy_per_inference_j * 1e3:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Workload orchestration across heterogeneous compute nodes.
+
+The middleware role of the paper's abstract — "collaboratively solving
+complex Deep Learning applications across distributed systems" on a
+platform whose ecosystem "enables easy exchange of computing resources and
+seamless switching between the different heterogeneous components"
+(Sec. II-A).
+
+An :class:`Orchestrator` places a set of recurring DL workloads (model +
+invocation rate + latency budget) onto the accelerators of one or more
+RECS chassis, minimizing total platform power subject to per-node
+utilization, latency budgets and precision support.  Node failures trigger
+re-placement of the orphaned workloads — the run-time robustness the
+modular platform is built for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hw.accelerators import AcceleratorSpec
+from ..hw.performance_model import Prediction, RooflineModel
+from ..ir.graph import Graph
+
+
+class PlacementError(RuntimeError):
+    """Raised when no feasible placement exists."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A recurring inference task."""
+
+    name: str
+    graph: Graph
+    rate_hz: float                 # invocations per second
+    max_latency_s: float           # per-inference budget
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0 or self.max_latency_s <= 0:
+            raise ValueError(f"workload {self.name!r}: rate and latency "
+                             "budget must be positive")
+
+
+@dataclass
+class ComputeNode:
+    """One placement target (a chassis module's accelerator)."""
+
+    name: str
+    spec: AcceleratorSpec
+    healthy: bool = True
+
+    def predict(self, graph: Graph) -> Prediction:
+        return RooflineModel(self.spec).predict(graph, batch=1)
+
+
+@dataclass
+class Assignment:
+    """One workload bound to one node, with its predicted execution."""
+
+    workload: Workload
+    node: ComputeNode
+    prediction: Prediction
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the node this workload occupies."""
+        return self.workload.rate_hz * self.prediction.latency_s
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Average dynamic power of running this workload at its rate."""
+        return self.workload.rate_hz * \
+            self.prediction.energy_per_inference_j
+
+
+@dataclass
+class Placement:
+    """A complete mapping of workloads to nodes."""
+
+    assignments: List[Assignment] = field(default_factory=list)
+
+    def node_utilization(self) -> Dict[str, float]:
+        util: Dict[str, float] = {}
+        for a in self.assignments:
+            util[a.node.name] = util.get(a.node.name, 0.0) + a.utilization
+        return util
+
+    def used_nodes(self) -> List[ComputeNode]:
+        seen: Dict[str, ComputeNode] = {}
+        for a in self.assignments:
+            seen[a.node.name] = a.node
+        return list(seen.values())
+
+    @property
+    def total_power_w(self) -> float:
+        """Idle power of every *used* node plus dynamic inference power.
+
+        Unused nodes are assumed powered down (the chassis supports
+        per-slot power control), which is what makes consolidation onto
+        fewer nodes pay off.
+        """
+        idle = sum(node.spec.idle_w for node in self.used_nodes())
+        dynamic = sum(a.dynamic_power_w for a in self.assignments)
+        return idle + dynamic
+
+    @property
+    def feasible(self) -> bool:
+        if any(not a.node.healthy for a in self.assignments):
+            return False
+        if any(a.prediction.latency_s > a.workload.max_latency_s
+               for a in self.assignments):
+            return False
+        return all(u <= 1.0 for u in self.node_utilization().values())
+
+    def assignment_of(self, workload_name: str) -> Assignment:
+        for a in self.assignments:
+            if a.workload.name == workload_name:
+                return a
+        raise KeyError(f"workload {workload_name!r} not placed")
+
+    def report(self) -> str:
+        lines = [f"{'workload':<12}{'node':<18}{'lat ms':>8}{'budget':>8}"
+                 f"{'util %':>8}{'W dyn':>8}"]
+        for a in self.assignments:
+            lines.append(
+                f"{a.workload.name:<12}{a.node.name:<18}"
+                f"{a.prediction.latency_s * 1e3:>8.2f}"
+                f"{a.workload.max_latency_s * 1e3:>8.2f}"
+                f"{a.utilization * 100:>8.1f}{a.dynamic_power_w:>8.3f}")
+        lines.append(f"total platform power: {self.total_power_w:.2f} W "
+                     f"({len(self.used_nodes())} node(s) powered)")
+        return "\n".join(lines)
+
+
+class Orchestrator:
+    """Places workloads onto nodes, minimizing total platform power.
+
+    Exhaustive search over assignments for small problems (the chassis
+    scale the project deploys: a handful of workloads over a handful of
+    modules); beyond ``max_exhaustive`` combinations it falls back to a
+    greedy best-fit by dynamic power.
+    """
+
+    def __init__(self, nodes: Sequence[ComputeNode],
+                 max_exhaustive: int = 100_000) -> None:
+        if not nodes:
+            raise ValueError("orchestrator needs at least one node")
+        self.nodes = list(nodes)
+        self.max_exhaustive = max_exhaustive
+        self._prediction_cache: Dict[Tuple[str, str], Prediction] = {}
+
+    # -- prediction caching ---------------------------------------------------
+
+    def _predict(self, workload: Workload, node: ComputeNode) -> Prediction:
+        key = (workload.name, node.name)
+        if key not in self._prediction_cache:
+            self._prediction_cache[key] = node.predict(workload.graph)
+        return self._prediction_cache[key]
+
+    def _candidates(self, workload: Workload) -> List[Assignment]:
+        out = []
+        for node in self.nodes:
+            if not node.healthy:
+                continue
+            prediction = self._predict(workload, node)
+            if prediction.latency_s <= workload.max_latency_s and \
+                    prediction.fits_memory:
+                out.append(Assignment(workload, node, prediction))
+        return out
+
+    # -- placement ---------------------------------------------------------------
+
+    def place(self, workloads: Sequence[Workload]) -> Placement:
+        """Find a feasible minimum-power placement.
+
+        Raises :class:`PlacementError` when some workload fits no node or
+        no combination satisfies the utilization constraints.
+        """
+        per_workload: List[List[Assignment]] = []
+        for workload in workloads:
+            candidates = self._candidates(workload)
+            if not candidates:
+                raise PlacementError(
+                    f"workload {workload.name!r} fits no healthy node "
+                    "(latency budget or memory unsatisfiable)"
+                )
+            per_workload.append(candidates)
+
+        combos = 1
+        for candidates in per_workload:
+            combos *= len(candidates)
+        if combos <= self.max_exhaustive:
+            best: Optional[Placement] = None
+            for combo in itertools.product(*per_workload):
+                placement = Placement(list(combo))
+                if not placement.feasible:
+                    continue
+                if best is None or placement.total_power_w < \
+                        best.total_power_w:
+                    best = placement
+            if best is None:
+                raise PlacementError(
+                    "no feasible combination: utilization constraints "
+                    "cannot be met on the available nodes"
+                )
+            return best
+        return self._greedy(per_workload)
+
+    def _greedy(self, per_workload: List[List[Assignment]]) -> Placement:
+        placement = Placement()
+        # Hardest (least-flexible) workloads first.
+        order = sorted(range(len(per_workload)),
+                       key=lambda i: len(per_workload[i]))
+        chosen: Dict[int, Assignment] = {}
+        for index in order:
+            feasible_here = []
+            for candidate in per_workload[index]:
+                trial = Placement(list(chosen.values()) + [candidate])
+                if trial.feasible:
+                    feasible_here.append((trial.total_power_w, candidate))
+            if not feasible_here:
+                raise PlacementError("greedy placement failed: utilization "
+                                     "constraints cannot be met")
+            chosen[index] = min(feasible_here, key=lambda t: t[0])[1]
+        placement.assignments = [chosen[i] for i in range(len(per_workload))]
+        return placement
+
+    # -- run-time robustness ---------------------------------------------------------
+
+    def handle_node_failure(self, placement: Placement,
+                            failed_node: str) -> Placement:
+        """Re-place after a node failure, keeping healthy assignments.
+
+        The failed node is marked unhealthy; only its workloads move (the
+        "seamless switching" the RECS ecosystem provides).
+        """
+        for node in self.nodes:
+            if node.name == failed_node:
+                node.healthy = False
+        survivors = [a for a in placement.assignments
+                     if a.node.name != failed_node]
+        orphans = [a.workload for a in placement.assignments
+                   if a.node.name == failed_node]
+        if not orphans:
+            return placement
+        per_orphan: List[List[Assignment]] = []
+        for workload in orphans:
+            candidates = self._candidates(workload)
+            if not candidates:
+                raise PlacementError(
+                    f"workload {workload.name!r} cannot be re-placed after "
+                    f"{failed_node!r} failed"
+                )
+            per_orphan.append(candidates)
+        best: Optional[Placement] = None
+        for combo in itertools.product(*per_orphan):
+            trial = Placement(survivors + list(combo))
+            if trial.feasible and (best is None or
+                                   trial.total_power_w < best.total_power_w):
+                best = trial
+        if best is None:
+            raise PlacementError(
+                f"no feasible re-placement after {failed_node!r} failed")
+        return best

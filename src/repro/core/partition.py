@@ -1,0 +1,142 @@
+"""Graph partitioning: split one model between two compute sites.
+
+Paper Sec. V-A: "the distribution of the deep learning models … between
+different on-car systems and edge devices".  Shipping raw frames is one
+point of a spectrum; this module provides the rest: cut the graph after
+any schedule position, run the head locally, transmit the (often much
+smaller) boundary activations, and run the tail remotely — the
+Neurosurgeon-style layer-wise split.
+
+:func:`split_at` produces two independently valid, executable graphs whose
+composition equals the original; :func:`enumerate_splits` lists every cut
+with its boundary traffic, the quantity the split optimizer trades against
+compute placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, GraphError
+from ..ir.tensor import TensorSpec
+
+
+class PartitionError(ValueError):
+    """Raised for invalid cut positions."""
+
+
+@dataclass(frozen=True)
+class SplitPoint:
+    """One candidate cut: after schedule position ``position``."""
+
+    position: int
+    boundary_tensors: Tuple[str, ...]
+    boundary_bytes: int
+    after_node: str
+
+
+def _boundary_at(graph: Graph, position: int,
+                 specs: Dict[str, TensorSpec]) -> Tuple[str, ...]:
+    head_nodes = graph.nodes[:position]
+    tail_nodes = graph.nodes[position:]
+    produced_by_head: Set[str] = set()
+    for node in head_nodes:
+        produced_by_head.update(node.outputs)
+    needed_by_tail: Set[str] = set()
+    for node in tail_nodes:
+        needed_by_tail.update(node.inputs)
+    boundary = produced_by_head & needed_by_tail
+    # Graph outputs already produced by the head must also cross the cut.
+    boundary |= produced_by_head & set(graph.output_names)
+    return tuple(sorted(boundary))
+
+
+def enumerate_splits(graph: Graph) -> List[SplitPoint]:
+    """Every interior cut position with its boundary size."""
+    if len(graph.nodes) < 2:
+        raise PartitionError("graph too small to split")
+    specs = graph.infer_specs()
+    points = []
+    for position in range(1, len(graph.nodes)):
+        boundary = _boundary_at(graph, position, specs)
+        size = sum(specs[name].size_bytes for name in boundary)
+        points.append(SplitPoint(position, boundary, size,
+                                 graph.nodes[position - 1].name))
+    return points
+
+
+def split_at(graph: Graph, position: int) -> Tuple[Graph, Graph]:
+    """Split after schedule position ``position`` (1 <= position < len).
+
+    Returns ``(head, tail)``: the head computes the boundary tensors from
+    the original inputs; the tail takes the boundary tensors (plus any
+    original inputs it still reads) and computes the original outputs.
+    Outputs the head produced are forwarded through identity nodes so both
+    halves expose the original output names.
+    """
+    if not 1 <= position < len(graph.nodes):
+        raise PartitionError(
+            f"cut position {position} outside (0, {len(graph.nodes)})")
+    specs = graph.infer_specs()
+    boundary = _boundary_at(graph, position, specs)
+    if not boundary:
+        raise PartitionError(f"cut at {position} severs nothing "
+                             "(disconnected halves)")
+
+    # -- head -----------------------------------------------------------------
+    head = graph.copy()
+    head.name = f"{graph.name}.head"
+    head.nodes = head.nodes[:position]
+    head.set_outputs(list(boundary))
+    head.prune_dead_nodes()
+    used = {name for node in head.nodes for name in node.inputs}
+    head.inputs = [spec for spec in head.inputs if spec.name in used]
+    head.validate()
+
+    # -- tail ------------------------------------------------------------------
+    tail = Graph(f"{graph.name}.tail")
+    tail_nodes = graph.nodes[position:]
+    tail_reads = {name for node in tail_nodes for name in node.inputs}
+    for name in boundary:
+        tail.add_input(specs[name].with_name(name))
+    for spec in graph.inputs:
+        if spec.name in tail_reads and spec.name not in boundary:
+            tail.add_input(spec)
+    for name, value in graph.initializers.items():
+        if name in tail_reads:
+            tail.add_initializer(
+                name, value.copy(),
+                graph.initializer_dtypes.get(name))
+    for node in tail_nodes:
+        tail.add_node(node.op_type, list(node.inputs), list(node.outputs),
+                      name=node.name, **dict(node.attrs))
+    outputs = []
+    for name in graph.output_names:
+        if name in boundary and name not in {
+                out for node in tail_nodes for out in node.outputs}:
+            forwarded = f"{name}__forwarded"
+            tail.add_node("identity", [name], [forwarded],
+                          name=f"forward_{name}")
+            outputs.append(forwarded)
+        else:
+            outputs.append(name)
+    tail.set_outputs(outputs)
+    tail.validate()
+    return head, tail
+
+
+def run_split(head: Graph, tail: Graph,
+              feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Execute head then tail, wiring the boundary — for equivalence tests."""
+    from ..runtime.executor import Executor
+
+    head_feeds = {spec.name: feeds[spec.name] for spec in head.inputs}
+    boundary_values = Executor(head).run(head_feeds)
+    tail_feeds = dict(boundary_values)
+    for spec in tail.inputs:
+        if spec.name not in tail_feeds:
+            tail_feeds[spec.name] = feeds[spec.name]
+    return Executor(tail).run(tail_feeds)

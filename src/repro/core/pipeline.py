@@ -1,0 +1,209 @@
+"""The end-to-end deployment pipeline (the Kenning role).
+
+Implements the six-step flow of paper Sec. III:
+
+1. dataset preparation (``repro.datasets``),
+2. model training — readout fitting on the frozen backbone,
+3. evaluation until quality is satisfactory (confusion matrix),
+4. model optimization (fusion / quantization / pruning passes),
+5. model compilation to a target (precision choice + artifact),
+6. deployment and execution with measurements.
+
+"At the final stage, Kenning converts the model to a selected neural
+network runtime and deploys it on the target hardware" — here the runtime
+is the reference executor, and target behaviour comes from the roofline
+model (DESIGN.md substitution)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.base import LabeledDataset
+from ..hw.accelerators import AcceleratorSpec
+from ..hw.performance_model import RooflineModel, preferred_dtype
+from ..ir import serialization
+from ..ir.graph import Graph
+from ..ir.tensor import DType
+from ..optim.fusion import fuse_graph
+from ..optim.pruning import NeuronPrune
+from ..optim.quantization import convert_fp16, quantize_int8
+from ..runtime.executor import Executor
+from ..runtime.profiler import Profiler
+from .measurements import MeasurementRecord, measure_host
+from .reports import ConfusionMatrix
+from .training import evaluate_accuracy, train_readout
+
+
+class PipelineError(RuntimeError):
+    """Raised when a pipeline stage cannot proceed."""
+
+
+@dataclass
+class CompiledModel:
+    """Stage-5 output: an artifact bound to a target and precision."""
+
+    graph: Graph
+    target: Optional[AcceleratorSpec]
+    dtype: DType
+    artifact: bytes
+
+    @property
+    def artifact_bytes(self) -> int:
+        return len(self.artifact)
+
+
+@dataclass
+class PipelineReport:
+    """Everything the pipeline measured, per variant."""
+
+    model_name: str
+    train_accuracy: float = 0.0
+    variants: List[MeasurementRecord] = field(default_factory=list)
+    confusions: Dict[str, ConfusionMatrix] = field(default_factory=dict)
+
+    def variant(self, name: str) -> MeasurementRecord:
+        for record in self.variants:
+            if record.variant == name:
+                return record
+        raise KeyError(f"no variant {name!r}")
+
+    def render(self) -> str:
+        from .measurements import render_measurements
+
+        lines = [f"pipeline report for {self.model_name!r} "
+                 f"(train acc {self.train_accuracy:.3f})",
+                 render_measurements(self.variants)]
+        return "\n".join(lines)
+
+
+class DeploymentPipeline:
+    """Orchestrates the six-step flow over a model and dataset.
+
+    Parameters
+    ----------
+    graph
+        Untrained model (random backbone + readout).
+    dataset
+        Labeled dataset; split internally into train/test.
+    target
+        Optional accelerator the model is compiled for; adds roofline
+        predictions to every variant.
+    optimizations
+        Variant specs to build besides ``fp32``: any of ``"fuse"``,
+        ``"int8"``, ``"fp16"``, ``"prune:<fraction>"`` — applied
+        cumulatively in the given order, with a measurement per stage.
+    """
+
+    def __init__(self, graph: Graph, dataset: LabeledDataset,
+                 target: Optional[AcceleratorSpec] = None,
+                 optimizations: Sequence[str] = ("fuse", "int8"),
+                 profile_runs: int = 3) -> None:
+        self.graph = graph
+        self.dataset = dataset
+        self.target = target
+        self.optimizations = list(optimizations)
+        self.profile_runs = profile_runs
+
+    # -- stages ------------------------------------------------------------------
+
+    def run(self, train_fraction: float = 0.8, seed: int = 0
+            ) -> PipelineReport:
+        train, test = self.dataset.split(train_fraction, seed=seed)
+        trained = train_readout(self.graph, train)
+        report = PipelineReport(self.graph.name,
+                                train_accuracy=trained.train_accuracy)
+
+        current = trained.graph
+        self._measure_variant(report, current, "fp32", test, train)
+        for spec in self.optimizations:
+            current = self._apply(current, spec, train)
+            self._measure_variant(report, current, spec, test, train)
+        return report
+
+    def compile_for_target(self, graph: Graph) -> CompiledModel:
+        """Stage 5: bind a graph to the target's preferred precision."""
+        dtype = preferred_dtype(self.target) if self.target else DType.FP32
+        artifact = serialization.dumps(graph).encode()
+        return CompiledModel(graph, self.target, dtype, artifact)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _apply(self, graph: Graph, spec: str,
+               train: LabeledDataset) -> Graph:
+        if spec == "fuse":
+            return fuse_graph(graph)
+        if spec == "int8":
+            feeds = self._calibration_feeds(graph, train)
+            return quantize_int8(graph, feeds)
+        if spec == "fp16":
+            return convert_fp16(graph)
+        if spec.startswith("prune:"):
+            fraction = float(spec.split(":", 1)[1])
+            return NeuronPrune(fraction).run(graph)
+        raise PipelineError(f"unknown optimization {spec!r}")
+
+    def _calibration_feeds(self, graph: Graph, train: LabeledDataset,
+                           batches: int = 4) -> List[Dict[str, np.ndarray]]:
+        input_name = graph.inputs[0].name
+        batch = graph.inputs[0].shape[0]
+        feeds = []
+        for x, _ in train.batches(batch, drop_last=True):
+            feeds.append({input_name: x})
+            if len(feeds) >= batches:
+                break
+        if not feeds:
+            raise PipelineError("dataset too small for calibration")
+        return feeds
+
+    def _measure_variant(self, report: PipelineReport, graph: Graph,
+                         variant: str, test: LabeledDataset,
+                         train: LabeledDataset) -> None:
+        accuracy, confusion = self._quality(graph, test)
+        input_name = graph.inputs[0].name
+        batch = graph.inputs[0].shape[0]
+        sample = test.features[:batch]
+        if len(sample) < batch:
+            sample = np.repeat(test.features[:1], batch, axis=0)
+        profile = Profiler(graph).profile({input_name: sample},
+                                          runs=self.profile_runs)
+        record = measure_host(graph, profile, variant,
+                              {"accuracy": accuracy})
+        if self.target is not None:
+            model = RooflineModel(self.target)
+            dtype = self._variant_dtype(variant)
+            if dtype is None or self.target.supports(dtype):
+                record.target_predictions = model.sweep_batches(
+                    graph, dtype=dtype)
+        report.variants.append(record)
+        report.confusions[variant] = confusion
+
+    def _variant_dtype(self, variant: str) -> Optional[DType]:
+        if variant == "int8":
+            return DType.INT8
+        if variant == "fp16":
+            return DType.FP16
+        return None  # platform preference
+
+    def _quality(self, graph: Graph, test: LabeledDataset
+                 ) -> Tuple[float, ConfusionMatrix]:
+        executor = Executor(graph)
+        input_name = graph.inputs[0].name
+        output_name = graph.output_names[0]
+        batch = graph.inputs[0].shape[0]
+        y_true: List[int] = []
+        y_pred: List[int] = []
+        for x, y in test.batches(batch):
+            if len(x) < batch:
+                pad = np.repeat(x[-1:], batch - len(x), axis=0)
+                x_fed = np.concatenate([x, pad], axis=0)
+            else:
+                x_fed = x
+            out = executor.run({input_name: x_fed})[output_name][:len(x)]
+            y_true.extend(int(v) for v in y)
+            y_pred.extend(int(v) for v in out.argmax(axis=-1))
+        confusion = ConfusionMatrix.from_predictions(
+            y_true, y_pred, test.class_names)
+        return confusion.accuracy, confusion

@@ -1,0 +1,165 @@
+"""Quality reports: confusion matrices and detection precision/recall.
+
+Kenning "can automatically benchmark the processing quality of a given
+neural network … and generate a confusion matrix for classification models
+and recall/precision graphs for detection algorithms" (paper Sec. III).
+This module computes those artifacts and renders them as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.images import Box
+
+
+@dataclass
+class ConfusionMatrix:
+    """Confusion matrix with derived per-class metrics."""
+
+    matrix: np.ndarray            # (classes, classes): rows = true
+    class_names: Tuple[str, ...]
+
+    @classmethod
+    def from_predictions(cls, y_true: Sequence[int], y_pred: Sequence[int],
+                         class_names: Sequence[str]) -> "ConfusionMatrix":
+        n = len(class_names)
+        matrix = np.zeros((n, n), dtype=np.int64)
+        for t, p in zip(y_true, y_pred):
+            matrix[int(t), int(p)] += 1
+        return cls(matrix, tuple(class_names))
+
+    @property
+    def total(self) -> int:
+        return int(self.matrix.sum())
+
+    @property
+    def accuracy(self) -> float:
+        return float(np.trace(self.matrix)) / self.total if self.total else 0.0
+
+    def precision(self, cls_index: int) -> float:
+        predicted = self.matrix[:, cls_index].sum()
+        return float(self.matrix[cls_index, cls_index]) / predicted \
+            if predicted else 0.0
+
+    def recall(self, cls_index: int) -> float:
+        actual = self.matrix[cls_index].sum()
+        return float(self.matrix[cls_index, cls_index]) / actual \
+            if actual else 0.0
+
+    def f1(self, cls_index: int) -> float:
+        p, r = self.precision(cls_index), self.recall(cls_index)
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def false_negative_rate(self, cls_index: int) -> float:
+        """FNR of one class — the arc-detection use case's key metric."""
+        actual = self.matrix[cls_index].sum()
+        if not actual:
+            return 0.0
+        return 1.0 - self.recall(cls_index)
+
+    def render(self) -> str:
+        width = max(10, max(len(n) for n in self.class_names) + 2)
+        header = " " * width + "".join(f"{n:>{width}}" for n in self.class_names)
+        lines = [f"confusion matrix (rows = true), accuracy {self.accuracy:.3f}",
+                 header]
+        for i, name in enumerate(self.class_names):
+            row = "".join(f"{int(v):>{width}}" for v in self.matrix[i])
+            lines.append(f"{name:>{width}}{row}")
+        lines.append("per-class precision / recall / F1:")
+        for i, name in enumerate(self.class_names):
+            lines.append(f"  {name:<16} {self.precision(i):.3f} / "
+                         f"{self.recall(i):.3f} / {self.f1(i):.3f}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One predicted box with confidence."""
+
+    box: Box
+    score: float
+
+
+@dataclass
+class PrecisionRecallPoint:
+    threshold: float
+    precision: float
+    recall: float
+
+
+@dataclass
+class DetectionReport:
+    """Precision/recall over score thresholds, plus average precision."""
+
+    points: List[PrecisionRecallPoint]
+    average_precision: float
+
+    def render(self) -> str:
+        lines = [f"detection report: AP = {self.average_precision:.3f}",
+                 f"{'threshold':>10}{'precision':>11}{'recall':>9}"]
+        for point in self.points:
+            lines.append(f"{point.threshold:>10.2f}{point.precision:>11.3f}"
+                         f"{point.recall:>9.3f}")
+        return "\n".join(lines)
+
+
+def match_detections(predictions: Sequence[Detection],
+                     ground_truth: Sequence[Box],
+                     iou_threshold: float = 0.5) -> List[Tuple[Detection, bool]]:
+    """Greedy highest-score-first matching of predictions to ground truth."""
+    matched_gt: set = set()
+    results: List[Tuple[Detection, bool]] = []
+    for det in sorted(predictions, key=lambda d: d.score, reverse=True):
+        best_iou = 0.0
+        best_idx = -1
+        for idx, gt in enumerate(ground_truth):
+            if idx in matched_gt or gt.label != det.box.label:
+                continue
+            iou = det.box.iou(gt)
+            if iou > best_iou:
+                best_iou = iou
+                best_idx = idx
+        if best_iou >= iou_threshold:
+            matched_gt.add(best_idx)
+            results.append((det, True))
+        else:
+            results.append((det, False))
+    return results
+
+
+def detection_report(
+    all_predictions: Sequence[Sequence[Detection]],
+    all_ground_truth: Sequence[Sequence[Box]],
+    iou_threshold: float = 0.5,
+    thresholds: Sequence[float] = tuple(np.linspace(0.05, 0.95, 10)),
+) -> DetectionReport:
+    """Precision/recall sweep over confidence thresholds (Kenning-style)."""
+    if len(all_predictions) != len(all_ground_truth):
+        raise ValueError("prediction/ground-truth scene counts differ")
+    flat: List[Tuple[float, bool]] = []
+    total_gt = sum(len(gt) for gt in all_ground_truth)
+    for preds, gts in zip(all_predictions, all_ground_truth):
+        for det, is_tp in match_detections(preds, gts, iou_threshold):
+            flat.append((det.score, is_tp))
+
+    points: List[PrecisionRecallPoint] = []
+    for threshold in thresholds:
+        kept = [(s, tp) for s, tp in flat if s >= threshold]
+        tp = sum(1 for _, is_tp in kept if is_tp)
+        fp = len(kept) - tp
+        precision = tp / (tp + fp) if kept else 1.0
+        recall = tp / total_gt if total_gt else 0.0
+        points.append(PrecisionRecallPoint(float(threshold), precision, recall))
+
+    # AP via the trapezoid over the (recall, precision) curve, sorted by recall.
+    curve = sorted(((p.recall, p.precision) for p in points))
+    ap = 0.0
+    prev_r, prev_p = 0.0, curve[0][1] if curve else 1.0
+    for r, p in curve:
+        ap += (r - prev_r) * (p + prev_p) / 2
+        prev_r, prev_p = r, p
+    return DetectionReport(points, ap)

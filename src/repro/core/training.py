@@ -1,0 +1,135 @@
+"""Readout training: closed-form fitting of a model's final classifier.
+
+Step 2 of the paper's deployment flow is "model training (usually transfer
+learning)".  Our equivalent of transfer learning on fixed backbones: keep
+the (random, frozen) feature extractor and fit the final dense layer by
+ridge regression on one-hot targets — the classic random-features /
+extreme-learning-machine construction.  This yields genuinely trained
+models whose accuracy responds to quantization, pruning and faults, which
+is exactly what the toolchain experiments need to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..datasets.base import LabeledDataset
+from ..ir.graph import Graph, Node
+from ..runtime.executor import Executor
+
+
+class TrainingError(RuntimeError):
+    """Raised when the graph has no trainable readout."""
+
+
+def _find_readout(graph: Graph) -> Node:
+    """The last dense node feeding (possibly via softmax) a graph output."""
+    dense_nodes = [n for n in graph.nodes
+                   if n.op_type in ("dense", "fused_dense")]
+    if not dense_nodes:
+        raise TrainingError(f"graph {graph.name!r} has no dense readout layer")
+    return dense_nodes[-1]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of readout training."""
+
+    graph: Graph
+    train_accuracy: float
+    features_dim: int
+    num_classes: int
+
+
+def _collect_features(graph: Graph, dataset: LabeledDataset,
+                      feature_tensor: str, batch: int) -> np.ndarray:
+    """Run the frozen backbone over the dataset, collecting readout inputs."""
+    executor = Executor(graph, keep_intermediates=True)
+    chunks = []
+    input_name = graph.inputs[0].name
+    for x, _ in dataset.batches(batch):
+        if len(x) < batch:  # pad the final partial batch
+            pad = np.repeat(x[-1:], batch - len(x), axis=0)
+            x_fed = np.concatenate([x, pad], axis=0)
+        else:
+            x_fed = x
+        env = executor.run({input_name: x_fed})
+        chunks.append(env[feature_tensor][:len(x)])
+    return np.concatenate(chunks, axis=0)
+
+
+def train_readout(graph: Graph, dataset: LabeledDataset,
+                  ridge: float = 1e-2) -> TrainResult:
+    """Fit the final dense layer of ``graph`` on ``dataset`` (in place on a copy).
+
+    The graph's input batch dimension is used as the forward batch size.
+    Returns a new graph with trained readout weights plus the training
+    accuracy.
+    """
+    g = graph.copy()
+    readout = _find_readout(g)
+    feature_tensor = readout.inputs[0]
+    weight_name = readout.inputs[1]
+    weight = g.initializers[weight_name]
+    num_classes, feat_dim = weight.shape
+    if num_classes != dataset.num_classes:
+        raise TrainingError(
+            f"readout has {num_classes} outputs but dataset has "
+            f"{dataset.num_classes} classes"
+        )
+    batch = g.inputs[0].shape[0]
+    features = _collect_features(g, dataset, feature_tensor, batch)
+    if features.ndim != 2:
+        features = features.reshape(len(features), -1)
+    if features.shape[1] != feat_dim:
+        raise TrainingError(
+            f"feature width {features.shape[1]} != readout input {feat_dim}"
+        )
+
+    targets = -np.ones((len(dataset), num_classes), dtype=np.float64)
+    targets[np.arange(len(dataset)), dataset.labels] = 1.0
+
+    x = features.astype(np.float64)
+    gram = x.T @ x + ridge * len(dataset) * np.eye(feat_dim)
+    solution = np.linalg.solve(gram, x.T @ targets)   # (feat, classes)
+    g.initializers[weight_name] = solution.T.astype(np.float32)
+    if len(readout.inputs) > 2:
+        g.initializers[readout.inputs[2]] = np.zeros(num_classes,
+                                                     dtype=np.float32)
+
+    scores = x @ solution
+    train_accuracy = float(np.mean(scores.argmax(axis=1) == dataset.labels))
+    return TrainResult(g, train_accuracy, feat_dim, num_classes)
+
+
+def evaluate_accuracy(graph: Graph, dataset: LabeledDataset) -> float:
+    """Top-1 accuracy of ``graph`` on ``dataset`` (batch-padded forward)."""
+    executor = Executor(graph)
+    input_name = graph.inputs[0].name
+    output_name = graph.output_names[0]
+    batch = graph.inputs[0].shape[0]
+    correct = 0
+    for x, y in dataset.batches(batch):
+        if len(x) < batch:
+            pad = np.repeat(x[-1:], batch - len(x), axis=0)
+            x_fed = np.concatenate([x, pad], axis=0)
+        else:
+            x_fed = x
+        out = executor.run({input_name: x_fed})[output_name][:len(x)]
+        correct += int(np.sum(out.argmax(axis=-1) == y))
+    return correct / len(dataset)
+
+
+def accuracy_quality_fn(dataset: LabeledDataset):
+    """Quality function adapter for the hardware-aware optimizer search."""
+    def quality(graph: Graph) -> float:
+        from ..ir.tensor import DType
+
+        eval_graph = graph
+        # FP16 graphs need FP16 feeds; evaluate on a float32 view instead
+        # by casting the dataset lazily inside evaluate (executor casts).
+        return evaluate_accuracy(eval_graph, dataset)
+    return quality

@@ -1,0 +1,33 @@
+"""Synthetic dataset substrate for the use-case applications."""
+
+from .base import LabeledDataset
+from .images import (
+    Box,
+    DetectionScene,
+    SHAPE_CLASSES,
+    add_dead_pixels,
+    add_image_noise,
+    make_detection_scenes,
+    make_shapes_dataset,
+)
+from .timeseries import (
+    ARC_CLASSES,
+    MOTOR_CLASSES,
+    arc_features,
+    dc_current_window,
+    inject_dropouts,
+    inject_outliers,
+    make_arc_dataset,
+    make_motor_dataset,
+    motor_vibration_window,
+    vibration_features,
+)
+
+__all__ = [
+    "LabeledDataset",
+    "Box", "DetectionScene", "SHAPE_CLASSES", "add_dead_pixels",
+    "add_image_noise", "make_detection_scenes", "make_shapes_dataset",
+    "ARC_CLASSES", "MOTOR_CLASSES", "arc_features", "dc_current_window",
+    "inject_dropouts", "inject_outliers", "make_arc_dataset",
+    "make_motor_dataset", "motor_vibration_window", "vibration_features",
+]

@@ -1,0 +1,86 @@
+"""Dataset containers for the deployment pipeline.
+
+Step 1 of the paper's deployment flow (Sec. III): "Preparation and analysis
+of the dataset, preparation of data pre-processing and output
+post-processing routines."  A :class:`LabeledDataset` is the unit the
+pipeline consumes: feature arrays, integer labels, class names, and
+deterministic splitting/batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LabeledDataset:
+    """Features plus integer labels."""
+
+    name: str
+    features: np.ndarray          # (N, ...) float32
+    labels: np.ndarray            # (N,) int64
+    class_names: Tuple[str, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.features) != len(self.labels):
+            raise ValueError(
+                f"{self.name}: {len(self.features)} features vs "
+                f"{len(self.labels)} labels"
+            )
+        if self.labels.size and (self.labels.min() < 0
+                                 or self.labels.max() >= len(self.class_names)):
+            raise ValueError(f"{self.name}: label out of range")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return tuple(self.features.shape[1:])
+
+    def split(self, train_fraction: float = 0.8,
+              seed: int = 0) -> Tuple["LabeledDataset", "LabeledDataset"]:
+        """Deterministic shuffled train/test split."""
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * train_fraction)
+        train_idx, test_idx = order[:cut], order[cut:]
+        make = lambda idx, suffix: LabeledDataset(  # noqa: E731
+            f"{self.name}-{suffix}", self.features[idx], self.labels[idx],
+            self.class_names, dict(self.metadata))
+        return make(train_idx, "train"), make(test_idx, "test")
+
+    def batches(self, batch_size: int, drop_last: bool = False
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (features, labels) batches in order."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        for start in range(0, len(self), batch_size):
+            x = self.features[start:start + batch_size]
+            y = self.labels[start:start + batch_size]
+            if drop_last and len(x) < batch_size:
+                return
+            yield x, y
+
+    def subset(self, indices: Sequence[int]) -> "LabeledDataset":
+        idx = np.asarray(indices)
+        return LabeledDataset(f"{self.name}-subset", self.features[idx],
+                              self.labels[idx], self.class_names,
+                              dict(self.metadata))
+
+    def class_balance(self) -> Dict[str, int]:
+        counts = np.bincount(self.labels, minlength=self.num_classes)
+        return {name: int(count)
+                for name, count in zip(self.class_names, counts)}

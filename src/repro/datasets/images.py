@@ -1,0 +1,151 @@
+"""Synthetic image datasets: classification shapes and detection scenes.
+
+Stand-ins for the camera data of the smart-mirror and PAEB use cases
+(DESIGN.md substitution table).  Classes are geometric patterns with
+controlled noise so small networks can genuinely separate them, making
+accuracy deltas from quantization/pruning measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import LabeledDataset
+
+SHAPE_CLASSES = ("circle", "square", "cross", "stripes")
+
+
+def _draw_circle(canvas: np.ndarray, cx: float, cy: float, r: float) -> None:
+    size = canvas.shape[-1]
+    yy, xx = np.mgrid[0:size, 0:size]
+    ring = np.abs(np.hypot(xx - cx, yy - cy) - r) < 1.5
+    canvas[..., ring] = 1.0
+
+
+def _draw_square(canvas: np.ndarray, cx: float, cy: float, r: float) -> None:
+    size = canvas.shape[-1]
+    x0, x1 = int(max(0, cx - r)), int(min(size - 1, cx + r))
+    y0, y1 = int(max(0, cy - r)), int(min(size - 1, cy + r))
+    canvas[..., y0:y1 + 1, x0] = 1.0
+    canvas[..., y0:y1 + 1, x1] = 1.0
+    canvas[..., y0, x0:x1 + 1] = 1.0
+    canvas[..., y1, x0:x1 + 1] = 1.0
+
+
+def _draw_cross(canvas: np.ndarray, cx: float, cy: float, r: float) -> None:
+    size = canvas.shape[-1]
+    x0, x1 = int(max(0, cx - r)), int(min(size - 1, cx + r))
+    y0, y1 = int(max(0, cy - r)), int(min(size - 1, cy + r))
+    canvas[..., int(cy), x0:x1 + 1] = 1.0
+    canvas[..., y0:y1 + 1, int(cx)] = 1.0
+
+
+def _draw_stripes(canvas: np.ndarray, phase: int, period: int = 4) -> None:
+    size = canvas.shape[-1]
+    for row in range(size):
+        if (row + phase) % period < period // 2:
+            canvas[..., row, :] = np.maximum(canvas[..., row, :], 0.8)
+
+
+def make_shapes_dataset(num_samples: int = 400, image_size: int = 32,
+                        channels: int = 3, noise: float = 0.1,
+                        seed: int = 0) -> LabeledDataset:
+    """Classification dataset over :data:`SHAPE_CLASSES` patterns."""
+    rng = np.random.default_rng(seed)
+    features = np.zeros((num_samples, channels, image_size, image_size),
+                        dtype=np.float32)
+    labels = rng.integers(0, len(SHAPE_CLASSES), size=num_samples)
+    for i in range(num_samples):
+        canvas = features[i]
+        cx, cy = rng.uniform(image_size * 0.3, image_size * 0.7, size=2)
+        r = rng.uniform(image_size * 0.15, image_size * 0.3)
+        label = int(labels[i])
+        if label == 0:
+            _draw_circle(canvas, cx, cy, r)
+        elif label == 1:
+            _draw_square(canvas, cx, cy, r)
+        elif label == 2:
+            _draw_cross(canvas, cx, cy, r)
+        else:
+            _draw_stripes(canvas, phase=int(rng.integers(4)))
+        canvas += rng.normal(0, noise, canvas.shape).astype(np.float32)
+    np.clip(features, 0.0, 1.5, out=features)
+    return LabeledDataset("shapes", features, labels, SHAPE_CLASSES,
+                          {"image_size": image_size, "noise": noise})
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned detection box (pixels) with a class label."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    label: int
+
+    @property
+    def area(self) -> int:
+        return max(0, self.x1 - self.x0) * max(0, self.y1 - self.y0)
+
+    def iou(self, other: "Box") -> float:
+        ix0, iy0 = max(self.x0, other.x0), max(self.y0, other.y0)
+        ix1, iy1 = min(self.x1, other.x1), min(self.y1, other.y1)
+        inter = max(0, ix1 - ix0) * max(0, iy1 - iy0)
+        union = self.area + other.area - inter
+        return inter / union if union else 0.0
+
+
+@dataclass
+class DetectionScene:
+    """One synthetic scene: image plus ground-truth boxes."""
+
+    image: np.ndarray             # (C, H, W) float32
+    boxes: List[Box]
+
+
+def make_detection_scenes(num_scenes: int = 50, image_size: int = 96,
+                          max_objects: int = 3, num_classes: int = 4,
+                          noise: float = 0.05,
+                          seed: int = 0) -> List[DetectionScene]:
+    """Scenes with bright class-colored rectangles on noisy background."""
+    rng = np.random.default_rng(seed)
+    scenes: List[DetectionScene] = []
+    for _ in range(num_scenes):
+        image = rng.normal(0.1, noise,
+                           (3, image_size, image_size)).astype(np.float32)
+        boxes: List[Box] = []
+        for _ in range(int(rng.integers(1, max_objects + 1))):
+            w = int(rng.integers(image_size // 8, image_size // 3))
+            h = int(rng.integers(image_size // 8, image_size // 3))
+            x0 = int(rng.integers(0, image_size - w))
+            y0 = int(rng.integers(0, image_size - h))
+            label = int(rng.integers(num_classes))
+            intensity = 0.6 + 0.4 * rng.random()
+            channel = label % 3
+            image[channel, y0:y0 + h, x0:x0 + w] = intensity
+            boxes.append(Box(x0, y0, x0 + w, y0 + h, label))
+        scenes.append(DetectionScene(np.clip(image, 0, 1.5), boxes))
+    return scenes
+
+
+def add_image_noise(image: np.ndarray, sigma: float,
+                    seed: int = 0) -> np.ndarray:
+    """Additive Gaussian noise (the corruption the NoiseMonitor detects)."""
+    rng = np.random.default_rng(seed)
+    return (image + rng.normal(0, sigma, image.shape)).astype(np.float32)
+
+
+def add_dead_pixels(image: np.ndarray, count: int,
+                    seed: int = 0) -> np.ndarray:
+    """Stuck-at-white pixel defects."""
+    rng = np.random.default_rng(seed)
+    corrupted = image.copy()
+    h, w = corrupted.shape[-2:]
+    ys = rng.integers(0, h, size=count)
+    xs = rng.integers(0, w, size=count)
+    corrupted[..., ys, xs] = 1.5
+    return corrupted

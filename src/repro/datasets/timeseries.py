@@ -1,0 +1,172 @@
+"""Synthetic sensor signals for the industrial use cases.
+
+Physically-motivated generators standing in for real plant data
+(DESIGN.md): motor vibration with characteristic fault signatures and DC
+current waveforms with arc events.  Parameters follow the textbook
+signatures — bearing faults excite a high-frequency envelope at the defect
+frequency, imbalance raises the 1x rotation harmonic, series arcs add
+broadband chaotic noise and a current step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import LabeledDataset
+
+MOTOR_CLASSES = ("healthy", "bearing_fault", "imbalance", "overheat")
+ARC_CLASSES = ("normal", "arc")
+
+
+def motor_vibration_window(
+    state: str, window: int = 256, fs: float = 10_000.0,
+    rotation_hz: float = 29.5, noise: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """One vibration window of a motor in ``state``.
+
+    healthy        1x rotation tone plus weak harmonics.
+    bearing_fault  adds bursts at the outer-race defect frequency (~3.6x).
+    imbalance      amplified 1x component with slight phase wobble.
+    overheat       added low-frequency thermal drift and broadband noise
+                   (bearing clearances change with temperature).
+    """
+    if state not in MOTOR_CLASSES:
+        raise ValueError(f"unknown motor state {state!r}")
+    rng = rng or np.random.default_rng()
+    t = np.arange(window) / fs
+    phase = rng.uniform(0, 2 * np.pi)
+    base = (np.sin(2 * np.pi * rotation_hz * t + phase)
+            + 0.3 * np.sin(2 * np.pi * 2 * rotation_hz * t + phase)
+            + 0.15 * np.sin(2 * np.pi * 3 * rotation_hz * t + phase))
+    signal = 0.5 * base
+    if state == "bearing_fault":
+        defect_hz = 3.6 * rotation_hz
+        burst_period = max(1, int(fs / defect_hz))
+        carrier = np.sin(2 * np.pi * 2_400.0 * t)
+        envelope = np.zeros(window)
+        for start in range(int(rng.integers(burst_period)), window,
+                           burst_period):
+            length = min(window - start, burst_period // 4)
+            envelope[start:start + length] = np.exp(
+                -np.arange(length) / max(1.0, length / 3))
+        signal = signal + 1.2 * envelope * carrier
+    elif state == "imbalance":
+        signal = signal + 1.5 * np.sin(2 * np.pi * rotation_hz * t + phase
+                                       + 0.1 * np.sin(2 * np.pi * 0.5 * t))
+    elif state == "overheat":
+        drift = 0.8 * np.sin(2 * np.pi * 1.5 * t + rng.uniform(0, 2 * np.pi))
+        signal = signal + drift + rng.normal(0, 3 * noise, window)
+    return (signal + rng.normal(0, noise, window)).astype(np.float32)
+
+
+def vibration_features(signal: np.ndarray, bands: int = 8) -> np.ndarray:
+    """Fold |FFT| magnitudes into ``bands`` log-energy bands.
+
+    The (bands, window/ (2*bands)) layout matches ``motor_net``'s input
+    after adding the channel axis.
+    """
+    spectrum = np.abs(np.fft.rfft(signal))[1:]          # drop DC
+    usable = (len(spectrum) // bands) * bands
+    folded = spectrum[:usable].reshape(bands, -1)
+    return np.log1p(folded).astype(np.float32)
+
+
+def make_motor_dataset(samples_per_class: int = 100, window: int = 256,
+                       noise: float = 0.05, seed: int = 0) -> LabeledDataset:
+    """Motor-condition dataset of folded spectral features.
+
+    Feature shape: (1, 8, window//16) — rfft of a length-``window`` signal
+    has window/2 usable bins, folded into 8 bands.
+    """
+    rng = np.random.default_rng(seed)
+    features = []
+    labels = []
+    for label, state in enumerate(MOTOR_CLASSES):
+        for _ in range(samples_per_class):
+            signal = motor_vibration_window(state, window=window,
+                                            noise=noise, rng=rng)
+            features.append(vibration_features(signal)[None])
+            labels.append(label)
+    return LabeledDataset("motor-conditions", np.stack(features),
+                          np.array(labels), MOTOR_CLASSES,
+                          {"window": window, "noise": noise})
+
+
+def dc_current_window(
+    arc: bool, window: int = 128, fs: float = 100_000.0,
+    load_current: float = 8.0, noise: float = 0.02,
+    arc_start: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """One DC-current window, optionally containing a series-arc event.
+
+    Normal operation: steady current with converter ripple and sensor
+    noise.  An arc adds (from ``arc_start`` on) a current drop, broadband
+    chaotic oscillation, and shot-noise spikes — the signature arc-fault
+    detectors key on.
+    """
+    rng = rng or np.random.default_rng()
+    t = np.arange(window) / fs
+    ripple = 0.05 * load_current * np.sin(2 * np.pi * 20_000.0 * t
+                                          + rng.uniform(0, 2 * np.pi))
+    signal = load_current + ripple + rng.normal(0, noise * load_current,
+                                                window)
+    if arc:
+        start = arc_start if arc_start is not None \
+            else int(rng.integers(0, window // 2))
+        n = window - start
+        chaos = np.cumsum(rng.normal(0, 1.0, n))
+        chaos = chaos - np.linspace(chaos[0], chaos[-1], n)  # detrended walk
+        burst = 0.12 * load_current * chaos / max(1.0, np.abs(chaos).max())
+        spikes = (rng.random(n) < 0.08) * rng.normal(
+            0, 0.25 * load_current, n)
+        signal[start:] += burst + spikes - 0.08 * load_current
+    return signal.astype(np.float32)
+
+
+def arc_features(signal: np.ndarray) -> np.ndarray:
+    """Spectral features for the arc detector: log magnitude spectrum.
+
+    Arc faults radiate broadband high-frequency energy, so the log |FFT|
+    of the current window (DC removed) separates arc from normal ripple.
+    Output length is ``len(signal) // 2``.
+    """
+    spectrum = np.abs(np.fft.rfft(signal - np.mean(signal)))[1:]
+    return np.log1p(spectrum[:len(signal) // 2]).astype(np.float32)
+
+
+def make_arc_dataset(samples_per_class: int = 200, window: int = 128,
+                     noise: float = 0.02, seed: int = 0) -> LabeledDataset:
+    """Balanced arc/no-arc dataset of normalized current windows."""
+    rng = np.random.default_rng(seed)
+    features = []
+    labels = []
+    for label, is_arc in enumerate((False, True)):
+        for _ in range(samples_per_class):
+            signal = dc_current_window(is_arc, window=window, noise=noise,
+                                       rng=rng)
+            features.append(arc_features(signal))
+            labels.append(label)
+    return LabeledDataset("dc-arcs", np.stack(features), np.array(labels),
+                          ARC_CLASSES, {"window": window, "noise": noise})
+
+
+def inject_outliers(signal: np.ndarray, count: int, magnitude: float = 10.0,
+                    seed: int = 0) -> np.ndarray:
+    """Corrupt a signal with large isolated spikes (sensor glitches)."""
+    rng = np.random.default_rng(seed)
+    corrupted = signal.copy()
+    indices = rng.choice(len(signal), size=count, replace=False)
+    corrupted[indices] += magnitude * rng.choice((-1.0, 1.0), size=count)
+    return corrupted
+
+
+def inject_dropouts(signal: np.ndarray, start: int, length: int) -> np.ndarray:
+    """Replace a run of samples with NaN (transmission dropout)."""
+    corrupted = signal.copy()
+    corrupted[start:start + length] = np.nan
+    return corrupted

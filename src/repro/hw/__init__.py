@@ -1,0 +1,78 @@
+"""Hardware substrate: accelerator catalog, roofline model, RECS platforms."""
+
+from .accelerators import (
+    FIG4_PLATFORMS,
+    AcceleratorSpec,
+    DeviceFamily,
+    PowerMode,
+    catalog,
+    get_accelerator,
+    register_accelerator,
+    resolve_platform,
+)
+from .performance_model import (
+    LayerPrediction,
+    NaivePeakModel,
+    Prediction,
+    RooflineModel,
+    predict_on,
+    preferred_dtype,
+)
+from .microserver import (
+    Architecture,
+    ComFormFactor,
+    Microserver,
+    PerformanceClass,
+    REFERENCE_MICROSERVERS,
+    form_factors,
+    get_form_factor,
+    reference_microserver,
+    register_form_factor,
+)
+from .recs import (
+    ALL_CHASSIS,
+    Chassis,
+    ChassisSpec,
+    CompositionError,
+    RECS_BOX,
+    T_RECS,
+    U_RECS,
+    build_reference_trecs,
+    build_reference_urecs,
+)
+from .network import (
+    Channel,
+    Fabric,
+    FabricError,
+    LINK_PROFILES,
+    LinkKind,
+    LinkProfile,
+    transfer_seconds,
+)
+from .reconfig import (
+    BitstreamVariant,
+    PhaseOutcome,
+    ReconfigurableRegion,
+    ReconfigurationError,
+    VariantScheduler,
+    WorkloadPhase,
+    default_dl_region,
+)
+
+__all__ = [
+    "FIG4_PLATFORMS", "AcceleratorSpec", "DeviceFamily", "PowerMode",
+    "catalog", "get_accelerator", "register_accelerator", "resolve_platform",
+    "LayerPrediction", "NaivePeakModel", "Prediction", "RooflineModel",
+    "predict_on", "preferred_dtype",
+    "Architecture", "ComFormFactor", "Microserver", "PerformanceClass",
+    "REFERENCE_MICROSERVERS", "form_factors", "get_form_factor",
+    "reference_microserver", "register_form_factor",
+    "ALL_CHASSIS", "Chassis", "ChassisSpec", "CompositionError",
+    "RECS_BOX", "T_RECS", "U_RECS", "build_reference_trecs",
+    "build_reference_urecs",
+    "Channel", "Fabric", "FabricError", "LINK_PROFILES", "LinkKind",
+    "LinkProfile", "transfer_seconds",
+    "BitstreamVariant", "PhaseOutcome", "ReconfigurableRegion",
+    "ReconfigurationError", "VariantScheduler", "WorkloadPhase",
+    "default_dl_region",
+]

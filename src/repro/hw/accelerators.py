@@ -1,0 +1,360 @@
+"""Catalog of DL accelerators analysed in the VEDLIoT evaluation.
+
+Reproduces the survey behind Fig. 3 ("Peak Performance of DL Accelerators")
+and provides the device specifications the roofline model needs to
+reproduce Fig. 4 (YoloV4 on ten platforms).  Peak numbers are the vendor
+datasheet values the paper plots ("data is based on the peak performance
+values … provided by the vendors"); no normalization to a technology node
+is performed, matching the paper's caveat.
+
+Hardware substitution note (DESIGN.md): we have no boards, so the catalog
+*is* the digitized survey, and achieved performance comes from the analytic
+model in :mod:`repro.hw.performance_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.tensor import DType
+
+
+class DeviceFamily(Enum):
+    """Device classes used in the paper's Fig. 3/4 grouping."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    EGPU = "egpu"          # embedded GPU modules (Jetson family)
+    FPGA = "fpga"
+    ASIC = "asic"          # fixed-function NPUs (Myriad, Edge TPU, Hailo, ...)
+    MCU = "mcu"            # microcontroller-class NPUs
+
+
+@dataclass(frozen=True)
+class PowerMode:
+    """A selectable power/performance operating point (e.g. Jetson nvpmodel).
+
+    ``compute_scale`` multiplies peak compute, ``bandwidth_scale`` the
+    memory bandwidth, and ``power_scale`` the TDP.
+    """
+
+    name: str
+    compute_scale: float = 1.0
+    bandwidth_scale: float = 1.0
+    power_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Datasheet-level description of one accelerator platform.
+
+    peak_gops
+        Vendor peak throughput in GOPS per supported precision (a MAC
+        counts as 2 ops, the convention vendors use for TOPS claims).
+    tdp_w / idle_w
+        Board power limits; ``idle_w`` is the floor drawn while powered.
+    memory_bw_gbs
+        Peak DRAM bandwidth in GB/s (roofline memory ceiling).
+    util_max
+        Fraction of peak a well-optimized dense CNN can sustain at large
+        batch (captures instruction mix, tiling and scheduling losses).
+    batch_k
+        Half-saturation batch size of the utilization curve; devices with
+        many parallel lanes (GPUs) need larger batches to fill.
+    node_overhead_s
+        Fixed per-operator dispatch overhead (kernel launch, DMA setup).
+    """
+
+    name: str
+    vendor: str
+    family: DeviceFamily
+    peak_gops: Dict[DType, float]
+    tdp_w: float
+    idle_w: float
+    memory_bw_gbs: float
+    memory_gb: float = 4.0
+    util_max: float = 0.45
+    batch_k: float = 0.0
+    node_overhead_s: float = 0.0
+    year: int = 2020
+    power_modes: Tuple[PowerMode, ...] = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.peak_gops:
+            raise ValueError(f"{self.name}: peak_gops must not be empty")
+        if self.tdp_w <= 0 or self.idle_w < 0 or self.idle_w > self.tdp_w:
+            raise ValueError(f"{self.name}: inconsistent power envelope")
+        if self.memory_bw_gbs <= 0:
+            raise ValueError(f"{self.name}: memory bandwidth must be positive")
+        if not 0 < self.util_max <= 1:
+            raise ValueError(f"{self.name}: util_max must be in (0, 1]")
+
+    @property
+    def best_precision(self) -> DType:
+        """The precision with the highest vendor peak (what Fig. 3 plots)."""
+        return max(self.peak_gops, key=lambda dt: self.peak_gops[dt])
+
+    @property
+    def peak_gops_best(self) -> float:
+        return self.peak_gops[self.best_precision]
+
+    @property
+    def efficiency_tops_per_w(self) -> float:
+        """Peak energy efficiency in TOPS/W (the clustering metric of Fig. 3)."""
+        return self.peak_gops_best / 1000.0 / self.tdp_w
+
+    def supports(self, dtype: DType) -> bool:
+        return dtype in self.peak_gops
+
+    def mode(self, name: str) -> PowerMode:
+        for mode in self.power_modes:
+            if mode.name == name:
+                return mode
+        raise KeyError(f"{self.name} has no power mode {name!r}")
+
+    def with_mode(self, name: str) -> "AcceleratorSpec":
+        """Return a spec rescaled to the named power mode."""
+        mode = self.mode(name)
+        return replace(
+            self,
+            name=f"{self.name} ({mode.name})",
+            peak_gops={dt: g * mode.compute_scale
+                       for dt, g in self.peak_gops.items()},
+            memory_bw_gbs=self.memory_bw_gbs * mode.bandwidth_scale,
+            tdp_w=self.tdp_w * mode.power_scale,
+            idle_w=min(self.idle_w, self.tdp_w * mode.power_scale * 0.5),
+            power_modes=(),
+        )
+
+
+_CATALOG: Dict[str, AcceleratorSpec] = {}
+
+
+def register_accelerator(spec: AcceleratorSpec) -> AcceleratorSpec:
+    key = spec.name.lower()
+    if key in _CATALOG:
+        raise ValueError(f"accelerator {spec.name!r} already registered")
+    _CATALOG[key] = spec
+    return spec
+
+
+def get_accelerator(name: str) -> AcceleratorSpec:
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown accelerator {name!r}") from None
+
+
+def catalog(family: Optional[DeviceFamily] = None) -> List[AcceleratorSpec]:
+    """All registered accelerators, optionally filtered by family."""
+    specs = sorted(_CATALOG.values(), key=lambda s: s.name.lower())
+    if family is not None:
+        specs = [s for s in specs if s.family is family]
+    return specs
+
+
+def _gops(**kwargs: float) -> Dict[DType, float]:
+    mapping = {"fp32": DType.FP32, "fp16": DType.FP16, "int8": DType.INT8,
+               "binary": DType.BINARY}
+    return {mapping[k]: v for k, v in kwargs.items()}
+
+
+# ---------------------------------------------------------------------------
+# The ten platforms measured in Fig. 4 (YoloV4 evaluation)
+# ---------------------------------------------------------------------------
+
+register_accelerator(AcceleratorSpec(
+    name="Epyc3451", vendor="AMD", family=DeviceFamily.CPU,
+    peak_gops=_gops(fp32=550, int8=1100),
+    tdp_w=100, idle_w=35, memory_bw_gbs=68, memory_gb=64,
+    util_max=0.55, batch_k=0.05, node_overhead_s=2e-6, year=2018,
+    notes="Embedded EPYC 3451, 16C AVX2; x86 near-edge server CPU",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="D1577", vendor="Intel", family=DeviceFamily.CPU,
+    peak_gops=_gops(fp32=330, int8=660),
+    tdp_w=45, idle_w=18, memory_bw_gbs=38, memory_gb=32,
+    util_max=0.55, batch_k=0.05, node_overhead_s=2e-6, year=2016,
+    notes="Xeon D-1577, 16C 1.3 GHz; microserver CPU (COM Express)",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="GTX1660", vendor="NVIDIA", family=DeviceFamily.GPU,
+    peak_gops=_gops(fp32=5000, fp16=10100, int8=20200),
+    tdp_w=120, idle_w=10, memory_bw_gbs=192, memory_gb=6,
+    util_max=0.45, batch_k=2.4, node_overhead_s=12e-6, year=2019,
+    notes="TU116 desktop GPU; TensorRT path in the paper",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="XavierAGX", vendor="NVIDIA", family=DeviceFamily.EGPU,
+    # GPU-only peaks: the TensorRT YoloV4 path does not engage the DLAs.
+    peak_gops=_gops(fp32=1400, fp16=11000, int8=22000),
+    tdp_w=30, idle_w=8, memory_bw_gbs=137, memory_gb=32,
+    util_max=0.30, batch_k=2.2, node_overhead_s=15e-6, year=2018,
+    power_modes=(
+        PowerMode("MAXN", 1.0, 1.0, 1.0),
+        PowerMode("10W", 0.33, 0.55, 0.37),
+    ),
+    notes="Jetson AGX Xavier; hi = MAXN 30W, lo = 10W nvpmodel",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="XavierNX", vendor="NVIDIA", family=DeviceFamily.EGPU,
+    # GPU-only peaks (384 Volta cores); marketing "21 TOPS" includes DLAs.
+    peak_gops=_gops(fp32=800, fp16=6000, int8=12600),
+    tdp_w=15, idle_w=4, memory_bw_gbs=51, memory_gb=8,
+    util_max=0.32, batch_k=1.8, node_overhead_s=15e-6, year=2020,
+    notes="Jetson Xavier NX module (native on uRECS)",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="JetsonTX2", vendor="NVIDIA", family=DeviceFamily.EGPU,
+    peak_gops=_gops(fp32=665, fp16=1330),
+    tdp_w=15, idle_w=5, memory_bw_gbs=59, memory_gb=8,
+    util_max=0.40, batch_k=1.2, node_overhead_s=18e-6, year=2017,
+    notes="Pascal-based Jetson TX2; no INT8 tensor path",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="ZynqZU15", vendor="Xilinx", family=DeviceFamily.FPGA,
+    peak_gops=_gops(int8=3600, fp16=900),
+    tdp_w=22, idle_w=6, memory_bw_gbs=19, memory_gb=4,
+    util_max=0.55, batch_k=0.4, node_overhead_s=8e-6, year=2017,
+    notes="ZU15EG with DPU overlay (3528 DSP slices)",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="ZynqZU3", vendor="Xilinx", family=DeviceFamily.FPGA,
+    peak_gops=_gops(int8=1150),
+    tdp_w=7.5, idle_w=2.5, memory_bw_gbs=4.3, memory_gb=2,
+    util_max=0.55, batch_k=0.4, node_overhead_s=8e-6, year=2017,
+    notes="ZU3EG (Ultra96/Kria-class) with small DPU",
+))
+
+register_accelerator(AcceleratorSpec(
+    name="Myriad", vendor="Intel", family=DeviceFamily.ASIC,
+    peak_gops=_gops(fp16=1000),
+    tdp_w=2.5, idle_w=0.7, memory_bw_gbs=12, memory_gb=0.5,
+    util_max=0.50, batch_k=0.3, node_overhead_s=25e-6, year=2017,
+    notes="Myriad X VPU (NCS2); FP16 only via OpenVINO",
+))
+
+# ---------------------------------------------------------------------------
+# Wider survey for Fig. 3 (mW MCUs to 400 W cloud parts)
+# ---------------------------------------------------------------------------
+
+for spec in (
+    # --- MCU / milliwatt class ------------------------------------------------
+    AcceleratorSpec("Ethos-U55", "ARM", DeviceFamily.MCU,
+                    _gops(int8=512), 0.5, 0.05, 3.2, 0.01,
+                    util_max=0.7, year=2020, notes="microNPU IP, 512 GOPS config"),
+    AcceleratorSpec("GAP8", "GreenWaves", DeviceFamily.MCU,
+                    _gops(int8=22.65), 0.1, 0.02, 0.5, 0.008,
+                    util_max=0.6, year=2018, notes="9-core RISC-V PULP"),
+    AcceleratorSpec("K210", "Kendryte", DeviceFamily.MCU,
+                    _gops(int8=460), 1.0, 0.3, 2.0, 0.008,
+                    util_max=0.5, year=2018, notes="dual RV64 + KPU"),
+    AcceleratorSpec("MAX78000", "Maxim", DeviceFamily.MCU,
+                    _gops(int8=30), 0.03, 0.005, 0.2, 0.001,
+                    util_max=0.6, year=2020, notes="CNN accelerator MCU"),
+    # --- USB / module NPUs -----------------------------------------------------
+    AcceleratorSpec("CoralEdgeTPU", "Google", DeviceFamily.ASIC,
+                    _gops(int8=4000), 2.0, 0.5, 4.0, 0.008,
+                    util_max=0.6, batch_k=0.3, year=2019,
+                    notes="Edge TPU (USB/M.2/SoM)"),
+    AcceleratorSpec("Hailo-8", "Hailo", DeviceFamily.ASIC,
+                    _gops(int8=26000), 2.5, 0.6, 8.0, 0.03,
+                    util_max=0.55, batch_k=0.3, year=2020),
+    AcceleratorSpec("RK3399Pro-NPU", "Rockchip", DeviceFamily.ASIC,
+                    _gops(int8=3000, fp16=1500), 3.0, 1.0, 12.8, 4,
+                    util_max=0.45, year=2018),
+    AcceleratorSpec("KL520", "Kneron", DeviceFamily.ASIC,
+                    _gops(int8=345), 0.5, 0.1, 1.6, 0.06,
+                    util_max=0.55, year=2019),
+    AcceleratorSpec("NCS2", "Intel", DeviceFamily.ASIC,
+                    _gops(fp16=1000), 1.5, 0.5, 12, 0.5,
+                    util_max=0.5, year=2018, notes="Myriad X USB stick"),
+    # --- embedded GPU modules ---------------------------------------------------
+    AcceleratorSpec("JetsonNano", "NVIDIA", DeviceFamily.EGPU,
+                    _gops(fp32=236, fp16=472), 10, 2, 25.6, 4,
+                    util_max=0.4, batch_k=1.2, node_overhead_s=20e-6, year=2019),
+    AcceleratorSpec("OrinAGX", "NVIDIA", DeviceFamily.EGPU,
+                    _gops(fp32=5300, fp16=42000, int8=170000), 60, 15, 205, 32,
+                    util_max=0.4, batch_k=2.0, node_overhead_s=12e-6, year=2022),
+    # --- desktop / server GPUs ---------------------------------------------------
+    AcceleratorSpec("T4", "NVIDIA", DeviceFamily.GPU,
+                    _gops(fp32=8100, fp16=65000, int8=130000), 70, 10, 320, 16,
+                    util_max=0.45, batch_k=2.6, node_overhead_s=12e-6, year=2018),
+    AcceleratorSpec("RTX2080Ti", "NVIDIA", DeviceFamily.GPU,
+                    _gops(fp32=13400, fp16=26900, int8=215000), 250, 15, 616, 11,
+                    util_max=0.45, batch_k=3.0, node_overhead_s=12e-6, year=2018),
+    AcceleratorSpec("V100", "NVIDIA", DeviceFamily.GPU,
+                    _gops(fp32=15700, fp16=125000), 300, 25, 900, 32,
+                    util_max=0.5, batch_k=3.2, node_overhead_s=12e-6, year=2017),
+    AcceleratorSpec("A100", "NVIDIA", DeviceFamily.GPU,
+                    _gops(fp32=19500, fp16=312000, int8=624000), 400, 30, 1555, 40,
+                    util_max=0.5, batch_k=3.4, node_overhead_s=12e-6, year=2020),
+    # --- cloud ASICs ---------------------------------------------------------------
+    AcceleratorSpec("TPUv3", "Google", DeviceFamily.ASIC,
+                    _gops(fp16=123000), 220, 30, 900, 32,
+                    util_max=0.55, batch_k=4.0, year=2018,
+                    notes="per-chip bfloat16 peak"),
+    AcceleratorSpec("Goya", "Habana", DeviceFamily.ASIC,
+                    _gops(fp16=50000, int8=100000), 200, 25, 400, 16,
+                    util_max=0.5, batch_k=2.5, year=2019),
+    AcceleratorSpec("IPU-GC2", "Graphcore", DeviceFamily.ASIC,
+                    _gops(fp16=125000), 150, 20, 45, 0.3,
+                    util_max=0.45, batch_k=2.0, year=2019,
+                    notes="on-chip SRAM only"),
+    # --- FPGAs -----------------------------------------------------------------------
+    AcceleratorSpec("AlveoU250", "Xilinx", DeviceFamily.FPGA,
+                    _gops(int8=33300), 225, 40, 77, 64,
+                    util_max=0.5, batch_k=0.5, year=2018),
+    AcceleratorSpec("Arria10GX", "Intel", DeviceFamily.FPGA,
+                    _gops(fp16=1400, int8=2800), 70, 20, 34, 8,
+                    util_max=0.5, batch_k=0.4, year=2016),
+    AcceleratorSpec("VersalAI", "Xilinx", DeviceFamily.FPGA,
+                    _gops(int8=133000), 75, 20, 102, 8,
+                    util_max=0.45, batch_k=0.6, year=2021,
+                    notes="VC1902 AI engines"),
+    AcceleratorSpec("KriaK26", "Xilinx", DeviceFamily.FPGA,
+                    _gops(int8=1360), 10, 3, 19, 4,
+                    util_max=0.55, batch_k=0.4, year=2021,
+                    notes="Kria SOM (uRECS adaptor PCB)"),
+    # --- CPUs ---------------------------------------------------------------------------
+    AcceleratorSpec("Xeon8280", "Intel", DeviceFamily.CPU,
+                    _gops(fp32=3200, int8=12800), 205, 60, 141, 384,
+                    util_max=0.55, batch_k=0.1, node_overhead_s=2e-6, year=2019,
+                    notes="28C AVX-512 VNNI"),
+    AcceleratorSpec("RPi-CM4", "Broadcom", DeviceFamily.CPU,
+                    _gops(fp32=24, int8=48), 7, 2, 4.2, 8,
+                    util_max=0.5, batch_k=0.05, node_overhead_s=3e-6, year=2020,
+                    notes="Compute Module 4 (uRECS adaptor PCB)"),
+    AcceleratorSpec("i.MX8M", "NXP", DeviceFamily.CPU,
+                    _gops(fp32=25, int8=50), 5, 1.5, 12.8, 4,
+                    util_max=0.5, batch_k=0.05, node_overhead_s=3e-6, year=2018,
+                    notes="SMARC-class embedded SoC"),
+):
+    register_accelerator(spec)
+
+
+# Platforms of the Fig. 4 sweep in presentation order, including the two
+# Xavier AGX power modes the paper plots separately.
+FIG4_PLATFORMS: Tuple[str, ...] = (
+    "Epyc3451", "D1577", "GTX1660",
+    "XavierAGX", "XavierAGX:10W", "XavierNX", "JetsonTX2",
+    "ZynqZU15", "ZynqZU3", "Myriad",
+)
+
+
+def resolve_platform(name: str) -> AcceleratorSpec:
+    """Resolve ``name`` or ``name:mode`` into a (possibly rescaled) spec."""
+    if ":" in name:
+        base, mode = name.split(":", 1)
+        return get_accelerator(base).with_mode(mode)
+    return get_accelerator(name)

@@ -1,0 +1,171 @@
+"""Computer-on-Module form factors and microserver definitions (Fig. 2).
+
+The RECS platforms are populated with exchangeable microservers built on
+standard COM form factors.  Fig. 2 of the paper arranges these form factors
+by footprint and compute performance, from credit-card modules (Raspberry
+Pi CM, Jetson SO-DIMM) through SMARC and COM Express up to COM-HPC Server.
+This module encodes that catalog: physical size, power envelope, supported
+CPU architectures, and the performance band each form factor targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .accelerators import AcceleratorSpec, get_accelerator
+
+
+class Architecture(Enum):
+    X86 = "x86"
+    ARM = "arm"
+    RISCV = "riscv"
+    FPGA_SOC = "fpga-soc"
+    GPU_SOC = "gpu-soc"
+
+
+class PerformanceClass(Enum):
+    """Compute band a form factor targets (the x-axis grouping of Fig. 2)."""
+
+    EMBEDDED = "embedded"      # < 15 W
+    LOW_POWER = "low-power"    # 15 - 35 W
+    MID_RANGE = "mid-range"    # 35 - 100 W
+    HIGH_END = "high-end"      # > 100 W
+
+
+@dataclass(frozen=True)
+class ComFormFactor:
+    """A Computer-on-Module standard."""
+
+    name: str
+    width_mm: float
+    height_mm: float
+    max_power_w: float
+    architectures: Tuple[Architecture, ...]
+    performance_class: PerformanceClass
+    connector: str
+    year: int
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+
+_FORM_FACTORS: Dict[str, ComFormFactor] = {}
+
+
+def register_form_factor(ff: ComFormFactor) -> ComFormFactor:
+    if ff.name.lower() in _FORM_FACTORS:
+        raise ValueError(f"form factor {ff.name!r} already registered")
+    _FORM_FACTORS[ff.name.lower()] = ff
+    return ff
+
+
+def get_form_factor(name: str) -> ComFormFactor:
+    try:
+        return _FORM_FACTORS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown form factor {name!r}") from None
+
+
+def form_factors() -> List[ComFormFactor]:
+    """All registered form factors, smallest footprint first (Fig. 2 order)."""
+    return sorted(_FORM_FACTORS.values(), key=lambda f: f.area_mm2)
+
+
+for _ff in (
+    ComFormFactor("RaspberryPi-CM4", 55, 40, 7,
+                  (Architecture.ARM,), PerformanceClass.EMBEDDED,
+                  "2x 100-pin mezzanine", 2020),
+    ComFormFactor("Jetson-SODIMM", 69.6, 45, 15,
+                  (Architecture.GPU_SOC,), PerformanceClass.EMBEDDED,
+                  "260-pin SO-DIMM", 2019),
+    ComFormFactor("Kria-SOM", 77, 60, 15,
+                  (Architecture.FPGA_SOC,), PerformanceClass.EMBEDDED,
+                  "2x 240-pin connector", 2021),
+    ComFormFactor("Qseven", 70, 70, 12,
+                  (Architecture.X86, Architecture.ARM),
+                  PerformanceClass.EMBEDDED, "MXM 230-pin edge", 2008),
+    ComFormFactor("SMARC", 82, 50, 15,
+                  (Architecture.X86, Architecture.ARM, Architecture.FPGA_SOC),
+                  PerformanceClass.EMBEDDED, "314-pin MXM edge", 2012),
+    ComFormFactor("COM-Express-Mini", 84, 55, 30,
+                  (Architecture.X86,), PerformanceClass.LOW_POWER,
+                  "220-pin AB", 2012),
+    ComFormFactor("COM-Express-Compact", 95, 95, 58,
+                  (Architecture.X86,), PerformanceClass.MID_RANGE,
+                  "440-pin ABCD", 2010),
+    ComFormFactor("COM-Express-Basic", 125, 95, 100,
+                  (Architecture.X86,), PerformanceClass.MID_RANGE,
+                  "440-pin ABCD", 2005),
+    ComFormFactor("COM-HPC-Client", 120, 120, 150,
+                  (Architecture.X86, Architecture.ARM),
+                  PerformanceClass.HIGH_END, "2x 400-pin", 2020),
+    ComFormFactor("COM-HPC-Server", 160, 160, 300,
+                  (Architecture.X86, Architecture.ARM),
+                  PerformanceClass.HIGH_END, "2x 400-pin", 2020),
+):
+    register_form_factor(_ff)
+
+
+@dataclass(frozen=True)
+class Microserver:
+    """A populated module: a form factor carrying a compute device.
+
+    ``accelerator`` names an entry in the accelerator catalog; its TDP must
+    fit inside the form factor's power envelope (checked at construction).
+    """
+
+    name: str
+    form_factor: str
+    accelerator: str
+    dram_gb: float = 4.0
+    adaptor_pcb: bool = False
+
+    def __post_init__(self) -> None:
+        ff = get_form_factor(self.form_factor)
+        spec = self.spec
+        if spec.tdp_w > ff.max_power_w:
+            raise ValueError(
+                f"{self.name}: {spec.name} TDP {spec.tdp_w} W exceeds "
+                f"{ff.name} envelope {ff.max_power_w} W"
+            )
+
+    @property
+    def spec(self) -> AcceleratorSpec:
+        return get_accelerator(self.accelerator)
+
+    @property
+    def form(self) -> ComFormFactor:
+        return get_form_factor(self.form_factor)
+
+    @property
+    def tdp_w(self) -> float:
+        return self.spec.tdp_w
+
+    @property
+    def idle_w(self) -> float:
+        return self.spec.idle_w
+
+
+# Reference microservers assembled from catalog parts — the populations the
+# project actually deploys (paper Sec. II-A).
+REFERENCE_MICROSERVERS: Tuple[Microserver, ...] = (
+    Microserver("xeon-d-com-express", "COM-Express-Basic", "D1577", 32),
+    Microserver("epyc-com-express", "COM-Express-Basic", "Epyc3451", 64),
+    Microserver("xavier-nx-module", "Jetson-SODIMM", "XavierNX", 8),
+    Microserver("tx2-module", "Jetson-SODIMM", "JetsonTX2", 8),
+    Microserver("kria-k26-som", "Kria-SOM", "KriaK26", 4, adaptor_pcb=True),
+    Microserver("rpi-cm4-module", "RaspberryPi-CM4", "RPi-CM4", 8,
+                adaptor_pcb=True),
+    Microserver("imx8m-smarc", "SMARC", "i.MX8M", 4),
+    Microserver("zu3-smarc", "SMARC", "ZynqZU3", 2),
+)
+
+
+def reference_microserver(name: str) -> Microserver:
+    for ms in REFERENCE_MICROSERVERS:
+        if ms.name == name:
+            return ms
+    raise KeyError(f"unknown reference microserver {name!r}")

@@ -1,0 +1,162 @@
+"""Communication infrastructure of the RECS platforms.
+
+Models the "scalable communication-driven infrastructure, realizing
+efficient communication between heterogeneous microservers via 1 G / 10 G
+Ethernet and high-speed low-latency connections, reconfigurable during
+run-time" (paper Sec. II-A).  The fabric tracks attached endpoints and
+point-to-point link assignments, supports run-time reconfiguration of
+topology and protocol parameters, and provides an analytic transfer-time
+model used by the distributed-inference use cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+class LinkKind(Enum):
+    """Physical link classes available inside and between RECS chassis."""
+
+    ETH_1G = "1G Ethernet"
+    ETH_10G = "10G Ethernet"
+    HIGH_SPEED_LL = "high-speed low-latency"
+    USB3 = "USB 3.0"
+    M2 = "M.2 / PCIe x4"
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Bandwidth/latency characteristics of a link class."""
+
+    bandwidth_gbps: float
+    base_latency_us: float
+    per_kb_overhead_us: float = 0.0
+
+
+LINK_PROFILES: Dict[LinkKind, LinkProfile] = {
+    LinkKind.ETH_1G: LinkProfile(1.0, 60.0, 0.3),
+    LinkKind.ETH_10G: LinkProfile(10.0, 20.0, 0.05),
+    LinkKind.HIGH_SPEED_LL: LinkProfile(40.0, 2.0, 0.01),
+    LinkKind.USB3: LinkProfile(5.0, 100.0, 0.2),
+    LinkKind.M2: LinkProfile(31.5, 5.0, 0.01),
+}
+
+
+def transfer_seconds(kind: LinkKind, num_bytes: int,
+                     profile: Optional[LinkProfile] = None) -> float:
+    """Time to move ``num_bytes`` over one link of class ``kind``."""
+    profile = profile or LINK_PROFILES[kind]
+    payload_s = num_bytes * 8 / (profile.bandwidth_gbps * 1e9)
+    overhead_s = (profile.base_latency_us
+                  + profile.per_kb_overhead_us * num_bytes / 1024) * 1e-6
+    return payload_s + overhead_s
+
+
+class FabricError(ValueError):
+    """Raised on invalid fabric operations."""
+
+
+@dataclass
+class Channel:
+    """A configured point-to-point channel between two endpoints."""
+
+    endpoint_a: str
+    endpoint_b: str
+    kind: LinkKind
+    mtu_bytes: int = 1500
+
+    def pair(self) -> FrozenSet[str]:
+        return frozenset((self.endpoint_a, self.endpoint_b))
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        base = transfer_seconds(self.kind, num_bytes)
+        # Small MTUs add per-packet overhead on Ethernet-class links.
+        if self.kind in (LinkKind.ETH_1G, LinkKind.ETH_10G):
+            packets = max(1, -(-num_bytes // self.mtu_bytes))
+            base += packets * 1e-6  # ~1 us per-packet processing
+        return base
+
+
+class Fabric:
+    """Run-time reconfigurable interconnect between microservers.
+
+    Endpoints attach/detach as modules are exchanged; channels between
+    endpoints can be created, re-parameterized (e.g. MTU) and moved to a
+    different link class while the system runs.
+    """
+
+    def __init__(self, available_links: Sequence[LinkKind]) -> None:
+        if not available_links:
+            raise FabricError("fabric needs at least one link class")
+        self.available_links: Tuple[LinkKind, ...] = tuple(available_links)
+        self.endpoints: Set[str] = set()
+        self.channels: List[Channel] = []
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def attach(self, endpoint: str) -> None:
+        if endpoint in self.endpoints:
+            raise FabricError(f"endpoint {endpoint!r} already attached")
+        self.endpoints.add(endpoint)
+
+    def detach(self, endpoint: str) -> None:
+        if endpoint not in self.endpoints:
+            raise FabricError(f"endpoint {endpoint!r} not attached")
+        self.endpoints.discard(endpoint)
+        self.channels = [c for c in self.channels
+                         if endpoint not in (c.endpoint_a, c.endpoint_b)]
+
+    # -- channels -----------------------------------------------------------------
+
+    def connect(self, a: str, b: str, kind: Optional[LinkKind] = None,
+                mtu_bytes: int = 1500) -> Channel:
+        if a == b:
+            raise FabricError("cannot connect an endpoint to itself")
+        for endpoint in (a, b):
+            if endpoint not in self.endpoints:
+                raise FabricError(f"endpoint {endpoint!r} not attached")
+        kind = kind or self.available_links[0]
+        if kind not in self.available_links:
+            raise FabricError(
+                f"link class {kind.value!r} not available on this fabric"
+            )
+        if any(c.pair() == frozenset((a, b)) for c in self.channels):
+            raise FabricError(f"channel {a!r}<->{b!r} already exists")
+        channel = Channel(a, b, kind, mtu_bytes)
+        self.channels.append(channel)
+        return channel
+
+    def channel(self, a: str, b: str) -> Channel:
+        for c in self.channels:
+            if c.pair() == frozenset((a, b)):
+                return c
+        raise FabricError(f"no channel between {a!r} and {b!r}")
+
+    def reconfigure(self, a: str, b: str, kind: Optional[LinkKind] = None,
+                    mtu_bytes: Optional[int] = None) -> Channel:
+        """Re-parameterize a live channel (run-time reconfiguration)."""
+        channel = self.channel(a, b)
+        if kind is not None:
+            if kind not in self.available_links:
+                raise FabricError(
+                    f"link class {kind.value!r} not available on this fabric"
+                )
+            channel.kind = kind
+        if mtu_bytes is not None:
+            if mtu_bytes < 64:
+                raise FabricError("MTU must be at least 64 bytes")
+            channel.mtu_bytes = mtu_bytes
+        return channel
+
+    def transfer_seconds(self, a: str, b: str, num_bytes: int) -> float:
+        return self.channel(a, b).transfer_seconds(num_bytes)
+
+    def topology(self) -> Dict[str, List[str]]:
+        """Adjacency view of the current channel configuration."""
+        adj: Dict[str, List[str]] = {e: [] for e in sorted(self.endpoints)}
+        for c in self.channels:
+            adj[c.endpoint_a].append(c.endpoint_b)
+            adj[c.endpoint_b].append(c.endpoint_a)
+        return adj

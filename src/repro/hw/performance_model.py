@@ -1,0 +1,219 @@
+"""Roofline-style performance and energy model for DL accelerators.
+
+This is the measurement substitute for the paper's physical testbed
+(DESIGN.md substitution table): given an accelerator spec and an IR graph,
+it predicts per-inference latency, achieved GOPS, average power and energy,
+using a per-operator roofline:
+
+    time(node) = max(ops / effective_peak, bytes / memory_bw) + dispatch
+
+with an effective peak that saturates with batch size,
+
+    effective_peak = peak(dtype) * util_max * batch / (batch + batch_k).
+
+Weight traffic is counted once per *batch* (weights are reused across the
+batch), which is precisely what makes throughput grow from B1 to B8 on
+weight-heavy models — the batch-sweep behaviour Fig. 4 shows.
+
+Power blends compute and memory busy fractions into the TDP envelope; the
+coefficients are calibrated so CPU-class devices run near TDP while
+latency-bound accelerators idle between dispatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.graph import Graph
+from ..ir.tensor import DType
+from .accelerators import AcceleratorSpec, DeviceFamily
+
+# Precisions the toolchain will try, in the order a vendor toolchain
+# prefers them (paper Sec. II-C: INT8 where supported, else FP16, else FP32).
+_PRECISION_PREFERENCE = (DType.INT8, DType.FP16, DType.FP32)
+
+
+def preferred_dtype(spec: AcceleratorSpec) -> DType:
+    """The precision a vendor toolchain would pick for ``spec``."""
+    for dtype in _PRECISION_PREFERENCE:
+        if spec.supports(dtype):
+            return dtype
+    return spec.best_precision
+
+
+@dataclass(frozen=True)
+class LayerPrediction:
+    """Predicted timing of one node for a whole batch."""
+
+    name: str
+    op_type: str
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted execution of a model on one platform at one batch size."""
+
+    platform: str
+    model: str
+    batch: int
+    dtype: DType
+    batch_latency_s: float
+    total_ops: int
+    avg_power_w: float
+    fits_memory: bool
+    layers: Tuple[LayerPrediction, ...] = ()
+
+    @property
+    def latency_s(self) -> float:
+        """Per-inference latency (batch latency amortized)."""
+        return self.batch_latency_s / self.batch
+
+    @property
+    def throughput_gops(self) -> float:
+        """Achieved GOPS over the batch (the y-axis of Fig. 4)."""
+        return self.total_ops / self.batch_latency_s / 1e9
+
+    @property
+    def fps(self) -> float:
+        return self.batch / self.batch_latency_s
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.avg_power_w * self.latency_s
+
+    @property
+    def efficiency_gops_per_w(self) -> float:
+        return self.throughput_gops / self.avg_power_w
+
+
+class RooflineModel:
+    """Analytic execution model bound to one accelerator spec."""
+
+    def __init__(self, spec: AcceleratorSpec) -> None:
+        self.spec = spec
+
+    # -- core -------------------------------------------------------------------
+
+    def effective_peak_gops(self, dtype: DType, batch: int) -> float:
+        """Sustained compute ceiling at this precision and batch size."""
+        if not self.spec.supports(dtype):
+            raise ValueError(
+                f"{self.spec.name} does not support {dtype.value}"
+            )
+        saturation = batch / (batch + self.spec.batch_k) if self.spec.batch_k \
+            else 1.0
+        return self.spec.peak_gops[dtype] * self.spec.util_max * saturation
+
+    def predict(self, graph: Graph, batch: int = 1,
+                dtype: Optional[DType] = None,
+                keep_layers: bool = False) -> Prediction:
+        """Predict execution of ``graph`` (built at batch 1) at ``batch``.
+
+        ``dtype`` defaults to the platform's preferred precision.  The
+        graph's FP32 costs are rescaled to the target precision: activation
+        and weight traffic shrink with the element width, operation count is
+        unchanged (a MAC is a MAC at any precision).
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        dtype = dtype or preferred_dtype(self.spec)
+        scale = dtype.bits / 32.0
+        peak_ops = self.effective_peak_gops(dtype, batch) * 1e9
+        bw_bytes = self.spec.memory_bw_gbs * 1e9
+
+        layers: List[LayerPrediction] = []
+        total_ops = 0
+        compute_s = 0.0
+        memory_s = 0.0
+        overhead_s = 0.0
+        batch_latency = 0.0
+        specs = graph.infer_specs()
+        weight_bytes_total = 0
+        for node in graph.nodes:
+            cost = graph.node_cost(node, specs)
+            ops = cost.ops * batch
+            act_bytes = cost.activation_bytes * batch * scale
+            w_bytes = cost.weight_bytes * scale  # streamed once per batch
+            c = ops / peak_ops
+            m = (act_bytes + w_bytes) / bw_bytes
+            layer = LayerPrediction(node.name, node.op_type, c, m,
+                                    self.spec.node_overhead_s)
+            if keep_layers:
+                layers.append(layer)
+            total_ops += ops
+            compute_s += c
+            memory_s += m
+            overhead_s += self.spec.node_overhead_s
+            batch_latency += layer.seconds
+            weight_bytes_total += cost.weight_bytes
+
+        fits = (weight_bytes_total * scale) <= self.spec.memory_gb * 1e9
+        power = self._average_power(compute_s, memory_s, batch_latency)
+        return Prediction(
+            platform=self.spec.name,
+            model=graph.name,
+            batch=batch,
+            dtype=dtype,
+            batch_latency_s=batch_latency,
+            total_ops=int(total_ops),
+            avg_power_w=power,
+            fits_memory=fits,
+            layers=tuple(layers),
+        )
+
+    def _average_power(self, compute_s: float, memory_s: float,
+                       latency_s: float) -> float:
+        """Blend busy fractions into the TDP envelope.
+
+        Compute activity dominates dynamic power; memory traffic and a
+        fixed scheduling floor contribute the rest.  Clamped to TDP.
+        """
+        if latency_s <= 0:
+            return self.spec.idle_w
+        compute_busy = min(1.0, compute_s / latency_s)
+        memory_busy = min(1.0, memory_s / latency_s)
+        activity = min(1.0, 0.60 * compute_busy + 0.30 * memory_busy + 0.10)
+        return self.spec.idle_w + (self.spec.tdp_w - self.spec.idle_w) * activity
+
+    # -- convenience -----------------------------------------------------------------
+
+    def latency_seconds(self, graph: Graph, batch: int = 1,
+                        dtype: Optional[DType] = None) -> float:
+        """Scalar objective for the hardware-aware optimizer."""
+        return self.predict(graph, batch=batch, dtype=dtype).latency_s
+
+    def sweep_batches(self, graph: Graph, batches: Sequence[int] = (1, 4, 8),
+                      dtype: Optional[DType] = None) -> List[Prediction]:
+        return [self.predict(graph, batch=b, dtype=dtype) for b in batches]
+
+
+def predict_on(spec: AcceleratorSpec, graph: Graph, batch: int = 1,
+               dtype: Optional[DType] = None) -> Prediction:
+    """One-shot convenience wrapper."""
+    return RooflineModel(spec).predict(graph, batch=batch, dtype=dtype)
+
+
+@dataclass
+class NaivePeakModel:
+    """Strawman latency model: ops / vendor peak, ignoring memory and dispatch.
+
+    This is the "theoretical speed-up" estimator the paper warns about
+    (Sec. III); the hardware-aware ablation benchmark contrasts it with
+    :class:`RooflineModel`.
+    """
+
+    spec: AcceleratorSpec
+
+    def latency_seconds(self, graph: Graph, batch: int = 1,
+                        dtype: Optional[DType] = None) -> float:
+        dtype = dtype or preferred_dtype(self.spec)
+        ops = graph.total_cost().ops * batch
+        return ops / (self.spec.peak_gops[dtype] * 1e9) / batch

@@ -1,0 +1,194 @@
+"""FPGA partial-reconfiguration model.
+
+The paper (Sec. II-A): "reconfigurable devices (FPGAs) are utilized …
+partial reconfiguration is used to adapt to changing application
+requirements at run-time, e.g., using implementations with different
+power/performance footprints."
+
+A :class:`ReconfigurableRegion` holds a set of accelerator *variants*
+(bitstreams) with distinct throughput/power footprints and a reconfiguration
+cost.  The :class:`VariantScheduler` decides when switching variants pays
+off given a workload phase — the ablation benchmarked as Txt-I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BitstreamVariant:
+    """One accelerator implementation loadable into a region."""
+
+    name: str
+    throughput_gops: float       # sustained throughput of the overlay
+    power_w: float               # active power while processing
+    bitstream_mb: float = 8.0    # partial bitstream size
+
+    def __post_init__(self) -> None:
+        if self.throughput_gops <= 0 or self.power_w <= 0:
+            raise ValueError(f"variant {self.name!r}: non-positive footprint")
+
+    def process_seconds(self, gops: float) -> float:
+        """Time to process ``gops`` (10^9 operations) of work."""
+        return gops / self.throughput_gops
+
+    def energy_j(self, gops: float) -> float:
+        return self.process_seconds(gops) * self.power_w
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A phase of the application with steady compute demand.
+
+    ``required_gops_per_s`` is the offered load; ``duration_s`` how long the
+    phase lasts.  A variant can serve the phase only if its throughput
+    meets the offered load (otherwise work queues unboundedly).
+    """
+
+    name: str
+    required_gops_per_s: float
+    duration_s: float
+
+
+class ReconfigurationError(RuntimeError):
+    """Raised on invalid reconfiguration requests."""
+
+
+class ReconfigurableRegion:
+    """A partially-reconfigurable region of an FPGA.
+
+    Tracks the loaded variant and accumulates time/energy spent on
+    reconfiguration (the overhead that switching must amortize).
+    """
+
+    def __init__(self, name: str, variants: Sequence[BitstreamVariant],
+                 reconfig_bandwidth_mbps: float = 400.0,
+                 reconfig_power_w: float = 3.0) -> None:
+        if not variants:
+            raise ReconfigurationError(f"region {name!r} needs variants")
+        names = [v.name for v in variants]
+        if len(set(names)) != len(names):
+            raise ReconfigurationError(f"region {name!r}: duplicate variants")
+        self.name = name
+        self.variants: Dict[str, BitstreamVariant] = {v.name: v for v in variants}
+        self.reconfig_bandwidth_mbps = reconfig_bandwidth_mbps
+        self.reconfig_power_w = reconfig_power_w
+        self.loaded: Optional[str] = None
+        self.reconfig_count = 0
+        self.reconfig_seconds = 0.0
+        self.reconfig_energy_j = 0.0
+
+    def reconfig_time_s(self, variant: str) -> float:
+        """Partial-reconfiguration time for ``variant`` (bitstream / ICAP BW)."""
+        v = self._variant(variant)
+        return v.bitstream_mb * 8 / self.reconfig_bandwidth_mbps
+
+    def load(self, variant: str) -> float:
+        """Load ``variant``; returns the reconfiguration time spent (0 if a no-op)."""
+        self._variant(variant)
+        if self.loaded == variant:
+            return 0.0
+        took = self.reconfig_time_s(variant)
+        self.loaded = variant
+        self.reconfig_count += 1
+        self.reconfig_seconds += took
+        self.reconfig_energy_j += took * self.reconfig_power_w
+        return took
+
+    def current(self) -> BitstreamVariant:
+        if self.loaded is None:
+            raise ReconfigurationError(f"region {self.name!r}: nothing loaded")
+        return self.variants[self.loaded]
+
+    def _variant(self, name: str) -> BitstreamVariant:
+        try:
+            return self.variants[name]
+        except KeyError:
+            raise ReconfigurationError(
+                f"region {self.name!r} has no variant {name!r}"
+            ) from None
+
+
+@dataclass
+class PhaseOutcome:
+    """Execution record of one workload phase."""
+
+    phase: str
+    variant: str
+    reconfig_s: float
+    busy_s: float
+    energy_j: float
+    met_demand: bool
+
+
+class VariantScheduler:
+    """Chooses the cheapest adequate variant per workload phase.
+
+    Policy: among variants whose throughput covers the offered load, pick
+    the one minimizing total energy for the phase including any
+    reconfiguration energy; if switching costs more than it saves over the
+    phase duration, stay on the current variant.  A static baseline (never
+    reconfigure, always use the fastest variant) is available for the
+    ablation benchmark.
+    """
+
+    def __init__(self, region: ReconfigurableRegion) -> None:
+        self.region = region
+
+    def run_phases(self, phases: Sequence[WorkloadPhase],
+                   adaptive: bool = True) -> List[PhaseOutcome]:
+        outcomes: List[PhaseOutcome] = []
+        if not adaptive:
+            fastest = max(self.region.variants.values(),
+                          key=lambda v: v.throughput_gops)
+            self.region.load(fastest.name)
+        for phase in phases:
+            variant = self._choose(phase) if adaptive else self.region.current()
+            reconfig_s = self.region.load(variant.name)
+            work_gops = phase.required_gops_per_s * phase.duration_s
+            busy_s = variant.process_seconds(work_gops)
+            met = (variant.throughput_gops >= phase.required_gops_per_s
+                   and reconfig_s + busy_s <= phase.duration_s + 1e-9)
+            idle_s = max(0.0, phase.duration_s - busy_s - reconfig_s)
+            energy = (variant.energy_j(work_gops)
+                      + reconfig_s * self.region.reconfig_power_w
+                      + idle_s * 0.2 * variant.power_w)  # idle floor ~20%
+            outcomes.append(PhaseOutcome(
+                phase.name, variant.name, reconfig_s, busy_s, energy, met))
+        return outcomes
+
+    def _choose(self, phase: WorkloadPhase) -> BitstreamVariant:
+        adequate = [
+            v for v in self.region.variants.values()
+            if v.throughput_gops >= phase.required_gops_per_s
+        ]
+        if not adequate:
+            # Overloaded: fall back to the fastest variant available.
+            return max(self.region.variants.values(),
+                       key=lambda v: v.throughput_gops)
+        work_gops = phase.required_gops_per_s * phase.duration_s
+
+        def total_energy(v: BitstreamVariant) -> float:
+            switch = 0.0
+            if self.region.loaded != v.name:
+                switch = (self.region.reconfig_time_s(v.name)
+                          * self.region.reconfig_power_w)
+            busy = v.energy_j(work_gops)
+            idle = max(0.0, phase.duration_s - v.process_seconds(work_gops))
+            return switch + busy + idle * 0.2 * v.power_w
+
+        return min(adequate, key=total_energy)
+
+
+def default_dl_region() -> ReconfigurableRegion:
+    """A representative region with small/medium/large DPU overlay variants."""
+    return ReconfigurableRegion("dl-region", (
+        BitstreamVariant("dpu-small", throughput_gops=230, power_w=2.0,
+                         bitstream_mb=4.0),
+        BitstreamVariant("dpu-medium", throughput_gops=700, power_w=5.0,
+                         bitstream_mb=8.0),
+        BitstreamVariant("dpu-large", throughput_gops=1400, power_w=11.0,
+                         bitstream_mb=14.0),
+    ))

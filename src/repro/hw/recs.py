@@ -1,0 +1,226 @@
+"""RECS platform models: RECS|Box, t.RECS, and uRECS chassis.
+
+The paper's hardware pillar (Sec. II): three modular chassis spanning cloud
+(RECS|Box), near-edge (t.RECS) and embedded/far-edge (uRECS, < 15 W).  A
+chassis accepts microservers in specific form factors, enforces a power
+budget, and provides the communication fabric.  Composition errors (wrong
+form factor, blown power budget, full slots) are rejected — the "modular
+and scalable" claim means arbitrary *valid* populations must compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .microserver import Microserver, get_form_factor
+from .network import Fabric, LinkKind
+
+
+class CompositionError(ValueError):
+    """Raised when a chassis population violates platform constraints."""
+
+
+@dataclass(frozen=True)
+class ChassisSpec:
+    """Static description of a RECS chassis variant."""
+
+    name: str
+    num_slots: int
+    accepted_form_factors: Tuple[str, ...]
+    power_budget_w: float
+    base_power_w: float          # fans, BMC, switch fabric
+    fabric_links: Tuple[LinkKind, ...]
+    target: str                  # cloud / near edge / far edge
+
+    def accepts(self, microserver: Microserver) -> bool:
+        return microserver.form_factor.lower() in tuple(
+            ff.lower() for ff in self.accepted_form_factors
+        )
+
+
+RECS_BOX = ChassisSpec(
+    name="RECS|Box",
+    num_slots=15,
+    accepted_form_factors=("COM-Express-Basic", "COM-Express-Compact",
+                           "COM-Express-Mini"),
+    power_budget_w=1600.0,
+    base_power_w=120.0,
+    fabric_links=(LinkKind.ETH_1G, LinkKind.ETH_10G, LinkKind.HIGH_SPEED_LL),
+    target="cloud",
+)
+
+T_RECS = ChassisSpec(
+    name="t.RECS",
+    num_slots=3,
+    accepted_form_factors=("COM-HPC-Server", "COM-HPC-Client",
+                           "COM-Express-Basic"),
+    power_budget_w=900.0,
+    base_power_w=60.0,
+    fabric_links=(LinkKind.ETH_1G, LinkKind.ETH_10G, LinkKind.HIGH_SPEED_LL),
+    target="near edge",
+)
+
+U_RECS = ChassisSpec(
+    name="uRECS",
+    num_slots=2,
+    accepted_form_factors=("SMARC", "Jetson-SODIMM", "Kria-SOM",
+                           "RaspberryPi-CM4"),
+    power_budget_w=15.0,
+    base_power_w=1.5,
+    fabric_links=(LinkKind.ETH_1G, LinkKind.USB3, LinkKind.M2),
+    target="embedded / far edge",
+)
+
+ALL_CHASSIS: Tuple[ChassisSpec, ...] = (RECS_BOX, T_RECS, U_RECS)
+
+
+@dataclass
+class SlotState:
+    """Occupancy of one chassis slot."""
+
+    index: int
+    microserver: Optional[Microserver] = None
+    powered: bool = False
+
+
+class Chassis:
+    """A populated RECS chassis instance.
+
+    Supports run-time exchange of compute resources (paper Sec. II-A:
+    "easy exchange of computing resources and seamless switching between
+    the different heterogeneous components").
+    """
+
+    def __init__(self, spec: ChassisSpec) -> None:
+        self.spec = spec
+        self.slots: List[SlotState] = [SlotState(i) for i in range(spec.num_slots)]
+        self.fabric = Fabric(spec.fabric_links)
+
+    # -- population ------------------------------------------------------------
+
+    def insert(self, microserver: Microserver,
+               slot: Optional[int] = None) -> int:
+        """Insert a microserver; returns the slot index used."""
+        if not self.spec.accepts(microserver):
+            raise CompositionError(
+                f"{self.spec.name} does not accept form factor "
+                f"{microserver.form_factor!r} (accepted: "
+                f"{list(self.spec.accepted_form_factors)})"
+            )
+        if slot is None:
+            free = [s for s in self.slots if s.microserver is None]
+            if not free:
+                raise CompositionError(f"{self.spec.name}: all slots occupied")
+            target = free[0]
+        else:
+            target = self._slot(slot)
+            if target.microserver is not None:
+                raise CompositionError(
+                    f"{self.spec.name}: slot {slot} already occupied"
+                )
+        budget_after = self.worst_case_power_w + microserver.tdp_w
+        if budget_after > self.spec.power_budget_w:
+            raise CompositionError(
+                f"{self.spec.name}: inserting {microserver.name} would draw "
+                f"{budget_after:.1f} W > budget {self.spec.power_budget_w} W"
+            )
+        target.microserver = microserver
+        target.powered = True
+        self.fabric.attach(microserver.name)
+        return target.index
+
+    def remove(self, slot: int) -> Microserver:
+        """Hot-remove the microserver in ``slot``."""
+        state = self._slot(slot)
+        if state.microserver is None:
+            raise CompositionError(f"{self.spec.name}: slot {slot} is empty")
+        removed = state.microserver
+        state.microserver = None
+        state.powered = False
+        self.fabric.detach(removed.name)
+        return removed
+
+    def exchange(self, slot: int, replacement: Microserver) -> Microserver:
+        """Swap the module in ``slot`` for ``replacement`` (run-time exchange)."""
+        old = self.remove(slot)
+        try:
+            self.insert(replacement, slot)
+        except CompositionError:
+            self.insert(old, slot)  # roll back to a consistent state
+            raise
+        return old
+
+    def set_powered(self, slot: int, powered: bool) -> None:
+        state = self._slot(slot)
+        if state.microserver is None:
+            raise CompositionError(f"{self.spec.name}: slot {slot} is empty")
+        state.powered = powered
+
+    def _slot(self, index: int) -> SlotState:
+        if not 0 <= index < len(self.slots):
+            raise CompositionError(
+                f"{self.spec.name}: slot {index} out of range "
+                f"(0..{len(self.slots) - 1})"
+            )
+        return self.slots[index]
+
+    # -- accounting ------------------------------------------------------------------
+
+    @property
+    def microservers(self) -> List[Microserver]:
+        return [s.microserver for s in self.slots if s.microserver is not None]
+
+    @property
+    def worst_case_power_w(self) -> float:
+        """Base power plus TDP of every inserted module (budget check basis)."""
+        return self.spec.base_power_w + sum(
+            s.microserver.tdp_w for s in self.slots if s.microserver
+        )
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.spec.base_power_w + sum(
+            s.microserver.idle_w for s in self.slots
+            if s.microserver and s.powered
+        )
+
+    def inventory(self) -> str:
+        """Human-readable chassis population table."""
+        lines = [
+            f"{self.spec.name} ({self.spec.target}): "
+            f"{len(self.microservers)}/{self.spec.num_slots} slots, "
+            f"worst-case {self.worst_case_power_w:.1f} W / "
+            f"{self.spec.power_budget_w:.0f} W budget"
+        ]
+        for state in self.slots:
+            if state.microserver is None:
+                lines.append(f"  slot {state.index}: (empty)")
+            else:
+                ms = state.microserver
+                power = "on" if state.powered else "off"
+                lines.append(
+                    f"  slot {state.index}: {ms.name} [{ms.form_factor}] "
+                    f"{ms.spec.name} {ms.tdp_w:.0f} W ({power})"
+                )
+        return "\n".join(lines)
+
+
+def build_reference_urecs() -> Chassis:
+    """The uRECS population used by the embedded use cases (< 15 W total)."""
+    from .microserver import reference_microserver
+
+    chassis = Chassis(U_RECS)
+    chassis.insert(reference_microserver("zu3-smarc"))
+    chassis.insert(reference_microserver("imx8m-smarc"))
+    return chassis
+
+
+def build_reference_trecs() -> Chassis:
+    """A t.RECS population for near-edge offload targets."""
+    from .microserver import reference_microserver
+
+    chassis = Chassis(T_RECS)
+    chassis.insert(reference_microserver("epyc-com-express"))
+    chassis.insert(reference_microserver("xeon-d-com-express"))
+    return chassis

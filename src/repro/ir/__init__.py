@@ -1,0 +1,39 @@
+"""ONNX-like model intermediate representation.
+
+The IR is the interchange format of the reproduction's toolchain, playing
+the role ONNX plays in VEDLIoT (paper Sec. III): a static dataflow graph
+with typed tensors, shape inference, cost accounting, and bit-exact
+serialization, plus a zoo of the reference models used in the evaluation.
+"""
+
+from .tensor import (
+    DType,
+    ShapeError,
+    TensorSpec,
+    broadcast_shapes,
+    conv2d_output_shape,
+    pool2d_output_shape,
+)
+from .ops import OpCost, OpSchema, get_op, register_op, registered_ops
+from .graph import Graph, GraphError, Node
+from .builder import GraphBuilder
+from .serialization import (
+    SerializationError,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads,
+    save_graph,
+)
+from .model_zoo import available_models, build_model, register_model
+
+__all__ = [
+    "DType", "ShapeError", "TensorSpec", "broadcast_shapes",
+    "conv2d_output_shape", "pool2d_output_shape",
+    "OpCost", "OpSchema", "get_op", "register_op", "registered_ops",
+    "Graph", "GraphError", "Node", "GraphBuilder",
+    "SerializationError", "dumps", "graph_from_dict", "graph_to_dict",
+    "load_graph", "loads", "save_graph",
+    "available_models", "build_model", "register_model",
+]

@@ -1,0 +1,224 @@
+"""Fluent builder for constructing IR graphs layer by layer.
+
+The builder keeps track of the "current" tensor so typical feed-forward
+backbones read top-to-bottom, while still exposing explicit tensor handles
+for branchy topologies (residual connections, detection heads).  Weights
+are initialized from a seeded generator so models are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .graph import Graph
+from .tensor import DType, TensorSpec
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`~repro.ir.graph.Graph`.
+
+    Parameters
+    ----------
+    name
+        Graph name (also used to prefix generated tensor names).
+    seed
+        Seed for weight initialization; fixed default keeps model zoo
+        construction deterministic across runs.
+    """
+
+    def __init__(self, name: str = "graph", seed: int = 0) -> None:
+        self.graph = Graph(name)
+        self.rng = np.random.default_rng(seed)
+        self._counter = 0
+        # Incrementally-maintained tensor specs: avoids re-running whole-graph
+        # shape inference for every layer added (quadratic on deep models).
+        self._specs = {}
+
+    def spec(self, tensor: str) -> TensorSpec:
+        """Spec of a tensor already present in the graph under construction."""
+        return self._specs[tensor]
+
+    # -- naming ---------------------------------------------------------------
+
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    # -- inputs and raw tensors -------------------------------------------------
+
+    def input(
+        self, name: str, shape: Sequence[int], dtype: DType = DType.FP32
+    ) -> str:
+        spec = TensorSpec(name, tuple(shape), dtype)
+        self.graph.add_input(spec)
+        self._specs[name] = spec
+        return name
+
+    def constant(
+        self, value: np.ndarray, name: Optional[str] = None,
+        dtype: Optional[DType] = None,
+    ) -> str:
+        name = name or self._fresh("const")
+        self.graph.add_initializer(name, value, dtype)
+        stored = self.graph.initializers[name]
+        logical = self.graph.initializer_dtypes[name]
+        self._specs[name] = TensorSpec(name, stored.shape, logical)
+        return name
+
+    def weight(
+        self, shape: Sequence[int], name: Optional[str] = None, scale: float = 0.05
+    ) -> str:
+        """Create a randomly-initialized FP32 weight initializer."""
+        value = self.rng.normal(0.0, scale, size=tuple(shape)).astype(np.float32)
+        return self.constant(value, name=name)
+
+    def op(
+        self, op_type: str, inputs: Sequence[str], num_outputs: int = 1,
+        name: Optional[str] = None, **attrs,
+    ) -> Union[str, List[str]]:
+        """Add a raw node; returns its output name(s)."""
+        node_name = name or self._fresh(op_type)
+        outputs = [f"{node_name}_out{i}" if num_outputs > 1 else f"{node_name}_out"
+                   for i in range(num_outputs)]
+        node = self.graph.add_node(op_type, inputs, outputs, name=node_name, **attrs)
+        in_specs = [self._specs[i] for i in inputs]
+        out_specs = node.schema.infer(in_specs, node.attrs)
+        for tensor_name, spec in zip(outputs, out_specs):
+            self._specs[tensor_name] = spec.with_name(tensor_name)
+        return outputs[0] if num_outputs == 1 else outputs
+
+    # -- layers -----------------------------------------------------------------
+
+    def conv2d(
+        self, data: str, out_channels: int, kernel: IntOrPair,
+        stride: IntOrPair = 1, padding: IntOrPair = 0, groups: int = 1,
+        bias: bool = True, name: Optional[str] = None,
+    ) -> str:
+        in_channels = self._specs[data].shape[1]
+        if in_channels % groups:
+            raise ValueError(
+                f"groups={groups} does not divide input channels {in_channels}"
+            )
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        node_name = name or self._fresh("conv")
+        w = self.weight((out_channels, in_channels // groups, kh, kw),
+                        name=f"{node_name}_w")
+        inputs = [data, w]
+        if bias:
+            b = self.constant(np.zeros(out_channels, dtype=np.float32),
+                              name=f"{node_name}_b")
+            inputs.append(b)
+        return self.op("conv2d", inputs, name=node_name,
+                       stride=stride, padding=padding, groups=groups)
+
+    def depthwise_conv2d(
+        self, data: str, kernel: IntOrPair, stride: IntOrPair = 1,
+        padding: IntOrPair = 0, name: Optional[str] = None,
+    ) -> str:
+        """Depthwise convolution: groups == channels."""
+        channels = self._specs[data].shape[1]
+        return self.conv2d(data, channels, kernel, stride=stride,
+                           padding=padding, groups=channels, name=name)
+
+    def batchnorm(self, data: str, name: Optional[str] = None) -> str:
+        channels = self._specs[data].shape[1]
+        node_name = name or self._fresh("bn")
+        gamma = self.constant(
+            np.abs(self.rng.normal(1.0, 0.1, channels)).astype(np.float32) + 0.1,
+            name=f"{node_name}_gamma")
+        beta = self.constant(
+            self.rng.normal(0.0, 0.1, channels).astype(np.float32),
+            name=f"{node_name}_beta")
+        mean = self.constant(
+            self.rng.normal(0.0, 0.1, channels).astype(np.float32),
+            name=f"{node_name}_mean")
+        var = self.constant(
+            np.abs(self.rng.normal(1.0, 0.1, channels)).astype(np.float32) + 0.1,
+            name=f"{node_name}_var")
+        return self.op("batchnorm", [data, gamma, beta, mean, var],
+                       name=node_name, epsilon=1e-5)
+
+    def dense(
+        self, data: str, out_features: int, bias: bool = True,
+        name: Optional[str] = None,
+    ) -> str:
+        in_features = self._specs[data].shape[-1]
+        node_name = name or self._fresh("dense")
+        w = self.weight((out_features, in_features), name=f"{node_name}_w")
+        inputs = [data, w]
+        if bias:
+            b = self.constant(np.zeros(out_features, dtype=np.float32),
+                              name=f"{node_name}_b")
+            inputs.append(b)
+        return self.op("dense", inputs, name=node_name)
+
+    def activation(self, data: str, kind: str = "relu",
+                   name: Optional[str] = None, **attrs) -> str:
+        return self.op(kind, [data], name=name, **attrs)
+
+    def relu(self, data: str, name: Optional[str] = None) -> str:
+        return self.op("relu", [data], name=name)
+
+    def maxpool2d(self, data: str, kernel: IntOrPair, stride: IntOrPair = None,
+                  padding: IntOrPair = 0, name: Optional[str] = None) -> str:
+        stride = kernel if stride is None else stride
+        return self.op("maxpool2d", [data], name=name,
+                       kernel=kernel, stride=stride, padding=padding)
+
+    def avgpool2d(self, data: str, kernel: IntOrPair, stride: IntOrPair = None,
+                  padding: IntOrPair = 0, name: Optional[str] = None) -> str:
+        stride = kernel if stride is None else stride
+        return self.op("avgpool2d", [data], name=name,
+                       kernel=kernel, stride=stride, padding=padding)
+
+    def global_avgpool2d(self, data: str, name: Optional[str] = None) -> str:
+        return self.op("global_avgpool2d", [data], name=name)
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.op("add", [a, b], name=name)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.op("mul", [a, b], name=name)
+
+    def concat(self, tensors: Sequence[str], axis: int = 1,
+               name: Optional[str] = None) -> str:
+        return self.op("concat", list(tensors), name=name, axis=axis)
+
+    def flatten(self, data: str, name: Optional[str] = None) -> str:
+        return self.op("flatten", [data], name=name)
+
+    def upsample2d(self, data: str, scale: int, name: Optional[str] = None) -> str:
+        return self.op("upsample2d", [data], name=name, scale=scale)
+
+    def softmax(self, data: str, name: Optional[str] = None) -> str:
+        return self.op("softmax", [data], name=name)
+
+    # -- composite blocks ---------------------------------------------------------
+
+    def conv_bn_act(
+        self, data: str, out_channels: int, kernel: IntOrPair,
+        stride: IntOrPair = 1, padding: IntOrPair = 0, groups: int = 1,
+        act: str = "relu", name: Optional[str] = None,
+    ) -> str:
+        """conv2d + batchnorm + activation — the canonical fusable triple."""
+        stem = name or self._fresh("block")
+        x = self.conv2d(data, out_channels, kernel, stride=stride,
+                        padding=padding, groups=groups, bias=False,
+                        name=f"{stem}_conv")
+        x = self.batchnorm(x, name=f"{stem}_bn")
+        if act and act != "identity":
+            x = self.activation(x, act, name=f"{stem}_{act}")
+        return x
+
+    # -- finalization ---------------------------------------------------------------
+
+    def finish(self, outputs: Union[str, Sequence[str]]) -> Graph:
+        if isinstance(outputs, str):
+            outputs = [outputs]
+        self.graph.set_outputs(list(outputs))
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,308 @@
+"""Computational graph for the ONNX-like IR.
+
+A :class:`Graph` holds a list of :class:`Node` objects in topological order,
+named input/output tensors, and initializers (weights, as numpy arrays).
+The graph knows how to validate itself, infer every intermediate tensor
+spec, and total the arithmetic/parameter/memory cost of one inference —
+the quantities the VEDLIoT toolchain optimizes (Sec. III) and the hardware
+performance model consumes (Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .ops import Attrs, OpCost, get_op
+from .tensor import DType, ShapeError, TensorSpec
+
+
+class GraphError(ValueError):
+    """Raised when a graph is structurally invalid."""
+
+
+@dataclass
+class Node:
+    """One operator instance in the graph."""
+
+    name: str
+    op_type: str
+    inputs: List[str]
+    outputs: List[str]
+    attrs: Attrs = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("node name must be non-empty")
+        if not self.outputs:
+            raise GraphError(f"node {self.name!r} must produce at least one output")
+        # Validates op existence, arity, and required attributes eagerly so
+        # malformed nodes fail at construction, not deep inside a pass.
+        schema = get_op(self.op_type)
+        schema.check_arity(len(self.inputs))
+        schema.check_attrs(self.attrs)
+
+    @property
+    def schema(self):
+        return get_op(self.op_type)
+
+
+class Graph:
+    """A static dataflow graph over named tensors.
+
+    Nodes must be added in topological order (every input either a graph
+    input, an initializer, or an output of an earlier node); :meth:`validate`
+    enforces this invariant, and the mutation helpers preserve it.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.inputs: List[TensorSpec] = []
+        self.output_names: List[str] = []
+        self.nodes: List[Node] = []
+        self.initializers: Dict[str, np.ndarray] = {}
+        # Optional dtype override for initializers whose storage dtype
+        # differs from their logical dtype (e.g. BINARY stored as int8).
+        self.initializer_dtypes: Dict[str, DType] = {}
+        self.metadata: Dict[str, Any] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_input(self, spec: TensorSpec) -> TensorSpec:
+        if any(existing.name == spec.name for existing in self.inputs):
+            raise GraphError(f"duplicate graph input {spec.name!r}")
+        self.inputs.append(spec)
+        return spec
+
+    def add_initializer(
+        self, name: str, value: np.ndarray, dtype: Optional[DType] = None
+    ) -> str:
+        if name in self.initializers:
+            raise GraphError(f"duplicate initializer {name!r}")
+        value = np.asarray(value)
+        if dtype is None:
+            dtype = DType.from_numpy(value.dtype)
+        self.initializers[name] = value.astype(dtype.to_numpy(), copy=False)
+        self.initializer_dtypes[name] = dtype
+        return name
+
+    def add_node(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        name: Optional[str] = None,
+        **attrs: Any,
+    ) -> Node:
+        node = Node(
+            name=name or f"{op_type}_{len(self.nodes)}",
+            op_type=op_type,
+            inputs=list(inputs),
+            outputs=list(outputs),
+            attrs=attrs,
+        )
+        if any(existing.name == node.name for existing in self.nodes):
+            raise GraphError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+        return node
+
+    def set_outputs(self, names: Sequence[str]) -> None:
+        self.output_names = list(names)
+
+    # -- structure queries --------------------------------------------------
+
+    def input_names(self) -> List[str]:
+        return [spec.name for spec in self.inputs]
+
+    def producer_map(self) -> Dict[str, Node]:
+        """Map from tensor name to the node that produces it."""
+        producers: Dict[str, Node] = {}
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in producers:
+                    raise GraphError(f"tensor {out!r} produced twice")
+                producers[out] = node
+        return producers
+
+    def consumer_map(self) -> Dict[str, List[Node]]:
+        """Map from tensor name to the nodes that consume it."""
+        consumers: Dict[str, List[Node]] = {}
+        for node in self.nodes:
+            for inp in node.inputs:
+                consumers.setdefault(inp, []).append(node)
+        return consumers
+
+    def node_by_name(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- validation and inference -------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure."""
+        if not self.inputs:
+            raise GraphError(f"graph {self.name!r} has no inputs")
+        if not self.output_names:
+            raise GraphError(f"graph {self.name!r} has no outputs")
+        available: Set[str] = set(self.input_names()) | set(self.initializers)
+        overlap = set(self.input_names()) & set(self.initializers)
+        if overlap:
+            raise GraphError(f"names are both inputs and initializers: {overlap}")
+        seen_nodes: Set[str] = set()
+        for node in self.nodes:
+            if node.name in seen_nodes:
+                raise GraphError(f"duplicate node name {node.name!r}")
+            seen_nodes.add(node.name)
+            for inp in node.inputs:
+                if inp not in available:
+                    raise GraphError(
+                        f"node {node.name!r} reads {inp!r} before it is produced "
+                        "(graph is not in topological order, or tensor is missing)"
+                    )
+            for out in node.outputs:
+                if out in available:
+                    raise GraphError(
+                        f"node {node.name!r} redefines tensor {out!r}"
+                    )
+                available.add(out)
+        for out in self.output_names:
+            if out not in available:
+                raise GraphError(f"graph output {out!r} is never produced")
+        self.infer_specs()
+
+    def infer_specs(self) -> Dict[str, TensorSpec]:
+        """Infer the spec of every tensor in the graph.
+
+        Returns a map from tensor name to :class:`TensorSpec`; raises
+        :class:`ShapeError` if any node's inputs are inconsistent.
+        """
+        specs: Dict[str, TensorSpec] = {spec.name: spec for spec in self.inputs}
+        for name, value in self.initializers.items():
+            dtype = self.initializer_dtypes.get(name, DType.from_numpy(value.dtype))
+            specs[name] = TensorSpec(name, value.shape, dtype)
+        for node in self.nodes:
+            try:
+                in_specs = [specs[i] for i in node.inputs]
+            except KeyError as exc:
+                raise GraphError(
+                    f"node {node.name!r} reads unknown tensor {exc.args[0]!r}"
+                ) from None
+            try:
+                out_specs = node.schema.infer(in_specs, node.attrs)
+            except ShapeError as exc:
+                raise ShapeError(f"in node {node.name!r}: {exc}") from None
+            if len(out_specs) != len(node.outputs):
+                raise GraphError(
+                    f"node {node.name!r} declares {len(node.outputs)} outputs but "
+                    f"schema inferred {len(out_specs)}"
+                )
+            for tensor_name, spec in zip(node.outputs, out_specs):
+                specs[tensor_name] = spec.with_name(tensor_name)
+        return specs
+
+    # -- cost accounting -----------------------------------------------------
+
+    def node_cost(self, node: Node, specs: Optional[Dict[str, TensorSpec]] = None) -> OpCost:
+        specs = specs or self.infer_specs()
+        in_specs = [specs[i] for i in node.inputs]
+        out_specs = [specs[o] for o in node.outputs]
+        return node.schema.cost(in_specs, out_specs, node.attrs)
+
+    def total_cost(self) -> OpCost:
+        """Aggregate cost of one inference over the whole graph."""
+        specs = self.infer_specs()
+        total = OpCost()
+        for node in self.nodes:
+            total = total + self.node_cost(node, specs)
+        return total
+
+    def per_node_cost(self) -> List[Tuple[Node, OpCost]]:
+        specs = self.infer_specs()
+        return [(node, self.node_cost(node, specs)) for node in self.nodes]
+
+    def num_parameters(self) -> int:
+        return int(sum(v.size for v in self.initializers.values()))
+
+    def parameter_bytes(self) -> int:
+        specs = self.infer_specs()
+        return sum(specs[name].size_bytes for name in self.initializers)
+
+    # -- mutation helpers for optimizer passes --------------------------------
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node``; callers must have rewired its consumers first."""
+        self.nodes.remove(node)
+
+    def remove_initializer(self, name: str) -> np.ndarray:
+        self.initializer_dtypes.pop(name, None)
+        return self.initializers.pop(name)
+
+    def rename_tensor(self, old: str, new: str) -> None:
+        """Rewire every use of tensor ``old`` to ``new``."""
+        for node in self.nodes:
+            node.inputs = [new if t == old else t for t in node.inputs]
+        self.output_names = [new if t == old else t for t in self.output_names]
+
+    def prune_dead_nodes(self) -> int:
+        """Drop nodes whose outputs reach no graph output; return count removed."""
+        needed: Set[str] = set(self.output_names)
+        keep: List[Node] = []
+        for node in reversed(self.nodes):
+            if any(out in needed for out in node.outputs):
+                keep.append(node)
+                needed.update(node.inputs)
+        keep.reverse()
+        removed = len(self.nodes) - len(keep)
+        self.nodes = keep
+        for name in [n for n in self.initializers if n not in needed]:
+            self.remove_initializer(name)
+        return removed
+
+    def copy(self) -> "Graph":
+        """Deep-copy the graph (weights are copied, not aliased)."""
+        g = Graph(self.name)
+        g.inputs = list(self.inputs)
+        g.output_names = list(self.output_names)
+        g.metadata = dict(self.metadata)
+        g.initializers = {k: v.copy() for k, v in self.initializers.items()}
+        g.initializer_dtypes = dict(self.initializer_dtypes)
+        g.nodes = [
+            Node(n.name, n.op_type, list(n.inputs), list(n.outputs), dict(n.attrs))
+            for n in self.nodes
+        ]
+        return g
+
+    def with_batch(self, batch: int) -> "Graph":
+        """Copy of the graph with every input's leading dimension rebatched.
+
+        All registered ops infer shapes from their inputs, so rebatching
+        the graph inputs is sufficient (graphs using ``reshape`` with a
+        hard-coded batch dimension would need rebuilding instead; the
+        model zoo avoids that).  Validates the result.
+        """
+        g = self.copy()
+        g.inputs = [spec.with_batch(batch) for spec in g.inputs]
+        g.validate()
+        return g
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-node description."""
+        specs = self.infer_specs()
+        lines = [f"graph {self.name!r}: {len(self.nodes)} nodes, "
+                 f"{self.num_parameters():,} params"]
+        for node in self.nodes:
+            outs = ", ".join(
+                f"{o}{list(specs[o].shape)}" for o in node.outputs
+            )
+            lines.append(f"  {node.name:<28} {node.op_type:<16} -> {outs}")
+        return "\n".join(lines)

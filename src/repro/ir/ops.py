@@ -1,0 +1,548 @@
+"""Operator schemas for the IR: arity, attributes, shape inference, and cost.
+
+Each operator registered here knows how to infer its output spec from its
+input specs and how to count the work it performs (multiply-accumulates,
+total floating/integer operations, parameter count, and memory traffic).
+These counts drive both the optimizer (Sec. III: "theoretical speed-ups
+based on metrics, e.g. number of operations") and the hardware performance
+model that reproduces Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import (
+    DType,
+    ShapeError,
+    TensorSpec,
+    broadcast_shapes,
+    conv2d_output_shape,
+    pool2d_output_shape,
+)
+
+Attrs = Dict[str, Any]
+InferFn = Callable[[Sequence[TensorSpec], Attrs], List[TensorSpec]]
+CostFn = Callable[[Sequence[TensorSpec], Sequence[TensorSpec], Attrs], "OpCost"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Work performed by one node evaluation.
+
+    macs
+        Multiply-accumulate count (the unit vendors quote; 1 MAC = 2 ops).
+    ops
+        Total arithmetic operations.  For MAC-dominated layers this is
+        ``2 * macs``; element-wise layers contribute their element count.
+    params
+        Number of learned parameters consumed by the node.
+    activation_bytes
+        Bytes of activations read plus written (memory traffic excluding
+        weights), assuming each input is read once and each output written
+        once.
+    weight_bytes
+        Bytes of parameters streamed from memory.
+    """
+
+    macs: int = 0
+    ops: int = 0
+    params: int = 0
+    activation_bytes: int = 0
+    weight_bytes: int = 0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.macs + other.macs,
+            self.ops + other.ops,
+            self.params + other.params,
+            self.activation_bytes + other.activation_bytes,
+            self.weight_bytes + other.weight_bytes,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.activation_bytes + self.weight_bytes
+
+
+@dataclass(frozen=True)
+class OpSchema:
+    """Static description of an operator kind."""
+
+    name: str
+    min_inputs: int
+    max_inputs: int
+    infer: InferFn
+    cost: CostFn
+    required_attrs: Tuple[str, ...] = ()
+    elementwise: bool = False
+    activation: bool = False
+
+    def check_arity(self, num_inputs: int) -> None:
+        if not (self.min_inputs <= num_inputs <= self.max_inputs):
+            raise ShapeError(
+                f"{self.name} expects between {self.min_inputs} and "
+                f"{self.max_inputs} inputs, got {num_inputs}"
+            )
+
+    def check_attrs(self, attrs: Attrs) -> None:
+        missing = [a for a in self.required_attrs if a not in attrs]
+        if missing:
+            raise ValueError(f"{self.name} missing required attrs: {missing}")
+
+
+_REGISTRY: Dict[str, OpSchema] = {}
+
+
+def register_op(schema: OpSchema) -> OpSchema:
+    if schema.name in _REGISTRY:
+        raise ValueError(f"operator {schema.name!r} already registered")
+    _REGISTRY[schema.name] = schema
+    return schema
+
+
+def get_op(name: str) -> OpSchema:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}") from None
+
+
+def registered_ops() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _act_bytes(inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec]) -> int:
+    return sum(t.size_bytes for t in inputs) + sum(t.size_bytes for t in outputs)
+
+
+def _pair(value: Any) -> Tuple[int, int]:
+    """Normalize an int-or-pair attribute to a pair."""
+    if isinstance(value, (tuple, list)):
+        a, b = value
+        return int(a), int(b)
+    return int(value), int(value)
+
+
+# --------------------------------------------------------------------------
+# Convolution family
+# --------------------------------------------------------------------------
+
+def _infer_conv2d(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data, weight = inputs[0], inputs[1]
+    if weight.rank != 4:
+        raise ShapeError(f"conv2d weight must be OIHW, got shape {weight.shape}")
+    out_c, in_c, kh, kw = weight.shape
+    groups = int(attrs.get("groups", 1))
+    if data.shape[1] != in_c * groups:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {data.shape[1]} channels, "
+            f"weight expects {in_c * groups} (groups={groups})"
+        )
+    if len(inputs) == 3 and inputs[2].shape != (out_c,):
+        raise ShapeError(
+            f"conv2d bias shape {inputs[2].shape} != ({out_c},)"
+        )
+    shape = conv2d_output_shape(
+        data.shape,
+        out_c,
+        (kh, kw),
+        _pair(attrs.get("stride", 1)),
+        _pair(attrs.get("padding", 0)),
+    )
+    return [TensorSpec("out", shape, data.dtype)]
+
+
+def _cost_conv2d(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    weight = inputs[1]
+    out = outputs[0]
+    out_c, in_c, kh, kw = weight.shape
+    macs = int(np.prod(out.shape, dtype=np.int64)) * in_c * kh * kw
+    params = weight.num_elements + (inputs[2].num_elements if len(inputs) > 2 else 0)
+    weight_bytes = sum(t.size_bytes for t in inputs[1:])
+    acts = inputs[0].size_bytes + out.size_bytes
+    return OpCost(macs=macs, ops=2 * macs, params=params,
+                  activation_bytes=acts, weight_bytes=weight_bytes)
+
+
+register_op(OpSchema(
+    name="conv2d", min_inputs=2, max_inputs=3,
+    infer=_infer_conv2d, cost=_cost_conv2d,
+))
+
+
+def _infer_dense(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data, weight = inputs[0], inputs[1]
+    if weight.rank != 2:
+        raise ShapeError(f"dense weight must be 2-D (out, in), got {weight.shape}")
+    out_f, in_f = weight.shape
+    if data.shape[-1] != in_f:
+        raise ShapeError(
+            f"dense feature mismatch: input {data.shape} vs weight {weight.shape}"
+        )
+    if len(inputs) == 3 and inputs[2].shape != (out_f,):
+        raise ShapeError(f"dense bias shape {inputs[2].shape} != ({out_f},)")
+    shape = data.shape[:-1] + (out_f,)
+    return [TensorSpec("out", shape, data.dtype)]
+
+
+def _cost_dense(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    weight = inputs[1]
+    out = outputs[0]
+    out_f, in_f = weight.shape
+    batch = out.num_elements // out_f
+    macs = batch * out_f * in_f
+    params = weight.num_elements + (inputs[2].num_elements if len(inputs) > 2 else 0)
+    return OpCost(
+        macs=macs, ops=2 * macs, params=params,
+        activation_bytes=inputs[0].size_bytes + out.size_bytes,
+        weight_bytes=sum(t.size_bytes for t in inputs[1:]),
+    )
+
+
+register_op(OpSchema(
+    name="dense", min_inputs=2, max_inputs=3,
+    infer=_infer_dense, cost=_cost_dense,
+))
+
+
+def _infer_batchnorm(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    channels = data.shape[1] if data.rank >= 2 else data.shape[-1]
+    for param in inputs[1:]:
+        if param.shape != (channels,):
+            raise ShapeError(
+                f"batchnorm parameter shape {param.shape} != ({channels},)"
+            )
+    return [TensorSpec("out", data.shape, data.dtype)]
+
+
+def _cost_elementwise_like(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    n = outputs[0].num_elements
+    params = sum(t.num_elements for t in inputs[1:])
+    return OpCost(
+        macs=0, ops=n, params=params,
+        activation_bytes=inputs[0].size_bytes + outputs[0].size_bytes,
+        weight_bytes=sum(t.size_bytes for t in inputs[1:]),
+    )
+
+
+register_op(OpSchema(
+    name="batchnorm", min_inputs=5, max_inputs=5,
+    infer=_infer_batchnorm, cost=_cost_elementwise_like,
+))
+
+
+# --------------------------------------------------------------------------
+# Activations and element-wise ops
+# --------------------------------------------------------------------------
+
+def _infer_unary(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    return [TensorSpec("out", inputs[0].shape, inputs[0].dtype)]
+
+
+def _register_activation(name: str) -> None:
+    register_op(OpSchema(
+        name=name, min_inputs=1, max_inputs=1,
+        infer=_infer_unary, cost=_cost_elementwise_like,
+        elementwise=True, activation=True,
+    ))
+
+
+for _name in ("relu", "relu6", "leaky_relu", "sigmoid", "tanh",
+              "hardswish", "hardsigmoid", "mish", "identity"):
+    _register_activation(_name)
+
+
+register_op(OpSchema(
+    name="softmax", min_inputs=1, max_inputs=1,
+    infer=_infer_unary, cost=_cost_elementwise_like, elementwise=True,
+))
+
+
+def _infer_binary(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    a, b = inputs
+    if a.dtype != b.dtype:
+        raise ShapeError(f"binary op dtype mismatch: {a.dtype} vs {b.dtype}")
+    shape = broadcast_shapes(a.shape, b.shape, op="binary op")
+    return [TensorSpec("out", shape, a.dtype)]
+
+
+def _cost_binary(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    return OpCost(
+        ops=outputs[0].num_elements,
+        activation_bytes=_act_bytes(inputs, outputs),
+    )
+
+
+for _name in ("add", "sub", "mul", "maximum"):
+    register_op(OpSchema(
+        name=_name, min_inputs=2, max_inputs=2,
+        infer=_infer_binary, cost=_cost_binary, elementwise=True,
+    ))
+
+
+# --------------------------------------------------------------------------
+# Pooling and spatial ops
+# --------------------------------------------------------------------------
+
+def _infer_pool(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    kernel = _pair(attrs["kernel"])
+    stride = _pair(attrs.get("stride", kernel))
+    padding = _pair(attrs.get("padding", 0))
+    shape = pool2d_output_shape(inputs[0].shape, kernel, stride, padding)
+    return [TensorSpec("out", shape, inputs[0].dtype)]
+
+
+def _cost_pool(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    kh, kw = _pair(attrs["kernel"])
+    return OpCost(
+        ops=outputs[0].num_elements * kh * kw,
+        activation_bytes=_act_bytes(inputs, outputs),
+    )
+
+
+for _name in ("maxpool2d", "avgpool2d"):
+    register_op(OpSchema(
+        name=_name, min_inputs=1, max_inputs=1,
+        infer=_infer_pool, cost=_cost_pool, required_attrs=("kernel",),
+    ))
+
+
+def _infer_global_pool(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    if data.rank != 4:
+        raise ShapeError(f"global pool expects NCHW, got {data.shape}")
+    n, c = data.shape[:2]
+    return [TensorSpec("out", (n, c, 1, 1), data.dtype)]
+
+
+def _cost_global_pool(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    return OpCost(
+        ops=inputs[0].num_elements,
+        activation_bytes=_act_bytes(inputs, outputs),
+    )
+
+
+register_op(OpSchema(
+    name="global_avgpool2d", min_inputs=1, max_inputs=1,
+    infer=_infer_global_pool, cost=_cost_global_pool,
+))
+
+
+def _infer_upsample(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    if data.rank != 4:
+        raise ShapeError(f"upsample expects NCHW, got {data.shape}")
+    scale = int(attrs["scale"])
+    n, c, h, w = data.shape
+    return [TensorSpec("out", (n, c, h * scale, w * scale), data.dtype)]
+
+
+def _cost_copy(
+    inputs: Sequence[TensorSpec], outputs: Sequence[TensorSpec], attrs: Attrs
+) -> OpCost:
+    return OpCost(activation_bytes=_act_bytes(inputs, outputs))
+
+
+register_op(OpSchema(
+    name="upsample2d", min_inputs=1, max_inputs=1,
+    infer=_infer_upsample, cost=_cost_copy, required_attrs=("scale",),
+))
+
+
+# --------------------------------------------------------------------------
+# Shape manipulation
+# --------------------------------------------------------------------------
+
+def _infer_flatten(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    if data.rank < 1:
+        raise ShapeError("flatten expects at least rank-1 input")
+    n = data.shape[0]
+    rest = data.num_elements // max(n, 1) if n else 0
+    return [TensorSpec("out", (n, rest), data.dtype)]
+
+
+register_op(OpSchema(
+    name="flatten", min_inputs=1, max_inputs=1,
+    infer=_infer_flatten, cost=_cost_copy,
+))
+
+
+def _infer_reshape(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    shape = tuple(int(d) for d in attrs["shape"])
+    inferred = []
+    known = 1
+    for d in shape:
+        if d == -1:
+            inferred.append(d)
+        else:
+            known *= d
+    if len(inferred) > 1:
+        raise ShapeError(f"reshape allows at most one -1, got {shape}")
+    if inferred:
+        if known == 0 or data.num_elements % known:
+            raise ShapeError(
+                f"cannot reshape {data.shape} ({data.num_elements} elems) to {shape}"
+            )
+        shape = tuple(data.num_elements // known if d == -1 else d for d in shape)
+    if int(np.prod(shape, dtype=np.int64)) != data.num_elements:
+        raise ShapeError(
+            f"reshape element mismatch: {data.shape} -> {shape}"
+        )
+    return [TensorSpec("out", shape, data.dtype)]
+
+
+register_op(OpSchema(
+    name="reshape", min_inputs=1, max_inputs=1,
+    infer=_infer_reshape, cost=_cost_copy, required_attrs=("shape",),
+))
+
+
+def _infer_concat(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    axis = int(attrs.get("axis", 1))
+    first = inputs[0]
+    axis = axis % first.rank
+    for t in inputs[1:]:
+        if t.rank != first.rank:
+            raise ShapeError("concat inputs must have equal rank")
+        if t.dtype != first.dtype:
+            raise ShapeError("concat inputs must share dtype")
+        for i, (da, db) in enumerate(zip(first.shape, t.shape)):
+            if i != axis and da != db:
+                raise ShapeError(
+                    f"concat non-axis dims differ: {first.shape} vs {t.shape}"
+                )
+    total = sum(t.shape[axis] for t in inputs)
+    shape = first.shape[:axis] + (total,) + first.shape[axis + 1:]
+    return [TensorSpec("out", shape, first.dtype)]
+
+
+register_op(OpSchema(
+    name="concat", min_inputs=1, max_inputs=32,
+    infer=_infer_concat, cost=_cost_copy,
+))
+
+
+def _infer_pad(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    pads = attrs["pads"]
+    if len(pads) != data.rank:
+        raise ShapeError(f"pads must give (before, after) per dim of {data.shape}")
+    shape = tuple(
+        d + int(before) + int(after) for d, (before, after) in zip(data.shape, pads)
+    )
+    return [TensorSpec("out", shape, data.dtype)]
+
+
+register_op(OpSchema(
+    name="pad", min_inputs=1, max_inputs=1,
+    infer=_infer_pad, cost=_cost_copy, required_attrs=("pads",),
+))
+
+
+# --------------------------------------------------------------------------
+# Quantization interface ops
+# --------------------------------------------------------------------------
+
+def _infer_quantize(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    dtype = attrs.get("dtype", DType.INT8)
+    if isinstance(dtype, str):
+        dtype = DType(dtype)
+    if not dtype.is_quantized:
+        raise ValueError(f"quantize target must be a quantized dtype, got {dtype}")
+    return [TensorSpec("out", inputs[0].shape, dtype)]
+
+
+register_op(OpSchema(
+    name="quantize", min_inputs=1, max_inputs=1,
+    infer=_infer_quantize, cost=_cost_elementwise_like,
+    required_attrs=("scale", "zero_point"),
+))
+
+
+def _infer_dequantize(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    return [TensorSpec("out", inputs[0].shape, DType.FP32)]
+
+
+register_op(OpSchema(
+    name="dequantize", min_inputs=1, max_inputs=1,
+    infer=_infer_dequantize, cost=_cost_elementwise_like,
+    required_attrs=("scale", "zero_point"),
+))
+
+
+def _infer_qconv2d(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    specs = _infer_conv2d(inputs, attrs)
+    dtype = attrs.get("out_dtype", DType.INT8)
+    if isinstance(dtype, str):
+        dtype = DType(dtype)
+    return [specs[0].with_dtype(dtype)]
+
+
+register_op(OpSchema(
+    name="qconv2d", min_inputs=2, max_inputs=3,
+    infer=_infer_qconv2d, cost=_cost_conv2d,
+    required_attrs=("input_scale", "input_zero_point",
+                    "weight_scale", "weight_zero_point",
+                    "out_scale", "out_zero_point"),
+))
+
+
+def _infer_qdense(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    specs = _infer_dense(inputs, attrs)
+    dtype = attrs.get("out_dtype", DType.INT8)
+    if isinstance(dtype, str):
+        dtype = DType(dtype)
+    return [specs[0].with_dtype(dtype)]
+
+
+register_op(OpSchema(
+    name="qdense", min_inputs=2, max_inputs=3,
+    infer=_infer_qdense, cost=_cost_dense,
+    required_attrs=("input_scale", "input_zero_point",
+                    "weight_scale", "weight_zero_point",
+                    "out_scale", "out_zero_point"),
+))
+
+
+# --------------------------------------------------------------------------
+# Fused blocks produced by the optimizer
+# --------------------------------------------------------------------------
+
+def _infer_fused_conv(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    specs = _infer_conv2d(inputs, attrs)
+    return specs
+
+
+register_op(OpSchema(
+    name="fused_conv2d", min_inputs=2, max_inputs=3,
+    infer=_infer_fused_conv, cost=_cost_conv2d,
+))
+
+
+def _infer_fused_dense(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    return _infer_dense(inputs, attrs)
+
+
+register_op(OpSchema(
+    name="fused_dense", min_inputs=2, max_inputs=3,
+    infer=_infer_fused_dense, cost=_cost_dense,
+))

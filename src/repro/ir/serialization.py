@@ -1,0 +1,162 @@
+"""JSON-based model serialization — the interchange role ONNX plays in VEDLIoT.
+
+The paper (Sec. III) uses ONNX as the common representation so that training,
+optimization, compilation, and runtime frameworks can interoperate.  This
+module provides the equivalent for our IR: a stable on-disk format carrying
+the graph topology, attributes, and weights.  Weights are stored as base64
+raw buffers so round-trips are bit-exact.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from .graph import Graph, GraphError
+from .tensor import DType, TensorSpec
+
+FORMAT_NAME = "repro-ir"
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a serialized model is malformed or unsupported."""
+
+
+def _encode_attr(value: Any) -> Any:
+    if isinstance(value, DType):
+        return {"__dtype__": value.value}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_attr(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_attr(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__array__": _encode_array(value)}
+    return value
+
+
+def _decode_attr(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__dtype__" in value:
+            return DType(value["__dtype__"])
+        if "__tuple__" in value:
+            return tuple(_decode_attr(v) for v in value["__tuple__"])
+        if "__array__" in value:
+            return _decode_array(value["__array__"])
+        return {k: _decode_attr(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_attr(v) for v in value]
+    return value
+
+
+def _encode_array(value: np.ndarray) -> Dict[str, Any]:
+    value = np.ascontiguousarray(value)
+    return {
+        "dtype": str(value.dtype),
+        "shape": list(value.shape),
+        "data": base64.b64encode(value.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(entry: Dict[str, Any]) -> np.ndarray:
+    raw = base64.b64decode(entry["data"])
+    arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+    return arr.reshape(tuple(entry["shape"])).copy()
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Convert a graph to a JSON-serializable dictionary."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "metadata": _encode_attr(graph.metadata),
+        "inputs": [
+            {"name": s.name, "shape": list(s.shape), "dtype": s.dtype.value}
+            for s in graph.inputs
+        ],
+        "outputs": list(graph.output_names),
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": {k: _encode_attr(v) for k, v in n.attrs.items()},
+            }
+            for n in graph.nodes
+        ],
+        "initializers": {
+            name: dict(
+                _encode_array(value),
+                logical_dtype=graph.initializer_dtypes.get(
+                    name, DType.from_numpy(value.dtype)
+                ).value,
+            )
+            for name, value in graph.initializers.items()
+        },
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output; validates the result."""
+    if data.get("format") != FORMAT_NAME:
+        raise SerializationError(
+            f"not a {FORMAT_NAME} model (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r}"
+        )
+    graph = Graph(data.get("name", "graph"))
+    graph.metadata = _decode_attr(data.get("metadata", {})) or {}
+    for entry in data["inputs"]:
+        graph.add_input(
+            TensorSpec(entry["name"], tuple(entry["shape"]), DType(entry["dtype"]))
+        )
+    for name, entry in data.get("initializers", {}).items():
+        graph.add_initializer(
+            name, _decode_array(entry), DType(entry["logical_dtype"])
+        )
+    for entry in data["nodes"]:
+        attrs = {k: _decode_attr(v) for k, v in entry.get("attrs", {}).items()}
+        graph.add_node(
+            entry["op_type"], entry["inputs"], entry["outputs"],
+            name=entry["name"], **attrs,
+        )
+    graph.set_outputs(data["outputs"])
+    try:
+        graph.validate()
+    except (GraphError, ValueError) as exc:
+        raise SerializationError(f"deserialized graph is invalid: {exc}") from exc
+    return graph
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> Path:
+    """Serialize ``graph`` to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph)))
+    return path
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def dumps(graph: Graph) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(graph_to_dict(graph))
+
+
+def loads(text: str) -> Graph:
+    """Deserialize from a JSON string."""
+    return graph_from_dict(json.loads(text))

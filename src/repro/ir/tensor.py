@@ -1,0 +1,201 @@
+"""Tensor types for the ONNX-like model IR.
+
+The VEDLIoT toolchain exchanges models in an open interchange format and
+optimizes them for targets whose native precision ranges from FP32 down to
+binary weights (paper, Sec. II-C and III).  This module defines the dtype
+lattice and the static tensor specification used throughout the IR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DType(Enum):
+    """Numeric types supported by the IR and the hardware catalog."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT32 = "int32"
+    INT8 = "int8"
+    UINT8 = "uint8"
+    BINARY = "binary"
+    BOOL = "bool"
+
+    @property
+    def bits(self) -> int:
+        """Storage width in bits of one element."""
+        return _DTYPE_BITS[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.FP32, DType.FP16)
+
+    @property
+    def is_quantized(self) -> bool:
+        """True for integer types used as quantized representations."""
+        return self in (DType.INT8, DType.UINT8, DType.BINARY)
+
+    def to_numpy(self) -> np.dtype:
+        """The numpy dtype used to *store* values of this type.
+
+        BINARY is stored as int8 holding {-1, +1}; FP16 is stored natively.
+        """
+        return _DTYPE_NUMPY[self]
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DType":
+        dtype = np.dtype(dtype)
+        for dt, np_dt in _DTYPE_NUMPY.items():
+            if dt is DType.BINARY:
+                continue
+            if np.dtype(np_dt) == dtype:
+                return dt
+        raise ValueError(f"no IR dtype for numpy dtype {dtype}")
+
+
+_DTYPE_BITS = {
+    DType.FP32: 32,
+    DType.FP16: 16,
+    DType.INT32: 32,
+    DType.INT8: 8,
+    DType.UINT8: 8,
+    DType.BINARY: 1,
+    DType.BOOL: 8,
+}
+
+_DTYPE_NUMPY = {
+    DType.FP32: np.dtype(np.float32),
+    DType.FP16: np.dtype(np.float16),
+    DType.INT32: np.dtype(np.int32),
+    DType.INT8: np.dtype(np.int8),
+    DType.UINT8: np.dtype(np.uint8),
+    DType.BINARY: np.dtype(np.int8),
+    DType.BOOL: np.dtype(np.bool_),
+}
+
+
+class ShapeError(ValueError):
+    """Raised when shapes are inconsistent during inference or validation."""
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of a tensor: name, shape, and element type.
+
+    Shapes are fully static: the toolchain compiles for fixed batch sizes
+    (the paper sweeps batch 1/4/8 explicitly rather than using dynamic
+    batching, Sec. II-C).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        shape = tuple(int(d) for d in self.shape)
+        if any(d < 0 for d in shape):
+            raise ShapeError(f"negative dimension in shape {shape}")
+        object.__setattr__(self, "shape", shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage footprint in bits."""
+        return self.num_elements * self.dtype.bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage footprint in bytes, rounded up."""
+        return math.ceil(self.size_bits / 8)
+
+    def with_name(self, name: str) -> "TensorSpec":
+        return TensorSpec(name, self.shape, self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "TensorSpec":
+        return TensorSpec(self.name, self.shape, dtype)
+
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Return a copy with the leading dimension replaced by ``batch``."""
+        if not self.shape:
+            raise ShapeError("scalar tensor has no batch dimension")
+        return TensorSpec(self.name, (batch,) + self.shape[1:], self.dtype)
+
+    def zeros(self) -> np.ndarray:
+        """Allocate a zero-filled numpy array matching this spec."""
+        return np.zeros(self.shape, dtype=self.dtype.to_numpy())
+
+
+def broadcast_shapes(
+    a: Sequence[int], b: Sequence[int], op: Optional[str] = None
+) -> Tuple[int, ...]:
+    """Numpy-style broadcasting of two static shapes.
+
+    Raises :class:`ShapeError` with the offending op name when incompatible.
+    """
+    try:
+        return tuple(int(d) for d in np.broadcast_shapes(tuple(a), tuple(b)))
+    except ValueError as exc:
+        where = f" in {op}" if op else ""
+        raise ShapeError(f"cannot broadcast {tuple(a)} with {tuple(b)}{where}") from exc
+
+
+def conv2d_output_shape(
+    input_shape: Sequence[int],
+    out_channels: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int, int, int]:
+    """Output shape of a 2-D convolution in NCHW layout."""
+    if len(input_shape) != 4:
+        raise ShapeError(f"conv2d expects NCHW input, got shape {tuple(input_shape)}")
+    n, _, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"conv2d produces empty output: input {tuple(input_shape)}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return (n, out_channels, oh, ow)
+
+
+def pool2d_output_shape(
+    input_shape: Sequence[int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int] = (0, 0),
+) -> Tuple[int, int, int, int]:
+    """Output shape of a 2-D pooling window in NCHW layout."""
+    if len(input_shape) != 4:
+        raise ShapeError(f"pool2d expects NCHW input, got shape {tuple(input_shape)}")
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"pool2d produces empty output: input {tuple(input_shape)}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return (n, c, oh, ow)

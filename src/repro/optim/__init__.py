@@ -1,0 +1,61 @@
+"""Optimizing toolchain: fusion, quantization, pruning, compression, search."""
+
+from .passes import GraphPass, PassManager, PassReport
+from .fusion import FoldBatchNorm, FuseActivation, fuse_graph
+from .quantization import (
+    CalibrationResult,
+    CastFP16,
+    QuantizePass,
+    calibrate,
+    convert_fp16,
+    quantize_int8,
+)
+from .pruning import ConnectionPrune, NeuronPrune, SparsityReport, sparsity_of
+from .compression import (
+    BitString,
+    CompressedModel,
+    DeepCompressionResult,
+    EncodedLayer,
+    HuffmanCode,
+    cluster_weights,
+    compress_graph,
+    decompress_into,
+    deep_compress,
+    encode_weights,
+)
+from .binarization import BinarizePass, binarize
+from .memory_planner import (
+    Lifetime,
+    MemoryPlan,
+    ScratchpadReport,
+    compute_lifetimes,
+    plan_memory,
+    scratchpad_analysis,
+)
+from .hardware_aware import (
+    OptimizationPlan,
+    PlanStep,
+    SearchResult,
+    apply_step,
+    compare_objectives,
+    default_candidate_steps,
+    greedy_search,
+    ops_objective,
+)
+
+__all__ = [
+    "GraphPass", "PassManager", "PassReport",
+    "FoldBatchNorm", "FuseActivation", "fuse_graph",
+    "CalibrationResult", "CastFP16", "QuantizePass", "calibrate",
+    "convert_fp16", "quantize_int8",
+    "BinarizePass", "binarize",
+    "Lifetime", "MemoryPlan", "ScratchpadReport", "compute_lifetimes",
+    "plan_memory", "scratchpad_analysis",
+    "ConnectionPrune", "NeuronPrune", "SparsityReport", "sparsity_of",
+    "BitString", "CompressedModel", "DeepCompressionResult", "EncodedLayer",
+    "HuffmanCode", "cluster_weights", "compress_graph", "decompress_into",
+    "deep_compress", "encode_weights",
+    "OptimizationPlan", "PlanStep", "SearchResult", "apply_step",
+    "compare_objectives", "default_candidate_steps", "greedy_search",
+    "ops_objective",
+]

@@ -1,0 +1,354 @@
+"""Deep-compression pipeline: prune, cluster-quantize, and entropy-code.
+
+Implements the three-stage compression the paper cites ("models have been
+compressed down to 49x of their original size, with negligible accuracy
+loss" — Han et al.'s deep compression, reference [7]):
+
+1. connection pruning (see :mod:`repro.optim.pruning`),
+2. weight sharing via k-means clustering (each weight becomes a small
+   codebook index),
+3. Huffman coding of the index stream plus run-length coding of zeros.
+
+The encoder is a real bit-level codec with a matching decoder, so tests
+verify exact round-trips and the benchmark measures honest encoded sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+_WEIGHTED = ("conv2d", "fused_conv2d", "dense", "fused_dense")
+
+
+# ---------------------------------------------------------------------------
+# Huffman codec
+# ---------------------------------------------------------------------------
+
+class HuffmanCode:
+    """Canonical Huffman code over integer symbols."""
+
+    def __init__(self, frequencies: Dict[int, int]) -> None:
+        if not frequencies:
+            raise ValueError("cannot build a Huffman code over no symbols")
+        self.codebook: Dict[int, str] = _build_codebook(frequencies)
+        self._decode_map = {code: sym for sym, code in self.codebook.items()}
+
+    def encode(self, symbols: Sequence[int]) -> "BitString":
+        bits = BitString()
+        codebook = self.codebook
+        for sym in symbols:
+            bits.append(codebook[sym])
+        return bits
+
+    def decode(self, bits: "BitString", count: int) -> List[int]:
+        """Decode exactly ``count`` symbols from ``bits``."""
+        out: List[int] = []
+        current = []
+        decode_map = self._decode_map
+        for bit in bits:
+            current.append(bit)
+            key = "".join(current)
+            if key in decode_map:
+                out.append(decode_map[key])
+                current = []
+                if len(out) == count:
+                    return out
+        if len(out) != count:
+            raise ValueError(f"bitstream exhausted after {len(out)}/{count} symbols")
+        return out
+
+    def mean_bits_per_symbol(self, frequencies: Dict[int, int]) -> float:
+        total = sum(frequencies.values())
+        return sum(
+            len(self.codebook[sym]) * freq for sym, freq in frequencies.items()
+        ) / total
+
+
+def _build_codebook(frequencies: Dict[int, int]) -> Dict[int, str]:
+    if len(frequencies) == 1:
+        (sym,) = frequencies
+        return {sym: "0"}
+    counter = itertools.count()
+    heap = [(freq, next(counter), sym, None, None)
+            for sym, freq in frequencies.items()]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        heapq.heappush(heap, (a[0] + b[0], next(counter), None, a, b))
+    codebook: Dict[int, str] = {}
+
+    def walk(node, prefix: str) -> None:
+        _freq, _tie, sym, left, right = node
+        if sym is not None:
+            codebook[sym] = prefix or "0"
+            return
+        walk(left, prefix + "0")
+        walk(right, prefix + "1")
+
+    walk(heap[0], "")
+    return codebook
+
+
+class BitString:
+    """Append-only bit buffer with byte packing."""
+
+    def __init__(self, bits: str = "") -> None:
+        self._chunks: List[str] = [bits] if bits else []
+        self._length = len(bits)
+
+    def append(self, bits: str) -> None:
+        self._chunks.append(bits)
+        self._length += len(bits)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        for chunk in self._chunks:
+            yield from chunk
+
+    @property
+    def num_bytes(self) -> int:
+        return (self._length + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        text = "".join(self._chunks)
+        padded = text + "0" * (-len(text) % 8)
+        return bytes(
+            int(padded[i:i + 8], 2) for i in range(0, len(padded), 8)
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, num_bits: int) -> "BitString":
+        text = "".join(f"{byte:08b}" for byte in raw)[:num_bits]
+        return cls(text)
+
+
+# ---------------------------------------------------------------------------
+# Weight clustering (k-means on 1-D weight values)
+# ---------------------------------------------------------------------------
+
+def cluster_weights(values: np.ndarray, num_clusters: int,
+                    iterations: int = 12, seed: int = 0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """1-D k-means: returns (codebook, index of nearest centroid per value).
+
+    Centroids are initialized linearly over the value range (the scheme Han
+    et al. found best for weight sharing).
+    """
+    flat = values.ravel().astype(np.float64)
+    lo, hi = float(flat.min()), float(flat.max())
+    if lo == hi:
+        return np.array([lo], dtype=np.float32), np.zeros(flat.size, dtype=np.int32)
+    num_clusters = min(num_clusters, np.unique(flat).size)
+    centroids = np.linspace(lo, hi, num_clusters)
+    assignment = np.zeros(flat.size, dtype=np.int32)
+    chunk = 1 << 18  # bound the N x K distance matrix to ~tens of MB
+    for _ in range(iterations):
+        for start in range(0, flat.size, chunk):
+            block = flat[start:start + chunk]
+            assignment[start:start + chunk] = np.argmin(
+                np.abs(block[:, None] - centroids[None, :]), axis=1)
+        sums = np.bincount(assignment, weights=flat, minlength=num_clusters)
+        counts = np.bincount(assignment, minlength=num_clusters)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty]
+    return centroids.astype(np.float32), assignment.astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# Encoded layer and model containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EncodedLayer:
+    """Compressed representation of one weight tensor.
+
+    Nonzero weights are replaced by codebook indices; zeros are run-length
+    encoded as (zero-run-length) symbols interleaved in a separate stream.
+    The layout is: for each weight position in row-major order, the mask
+    stream says zero/nonzero (as run lengths), and nonzero positions consume
+    the next index symbol.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    codebook: np.ndarray
+    index_payload: bytes
+    index_bits: int
+    index_code: HuffmanCode
+    num_nonzero: int
+    run_payload: bytes
+    run_bits: int
+    run_code: Optional[HuffmanCode]
+    num_runs: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        overhead = self.codebook.size * 4  # fp32 codebook entries
+        return (self.index_bits + 7) // 8 + (self.run_bits + 7) // 8 + overhead
+
+    def decode(self) -> np.ndarray:
+        """Exact reconstruction of the clustered (lossy) weight tensor."""
+        total = int(np.prod(self.shape)) if self.shape else 1
+        values = np.zeros(total, dtype=np.float32)
+        indices = self.index_code.decode(
+            BitString.from_bytes(self.index_payload, self.index_bits),
+            self.num_nonzero,
+        )
+        if self.run_code is not None:
+            runs = self.run_code.decode(
+                BitString.from_bytes(self.run_payload, self.run_bits),
+                self.num_runs,
+            )
+        else:
+            runs = []
+        pos = 0
+        idx_iter = iter(indices)
+        # Runs alternate: zero-run length, then one nonzero value, repeating.
+        for run in runs:
+            pos += run
+            values[pos] = self.codebook[next(idx_iter)]
+            pos += 1
+        return values.reshape(self.shape)
+
+
+@dataclass
+class CompressedModel:
+    """Whole-model compression result."""
+
+    graph_name: str
+    layers: Dict[str, EncodedLayer] = field(default_factory=dict)
+    uncompressed_bytes: int = 0
+    uncoded_param_bytes: int = 0
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(layer.compressed_bytes for layer in self.layers.values()) + \
+            self.uncoded_param_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        if not self.compressed_bytes:
+            return float("inf")
+        return self.uncompressed_bytes / self.compressed_bytes
+
+
+def encode_weights(name: str, weights: np.ndarray,
+                   num_clusters: int = 32, seed: int = 0) -> EncodedLayer:
+    """Cluster-quantize and entropy-code one weight tensor."""
+    flat = weights.ravel().astype(np.float32)
+    nonzero_mask = flat != 0
+    nonzero = flat[nonzero_mask]
+    if nonzero.size == 0:
+        code = HuffmanCode({0: 1})
+        return EncodedLayer(name, weights.shape, np.zeros(1, np.float32),
+                            b"", 0, code, 0, b"", 0, None, 0)
+    codebook, assignment = cluster_weights(nonzero, num_clusters, seed=seed)
+
+    index_freq = Counter(int(i) for i in assignment)
+    index_code = HuffmanCode(dict(index_freq))
+    index_bits_buf = index_code.encode([int(i) for i in assignment])
+
+    # Zero runs preceding each nonzero element.
+    positions = np.flatnonzero(nonzero_mask)
+    prev_end = 0
+    runs: List[int] = []
+    for pos in positions:
+        runs.append(int(pos - prev_end))
+        prev_end = pos + 1
+    run_freq = Counter(runs)
+    run_code = HuffmanCode(dict(run_freq))
+    run_bits_buf = run_code.encode(runs)
+
+    return EncodedLayer(
+        name=name, shape=tuple(weights.shape),
+        codebook=codebook,
+        index_payload=index_bits_buf.to_bytes(), index_bits=len(index_bits_buf),
+        index_code=index_code, num_nonzero=int(nonzero.size),
+        run_payload=run_bits_buf.to_bytes(), run_bits=len(run_bits_buf),
+        run_code=run_code, num_runs=len(runs),
+    )
+
+
+def compress_graph(graph: Graph, num_clusters: int = 32,
+                   min_weights: int = 256, seed: int = 0) -> CompressedModel:
+    """Encode every large conv/dense weight tensor of ``graph``.
+
+    Small tensors (biases, batchnorm params) are charged at their raw size
+    in ``uncoded_param_bytes`` so the reported ratio is honest.
+    """
+    specs = graph.infer_specs()
+    model = CompressedModel(graph.name)
+    coded: set = set()
+    for node in graph.nodes:
+        if node.op_type not in _WEIGHTED or len(node.inputs) < 2:
+            continue
+        weight_name = node.inputs[1]
+        weight = graph.initializers.get(weight_name)
+        if weight is None or weight.size < min_weights or weight_name in coded:
+            continue
+        if not np.issubdtype(weight.dtype, np.floating):
+            continue
+        model.layers[weight_name] = encode_weights(
+            weight_name, weight, num_clusters=num_clusters, seed=seed)
+        coded.add(weight_name)
+    for name in graph.initializers:
+        size = specs[name].size_bytes
+        model.uncompressed_bytes += size
+        if name not in coded:
+            model.uncoded_param_bytes += size
+    return model
+
+
+def decompress_into(graph: Graph, model: CompressedModel) -> Graph:
+    """Write decoded (clustered) weights back into a copy of ``graph``."""
+    g = graph.copy()
+    for name, layer in model.layers.items():
+        decoded = layer.decode().astype(g.initializers[name].dtype)
+        g.initializers[name] = decoded
+    return g
+
+
+@dataclass
+class DeepCompressionResult:
+    """Output of the full prune+cluster+code pipeline."""
+
+    graph: Graph
+    model: CompressedModel
+    sparsity: float
+    num_clusters: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.model.compression_ratio
+
+
+def deep_compress(graph: Graph, prune_fraction: float = 0.9,
+                  num_clusters: int = 32, seed: int = 0
+                  ) -> DeepCompressionResult:
+    """Full deep-compression pipeline on a copy of ``graph``.
+
+    Returns the pruned+clustered graph (executable, for accuracy checks)
+    along with the encoded model and its compression ratio.
+    """
+    from .pruning import ConnectionPrune, sparsity_of
+
+    pruned = ConnectionPrune(prune_fraction).run(graph)
+    encoded = compress_graph(pruned, num_clusters=num_clusters, seed=seed)
+    clustered = decompress_into(pruned, encoded)
+    return DeepCompressionResult(
+        graph=clustered,
+        model=encoded,
+        sparsity=sparsity_of(pruned).global_sparsity,
+        num_clusters=num_clusters,
+    )

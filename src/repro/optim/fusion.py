@@ -1,0 +1,139 @@
+"""Operator fusion passes.
+
+Fusion is the first hardware-specific optimization the paper lists
+(Sec. III, step 4: "operator fusion, quantization, ...").  Two standard
+rewrites are implemented:
+
+* :class:`FoldBatchNorm` — folds inference-mode batchnorm into the weights
+  and bias of the preceding convolution (exact, no accuracy change).
+* :class:`FuseActivation` — absorbs an element-wise activation into the
+  preceding conv/dense node so the runtime applies it in-register instead
+  of in a separate memory-bound pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from .passes import GraphPass
+
+_FUSABLE_ACTIVATIONS = frozenset(
+    ("relu", "relu6", "leaky_relu", "sigmoid", "tanh",
+     "hardswish", "hardsigmoid", "mish")
+)
+
+
+class FoldBatchNorm(GraphPass):
+    """Fold ``conv2d -> batchnorm`` into a single conv with adjusted weights.
+
+    Only fires when the conv's output feeds exactly the batchnorm (single
+    consumer) and the conv has no fused activation yet.  The rewrite is
+    exact: y = gamma * (conv(x) - mean) / sqrt(var + eps) + beta is a conv
+    with scaled kernels and a shifted bias.
+    """
+
+    name = "fold_batchnorm"
+
+    def run(self, graph: Graph) -> Graph:
+        g = graph.copy()
+        folded = 0
+        consumers = g.consumer_map()
+        producers = g.producer_map()
+        for bn in list(g.nodes):
+            if bn.op_type != "batchnorm":
+                continue
+            conv = producers.get(bn.inputs[0])
+            if conv is None or conv.op_type not in ("conv2d", "fused_conv2d"):
+                continue
+            if conv.attrs.get("activation"):
+                continue
+            if len(consumers.get(conv.outputs[0], [])) != 1:
+                continue
+            gamma = g.initializers.get(bn.inputs[1])
+            beta = g.initializers.get(bn.inputs[2])
+            mean = g.initializers.get(bn.inputs[3])
+            var = g.initializers.get(bn.inputs[4])
+            if any(v is None for v in (gamma, beta, mean, var)):
+                continue  # batchnorm params are not constants
+            eps = float(bn.attrs.get("epsilon", 1e-5))
+            scale = gamma / np.sqrt(var + eps)
+
+            weight_name = conv.inputs[1]
+            weight = g.initializers[weight_name]
+            g.initializers[weight_name] = (
+                weight * scale.reshape(-1, 1, 1, 1)
+            ).astype(weight.dtype)
+
+            if len(conv.inputs) > 2:
+                bias_name = conv.inputs[2]
+                bias = g.initializers[bias_name]
+            else:
+                bias_name = f"{conv.name}_folded_bias"
+                bias = np.zeros(weight.shape[0], dtype=weight.dtype)
+                g.add_initializer(bias_name, bias)
+                conv.inputs.append(bias_name)
+            g.initializers[bias_name] = (
+                (bias - mean) * scale + beta
+            ).astype(bias.dtype)
+
+            # Bypass the batchnorm node and drop it with its parameters.
+            g.rename_tensor(bn.outputs[0], conv.outputs[0])
+            g.remove_node(bn)
+            folded += 1
+            # Maps are stale after rewiring; rebuild for subsequent matches.
+            consumers = g.consumer_map()
+            producers = g.producer_map()
+        g.prune_dead_nodes()
+        self._details = {"batchnorms_folded": folded}
+        return g
+
+
+class FuseActivation(GraphPass):
+    """Absorb ``conv/dense -> activation`` into a fused node."""
+
+    name = "fuse_activation"
+
+    _TARGETS = {
+        "conv2d": "fused_conv2d",
+        "fused_conv2d": "fused_conv2d",
+        "dense": "fused_dense",
+        "fused_dense": "fused_dense",
+    }
+
+    def run(self, graph: Graph) -> Graph:
+        g = graph.copy()
+        fused = 0
+        consumers = g.consumer_map()
+        producers = g.producer_map()
+        for act in list(g.nodes):
+            if act.op_type not in _FUSABLE_ACTIVATIONS:
+                continue
+            prev = producers.get(act.inputs[0])
+            if prev is None or prev.op_type not in self._TARGETS:
+                continue
+            if prev.attrs.get("activation"):
+                continue
+            if len(consumers.get(prev.outputs[0], [])) != 1:
+                continue
+            prev.op_type = self._TARGETS[prev.op_type]
+            prev.attrs["activation"] = act.op_type
+            if act.op_type == "leaky_relu" and "alpha" in act.attrs:
+                prev.attrs["activation_alpha"] = act.attrs["alpha"]
+            g.rename_tensor(act.outputs[0], prev.outputs[0])
+            g.remove_node(act)
+            fused += 1
+            consumers = g.consumer_map()
+            producers = g.producer_map()
+        self._details = {"activations_fused": fused}
+        return g
+
+
+def fuse_graph(graph: Graph) -> Graph:
+    """Apply the full fusion pipeline: fold batchnorm, then fuse activations."""
+    from .passes import PassManager
+
+    manager = PassManager([FoldBatchNorm(), FuseActivation()])
+    return manager.run(graph)

@@ -1,0 +1,207 @@
+"""Hardware-aware optimization search.
+
+The paper's central toolchain claim (Sec. III): "theoretical speed-ups do
+not always translate to more efficient execution in hardware … Utilizing
+the knowledge of the target hardware leads to optimizations that translate
+to improved execution metrics when deployed."
+
+This module implements both sides of that comparison:
+
+* a *theoretical* objective that scores candidate optimization plans by
+  operation count (the metric the paper criticizes), and
+* a *hardware-aware* objective that scores them with a target-specific
+  latency/energy predictor (``repro.hw`` provides roofline-based ones).
+
+A greedy search enumerates plans over the available transformation knobs
+(fusion, FP16 cast, INT8 quantization, structured pruning) and keeps the
+best plan under an accuracy-drop budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .fusion import fuse_graph
+from .pruning import NeuronPrune
+from .quantization import convert_fp16, quantize_int8
+
+# Scores a graph; lower is better.  Hardware-aware searches pass a latency
+# predictor bound to a target; theoretical searches pass an ops counter.
+Objective = Callable[[Graph], float]
+# Measures task quality of a candidate graph (higher is better).
+QualityFn = Callable[[Graph], float]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One knob setting in an optimization plan."""
+
+    kind: str                     # "fuse" | "fp16" | "int8" | "neuron_prune"
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def describe(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+
+@dataclass
+class OptimizationPlan:
+    """An ordered list of steps plus the metrics achieved by applying them."""
+
+    steps: List[PlanStep]
+    objective_value: float
+    quality: float
+    graph: Graph
+
+    def describe(self) -> str:
+        chain = " -> ".join(s.describe() for s in self.steps) or "(baseline)"
+        return (f"{chain}: objective={self.objective_value:.4g}, "
+                f"quality={self.quality:.4f}")
+
+
+def ops_objective(graph: Graph) -> float:
+    """Theoretical objective: total arithmetic operation count."""
+    return float(graph.total_cost().ops)
+
+
+def apply_step(graph: Graph, step: PlanStep,
+               calibration_feeds: Optional[Sequence[Mapping[str, np.ndarray]]]
+               ) -> Graph:
+    """Apply one plan step to ``graph`` and return the transformed copy."""
+    params = dict(step.params)
+    if step.kind == "fuse":
+        return fuse_graph(graph)
+    if step.kind == "fp16":
+        return convert_fp16(graph)
+    if step.kind == "int8":
+        if not calibration_feeds:
+            raise ValueError("int8 step requires calibration feeds")
+        return quantize_int8(graph, calibration_feeds,
+                             per_channel=bool(params.get("per_channel", True)))
+    if step.kind == "neuron_prune":
+        return NeuronPrune(float(params["fraction"])).run(graph)
+    raise ValueError(f"unknown plan step kind {step.kind!r}")
+
+
+def default_candidate_steps(
+    supports_int8: bool = True,
+    supports_fp16: bool = True,
+    prune_fractions: Sequence[float] = (0.25, 0.5),
+) -> List[PlanStep]:
+    """The knob set the greedy search explores, filtered by target support."""
+    steps = [PlanStep("fuse")]
+    for fraction in prune_fractions:
+        steps.append(PlanStep("neuron_prune", (("fraction", fraction),)))
+    if supports_fp16:
+        steps.append(PlanStep("fp16"))
+    if supports_int8:
+        steps.append(PlanStep("int8", (("per_channel", True),)))
+    return steps
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :func:`greedy_search`: best plan plus the explored trail."""
+
+    best: OptimizationPlan
+    explored: List[OptimizationPlan] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"best plan: {self.best.describe()}"]
+        lines.extend(f"  tried: {plan.describe()}" for plan in self.explored)
+        return "\n".join(lines)
+
+
+def greedy_search(
+    graph: Graph,
+    objective: Objective,
+    quality_fn: QualityFn,
+    max_quality_drop: float = 0.02,
+    candidate_steps: Optional[Sequence[PlanStep]] = None,
+    calibration_feeds: Optional[Sequence[Mapping[str, np.ndarray]]] = None,
+    max_steps: int = 4,
+) -> SearchResult:
+    """Greedy plan search under a quality budget.
+
+    Starting from the unmodified graph, repeatedly applies whichever
+    remaining candidate step most improves the objective while keeping
+    quality within ``max_quality_drop`` of the baseline.  Terminal
+    precision steps (fp16/int8) end the search since further structural
+    rewrites on quantized graphs are not supported.
+    """
+    candidates = list(candidate_steps if candidate_steps is not None
+                      else default_candidate_steps())
+    base_quality = quality_fn(graph)
+    current = OptimizationPlan([], objective(graph), base_quality, graph)
+    explored: List[OptimizationPlan] = [current]
+
+    remaining = list(candidates)
+    for _ in range(max_steps):
+        best_next: Optional[Tuple[PlanStep, OptimizationPlan]] = None
+        for step in remaining:
+            try:
+                transformed = apply_step(current.graph, step, calibration_feeds)
+            except (ValueError, KeyError):
+                continue
+            quality = quality_fn(transformed)
+            plan = OptimizationPlan(
+                current.steps + [step], objective(transformed), quality,
+                transformed,
+            )
+            explored.append(plan)
+            if base_quality - quality > max_quality_drop:
+                continue
+            if plan.objective_value < current.objective_value and (
+                    best_next is None
+                    or plan.objective_value < best_next[1].objective_value):
+                best_next = (step, plan)
+        if best_next is None:
+            break
+        step, current = best_next
+        remaining = [s for s in remaining if s != step]
+        if step.kind in ("fp16", "int8"):
+            break  # precision conversion is terminal
+
+    return SearchResult(best=current, explored=explored)
+
+
+def compare_objectives(
+    graph: Graph,
+    hardware_objective: Objective,
+    quality_fn: QualityFn,
+    calibration_feeds: Optional[Sequence[Mapping[str, np.ndarray]]] = None,
+    max_quality_drop: float = 0.02,
+    candidate_steps: Optional[Sequence[PlanStep]] = None,
+) -> Dict[str, OptimizationPlan]:
+    """Run the same search under theoretical and hardware objectives.
+
+    Returns both winning plans, each re-scored under the *hardware*
+    objective — so the comparison answers: "how fast does the plan chosen
+    by ops-counting actually run on the target?"  (Paper Sec. III, Txt-B.)
+    """
+    theoretical = greedy_search(
+        graph, ops_objective, quality_fn,
+        max_quality_drop=max_quality_drop,
+        candidate_steps=candidate_steps,
+        calibration_feeds=calibration_feeds,
+    ).best
+    hardware = greedy_search(
+        graph, hardware_objective, quality_fn,
+        max_quality_drop=max_quality_drop,
+        candidate_steps=candidate_steps,
+        calibration_feeds=calibration_feeds,
+    ).best
+    # Re-score the theoretical winner on real hardware cost.
+    theoretical = OptimizationPlan(
+        theoretical.steps,
+        hardware_objective(theoretical.graph),
+        theoretical.quality,
+        theoretical.graph,
+    )
+    return {"theoretical": theoretical, "hardware_aware": hardware}

@@ -1,0 +1,195 @@
+"""Activation-memory planning: liveness analysis and arena buffer reuse.
+
+Paper Sec. II-B: "an in-depth study of how the memory is utilized in
+current accelerators and exploring new approaches for the memory hierarchy
+for future DL accelerators is performed."
+
+This module provides the toolchain side of that study: for a given graph
+it computes per-tensor lifetimes, a greedy best-fit *arena plan* that lets
+dead activations' storage be reused (the TFLite-micro/TVM approach), the
+theoretical lower bound (peak live bytes), and a scratchpad analysis that
+asks how much DRAM traffic a given on-chip SRAM would absorb — the knob a
+future accelerator's memory hierarchy trades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """A tensor's live interval in node-schedule positions.
+
+    The tensor is written at ``birth`` and last read at ``death``
+    (inclusive); graph outputs stay live to the end of the schedule.
+    """
+
+    tensor: str
+    size_bytes: int
+    birth: int
+    death: int
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        return self.birth <= other.death and other.birth <= self.death
+
+
+@dataclass
+class MemoryPlan:
+    """An arena layout: every activation gets an offset in one buffer."""
+
+    graph_name: str
+    lifetimes: List[Lifetime]
+    offsets: Dict[str, int]
+    arena_bytes: int
+    naive_bytes: int               # one private buffer per activation
+    peak_live_bytes: int           # lower bound: max concurrently-live bytes
+
+    @property
+    def reuse_factor(self) -> float:
+        """How much smaller the arena is than private-buffer allocation."""
+        return self.naive_bytes / self.arena_bytes if self.arena_bytes else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Arena size vs. the theoretical lower bound (1.0 = optimal)."""
+        return self.peak_live_bytes / self.arena_bytes if self.arena_bytes \
+            else 1.0
+
+    def validate(self) -> None:
+        """No two overlapping-lifetime tensors may share bytes."""
+        placed = [(lt, self.offsets[lt.tensor]) for lt in self.lifetimes]
+        for i, (a, offset_a) in enumerate(placed):
+            for b, offset_b in placed[i + 1:]:
+                if not a.overlaps(b):
+                    continue
+                if offset_a < offset_b + b.size_bytes and \
+                        offset_b < offset_a + a.size_bytes:
+                    raise AssertionError(
+                        f"arena overlap between live tensors {a.tensor!r} "
+                        f"and {b.tensor!r}"
+                    )
+
+    def report(self) -> str:
+        return (f"memory plan for {self.graph_name!r}: "
+                f"{len(self.lifetimes)} activations, "
+                f"naive {self.naive_bytes / 1024:.1f} KiB -> arena "
+                f"{self.arena_bytes / 1024:.1f} KiB "
+                f"({self.reuse_factor:.1f}x reuse, "
+                f"{self.efficiency:.0%} of lower bound)")
+
+
+def compute_lifetimes(graph: Graph) -> List[Lifetime]:
+    """Lifetime of every intermediate activation (inputs/weights excluded)."""
+    specs = graph.infer_specs()
+    last_position = len(graph.nodes) - 1
+    births: Dict[str, int] = {}
+    deaths: Dict[str, int] = {}
+    for position, node in enumerate(graph.nodes):
+        for out in node.outputs:
+            births[out] = position
+            deaths[out] = position
+        for name in node.inputs:
+            if name in births:
+                deaths[name] = position
+    for out in graph.output_names:
+        if out in births:
+            deaths[out] = last_position
+    return [
+        Lifetime(name, specs[name].size_bytes, births[name], deaths[name])
+        for name in births
+    ]
+
+
+def plan_memory(graph: Graph) -> MemoryPlan:
+    """Greedy best-fit offset assignment (largest tensors first).
+
+    The classic arena-planning heuristic: process tensors in decreasing
+    size; place each at the lowest offset where it fits next to every
+    already-placed tensor whose lifetime overlaps.
+    """
+    lifetimes = compute_lifetimes(graph)
+    order = sorted(lifetimes, key=lambda lt: lt.size_bytes, reverse=True)
+    offsets: Dict[str, int] = {}
+    placed: List[Tuple[Lifetime, int]] = []
+    arena = 0
+    for tensor in order:
+        conflicts = sorted(
+            ((offset, offset + other.size_bytes)
+             for other, offset in placed if other.overlaps(tensor)),
+            key=lambda span: span[0],
+        )
+        candidate = 0
+        for start, end in conflicts:
+            if candidate + tensor.size_bytes <= start:
+                break
+            candidate = max(candidate, end)
+        offsets[tensor.tensor] = candidate
+        placed.append((tensor, candidate))
+        arena = max(arena, candidate + tensor.size_bytes)
+
+    naive = sum(lt.size_bytes for lt in lifetimes)
+    peak = _peak_live(lifetimes)
+    plan = MemoryPlan(graph.name, lifetimes, offsets, arena, naive, peak)
+    plan.validate()
+    return plan
+
+
+def _peak_live(lifetimes: List[Lifetime]) -> int:
+    events: Dict[int, int] = {}
+    for lt in lifetimes:
+        events[lt.birth] = events.get(lt.birth, 0) + lt.size_bytes
+        events[lt.death + 1] = events.get(lt.death + 1, 0) - lt.size_bytes
+    live = 0
+    peak = 0
+    for position in sorted(events):
+        live += events[position]
+        peak = max(peak, live)
+    return peak
+
+
+@dataclass
+class ScratchpadReport:
+    """DRAM-traffic effect of an on-chip activation scratchpad.
+
+    Activations whose buffers fit the scratchpad (under the arena plan)
+    never travel to DRAM; the rest are written once and read per consumer.
+    """
+
+    sram_bytes: int
+    arena_bytes: int
+    dram_traffic_bytes: int
+    baseline_traffic_bytes: int
+
+    @property
+    def traffic_saving(self) -> float:
+        if not self.baseline_traffic_bytes:
+            return 0.0
+        return 1.0 - self.dram_traffic_bytes / self.baseline_traffic_bytes
+
+    @property
+    def fits_entirely(self) -> bool:
+        return self.arena_bytes <= self.sram_bytes
+
+
+def scratchpad_analysis(graph: Graph, sram_bytes: int) -> ScratchpadReport:
+    """Model DRAM activation traffic with an SRAM of ``sram_bytes``.
+
+    With the arena plan, everything below the SRAM watermark stays
+    on-chip.  Tensors placed (even partially) above it spill: one write at
+    birth plus one read per consuming node.
+    """
+    plan = plan_memory(graph)
+    consumers = graph.consumer_map()
+    baseline = 0
+    spilled = 0
+    for lt in plan.lifetimes:
+        reads = len(consumers.get(lt.tensor, ())) or 1
+        traffic = lt.size_bytes * (1 + reads)
+        baseline += traffic
+        if plan.offsets[lt.tensor] + lt.size_bytes > sram_bytes:
+            spilled += traffic
+    return ScratchpadReport(sram_bytes, plan.arena_bytes, spilled, baseline)

@@ -1,0 +1,94 @@
+"""Pass infrastructure for the optimizing toolchain.
+
+The VEDLIoT toolchain performs "significant surgery" on the model's
+computational graph (paper Sec. III).  Each transformation is a
+:class:`GraphPass`; a :class:`PassManager` sequences them, validates the
+graph between passes, and records what changed — the per-pass accounting
+feeds the optimization reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.graph import Graph
+
+
+@dataclass
+class PassReport:
+    """What one pass did to the graph."""
+
+    pass_name: str
+    nodes_before: int
+    nodes_after: int
+    params_before: int
+    params_after: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+class GraphPass(abc.ABC):
+    """A graph-to-graph transformation.
+
+    Passes never mutate their input graph; they work on a copy and return
+    it.  ``details()`` exposes pass-specific counters recorded during the
+    most recent run.
+    """
+
+    name: str = "pass"
+
+    def __init__(self) -> None:
+        self._details: Dict[str, object] = {}
+
+    @abc.abstractmethod
+    def run(self, graph: Graph) -> Graph:
+        """Transform a copy of ``graph`` and return it."""
+
+    def details(self) -> Dict[str, object]:
+        return dict(self._details)
+
+    def __call__(self, graph: Graph) -> Graph:
+        return self.run(graph)
+
+
+class PassManager:
+    """Runs a sequence of passes, validating and reporting between them."""
+
+    def __init__(self, passes: Sequence[GraphPass]) -> None:
+        self.passes: List[GraphPass] = list(passes)
+        self.reports: List[PassReport] = []
+
+    def run(self, graph: Graph) -> Graph:
+        """Apply every pass in order; returns the final graph."""
+        self.reports = []
+        current = graph
+        for graph_pass in self.passes:
+            nodes_before = len(current)
+            params_before = current.num_parameters()
+            current = graph_pass.run(current)
+            current.validate()
+            self.reports.append(PassReport(
+                pass_name=graph_pass.name,
+                nodes_before=nodes_before,
+                nodes_after=len(current),
+                params_before=params_before,
+                params_after=current.num_parameters(),
+                details=graph_pass.details(),
+            ))
+        return current
+
+    def summary(self) -> str:
+        """Table of what each pass changed in the last run."""
+        lines = [f"{'pass':<24} {'nodes':>12} {'params':>24}"]
+        for report in self.reports:
+            lines.append(
+                f"{report.pass_name:<24} "
+                f"{report.nodes_before:>5} -> {report.nodes_after:<5} "
+                f"{report.params_before:>11,} -> {report.params_after:<11,}"
+            )
+        return "\n".join(lines)

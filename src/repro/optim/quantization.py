@@ -1,0 +1,218 @@
+"""Post-training quantization (PTQ) passes: INT8 QDQ rewriting and FP16 cast.
+
+Quantization is the workhorse optimization of the paper's toolchain
+(Sec. III) and the precision axis of its hardware evaluation (Sec. II-C:
+"the tests were executed using INT8, FP16 or FP32 datatypes").
+
+INT8 flow: run the float graph over a calibration set recording activation
+ranges, then rewrite every conv/dense into an integer node bracketed by
+quantize/dequantize so the graph stays executable end to end (QDQ form).
+FP16 flow: cast all weights and tensor specs to half precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from ..ir.tensor import DType, TensorSpec
+from ..runtime.executor import Executor
+from ..runtime.quantized import QuantParams, choose_qparams
+from .passes import GraphPass
+
+_QUANTIZABLE = {
+    "conv2d": "qconv2d",
+    "fused_conv2d": "qconv2d",
+    "dense": "qdense",
+    "fused_dense": "qdense",
+}
+
+
+@dataclass
+class CalibrationResult:
+    """Observed per-tensor activation ranges over the calibration set."""
+
+    ranges: Dict[str, Tuple[float, float]]
+
+    def params_for(self, tensor: str, symmetric: bool = False) -> QuantParams:
+        lo, hi = self.ranges[tensor]
+        samples = np.array([lo, hi], dtype=np.float32)
+        return choose_qparams(samples, DType.INT8, symmetric=symmetric)
+
+
+def calibrate(graph: Graph, feeds_iter: Iterable[Mapping[str, np.ndarray]],
+              max_batches: int = 8) -> CalibrationResult:
+    """Run the float graph over calibration batches, recording min/max.
+
+    Records the range of *every* tensor so the quantizer can parameterize
+    any boundary it ends up cutting.
+    """
+    executor = Executor(graph, keep_intermediates=True)
+    ranges: Dict[str, Tuple[float, float]] = {}
+    batches = 0
+    for feeds in feeds_iter:
+        env = executor.run(feeds)
+        for name, value in env.items():
+            if not np.issubdtype(np.asarray(value).dtype, np.floating):
+                continue
+            lo = float(np.min(value))
+            hi = float(np.max(value))
+            if name in ranges:
+                old_lo, old_hi = ranges[name]
+                ranges[name] = (min(old_lo, lo), max(old_hi, hi))
+            else:
+                ranges[name] = (lo, hi)
+        batches += 1
+        if batches >= max_batches:
+            break
+    if not batches:
+        raise ValueError("calibration requires at least one batch")
+    return CalibrationResult(ranges)
+
+
+class QuantizePass(GraphPass):
+    """Rewrite conv/dense nodes to INT8 QDQ form using calibration data.
+
+    Parameters
+    ----------
+    calibration
+        Ranges from :func:`calibrate` on the same graph.
+    per_channel
+        Quantize weights per output channel (usually more accurate) rather
+        than per tensor.  The per-tensor/per-channel accuracy difference is
+        one of the design ablations benchmarked in DESIGN.md.
+    """
+
+    name = "quantize_int8"
+
+    def __init__(self, calibration: CalibrationResult,
+                 per_channel: bool = True) -> None:
+        super().__init__()
+        self.calibration = calibration
+        self.per_channel = per_channel
+
+    def run(self, graph: Graph) -> Graph:
+        g = graph.copy()
+        quantized = 0
+        skipped = 0
+        new_nodes: List[Node] = []
+        for node in g.nodes:
+            target = _QUANTIZABLE.get(node.op_type)
+            weight = g.initializers.get(node.inputs[1]) if len(node.inputs) > 1 else None
+            if target is None or weight is None:
+                if node.op_type in _QUANTIZABLE:
+                    skipped += 1
+                new_nodes.append(node)
+                continue
+            data_name = node.inputs[0]
+            out_name = node.outputs[0]
+            if data_name not in self.calibration.ranges or \
+                    out_name not in self.calibration.ranges:
+                skipped += 1
+                new_nodes.append(node)
+                continue
+
+            input_params = self.calibration.params_for(data_name)
+            out_params = self.calibration.params_for(out_name)
+            channel_axis = 0 if self.per_channel else None
+            weight_params = choose_qparams(weight, DType.INT8, symmetric=True,
+                                           channel_axis=channel_axis)
+
+            weight_name = node.inputs[1]
+            g.initializers[weight_name] = weight_params.quantize(weight)
+            g.initializer_dtypes[weight_name] = DType.INT8
+
+            q_in = f"{node.name}_qin"
+            q_out = f"{node.name}_qout"
+            new_nodes.append(Node(
+                name=f"{node.name}_quantize",
+                op_type="quantize",
+                inputs=[data_name],
+                outputs=[q_in],
+                attrs={
+                    "scale": input_params.scale,
+                    "zero_point": input_params.zero_point,
+                    "dtype": DType.INT8,
+                },
+            ))
+            attrs = {
+                "stride": node.attrs.get("stride", 1),
+                "padding": node.attrs.get("padding", 0),
+                "groups": node.attrs.get("groups", 1),
+                "input_scale": input_params.scale,
+                "input_zero_point": input_params.zero_point,
+                "weight_scale": weight_params.scale,
+                "weight_zero_point": weight_params.zero_point,
+                "out_scale": out_params.scale,
+                "out_zero_point": out_params.zero_point,
+                "out_dtype": DType.INT8,
+            }
+            if target == "qdense":
+                for key in ("stride", "padding", "groups"):
+                    attrs.pop(key)
+            if node.attrs.get("activation"):
+                attrs["activation"] = node.attrs["activation"]
+            new_nodes.append(Node(
+                name=node.name,
+                op_type=target,
+                inputs=list(node.inputs),
+                outputs=[q_out],
+                attrs=attrs,
+            ))
+            new_nodes[-1].inputs[0] = q_in
+            new_nodes.append(Node(
+                name=f"{node.name}_dequantize",
+                op_type="dequantize",
+                inputs=[q_out],
+                outputs=[out_name],
+                attrs={
+                    "scale": out_params.scale,
+                    "zero_point": out_params.zero_point,
+                },
+            ))
+            quantized += 1
+        g.nodes = new_nodes
+        self._details = {"nodes_quantized": quantized, "nodes_skipped": skipped}
+        return g
+
+
+class CastFP16(GraphPass):
+    """Cast the whole graph to half precision (weights and tensor specs)."""
+
+    name = "cast_fp16"
+
+    def run(self, graph: Graph) -> Graph:
+        g = graph.copy()
+        casted = 0
+        for name, value in g.initializers.items():
+            if g.initializer_dtypes.get(name) is DType.FP32:
+                g.initializers[name] = value.astype(np.float16)
+                g.initializer_dtypes[name] = DType.FP16
+                casted += 1
+        g.inputs = [
+            spec.with_dtype(DType.FP16) if spec.dtype is DType.FP32 else spec
+            for spec in g.inputs
+        ]
+        self._details = {"initializers_cast": casted}
+        return g
+
+
+def quantize_int8(graph: Graph,
+                  calibration_feeds: Iterable[Mapping[str, np.ndarray]],
+                  per_channel: bool = True,
+                  max_batches: int = 8) -> Graph:
+    """Convenience wrapper: calibrate then apply :class:`QuantizePass`."""
+    calibration = calibrate(graph, calibration_feeds, max_batches=max_batches)
+    quantized = QuantizePass(calibration, per_channel=per_channel).run(graph)
+    quantized.validate()
+    return quantized
+
+
+def convert_fp16(graph: Graph) -> Graph:
+    """Convenience wrapper around :class:`CastFP16`."""
+    converted = CastFP16().run(graph)
+    converted.validate()
+    return converted

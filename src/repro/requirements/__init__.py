@@ -1,0 +1,22 @@
+"""Requirements-engineering framework for AIoT systems (paper Sec. IV-A)."""
+
+from .framework import (
+    AbstractionLevel,
+    ArchitecturalFramework,
+    ArchitecturalView,
+    ConcernCluster,
+    Dependency,
+    DependencyRuleViolation,
+    FrameworkError,
+    Requirement,
+)
+from .templates import build_paeb_framework, build_smart_mirror_framework
+from .verification import CheckResult, VerificationSuite
+
+__all__ = [
+    "AbstractionLevel", "ArchitecturalFramework", "ArchitecturalView",
+    "ConcernCluster", "Dependency", "DependencyRuleViolation",
+    "FrameworkError", "Requirement",
+    "build_paeb_framework", "build_smart_mirror_framework",
+    "CheckResult", "VerificationSuite",
+]

@@ -1,0 +1,237 @@
+"""The VEDLIoT architectural framework for AIoT requirements engineering.
+
+Paper Sec. IV-A: "The VEDLIoT architectural framework is organized by two
+aspects: Clusters of concerns, and level of abstraction.  These aspects
+form a 2-dimensional grid of architectural views … dependencies between the
+architectural views only exist vertically between the views of the same
+cluster of concern or horizontally between architectural views on the same
+level of abstraction.  This reduces the complexity of the system design
+challenge and allows for better traceability."
+
+This module implements that grid: thirteen concern clusters x four
+abstraction levels, architectural views placed on the grid, the
+vertical-or-horizontal dependency rule (enforced — the framework's core
+claim), requirements attached to views, and traceability/impact queries.
+Middle-out engineering is supported: knowledge may be recorded at any level
+at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class ConcernCluster(Enum):
+    """The thirteen clusters of concerns the paper enumerates."""
+
+    LOGICAL_BEHAVIOR = "logical behavior"
+    PROCESS_BEHAVIOR = "process behavior"
+    CONTEXT_AND_CONSTRAINTS = "context and constraints"
+    LEARNING_SETTING = "learning setting"
+    DEEP_LEARNING_MODEL = "deep learning model"
+    HARDWARE = "hardware"
+    INFORMATION = "information"
+    COMMUNICATION = "communication"
+    ETHICS = "ethical concerns"
+    SAFETY = "safety"
+    SECURITY = "security"
+    PRIVACY = "privacy"
+    ENERGY = "energy"
+
+
+class AbstractionLevel(Enum):
+    """The four levels of abstraction, top to bottom."""
+
+    KNOWLEDGE = 0
+    CONCEPTUAL = 1
+    DESIGN = 2
+    RUNTIME = 3
+
+
+class DependencyRuleViolation(ValueError):
+    """A dependency that is neither vertical nor horizontal."""
+
+
+class FrameworkError(ValueError):
+    """Structural errors (duplicate views, unknown ids, ...)."""
+
+
+@dataclass
+class Requirement:
+    """A requirement owned by one architectural view."""
+
+    req_id: str
+    text: str
+    status: str = "open"          # open | accepted | implemented | verified
+
+    def __post_init__(self) -> None:
+        if not self.req_id or not self.text:
+            raise FrameworkError("requirement needs an id and text")
+
+
+@dataclass
+class ArchitecturalView:
+    """One cell of the grid: a view on the system from (cluster, level)."""
+
+    view_id: str
+    cluster: ConcernCluster
+    level: AbstractionLevel
+    description: str = ""
+    requirements: List[Requirement] = field(default_factory=list)
+    knowledge_notes: List[str] = field(default_factory=list)
+
+    def add_requirement(self, req_id: str, text: str) -> Requirement:
+        if any(r.req_id == req_id for r in self.requirements):
+            raise FrameworkError(f"duplicate requirement id {req_id!r}")
+        requirement = Requirement(req_id, text)
+        self.requirements.append(requirement)
+        return requirement
+
+    def record_knowledge(self, note: str) -> None:
+        """Middle-out support: knowledge may arrive at any level, any time."""
+        self.knowledge_notes.append(note)
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A directed correspondence between two views, with rationale."""
+
+    source: str
+    target: str
+    rationale: str = ""
+
+
+class ArchitecturalFramework:
+    """The 2-D grid with rule-checked dependencies and traceability."""
+
+    def __init__(self, system_name: str) -> None:
+        self.system_name = system_name
+        self.views: Dict[str, ArchitecturalView] = {}
+        self.dependencies: List[Dependency] = []
+
+    # -- grid management --------------------------------------------------------
+
+    def add_view(self, view_id: str, cluster: ConcernCluster,
+                 level: AbstractionLevel,
+                 description: str = "") -> ArchitecturalView:
+        if view_id in self.views:
+            raise FrameworkError(f"duplicate view id {view_id!r}")
+        for existing in self.views.values():
+            if existing.cluster is cluster and existing.level is level:
+                raise FrameworkError(
+                    f"grid cell ({cluster.value}, {level.name}) already "
+                    f"holds view {existing.view_id!r}"
+                )
+        view = ArchitecturalView(view_id, cluster, level, description)
+        self.views[view_id] = view
+        return view
+
+    def view(self, view_id: str) -> ArchitecturalView:
+        try:
+            return self.views[view_id]
+        except KeyError:
+            raise FrameworkError(f"unknown view {view_id!r}") from None
+
+    def cell(self, cluster: ConcernCluster,
+             level: AbstractionLevel) -> Optional[ArchitecturalView]:
+        for view in self.views.values():
+            if view.cluster is cluster and view.level is level:
+                return view
+        return None
+
+    # -- the dependency rule -------------------------------------------------------
+
+    def add_dependency(self, source_id: str, target_id: str,
+                       rationale: str = "") -> Dependency:
+        """Add a dependency; only vertical or horizontal ones are legal."""
+        source = self.view(source_id)
+        target = self.view(target_id)
+        if source_id == target_id:
+            raise DependencyRuleViolation("a view cannot depend on itself")
+        vertical = source.cluster is target.cluster
+        horizontal = source.level is target.level
+        if not (vertical or horizontal):
+            raise DependencyRuleViolation(
+                f"dependency {source_id!r} -> {target_id!r} is diagonal: "
+                f"({source.cluster.value}, {source.level.name}) -> "
+                f"({target.cluster.value}, {target.level.name}); the "
+                "framework only permits same-cluster (vertical) or "
+                "same-level (horizontal) dependencies"
+            )
+        dependency = Dependency(source_id, target_id, rationale)
+        self.dependencies.append(dependency)
+        return dependency
+
+    # -- traceability ------------------------------------------------------------------
+
+    def dependents_of(self, view_id: str) -> List[str]:
+        """Views that directly depend on ``view_id``."""
+        self.view(view_id)
+        return sorted(d.source for d in self.dependencies if d.target == view_id)
+
+    def dependencies_of(self, view_id: str) -> List[str]:
+        """Views that ``view_id`` directly depends on."""
+        self.view(view_id)
+        return sorted(d.target for d in self.dependencies if d.source == view_id)
+
+    def impact_of_change(self, view_id: str) -> List[str]:
+        """Transitive closure of views affected by changing ``view_id``."""
+        self.view(view_id)
+        affected: Set[str] = set()
+        frontier = [view_id]
+        while frontier:
+            current = frontier.pop()
+            for dep in self.dependencies:
+                if dep.target == current and dep.source not in affected:
+                    affected.add(dep.source)
+                    frontier.append(dep.source)
+        return sorted(affected)
+
+    def trace_requirement(self, req_id: str) -> Tuple[str, List[str]]:
+        """Locate a requirement and every view its realization can affect."""
+        for view in self.views.values():
+            if any(r.req_id == req_id for r in view.requirements):
+                return view.view_id, self.impact_of_change(view.view_id)
+        raise FrameworkError(f"requirement {req_id!r} not found in any view")
+
+    def all_requirements(self) -> List[Tuple[str, Requirement]]:
+        out: List[Tuple[str, Requirement]] = []
+        for view in self.views.values():
+            out.extend((view.view_id, r) for r in view.requirements)
+        return out
+
+    def unverified_requirements(self) -> List[Tuple[str, Requirement]]:
+        return [(v, r) for v, r in self.all_requirements()
+                if r.status != "verified"]
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def grid_summary(self) -> str:
+        """Textual rendering of the populated grid (the Fig. 1 style view)."""
+        lines = [f"architectural framework for {self.system_name!r}: "
+                 f"{len(self.views)} views, {len(self.dependencies)} dependencies"]
+        for cluster in ConcernCluster:
+            row = []
+            for level in AbstractionLevel:
+                view = self.cell(cluster, level)
+                row.append(view.view_id if view else ".")
+            if any(cell != "." for cell in row):
+                lines.append(f"  {cluster.value:<24} " + " | ".join(
+                    f"{cell:<18}" for cell in row))
+        return "\n".join(lines)
+
+    def validate(self) -> List[str]:
+        """Consistency findings: dangling deps are impossible by construction;
+        reports views with requirements but no dependencies (likely untraced)."""
+        findings: List[str] = []
+        linked = {d.source for d in self.dependencies} | \
+                 {d.target for d in self.dependencies}
+        for view in self.views.values():
+            if view.requirements and view.view_id not in linked:
+                findings.append(
+                    f"view {view.view_id!r} holds requirements but is not "
+                    "connected to any other view"
+                )
+        return findings

@@ -1,0 +1,119 @@
+"""Prebuilt architectural frameworks for the VEDLIoT use cases.
+
+These templates exercise the framework the way the project does: each use
+case populates the concern/abstraction grid, wires the legal dependencies,
+and attaches its driving requirements (the ones the paper states in
+Sec. V).  The Fig. 1 benchmark renders these as the system-level view.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    AbstractionLevel,
+    ArchitecturalFramework,
+    ConcernCluster,
+)
+
+
+def build_paeb_framework() -> ArchitecturalFramework:
+    """Architectural framework of the PAEB automotive use case (Sec. V-A)."""
+    fw = ArchitecturalFramework("pedestrian-automatic-emergency-braking")
+
+    logic = fw.add_view("paeb-function", ConcernCluster.LOGICAL_BEHAVIOR,
+                        AbstractionLevel.CONCEPTUAL,
+                        "detect pedestrians and decide braking")
+    model = fw.add_view("detector-model", ConcernCluster.DEEP_LEARNING_MODEL,
+                        AbstractionLevel.DESIGN,
+                        "pedestrian detector network and its distribution")
+    model_concept = fw.add_view("detection-approach",
+                                ConcernCluster.DEEP_LEARNING_MODEL,
+                                AbstractionLevel.CONCEPTUAL,
+                                "camera-based DL detection")
+    hardware = fw.add_view("oncar-edge-hw", ConcernCluster.HARDWARE,
+                           AbstractionLevel.DESIGN,
+                           "on-car accelerator plus edge station")
+    comms = fw.add_view("mobile-network", ConcernCluster.COMMUNICATION,
+                        AbstractionLevel.DESIGN,
+                        "mobile network monitoring and offload transport")
+    safety = fw.add_view("braking-safety", ConcernCluster.SAFETY,
+                         AbstractionLevel.CONCEPTUAL,
+                         "braking deadline and fail-safe behaviour")
+    safety_design = fw.add_view("safety-kernel", ConcernCluster.SAFETY,
+                                AbstractionLevel.DESIGN,
+                                "hybrid kernel guarding the detector")
+    security = fw.add_view("offload-security", ConcernCluster.SECURITY,
+                           AbstractionLevel.DESIGN,
+                           "remote attestation of edge nodes")
+    energy = fw.add_view("energy-budget", ConcernCluster.ENERGY,
+                         AbstractionLevel.DESIGN,
+                         "on-car energy minimization")
+    runtime = fw.add_view("offload-runtime", ConcernCluster.COMMUNICATION,
+                          AbstractionLevel.RUNTIME,
+                          "live offload decision engine")
+
+    logic.add_requirement("PAEB-R1", "Brake before impact at up to 60 km/h")
+    safety.add_requirement("PAEB-R2",
+                           "End-to-end latency below the braking deadline")
+    security.add_requirement(
+        "PAEB-R3", "Raw sensor data leaves the car only to attested nodes")
+    energy.add_requirement("PAEB-R4", "Minimize on-car energy consumption")
+
+    # Vertical dependencies (same cluster, across levels).
+    fw.add_dependency("detector-model", "detection-approach",
+                      "design realizes the conceptual approach")
+    fw.add_dependency("safety-kernel", "braking-safety",
+                      "kernel enforces the conceptual safety envelope")
+    fw.add_dependency("offload-runtime", "mobile-network",
+                      "runtime decisions use the designed transport")
+    # Horizontal dependencies (same level, across clusters).
+    fw.add_dependency("detector-model", "oncar-edge-hw",
+                      "model variants sized for the deployed accelerators")
+    fw.add_dependency("detector-model", "mobile-network",
+                      "distribution split depends on link quality")
+    fw.add_dependency("energy-budget", "oncar-edge-hw",
+                      "energy model of the selected hardware")
+    fw.add_dependency("offload-security", "mobile-network",
+                      "attestation rides the same transport")
+    fw.add_dependency("braking-safety", "paeb-function",
+                      "safety envelope constrains the function")
+    return fw
+
+
+def build_smart_mirror_framework() -> ArchitecturalFramework:
+    """Architectural framework of the smart-mirror use case (Sec. V-C)."""
+    fw = ArchitecturalFramework("smart-mirror")
+
+    fw.add_view("interaction", ConcernCluster.LOGICAL_BEHAVIOR,
+                AbstractionLevel.CONCEPTUAL,
+                "gesture/face/object/speech interaction")
+    fw.add_view("four-networks", ConcernCluster.DEEP_LEARNING_MODEL,
+                AbstractionLevel.DESIGN,
+                "four concurrent neural networks")
+    fw.add_view("privacy-onsite", ConcernCluster.PRIVACY,
+                AbstractionLevel.CONCEPTUAL,
+                "no cloud: all processing on-site")
+    fw.add_view("privacy-enforcement", ConcernCluster.PRIVACY,
+                AbstractionLevel.DESIGN,
+                "data-flow boundary keeps frames local")
+    fw.add_view("embedded-platform", ConcernCluster.HARDWARE,
+                AbstractionLevel.DESIGN,
+                "uRECS-class embedded platform")
+    fw.add_view("energy-envelope", ConcernCluster.ENERGY,
+                AbstractionLevel.DESIGN, "low-power real-time budget")
+
+    fw.view("privacy-onsite").add_requirement(
+        "SM-R1", "No resident data is distributed to the cloud")
+    fw.view("interaction").add_requirement(
+        "SM-R2", "All four modalities respond in real time")
+    fw.view("energy-envelope").add_requirement(
+        "SM-R3", "Continuous operation within the embedded power budget")
+
+    fw.add_dependency("privacy-enforcement", "privacy-onsite",
+                      "design realizes the on-site constraint")
+    fw.add_dependency("four-networks", "embedded-platform",
+                      "networks sized for the platform")
+    fw.add_dependency("four-networks", "privacy-enforcement",
+                      "inference pipelines stay inside the boundary")
+    fw.add_dependency("energy-envelope", "embedded-platform",
+                      "budget allocated over platform components")
+    return fw

@@ -1,0 +1,102 @@
+"""Requirement verification: executable checks bound to the framework.
+
+The paper couples "requirement engineering and verification techniques for
+AIoT" (Sec. I) — requirements are not just recorded, they are *checked*.
+A :class:`VerificationSuite` binds each requirement to executable checks
+(plain callables returning truth), runs them, updates requirement statuses
+in the architectural framework, and renders a compliance report.  The
+use-case benchmarks use this to close the loop: e.g. PAEB-R2 ("end-to-end
+latency below the braking deadline") is verified by running the offload
+simulation and checking the miss count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .framework import ArchitecturalFramework, FrameworkError
+
+Check = Callable[[], bool]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one executed check."""
+
+    requirement_id: str
+    check_name: str
+    passed: bool
+    error: Optional[str] = None
+
+
+class VerificationSuite:
+    """Executable verification bound to a framework's requirements."""
+
+    def __init__(self, framework: ArchitecturalFramework) -> None:
+        self.framework = framework
+        self._checks: Dict[str, List[Tuple[str, Check]]] = {}
+
+    def add_check(self, requirement_id: str, name: str, check: Check) -> None:
+        """Bind a check to a requirement; the requirement must exist."""
+        self.framework.trace_requirement(requirement_id)  # existence check
+        self._checks.setdefault(requirement_id, []).append((name, check))
+
+    def coverage(self) -> Dict[str, int]:
+        """Checks bound per requirement (0 entries are uncovered)."""
+        counts = {req.req_id: 0
+                  for _, req in self.framework.all_requirements()}
+        for req_id, checks in self._checks.items():
+            counts[req_id] = len(checks)
+        return counts
+
+    def uncovered_requirements(self) -> List[str]:
+        return sorted(req_id for req_id, count in self.coverage().items()
+                      if count == 0)
+
+    def run(self) -> List[CheckResult]:
+        """Execute every check and update requirement statuses.
+
+        A requirement becomes ``verified`` only if *all* its checks pass;
+        any failure marks it ``open`` again (regressions re-open).
+        """
+        results: List[CheckResult] = []
+        for req_id, checks in sorted(self._checks.items()):
+            all_passed = True
+            for name, check in checks:
+                try:
+                    passed = bool(check())
+                    error = None
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    passed = False
+                    error = f"{type(exc).__name__}: {exc}"
+                results.append(CheckResult(req_id, name, passed, error))
+                all_passed = all_passed and passed
+            self._set_status(req_id, "verified" if all_passed else "open")
+        return results
+
+    def _set_status(self, req_id: str, status: str) -> None:
+        for _, requirement in self.framework.all_requirements():
+            if requirement.req_id == req_id:
+                requirement.status = status
+                return
+        raise FrameworkError(f"requirement {req_id!r} vanished")
+
+    def compliance_report(self, results: List[CheckResult]) -> str:
+        lines = [f"verification of {self.framework.system_name!r}:"]
+        by_req: Dict[str, List[CheckResult]] = {}
+        for result in results:
+            by_req.setdefault(result.requirement_id, []).append(result)
+        for req_id in sorted(by_req):
+            outcomes = by_req[req_id]
+            verdict = "VERIFIED" if all(r.passed for r in outcomes) \
+                else "FAILED"
+            lines.append(f"  {req_id:<10} {verdict}")
+            for result in outcomes:
+                mark = "pass" if result.passed else "FAIL"
+                suffix = f" ({result.error})" if result.error else ""
+                lines.append(f"    [{mark}] {result.check_name}{suffix}")
+        uncovered = self.uncovered_requirements()
+        if uncovered:
+            lines.append(f"  uncovered requirements: {', '.join(uncovered)}")
+        return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Reference runtime: numpy kernels, executor, quantized arithmetic, profiler."""
+
+from .executor import ExecutionError, Executor, run_graph
+from .profiler import LayerProfile, Profiler, ProfileResult, profile_graph
+from .quantized import (
+    QuantParams,
+    choose_qparams,
+    quantization_error,
+    quantized_conv2d,
+    quantized_dense,
+)
+
+__all__ = [
+    "ExecutionError", "Executor", "run_graph",
+    "LayerProfile", "Profiler", "ProfileResult", "profile_graph",
+    "QuantParams", "choose_qparams", "quantization_error",
+    "quantized_conv2d", "quantized_dense",
+]

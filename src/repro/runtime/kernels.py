@@ -1,0 +1,210 @@
+"""Numpy reference kernels for every IR operator.
+
+These implement the float semantics of the op set.  They favour clarity and
+vectorization over micro-optimization: conv2d uses an im2col formulation so
+small models execute in milliseconds, which is all the toolchain tests and
+the use-case pipelines need (large models are evaluated analytically by the
+hardware performance model, not executed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def im2col(data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NCHW input into (N, C*kh*kw, oh*ow) patch columns."""
+    n, c, h, w = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    # Gather all kernel offsets via strided slicing; avoids Python loops over
+    # output pixels (the dominant cost for reference conv).
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=data.dtype)
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            cols[:, :, i, j] = data[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(n, c * kh * kw, oh * ow), (oh, ow)
+
+
+def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
+           stride=1, padding=0, groups: int = 1) -> np.ndarray:
+    """2-D convolution, NCHW input, OIHW weight, optional groups."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n = data.shape[0]
+    out_c, in_c, kh, kw = weight.shape
+    if groups == 1:
+        cols, (oh, ow) = im2col(data, (kh, kw), stride, padding)
+        w2 = weight.reshape(out_c, in_c * kh * kw)
+        if data.dtype == np.float16:
+            # FP16 semantics: half-precision storage, single-precision
+            # accumulation (what FP16 tensor units actually do).
+            cols = cols.astype(np.float32)
+            w2 = w2.astype(np.float32)
+        out = np.einsum("of,nfp->nop", w2, cols, optimize=True)
+        out = out.reshape(n, out_c, oh, ow)
+    else:
+        in_per_group = data.shape[1] // groups
+        out_per_group = out_c // groups
+        outputs = []
+        for g in range(groups):
+            d = data[:, g * in_per_group:(g + 1) * in_per_group]
+            w = weight[g * out_per_group:(g + 1) * out_per_group]
+            outputs.append(conv2d(d, w, stride=stride, padding=padding))
+        out = np.concatenate(outputs, axis=1)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    if np.issubdtype(data.dtype, np.floating):
+        out = out.astype(data.dtype, copy=False)
+    return out
+
+
+def dense(data: np.ndarray, weight: np.ndarray, bias=None) -> np.ndarray:
+    """Affine map over the last axis: y = x @ W.T + b (weight is (out, in))."""
+    if data.dtype == np.float16:
+        out = (data.astype(np.float32) @ weight.astype(np.float32).T)
+    else:
+        out = data @ weight.T
+    if bias is not None:
+        out = out + bias
+    if np.issubdtype(data.dtype, np.floating):
+        out = out.astype(data.dtype, copy=False)
+    return out
+
+
+def batchnorm(data: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+              mean: np.ndarray, var: np.ndarray,
+              epsilon: float = 1e-5) -> np.ndarray:
+    """Inference-mode batch normalization over the channel axis (axis 1)."""
+    shape = [1] * data.ndim
+    shape[1] = -1
+    scale = (gamma / np.sqrt(var + epsilon)).reshape(shape)
+    shift = (beta - mean * gamma / np.sqrt(var + epsilon)).reshape(shape)
+    return data * scale + shift
+
+
+# -- activations -------------------------------------------------------------
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0, 6)
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.1) -> np.ndarray:
+    return np.where(x >= 0, x, alpha * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Split positive/negative branches for numerical stability.
+    out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float32))
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def hardsigmoid(x: np.ndarray) -> np.ndarray:
+    return np.clip(x / 6.0 + 0.5, 0.0, 1.0)
+
+
+def hardswish(x: np.ndarray) -> np.ndarray:
+    return x * hardsigmoid(x)
+
+
+def mish(x: np.ndarray) -> np.ndarray:
+    # x * tanh(softplus(x)); softplus computed stably.
+    sp = np.logaddexp(0.0, x)
+    return x * np.tanh(sp)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "relu6": relu6,
+    "leaky_relu": leaky_relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "hardswish": hardswish,
+    "hardsigmoid": hardsigmoid,
+    "mish": mish,
+    "identity": lambda x: x,
+}
+
+
+# -- pooling ------------------------------------------------------------------
+
+def _pool2d(data: np.ndarray, kernel, stride, padding, reducer,
+            pad_value: float) -> np.ndarray:
+    kernel = _pair(kernel)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                      constant_values=pad_value)
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    windows = np.empty((n, c, oh, ow, kh * kw), dtype=data.dtype)
+    idx = 0
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            windows[..., idx] = data[:, :, i:i_end:sh, j:j_end:sw]
+            idx += 1
+    return reducer(windows, axis=-1)
+
+
+def maxpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
+    stride = kernel if stride is None else stride
+    return _pool2d(data, kernel, stride, padding, np.max, -np.inf)
+
+
+def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
+    stride = kernel if stride is None else stride
+    return _pool2d(data, kernel, stride, padding, np.mean, 0.0)
+
+
+def global_avgpool2d(data: np.ndarray) -> np.ndarray:
+    return data.mean(axis=(2, 3), keepdims=True)
+
+
+def upsample2d(data: np.ndarray, scale: int) -> np.ndarray:
+    """Nearest-neighbour upsampling by an integer factor."""
+    return data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+
+def pad(data: np.ndarray, pads) -> np.ndarray:
+    return np.pad(data, [(int(b), int(a)) for b, a in pads])

@@ -1,0 +1,134 @@
+"""Execution profiler: per-op wall-clock latency and memory accounting.
+
+Provides the measurement half of the Kenning-style benchmarking flow
+(paper Sec. III): inference duration, per-layer breakdown, and peak
+activation memory.  The analytic hardware model (repro.hw) predicts what a
+*target* would do; this profiler measures what the reference runtime
+actually does on the host.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from .executor import Executor
+
+
+@dataclass
+class LayerProfile:
+    """Aggregated timing of one node across profiled runs."""
+
+    name: str
+    op_type: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    output_bytes: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ProfileResult:
+    """Result of profiling a graph over one or more runs."""
+
+    graph_name: str
+    runs: int
+    total_seconds: float
+    layers: List[LayerProfile] = field(default_factory=list)
+    peak_activation_bytes: int = 0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return self.total_seconds / self.runs if self.runs else 0.0
+
+    def by_op_type(self) -> Dict[str, float]:
+        """Total seconds grouped by operator kind (hot-spot summary)."""
+        totals: Dict[str, float] = {}
+        for layer in self.layers:
+            totals[layer.op_type] = totals.get(layer.op_type, 0.0) + layer.total_seconds
+        return totals
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable profile summary, hottest layers first."""
+        lines = [
+            f"profile of {self.graph_name!r}: {self.runs} runs, "
+            f"mean latency {self.mean_latency_seconds * 1e3:.3f} ms, "
+            f"peak activations {self.peak_activation_bytes / 1024:.1f} KiB",
+        ]
+        hottest = sorted(self.layers, key=lambda l: l.total_seconds, reverse=True)
+        for layer in hottest[:top]:
+            share = (layer.total_seconds / self.total_seconds * 100
+                     if self.total_seconds else 0.0)
+            lines.append(
+                f"  {layer.name:<28} {layer.op_type:<16} "
+                f"{layer.mean_seconds * 1e6:9.1f} us/call  {share:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Wraps an :class:`Executor` with timing hooks."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.executor = Executor(graph)
+        self.graph = graph
+
+    def profile(
+        self, feeds: Mapping[str, np.ndarray], runs: int = 3, warmup: int = 1,
+    ) -> ProfileResult:
+        """Execute ``runs`` timed inferences (after ``warmup`` untimed ones)."""
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        layers: Dict[str, LayerProfile] = {
+            node.name: LayerProfile(node.name, node.op_type)
+            for node in self.graph.nodes
+        }
+        state = {"last": 0.0, "live_bytes": 0, "peak": 0}
+
+        def timing_hook(node: Node, outputs):
+            now = time.perf_counter()
+            profile = layers[node.name]
+            profile.calls += 1
+            profile.total_seconds += now - state["last"]
+            out_bytes = sum(int(o.nbytes) for o in outputs)
+            profile.output_bytes = out_bytes
+            state["live_bytes"] += out_bytes
+            state["peak"] = max(state["peak"], state["live_bytes"])
+            state["last"] = time.perf_counter()
+            return None
+
+        for _ in range(warmup):
+            self.executor.run(feeds)
+
+        self.executor.add_hook(timing_hook)
+        total = 0.0
+        try:
+            for _ in range(runs):
+                state["live_bytes"] = 0
+                start = time.perf_counter()
+                state["last"] = start
+                self.executor.run(feeds)
+                total += time.perf_counter() - start
+        finally:
+            self.executor.clear_hooks()
+
+        return ProfileResult(
+            graph_name=self.graph.name,
+            runs=runs,
+            total_seconds=total,
+            layers=list(layers.values()),
+            peak_activation_bytes=state["peak"],
+        )
+
+
+def profile_graph(graph: Graph, feeds: Mapping[str, np.ndarray],
+                  runs: int = 3, warmup: int = 1) -> ProfileResult:
+    """One-shot convenience wrapper around :class:`Profiler`."""
+    return Profiler(graph).profile(feeds, runs=runs, warmup=warmup)

@@ -1,0 +1,187 @@
+"""Quantized tensor representation and INT8 arithmetic.
+
+Implements the affine quantization scheme used by the toolchain's
+post-training quantization pass: ``real = scale * (q - zero_point)``.
+Per-tensor and per-channel parameterizations are both supported; the
+hardware-aware optimizer benchmarks the accuracy difference between them
+(a design-choice ablation called out in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..ir.tensor import DType
+
+INT8_MIN, INT8_MAX = -128, 127
+UINT8_MIN, UINT8_MAX = 0, 255
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters.
+
+    ``scale`` and ``zero_point`` are scalars for per-tensor quantization or
+    1-D arrays (indexed by ``channel_axis``) for per-channel quantization.
+    """
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    dtype: DType = DType.INT8
+    channel_axis: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        scale = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+        zero = np.atleast_1d(np.asarray(self.zero_point, dtype=np.int64))
+        if np.any(scale <= 0):
+            raise ValueError("quantization scale must be positive")
+        if scale.shape != zero.shape:
+            raise ValueError("scale and zero_point must have matching shapes")
+        if self.channel_axis is None and scale.size != 1:
+            raise ValueError("per-tensor params must be scalar")
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "zero_point", zero)
+
+    @property
+    def qmin(self) -> int:
+        return UINT8_MIN if self.dtype is DType.UINT8 else INT8_MIN
+
+    @property
+    def qmax(self) -> int:
+        return UINT8_MAX if self.dtype is DType.UINT8 else INT8_MAX
+
+    def _broadcast(self, values: np.ndarray, ndim: int) -> np.ndarray:
+        if self.channel_axis is None:
+            return values.reshape(())
+        shape = [1] * ndim
+        shape[self.channel_axis] = -1
+        return values.reshape(shape)
+
+    def quantize(self, real: np.ndarray) -> np.ndarray:
+        """Quantize float values to the integer grid (round-to-nearest-even)."""
+        scale = self._broadcast(self.scale, real.ndim)
+        zero = self._broadcast(self.zero_point, real.ndim)
+        q = np.round(real / scale) + zero
+        return np.clip(q, self.qmin, self.qmax).astype(self.dtype.to_numpy())
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        scale = self._broadcast(self.scale, q.ndim)
+        zero = self._broadcast(self.zero_point, q.ndim)
+        return ((q.astype(np.float64) - zero) * scale).astype(np.float32)
+
+
+def choose_qparams(
+    values: np.ndarray,
+    dtype: DType = DType.INT8,
+    symmetric: bool = True,
+    channel_axis: Optional[int] = None,
+) -> QuantParams:
+    """Pick scale/zero-point from observed value range.
+
+    Symmetric mode (weights) centres the grid on zero; asymmetric mode
+    (activations after ReLU etc.) uses the full [min, max] range.
+    """
+    if channel_axis is not None:
+        axes = tuple(i for i in range(values.ndim) if i != channel_axis)
+        lo = values.min(axis=axes)
+        hi = values.max(axis=axes)
+    else:
+        lo = np.array(values.min())
+        hi = np.array(values.max())
+    # Work in float64 with a positive floor: float32 denormal ranges
+    # divided by the grid width would underflow to an invalid zero scale.
+    lo = np.minimum(lo.astype(np.float64), 0.0)
+    hi = np.maximum(hi.astype(np.float64), 0.0)
+    tiny = float(np.finfo(np.float32).tiny)
+    qmin = UINT8_MIN if dtype is DType.UINT8 else INT8_MIN
+    qmax = UINT8_MAX if dtype is DType.UINT8 else INT8_MAX
+    if symmetric:
+        if dtype is DType.UINT8:
+            raise ValueError("symmetric quantization requires a signed dtype")
+        bound = np.maximum(np.abs(lo), np.abs(hi))
+        scale = np.where(bound > 0, np.maximum(bound / qmax, tiny), 1.0)
+        zero = np.zeros_like(scale, dtype=np.int64)
+    else:
+        span = hi - lo
+        scale = np.where(span > 0, np.maximum(span / (qmax - qmin), tiny),
+                         1.0)
+        zero = np.round(qmin - lo / scale).astype(np.int64)
+        zero = np.clip(zero, qmin, qmax)
+    return QuantParams(scale, zero, dtype, channel_axis)
+
+
+def quantized_conv2d(
+    q_data: np.ndarray, data_params: QuantParams,
+    q_weight: np.ndarray, weight_params: QuantParams,
+    bias: Optional[np.ndarray],
+    out_params: QuantParams,
+    stride=1, padding=0, groups: int = 1,
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """INT8 convolution with int32 accumulation and requantization.
+
+    Mirrors how integer NPUs execute quantized convolutions: the inner
+    product runs entirely in integers; the float rescale happens once per
+    output channel at requantization.
+    """
+    from . import kernels
+
+    acc = kernels.conv2d(
+        (q_data.astype(np.int32) - int(data_params.zero_point.ravel()[0])),
+        q_weight.astype(np.int32),
+        stride=stride, padding=padding, groups=groups,
+    )
+    return _requantize(acc, data_params, weight_params, bias, out_params,
+                       channel_ndim=4, activation=activation)
+
+
+def quantized_dense(
+    q_data: np.ndarray, data_params: QuantParams,
+    q_weight: np.ndarray, weight_params: QuantParams,
+    bias: Optional[np.ndarray],
+    out_params: QuantParams,
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """INT8 matmul with int32 accumulation and requantization."""
+    acc = (q_data.astype(np.int32) - int(data_params.zero_point.ravel()[0])) @ \
+        q_weight.astype(np.int32).T
+    return _requantize(acc, data_params, weight_params, bias, out_params,
+                       channel_ndim=2, activation=activation)
+
+
+def _requantize(acc: np.ndarray, data_params: QuantParams,
+                weight_params: QuantParams, bias: Optional[np.ndarray],
+                out_params: QuantParams, channel_ndim: int,
+                activation: Optional[str] = None) -> np.ndarray:
+    """Scale int32 accumulators into the output quantization grid.
+
+    An optional fused activation is applied in the real domain before
+    requantization, matching how integer NPUs fold activations into the
+    requantization step.
+    """
+    w_scale = weight_params.scale
+    if weight_params.channel_axis is not None:
+        shape = [1] * channel_ndim
+        shape[1 if channel_ndim == 4 else -1] = -1
+        w_scale = w_scale.reshape(shape)
+    real = acc * (float(data_params.scale.ravel()[0]) * w_scale)
+    if bias is not None:
+        if channel_ndim == 4:
+            real = real + bias.reshape(1, -1, 1, 1)
+        else:
+            real = real + bias
+    real = real.astype(np.float32)
+    if activation:
+        from .kernels import ACTIVATIONS
+
+        real = ACTIVATIONS[activation](real)
+    return out_params.quantize(real)
+
+
+def quantization_error(real: np.ndarray, params: QuantParams) -> float:
+    """RMS round-trip error of quantizing ``real`` with ``params``."""
+    round_trip = params.dequantize(params.quantize(real))
+    return float(np.sqrt(np.mean((real - round_trip) ** 2)))

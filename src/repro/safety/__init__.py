@@ -1,0 +1,56 @@
+"""Safety substrate: input monitors, robustness service, fault injection."""
+
+from .monitors import (
+    Action,
+    Anomaly,
+    Monitor,
+    MonitorPipeline,
+    PipelineStats,
+    Severity,
+    Verdict,
+)
+from .input_quality import (
+    BlurMonitor,
+    DeadPixelMonitor,
+    DriftMonitor,
+    DropoutMonitor,
+    ExposureMonitor,
+    NoiseMonitor,
+    OutlierMonitor,
+    RangeMonitor,
+    StuckSensorMonitor,
+    median_filter3,
+)
+from .robustness import (
+    AuditedDevice,
+    AuditPolicy,
+    CheckResult,
+    DeviceRecord,
+    RobustnessService,
+)
+from .fault_injection import (
+    ActivationFaultHook,
+    CampaignResult,
+    InjectedFault,
+    flip_weight_bits,
+    run_detection_campaign,
+)
+from .hybrid import (
+    HybridSystem,
+    KernelDecision,
+    KernelStats,
+    StepResult,
+)
+
+__all__ = [
+    "Action", "Anomaly", "Monitor", "MonitorPipeline", "PipelineStats",
+    "Severity", "Verdict",
+    "BlurMonitor", "DeadPixelMonitor", "DriftMonitor", "DropoutMonitor",
+    "ExposureMonitor", "NoiseMonitor", "OutlierMonitor", "RangeMonitor",
+    "StuckSensorMonitor", "median_filter3",
+    "AuditedDevice", "AuditPolicy", "CheckResult", "DeviceRecord",
+    "RobustnessService",
+    "ActivationFaultHook", "CampaignResult", "InjectedFault",
+    "flip_weight_bits", "run_detection_campaign",
+    "HybridSystem", "KernelDecision", "KernelStats", "StepResult",
+]

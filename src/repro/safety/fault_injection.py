@@ -1,0 +1,156 @@
+"""Fault injection: the run-time faults the robustness service must catch.
+
+Models the systematic faults the paper worries about (Sec. IV-B: "these
+faults may have been triggered or injected during run-time (e.g., hardware
+faults, attacks)"): bit flips in stored weights (SEUs, rowhammer-style
+attacks) and stuck activations (datapath faults).  Injectors work either on
+a graph copy (persistent weight corruption) or as executor hooks (transient
+activation faults), so campaigns can measure detection coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one injected fault."""
+
+    kind: str
+    target: str
+    detail: str
+
+
+def flip_weight_bits(graph: Graph, num_flips: int = 1,
+                     bit_range: Tuple[int, int] = (20, 31),
+                     seed: int = 0) -> Tuple[Graph, List[InjectedFault]]:
+    """Return a graph copy with random single-bit flips in FP32 weights.
+
+    ``bit_range`` selects which IEEE-754 bits may flip; the default hits
+    the exponent/sign region where flips produce large, detectable errors
+    (low mantissa bits are usually benign).
+    """
+    rng = np.random.default_rng(seed)
+    g = graph.copy()
+    candidates = [name for name, value in g.initializers.items()
+                  if value.dtype == np.float32 and value.size > 0]
+    if not candidates:
+        raise ValueError("graph has no FP32 initializers to corrupt")
+    faults: List[InjectedFault] = []
+    for _ in range(num_flips):
+        name = candidates[rng.integers(len(candidates))]
+        tensor = g.initializers[name]
+        flat = tensor.view(np.uint32).reshape(-1)
+        index = int(rng.integers(flat.size))
+        bit = int(rng.integers(bit_range[0], bit_range[1] + 1))
+        flat[index] ^= np.uint32(1 << bit)
+        faults.append(InjectedFault(
+            "weight_bitflip", name, f"element {index}, bit {bit}"))
+    return g, faults
+
+
+class ActivationFaultHook:
+    """Executor hook injecting stuck-at faults into one node's output.
+
+    Attach with ``executor.add_hook(hook)``; every pass through the target
+    node forces a fraction of its output elements to ``stuck_value``.
+    """
+
+    def __init__(self, node_name: str, fraction: float = 0.01,
+                 stuck_value: float = 0.0, seed: int = 0) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        self.node_name = node_name
+        self.fraction = fraction
+        self.stuck_value = stuck_value
+        self.rng = np.random.default_rng(seed)
+        self.activations = 0
+
+    def __call__(self, node: Node, outputs: List[np.ndarray]
+                 ) -> Optional[List[np.ndarray]]:
+        if node.name != self.node_name:
+            return None
+        self.activations += 1
+        corrupted = []
+        for out in outputs:
+            flat = out.reshape(-1).copy()
+            count = max(1, int(flat.size * self.fraction))
+            indices = self.rng.choice(flat.size, size=count, replace=False)
+            flat[indices] = self.stuck_value
+            corrupted.append(flat.reshape(out.shape))
+        return corrupted
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a fault-injection campaign against a detection mechanism."""
+
+    trials: int
+    faults_detected: int
+    faults_missed: int
+    clean_false_alarms: int
+    clean_trials: int
+
+    @property
+    def detection_rate(self) -> float:
+        injected = self.faults_detected + self.faults_missed
+        return self.faults_detected / injected if injected else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        return self.clean_false_alarms / self.clean_trials \
+            if self.clean_trials else 0.0
+
+
+def run_detection_campaign(
+    reference: Graph,
+    service,                       # RobustnessService
+    feeds_list: Sequence[Dict[str, np.ndarray]],
+    num_fault_trials: int = 10,
+    bits: Tuple[int, int] = (24, 30),
+    seed: int = 0,
+) -> CampaignResult:
+    """Measure the robustness service's detection coverage.
+
+    For each trial a fresh corrupted copy of the model plays the "device";
+    clean trials (uncorrupted device) measure the false-alarm rate.
+    """
+    from ..runtime.executor import Executor
+
+    rng = np.random.default_rng(seed)
+    detected = 0
+    missed = 0
+    false_alarms = 0
+    clean_trials = 0
+    for trial in range(num_fault_trials):
+        corrupted, _ = flip_weight_bits(reference, num_flips=1, bit_range=bits,
+                                        seed=int(rng.integers(1 << 31)))
+        device = Executor(corrupted)
+        feeds = feeds_list[trial % len(feeds_list)]
+        outputs = device.run(feeds)
+        result = service.check(f"faulty-{trial}", feeds, outputs)
+        if result.consistent:
+            missed += 1
+        else:
+            detected += 1
+    for trial in range(num_fault_trials):
+        device = Executor(reference)
+        feeds = feeds_list[trial % len(feeds_list)]
+        outputs = device.run(feeds)
+        result = service.check(f"clean-{trial}", feeds, outputs)
+        clean_trials += 1
+        if not result.consistent:
+            false_alarms += 1
+    return CampaignResult(
+        trials=num_fault_trials * 2,
+        faults_detected=detected,
+        faults_missed=missed,
+        clean_false_alarms=false_alarms,
+        clean_trials=clean_trials,
+    )

@@ -1,0 +1,124 @@
+"""Architectural hybridization: a verified safety kernel guarding a complex payload.
+
+Paper Sec. IV-B: "To support all these monitors and monitoring mechanisms,
+an architectural pattern comprising two separate parts is considered, based
+on the concept of architectural hybridization" (Casimiro et al. [16]).
+
+The pattern splits the system into:
+
+* a small, verifiable *safety kernel* that enforces timing and validity
+  envelopes and owns the fail-safe action, and
+* a complex, untrusted *payload* (the DL pipeline) whose outputs are only
+  accepted when the kernel's checks pass.
+
+The kernel cannot be bypassed: every payload result flows through
+:meth:`HybridSystem.step`, and deadline misses, validity failures or
+payload crashes all degrade to the fail-safe output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Generic, List, Optional, TypeVar
+
+Input = TypeVar("Input")
+Output = TypeVar("Output")
+
+PayloadFn = Callable[[Input], Output]
+ValidityCheck = Callable[[Input, Output], bool]
+Clock = Callable[[], float]
+
+
+class KernelDecision(Enum):
+    ACCEPTED = "accepted"
+    DEADLINE_MISS = "deadline_miss"
+    INVALID_OUTPUT = "invalid_output"
+    PAYLOAD_ERROR = "payload_error"
+
+
+@dataclass
+class StepResult(Generic[Output]):
+    """One kernel-mediated execution of the payload."""
+
+    decision: KernelDecision
+    output: Output                 # payload output or fail-safe value
+    elapsed_s: float
+    failsafe_used: bool
+
+
+@dataclass
+class KernelStats:
+    steps: int = 0
+    accepted: int = 0
+    deadline_misses: int = 0
+    invalid_outputs: int = 0
+    payload_errors: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of steps served by the payload (not the fail-safe)."""
+        return self.accepted / self.steps if self.steps else 0.0
+
+
+class HybridSystem(Generic[Input, Output]):
+    """Safety kernel wrapping an untrusted payload function.
+
+    Parameters
+    ----------
+    payload
+        The complex function (e.g. a DL inference pipeline).
+    failsafe
+        Value or callable producing the safe output when the payload is
+        rejected (e.g. "brake" in PAEB, "trip the breaker" in arc
+        detection).
+    deadline_s
+        Hard per-step deadline the kernel enforces.
+    validity
+        Predicate over (input, output); rejecting implausible outputs is
+        the kernel's defence against silent payload corruption.
+    clock
+        Injectable time source (tests use a fake clock).
+    """
+
+    def __init__(self, payload: PayloadFn, failsafe,
+                 deadline_s: float,
+                 validity: Optional[ValidityCheck] = None,
+                 clock: Clock = time.perf_counter) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        self.payload = payload
+        self._failsafe = failsafe
+        self.deadline_s = deadline_s
+        self.validity = validity
+        self.clock = clock
+        self.stats = KernelStats()
+
+    def _failsafe_value(self, value: Input) -> Output:
+        if callable(self._failsafe):
+            return self._failsafe(value)
+        return self._failsafe
+
+    def step(self, value: Input) -> StepResult[Output]:
+        """Run the payload under kernel supervision."""
+        self.stats.steps += 1
+        start = self.clock()
+        try:
+            output = self.payload(value)
+        except Exception:  # noqa: BLE001 - any payload crash must degrade safely
+            self.stats.payload_errors += 1
+            return StepResult(KernelDecision.PAYLOAD_ERROR,
+                              self._failsafe_value(value),
+                              self.clock() - start, True)
+        elapsed = self.clock() - start
+        if elapsed > self.deadline_s:
+            self.stats.deadline_misses += 1
+            return StepResult(KernelDecision.DEADLINE_MISS,
+                              self._failsafe_value(value), elapsed, True)
+        if self.validity is not None and not self.validity(value, output):
+            self.stats.invalid_outputs += 1
+            return StepResult(KernelDecision.INVALID_OUTPUT,
+                              self._failsafe_value(value), elapsed, True)
+        self.stats.accepted += 1
+        return StepResult(KernelDecision.ACCEPTED, output, elapsed, False)

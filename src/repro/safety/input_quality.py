@@ -1,0 +1,335 @@
+"""Concrete input-quality monitors for time series and images.
+
+The detector families the paper names (Sec. IV-B): outliers and dropouts in
+time-series sensor data, noise/exposure/dead-pixel defects in camera
+images.  Each monitor flags anomalies; where a safe correction exists
+(interpolation, clipping, median filtering) it is offered to the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from .monitors import Anomaly, Monitor, Severity
+
+
+# ---------------------------------------------------------------------------
+# Time-series monitors (vibration, current, temperature streams)
+# ---------------------------------------------------------------------------
+
+class RangeMonitor(Monitor):
+    """Physical-bounds check; out-of-range values are clipped."""
+
+    name = "range"
+
+    def __init__(self, low: float, high: float,
+                 severity: Severity = Severity.WARNING) -> None:
+        if low >= high:
+            raise ValueError("low must be < high")
+        self.low = low
+        self.high = high
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        bad = np.flatnonzero((sample < self.low) | (sample > self.high))
+        if bad.size == 0:
+            return []
+        return [Anomaly(self.name, "out_of_range", self.severity,
+                        f"{bad.size} values outside [{self.low}, {self.high}]",
+                        tuple(int(i) for i in bad[:16]))]
+
+    def correct(self, sample: np.ndarray, anomalies) -> Optional[np.ndarray]:
+        return np.clip(sample, self.low, self.high)
+
+
+class OutlierMonitor(Monitor):
+    """Z-score spike detection against a rolling history of windows."""
+
+    name = "outlier"
+
+    def __init__(self, z_threshold: float = 5.0, history: int = 32,
+                 severity: Severity = Severity.WARNING) -> None:
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        self.z_threshold = z_threshold
+        self.history: Deque[Tuple[float, float]] = deque(maxlen=history)
+        self.severity = severity
+        self._last_mask: Optional[np.ndarray] = None
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        self._last_mask = None
+        if self.history:
+            means = np.array([m for m, _ in self.history])
+            stds = np.array([s for _, s in self.history])
+            mu = float(means.mean())
+            sigma = float(max(stds.mean(), 1e-9))
+            z = np.abs(sample - mu) / sigma
+            mask = z > self.z_threshold
+        else:
+            # Cold start: flag only within-window extreme deviations.
+            sigma = float(max(np.std(sample), 1e-9))
+            z = np.abs(sample - np.median(sample)) / sigma
+            mask = z > max(self.z_threshold, 8.0)
+        # Learn only from the non-anomalous portion to avoid poisoning.
+        clean = sample[~mask] if mask.any() else sample
+        if clean.size:
+            self.history.append((float(np.mean(clean)), float(np.std(clean))))
+        if not mask.any():
+            return []
+        self._last_mask = mask
+        bad = np.flatnonzero(mask)
+        return [Anomaly(self.name, "outlier", self.severity,
+                        f"{bad.size} samples exceed z={self.z_threshold}",
+                        tuple(int(i) for i in bad[:16]))]
+
+    def correct(self, sample: np.ndarray, anomalies) -> Optional[np.ndarray]:
+        if self._last_mask is None:
+            return None
+        fixed = sample.copy()
+        good = np.flatnonzero(~self._last_mask)
+        bad = np.flatnonzero(self._last_mask)
+        if good.size == 0:
+            return None
+        fixed[bad] = np.interp(bad, good, sample[good])
+        return fixed
+
+    def reset(self) -> None:
+        self.history.clear()
+        self._last_mask = None
+
+
+class DropoutMonitor(Monitor):
+    """Detects missing samples (NaNs); corrects by linear interpolation."""
+
+    name = "dropout"
+
+    def __init__(self, max_gap: int = 8,
+                 severity: Severity = Severity.WARNING) -> None:
+        self.max_gap = max_gap
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        mask = ~np.isfinite(sample)
+        if not mask.any():
+            return []
+        # Longest run of consecutive missing values.
+        runs = np.diff(np.flatnonzero(np.concatenate(
+            ([True], ~mask[:-1] != ~mask[1:], [True]))))
+        longest = 0
+        position = 0
+        for run in runs:
+            if mask[position]:
+                longest = max(longest, run)
+            position += run
+        severity = Severity.CRITICAL if longest > self.max_gap else self.severity
+        bad = np.flatnonzero(mask)
+        return [Anomaly(self.name, "dropout", severity,
+                        f"{bad.size} missing, longest gap {longest}",
+                        tuple(int(i) for i in bad[:16]))]
+
+    def correct(self, sample: np.ndarray, anomalies) -> Optional[np.ndarray]:
+        mask = ~np.isfinite(sample)
+        good = np.flatnonzero(~mask)
+        if good.size < 2:
+            return None
+        fixed = sample.copy()
+        fixed[mask] = np.interp(np.flatnonzero(mask), good, sample[good])
+        return fixed
+
+
+class StuckSensorMonitor(Monitor):
+    """Flags windows whose variance collapses (sensor stuck at a value)."""
+
+    name = "stuck"
+
+    def __init__(self, min_std: float = 1e-6,
+                 severity: Severity = Severity.CRITICAL) -> None:
+        self.min_std = min_std
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        if sample.size < 4:
+            return []
+        if float(np.std(sample)) >= self.min_std:
+            return []
+        return [Anomaly(self.name, "stuck_sensor", self.severity,
+                        f"std {np.std(sample):.2e} < {self.min_std:.2e}")]
+
+
+class DriftMonitor(Monitor):
+    """Detects slow mean drift relative to a calibration reference."""
+
+    name = "drift"
+
+    def __init__(self, reference_mean: float, tolerance: float,
+                 smoothing: float = 0.1,
+                 severity: Severity = Severity.WARNING) -> None:
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.reference_mean = reference_mean
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+        self.severity = severity
+        self._ema: Optional[float] = None
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        window_mean = float(np.nanmean(sample))
+        if self._ema is None:
+            self._ema = window_mean
+        else:
+            self._ema += self.smoothing * (window_mean - self._ema)
+        deviation = abs(self._ema - self.reference_mean)
+        if deviation <= self.tolerance:
+            return []
+        return [Anomaly(self.name, "drift", self.severity,
+                        f"smoothed mean {self._ema:.4g} deviates "
+                        f"{deviation:.4g} > {self.tolerance:.4g}")]
+
+    def reset(self) -> None:
+        self._ema = None
+
+
+# ---------------------------------------------------------------------------
+# Image monitors (camera inputs of the smart mirror / PAEB use cases)
+# ---------------------------------------------------------------------------
+
+def _as_gray(image: np.ndarray) -> np.ndarray:
+    if image.ndim == 3:            # CHW -> gray
+        return image.mean(axis=0)
+    return image
+
+
+def _laplacian(gray: np.ndarray) -> np.ndarray:
+    padded = np.pad(gray, 1, mode="edge")
+    return (padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2]
+            + padded[1:-1, 2:] - 4 * gray)
+
+
+class ExposureMonitor(Monitor):
+    """Flags over/under-exposed frames by saturated-pixel fraction."""
+
+    name = "exposure"
+
+    def __init__(self, low: float = 0.02, high: float = 0.98,
+                 max_fraction: float = 0.5,
+                 severity: Severity = Severity.CRITICAL) -> None:
+        self.low = low
+        self.high = high
+        self.max_fraction = max_fraction
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        gray = _as_gray(sample)
+        dark = float(np.mean(gray <= self.low))
+        bright = float(np.mean(gray >= self.high))
+        anomalies = []
+        if dark > self.max_fraction:
+            anomalies.append(Anomaly(self.name, "underexposed", self.severity,
+                                     f"{dark:.0%} of pixels near black"))
+        if bright > self.max_fraction:
+            anomalies.append(Anomaly(self.name, "overexposed", self.severity,
+                                     f"{bright:.0%} of pixels near white"))
+        return anomalies
+
+
+class NoiseMonitor(Monitor):
+    """Estimates sensor noise from the Laplacian response; offers denoising."""
+
+    name = "noise"
+
+    def __init__(self, max_sigma: float = 0.15,
+                 severity: Severity = Severity.WARNING) -> None:
+        self.max_sigma = max_sigma
+        self.severity = severity
+
+    def estimate_sigma(self, sample: np.ndarray) -> float:
+        """Robust per-channel noise estimate (Laplacian MAD).
+
+        Channels are estimated independently and averaged — averaging the
+        channels *first* would cancel independent sensor noise by sqrt(C)
+        and underestimate sigma.
+        """
+        sample = np.asarray(sample, dtype=np.float64)
+        channels = sample if sample.ndim == 3 else sample[None]
+        sigmas = []
+        for channel in channels:
+            lap = _laplacian(channel)
+            # The 4-neighbour Laplacian of i.i.d. noise has std sqrt(20)*sigma;
+            # the median absolute deviation is robust to sparse image edges.
+            sigmas.append(np.median(np.abs(lap)) / 0.6745 / np.sqrt(20))
+        return float(np.mean(sigmas))
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        sigma = self.estimate_sigma(sample)
+        if sigma <= self.max_sigma:
+            return []
+        return [Anomaly(self.name, "image_noise", self.severity,
+                        f"estimated sigma {sigma:.3f} > {self.max_sigma}")]
+
+    def correct(self, sample: np.ndarray, anomalies) -> Optional[np.ndarray]:
+        return median_filter3(sample)
+
+
+class DeadPixelMonitor(Monitor):
+    """Detects isolated stuck pixels; corrects with a 3x3 median."""
+
+    name = "dead_pixel"
+
+    def __init__(self, threshold: float = 0.5, max_count: int = 64,
+                 severity: Severity = Severity.WARNING) -> None:
+        self.threshold = threshold
+        self.max_count = max_count
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        gray = _as_gray(np.asarray(sample, dtype=np.float64))
+        medianed = median_filter3(gray)
+        deviation = np.abs(gray - medianed)
+        count = int(np.count_nonzero(deviation > self.threshold))
+        if count == 0:
+            return []
+        severity = Severity.CRITICAL if count > self.max_count else self.severity
+        return [Anomaly(self.name, "dead_pixels", severity,
+                        f"{count} isolated defective pixels")]
+
+    def correct(self, sample: np.ndarray, anomalies) -> Optional[np.ndarray]:
+        gray = np.asarray(sample, dtype=np.float64)
+        if gray.ndim == 3:
+            return np.stack([median_filter3(c) for c in gray])
+        return median_filter3(gray)
+
+
+class BlurMonitor(Monitor):
+    """Flags defocused/motion-blurred frames via Laplacian variance."""
+
+    name = "blur"
+
+    def __init__(self, min_variance: float = 1e-4,
+                 severity: Severity = Severity.WARNING) -> None:
+        self.min_variance = min_variance
+        self.severity = severity
+
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        gray = _as_gray(np.asarray(sample, dtype=np.float64))
+        variance = float(np.var(_laplacian(gray)))
+        if variance >= self.min_variance:
+            return []
+        return [Anomaly(self.name, "blur", self.severity,
+                        f"laplacian variance {variance:.2e} < "
+                        f"{self.min_variance:.2e}")]
+
+
+def median_filter3(image: np.ndarray) -> np.ndarray:
+    """3x3 median filter (edge-padded), channel-wise for CHW input."""
+    image = np.asarray(image)
+    if image.ndim == 3:
+        return np.stack([median_filter3(channel) for channel in image])
+    padded = np.pad(image, 1, mode="edge")
+    stacked = np.stack([
+        padded[i:i + image.shape[0], j:j + image.shape[1]]
+        for i in range(3) for j in range(3)
+    ])
+    return np.median(stacked, axis=0).astype(image.dtype)

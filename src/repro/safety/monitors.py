@@ -1,0 +1,155 @@
+"""Monitoring framework for fault detection in AIoT pipelines.
+
+Paper Sec. IV-B: "VEDLIoT focuses on monitoring approaches to detect faulty
+situations and trigger appropriate reactive measures … Different monitoring
+and error detection mechanisms are developed, depending on the kinds of
+input data (e.g., time series, image) and on the error types (e.g.,
+outliers, image noise)."
+
+This module defines the framework: anomalies, monitors, correction actions,
+and the pipeline that runs a stack of monitors over each sample and decides
+whether to pass, correct, or reject it before it reaches a DL model.
+Concrete detectors live in :mod:`repro.safety.input_quality`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Severity(Enum):
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+
+class Action(Enum):
+    """What the pipeline decided to do with a sample."""
+
+    PASS = "pass"
+    CORRECTED = "corrected"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected data-quality problem."""
+
+    monitor: str
+    kind: str
+    severity: Severity
+    detail: str = ""
+    indices: Tuple[int, ...] = ()
+
+
+class Monitor(abc.ABC):
+    """Inspects one sample; optionally proposes a corrected version."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def observe(self, sample: np.ndarray) -> List[Anomaly]:
+        """Return all anomalies found in ``sample`` (empty if clean)."""
+
+    def correct(self, sample: np.ndarray,
+                anomalies: List[Anomaly]) -> Optional[np.ndarray]:
+        """Return a corrected sample, or None if this monitor cannot correct."""
+        return None
+
+    def reset(self) -> None:
+        """Clear any rolling state (new stream)."""
+
+
+@dataclass
+class Verdict:
+    """Pipeline decision for one sample."""
+
+    action: Action
+    sample: Optional[np.ndarray]
+    anomalies: List[Anomaly] = field(default_factory=list)
+
+    @property
+    def usable(self) -> bool:
+        return self.action is not Action.REJECTED
+
+    @property
+    def worst_severity(self) -> Optional[Severity]:
+        if not self.anomalies:
+            return None
+        return max(self.anomalies, key=lambda a: a.severity.value).severity
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate counters over a stream."""
+
+    observed: int = 0
+    passed: int = 0
+    corrected: int = 0
+    rejected: int = 0
+    anomalies_by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class MonitorPipeline:
+    """Runs a stack of monitors and applies a correction-or-reject policy.
+
+    Policy (from the paper: "a large set of data errors may be easily
+    identified, may be corrected, or the affected data may be removed to
+    avoid the propagation of these errors through the DL models"):
+
+    * no anomalies -> PASS
+    * anomalies, all correctable and below ``reject_at`` severity ->
+      apply corrections in monitor order -> CORRECTED
+    * any anomaly at/above ``reject_at`` or uncorrectable anomaly with
+      ``strict`` set -> REJECTED
+    """
+
+    def __init__(self, monitors: Sequence[Monitor],
+                 reject_at: Severity = Severity.CRITICAL,
+                 strict: bool = False) -> None:
+        if not monitors:
+            raise ValueError("pipeline needs at least one monitor")
+        self.monitors = list(monitors)
+        self.reject_at = reject_at
+        self.strict = strict
+        self.stats = PipelineStats()
+
+    def process(self, sample: np.ndarray) -> Verdict:
+        self.stats.observed += 1
+        sample = np.asarray(sample)
+        all_anomalies: List[Anomaly] = []
+        current = sample
+        corrected = False
+        for monitor in self.monitors:
+            anomalies = monitor.observe(current)
+            if not anomalies:
+                continue
+            all_anomalies.extend(anomalies)
+            for anomaly in anomalies:
+                self.stats.anomalies_by_kind[anomaly.kind] = \
+                    self.stats.anomalies_by_kind.get(anomaly.kind, 0) + 1
+            if any(a.severity.value >= self.reject_at.value for a in anomalies):
+                self.stats.rejected += 1
+                return Verdict(Action.REJECTED, None, all_anomalies)
+            fixed = monitor.correct(current, anomalies)
+            if fixed is not None:
+                current = fixed
+                corrected = True
+            elif self.strict:
+                self.stats.rejected += 1
+                return Verdict(Action.REJECTED, None, all_anomalies)
+        if corrected:
+            self.stats.corrected += 1
+            return Verdict(Action.CORRECTED, current, all_anomalies)
+        self.stats.passed += 1
+        return Verdict(Action.PASS, current, all_anomalies)
+
+    def reset(self) -> None:
+        for monitor in self.monitors:
+            monitor.reset()
+        self.stats = PipelineStats()

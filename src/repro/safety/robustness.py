@@ -1,0 +1,168 @@
+"""Output robustness service: detect systematic faults in deployed models.
+
+Paper Sec. IV-B: "the approach consists in periodically submitting both the
+input and the output data to a robustness service, which holds a copy of
+the DL model and can verify the correctness of the output data" — catching
+faults "triggered or injected during run-time (e.g., hardware faults,
+attacks)" on the device executing the model.
+
+The service re-executes submitted inputs on its own (trusted) copy of the
+model and compares outputs.  Divergence beyond tolerance marks the
+submitting device as suspect; repeated divergence quarantines it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..runtime.executor import Executor
+
+
+@dataclass
+class CheckResult:
+    """Outcome of verifying one (input, output) submission."""
+
+    device: str
+    consistent: bool
+    max_abs_error: float
+    tolerance: float
+    quarantined: bool
+
+
+@dataclass
+class DeviceRecord:
+    """Rolling health of one monitored device."""
+
+    checks: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    quarantined: bool = False
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.checks if self.checks else 0.0
+
+
+class RobustnessService:
+    """Holds a trusted model copy and audits device outputs against it.
+
+    Parameters
+    ----------
+    reference
+        Trusted copy of the deployed graph.
+    tolerance
+        Maximum absolute output deviation considered consistent (covers
+        benign numeric differences between device and service runtimes).
+    quarantine_after
+        Consecutive failed checks before a device is quarantined.
+    """
+
+    def __init__(self, reference: Graph, tolerance: float = 1e-3,
+                 quarantine_after: int = 3) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.executor = Executor(reference)
+        self.tolerance = tolerance
+        self.quarantine_after = quarantine_after
+        self.devices: Dict[str, DeviceRecord] = {}
+
+    def check(self, device: str, feeds: Mapping[str, np.ndarray],
+              reported_outputs: Mapping[str, np.ndarray]) -> CheckResult:
+        """Audit one submission from ``device``."""
+        record = self.devices.setdefault(device, DeviceRecord())
+        expected = self.executor.run(feeds)
+        max_err = 0.0
+        for name, value in expected.items():
+            if name not in reported_outputs:
+                max_err = float("inf")
+                break
+            reported = np.asarray(reported_outputs[name], dtype=np.float64)
+            if reported.shape != value.shape:
+                max_err = float("inf")
+                break
+            max_err = max(max_err, float(
+                np.max(np.abs(reported - value.astype(np.float64)))))
+        consistent = max_err <= self.tolerance
+        record.checks += 1
+        if consistent:
+            record.consecutive_failures = 0
+        else:
+            record.failures += 1
+            record.consecutive_failures += 1
+            if record.consecutive_failures >= self.quarantine_after:
+                record.quarantined = True
+        return CheckResult(device, consistent, max_err, self.tolerance,
+                           record.quarantined)
+
+    def is_quarantined(self, device: str) -> bool:
+        record = self.devices.get(device)
+        return bool(record and record.quarantined)
+
+    def reinstate(self, device: str) -> None:
+        """Clear quarantine after repair (operator action)."""
+        record = self.devices.get(device)
+        if record:
+            record.quarantined = False
+            record.consecutive_failures = 0
+
+    def report(self) -> str:
+        lines = [f"{'device':<20}{'checks':>8}{'failures':>10}{'state':>14}"]
+        for name in sorted(self.devices):
+            record = self.devices[name]
+            state = "QUARANTINED" if record.quarantined else "healthy"
+            lines.append(f"{name:<20}{record.checks:>8}{record.failures:>10}"
+                         f"{state:>14}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AuditPolicy:
+    """How often a device submits samples for auditing.
+
+    Auditing every inference would double compute; the paper says
+    *periodically*.  ``every_n`` trades detection latency against audit
+    cost; the arc/motor benches sweep it.
+    """
+
+    every_n: int = 10
+
+    def __post_init__(self) -> None:
+        if self.every_n < 1:
+            raise ValueError("every_n must be >= 1")
+
+    def should_audit(self, inference_index: int) -> bool:
+        return inference_index % self.every_n == 0
+
+
+class AuditedDevice:
+    """A device-side wrapper that runs a model and periodically self-reports.
+
+    Wraps a (possibly faulty) executor; per :class:`AuditPolicy`, forwards
+    (input, output) pairs to the robustness service.  Returns both the
+    model output and whether the service rejected it.
+    """
+
+    def __init__(self, name: str, executor: Executor,
+                 service: RobustnessService,
+                 policy: AuditPolicy = AuditPolicy()) -> None:
+        self.name = name
+        self.executor = executor
+        self.service = service
+        self.policy = policy
+        self.inferences = 0
+        self.audits = 0
+
+    def infer(self, feeds: Mapping[str, np.ndarray]
+              ) -> Tuple[Dict[str, np.ndarray], Optional[CheckResult]]:
+        outputs = self.executor.run(feeds)
+        check: Optional[CheckResult] = None
+        if self.policy.should_audit(self.inferences):
+            self.audits += 1
+            check = self.service.check(self.name, feeds, outputs)
+        self.inferences += 1
+        return outputs, check

@@ -1,0 +1,69 @@
+"""Security substrate: TEEs (SGX, TrustZone, PMP), attestation, Wasm sandbox."""
+
+from .crypto import (
+    SealedBox,
+    SignatureError,
+    SigningKey,
+    VerifyingKey,
+    generate_keypair,
+    hmac,
+    kdf,
+    measure,
+    random_bytes,
+    sha256,
+)
+from .pmp import (
+    PMP_L,
+    PMP_R,
+    PMP_W,
+    PMP_X,
+    AddressMatching,
+    PmpEntry,
+    PmpUnit,
+    napot_addr,
+)
+from .tee import Quote, TeeError, TrustedExecutionEnvironment
+from .sgx import (
+    Enclave,
+    EnclaveStats,
+    TransitionCosts,
+    TrustedWasmRuntime,
+)
+from .trustzone import (
+    NormalWorld,
+    SecureBoot,
+    SecureBootError,
+    SecureWorld,
+    SignedImage,
+    TrustedApp,
+    build_attested_device,
+)
+from .attestation import (
+    AttestationError,
+    DistributedAttestation,
+    NodeReport,
+    Verifier,
+)
+from .wasm import (
+    Function,
+    Instance,
+    Module,
+    OutOfFuelError,
+    TrapError,
+    ValidationError,
+    WasmError,
+)
+
+__all__ = [
+    "SealedBox", "SignatureError", "SigningKey", "VerifyingKey",
+    "generate_keypair", "hmac", "kdf", "measure", "random_bytes", "sha256",
+    "PMP_L", "PMP_R", "PMP_W", "PMP_X", "AddressMatching", "PmpEntry",
+    "PmpUnit", "napot_addr",
+    "Quote", "TeeError", "TrustedExecutionEnvironment",
+    "Enclave", "EnclaveStats", "TransitionCosts", "TrustedWasmRuntime",
+    "NormalWorld", "SecureBoot", "SecureBootError", "SecureWorld",
+    "SignedImage", "TrustedApp", "build_attested_device",
+    "AttestationError", "DistributedAttestation", "NodeReport", "Verifier",
+    "Function", "Instance", "Module", "OutOfFuelError", "TrapError",
+    "ValidationError", "WasmError",
+]

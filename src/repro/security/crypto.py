@@ -1,0 +1,132 @@
+"""Cryptographic primitives for the security substrate.
+
+Hashing and HMAC use :mod:`hashlib`/:mod:`hmac` (real constructions).
+Asymmetric signatures are *simulated* with keyed MACs plus a key registry
+standing in for PKI: a ``SigningKey`` holds secret material, and the
+matching ``VerifyingKey`` can check tags.  This preserves the protocol
+behaviour attestation needs (only the holder of the device key can produce
+valid quotes; verifiers hold only public handles) without shipping an
+asymmetric implementation — DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def measure(*chunks: bytes) -> bytes:
+    """Measurement over ordered chunks (length-prefixed to avoid splicing)."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(len(chunk).to_bytes(8, "little"))
+        h.update(chunk)
+    return h.digest()
+
+
+def hmac(key: bytes, data: bytes) -> bytes:
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    return _hmac.compare_digest(a, b)
+
+
+def random_bytes(n: int = 32) -> bytes:
+    return os.urandom(n)
+
+
+def kdf(master: bytes, label: str, context: bytes = b"") -> bytes:
+    """Derive a subkey from ``master`` bound to ``label`` and ``context``."""
+    return hmac(master, b"kdf|" + label.encode() + b"|" + context)
+
+
+class SignatureError(ValueError):
+    """Raised when signature verification fails."""
+
+
+@dataclass(frozen=True)
+class VerifyingKey:
+    """Public handle capable of verifying signatures of one SigningKey."""
+
+    key_id: bytes
+    _mac_key: bytes  # shared with the signer; stands in for the public key
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        expected = hmac(self._mac_key, message)
+        if not constant_time_equal(expected, signature):
+            raise SignatureError("signature verification failed")
+
+
+class SigningKey:
+    """Secret signing key (simulated asymmetric keypair)."""
+
+    def __init__(self, seed: Optional[bytes] = None) -> None:
+        self._secret = seed if seed is not None else random_bytes()
+        self.key_id = sha256(b"key-id|" + self._secret)[:16]
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac(self._secret, message)
+
+    def verifying_key(self) -> VerifyingKey:
+        return VerifyingKey(self.key_id, self._secret)
+
+    @classmethod
+    def generate(cls) -> "SigningKey":
+        return cls()
+
+
+def generate_keypair(seed: Optional[bytes] = None
+                     ) -> Tuple[SigningKey, VerifyingKey]:
+    """Generate a (signing, verifying) pair."""
+    sk = SigningKey(seed)
+    return sk, sk.verifying_key()
+
+
+class SealedBox:
+    """Authenticated encryption bound to a key (stream-XOR + MAC, toy AEAD).
+
+    Adequate for simulating sealed storage semantics: data sealed under one
+    key cannot be read or undetectably modified under another.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        # Pre-hash the key: HMAC zero-pads short keys, which would make
+        # keys differing only in trailing zero bytes equivalent.
+        master = sha256(b"sealed-box|" + key)
+        self._enc_key = kdf(master, "seal-enc")
+        self._mac_key = kdf(master, "seal-mac")
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out.extend(hmac(self._enc_key, nonce + counter.to_bytes(8, "little")))
+            counter += 1
+        return bytes(out[:length])
+
+    def seal(self, plaintext: bytes) -> bytes:
+        nonce = random_bytes(16)
+        cipher = bytes(p ^ k for p, k in
+                       zip(plaintext, self._keystream(nonce, len(plaintext))))
+        tag = hmac(self._mac_key, nonce + cipher)
+        return nonce + tag + cipher
+
+    def unseal(self, blob: bytes) -> bytes:
+        if len(blob) < 16 + DIGEST_SIZE:
+            raise SignatureError("sealed blob too short")
+        nonce, tag, cipher = blob[:16], blob[16:48], blob[48:]
+        if not constant_time_equal(tag, hmac(self._mac_key, nonce + cipher)):
+            raise SignatureError("sealed blob authentication failed")
+        return bytes(c ^ k for c, k in
+                     zip(cipher, self._keystream(nonce, len(cipher))))

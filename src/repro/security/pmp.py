@@ -1,0 +1,184 @@
+"""RISC-V Physical Memory Protection (PMP) unit.
+
+Reproduces the VEDLIoT security contribution described in Sec. IV-C: "a
+highly optimized RISC-V Physical Memory Protection (PMP) unit that enables
+secure processing by limiting the physical addresses accessible by
+software … configurable in the highest privilege level (the machine mode)
+and can be used to specify read, write and execute access privileges for a
+specific memory region.  In small devices that only support machine mode
+(M-mode) and user mode (U-mode), the PMP configurations can efficiently
+ensure the secure execution of software."
+
+Semantics follow the RISC-V privileged specification: OFF/TOR/NA4/NAPOT
+address matching, lowest-numbered-entry priority, lock bits that bind
+M-mode, and deny-by-default for U-mode when any entry is implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from ..simulator.memory import AccessType, AccessViolation, PrivilegeMode
+
+PMP_R = 1 << 0
+PMP_W = 1 << 1
+PMP_X = 1 << 2
+PMP_L = 1 << 7
+
+_ACCESS_BITS = {
+    AccessType.READ: PMP_R,
+    AccessType.WRITE: PMP_W,
+    AccessType.FETCH: PMP_X,
+}
+
+
+class AddressMatching(IntEnum):
+    OFF = 0
+    TOR = 1
+    NA4 = 2
+    NAPOT = 3
+
+
+@dataclass
+class PmpEntry:
+    """One PMP entry: a cfg byte and an address register (word-granular)."""
+
+    cfg: int = 0
+    addr: int = 0  # pmpaddr value: physical address >> 2
+
+    @property
+    def matching(self) -> AddressMatching:
+        return AddressMatching((self.cfg >> 3) & 0b11)
+
+    @property
+    def locked(self) -> bool:
+        return bool(self.cfg & PMP_L)
+
+    def permits(self, access: AccessType) -> bool:
+        return bool(self.cfg & _ACCESS_BITS[access])
+
+    def range(self, previous_addr: int) -> Optional[Tuple[int, int]]:
+        """The [base, end) byte range this entry matches, or None if OFF."""
+        mode = self.matching
+        if mode is AddressMatching.OFF:
+            return None
+        if mode is AddressMatching.TOR:
+            base = previous_addr << 2
+            end = self.addr << 2
+            return (base, end) if end > base else (0, 0)
+        if mode is AddressMatching.NA4:
+            base = self.addr << 2
+            return (base, base + 4)
+        # NAPOT: trailing ones encode the region size.
+        trailing = 0
+        value = self.addr
+        while value & 1:
+            trailing += 1
+            value >>= 1
+        size = 8 << trailing
+        base = (self.addr & ~((1 << (trailing + 1)) - 1)) << 2
+        return (base, base + size)
+
+
+def napot_addr(base: int, size: int) -> int:
+    """Encode a naturally-aligned power-of-two region into a pmpaddr value."""
+    if size < 8 or size & (size - 1):
+        raise ValueError("NAPOT size must be a power of two >= 8")
+    if base % size:
+        raise ValueError(f"base 0x{base:08x} not aligned to size 0x{size:x}")
+    return (base >> 2) | ((size // 8) - 1)
+
+
+class PmpUnit:
+    """A bank of PMP entries with the priority/lock semantics of the spec."""
+
+    def __init__(self, num_entries: int = 16) -> None:
+        if num_entries not in (0, 16, 64):
+            # Real implementations provide 0, 16 or 64; VexRiscv uses 16.
+            raise ValueError("PMP banks come in 0, 16 or 64 entries")
+        self.entries: List[PmpEntry] = [PmpEntry() for _ in range(num_entries)]
+        self.denied_count = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    def configure(self, index: int, cfg: int, addr: int) -> None:
+        """Program one entry (M-mode only operation in hardware).
+
+        Writes to locked entries are ignored, as are writes to the address
+        register of an entry whose *successor* is a locked TOR entry.  The
+        address is programmed before the cfg byte so that a cfg carrying
+        the lock bit does not block its own address write.
+        """
+        entry = self._entry(index)
+        self._write_addr(index, addr)
+        if not entry.locked:
+            entry.cfg = cfg & 0x9F  # WARL: reserved bits read as zero
+
+    def write_addr(self, index: int, addr: int) -> None:
+        self._write_addr(index, addr)
+
+    def _write_addr(self, index: int, addr: int) -> None:
+        entry = self._entry(index)
+        if entry.locked:
+            return
+        successor = self.entries[index + 1] if index + 1 < len(self.entries) \
+            else None
+        if successor is not None and successor.locked and \
+                successor.matching is AddressMatching.TOR:
+            return
+        entry.addr = addr & 0x3FFFFFFF
+
+    def set_region(self, index: int, base: int, size: int,
+                   permissions: int, lock: bool = False) -> None:
+        """Convenience: program a NAPOT region with R/W/X permission bits."""
+        cfg = (permissions & 0b111) | (AddressMatching.NAPOT << 3)
+        if lock:
+            cfg |= PMP_L
+        self.configure(index, cfg, napot_addr(base, size))
+
+    def _entry(self, index: int) -> PmpEntry:
+        if not 0 <= index < len(self.entries):
+            raise IndexError(f"PMP entry {index} out of range")
+        return self.entries[index]
+
+    # -- checking ------------------------------------------------------------------
+
+    def check(self, address: int, size: int, access: AccessType,
+              mode: PrivilegeMode) -> bool:
+        """True if the access is permitted.
+
+        Every byte of the access must be covered with permission; partial
+        matches fail (matching the spec's requirement that an access
+        matching only part of an entry is denied).
+        """
+        if not self.entries:
+            return True
+        for offset in range(0, size):
+            if not self._check_byte(address + offset, access, mode):
+                return False
+        return True
+
+    def _check_byte(self, address: int, access: AccessType,
+                    mode: PrivilegeMode) -> bool:
+        previous_addr = 0
+        for entry in self.entries:
+            rng = entry.range(previous_addr)
+            previous_addr = entry.addr
+            if rng is None:
+                continue
+            base, end = rng
+            if base <= address < end:
+                if mode is PrivilegeMode.MACHINE and not entry.locked:
+                    return True
+                return entry.permits(access)
+        # No entry matched: M-mode default-allow, U-mode default-deny.
+        return mode is PrivilegeMode.MACHINE
+
+    def guard(self, address: int, size: int, access: AccessType,
+              mode: PrivilegeMode) -> None:
+        """Bus-guard adapter: raises :class:`AccessViolation` when denied."""
+        if not self.check(address, size, access, mode):
+            self.denied_count += 1
+            raise AccessViolation(address, access, mode)

@@ -1,0 +1,212 @@
+"""SGX-style enclave model and the Twine-like trusted Wasm runtime.
+
+Reproduces the paper's x86 security stack (Sec. IV-C): "The hardware
+protection offered by Intel SGX enclaves is leveraged, and an open-source
+WebAssembly runtime implementation to build a trusted runtime environment
+… SQLite can be fully executed inside an SGX enclave via WebAssembly and
+existing system interface, with small performance overheads."
+
+The enclave model captures the SGX mechanisms that *cost* something:
+
+* ECALL/OCALL world transitions (~8-12k cycles each on real SGX),
+* EPC paging once the enclave working set exceeds the protected memory,
+* measurement (MRENCLAVE) over the initial code/data,
+* sealing bound to device + measurement (inherited from the TEE base).
+
+:class:`TrustedWasmRuntime` is the Twine reproduction: a Wasm module runs
+entirely inside the enclave; every host import the guest calls crosses the
+boundary as an OCALL.  The benchmark (Txt-C) runs the same key-value-store
+workload natively, in Wasm, and in Wasm-inside-enclave, and reports the
+overhead factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from . import crypto
+from .tee import TeeError, TrustedExecutionEnvironment
+from .wasm import HostFn, Instance, Module
+
+EcallHandler = Callable[..., object]
+OcallHandler = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class TransitionCosts:
+    """Cycle costs of crossing the enclave boundary (real-SGX magnitudes)."""
+
+    ecall_cycles: int = 8_000
+    ocall_cycles: int = 8_400
+    page_fault_cycles: int = 40_000
+    clock_hz: float = 2.0e9
+
+
+@dataclass
+class EnclaveStats:
+    """Counters the overhead model is computed from."""
+
+    ecalls: int = 0
+    ocalls: int = 0
+    page_faults: int = 0
+
+    def modeled_overhead_seconds(self, costs: TransitionCosts) -> float:
+        cycles = (self.ecalls * costs.ecall_cycles
+                  + self.ocalls * costs.ocall_cycles
+                  + self.page_faults * costs.page_fault_cycles)
+        return cycles / costs.clock_hz
+
+
+class Enclave(TrustedExecutionEnvironment):
+    """A protected execution compartment.
+
+    Entry points (ECALLs) are registered at build time and included in the
+    measurement; calling anything else is rejected.  Host services the
+    enclave needs are OCALLs, also declared up front.
+    """
+
+    def __init__(self, name: str, code_measurement_input: bytes,
+                 device_key: crypto.SigningKey,
+                 epc_bytes: int = 96 * 1024 * 1024,
+                 costs: TransitionCosts = TransitionCosts()) -> None:
+        super().__init__(device_key)
+        self.name = name
+        self._code = code_measurement_input
+        self.epc_bytes = epc_bytes
+        self.costs = costs
+        self.stats = EnclaveStats()
+        self._ecalls: Dict[str, EcallHandler] = {}
+        self._ocalls: Dict[str, OcallHandler] = {}
+        self._heap_bytes = 0
+        self._initialized = False
+        self._destroyed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def register_ecall(self, name: str, handler: EcallHandler) -> None:
+        if self._initialized:
+            raise TeeError("cannot add ECALLs after initialization "
+                           "(they are part of the measurement)")
+        self._ecalls[name] = handler
+
+    def register_ocall(self, name: str, handler: OcallHandler) -> None:
+        self._ocalls[name] = handler
+
+    def initialize(self) -> bytes:
+        """Finalize the enclave (EINIT); returns the measurement."""
+        self._initialized = True
+        return self.measurement()
+
+    def destroy(self) -> None:
+        self._destroyed = True
+
+    def measurement(self) -> bytes:
+        entries = ",".join(sorted(self._ecalls)).encode()
+        return crypto.measure(b"sgx-enclave", self.name.encode(),
+                              self._code, entries)
+
+    # -- memory model -------------------------------------------------------------
+
+    def touch_memory(self, nbytes: int) -> None:
+        """Record enclave heap growth; beyond the EPC, pages fault in/out.
+
+        SGX1 EPC paging costs tens of thousands of cycles per 4 KiB page;
+        we charge one fault per page beyond the EPC limit.
+        """
+        self._heap_bytes += nbytes
+        if self._heap_bytes > self.epc_bytes:
+            overflow = self._heap_bytes - self.epc_bytes
+            self.stats.page_faults += max(1, overflow // 4096)
+            self._heap_bytes = self.epc_bytes
+
+    # -- transitions ----------------------------------------------------------------
+
+    def ecall(self, name: str, *args, **kwargs):
+        """Enter the enclave through a registered entry point."""
+        self._check_alive()
+        if name not in self._ecalls:
+            raise TeeError(f"enclave {self.name!r} has no ECALL {name!r}")
+        self.stats.ecalls += 1
+        return self._ecalls[name](*args, **kwargs)
+
+    def ocall(self, name: str, *args, **kwargs):
+        """Leave the enclave to run a host service."""
+        self._check_alive()
+        if name not in self._ocalls:
+            raise TeeError(f"enclave {self.name!r} has no OCALL {name!r}")
+        self.stats.ocalls += 1
+        return self._ocalls[name](*args, **kwargs)
+
+    def _check_alive(self) -> None:
+        if not self._initialized:
+            raise TeeError(f"enclave {self.name!r} is not initialized")
+        if self._destroyed:
+            raise TeeError(f"enclave {self.name!r} was destroyed")
+
+    def modeled_overhead_seconds(self) -> float:
+        return self.stats.modeled_overhead_seconds(self.costs)
+
+
+class TrustedWasmRuntime:
+    """Twine-style runtime: a Wasm module executing inside an enclave.
+
+    The module's host imports become OCALLs; invoking a guest export is an
+    ECALL.  The enclave measurement covers the module bytecode, so a remote
+    verifier attests exactly the code that will run.
+    """
+
+    def __init__(self, module: Module, device_key: crypto.SigningKey,
+                 host_imports: Optional[Dict[str, HostFn]] = None,
+                 epc_bytes: int = 96 * 1024 * 1024,
+                 costs: TransitionCosts = TransitionCosts(),
+                 fuel: Optional[int] = None) -> None:
+        self.module = module
+        self.enclave = Enclave(
+            name=f"twine:{module.name}",
+            code_measurement_input=module.measurement_bytes(),
+            device_key=device_key,
+            epc_bytes=epc_bytes,
+            costs=costs,
+        )
+        wrapped: Dict[str, HostFn] = {}
+        for import_name in module.imports:
+            handler = (host_imports or {}).get(import_name)
+            if handler is None:
+                raise TeeError(f"missing host import {import_name!r}")
+            self.enclave.register_ocall(import_name, handler)
+            wrapped[import_name] = self._make_ocall_bridge(import_name)
+        self.instance = Instance(module, host=wrapped, fuel=fuel)
+        self.enclave.touch_memory(len(self.instance.memory))
+        for name in module.functions:
+            self.enclave.register_ecall(name, self._make_ecall_bridge(name))
+        self.enclave.initialize()
+
+    def _make_ocall_bridge(self, name: str) -> HostFn:
+        def bridge(instance: Instance, args: Tuple[int, ...]) -> Optional[int]:
+            return self.enclave.ocall(name, instance, args)
+        return bridge
+
+    def _make_ecall_bridge(self, name: str):
+        def bridge(*args: int):
+            return self.instance.invoke(name, *args)
+        return bridge
+
+    # -- public API -------------------------------------------------------------------
+
+    def invoke(self, function: str, *args: int):
+        """Call a guest export through the enclave boundary."""
+        return self.enclave.ecall(function, *args)
+
+    def measurement(self) -> bytes:
+        return self.enclave.measurement()
+
+    def quote(self, nonce: bytes, user_data: bytes = b""):
+        return self.enclave.quote(nonce, user_data)
+
+    @property
+    def stats(self) -> EnclaveStats:
+        return self.enclave.stats
+
+    def modeled_overhead_seconds(self) -> float:
+        return self.enclave.modeled_overhead_seconds()

@@ -1,0 +1,87 @@
+"""Trusted Execution Environment abstractions.
+
+Common interface for the two TEE families VEDLIoT targets (Sec. IV-C):
+Intel SGX enclaves on x86 and TrustZone secure worlds on ARM, plus the
+PMP-based isolation on RISC-V.  A TEE provides: a *measurement* of the
+code it protects, *sealing* of data to that identity, and *quotes* —
+signed statements binding a measurement to a challenge nonce, the building
+block of remote attestation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from . import crypto
+
+
+class TeeError(RuntimeError):
+    """Raised on TEE lifecycle or security violations."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement.
+
+    ``measurement`` identifies the protected code, ``nonce`` binds the
+    quote to one challenge (anti-replay), ``user_data`` lets the attested
+    code bind application payloads (e.g. a session public key) into the
+    quote, and ``signature`` is produced by the device's root-of-trust key.
+    """
+
+    measurement: bytes
+    nonce: bytes
+    user_data: bytes
+    key_id: bytes
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return crypto.measure(self.measurement, self.nonce, self.user_data)
+
+
+class TrustedExecutionEnvironment(abc.ABC):
+    """Base class for concrete TEEs."""
+
+    def __init__(self, device_key: crypto.SigningKey) -> None:
+        self._device_key = device_key
+
+    @abc.abstractmethod
+    def measurement(self) -> bytes:
+        """Measurement (hash) of the protected code and initial data."""
+
+    # -- attestation -------------------------------------------------------------
+
+    def quote(self, nonce: bytes, user_data: bytes = b"") -> Quote:
+        """Produce a quote over the current measurement.
+
+        Signed with the device root-of-trust key — only provisioned
+        hardware can produce acceptable quotes.
+        """
+        measurement = self.measurement()
+        payload = crypto.measure(measurement, nonce, user_data)
+        return Quote(
+            measurement=measurement,
+            nonce=nonce,
+            user_data=user_data,
+            key_id=self._device_key.key_id,
+            signature=self._device_key.sign(payload),
+        )
+
+    # -- sealed storage -------------------------------------------------------------
+
+    def _seal_key(self) -> bytes:
+        """Sealing key bound to device and measurement (MRENCLAVE policy)."""
+        return crypto.kdf(self._device_key.sign(b"seal-root"),
+                          "seal", self.measurement())
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Seal data so only the same code on the same device can read it."""
+        return crypto.SealedBox(self._seal_key()).seal(plaintext)
+
+    def unseal(self, blob: bytes) -> bytes:
+        try:
+            return crypto.SealedBox(self._seal_key()).unseal(blob)
+        except crypto.SignatureError as exc:
+            raise TeeError(f"unseal failed: {exc}") from exc

@@ -1,0 +1,176 @@
+"""ARM TrustZone model: secure/normal worlds, OP-TEE-style trusted apps.
+
+Paper Sec. IV-C: "TrustZone splits the operating system into two parts: the
+normal and secure worlds.  Trusted applications can only run in the secure
+world, and the operation necessary to change context between worlds is
+rather complex and cannot be done at user-level …  The implementation is
+based on a root-of-trust provided by the hardware and a secure boot
+mechanism, preventing an attacker from substituting the trusted software."
+
+The model captures exactly those mechanisms: a secure-boot chain that
+verifies each image against the hardware root of trust before loading it,
+a secure world that only accepts *verified* trusted applications, and an
+SMC gate the normal world must use to invoke them (with a per-switch cost
+counter, since world switches are expensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import crypto
+from .tee import Quote, TeeError, TrustedExecutionEnvironment
+
+TrustedAppHandler = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class SignedImage:
+    """A boot-chain or trusted-app image with its vendor signature."""
+
+    name: str
+    payload: bytes
+    signature: bytes
+
+    @classmethod
+    def create(cls, name: str, payload: bytes,
+               vendor_key: crypto.SigningKey) -> "SignedImage":
+        return cls(name, payload,
+                   vendor_key.sign(crypto.measure(name.encode(), payload)))
+
+    def verify(self, vendor_public: crypto.VerifyingKey) -> None:
+        vendor_public.verify(crypto.measure(self.name.encode(), self.payload),
+                             self.signature)
+
+
+class SecureBootError(TeeError):
+    """Raised when a boot-chain image fails verification."""
+
+
+class SecureBoot:
+    """Hardware root-of-trust boot chain.
+
+    Each stage must verify before the next loads; a failed stage halts the
+    chain, so an attacker cannot substitute the trusted OS (the property
+    the paper's attestation relies on).
+    """
+
+    def __init__(self, vendor_public: crypto.VerifyingKey) -> None:
+        self.vendor_public = vendor_public
+        self.verified_stages: List[str] = []
+
+    def boot_chain(self, images: List[SignedImage]) -> List[str]:
+        self.verified_stages = []
+        for image in images:
+            try:
+                image.verify(self.vendor_public)
+            except crypto.SignatureError as exc:
+                raise SecureBootError(
+                    f"secure boot halted at stage {image.name!r}: {exc}"
+                ) from exc
+            self.verified_stages.append(image.name)
+        return list(self.verified_stages)
+
+
+@dataclass
+class TrustedApp:
+    """An OP-TEE-style trusted application: named commands in the secure world."""
+
+    name: str
+    code: bytes
+    commands: Dict[str, TrustedAppHandler] = field(default_factory=dict)
+
+    def measurement(self) -> bytes:
+        return crypto.measure(b"trusted-app", self.name.encode(), self.code,
+                              ",".join(sorted(self.commands)).encode())
+
+
+class SecureWorld(TrustedExecutionEnvironment):
+    """The TrustZone secure world running a trusted OS.
+
+    Only boots if the secure-boot chain verified; trusted apps must be
+    installed as signed images.  The world's measurement covers the boot
+    chain and every installed app, so quotes attest the full secure stack.
+    """
+
+    def __init__(self, device_key: crypto.SigningKey,
+                 secure_boot: SecureBoot) -> None:
+        super().__init__(device_key)
+        self.secure_boot = secure_boot
+        self.apps: Dict[str, TrustedApp] = {}
+        if not secure_boot.verified_stages:
+            raise SecureBootError("secure world requires a verified boot chain")
+
+    def install_app(self, image: SignedImage, app: TrustedApp) -> None:
+        """Install a trusted app after verifying its image signature."""
+        image.verify(self.secure_boot.vendor_public)
+        if image.payload != app.code:
+            raise TeeError(
+                f"app {app.name!r} code does not match its signed image"
+            )
+        self.apps[app.name] = app
+
+    def measurement(self) -> bytes:
+        chain = ",".join(self.secure_boot.verified_stages).encode()
+        app_digests = b"".join(
+            self.apps[name].measurement() for name in sorted(self.apps)
+        )
+        return crypto.measure(b"secure-world", chain, app_digests)
+
+    def _invoke(self, app_name: str, command: str, *args, **kwargs):
+        app = self.apps.get(app_name)
+        if app is None:
+            raise TeeError(f"no trusted app {app_name!r}")
+        handler = app.commands.get(command)
+        if handler is None:
+            raise TeeError(f"app {app_name!r} has no command {command!r}")
+        return handler(*args, **kwargs)
+
+
+class NormalWorld:
+    """The rich OS side.  All secure services go through the SMC gate."""
+
+    def __init__(self, secure_world: SecureWorld,
+                 smc_cost_cycles: int = 3_500) -> None:
+        self.secure_world = secure_world
+        self.smc_cost_cycles = smc_cost_cycles
+        self.world_switches = 0
+
+    def smc(self, app_name: str, command: str, *args, **kwargs):
+        """Secure Monitor Call: enter and leave the secure world (2 switches)."""
+        self.world_switches += 2
+        return self.secure_world._invoke(app_name, command, *args, **kwargs)
+
+    def request_quote(self, nonce: bytes, user_data: bytes = b"") -> Quote:
+        """Ask the secure world for an attestation quote (via SMC)."""
+        self.world_switches += 2
+        return self.secure_world.quote(nonce, user_data)
+
+    @property
+    def switch_overhead_cycles(self) -> int:
+        return self.world_switches * self.smc_cost_cycles
+
+
+def build_attested_device(
+    vendor_key: crypto.SigningKey,
+    device_key: crypto.SigningKey,
+    apps: Optional[List[Tuple[TrustedApp, bytes]]] = None,
+) -> Tuple[NormalWorld, SecureWorld]:
+    """Boot a TrustZone device end to end: chain, secure world, apps.
+
+    ``apps`` is a list of (app, code) pairs; each gets a vendor-signed
+    image.  Returns the two worlds ready for SMC traffic.
+    """
+    boot_images = [
+        SignedImage.create("bl1", b"first-stage-bootloader", vendor_key),
+        SignedImage.create("bl2", b"second-stage-bootloader", vendor_key),
+        SignedImage.create("optee-os", b"trusted-os-kernel", vendor_key),
+    ]
+    boot = SecureBoot(vendor_key.verifying_key())
+    boot.boot_chain(boot_images)
+    secure = SecureWorld(device_key, boot)
+    for app, code in (apps or []):
+        image = SignedImage.create(app.name, code, vendor_key)
+        secure.install_app(image, app)
+    return NormalWorld(secure), secure

@@ -1,0 +1,317 @@
+"""A WebAssembly-like sandboxed runtime.
+
+VEDLIoT builds trusted runtimes by executing WebAssembly inside TEEs
+("an open-source WebAssembly runtime implementation to build a trusted
+runtime environment", paper Sec. IV-C; the Twine system [17]).  This module
+implements the sandbox half of that stack: a stack-based VM with linear
+memory, structured control flow, host imports, and fuel accounting.  The
+instruction set is a compact i32 subset of WebAssembly — enough to run real
+algorithms (the Twine benchmark implements a key-value store in it).
+
+Safety properties enforced: memory accesses are bounds-checked against the
+module's linear memory, code cannot escape the sandbox except through
+declared host imports, and execution is metered (fuel) so runaway guests
+terminate deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+PAGE_SIZE = 65536
+_MASK32 = 0xFFFFFFFF
+
+Instr = Tuple  # ("op", *operands)
+
+
+class WasmError(Exception):
+    """Base class for VM errors."""
+
+
+class TrapError(WasmError):
+    """Guest trapped (out-of-bounds access, div by zero, unreachable...)."""
+
+
+class OutOfFuelError(WasmError):
+    """Fuel limit exhausted."""
+
+
+class ValidationError(WasmError):
+    """Module failed static checks."""
+
+
+def _s32(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+@dataclass
+class Function:
+    """One guest function: parameter count, extra locals, body."""
+
+    name: str
+    num_params: int
+    num_locals: int
+    body: List[Instr]
+    returns: int = 1
+
+
+@dataclass
+class Module:
+    """A sandboxed module: functions plus linear memory size."""
+
+    name: str
+    functions: Dict[str, Function] = field(default_factory=dict)
+    memory_pages: int = 1
+    imports: Tuple[str, ...] = ()
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValidationError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def measurement_bytes(self) -> bytes:
+        """Canonical encoding used to measure/attest the module."""
+        parts: List[str] = [self.name, str(self.memory_pages)]
+        for name in sorted(self.functions):
+            fn = self.functions[name]
+            parts.append(f"{name}/{fn.num_params}/{fn.num_locals}/{fn.returns}")
+            parts.append(repr(fn.body))
+        parts.extend(self.imports)
+        return "|".join(parts).encode()
+
+
+# Host import signature: (vm, args tuple) -> int result (or None).
+HostFn = Callable[["Instance", Tuple[int, ...]], Optional[int]]
+
+
+class _Branch(Exception):
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+
+
+class _Return(Exception):
+    pass
+
+
+class Instance:
+    """An instantiated module with its own linear memory and fuel meter."""
+
+    def __init__(self, module: Module,
+                 host: Optional[Dict[str, HostFn]] = None,
+                 fuel: Optional[int] = None) -> None:
+        host = host or {}
+        missing = [imp for imp in module.imports if imp not in host]
+        if missing:
+            raise ValidationError(f"unresolved imports: {missing}")
+        self.module = module
+        self.host = host
+        self.memory = bytearray(module.memory_pages * PAGE_SIZE)
+        self.fuel = fuel
+        self.instructions_executed = 0
+        self.host_calls = 0
+
+    # -- memory helpers -------------------------------------------------------
+
+    def _check_bounds(self, address: int, size: int) -> None:
+        if address < 0 or address + size > len(self.memory):
+            raise TrapError(
+                f"memory access out of bounds: {address}+{size} > "
+                f"{len(self.memory)}"
+            )
+
+    def load32(self, address: int) -> int:
+        self._check_bounds(address, 4)
+        return int.from_bytes(self.memory[address:address + 4], "little")
+
+    def store32(self, address: int, value: int) -> None:
+        self._check_bounds(address, 4)
+        self.memory[address:address + 4] = (value & _MASK32).to_bytes(4, "little")
+
+    def load8(self, address: int) -> int:
+        self._check_bounds(address, 1)
+        return self.memory[address]
+
+    def store8(self, address: int, value: int) -> None:
+        self._check_bounds(address, 1)
+        self.memory[address] = value & 0xFF
+
+    def write_bytes(self, address: int, blob: bytes) -> None:
+        self._check_bounds(address, len(blob))
+        self.memory[address:address + len(blob)] = blob
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        self._check_bounds(address, size)
+        return bytes(self.memory[address:address + size])
+
+    # -- execution ----------------------------------------------------------------
+
+    def invoke(self, name: str, *args: int) -> Optional[int]:
+        """Call an exported function with i32 arguments."""
+        fn = self.module.functions.get(name)
+        if fn is None:
+            raise WasmError(f"no function {name!r} in module {self.module.name!r}")
+        if len(args) != fn.num_params:
+            raise WasmError(
+                f"{name} expects {fn.num_params} args, got {len(args)}"
+            )
+        stack: List[int] = []
+        self._call(fn, [a & _MASK32 for a in args], stack)
+        if fn.returns:
+            return stack.pop() if stack else 0
+        return None
+
+    def _call(self, fn: Function, args: List[int], stack: List[int]) -> None:
+        locals_ = args + [0] * fn.num_locals
+        try:
+            self._exec_block(fn.body, locals_, stack)
+        except _Return:
+            pass
+        except _Branch:
+            raise TrapError(f"branch out of function {fn.name!r}") from None
+
+    def _exec_block(self, body: Sequence[Instr], locals_: List[int],
+                    stack: List[int]) -> None:
+        for instr in body:
+            self.instructions_executed += 1
+            if self.fuel is not None:
+                self.fuel -= 1
+                if self.fuel < 0:
+                    raise OutOfFuelError(
+                        f"module {self.module.name!r} ran out of fuel"
+                    )
+            op = instr[0]
+
+            if op == "i32.const":
+                stack.append(instr[1] & _MASK32)
+            elif op == "local.get":
+                stack.append(locals_[instr[1]])
+            elif op == "local.set":
+                locals_[instr[1]] = stack.pop()
+            elif op == "local.tee":
+                locals_[instr[1]] = stack[-1]
+            elif op in _BINOPS:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(_BINOPS[op](a, b))
+            elif op in _UNOPS:
+                stack.append(_UNOPS[op](stack.pop()))
+            elif op == "i32.load":
+                stack.append(self.load32(stack.pop() + instr[1]))
+            elif op == "i32.store":
+                value = stack.pop()
+                self.store32(stack.pop() + instr[1], value)
+            elif op == "i32.load8_u":
+                stack.append(self.load8(stack.pop() + instr[1]))
+            elif op == "i32.store8":
+                value = stack.pop()
+                self.store8(stack.pop() + instr[1], value)
+            elif op == "block":
+                try:
+                    self._exec_block(instr[1], locals_, stack)
+                except _Branch as branch:
+                    if branch.depth:
+                        raise _Branch(branch.depth - 1) from None
+                    # br targeting a block exits it
+            elif op == "loop":
+                while True:
+                    try:
+                        self._exec_block(instr[1], locals_, stack)
+                        break  # fall-through exits the loop
+                    except _Branch as branch:
+                        if branch.depth:
+                            raise _Branch(branch.depth - 1) from None
+                        continue  # br targeting a loop restarts it
+            elif op == "if":
+                condition = stack.pop()
+                branch_body = instr[1] if condition else (
+                    instr[2] if len(instr) > 2 else [])
+                try:
+                    self._exec_block(branch_body, locals_, stack)
+                except _Branch as branch:
+                    if branch.depth:
+                        raise _Branch(branch.depth - 1) from None
+            elif op == "br":
+                raise _Branch(instr[1])
+            elif op == "br_if":
+                if stack.pop():
+                    raise _Branch(instr[1])
+            elif op == "return":
+                raise _Return
+            elif op == "call":
+                callee = self.module.functions.get(instr[1])
+                if callee is None:
+                    raise TrapError(f"call to unknown function {instr[1]!r}")
+                args = [stack.pop() for _ in range(callee.num_params)][::-1]
+                self._call(callee, args, stack)
+            elif op == "call_host":
+                name = instr[1]
+                arity = instr[2] if len(instr) > 2 else 0
+                if name not in self.host:
+                    raise TrapError(f"call to unknown host import {name!r}")
+                args = tuple(stack.pop() for _ in range(arity))[::-1]
+                self.host_calls += 1
+                result = self.host[name](self, args)
+                if result is not None:
+                    stack.append(result & _MASK32)
+            elif op == "drop":
+                stack.pop()
+            elif op == "nop":
+                pass
+            elif op == "unreachable":
+                raise TrapError("unreachable executed")
+            else:
+                raise ValidationError(f"unknown instruction {op!r}")
+
+
+def _div_s(a: int, b: int) -> int:
+    sb = _s32(b)
+    if sb == 0:
+        raise TrapError("integer divide by zero")
+    sa = _s32(a)
+    if sa == -0x80000000 and sb == -1:
+        raise TrapError("integer overflow in division")
+    return int(sa / sb) & _MASK32
+
+
+def _div_u(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return (a // b) & _MASK32
+
+
+def _rem_u(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer divide by zero")
+    return (a % b) & _MASK32
+
+
+_BINOPS: Dict[str, Callable[[int, int], int]] = {
+    "i32.add": lambda a, b: (a + b) & _MASK32,
+    "i32.sub": lambda a, b: (a - b) & _MASK32,
+    "i32.mul": lambda a, b: (a * b) & _MASK32,
+    "i32.div_s": _div_s,
+    "i32.div_u": _div_u,
+    "i32.rem_u": _rem_u,
+    "i32.and": lambda a, b: a & b,
+    "i32.or": lambda a, b: a | b,
+    "i32.xor": lambda a, b: a ^ b,
+    "i32.shl": lambda a, b: (a << (b & 31)) & _MASK32,
+    "i32.shr_u": lambda a, b: a >> (b & 31),
+    "i32.shr_s": lambda a, b: (_s32(a) >> (b & 31)) & _MASK32,
+    "i32.eq": lambda a, b: int(a == b),
+    "i32.ne": lambda a, b: int(a != b),
+    "i32.lt_u": lambda a, b: int(a < b),
+    "i32.lt_s": lambda a, b: int(_s32(a) < _s32(b)),
+    "i32.gt_u": lambda a, b: int(a > b),
+    "i32.gt_s": lambda a, b: int(_s32(a) > _s32(b)),
+    "i32.le_u": lambda a, b: int(a <= b),
+    "i32.ge_u": lambda a, b: int(a >= b),
+    "i32.ge_s": lambda a, b: int(_s32(a) >= _s32(b)),
+}
+
+_UNOPS: Dict[str, Callable[[int], int]] = {
+    "i32.eqz": lambda a: int(a == 0),
+}

@@ -1,0 +1,249 @@
+"""Guest workloads for the trusted-runtime evaluation (Twine, Txt-C).
+
+The paper's evaluation runs SQLite inside an SGX enclave via WebAssembly
+[17].  Our substitution (DESIGN.md) is a database-like workload we can
+express in the Wasm subset: an open-addressing hash key-value store over
+linear memory, with put/get/has/delete and linear probing — the inner loop
+shape of a storage engine.  A native Python implementation of the *same*
+algorithm over a bytearray provides the baseline, so the benchmark measures
+runtime overhead (native vs. sandboxed vs. sandboxed-in-enclave), not
+algorithmic differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .wasm import Function, Instance, Module
+
+_HASH_MULT = 2654435761  # Knuth multiplicative hash constant
+MISSING = 0xFFFFFFFF
+_SLOT_BYTES = 12         # key(4) | value(4) | flag(4)
+_BASE = 64               # slots start after a small scratch area
+
+
+def build_kv_module(capacity_pow2: int = 12) -> Module:
+    """Build the Wasm KV-store module with ``2**capacity_pow2`` slots."""
+    capacity = 1 << capacity_pow2
+    mask = capacity - 1
+    table_bytes = _BASE + capacity * _SLOT_BYTES
+    pages = -(-table_bytes // 65536)
+    module = Module(name=f"kvstore-{capacity}", memory_pages=pages)
+
+    def hash_to_idx(key_local: int, idx_local: int):
+        return [
+            ("local.get", key_local), ("i32.const", _HASH_MULT), ("i32.mul",),
+            ("i32.const", mask), ("i32.and",), ("local.set", idx_local),
+        ]
+
+    def slot_addr(idx_local: int, addr_local: int):
+        return [
+            ("local.get", idx_local), ("i32.const", _SLOT_BYTES), ("i32.mul",),
+            ("i32.const", _BASE), ("i32.add",), ("local.set", addr_local),
+        ]
+
+    def advance(idx_local: int, probe_local: int):
+        """idx = (idx+1) & mask; probes += 1; continue loop while probes < cap."""
+        return [
+            ("local.get", idx_local), ("i32.const", 1), ("i32.add",),
+            ("i32.const", mask), ("i32.and",), ("local.set", idx_local),
+            ("local.get", probe_local), ("i32.const", 1), ("i32.add",),
+            ("local.tee", probe_local),
+            ("i32.const", capacity), ("i32.lt_u",), ("br_if", 0),
+        ]
+
+    # put(key, value) -> 1 stored / 0 table full
+    # locals: 0=key 1=value 2=idx 3=probes 4=addr
+    module.add_function(Function("put", num_params=2, num_locals=3, body=[
+        *hash_to_idx(0, 2),
+        ("i32.const", 0), ("local.set", 3),
+        ("loop", [
+            *slot_addr(2, 4),
+            ("local.get", 4), ("i32.load", 8), ("i32.eqz",),
+            ("if", [                                   # empty slot: claim it
+                ("local.get", 4), ("local.get", 0), ("i32.store", 0),
+                ("local.get", 4), ("local.get", 1), ("i32.store", 4),
+                ("local.get", 4), ("i32.const", 1), ("i32.store", 8),
+                ("i32.const", 1), ("return",),
+            ]),
+            ("local.get", 4), ("i32.load", 0), ("local.get", 0), ("i32.eq",),
+            ("local.get", 4), ("i32.load", 8), ("i32.const", 1), ("i32.eq",),
+            ("i32.and",),
+            ("if", [                                   # live key match: update
+                ("local.get", 4), ("local.get", 1), ("i32.store", 4),
+                ("i32.const", 1), ("return",),
+            ]),
+            *advance(2, 3),
+        ]),
+        ("i32.const", 0),                              # table full
+    ]))
+
+    # get(key) -> value or MISSING
+    # locals: 0=key 1=idx 2=probes 3=addr
+    module.add_function(Function("get", num_params=1, num_locals=3, body=[
+        *hash_to_idx(0, 1),
+        ("i32.const", 0), ("local.set", 2),
+        ("loop", [
+            *slot_addr(1, 3),
+            ("local.get", 3), ("i32.load", 8), ("i32.eqz",),
+            ("if", [("i32.const", MISSING), ("return",)]),  # never-used slot
+            ("local.get", 3), ("i32.load", 0), ("local.get", 0), ("i32.eq",),
+            ("local.get", 3), ("i32.load", 8), ("i32.const", 1), ("i32.eq",),
+            ("i32.and",),
+            ("if", [("local.get", 3), ("i32.load", 4), ("return",)]),
+            *advance(1, 2),
+        ]),
+        ("i32.const", MISSING),
+    ]))
+
+    # has(key) -> 0/1
+    module.add_function(Function("has", num_params=1, num_locals=0, body=[
+        ("local.get", 0), ("call", "get"),
+        ("i32.const", MISSING), ("i32.ne",),
+    ]))
+
+    # delete(key) -> 1 removed / 0 missing (tombstone flag = 2)
+    # locals: 0=key 1=idx 2=probes 3=addr
+    module.add_function(Function("delete", num_params=1, num_locals=3, body=[
+        *hash_to_idx(0, 1),
+        ("i32.const", 0), ("local.set", 2),
+        ("loop", [
+            *slot_addr(1, 3),
+            ("local.get", 3), ("i32.load", 8), ("i32.eqz",),
+            ("if", [("i32.const", 0), ("return",)]),
+            ("local.get", 3), ("i32.load", 0), ("local.get", 0), ("i32.eq",),
+            ("local.get", 3), ("i32.load", 8), ("i32.const", 1), ("i32.eq",),
+            ("i32.and",),
+            ("if", [
+                ("local.get", 3), ("i32.const", 2), ("i32.store", 8),
+                ("i32.const", 1), ("return",),
+            ]),
+            *advance(1, 2),
+        ]),
+        ("i32.const", 0),
+    ]))
+
+    return module
+
+
+class NativeKvStore:
+    """The same open-addressing algorithm over a host bytearray.
+
+    Mirrors the Wasm guest byte for byte so the Twine benchmark compares
+    runtimes, not data structures.
+    """
+
+    def __init__(self, capacity_pow2: int = 12) -> None:
+        self.capacity = 1 << capacity_pow2
+        self.mask = self.capacity - 1
+        self.memory = bytearray(_BASE + self.capacity * _SLOT_BYTES)
+
+    def _load32(self, address: int) -> int:
+        return int.from_bytes(self.memory[address:address + 4], "little")
+
+    def _store32(self, address: int, value: int) -> None:
+        self.memory[address:address + 4] = (value & 0xFFFFFFFF) \
+            .to_bytes(4, "little")
+
+    def put(self, key: int, value: int) -> int:
+        idx = (key * _HASH_MULT) & self.mask
+        for _ in range(self.capacity):
+            addr = _BASE + idx * _SLOT_BYTES
+            flag = self._load32(addr + 8)
+            if flag == 0:
+                self._store32(addr, key)
+                self._store32(addr + 4, value)
+                self._store32(addr + 8, 1)
+                return 1
+            if flag == 1 and self._load32(addr) == key:
+                self._store32(addr + 4, value)
+                return 1
+            idx = (idx + 1) & self.mask
+        return 0
+
+    def get(self, key: int) -> int:
+        idx = (key * _HASH_MULT) & self.mask
+        for _ in range(self.capacity):
+            addr = _BASE + idx * _SLOT_BYTES
+            flag = self._load32(addr + 8)
+            if flag == 0:
+                return MISSING
+            if flag == 1 and self._load32(addr) == key:
+                return self._load32(addr + 4)
+            idx = (idx + 1) & self.mask
+        return MISSING
+
+    def has(self, key: int) -> int:
+        return int(self.get(key) != MISSING)
+
+    def delete(self, key: int) -> int:
+        idx = (key * _HASH_MULT) & self.mask
+        for _ in range(self.capacity):
+            addr = _BASE + idx * _SLOT_BYTES
+            flag = self._load32(addr + 8)
+            if flag == 0:
+                return 0
+            if flag == 1 and self._load32(addr) == key:
+                self._store32(addr + 8, 2)
+                return 1
+            idx = (idx + 1) & self.mask
+        return 0
+
+
+@dataclass
+class KvWorkloadResult:
+    """Outcome of running the standard KV workload on some backend."""
+
+    operations: int
+    checksum: int
+    wall_seconds: float
+
+
+def run_kv_workload(backend, num_keys: int = 400, seed: int = 1) -> KvWorkloadResult:
+    """Deterministic put/get/delete mix; returns an order-independent checksum.
+
+    ``backend`` needs put/get/delete methods with the KV semantics above
+    (NativeKvStore, a Wasm :class:`~repro.security.wasm.Instance` adapter,
+    or a :class:`~repro.security.sgx.TrustedWasmRuntime` adapter).
+    """
+    import time
+
+    state = seed & 0x7FFFFFFF
+    keys = []
+    for _ in range(num_keys):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        keys.append(state & 0xFFFFFF)
+    start = time.perf_counter()
+    checksum = 0
+    operations = 0
+    for i, key in enumerate(keys):
+        backend.put(key, (key ^ 0xABCD) & 0xFFFFFFFF)
+        operations += 1
+    for key in keys:
+        checksum = (checksum + backend.get(key)) & 0xFFFFFFFF
+        operations += 1
+    for key in keys[::3]:
+        backend.delete(key)
+        operations += 1
+    for key in keys:
+        checksum = (checksum ^ backend.get(key)) & 0xFFFFFFFF
+        operations += 1
+    wall = time.perf_counter() - start
+    return KvWorkloadResult(operations, checksum, wall)
+
+
+class WasmKvAdapter:
+    """Adapts a Wasm instance (or trusted runtime) to the KV backend protocol."""
+
+    def __init__(self, runtime) -> None:
+        self._invoke = runtime.invoke
+
+    def put(self, key: int, value: int) -> int:
+        return self._invoke("put", key, value)
+
+    def get(self, key: int) -> int:
+        return self._invoke("get", key)
+
+    def delete(self, key: int) -> int:
+        return self._invoke("delete", key)

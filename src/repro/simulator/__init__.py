@@ -1,0 +1,62 @@
+"""Functional SoC simulator (the Renode role): RV32IM core, bus, CFUs, CI."""
+
+from .memory import (
+    AccessType,
+    AccessViolation,
+    BusError,
+    Peripheral,
+    PrivilegeMode,
+    Ram,
+    Region,
+    SystemBus,
+)
+from .cpu import (
+    CAUSE_BREAKPOINT,
+    CAUSE_MACHINE_TIMER_INTERRUPT,
+    CAUSE_ECALL_FROM_M,
+    CAUSE_ECALL_FROM_U,
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_INSTRUCTION_ACCESS_FAULT,
+    CAUSE_LOAD_ACCESS_FAULT,
+    CAUSE_STORE_ACCESS_FAULT,
+    Cfu,
+    Cpu,
+)
+from .assembler import Assembler, AssemblyError, assemble
+from .peripherals import (
+    SIMCTRL_BASE,
+    TIMER_BASE,
+    UART_BASE,
+    MachineTimer,
+    SimControl,
+    Uart,
+)
+from .cfu import MultiCfu, PopcountCfu, SimdMacCfu
+from .accelerator import ACCEL_BASE, MatVecAccelerator, attach_accelerator
+from .machine import DEFAULT_RAM_SIZE, HALT_OK, Machine, RAM_BASE, RunResult, halt_with
+from .platform import (
+    PlatformError,
+    load_platform,
+    register_cfu_type,
+    register_peripheral_type,
+)
+from .testing import Expectation, SimAssertionError, SimTest, SuiteReport, run_suite
+
+__all__ = [
+    "AccessType", "AccessViolation", "BusError", "Peripheral",
+    "PrivilegeMode", "Ram", "Region", "SystemBus",
+    "CAUSE_BREAKPOINT", "CAUSE_ECALL_FROM_M", "CAUSE_ECALL_FROM_U",
+    "CAUSE_MACHINE_TIMER_INTERRUPT",
+    "ACCEL_BASE", "MatVecAccelerator", "attach_accelerator",
+    "CAUSE_ILLEGAL_INSTRUCTION", "CAUSE_INSTRUCTION_ACCESS_FAULT",
+    "CAUSE_LOAD_ACCESS_FAULT", "CAUSE_STORE_ACCESS_FAULT", "Cfu", "Cpu",
+    "Assembler", "AssemblyError", "assemble",
+    "SIMCTRL_BASE", "TIMER_BASE", "UART_BASE", "MachineTimer", "SimControl",
+    "Uart",
+    "MultiCfu", "PopcountCfu", "SimdMacCfu",
+    "DEFAULT_RAM_SIZE", "HALT_OK", "Machine", "RAM_BASE", "RunResult",
+    "halt_with",
+    "PlatformError", "load_platform", "register_cfu_type",
+    "register_peripheral_type",
+    "Expectation", "SimAssertionError", "SimTest", "SuiteReport", "run_suite",
+]

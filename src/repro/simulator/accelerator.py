@@ -1,0 +1,150 @@
+"""Memory-mapped NN accelerator: the "statically configured" type.
+
+The paper explores four DL accelerator types (Sec. II-B): (1) existing
+off-the-shelf (the catalog in ``repro.hw``), (2) statically configured,
+(3) dynamically reconfigurable (``repro.hw.reconfig``), and (4) fully
+simultaneous co-design (the CFUs).  This module is type (2): a fixed-
+function matrix-vector engine hanging off the system bus, programmed
+through registers and fed by DMA from main memory — the classic loosely-
+coupled NPU block, in contrast to the CFU's tight coupling.
+
+Register map (word offsets from the device base):
+
+    0x00  CTRL      write 1: start; reads 0 when idle / 1 while busy
+    0x04  STATUS    bit0 done, bit1 error
+    0x08  SRC_A     physical address of int8 weight matrix (rows x cols)
+    0x0C  SRC_B     physical address of int8 input vector  (cols)
+    0x10  DST       physical address of int32 result vector (rows)
+    0x14  ROWS      matrix rows
+    0x18  COLS      matrix cols
+    0x1C  CYCLES    cycle cost of the last operation (read-only)
+
+The device reads operands over the bus (so PMP policies and memory maps
+apply), computes ``dst = A @ b`` in int8*int8 -> int32, and models its
+latency as ``setup + rows*cols/macs_per_cycle`` cycles, which the machine
+adds to the CPU cycle counter on completion — the co-design feedback
+signal for the Txt-H-style comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .memory import AccessType, BusError, Peripheral, PrivilegeMode, SystemBus
+
+ACCEL_BASE = 0x1002_0000
+
+_CTRL = 0x00
+_STATUS = 0x04
+_SRC_A = 0x08
+_SRC_B = 0x0C
+_DST = 0x10
+_ROWS = 0x14
+_COLS = 0x18
+_CYCLES = 0x1C
+
+STATUS_DONE = 1 << 0
+STATUS_ERROR = 1 << 1
+
+MAX_DIM = 4096
+
+
+class MatVecAccelerator(Peripheral):
+    """Fixed-function int8 matrix-vector engine on the system bus."""
+
+    def __init__(self, bus: SystemBus, macs_per_cycle: int = 16,
+                 setup_cycles: int = 40) -> None:
+        if macs_per_cycle < 1:
+            raise ValueError("macs_per_cycle must be >= 1")
+        self.bus = bus
+        self.macs_per_cycle = macs_per_cycle
+        self.setup_cycles = setup_cycles
+        self.regs = {name: 0 for name in
+                     (_SRC_A, _SRC_B, _DST, _ROWS, _COLS)}
+        self.status = 0
+        self.last_cycles = 0
+        self.operations = 0
+        self.total_cycles = 0
+
+    # -- register interface --------------------------------------------------
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == _CTRL:
+            return 0  # the model completes synchronously: never busy
+        if offset == _STATUS:
+            return self.status
+        if offset == _CYCLES:
+            return self.last_cycles
+        return self.regs.get(offset, 0)
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == _CTRL:
+            if value & 1:
+                self._run()
+            return
+        if offset == _STATUS:
+            self.status = 0  # write clears
+            return
+        if offset in self.regs:
+            self.regs[offset] = value & 0xFFFFFFFF
+
+    # -- the engine --------------------------------------------------------------
+
+    def _run(self) -> None:
+        rows = self.regs[_ROWS]
+        cols = self.regs[_COLS]
+        if not (0 < rows <= MAX_DIM and 0 < cols <= MAX_DIM):
+            self.status = STATUS_ERROR
+            return
+        try:
+            weights = self._read_block(self.regs[_SRC_A], rows * cols)
+            vector = self._read_block(self.regs[_SRC_B], cols)
+            matrix = weights.reshape(rows, cols).astype(np.int32)
+            result = matrix @ vector.astype(np.int32)
+            dst = self.regs[_DST]
+            for index, value in enumerate(result):
+                self.bus.write(dst + 4 * index, 4, int(value) & 0xFFFFFFFF,
+                               PrivilegeMode.MACHINE)
+        except BusError:
+            self.status = STATUS_ERROR
+            return
+        self.last_cycles = self.setup_cycles + \
+            -(-rows * cols // self.macs_per_cycle)
+        self.operations += 1
+        self.total_cycles += self.last_cycles
+        self.status = STATUS_DONE
+
+    def _read_block(self, address: int, count: int) -> np.ndarray:
+        data = bytearray()
+        # Word-wise DMA with a byte tail, as real masters do.
+        for offset in range(0, count - count % 4, 4):
+            word = self.bus.read(address + offset, 4, PrivilegeMode.MACHINE)
+            data.extend(word.to_bytes(4, "little"))
+        for offset in range(count - count % 4, count):
+            data.append(self.bus.read(address + offset, 1,
+                                      PrivilegeMode.MACHINE))
+        return np.frombuffer(bytes(data), dtype=np.int8)
+
+
+def attach_accelerator(machine, macs_per_cycle: int = 16,
+                       setup_cycles: int = 40,
+                       base: int = ACCEL_BASE) -> MatVecAccelerator:
+    """Attach a matrix-vector engine to a machine's bus; returns the device.
+
+    The device's modeled compute cycles accrue on the CPU counter when the
+    guest polls STATUS (the charge point of this synchronous model).
+    """
+    device = MatVecAccelerator(machine.bus, macs_per_cycle, setup_cycles)
+    machine.bus.register(base, 0x100, device, "matvec-accel")
+
+    # Charge the accelerator's cycles to the machine when work completes.
+    original_run = device._run
+
+    def charged_run() -> None:
+        original_run()
+        machine.cpu.cycles += device.last_cycles
+
+    device._run = charged_run  # type: ignore[method-assign]
+    return device

@@ -1,0 +1,359 @@
+"""A small two-pass RV32IM assembler for simulator programs.
+
+Renode runs "the same software that would be used on hardware"; our
+equivalent is assembling real RISC-V machine code for the functional core.
+Supports the RV32I base set, the M extension, Zicsr, the usual pseudo
+instructions (li, mv, j, call, ret, nop, ...), labels, and the custom-0
+CFU instruction as ``cfu rd, rs1, rs2, funct3, funct7``.
+
+Syntax example::
+
+    loop:
+        addi  x1, x1, -1
+        bnez  x1, loop
+        li    a0, 0x10000000
+        sb    a1, 0(a0)
+        ecall
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+_MASK32 = 0xFFFFFFFF
+
+_REG_ALIASES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22,
+    "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_CSR_NAMES = {
+    "mstatus": 0x300, "misa": 0x301, "mie": 0x304, "mtvec": 0x305,
+    "mscratch": 0x340, "mepc": 0x341, "mcause": 0x342, "mtval": 0x343,
+    "mip": 0x344, "mcycle": 0xB00, "cycle": 0xC00,
+}
+for _i in range(4):
+    _CSR_NAMES[f"pmpcfg{_i}"] = 0x3A0 + _i
+for _i in range(16):
+    _CSR_NAMES[f"pmpaddr{_i}"] = 0x3B0 + _i
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("x"):
+        try:
+            index = int(token[1:])
+        except ValueError:
+            raise AssemblyError(f"bad register {token!r}") from None
+        if 0 <= index < 32:
+            return index
+    raise AssemblyError(f"bad register {token!r}")
+
+
+def _csr(token: str) -> int:
+    token = token.strip().lower()
+    if token in _CSR_NAMES:
+        return _CSR_NAMES[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad CSR {token!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler producing little-endian machine code."""
+
+    def __init__(self, origin: int = 0x8000_0000) -> None:
+        self.origin = origin
+
+    def assemble(self, source: str) -> bytes:
+        lines = self._clean(source)
+        labels = self._collect_labels(lines)
+        words: List[int] = []
+        pc = self.origin
+        for line_no, text in lines:
+            if text.endswith(":"):
+                continue
+            try:
+                encoded = self._encode(text, pc, labels)
+            except AssemblyError as exc:
+                raise AssemblyError(f"line {line_no}: {exc}") from None
+            words.extend(encoded)
+            pc += 4 * len(encoded)
+        return b"".join(w.to_bytes(4, "little") for w in words)
+
+    # -- passes ------------------------------------------------------------------
+
+    def _clean(self, source: str) -> List[Tuple[int, str]]:
+        out: List[Tuple[int, str]] = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("#", 1)[0].strip()
+            if not text:
+                continue
+            # Allow "label: insn" on one line.
+            match = re.match(r"^(\w+):\s*(.*)$", text)
+            if match:
+                out.append((number, match.group(1) + ":"))
+                if match.group(2):
+                    out.append((number, match.group(2)))
+            else:
+                out.append((number, text))
+        return out
+
+    def _collect_labels(self, lines: List[Tuple[int, str]]) -> Dict[str, int]:
+        labels: Dict[str, int] = {}
+        pc = self.origin
+        for line_no, text in lines:
+            if text.endswith(":"):
+                name = text[:-1]
+                if name in labels:
+                    raise AssemblyError(f"line {line_no}: duplicate label {name!r}")
+                labels[name] = pc
+            else:
+                pc += 4 * self._size_of(text)
+        return labels
+
+    def _size_of(self, text: str) -> int:
+        mnemonic = text.split()[0].lower()
+        if mnemonic in ("li", "call", "la"):
+            return 2  # worst case; li of small immediates still emits 2 (nop pad)
+        return 1
+
+    # -- encoding -----------------------------------------------------------------
+
+    def _encode(self, text: str, pc: int, labels: Dict[str, int]) -> List[int]:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [op.strip() for op in operand_text.split(",")] \
+            if operand_text else []
+
+        def imm(token: str, pc_relative: bool = False) -> int:
+            token = token.strip()
+            if token in labels:
+                return labels[token] - pc if pc_relative else labels[token]
+            try:
+                return int(token, 0)
+            except ValueError:
+                raise AssemblyError(f"bad immediate/label {token!r}") from None
+
+        def mem_operand(token: str) -> Tuple[int, int]:
+            match = re.match(r"^(-?\w+)\((\w+)\)$", token.strip())
+            if not match:
+                raise AssemblyError(f"bad memory operand {token!r}")
+            return int(match.group(1), 0), _reg(match.group(2))
+
+        # -- pseudo instructions ------------------------------------------------
+        if mnemonic == "nop":
+            return [self._i_type(0x13, 0, 0, 0, 0)]
+        if mnemonic == "mv":
+            return [self._i_type(0x13, _reg(operands[0]), 0, _reg(operands[1]), 0)]
+        if mnemonic == "not":
+            return [self._i_type(0x13, _reg(operands[0]), 4, _reg(operands[1]), -1)]
+        if mnemonic == "neg":
+            return [self._r_type(0x33, _reg(operands[0]), 0, 0, _reg(operands[1]),
+                                 0x20)]
+        if mnemonic == "seqz":
+            return [self._i_type(0x13, _reg(operands[0]), 3, _reg(operands[1]), 1)]
+        if mnemonic == "snez":
+            return [self._r_type(0x33, _reg(operands[0]), 3, 0,
+                                 _reg(operands[1]), 0)]
+        if mnemonic == "li":
+            rd = _reg(operands[0])
+            value = imm(operands[1]) & _MASK32
+            upper = (value + 0x800) >> 12 & 0xFFFFF
+            lower = value & 0xFFF
+            if lower >= 0x800:
+                lower -= 0x1000
+            words = [self._u_type(0x37, rd, upper << 12)]
+            words.append(self._i_type(0x13, rd, 0, rd, lower))
+            return words
+        if mnemonic == "la":
+            return self._encode(f"li {operands[0]}, {imm(operands[1])}", pc, labels)
+        if mnemonic == "j":
+            return [self._j_type(0x6F, 0, imm(operands[0], pc_relative=True))]
+        if mnemonic == "jr":
+            return [self._i_type(0x67, 0, 0, _reg(operands[0]), 0)]
+        if mnemonic == "call":
+            offset = imm(operands[0], pc_relative=True)
+            upper = (offset + 0x800) >> 12 & 0xFFFFF
+            lower = offset & 0xFFF
+            if lower >= 0x800:
+                lower -= 0x1000
+            return [
+                self._u_type(0x17, 1, upper << 12),            # auipc ra
+                self._i_type(0x67, 1, 0, 1, lower),            # jalr ra, ra, lo
+            ]
+        if mnemonic == "ret":
+            return [self._i_type(0x67, 0, 0, 1, 0)]
+        if mnemonic in ("beqz", "bnez", "bltz", "bgez"):
+            base = {"beqz": "beq", "bnez": "bne", "bltz": "blt",
+                    "bgez": "bge"}[mnemonic]
+            return self._encode(f"{base} {operands[0]}, x0, {operands[1]}",
+                                pc, labels)
+        if mnemonic == "csrr":
+            return [self._csr_insn(2, _reg(operands[0]), 0, _csr(operands[1]))]
+        if mnemonic == "csrw":
+            return [self._csr_insn(1, 0, _reg(operands[1]), _csr(operands[0]))]
+
+        # -- CFU custom instruction ----------------------------------------------
+        if mnemonic == "cfu":
+            rd, rs1, rs2 = (_reg(op) for op in operands[:3])
+            funct3 = imm(operands[3]) if len(operands) > 3 else 0
+            funct7 = imm(operands[4]) if len(operands) > 4 else 0
+            return [self._r_type(0x0B, rd, funct3 & 7, rs1, rs2, funct7 & 0x7F)]
+
+        # -- base instructions ----------------------------------------------------
+        if mnemonic == "lui":
+            return [self._u_type(0x37, _reg(operands[0]), imm(operands[1]) << 12)]
+        if mnemonic == "auipc":
+            return [self._u_type(0x17, _reg(operands[0]), imm(operands[1]) << 12)]
+        if mnemonic == "jal":
+            if len(operands) == 1:
+                return [self._j_type(0x6F, 1, imm(operands[0], pc_relative=True))]
+            return [self._j_type(0x6F, _reg(operands[0]),
+                                 imm(operands[1], pc_relative=True))]
+        if mnemonic == "jalr":
+            if "(" in operands[-1]:
+                offset, rs1 = mem_operand(operands[1])
+                return [self._i_type(0x67, _reg(operands[0]), 0, rs1, offset)]
+            return [self._i_type(0x67, _reg(operands[0]), 0,
+                                 _reg(operands[1]), imm(operands[2]))]
+
+        branches = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+        if mnemonic in branches:
+            return [self._b_type(branches[mnemonic], _reg(operands[0]),
+                                 _reg(operands[1]),
+                                 imm(operands[2], pc_relative=True))]
+
+        loads = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+        if mnemonic in loads:
+            offset, rs1 = mem_operand(operands[1])
+            return [self._i_type(0x03, _reg(operands[0]), loads[mnemonic],
+                                 rs1, offset)]
+
+        stores = {"sb": 0, "sh": 1, "sw": 2}
+        if mnemonic in stores:
+            offset, rs1 = mem_operand(operands[1])
+            return [self._s_type(stores[mnemonic], rs1, _reg(operands[0]),
+                                 offset)]
+
+        alu_imm = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4,
+                   "ori": 6, "andi": 7}
+        if mnemonic in alu_imm:
+            return [self._i_type(0x13, _reg(operands[0]), alu_imm[mnemonic],
+                                 _reg(operands[1]), imm(operands[2]))]
+        shifts_imm = {"slli": (1, 0), "srli": (5, 0), "srai": (5, 0x20)}
+        if mnemonic in shifts_imm:
+            funct3, funct7 = shifts_imm[mnemonic]
+            shamt = imm(operands[2]) & 0x1F
+            return [self._i_type(0x13, _reg(operands[0]), funct3,
+                                 _reg(operands[1]), shamt | (funct7 << 5))]
+
+        alu_reg = {
+            "add": (0, 0), "sub": (0, 0x20), "sll": (1, 0), "slt": (2, 0),
+            "sltu": (3, 0), "xor": (4, 0), "srl": (5, 0), "sra": (5, 0x20),
+            "or": (6, 0), "and": (7, 0),
+            "mul": (0, 1), "mulh": (1, 1), "mulhsu": (2, 1), "mulhu": (3, 1),
+            "div": (4, 1), "divu": (5, 1), "rem": (6, 1), "remu": (7, 1),
+        }
+        if mnemonic in alu_reg:
+            funct3, funct7 = alu_reg[mnemonic]
+            return [self._r_type(0x33, _reg(operands[0]), funct3,
+                                 _reg(operands[1]), _reg(operands[2]), funct7)]
+
+        if mnemonic == "ecall":
+            return [0x00000073]
+        if mnemonic == "ebreak":
+            return [0x00100073]
+        if mnemonic == "mret":
+            return [0x30200073]
+        if mnemonic == "wfi":
+            return [0x10500073]
+        if mnemonic == "fence":
+            return [0x0000000F]
+
+        csr_ops = {"csrrw": 1, "csrrs": 2, "csrrc": 3,
+                   "csrrwi": 5, "csrrsi": 6, "csrrci": 7}
+        if mnemonic in csr_ops:
+            funct3 = csr_ops[mnemonic]
+            rd = _reg(operands[0])
+            csr = _csr(operands[1])
+            if funct3 >= 5:
+                source = imm(operands[2]) & 0x1F
+            else:
+                source = _reg(operands[2])
+            return [self._csr_insn(funct3, rd, source, csr)]
+
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+    # -- encoders -------------------------------------------------------------------
+
+    @staticmethod
+    def _r_type(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+                funct7: int) -> int:
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+
+    @staticmethod
+    def _i_type(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+        if not -2048 <= imm < 4096:
+            raise AssemblyError(f"I-immediate {imm} out of range")
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+
+    @staticmethod
+    def _s_type(funct3: int, rs1: int, rs2: int, imm: int) -> int:
+        if not -2048 <= imm < 2048:
+            raise AssemblyError(f"S-immediate {imm} out of range")
+        imm &= 0xFFF
+        return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (funct3 << 12) | ((imm & 0x1F) << 7) | 0x23
+
+    @staticmethod
+    def _b_type(funct3: int, rs1: int, rs2: int, offset: int) -> int:
+        if offset % 2:
+            raise AssemblyError("branch target misaligned")
+        if not -4096 <= offset < 4096:
+            raise AssemblyError(f"branch offset {offset} out of range")
+        offset &= 0x1FFF
+        return (((offset >> 12) & 1) << 31) | (((offset >> 5) & 0x3F) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (((offset >> 1) & 0xF) << 8) | (((offset >> 11) & 1) << 7) | 0x63
+
+    @staticmethod
+    def _u_type(opcode: int, rd: int, imm: int) -> int:
+        return (imm & 0xFFFFF000) | (rd << 7) | opcode
+
+    @staticmethod
+    def _j_type(opcode: int, rd: int, offset: int) -> int:
+        if offset % 2:
+            raise AssemblyError("jump target misaligned")
+        if not -(1 << 20) <= offset < (1 << 20):
+            raise AssemblyError(f"jump offset {offset} out of range")
+        offset &= 0x1FFFFF
+        return (((offset >> 20) & 1) << 31) | (((offset >> 1) & 0x3FF) << 21) \
+            | (((offset >> 11) & 1) << 20) | (((offset >> 12) & 0xFF) << 12) \
+            | (rd << 7) | opcode
+
+    @staticmethod
+    def _csr_insn(funct3: int, rd: int, source: int, csr: int) -> int:
+        return (csr << 20) | (source << 15) | (funct3 << 12) | (rd << 7) | 0x73
+
+
+def assemble(source: str, origin: int = 0x8000_0000) -> bytes:
+    """One-shot assembly convenience function."""
+    return Assembler(origin).assemble(source)

@@ -1,0 +1,494 @@
+"""RV32IM functional CPU core with M/U privilege modes and CFU support.
+
+The interpreter executes the RV32I base set plus the M extension, the
+Zicsr system instructions, and the custom-0 opcode used to attach Custom
+Function Units ("a CFU is an accelerator tightly coupled with the CPU",
+paper Sec. II-B).  Privilege handling covers exactly the M-mode/U-mode
+split the VEDLIoT PMP work targets; all memory traffic flows through the
+system bus where the PMP guard can deny it, turning denials into access
+fault traps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .memory import (
+    AccessType,
+    AccessViolation,
+    BusError,
+    PrivilegeMode,
+    SystemBus,
+)
+
+# Trap causes (mcause values).
+CAUSE_INSTRUCTION_ACCESS_FAULT = 1
+CAUSE_ILLEGAL_INSTRUCTION = 2
+CAUSE_BREAKPOINT = 3
+CAUSE_LOAD_ACCESS_FAULT = 5
+CAUSE_STORE_ACCESS_FAULT = 7
+CAUSE_ECALL_FROM_U = 8
+CAUSE_ECALL_FROM_M = 11
+# Interrupt causes carry the top bit in mcause.
+INTERRUPT_BIT = 0x8000_0000
+CAUSE_MACHINE_TIMER_INTERRUPT = INTERRUPT_BIT | 7
+MIP_MTIP = 1 << 7  # machine timer interrupt pending/enable bit
+
+# CSR addresses.
+CSR_MSTATUS = 0x300
+CSR_MISA = 0x301
+CSR_MIE = 0x304
+CSR_MTVEC = 0x305
+CSR_MSCRATCH = 0x340
+CSR_MEPC = 0x341
+CSR_MCAUSE = 0x342
+CSR_MTVAL = 0x343
+CSR_MIP = 0x344
+CSR_PMPCFG0 = 0x3A0
+CSR_PMPADDR0 = 0x3B0
+CSR_MCYCLE = 0xB00
+CSR_CYCLE = 0xC00
+
+_MASK32 = 0xFFFFFFFF
+
+OPCODE_CUSTOM0 = 0x0B  # CFU instructions live on custom-0
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+class Cfu:
+    """Interface of a Custom Function Unit.
+
+    CFUs are combinational or stateful co-processors selected by the
+    funct3/funct7 fields of the custom-0 R-type instruction.
+    """
+
+    name = "cfu"
+
+    def execute(self, funct3: int, funct7: int, rs1: int, rs2: int) -> int:
+        """Compute the result written to rd; values are 32-bit unsigned."""
+        raise NotImplementedError
+
+    def cycles(self, funct3: int, funct7: int) -> int:
+        """Extra cycles the operation stalls the pipeline (default single)."""
+        return 1
+
+
+class HaltRequested(Exception):
+    """Internal signal used by the machine to stop the run loop."""
+
+
+class Cpu:
+    """A single RV32IM hart."""
+
+    def __init__(self, bus: SystemBus, reset_pc: int = 0x8000_0000,
+                 cfu: Optional[Cfu] = None, pmp=None) -> None:
+        self.bus = bus
+        self.reset_pc = reset_pc
+        self.cfu = cfu
+        self.pmp = pmp  # repro.security.pmp.PmpUnit or None
+        self.regs: List[int] = [0] * 32
+        self.pc = reset_pc
+        self.mode = PrivilegeMode.MACHINE
+        self.cycles = 0
+        self.instret = 0
+        self.csrs: Dict[int, int] = {
+            CSR_MSTATUS: 0,
+            CSR_MISA: 0x4000_1100,  # RV32IM
+            CSR_MIE: 0,
+            CSR_MTVEC: 0,
+            CSR_MSCRATCH: 0,
+            CSR_MEPC: 0,
+            CSR_MCAUSE: 0,
+            CSR_MTVAL: 0,
+            CSR_MIP: 0,
+        }
+        self.trap_count = 0
+        self.last_trap_cause: Optional[int] = None
+
+    # -- register helpers --------------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & _MASK32
+
+    # -- trap handling ---------------------------------------------------------------
+
+    def trap(self, cause: int, tval: int = 0) -> None:
+        """Take a synchronous trap into M-mode."""
+        self.trap_count += 1
+        self.last_trap_cause = cause
+        self.csrs[CSR_MEPC] = self.pc
+        self.csrs[CSR_MCAUSE] = cause
+        self.csrs[CSR_MTVAL] = tval & _MASK32
+        status = self.csrs[CSR_MSTATUS]
+        mie = (status >> 3) & 1
+        status &= ~(1 << 7)
+        status |= mie << 7                     # MPIE <- MIE
+        status &= ~(1 << 3)                    # MIE <- 0
+        status &= ~(0b11 << 11)
+        status |= self.mode.value << 11        # MPP <- current mode
+        self.csrs[CSR_MSTATUS] = status
+        self.mode = PrivilegeMode.MACHINE
+        self.pc = self.csrs[CSR_MTVEC] & ~0b11
+
+    def _mret(self) -> None:
+        if self.mode is not PrivilegeMode.MACHINE:
+            self.trap(CAUSE_ILLEGAL_INSTRUCTION)
+            return
+        status = self.csrs[CSR_MSTATUS]
+        mpp = (status >> 11) & 0b11
+        mpie = (status >> 7) & 1
+        status &= ~(1 << 3)
+        status |= mpie << 3                    # MIE <- MPIE
+        status |= 1 << 7                       # MPIE <- 1
+        status &= ~(0b11 << 11)                # MPP <- U
+        self.csrs[CSR_MSTATUS] = status
+        self.mode = PrivilegeMode.MACHINE if mpp == 3 else PrivilegeMode.USER
+        self.pc = self.csrs[CSR_MEPC]
+
+    # -- CSR access --------------------------------------------------------------------
+
+    def _csr_read(self, addr: int) -> int:
+        if addr in (CSR_MCYCLE, CSR_CYCLE):
+            return self.cycles & _MASK32
+        if CSR_PMPCFG0 <= addr < CSR_PMPCFG0 + 4:
+            return self._pmpcfg_read(addr - CSR_PMPCFG0)
+        if CSR_PMPADDR0 <= addr < CSR_PMPADDR0 + 16:
+            if self.pmp is None:
+                return 0
+            return self.pmp.entries[addr - CSR_PMPADDR0].addr
+        if addr not in self.csrs:
+            raise KeyError(addr)
+        return self.csrs[addr]
+
+    def _csr_write(self, addr: int, value: int) -> None:
+        if addr in (CSR_MCYCLE,):
+            self.cycles = value & _MASK32
+            return
+        if CSR_PMPCFG0 <= addr < CSR_PMPCFG0 + 4:
+            self._pmpcfg_write(addr - CSR_PMPCFG0, value)
+            return
+        if CSR_PMPADDR0 <= addr < CSR_PMPADDR0 + 16:
+            if self.pmp is not None:
+                self.pmp.write_addr(addr - CSR_PMPADDR0, value)
+            return
+        if addr not in self.csrs:
+            raise KeyError(addr)
+        self.csrs[addr] = value & _MASK32
+
+    def _pmpcfg_read(self, bank: int) -> int:
+        if self.pmp is None:
+            return 0
+        value = 0
+        for i in range(4):
+            index = bank * 4 + i
+            if index < len(self.pmp.entries):
+                value |= self.pmp.entries[index].cfg << (8 * i)
+        return value
+
+    def _pmpcfg_write(self, bank: int, value: int) -> None:
+        if self.pmp is None:
+            return
+        for i in range(4):
+            index = bank * 4 + i
+            if index < len(self.pmp.entries):
+                cfg = (value >> (8 * i)) & 0xFF
+                entry = self.pmp.entries[index]
+                if not entry.locked:
+                    entry.cfg = cfg & 0x9F
+
+    def _csr_privileged(self, addr: int) -> bool:
+        """True if ``addr`` requires M-mode (bits 9:8 of the CSR number)."""
+        return ((addr >> 8) & 0b11) == 0b11 or addr == CSR_MCYCLE
+
+    # -- memory access wrappers ------------------------------------------------------------
+
+    def _load(self, address: int, size: int) -> int:
+        try:
+            return self.bus.read(address, size, self.mode)
+        except (AccessViolation, BusError):
+            raise _MemFault(CAUSE_LOAD_ACCESS_FAULT, address) from None
+
+    def _store(self, address: int, size: int, value: int) -> None:
+        try:
+            self.bus.write(address, size, value, self.mode)
+        except (AccessViolation, BusError):
+            raise _MemFault(CAUSE_STORE_ACCESS_FAULT, address) from None
+
+    # -- execution -------------------------------------------------------------------------------
+
+    def set_timer_interrupt(self, pending: bool) -> None:
+        """Drive the MTIP bit of mip (wired from the platform timer)."""
+        if pending:
+            self.csrs[CSR_MIP] |= MIP_MTIP
+        else:
+            self.csrs[CSR_MIP] &= ~MIP_MTIP
+
+    def _service_interrupts(self) -> bool:
+        """Take a pending enabled interrupt; True if one was taken.
+
+        Machine-mode interrupts are taken from U-mode unconditionally and
+        from M-mode only when mstatus.MIE is set (the privileged spec's
+        rule for interrupts targeting the current privilege level).
+        """
+        if not (self.csrs[CSR_MIP] & self.csrs[CSR_MIE] & MIP_MTIP):
+            return False
+        mie = (self.csrs[CSR_MSTATUS] >> 3) & 1
+        if self.mode is PrivilegeMode.MACHINE and not mie:
+            return False
+        self.trap(CAUSE_MACHINE_TIMER_INTERRUPT)
+        return True
+
+    def step(self) -> None:
+        """Service interrupts, then fetch, decode and execute one instruction."""
+        if self._service_interrupts():
+            self.cycles += 1
+            return
+        pc = self.pc
+        try:
+            instruction = self.bus.fetch(pc, self.mode)
+        except (AccessViolation, BusError):
+            self.trap(CAUSE_INSTRUCTION_ACCESS_FAULT, pc)
+            self.cycles += 1
+            return
+        try:
+            self._execute(instruction)
+            self.instret += 1
+        except _MemFault as fault:
+            self.trap(fault.cause, fault.address)
+        except _Illegal:
+            self.trap(CAUSE_ILLEGAL_INSTRUCTION, instruction)
+        self.cycles += 1
+
+    def _execute(self, insn: int) -> None:
+        opcode = insn & 0x7F
+        rd = (insn >> 7) & 0x1F
+        funct3 = (insn >> 12) & 0x7
+        rs1 = (insn >> 15) & 0x1F
+        rs2 = (insn >> 20) & 0x1F
+        funct7 = (insn >> 25) & 0x7F
+        next_pc = (self.pc + 4) & _MASK32
+
+        if opcode == 0x37:  # LUI
+            self.write_reg(rd, insn & 0xFFFFF000)
+        elif opcode == 0x17:  # AUIPC
+            self.write_reg(rd, self.pc + (insn & 0xFFFFF000))
+        elif opcode == 0x6F:  # JAL
+            imm = (_sext(insn >> 31, 1) << 20) | (((insn >> 21) & 0x3FF) << 1) \
+                | (((insn >> 20) & 1) << 11) | (((insn >> 12) & 0xFF) << 12)
+            self.write_reg(rd, next_pc)
+            next_pc = (self.pc + imm) & _MASK32
+        elif opcode == 0x67 and funct3 == 0:  # JALR
+            imm = _sext(insn >> 20, 12)
+            target = (self.read_reg(rs1) + imm) & ~1 & _MASK32
+            self.write_reg(rd, next_pc)
+            next_pc = target
+        elif opcode == 0x63:  # branches
+            imm = (_sext(insn >> 31, 1) << 12) | (((insn >> 25) & 0x3F) << 5) \
+                | (((insn >> 8) & 0xF) << 1) | (((insn >> 7) & 1) << 11)
+            a, b = self.read_reg(rs1), self.read_reg(rs2)
+            sa, sb = _signed(a), _signed(b)
+            taken = {
+                0: a == b, 1: a != b,
+                4: sa < sb, 5: sa >= sb,
+                6: a < b, 7: a >= b,
+            }.get(funct3)
+            if taken is None:
+                raise _Illegal
+            if taken:
+                next_pc = (self.pc + imm) & _MASK32
+        elif opcode == 0x03:  # loads
+            imm = _sext(insn >> 20, 12)
+            address = (self.read_reg(rs1) + imm) & _MASK32
+            if funct3 == 0:
+                self.write_reg(rd, _sext(self._load(address, 1), 8) & _MASK32)
+            elif funct3 == 1:
+                self.write_reg(rd, _sext(self._load(address, 2), 16) & _MASK32)
+            elif funct3 == 2:
+                self.write_reg(rd, self._load(address, 4))
+            elif funct3 == 4:
+                self.write_reg(rd, self._load(address, 1))
+            elif funct3 == 5:
+                self.write_reg(rd, self._load(address, 2))
+            else:
+                raise _Illegal
+        elif opcode == 0x23:  # stores
+            imm = (_sext(insn >> 31, 1) << 11) | (((insn >> 25) & 0x3F) << 5) \
+                | ((insn >> 7) & 0x1F)
+            address = (self.read_reg(rs1) + imm) & _MASK32
+            value = self.read_reg(rs2)
+            if funct3 == 0:
+                self._store(address, 1, value)
+            elif funct3 == 1:
+                self._store(address, 2, value)
+            elif funct3 == 2:
+                self._store(address, 4, value)
+            else:
+                raise _Illegal
+        elif opcode == 0x13:  # ALU immediate
+            imm = _sext(insn >> 20, 12)
+            a = self.read_reg(rs1)
+            shamt = imm & 0x1F
+            if funct3 == 0:
+                result = a + imm
+            elif funct3 == 2:
+                result = 1 if _signed(a) < imm else 0
+            elif funct3 == 3:
+                result = 1 if a < (imm & _MASK32) else 0
+            elif funct3 == 4:
+                result = a ^ imm
+            elif funct3 == 6:
+                result = a | imm
+            elif funct3 == 7:
+                result = a & imm
+            elif funct3 == 1 and funct7 == 0:
+                result = a << shamt
+            elif funct3 == 5 and funct7 == 0:
+                result = a >> shamt
+            elif funct3 == 5 and funct7 == 0x20:
+                result = _signed(a) >> shamt
+            else:
+                raise _Illegal
+            self.write_reg(rd, result)
+        elif opcode == 0x33:  # ALU register / M extension
+            a, b = self.read_reg(rs1), self.read_reg(rs2)
+            if funct7 == 0x01:
+                result = self._muldiv(funct3, a, b)
+            else:
+                sa, sb = _signed(a), _signed(b)
+                shamt = b & 0x1F
+                key = (funct3, funct7)
+                if key == (0, 0):
+                    result = a + b
+                elif key == (0, 0x20):
+                    result = a - b
+                elif key == (1, 0):
+                    result = a << shamt
+                elif key == (2, 0):
+                    result = 1 if sa < sb else 0
+                elif key == (3, 0):
+                    result = 1 if a < b else 0
+                elif key == (4, 0):
+                    result = a ^ b
+                elif key == (5, 0):
+                    result = a >> shamt
+                elif key == (5, 0x20):
+                    result = sa >> shamt
+                elif key == (6, 0):
+                    result = a | b
+                elif key == (7, 0):
+                    result = a & b
+                else:
+                    raise _Illegal
+            self.write_reg(rd, result)
+        elif opcode == 0x0F:  # FENCE / FENCE.I — no-ops for this model
+            pass
+        elif opcode == 0x73:
+            self._system(insn, rd, funct3, rs1)
+            return  # system instructions manage pc themselves when trapping
+        elif opcode == OPCODE_CUSTOM0:
+            if self.cfu is None:
+                raise _Illegal
+            result = self.cfu.execute(funct3, funct7, self.read_reg(rs1),
+                                      self.read_reg(rs2))
+            self.cycles += max(0, self.cfu.cycles(funct3, funct7) - 1)
+            self.write_reg(rd, result & _MASK32)
+        else:
+            raise _Illegal
+
+        self.pc = next_pc
+
+    def _muldiv(self, funct3: int, a: int, b: int) -> int:
+        sa, sb = _signed(a), _signed(b)
+        if funct3 == 0:    # MUL
+            return (sa * sb) & _MASK32
+        if funct3 == 1:    # MULH
+            return ((sa * sb) >> 32) & _MASK32
+        if funct3 == 2:    # MULHSU
+            return ((sa * b) >> 32) & _MASK32
+        if funct3 == 3:    # MULHU
+            return ((a * b) >> 32) & _MASK32
+        if funct3 == 4:    # DIV
+            if b == 0:
+                return _MASK32
+            if sa == -0x80000000 and sb == -1:
+                return 0x80000000
+            return int(sa / sb) & _MASK32  # trunc toward zero
+        if funct3 == 5:    # DIVU
+            return _MASK32 if b == 0 else (a // b) & _MASK32
+        if funct3 == 6:    # REM
+            if b == 0:
+                return a
+            if sa == -0x80000000 and sb == -1:
+                return 0
+            return (sa - int(sa / sb) * sb) & _MASK32
+        if funct3 == 7:    # REMU
+            return a if b == 0 else (a % b) & _MASK32
+        raise _Illegal
+
+    def _system(self, insn: int, rd: int, funct3: int, rs1: int) -> None:
+        next_pc = (self.pc + 4) & _MASK32
+        imm12 = (insn >> 20) & 0xFFF
+        if funct3 == 0:
+            if imm12 == 0 and rs1 == 0 and rd == 0:      # ECALL
+                cause = CAUSE_ECALL_FROM_M if self.mode is PrivilegeMode.MACHINE \
+                    else CAUSE_ECALL_FROM_U
+                self.trap(cause)
+                return
+            if imm12 == 1 and rs1 == 0 and rd == 0:      # EBREAK
+                self.trap(CAUSE_BREAKPOINT)
+                return
+            if imm12 == 0x302 and rs1 == 0 and rd == 0:  # MRET
+                self._mret()
+                return
+            if imm12 == 0x105:                            # WFI — treat as nop
+                self.pc = next_pc
+                return
+            raise _Illegal
+        # Zicsr
+        csr = imm12
+        if self._csr_privileged(csr) and self.mode is not PrivilegeMode.MACHINE:
+            raise _Illegal
+        write_value: Optional[int] = None
+        operand = self.read_reg(rs1) if funct3 < 4 else rs1  # immediate forms
+        try:
+            old = self._csr_read(csr)
+        except KeyError:
+            raise _Illegal from None
+        kind = funct3 & 0b11
+        if kind == 1:                                     # CSRRW
+            write_value = operand
+        elif kind == 2 and operand:                       # CSRRS
+            write_value = old | operand
+        elif kind == 3 and operand:                       # CSRRC
+            write_value = old & ~operand
+        if write_value is not None:
+            try:
+                self._csr_write(csr, write_value)
+            except KeyError:
+                raise _Illegal from None
+        self.write_reg(rd, old)
+        self.pc = next_pc
+
+
+class _MemFault(Exception):
+    def __init__(self, cause: int, address: int) -> None:
+        super().__init__(f"memory fault cause={cause} at 0x{address:08x}")
+        self.cause = cause
+        self.address = address
+
+
+class _Illegal(Exception):
+    pass

@@ -1,0 +1,139 @@
+"""Machine composition: CPU + bus + peripherals, Renode-style.
+
+A :class:`Machine` is a complete simulated SoC.  The default layout mirrors
+a small VexRiscv-class system: RAM at 0x8000_0000, UART, timer, and a sim
+control device for clean test termination.  Programs are plain RV32 machine
+code (usually produced by :mod:`repro.simulator.assembler`), so "the same
+software that would be used on hardware" runs in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .assembler import assemble
+from .cpu import Cfu, Cpu
+from .memory import PrivilegeMode, Ram, SystemBus
+from .peripherals import (
+    SIMCTRL_BASE,
+    TIMER_BASE,
+    UART_BASE,
+    MachineTimer,
+    SimControl,
+    Uart,
+)
+
+RAM_BASE = 0x8000_0000
+DEFAULT_RAM_SIZE = 1 << 20  # 1 MiB
+
+
+@dataclass
+class RunResult:
+    """Outcome of a machine run."""
+
+    steps: int
+    cycles: int
+    halted: bool
+    exit_code: Optional[int]
+    uart_output: str
+
+    @property
+    def success(self) -> bool:
+        return self.halted and self.exit_code == 0
+
+
+class Machine:
+    """A complete simulated SoC instance."""
+
+    def __init__(self, ram_size: int = DEFAULT_RAM_SIZE,
+                 cfu: Optional[Cfu] = None, pmp=None) -> None:
+        self.bus = SystemBus()
+        self.ram = Ram(ram_size)
+        self.uart = Uart()
+        self.timer = MachineTimer()
+        self.simctrl = SimControl()
+        self.bus.register(RAM_BASE, ram_size, self.ram, "ram")
+        self.bus.register(UART_BASE, 0x100, self.uart, "uart")
+        self.bus.register(TIMER_BASE, 0x100, self.timer, "timer")
+        self.bus.register(SIMCTRL_BASE, 0x100, self.simctrl, "simctrl")
+        self.pmp = pmp
+        if pmp is not None:
+            self.bus.add_guard(pmp.guard)
+        self.cpu = Cpu(self.bus, reset_pc=RAM_BASE, cfu=cfu, pmp=pmp)
+
+    # -- program loading ---------------------------------------------------------
+
+    def load_binary(self, blob: bytes, address: int = RAM_BASE) -> None:
+        self.bus.load_blob(address, blob)
+
+    def load_assembly(self, source: str, address: int = RAM_BASE) -> None:
+        self.load_binary(assemble(source, origin=address), address)
+
+    def write_words(self, address: int, words: List[int]) -> None:
+        blob = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+        self.load_binary(blob, address)
+
+    def read_word(self, address: int) -> int:
+        return self.bus.read(address, 4, PrivilegeMode.MACHINE)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000,
+            until: Optional[Callable[["Machine"], bool]] = None) -> RunResult:
+        """Run until sim-control halt, ``until`` predicate, or step budget."""
+        steps = 0
+        cpu = self.cpu
+        simctrl = self.simctrl
+        timer = self.timer
+        ticked = 0
+        while steps < max_steps:
+            cpu.step()
+            steps += 1
+            timer.tick(cpu.cycles - ticked)
+            ticked = cpu.cycles
+            cpu.set_timer_interrupt(timer.pending)
+            if simctrl.halted:
+                break
+            if until is not None and until(self):
+                break
+        return RunResult(
+            steps=steps,
+            cycles=cpu.cycles,
+            halted=simctrl.halted,
+            exit_code=simctrl.exit_code,
+            uart_output=self.uart.output,
+        )
+
+    def reset(self) -> None:
+        """Reset CPU state (memory contents are preserved, like a warm reset)."""
+        self.cpu.regs = [0] * 32
+        self.cpu.pc = self.cpu.reset_pc
+        self.cpu.mode = PrivilegeMode.MACHINE
+        self.cpu.cycles = 0
+        self.cpu.instret = 0
+        self.simctrl.exit_code = None
+        self.uart.clear()
+
+
+# Assembly prologue macros usable by tests and examples.
+HALT_OK = f"""
+    li   t6, {SIMCTRL_BASE}
+    sw   zero, 0(t6)
+"""
+
+def halt_with(code: int) -> str:
+    """Assembly snippet that halts the simulation with ``code``."""
+    return f"""
+    li   t6, {SIMCTRL_BASE}
+    li   t5, {code}
+    sw   t5, 0(t6)
+"""
+
+
+def putc_snippet(register: str) -> str:
+    """Assembly snippet writing the low byte of ``register`` to the UART."""
+    return f"""
+    li   t6, {UART_BASE}
+    sb   {register}, 0(t6)
+"""

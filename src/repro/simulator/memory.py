@@ -1,0 +1,181 @@
+"""System bus and memory for the functional SoC simulator.
+
+The simulator plays Renode's role in VEDLIoT (paper Sec. II-B): functional
+simulation of complete SoCs so the same software runs as on hardware.  The
+bus maps RAM and peripherals into a single physical address space; every
+access carries the CPU privilege mode so the PMP unit (repro.security.pmp)
+can veto it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+
+class AccessType(Enum):
+    READ = "read"
+    WRITE = "write"
+    FETCH = "fetch"
+
+
+class PrivilegeMode(Enum):
+    """RISC-V privilege levels supported by the simulated cores (M and U).
+
+    Matches the paper's PMP target: "small devices that only support
+    machine mode (M-mode) and user mode (U-mode)".
+    """
+
+    USER = 0
+    MACHINE = 3
+
+
+class BusError(RuntimeError):
+    """Raised on access to unmapped or misaligned addresses."""
+
+    def __init__(self, message: str, address: int, access: AccessType) -> None:
+        super().__init__(message)
+        self.address = address
+        self.access = access
+
+
+class AccessViolation(RuntimeError):
+    """Raised when a protection unit (PMP) denies an access."""
+
+    def __init__(self, address: int, access: AccessType, mode: PrivilegeMode) -> None:
+        super().__init__(
+            f"{access.value} of 0x{address:08x} denied in {mode.name} mode"
+        )
+        self.address = address
+        self.access = access
+        self.mode = mode
+
+
+class Peripheral(abc.ABC):
+    """A device mapped into the physical address space."""
+
+    @abc.abstractmethod
+    def read(self, offset: int, size: int) -> int:
+        """Read ``size`` bytes at ``offset`` within the device window."""
+
+    @abc.abstractmethod
+    def write(self, offset: int, size: int, value: int) -> None:
+        """Write ``size`` bytes at ``offset`` within the device window."""
+
+    def tick(self, cycles: int) -> None:
+        """Advance device time; default devices are time-insensitive."""
+
+
+class Ram(Peripheral):
+    """Byte-addressable RAM region."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("RAM size must be positive")
+        self.size = size
+        self.data = bytearray(size)
+
+    def read(self, offset: int, size: int) -> int:
+        return int.from_bytes(self.data[offset:offset + size], "little")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+    def load(self, offset: int, blob: bytes) -> None:
+        if offset + len(blob) > self.size:
+            raise ValueError("blob does not fit in RAM")
+        self.data[offset:offset + len(blob)] = blob
+
+
+@dataclass
+class Region:
+    """One mapping on the bus."""
+
+    base: int
+    size: int
+    device: Peripheral
+    name: str
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+# Guard callback: (address, size, access, mode) -> None or raise AccessViolation.
+BusGuard = Callable[[int, int, AccessType, PrivilegeMode], None]
+
+
+class SystemBus:
+    """Physical address space: region registry plus access checking."""
+
+    def __init__(self) -> None:
+        self.regions: List[Region] = []
+        self.guards: List[BusGuard] = []
+
+    def register(self, base: int, size: int, device: Peripheral,
+                 name: str) -> Region:
+        new = Region(base, size, device, name)
+        for region in self.regions:
+            if new.base < region.end and region.base < new.end:
+                raise ValueError(
+                    f"region {name!r} [{new.base:#x}, {new.end:#x}) overlaps "
+                    f"{region.name!r} [{region.base:#x}, {region.end:#x})"
+                )
+        self.regions.append(new)
+        self.regions.sort(key=lambda r: r.base)
+        return new
+
+    def add_guard(self, guard: BusGuard) -> None:
+        """Install an access guard (the PMP hooks in here)."""
+        self.guards.append(guard)
+
+    def _find(self, address: int, size: int, access: AccessType) -> Region:
+        for region in self.regions:
+            if region.contains(address):
+                if address + size > region.end:
+                    raise BusError(
+                        f"access of {size} bytes at 0x{address:08x} crosses "
+                        f"region {region.name!r} boundary", address, access)
+                return region
+        raise BusError(f"unmapped address 0x{address:08x}", address, access)
+
+    def read(self, address: int, size: int,
+             mode: PrivilegeMode = PrivilegeMode.MACHINE,
+             access: AccessType = AccessType.READ) -> int:
+        for guard in self.guards:
+            guard(address, size, access, mode)
+        region = self._find(address, size, access)
+        return region.device.read(address - region.base, size)
+
+    def write(self, address: int, size: int, value: int,
+              mode: PrivilegeMode = PrivilegeMode.MACHINE) -> None:
+        for guard in self.guards:
+            guard(address, size, AccessType.WRITE, mode)
+        region = self._find(address, size, AccessType.WRITE)
+        region.device.write(address - region.base, size, value)
+
+    def fetch(self, address: int, mode: PrivilegeMode) -> int:
+        """Fetch a 32-bit instruction word."""
+        for guard in self.guards:
+            guard(address, 4, AccessType.FETCH, mode)
+        region = self._find(address, 4, AccessType.FETCH)
+        return region.device.read(address - region.base, 4)
+
+    def load_blob(self, address: int, blob: bytes) -> None:
+        """Bulk-load bytes (program images) bypassing guards."""
+        region = self._find(address, max(1, len(blob)), AccessType.WRITE)
+        device = region.device
+        if not isinstance(device, Ram):
+            raise BusError("can only load blobs into RAM", address,
+                           AccessType.WRITE)
+        device.load(address - region.base, blob)
+
+    def tick(self, cycles: int) -> None:
+        for region in self.regions:
+            region.device.tick(cycles)

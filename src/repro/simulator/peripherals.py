@@ -1,0 +1,109 @@
+"""Memory-mapped peripherals for the simulated SoCs.
+
+A minimal but realistic device set: a UART for console I/O (the channel the
+Renode-style test harness asserts on), a 64-bit machine timer, and a
+"sim control" device programs use to signal test pass/fail and halt the
+machine — the idiom Renode CI tests use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .memory import Peripheral
+
+# Conventional base addresses used by default machines.
+UART_BASE = 0x1000_0000
+TIMER_BASE = 0x1001_0000
+SIMCTRL_BASE = 0x100F_0000
+
+
+class Uart(Peripheral):
+    """Write-only console UART.
+
+    Register map (byte offsets):
+        0x00  TX     write: emit one byte
+        0x04  STATUS read: bit0 = tx ready (always 1 in this model)
+    """
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == 0x04:
+            return 1
+        return 0
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x00:
+            self.buffer.append(value & 0xFF)
+
+    @property
+    def output(self) -> str:
+        return self.buffer.decode("utf-8", errors="replace")
+
+    def clear(self) -> None:
+        self.buffer.clear()
+
+
+class MachineTimer(Peripheral):
+    """RISC-V style mtime/mtimecmp timer (no interrupts in this model).
+
+    Register map:
+        0x00  MTIME_LO     0x04  MTIME_HI
+        0x08  MTIMECMP_LO  0x0C  MTIMECMP_HI
+    """
+
+    def __init__(self) -> None:
+        self.mtime = 0
+        self.mtimecmp = 0xFFFF_FFFF_FFFF_FFFF
+
+    def tick(self, cycles: int) -> None:
+        self.mtime += cycles
+
+    @property
+    def pending(self) -> bool:
+        return self.mtime >= self.mtimecmp
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == 0x00:
+            return self.mtime & 0xFFFF_FFFF
+        if offset == 0x04:
+            return (self.mtime >> 32) & 0xFFFF_FFFF
+        if offset == 0x08:
+            return self.mtimecmp & 0xFFFF_FFFF
+        if offset == 0x0C:
+            return (self.mtimecmp >> 32) & 0xFFFF_FFFF
+        return 0
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x08:
+            self.mtimecmp = (self.mtimecmp & 0xFFFF_FFFF_0000_0000) | value
+        elif offset == 0x0C:
+            self.mtimecmp = (self.mtimecmp & 0xFFFF_FFFF) | (value << 32)
+        elif offset == 0x00:
+            self.mtime = (self.mtime & 0xFFFF_FFFF_0000_0000) | value
+        elif offset == 0x04:
+            self.mtime = (self.mtime & 0xFFFF_FFFF) | (value << 32)
+
+
+class SimControl(Peripheral):
+    """Test-control device: lets guest code halt the simulation.
+
+    Register map:
+        0x00  EXIT   write: halt with this exit code
+    """
+
+    def __init__(self) -> None:
+        self.exit_code: Optional[int] = None
+
+    @property
+    def halted(self) -> bool:
+        return self.exit_code is not None
+
+    def read(self, offset: int, size: int) -> int:
+        return 0
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x00:
+            self.exit_code = value

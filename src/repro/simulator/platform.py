@@ -1,0 +1,149 @@
+"""Declarative platform descriptions — the Renode ``.repl`` analogue.
+
+Renode machines are assembled from platform description files rather than
+code; VEDLIoT's CI builds many SoC variants that way.  This module does
+the same for our simulator: a JSON/dict description names the RAM size,
+the CFU, extra peripherals, and the PMP policy, and :func:`load_platform`
+assembles the machine.  Example::
+
+    {
+      "name": "vexriscv-ml",
+      "ram_size": 1048576,
+      "cfu": "simd_mac",
+      "peripherals": [
+        {"type": "matvec", "base": 268566528, "macs_per_cycle": 32}
+      ],
+      "pmp": {
+        "regions": [
+          {"index": 0, "base": 2147483648, "size": 4096, "perms": "rx"},
+          {"index": 1, "base": 2147487744, "size": 4096, "perms": "rw"}
+        ]
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Union
+
+from .accelerator import ACCEL_BASE, MatVecAccelerator
+from .cfu import PopcountCfu, SimdMacCfu
+from .cpu import Cfu
+from .machine import DEFAULT_RAM_SIZE, Machine
+
+
+class PlatformError(ValueError):
+    """Raised on malformed platform descriptions."""
+
+
+_CFU_REGISTRY: Dict[str, Callable[[], Cfu]] = {
+    "simd_mac": SimdMacCfu,
+    "popcount": PopcountCfu,
+}
+
+
+def register_cfu_type(name: str, factory: Callable[[], Cfu]) -> None:
+    """Make a CFU constructible from platform descriptions."""
+    if name in _CFU_REGISTRY:
+        raise PlatformError(f"CFU type {name!r} already registered")
+    _CFU_REGISTRY[name] = factory
+
+
+def _perms_from_string(text: str) -> int:
+    from ..security.pmp import PMP_R, PMP_W, PMP_X
+
+    mapping = {"r": PMP_R, "w": PMP_W, "x": PMP_X}
+    perms = 0
+    for ch in text.lower():
+        if ch not in mapping:
+            raise PlatformError(f"unknown PMP permission {ch!r}")
+        perms |= mapping[ch]
+    return perms
+
+
+def _attach_matvec(machine: Machine, entry: Dict[str, Any]) -> None:
+    from .accelerator import attach_accelerator
+
+    attach_accelerator(
+        machine,
+        macs_per_cycle=int(entry.get("macs_per_cycle", 16)),
+        setup_cycles=int(entry.get("setup_cycles", 40)),
+        base=int(entry.get("base", ACCEL_BASE)),
+    )
+
+
+_PERIPHERAL_REGISTRY: Dict[str, Callable[[Machine, Dict[str, Any]], None]] = {
+    "matvec": _attach_matvec,
+}
+
+
+def register_peripheral_type(
+    name: str, attach: Callable[[Machine, Dict[str, Any]], None]
+) -> None:
+    """Make a peripheral constructible from platform descriptions."""
+    if name in _PERIPHERAL_REGISTRY:
+        raise PlatformError(f"peripheral type {name!r} already registered")
+    _PERIPHERAL_REGISTRY[name] = attach
+
+
+def load_platform(description: Union[Dict[str, Any], str, Path]) -> Machine:
+    """Assemble a :class:`Machine` from a description dict or JSON file."""
+    if isinstance(description, (str, Path)):
+        try:
+            description = json.loads(Path(description).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PlatformError(f"cannot load platform file: {exc}") from exc
+    if not isinstance(description, dict):
+        raise PlatformError("platform description must be an object")
+
+    unknown = set(description) - {"name", "ram_size", "cfu", "peripherals",
+                                  "pmp"}
+    if unknown:
+        raise PlatformError(f"unknown platform keys: {sorted(unknown)}")
+
+    cfu = None
+    cfu_name = description.get("cfu")
+    if cfu_name is not None:
+        factory = _CFU_REGISTRY.get(cfu_name)
+        if factory is None:
+            raise PlatformError(
+                f"unknown CFU type {cfu_name!r} "
+                f"(available: {sorted(_CFU_REGISTRY)})"
+            )
+        cfu = factory()
+
+    pmp = None
+    pmp_description = description.get("pmp")
+    if pmp_description is not None:
+        from ..security.pmp import PmpUnit
+
+        pmp = PmpUnit(int(pmp_description.get("entries", 16)))
+
+    machine = Machine(
+        ram_size=int(description.get("ram_size", DEFAULT_RAM_SIZE)),
+        cfu=cfu, pmp=pmp,
+    )
+
+    if pmp is not None:
+        for region in pmp_description.get("regions", ()):
+            pmp.set_region(
+                int(region["index"]),
+                int(region["base"]),
+                int(region["size"]),
+                _perms_from_string(region.get("perms", "")),
+                lock=bool(region.get("lock", False)),
+            )
+
+    for entry in description.get("peripherals", ()):
+        kind = entry.get("type")
+        attach = _PERIPHERAL_REGISTRY.get(kind)
+        if attach is None:
+            raise PlatformError(
+                f"unknown peripheral type {kind!r} "
+                f"(available: {sorted(_PERIPHERAL_REGISTRY)})"
+            )
+        attach(machine, entry)
+
+    return machine

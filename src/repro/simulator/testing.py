@@ -1,0 +1,121 @@
+"""Renode-style CI test harness for simulated machines.
+
+VEDLIoT uses Renode "both for interactive development of accelerator
+prototypes and within a Continuous Integration environment" (Sec. II-B).
+This module provides the CI half: declarative test cases that boot a
+machine, run a program, and assert on UART output, exit codes, registers
+and cycle budgets — the same assertions Renode's Robot framework tests
+express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .machine import Machine, RunResult
+
+
+class SimAssertionError(AssertionError):
+    """A simulator test expectation failed."""
+
+
+@dataclass
+class Expectation:
+    """Declarative post-run checks."""
+
+    exit_code: Optional[int] = 0
+    uart_contains: Optional[str] = None
+    uart_equals: Optional[str] = None
+    registers: Dict[int, int] = field(default_factory=dict)
+    memory_words: Dict[int, int] = field(default_factory=dict)
+    max_cycles: Optional[int] = None
+    must_halt: bool = True
+
+    def check(self, machine: Machine, result: RunResult) -> None:
+        if self.must_halt and not result.halted:
+            raise SimAssertionError(
+                f"machine did not halt within {result.steps} steps "
+                f"(uart so far: {result.uart_output!r})"
+            )
+        if self.exit_code is not None and result.exit_code != self.exit_code:
+            raise SimAssertionError(
+                f"exit code {result.exit_code} != expected {self.exit_code} "
+                f"(uart: {result.uart_output!r})"
+            )
+        if self.uart_contains is not None and \
+                self.uart_contains not in result.uart_output:
+            raise SimAssertionError(
+                f"uart output {result.uart_output!r} does not contain "
+                f"{self.uart_contains!r}"
+            )
+        if self.uart_equals is not None and \
+                result.uart_output != self.uart_equals:
+            raise SimAssertionError(
+                f"uart output {result.uart_output!r} != {self.uart_equals!r}"
+            )
+        for register, expected in self.registers.items():
+            actual = machine.cpu.read_reg(register)
+            if actual != expected & 0xFFFFFFFF:
+                raise SimAssertionError(
+                    f"x{register} = {actual:#x}, expected {expected:#x}"
+                )
+        for address, expected in self.memory_words.items():
+            actual = machine.read_word(address)
+            if actual != expected & 0xFFFFFFFF:
+                raise SimAssertionError(
+                    f"word at {address:#x} = {actual:#x}, "
+                    f"expected {expected:#x}"
+                )
+        if self.max_cycles is not None and result.cycles > self.max_cycles:
+            raise SimAssertionError(
+                f"took {result.cycles} cycles > budget {self.max_cycles}"
+            )
+
+
+@dataclass
+class SimTest:
+    """One CI test: program source, machine factory, and expectations."""
+
+    name: str
+    assembly: str
+    expect: Expectation = field(default_factory=Expectation)
+    machine_factory: Callable[[], Machine] = Machine
+    max_steps: int = 1_000_000
+
+    def run(self) -> RunResult:
+        machine = self.machine_factory()
+        machine.load_assembly(self.assembly)
+        result = machine.run(max_steps=self.max_steps)
+        self.expect.check(machine, result)
+        return result
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate result of a test suite run."""
+
+    passed: List[str] = field(default_factory=list)
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        lines = [f"{len(self.passed)} passed, {len(self.failed)} failed"]
+        lines.extend(f"  FAIL {name}: {why}" for name, why in self.failed.items())
+        return "\n".join(lines)
+
+
+def run_suite(tests: List[SimTest]) -> SuiteReport:
+    """Run a list of tests, collecting failures instead of stopping."""
+    report = SuiteReport()
+    for test in tests:
+        try:
+            test.run()
+        except (SimAssertionError, Exception) as exc:  # noqa: BLE001 - CI collects all
+            report.failed[test.name] = str(exc)
+        else:
+            report.passed.append(test.name)
+    return report

@@ -1,0 +1,162 @@
+"""Tests for the PAEB automotive use case."""
+
+import numpy as np
+import pytest
+
+from repro.apps.automotive import (
+    ChannelSample,
+    EdgeStation,
+    MobileNetwork,
+    OffloadDecisionEngine,
+    PaebSimulation,
+    braking_deadline_s,
+    default_paeb_setup,
+)
+from repro.hw import get_accelerator
+from repro.ir import build_model
+
+
+@pytest.fixture(scope="module")
+def detector():
+    """A mid-size stand-in detector: heavy enough that offloading pays."""
+    return build_model("tiny_yolo", image_size=416, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(detector):
+    return OffloadDecisionEngine(
+        detector,
+        oncar_platform=get_accelerator("JetsonTX2"),
+        stations=[EdgeStation("edge-0", get_accelerator("GTX1660"))],
+    )
+
+
+class TestBrakingDeadline:
+    def test_monotonically_tightens_with_speed(self):
+        deadlines = [braking_deadline_s(v) for v in (20, 40, 60, 80, 100)]
+        assert all(a > b for a, b in zip(deadlines, deadlines[1:]))
+
+    def test_never_nonpositive(self):
+        assert braking_deadline_s(500) > 0
+
+    def test_longer_sensing_range_relaxes(self):
+        assert braking_deadline_s(60, sensing_range_m=100) > \
+            braking_deadline_s(60, sensing_range_m=60)
+
+
+class TestMobileNetwork:
+    def test_bandwidth_degrades_with_speed(self):
+        net = MobileNetwork(seed=0)
+        assert net.mean_bandwidth_mbps(0) > net.mean_bandwidth_mbps(100)
+
+    def test_rtt_grows_with_speed(self):
+        net = MobileNetwork(seed=0)
+        assert net.mean_rtt_ms(130) > net.mean_rtt_ms(0)
+
+    def test_outage_sampling(self):
+        net = MobileNetwork(outage_probability=0.999, seed=0)
+        sample = net.sample(50)
+        assert not sample.available
+        assert sample.uplink_seconds(1000) == float("inf")
+
+    def test_reliability_degrades_with_speed(self):
+        net = MobileNetwork(seed=1)
+        fast = net.reliability(150, 0.05, 150_000, samples=64)
+        slow = net.reliability(10, 0.05, 150_000, samples=64)
+        assert slow >= fast
+
+    def test_transfer_time_math(self):
+        channel = ChannelSample(bandwidth_mbps=8.0, rtt_ms=20.0,
+                                available=True)
+        # 100 KB at 8 Mbps = 0.1 s payload + 10 ms half-RTT
+        assert channel.uplink_seconds(100_000) == pytest.approx(0.11)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MobileNetwork(base_bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            MobileNetwork(outage_probability=1.5)
+
+
+class TestOffloadDecision:
+    def good_channel(self):
+        return ChannelSample(bandwidth_mbps=40.0, rtt_ms=20.0,
+                             available=True)
+
+    def test_offloads_on_good_network(self, engine):
+        option = engine.decide(50, self.good_channel(), reliability=1.0)
+        assert option.where == "edge-0"
+        assert option.oncar_energy_j < engine.oncar.energy_per_inference_j
+
+    def test_oncar_when_unreliable(self, engine):
+        option = engine.decide(50, self.good_channel(), reliability=0.2)
+        assert option.where == "oncar"
+
+    def test_oncar_on_outage(self, engine):
+        outage = ChannelSample(0.0, float("inf"), False)
+        option = engine.decide(50, outage, reliability=0.0)
+        assert option.where == "oncar"
+
+    def test_attestation_gates_offload(self, detector):
+        engine = OffloadDecisionEngine(
+            detector, get_accelerator("JetsonTX2"),
+            [EdgeStation("evil-edge", get_accelerator("GTX1660"),
+                         attested=False)],
+        )
+        option = engine.decide(50, self.good_channel(), reliability=1.0)
+        assert option.where == "oncar"
+
+    def test_tight_deadline_forces_oncar(self, engine):
+        # At very high speed the deadline collapses below network RTT.
+        slow_channel = ChannelSample(bandwidth_mbps=2.0, rtt_ms=150.0,
+                                     available=True)
+        option = engine.decide(140, slow_channel, reliability=1.0)
+        assert option.where == "oncar"
+
+    def test_picks_cheapest_feasible_station(self, detector):
+        engine = OffloadDecisionEngine(
+            detector, get_accelerator("JetsonTX2"),
+            [EdgeStation("busy", get_accelerator("GTX1660"),
+                         load_factor=50.0),
+             EdgeStation("idle", get_accelerator("GTX1660"))],
+        )
+        option = engine.decide(50, self.good_channel(), reliability=1.0)
+        # Both stations cost the car the same radio energy; ties resolve to
+        # the first feasible minimum, but the busy one may miss deadline at
+        # high load. Just require an edge choice that is feasible.
+        assert option.feasible
+
+
+class TestHysteresis:
+    def test_hysteresis_reduces_switching(self, detector):
+        def run(hysteresis):
+            engine, network = default_paeb_setup(
+                detector, oncar="JetsonTX2", edge="GTX1660", seed=3,
+                hysteresis=hysteresis)
+            engine.min_reliability = 0.5
+            sim = PaebSimulation(engine, network)
+            rng = np.random.default_rng(0)
+            profile = 80 + 30 * rng.random(80)  # noisy mid-speed drive
+            return sim.run(profile).switches
+
+        assert run(0.5) <= run(0.0)
+
+
+class TestDriveSimulation:
+    def test_low_speed_drive_offloads_and_saves(self, detector):
+        engine, network = default_paeb_setup(detector, seed=0)
+        stats = PaebSimulation(engine, network).run([40.0] * 40)
+        assert stats.offload_fraction > 0.8
+        assert stats.oncar_energy_saving > 0.2
+        assert stats.deadline_misses == 0
+
+    def test_extreme_speed_drive_stays_oncar(self, detector):
+        engine, network = default_paeb_setup(detector, seed=0)
+        stats = PaebSimulation(engine, network).run([150.0] * 20)
+        assert stats.offload_fraction == 0.0
+
+    def test_energy_accounting_consistent(self, detector):
+        engine, network = default_paeb_setup(detector, seed=1)
+        stats = PaebSimulation(engine, network).run([60.0] * 30)
+        assert stats.frames == 30
+        assert stats.total_energy_j >= stats.oncar_energy_j

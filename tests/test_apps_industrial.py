@@ -1,0 +1,145 @@
+"""Tests for the industrial use cases: motor monitoring and arc detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.industrial import (
+    ArcDetector,
+    BatteryModel,
+    MotorConditionMonitor,
+    run_arc_campaign,
+    synthetic_motor_stream,
+)
+from repro.core import train_readout
+from repro.datasets import make_arc_dataset, make_motor_dataset
+from repro.hw import get_accelerator
+from repro.ir import build_model
+from repro.safety import MonitorPipeline, StuckSensorMonitor
+
+
+@pytest.fixture(scope="module")
+def arc_model():
+    ds = make_arc_dataset(200, window=128, seed=0)
+    g = build_model("arc_net", batch=16, window=128)
+    return train_readout(g, ds).graph.with_batch(1)
+
+
+@pytest.fixture(scope="module")
+def motor_model():
+    ds = make_motor_dataset(80, window=256, seed=0)
+    g = build_model("motor_net", batch=8, window=256)
+    return train_readout(g, ds).graph.with_batch(1)
+
+
+class TestArcDetector:
+    def test_campaign_has_low_error_rates(self, arc_model):
+        detector = ArcDetector(arc_model)
+        stats = run_arc_campaign(detector, num_streams=40, seed=1)
+        # The use case demands an ultra-low false-negative rate.
+        assert stats.false_negative_rate <= 0.05
+        assert stats.false_positive_rate <= 0.05
+
+    def test_latency_below_protection_deadline(self, arc_model):
+        detector = ArcDetector(arc_model)
+        stats = run_arc_campaign(detector, num_streams=30, seed=2)
+        # Sensing 128 samples at 100 kHz = 1.28 ms; a 10 ms breaker budget
+        # leaves ample margin.
+        assert stats.mean_latency_s < 0.005
+        assert stats.p99_latency_s < 0.010
+
+    def test_single_window_probability(self, arc_model):
+        from repro.datasets import dc_current_window
+
+        detector = ArcDetector(arc_model)
+        rng = np.random.default_rng(0)
+        clean = dc_current_window(False, rng=rng)
+        arcing = dc_current_window(True, arc_start=0, rng=rng)
+        assert detector.window_probability(arcing) > \
+            detector.window_probability(clean)
+
+    def test_debounce_trades_latency_for_fpr(self, arc_model):
+        fast = ArcDetector(arc_model, k_of_n=(1, 1))
+        safe = ArcDetector(arc_model, k_of_n=(3, 4))
+        stats_fast = run_arc_campaign(fast, num_streams=30, seed=3)
+        stats_safe = run_arc_campaign(safe, num_streams=30, seed=3)
+        assert stats_fast.mean_latency_s <= stats_safe.mean_latency_s
+        assert stats_safe.false_positive_rate <= \
+            stats_fast.false_positive_rate
+
+    def test_invalid_parameters(self, arc_model):
+        with pytest.raises(ValueError):
+            ArcDetector(arc_model, k_of_n=(3, 2))
+        with pytest.raises(ValueError):
+            ArcDetector(arc_model, hop=0)
+
+    def test_no_trip_on_clean_long_stream(self, arc_model):
+        from repro.datasets import dc_current_window
+
+        detector = ArcDetector(arc_model, k_of_n=(2, 3))
+        rng = np.random.default_rng(4)
+        stream = dc_current_window(False, window=4096, rng=rng)
+        result = detector.scan(stream)
+        assert not result.tripped
+
+
+class TestMotorMonitor:
+    def test_state_change_alerts(self, motor_model):
+        monitor = MotorConditionMonitor(motor_model, debounce=3)
+        stream = synthetic_motor_stream([
+            ("healthy", 15), ("bearing_fault", 15), ("healthy", 10),
+        ], seed=1)
+        result = monitor.monitor_stream(stream)
+        states = result.detected_states
+        assert "bearing_fault" in states
+        # Recovery back to healthy also reported.
+        assert "healthy" in states
+
+    def test_debounce_suppresses_flicker(self, motor_model):
+        monitor = MotorConditionMonitor(motor_model, debounce=5)
+        # Single-window excursions must not alert.
+        stream = synthetic_motor_stream([
+            ("healthy", 10), ("imbalance", 1), ("healthy", 10),
+        ], seed=2)
+        result = monitor.monitor_stream(stream)
+        assert "imbalance" not in result.detected_states
+
+    def test_alert_ordering(self, motor_model):
+        monitor = MotorConditionMonitor(motor_model, debounce=2)
+        stream = synthetic_motor_stream([
+            ("healthy", 10), ("overheat", 12),
+        ], seed=3)
+        result = monitor.monitor_stream(stream)
+        overheat_alerts = [a for a in result.alerts if a.state == "overheat"]
+        assert overheat_alerts
+        assert overheat_alerts[0].at_window >= 10
+
+    def test_quality_gate_rejections_counted(self, motor_model):
+        gate = MonitorPipeline([StuckSensorMonitor()])
+        monitor = MotorConditionMonitor(motor_model, quality_gate=gate)
+        stuck = [np.full(256, 1.0, dtype=np.float32)] * 3
+        result = monitor.monitor_stream(stuck)
+        assert result.rejected_windows == 3
+        assert not result.alerts
+
+    def test_ultra_low_energy_budget(self, motor_model):
+        monitor = MotorConditionMonitor(motor_model,
+                                        platform=get_accelerator("GAP8"))
+        # Continuous monitoring at one window/minute for > 6 months.
+        assert monitor.battery_life_days(windows_per_hour=60) > 180
+        assert monitor.energy_per_inference_j < 1e-3
+
+    def test_battery_life_monotonic_in_cadence(self, motor_model):
+        monitor = MotorConditionMonitor(motor_model)
+        slow = monitor.battery_life_days(windows_per_hour=6)
+        fast = monitor.battery_life_days(windows_per_hour=3600)
+        assert slow > fast
+
+    def test_battery_model_message_cost(self):
+        battery = BatteryModel()
+        chatty = battery.lifetime_days(0.0, messages_per_day=1000)
+        quiet = battery.lifetime_days(0.0, messages_per_day=1)
+        assert quiet > chatty
+
+    def test_invalid_debounce(self, motor_model):
+        with pytest.raises(ValueError):
+            MotorConditionMonitor(motor_model, debounce=0)

@@ -1,0 +1,116 @@
+"""Tests for the smart-mirror use case."""
+
+import numpy as np
+import pytest
+
+from repro.apps.smarthome import (
+    PipelineSpec,
+    PrivacyBoundary,
+    PrivacyViolation,
+    build_default_mirror,
+)
+from repro.core import train_readout
+from repro.datasets import make_shapes_dataset
+from repro.datasets.audio import keyword_waveform, make_keyword_dataset
+from repro.hw import get_accelerator
+from repro.ir import build_model
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    def conv(seed):
+        g = build_model("tiny_convnet", batch=8, image_size=32,
+                        num_classes=4, seed=seed)
+        ds = make_shapes_dataset(160, image_size=32, seed=seed)
+        return train_readout(g, ds).graph.with_batch(1)
+
+    speech_graph = build_model("mlp", batch=8, in_features=64,
+                               hidden=(128,), num_classes=5, seed=4)
+    speech = train_readout(speech_graph,
+                           make_keyword_dataset(40, seed=4)).graph \
+        .with_batch(1)
+    return {"gesture": conv(1), "face": conv(2), "object": conv(3),
+            "speech": speech}
+
+
+@pytest.fixture(scope="module")
+def mirror(trained_models):
+    return build_default_mirror(trained_models)
+
+
+class TestPrivacyBoundary:
+    def test_local_transfer_logged(self):
+        boundary = PrivacyBoundary()
+        boundary.transfer("frame", "display")
+        assert boundary.transfers == [("frame", "display")]
+        assert boundary.offsite_transfers == 0
+
+    def test_cloud_transfer_raises(self):
+        boundary = PrivacyBoundary()
+        with pytest.raises(PrivacyViolation, match="off-site"):
+            boundary.transfer("camera-frame", "cloud-analytics")
+
+
+class TestMirror:
+    def test_four_pipelines(self, mirror):
+        names = [p.name for p in mirror.pipelines]
+        assert names == ["gesture", "face", "object", "speech"]
+
+    def test_tick_produces_all_outputs(self, mirror):
+        frame = make_shapes_dataset(1, image_size=32, seed=9).features[0]
+        audio = keyword_waveform("lights", seed=None) \
+            if False else keyword_waveform("lights")
+        result = mirror.tick(frame, audio)
+        assert set(result.outputs) == {"gesture", "face", "object", "speech"}
+        assert result.latency_s > 0
+        assert result.energy_j > 0
+
+    def test_speech_pipeline_recognizes_keywords(self, mirror):
+        frame = np.zeros((3, 32, 32), dtype=np.float32)
+        rng = np.random.default_rng(0)
+        hits = 0
+        for keyword in ("mirror", "lights", "weather", "music"):
+            audio = keyword_waveform(keyword, rng=rng)
+            result = mirror.tick(frame, audio)
+            hits += int(result.outputs["speech"] == keyword)
+        assert hits >= 3
+
+    def test_real_time_budget_met_on_embedded_platform(self, mirror):
+        """Fig. 5 claim: all four networks fit the embedded budget."""
+        frame = np.zeros((3, 32, 32), dtype=np.float32)
+        result = mirror.tick(frame, keyword_waveform("silence"))
+        assert result.within_budget
+        total = sum(p.latency_s for p in mirror.predictions.values())
+        assert total <= mirror.frame_budget_s
+
+    def test_no_offsite_transfers_after_session(self, mirror):
+        frame = np.zeros((3, 32, 32), dtype=np.float32)
+        for _ in range(5):
+            mirror.tick(frame, keyword_waveform("silence"))
+        assert mirror.boundary.offsite_transfers == 0
+        assert all(endpoint in PrivacyBoundary.LOCAL_ENDPOINTS
+                   for _, endpoint in mirror.boundary.transfers)
+
+    def test_low_power_operation(self, mirror):
+        # "low power and energy efficiency computations a prime concern":
+        # sustained draw below the uRECS-class budget.
+        assert mirror.sustained_power_w < 15.0
+
+    def test_budget_report_renders(self, mirror):
+        text = mirror.budget_report()
+        for name in ("gesture", "face", "object", "speech", "total"):
+            assert name in text
+
+    def test_class_count_validation(self, trained_models):
+        with pytest.raises(ValueError, match="scores"):
+            PipelineSpec("bad", trained_models["gesture"],
+                         ("only", "two"), "video", lambda x: x)
+
+    def test_platform_override(self, trained_models):
+        cpu = build_default_mirror(trained_models,
+                                   platform=get_accelerator("RPi-CM4"))
+        default = build_default_mirror(trained_models)
+        cpu_latency = sum(p.latency_s for p in cpu.predictions.values())
+        npu_latency = sum(p.latency_s for p in default.predictions.values())
+        # The ZU3 DPU default clearly outruns a Raspberry Pi CPU.
+        assert npu_latency < cpu_latency

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny_convnet" in out and "arc_net" in out
+        assert "resnet50" not in out  # --small skips the big builds
+
+
+class TestAccelerators:
+    def test_lists_catalog(self, capsys):
+        assert main(["accelerators"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX1660" in out and "Myriad" in out
+
+    def test_family_filter(self, capsys):
+        assert main(["accelerators", "--family", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Epyc3451" in out
+        assert "GTX1660" not in out
+
+
+class TestPredict:
+    def test_batch_sweep(self, capsys):
+        assert main(["predict", "--model", "tiny_convnet",
+                     "--platform", "XavierNX"]) == 0
+        out = capsys.readouterr().out
+        assert "XavierNX" in out
+        assert len([l for l in out.splitlines() if l.strip() and
+                    l.strip()[0].isdigit()]) == 3  # batches 1/4/8
+
+    def test_power_mode_suffix(self, capsys):
+        assert main(["predict", "--model", "mlp",
+                     "--platform", "XavierAGX:10W",
+                     "--batches", "1"]) == 0
+        assert "(10W)" in capsys.readouterr().out
+
+    def test_explicit_dtype(self, capsys):
+        assert main(["predict", "--model", "mlp", "--platform", "GTX1660",
+                     "--dtype", "fp16", "--batches", "1"]) == 0
+        assert "fp16" in capsys.readouterr().out
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            main(["predict", "--model", "mlp", "--platform", "TPUv9"])
+
+
+class TestOptimize:
+    def test_arc_pipeline(self, capsys):
+        assert main(["optimize", "--dataset", "arc",
+                     "--passes", "fuse", "--confusion"]) == 0
+        out = capsys.readouterr().out
+        assert "fp32" in out and "fuse" in out
+        assert "confusion matrix" in out
+
+    def test_with_target(self, capsys):
+        assert main(["optimize", "--dataset", "keywords",
+                     "--passes", "fuse", "--platform", "ZynqZU3"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_program(self, tmp_path, capsys):
+        program = tmp_path / "ok.s"
+        program.write_text("""
+            li a0, 0x10000000
+            li a1, 79
+            sb a1, 0(a0)
+            li t6, 0x100F0000
+            sw zero, 0(t6)
+        """)
+        assert main(["simulate", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("O")
+        assert "halted" in out
+
+    def test_exit_code_propagates(self, tmp_path):
+        program = tmp_path / "fail.s"
+        program.write_text("""
+            li t6, 0x100F0000
+            li t5, 7
+            sw t5, 0(t6)
+        """)
+        assert main(["simulate", str(program)]) == 7
+
+    def test_nonterminating_returns_2(self, tmp_path, capsys):
+        program = tmp_path / "spin.s"
+        program.write_text("spin: j spin")
+        assert main(["simulate", str(program), "--max-steps", "100"]) == 2
+
+    def test_cfu_flag(self, tmp_path):
+        program = tmp_path / "cfu.s"
+        program.write_text("""
+            li a0, 0x01010101
+            cfu a1, a0, a0, 3, 0
+            li t6, 0x100F0000
+            sw a1, 0(t6)
+        """)
+        assert main(["simulate", str(program), "--cfu"]) == 4

@@ -1,0 +1,142 @@
+"""Tests for YOLO head decoding, NMS, and the detection report path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Detection,
+    decode_yolo_head,
+    detection_report,
+    encode_yolo_target,
+    non_max_suppression,
+)
+from repro.datasets.images import Box
+
+
+def roundtrip(boxes, grid=3, stride=32, num_classes=4, image_size=96):
+    head = encode_yolo_target(boxes, grid=grid, stride=stride,
+                              num_classes=num_classes)
+    detections = decode_yolo_head(head, stride=stride,
+                                  num_classes=num_classes,
+                                  image_size=image_size)
+    return non_max_suppression(detections)
+
+
+class TestDecodeEncode:
+    def test_single_box_roundtrip(self):
+        boxes = [Box(10, 10, 40, 42, 0)]
+        detections = roundtrip(boxes)
+        assert len(detections) == 1
+        assert detections[0].box.iou(boxes[0]) > 0.9
+        assert detections[0].box.label == 0
+        assert detections[0].score > 0.9
+
+    def test_multiple_boxes_different_cells(self):
+        boxes = [Box(5, 5, 30, 30, 1), Box(60, 60, 90, 90, 3)]
+        detections = roundtrip(boxes)
+        assert len(detections) == 2
+        labels = sorted(d.box.label for d in detections)
+        assert labels == [1, 3]
+
+    def test_empty_scene(self):
+        assert roundtrip([]) == []
+
+    def test_channel_count_checked(self):
+        with pytest.raises(ValueError, match="channels"):
+            decode_yolo_head(np.zeros((10, 3, 3), dtype=np.float32),
+                             num_classes=4)
+
+    def test_confidence_threshold_filters(self):
+        boxes = [Box(10, 10, 40, 40, 0)]
+        head = encode_yolo_target(boxes, grid=3, logit_scale=0.1)
+        # Weak logits: objectness*class ~ 0.25; a high threshold drops it.
+        assert decode_yolo_head(head, num_classes=4,
+                                conf_threshold=0.9) == []
+
+    def test_boxes_clipped_to_image(self):
+        boxes = [Box(0, 0, 95, 95, 2)]
+        detections = roundtrip(boxes, image_size=96)
+        for d in detections:
+            assert 0 <= d.box.x0 <= d.box.x1 <= 96
+            assert 0 <= d.box.y0 <= d.box.y1 <= 96
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 3)),
+        min_size=1, max_size=4, unique_by=lambda t: (t[0], t[1])))
+    @settings(max_examples=25, deadline=None)
+    def test_property_one_box_per_cell_roundtrips(self, cells):
+        boxes = []
+        for cell_x, cell_y, label in cells:
+            x0 = cell_x * 32 + 6
+            y0 = cell_y * 32 + 6
+            boxes.append(Box(x0, y0, x0 + 20, y0 + 20, label))
+        detections = roundtrip(boxes)
+        assert len(detections) == len(boxes)
+        for box in boxes:
+            best = max(detections, key=lambda d: d.box.iou(box))
+            assert best.box.iou(box) > 0.8
+            assert best.box.label == box.label
+
+
+class TestNms:
+    def test_suppresses_overlaps(self):
+        detections = [
+            Detection(Box(10, 10, 50, 50, 0), 0.9),
+            Detection(Box(12, 12, 52, 52, 0), 0.8),   # duplicate
+            Detection(Box(60, 60, 90, 90, 0), 0.7),
+        ]
+        kept = non_max_suppression(detections, iou_threshold=0.5)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+
+    def test_keeps_highest_score(self):
+        detections = [
+            Detection(Box(10, 10, 50, 50, 0), 0.6),
+            Detection(Box(10, 10, 50, 50, 0), 0.95),
+        ]
+        kept = non_max_suppression(detections)
+        assert len(kept) == 1
+        assert kept[0].score == 0.95
+
+    def test_different_labels_not_suppressed(self):
+        detections = [
+            Detection(Box(10, 10, 50, 50, 0), 0.9),
+            Detection(Box(10, 10, 50, 50, 1), 0.8),
+        ]
+        assert len(non_max_suppression(detections)) == 2
+
+    def test_empty(self):
+        assert non_max_suppression([]) == []
+
+
+class TestEndToEndReport:
+    def test_oracle_detector_scores_perfect_ap(self):
+        """encode -> decode -> NMS -> report: the full Kenning detection
+        quality path on multi-scene ground truth."""
+        rng = np.random.default_rng(0)
+        scenes = []
+        for _ in range(10):
+            boxes = []
+            for cell in rng.choice(9, size=rng.integers(1, 3),
+                                   replace=False):
+                cx, cy = int(cell) % 3, int(cell) // 3
+                boxes.append(Box(cx * 32 + 4, cy * 32 + 4,
+                                 cx * 32 + 28, cy * 32 + 28,
+                                 int(rng.integers(4))))
+            scenes.append(boxes)
+        predictions = [roundtrip(boxes) for boxes in scenes]
+        report = detection_report(predictions, scenes)
+        assert report.average_precision > 0.95
+
+    def test_noisy_detector_degrades_ap(self):
+        scenes = [[Box(10, 10, 40, 40, 0)] for _ in range(5)]
+        noisy = []
+        for boxes in scenes:
+            detections = roundtrip(boxes)
+            # Add a confident false positive per scene.
+            detections.append(Detection(Box(60, 60, 90, 90, 0), 0.99))
+            noisy.append(detections)
+        report = detection_report(noisy, scenes)
+        clean = detection_report([roundtrip(b) for b in scenes], scenes)
+        assert report.average_precision < clean.average_precision

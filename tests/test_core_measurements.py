@@ -1,0 +1,60 @@
+"""Tests for measurement records and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeasurementRecord,
+    current_rss_mb,
+    measure_host,
+    render_measurements,
+    render_target_predictions,
+)
+from repro.hw import RooflineModel, get_accelerator
+from repro.ir import build_model
+from repro.runtime import Profiler
+
+
+@pytest.fixture(scope="module")
+def record():
+    graph = build_model("mlp", batch=2, in_features=16, hidden=(8,),
+                        num_classes=3)
+    profile = Profiler(graph).profile(
+        {"input": np.zeros((2, 16), dtype=np.float32)}, runs=1, warmup=0)
+    rec = measure_host(graph, profile, "fp32", {"accuracy": 0.91})
+    model = RooflineModel(get_accelerator("XavierNX"))
+    rec.target_predictions = model.sweep_batches(graph)
+    return rec
+
+
+class TestMeasurementRecord:
+    def test_fields_populated(self, record):
+        assert record.model_name == "mlp"
+        assert record.variant == "fp32"
+        assert record.host_latency_ms > 0
+        assert record.model_size_bytes > 0
+        assert record.num_parameters > 0
+
+    def test_quality_summary(self, record):
+        assert "accuracy=0.9100" in record.quality_summary()
+
+    def test_rss_positive(self):
+        assert current_rss_mb() > 1.0
+
+
+class TestRendering:
+    def test_measurements_table(self, record):
+        text = render_measurements([record])
+        assert "fp32" in text
+        assert "accuracy" in text
+        assert len(text.splitlines()) == 3  # header, rule, one row
+
+    def test_target_predictions_table(self, record):
+        text = render_target_predictions(record)
+        assert "XavierNX" in text
+        # One line per batch of the 1/4/8 sweep plus two header lines.
+        assert len(text.splitlines()) == 5
+
+    def test_empty_record_list(self):
+        text = render_measurements([])
+        assert "variant" in text

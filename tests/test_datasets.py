@@ -1,0 +1,195 @@
+"""Tests for the synthetic data substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ARC_CLASSES,
+    MOTOR_CLASSES,
+    LabeledDataset,
+    arc_features,
+    dc_current_window,
+    make_arc_dataset,
+    make_detection_scenes,
+    make_motor_dataset,
+    make_shapes_dataset,
+    motor_vibration_window,
+    vibration_features,
+)
+from repro.datasets.audio import (
+    KEYWORD_CLASSES,
+    audio_features,
+    keyword_waveform,
+    make_keyword_dataset,
+)
+from repro.datasets.images import Box
+
+
+class TestLabeledDataset:
+    def make(self, n=20):
+        rng = np.random.default_rng(0)
+        return LabeledDataset("d", rng.normal(size=(n, 4)),
+                              rng.integers(0, 3, n), ("a", "b", "c"))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledDataset("d", np.zeros((3, 2)), np.zeros(4, dtype=int),
+                           ("x",))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledDataset("d", np.zeros((2, 2)), np.array([0, 5]), ("x",))
+
+    def test_split_disjoint_and_complete(self):
+        ds = self.make(50)
+        train, test = ds.split(0.8, seed=1)
+        assert len(train) == 40 and len(test) == 10
+        combined = np.concatenate([train.features, test.features])
+        assert combined.shape == ds.features.shape
+
+    def test_split_deterministic(self):
+        ds = self.make(30)
+        a1, _ = ds.split(0.5, seed=7)
+        a2, _ = ds.split(0.5, seed=7)
+        np.testing.assert_array_equal(a1.features, a2.features)
+
+    def test_batches(self):
+        ds = self.make(10)
+        batches = list(ds.batches(4))
+        assert [len(x) for x, _ in batches] == [4, 4, 2]
+        assert [len(x) for x, _ in ds.batches(4, drop_last=True)] == [4, 4]
+
+    def test_class_balance(self):
+        ds = self.make(30)
+        balance = ds.class_balance()
+        assert sum(balance.values()) == 30
+
+    def test_subset(self):
+        ds = self.make(10)
+        sub = ds.subset([0, 2, 4])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features[1], ds.features[2])
+
+
+class TestShapes:
+    def test_structure(self):
+        ds = make_shapes_dataset(40, image_size=24)
+        assert ds.sample_shape == (3, 24, 24)
+        assert ds.num_classes == 4
+        assert ds.features.dtype == np.float32
+
+    def test_deterministic_by_seed(self):
+        a = make_shapes_dataset(10, seed=3)
+        b = make_shapes_dataset(10, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_classes_visually_distinct(self):
+        """Mean per-class images must differ — the classes carry signal."""
+        ds = make_shapes_dataset(200, image_size=24, noise=0.05)
+        means = [ds.features[ds.labels == c].mean(axis=0)
+                 for c in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.abs(means[i] - means[j]).mean() > 0.01
+
+
+class TestDetectionScenes:
+    def test_scene_structure(self):
+        scenes = make_detection_scenes(10, image_size=64, max_objects=2)
+        assert len(scenes) == 10
+        for scene in scenes:
+            assert scene.image.shape == (3, 64, 64)
+            assert 1 <= len(scene.boxes) <= 2
+            for box in scene.boxes:
+                assert 0 <= box.x0 < box.x1 <= 64
+                assert 0 <= box.y0 < box.y1 <= 64
+
+    def test_box_iou(self):
+        a = Box(0, 0, 10, 10, 0)
+        assert a.iou(Box(0, 0, 10, 10, 0)) == 1.0
+        assert a.iou(Box(20, 20, 30, 30, 0)) == 0.0
+        assert a.iou(Box(5, 0, 15, 10, 0)) == pytest.approx(1 / 3)
+
+
+class TestVibration:
+    def test_window_shapes(self):
+        for state in MOTOR_CLASSES:
+            signal = motor_vibration_window(state, window=256)
+            assert signal.shape == (256,)
+            assert signal.dtype == np.float32
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError):
+            motor_vibration_window("exploded")
+
+    def test_fault_states_separable_in_features(self):
+        rng = np.random.default_rng(0)
+        healthy = np.mean([vibration_features(
+            motor_vibration_window("healthy", rng=rng))
+            for _ in range(20)], axis=0)
+        faulty = np.mean([vibration_features(
+            motor_vibration_window("bearing_fault", rng=rng))
+            for _ in range(20)], axis=0)
+        # Bearing faults put energy in high bands that healthy motors lack.
+        assert np.abs(healthy - faulty).max() > 0.5
+
+    def test_dataset_balanced(self):
+        ds = make_motor_dataset(25, window=256)
+        assert len(ds) == 100
+        assert set(ds.class_balance().values()) == {25}
+        assert ds.sample_shape == (1, 8, 16)
+
+
+class TestArcs:
+    def test_window_generation(self):
+        rng = np.random.default_rng(0)
+        normal = dc_current_window(False, rng=rng)
+        arcing = dc_current_window(True, arc_start=0, rng=rng)
+        assert normal.shape == arcing.shape == (128,)
+        # Arcs add broadband noise: higher variance.
+        assert arcing.std() > normal.std()
+
+    def test_arc_start_respected(self):
+        rng = np.random.default_rng(1)
+        signal = dc_current_window(True, window=256, arc_start=128, rng=rng)
+        assert signal[:128].std() < signal[128:].std()
+
+    def test_features_length(self):
+        assert arc_features(np.zeros(128, dtype=np.float32)).shape == (64,)
+
+    def test_dataset_classes(self):
+        ds = make_arc_dataset(10)
+        assert ds.class_names == ARC_CLASSES
+        assert len(ds) == 20
+
+    def test_arc_separable_in_features(self):
+        ds = make_arc_dataset(50, seed=2)
+        normal = ds.features[ds.labels == 0].mean(axis=0)
+        arc = ds.features[ds.labels == 1].mean(axis=0)
+        assert np.abs(normal - arc).max() > 0.5
+
+
+class TestAudio:
+    def test_waveform_shape(self):
+        wave = keyword_waveform("mirror", samples=512)
+        assert wave.shape == (512,)
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ValueError):
+            keyword_waveform("alexa")
+
+    def test_feature_bins(self):
+        wave = keyword_waveform("music")
+        assert audio_features(wave, bins=32).shape == (32,)
+
+    def test_dataset(self):
+        ds = make_keyword_dataset(8, bins=64)
+        assert ds.class_names == KEYWORD_CLASSES
+        assert ds.sample_shape == (64,)
+        assert len(ds) == 8 * len(KEYWORD_CLASSES)
+
+    def test_keywords_separable(self):
+        ds = make_keyword_dataset(20, seed=1)
+        mirror = ds.features[ds.labels == 0].mean(axis=0)
+        lights = ds.features[ds.labels == 1].mean(axis=0)
+        assert np.abs(mirror - lights).max() > 0.5

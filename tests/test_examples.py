@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in a subprocess exactly as a user would invoke it.  Marked slow:
+together they train several small models.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ("pipeline report", "compiled for XavierNX"),
+    "arc_guard.py": ("false negatives", "QUARANTINED"),
+    "enclave_inference.py": ("results identical: True",
+                             "REJECTED", "TRUSTED"),
+    "smart_mirror_demo.py": ("fits budget", "cloud upload rejected"),
+    "paeb_offload_study.py": ("attestation: PASS", "km/h"),
+    "model_splitting.py": ("outputs identical: True", "split"),
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script}: expected {marker!r} in output; got:\n"
+            f"{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)

@@ -1,0 +1,111 @@
+"""Tests for repro.hw.accelerators: catalog integrity and Fig. 3 shape."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    FIG4_PLATFORMS,
+    AcceleratorSpec,
+    DeviceFamily,
+    catalog,
+    get_accelerator,
+    resolve_platform,
+)
+from repro.ir.tensor import DType
+
+
+class TestCatalog:
+    def test_size(self):
+        # The paper's survey covers dozens of devices from mW to 400 W.
+        assert len(catalog()) >= 30
+
+    def test_power_range_spans_decades(self):
+        powers = [s.tdp_w for s in catalog()]
+        assert min(powers) < 0.1       # MCU class
+        assert max(powers) >= 400      # cloud class
+
+    def test_all_families_present(self):
+        families = {s.family for s in catalog()}
+        assert families == set(DeviceFamily)
+
+    def test_family_filter(self):
+        cpus = catalog(DeviceFamily.CPU)
+        assert cpus and all(s.family is DeviceFamily.CPU for s in cpus)
+
+    def test_lookup_case_insensitive(self):
+        assert get_accelerator("gtx1660").name == "GTX1660"
+
+    def test_unknown_accelerator(self):
+        with pytest.raises(KeyError):
+            get_accelerator("tpu-v9")
+
+    def test_fig4_platforms_resolvable(self):
+        for name in FIG4_PLATFORMS:
+            spec = resolve_platform(name)
+            assert spec.tdp_w > 0
+
+
+class TestSpecValidation:
+    def test_empty_peaks_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", "x", DeviceFamily.ASIC, {}, 1, 0, 1)
+
+    def test_idle_above_tdp_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", "x", DeviceFamily.ASIC,
+                            {DType.INT8: 100}, 1.0, 2.0, 1)
+
+    def test_util_max_bounds(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", "x", DeviceFamily.ASIC,
+                            {DType.INT8: 100}, 1, 0, 1, util_max=1.5)
+
+
+class TestDerivedProperties:
+    def test_best_precision(self):
+        spec = get_accelerator("GTX1660")
+        assert spec.best_precision is DType.INT8
+
+    def test_fp16_only_device(self):
+        spec = get_accelerator("Myriad")
+        assert spec.best_precision is DType.FP16
+        assert not spec.supports(DType.INT8)
+
+    def test_efficiency_formula(self):
+        spec = get_accelerator("CoralEdgeTPU")
+        assert spec.efficiency_tops_per_w == pytest.approx(
+            4000 / 1000 / 2.0)
+
+    def test_fig3_clustering_near_one_tops_per_w(self):
+        """The paper's headline: 'most architectures cluster around an
+        energy efficiency of about 1 TOPS/W'."""
+        effs = np.array([s.efficiency_tops_per_w for s in catalog()])
+        logs = np.log10(effs)
+        # Median within one order of magnitude of 1 TOPS/W, and most
+        # devices within +/- 1.2 decades.
+        assert -1.0 < np.median(logs) < 0.5
+        within = np.mean(np.abs(logs) < 1.2)
+        assert within >= 0.75
+
+
+class TestPowerModes:
+    def test_with_mode_scales(self):
+        agx = get_accelerator("XavierAGX")
+        low = agx.with_mode("10W")
+        assert low.tdp_w == pytest.approx(agx.tdp_w * 0.37)
+        for dtype in agx.peak_gops:
+            assert low.peak_gops[dtype] == pytest.approx(
+                agx.peak_gops[dtype] * 0.33)
+        assert "10W" in low.name
+
+    def test_unknown_mode(self):
+        with pytest.raises(KeyError):
+            get_accelerator("XavierAGX").mode("100W")
+
+    def test_resolve_with_mode_suffix(self):
+        spec = resolve_platform("XavierAGX:10W")
+        assert spec.tdp_w < get_accelerator("XavierAGX").tdp_w
+
+    def test_mode_preserves_validity(self):
+        low = get_accelerator("XavierAGX").with_mode("10W")
+        assert low.idle_w <= low.tdp_w

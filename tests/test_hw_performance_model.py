@@ -1,0 +1,177 @@
+"""Tests for repro.hw.performance_model: roofline behaviour."""
+
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    DeviceFamily,
+    NaivePeakModel,
+    RooflineModel,
+    get_accelerator,
+    predict_on,
+    preferred_dtype,
+)
+from repro.ir import build_model
+from repro.ir.tensor import DType
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_model("tiny_convnet", batch=1)
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test-dev", vendor="t", family=DeviceFamily.ASIC,
+        peak_gops={DType.INT8: 1000.0}, tdp_w=10.0, idle_w=2.0,
+        memory_bw_gbs=10.0, memory_gb=1.0, util_max=0.5, batch_k=1.0,
+        node_overhead_s=0.0,
+    )
+    base.update(overrides)
+    return AcceleratorSpec(**base)
+
+
+class TestPreferredDtype:
+    def test_prefers_int8(self):
+        assert preferred_dtype(get_accelerator("GTX1660")) is DType.INT8
+
+    def test_fp16_fallback(self):
+        assert preferred_dtype(get_accelerator("Myriad")) is DType.FP16
+
+    def test_fp32_only(self):
+        spec = make_spec(peak_gops={DType.FP32: 100.0})
+        assert preferred_dtype(spec) is DType.FP32
+
+
+class TestEffectivePeak:
+    def test_batch_saturation(self):
+        model = RooflineModel(make_spec(batch_k=2.0))
+        p1 = model.effective_peak_gops(DType.INT8, 1)
+        p8 = model.effective_peak_gops(DType.INT8, 8)
+        assert p8 > p1
+        assert p8 <= 1000.0 * 0.5
+
+    def test_no_saturation_when_k_zero(self):
+        model = RooflineModel(make_spec(batch_k=0.0))
+        assert model.effective_peak_gops(DType.INT8, 1) == \
+            model.effective_peak_gops(DType.INT8, 8)
+
+    def test_unsupported_dtype(self):
+        model = RooflineModel(make_spec())
+        with pytest.raises(ValueError, match="does not support"):
+            model.effective_peak_gops(DType.FP32, 1)
+
+
+class TestPredictions:
+    def test_throughput_grows_with_batch(self, net):
+        model = RooflineModel(get_accelerator("GTX1660"))
+        p1, p4, p8 = model.sweep_batches(net)
+        assert p1.throughput_gops < p4.throughput_gops < p8.throughput_gops
+
+    def test_per_inference_latency_drops_with_batch(self, net):
+        model = RooflineModel(get_accelerator("XavierNX"))
+        p1, _, p8 = model.sweep_batches(net)
+        assert p8.latency_s < p1.latency_s
+
+    def test_power_within_envelope(self, net):
+        for name in ("GTX1660", "Epyc3451", "Myriad", "ZynqZU3"):
+            spec = get_accelerator(name)
+            pred = predict_on(spec, net, batch=4)
+            assert spec.idle_w <= pred.avg_power_w <= spec.tdp_w
+
+    def test_memory_bound_device(self):
+        # Tiny bandwidth: latency dominated by bytes / bw.
+        net = build_model("mlp", batch=1, in_features=512, hidden=(512,),
+                          num_classes=10)
+        starved = make_spec(memory_bw_gbs=0.001,
+                            peak_gops={DType.INT8: 1e6})
+        fast_mem = make_spec(memory_bw_gbs=1000.0,
+                             peak_gops={DType.INT8: 1e6})
+        slow = predict_on(starved, net)
+        fast = predict_on(fast_mem, net)
+        assert slow.latency_s > fast.latency_s * 100
+
+    def test_weight_reuse_across_batch(self):
+        """Weights stream once per batch: a weight-heavy model gets faster
+        per inference at batch 8 even without compute saturation."""
+        net = build_model("mlp", batch=1, in_features=1024,
+                          hidden=(1024,), num_classes=10)
+        spec = make_spec(batch_k=0.0, memory_bw_gbs=1.0,
+                         peak_gops={DType.INT8: 1e9})
+        p1 = predict_on(spec, net, batch=1)
+        p8 = predict_on(spec, net, batch=8)
+        assert p8.latency_s < p1.latency_s * 0.3
+
+    def test_dtype_scales_memory_traffic(self, net):
+        spec = get_accelerator("GTX1660")
+        fp32 = predict_on(spec, net, dtype=DType.FP32)
+        int8 = predict_on(spec, net, dtype=DType.INT8)
+        assert int8.latency_s < fp32.latency_s
+
+    def test_fits_memory_flag(self):
+        big = build_model("mlp", batch=1, in_features=2048, hidden=(2048,),
+                          num_classes=10)
+        tiny_mem = make_spec(memory_gb=1e-6)
+        assert not predict_on(tiny_mem, big).fits_memory
+        assert predict_on(make_spec(memory_gb=8), big).fits_memory
+
+    def test_invalid_batch(self, net):
+        with pytest.raises(ValueError):
+            RooflineModel(make_spec()).predict(net, batch=0)
+
+    def test_keep_layers(self, net):
+        pred = RooflineModel(get_accelerator("GTX1660")).predict(
+            net, keep_layers=True)
+        assert len(pred.layers) == len(net)
+        total = sum(layer.seconds for layer in pred.layers)
+        assert total == pytest.approx(pred.batch_latency_s, rel=1e-9)
+
+    def test_energy_consistency(self, net):
+        pred = predict_on(get_accelerator("XavierNX"), net, batch=2)
+        assert pred.energy_per_inference_j == pytest.approx(
+            pred.avg_power_w * pred.latency_s, rel=1e-9)
+
+
+class TestFig4Shape:
+    """The qualitative claims of Fig. 4 must hold on YoloV4."""
+
+    @pytest.fixture(scope="class")
+    def yolo_predictions(self):
+        from repro.hw import resolve_platform
+        net = build_model("yolov4", image_size=416)
+        preds = {}
+        for name in ("GTX1660", "XavierAGX", "XavierAGX:10W", "XavierNX",
+                     "JetsonTX2", "Epyc3451", "D1577", "ZynqZU3", "Myriad"):
+            model = RooflineModel(resolve_platform(name))
+            preds[name] = model.sweep_batches(net)
+        return preds
+
+    @pytest.mark.slow
+    def test_desktop_gpu_fastest(self, yolo_predictions):
+        gtx = yolo_predictions["GTX1660"][2].throughput_gops
+        for name, preds in yolo_predictions.items():
+            if name != "GTX1660":
+                assert preds[2].throughput_gops < gtx
+
+    @pytest.mark.slow
+    def test_power_ordering(self, yolo_predictions):
+        power = {n: p[0].avg_power_w for n, p in yolo_predictions.items()}
+        assert power["Myriad"] < power["ZynqZU3"] < power["XavierNX"]
+        assert power["GTX1660"] > power["XavierAGX"]
+        assert power["Epyc3451"] > power["D1577"]
+
+    @pytest.mark.slow
+    def test_power_mode_scaling(self, yolo_predictions):
+        hi = yolo_predictions["XavierAGX"][0]
+        lo = yolo_predictions["XavierAGX:10W"][0]
+        assert lo.throughput_gops < hi.throughput_gops
+        assert lo.avg_power_w < hi.avg_power_w
+
+    @pytest.mark.slow
+    def test_batch_scaling_on_gpus_not_cpus(self, yolo_predictions):
+        gtx = yolo_predictions["GTX1660"]
+        cpu = yolo_predictions["D1577"]
+        gtx_gain = gtx[2].throughput_gops / gtx[0].throughput_gops
+        cpu_gain = cpu[2].throughput_gops / cpu[0].throughput_gops
+        assert gtx_gain > 2.0
+        assert cpu_gain < 1.2

@@ -1,0 +1,260 @@
+"""Tests for repro.hw.microserver, recs, network, reconfig."""
+
+import pytest
+
+from repro.hw import (
+    ALL_CHASSIS,
+    Architecture,
+    BitstreamVariant,
+    Chassis,
+    CompositionError,
+    Fabric,
+    FabricError,
+    LinkKind,
+    Microserver,
+    PerformanceClass,
+    RECS_BOX,
+    ReconfigurableRegion,
+    ReconfigurationError,
+    T_RECS,
+    U_RECS,
+    VariantScheduler,
+    WorkloadPhase,
+    build_reference_trecs,
+    build_reference_urecs,
+    default_dl_region,
+    form_factors,
+    get_form_factor,
+    reference_microserver,
+    transfer_seconds,
+)
+
+
+class TestFormFactors:
+    def test_catalog_sorted_by_area(self):
+        areas = [ff.area_mm2 for ff in form_factors()]
+        assert areas == sorted(areas)
+
+    def test_fig2_span(self):
+        ffs = form_factors()
+        assert ffs[0].performance_class is PerformanceClass.EMBEDDED
+        assert ffs[-1].performance_class is PerformanceClass.HIGH_END
+        assert len(ffs) >= 10
+
+    def test_smarc_architectures(self):
+        smarc = get_form_factor("SMARC")
+        assert Architecture.ARM in smarc.architectures
+        assert Architecture.FPGA_SOC in smarc.architectures
+
+    def test_unknown_form_factor(self):
+        with pytest.raises(KeyError):
+            get_form_factor("PC104")
+
+
+class TestMicroserver:
+    def test_power_envelope_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Microserver("bad", "SMARC", "GTX1660")  # 120 W in a 15 W module
+
+    def test_reference_microservers_valid(self):
+        ms = reference_microserver("xavier-nx-module")
+        assert ms.spec.name == "XavierNX"
+        assert ms.tdp_w <= ms.form.max_power_w
+
+    def test_unknown_reference(self):
+        with pytest.raises(KeyError):
+            reference_microserver("nonexistent")
+
+
+class TestChassis:
+    def test_urecs_under_15w(self):
+        chassis = build_reference_urecs()
+        assert chassis.worst_case_power_w <= U_RECS.power_budget_w
+
+    def test_insert_wrong_form_factor(self):
+        chassis = Chassis(U_RECS)
+        with pytest.raises(CompositionError, match="does not accept"):
+            chassis.insert(reference_microserver("xeon-d-com-express"))
+
+    def test_slots_fill_up(self):
+        chassis = Chassis(U_RECS)
+        chassis.insert(reference_microserver("imx8m-smarc"))
+        chassis.insert(Microserver("second", "SMARC", "i.MX8M"))
+        with pytest.raises(CompositionError, match="all slots occupied"):
+            chassis.insert(Microserver("third", "SMARC", "i.MX8M"))
+
+    def test_power_budget_enforced(self):
+        # zu3 (7.5 W) + Xavier NX (15 W) + 1.5 W base exceeds the 15 W
+        # uRECS budget even though both form factors are accepted.
+        urecs = Chassis(U_RECS)
+        urecs.insert(reference_microserver("zu3-smarc"))
+        with pytest.raises(CompositionError, match="budget"):
+            urecs.insert(reference_microserver("xavier-nx-module"))
+
+    def test_remove_and_reinsert(self):
+        chassis = build_reference_urecs()
+        removed = chassis.remove(0)
+        assert chassis.slots[0].microserver is None
+        chassis.insert(removed, slot=0)
+        assert chassis.slots[0].microserver is removed
+
+    def test_remove_empty_slot(self):
+        chassis = Chassis(U_RECS)
+        with pytest.raises(CompositionError, match="empty"):
+            chassis.remove(0)
+
+    def test_exchange_rolls_back_on_failure(self):
+        chassis = build_reference_urecs()
+        original = chassis.slots[0].microserver
+        bad = reference_microserver("xeon-d-com-express")  # wrong FF
+        with pytest.raises(CompositionError):
+            chassis.exchange(0, bad)
+        assert chassis.slots[0].microserver is original
+
+    def test_exchange_success(self):
+        chassis = Chassis(U_RECS)
+        chassis.insert(reference_microserver("zu3-smarc"))
+        old = chassis.exchange(0, reference_microserver("imx8m-smarc"))
+        assert old.name == "zu3-smarc"
+
+    def test_fabric_tracks_modules(self):
+        chassis = build_reference_trecs()
+        assert len(chassis.fabric.endpoints) == 2
+        chassis.remove(0)
+        assert len(chassis.fabric.endpoints) == 1
+
+    def test_inventory_text(self):
+        text = build_reference_urecs().inventory()
+        assert "uRECS" in text and "slot 0" in text
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(CompositionError, match="out of range"):
+            Chassis(U_RECS).set_powered(9, True)
+
+    def test_all_chassis_targets(self):
+        targets = [c.target for c in ALL_CHASSIS]
+        assert "cloud" in targets and "embedded / far edge" in targets
+
+
+class TestFabric:
+    def make_fabric(self):
+        fabric = Fabric([LinkKind.ETH_1G, LinkKind.ETH_10G])
+        fabric.attach("a")
+        fabric.attach("b")
+        return fabric
+
+    def test_transfer_time_scales_with_size(self):
+        t1 = transfer_seconds(LinkKind.ETH_1G, 10_000)
+        t2 = transfer_seconds(LinkKind.ETH_1G, 10_000_000)
+        assert t2 > t1 * 100
+
+    def test_10g_faster_than_1g(self):
+        payload = 10_000_000
+        assert transfer_seconds(LinkKind.ETH_10G, payload) < \
+            transfer_seconds(LinkKind.ETH_1G, payload)
+
+    def test_connect_and_transfer(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b", LinkKind.ETH_10G)
+        assert fabric.transfer_seconds("a", "b", 1_000_000) > 0
+
+    def test_unavailable_link_class(self):
+        fabric = self.make_fabric()
+        with pytest.raises(FabricError, match="not available"):
+            fabric.connect("a", "b", LinkKind.M2)
+
+    def test_reconfigure_live_channel(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b", LinkKind.ETH_1G)
+        before = fabric.transfer_seconds("a", "b", 5_000_000)
+        fabric.reconfigure("a", "b", kind=LinkKind.ETH_10G)
+        after = fabric.transfer_seconds("a", "b", 5_000_000)
+        assert after < before
+
+    def test_mtu_affects_packet_overhead(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b", LinkKind.ETH_1G, mtu_bytes=1500)
+        small_mtu = fabric.reconfigure("a", "b", mtu_bytes=64)
+        t_small = small_mtu.transfer_seconds(100_000)
+        fabric.reconfigure("a", "b", mtu_bytes=9000)
+        t_jumbo = fabric.transfer_seconds("a", "b", 100_000)
+        assert t_jumbo < t_small
+
+    def test_detach_removes_channels(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b")
+        fabric.detach("b")
+        with pytest.raises(FabricError, match="no channel"):
+            fabric.channel("a", "b")
+
+    def test_self_connection_rejected(self):
+        fabric = self.make_fabric()
+        with pytest.raises(FabricError):
+            fabric.connect("a", "a")
+
+    def test_duplicate_channel_rejected(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b")
+        with pytest.raises(FabricError, match="already exists"):
+            fabric.connect("b", "a")
+
+    def test_topology_view(self):
+        fabric = self.make_fabric()
+        fabric.connect("a", "b")
+        assert fabric.topology() == {"a": ["b"], "b": ["a"]}
+
+
+class TestReconfig:
+    def test_load_costs_time_once(self):
+        region = default_dl_region()
+        first = region.load("dpu-small")
+        again = region.load("dpu-small")
+        assert first > 0 and again == 0.0
+        assert region.reconfig_count == 1
+
+    def test_bigger_bitstream_slower(self):
+        region = default_dl_region()
+        assert region.reconfig_time_s("dpu-large") > \
+            region.reconfig_time_s("dpu-small")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ReconfigurationError):
+            default_dl_region().load("dpu-huge")
+
+    def test_current_before_load(self):
+        with pytest.raises(ReconfigurationError, match="nothing loaded"):
+            default_dl_region().current()
+
+    def test_scheduler_picks_adequate_variant(self):
+        region = default_dl_region()
+        scheduler = VariantScheduler(region)
+        outcomes = scheduler.run_phases([
+            WorkloadPhase("light", 100, 10.0),
+            WorkloadPhase("heavy", 1200, 10.0),
+        ])
+        assert outcomes[0].variant == "dpu-small"
+        assert outcomes[1].variant == "dpu-large"
+        assert all(o.met_demand for o in outcomes)
+
+    def test_adaptive_saves_energy_on_bursty_load(self):
+        phases = [WorkloadPhase("idle", 50, 30.0),
+                  WorkloadPhase("burst", 1200, 5.0),
+                  WorkloadPhase("idle2", 50, 30.0)]
+        adaptive = VariantScheduler(default_dl_region()).run_phases(
+            phases, adaptive=True)
+        static = VariantScheduler(default_dl_region()).run_phases(
+            phases, adaptive=False)
+        assert sum(o.energy_j for o in adaptive) < \
+            sum(o.energy_j for o in static)
+
+    def test_overload_falls_back_to_fastest(self):
+        region = default_dl_region()
+        outcomes = VariantScheduler(region).run_phases(
+            [WorkloadPhase("impossible", 10_000, 1.0)])
+        assert outcomes[0].variant == "dpu-large"
+        assert not outcomes[0].met_demand
+
+    def test_duplicate_variants_rejected(self):
+        v = BitstreamVariant("x", 1, 1)
+        with pytest.raises(ReconfigurationError):
+            ReconfigurableRegion("r", [v, v])

@@ -1,0 +1,178 @@
+"""Cross-subsystem integration tests: the full VEDLIoT stack wired together."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeploymentPipeline, train_readout
+from repro.datasets import make_arc_dataset, make_shapes_dataset
+from repro.hw import get_accelerator
+from repro.ir import build_model, loads, dumps
+from repro.optim import deep_compress, fuse_graph, quantize_int8
+from repro.runtime import Executor, run_graph
+from repro.safety import (
+    AuditedDevice,
+    AuditPolicy,
+    HybridSystem,
+    KernelDecision,
+    RobustnessService,
+    flip_weight_bits,
+)
+from repro.security import SigningKey, Verifier
+
+
+class TestToolchainRoundTrips:
+    def test_optimize_serialize_deploy(self):
+        """Train -> fuse -> quantize -> serialize -> reload -> execute:
+        the full interchange loop the ONNX/Kenning combination provides."""
+        ds = make_shapes_dataset(160, image_size=32, seed=0)
+        train, test = ds.split(0.8, seed=0)
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        trained = train_readout(g, train).graph
+        fused = fuse_graph(trained)
+        quantized = quantize_int8(fused, [{"input": train.features[:8]}])
+
+        wire = dumps(quantized)
+        reloaded = loads(wire)
+
+        x = test.features[:8]
+        a = run_graph(quantized, {"input": x})[quantized.output_names[0]]
+        b = run_graph(reloaded, {"input": x})[reloaded.output_names[0]]
+        np.testing.assert_array_equal(a, b)
+
+    def test_compressed_model_ships_and_runs(self):
+        """Deep-compressed weights survive the encode/decode/execute path."""
+        g = build_model("mlp", batch=4, in_features=32, hidden=(64,),
+                        num_classes=4)
+        result = deep_compress(g, prune_fraction=0.8, num_clusters=16)
+        x = np.random.default_rng(0).normal(size=(4, 32)).astype(np.float32)
+        out = run_graph(result.graph, {"input": x})
+        assert out[result.graph.output_names[0]].shape == (4, 4)
+        assert result.compression_ratio > 5
+
+
+class TestSafetySecurityInterplay:
+    def test_attested_audit_service(self):
+        """The robustness service runs as attested critical code: a device
+        is only audited by a service whose enclave passes attestation
+        (paper Sec. IV-C: 'secure execution ... of critical code (e.g. for
+        monitors)')."""
+        from repro.security import Enclave
+
+        reference = build_model("mlp", batch=2, in_features=16,
+                                hidden=(12,), num_classes=4, seed=5)
+        service = RobustnessService(reference)
+
+        device_key = SigningKey(b"monitor-node")
+        enclave = Enclave("robustness-monitor", b"monitor-code-v1",
+                          device_key)
+        enclave.register_ecall("check", service.check)
+        enclave.initialize()
+
+        verifier = Verifier()
+        verifier.trust_device(device_key.verifying_key())
+        verifier.trust_measurement(enclave.measurement())
+        verifier.attest(enclave)  # must pass before devices trust audits
+
+        feeds = {"input": np.random.default_rng(0)
+                 .normal(size=(2, 16)).astype(np.float32)}
+        outputs = Executor(reference).run(feeds)
+        result = enclave.ecall("check", "edge-7", feeds, outputs)
+        assert result.consistent
+        assert enclave.stats.ecalls == 1
+
+    def test_fault_injection_caught_end_to_end(self):
+        """Bitflipped device model -> audit -> quarantine -> hybrid kernel
+        serves the failsafe."""
+        reference = build_model("mlp", batch=1, in_features=16,
+                                hidden=(12,), num_classes=4, seed=6)
+        corrupted, _ = flip_weight_bits(reference, num_flips=2,
+                                        bit_range=(30, 30), seed=1)
+        service = RobustnessService(reference, quarantine_after=1)
+        device = AuditedDevice("edge-x", Executor(corrupted), service,
+                               AuditPolicy(every_n=1))
+        feeds = {"input": np.random.default_rng(1)
+                 .normal(size=(1, 16)).astype(np.float32)}
+        _, check = device.infer(feeds)
+        assert not check.consistent
+
+        def payload(x):
+            if service.is_quarantined("edge-x"):
+                raise RuntimeError("device quarantined")
+            return device.infer(x)[0]
+
+        kernel = HybridSystem(payload, failsafe="safe-stop", deadline_s=1.0)
+        step = kernel.step(feeds)
+        assert step.decision is KernelDecision.PAYLOAD_ERROR
+        assert step.output == "safe-stop"
+
+
+class TestPipelineOnRecsPlatform:
+    def test_urecs_hosts_arc_workload(self):
+        """The arc detector deploys onto a uRECS chassis module and meets
+        the use case's latency needs on that module's accelerator."""
+        from repro.apps.industrial import ArcDetector, run_arc_campaign
+        from repro.hw import build_reference_urecs
+
+        chassis = build_reference_urecs()
+        fpga_module = next(m for m in chassis.microservers
+                           if m.accelerator == "ZynqZU3")
+
+        ds = make_arc_dataset(150, window=128, seed=0)
+        g = build_model("arc_net", batch=16, window=128)
+        model = train_readout(g, ds).graph.with_batch(1)
+        detector = ArcDetector(model, platform=fpga_module.spec)
+        stats = run_arc_campaign(detector, num_streams=20, seed=5)
+        assert stats.false_negative_rate <= 0.1
+        assert stats.mean_latency_s < 0.005
+        # And the chassis stays inside its power envelope.
+        assert chassis.worst_case_power_w <= chassis.spec.power_budget_w
+
+    def test_pipeline_targets_chassis_module(self):
+        """Kenning-style pipeline compiled for an accelerator that is
+        actually mounted in a RECS chassis."""
+        from repro.hw import build_reference_trecs
+
+        chassis = build_reference_trecs()
+        target = chassis.microservers[0].spec
+        ds = make_shapes_dataset(120, image_size=32, seed=1)
+        g = build_model("tiny_convnet", batch=8, num_classes=4)
+        report = DeploymentPipeline(g, ds, target=target,
+                                    optimizations=("fuse",),
+                                    profile_runs=1).run()
+        predictions = report.variant("fp32").target_predictions
+        assert predictions and predictions[0].platform == target.name
+
+
+class TestSimulatorRunsToolchainKernels:
+    def test_quantized_dot_product_matches_runtime(self):
+        """The simulated CFU computes the same int8 dot product the
+        quantized runtime uses — hardware/software co-design agreement."""
+        from repro.simulator import Machine, SimdMacCfu, halt_with, RAM_BASE
+
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=16, dtype=np.int8)
+        b = rng.integers(-128, 128, size=16, dtype=np.int8)
+        want = int(a.astype(np.int32) @ b.astype(np.int32)) & 0xFFFFFFFF
+
+        machine = Machine(cfu=SimdMacCfu())
+        data_a = RAM_BASE + 0x4000
+        data_b = RAM_BASE + 0x5000
+        machine.load_binary(a.tobytes(), data_a)
+        machine.load_binary(b.tobytes(), data_b)
+        machine.load_assembly(f"""
+            li   t0, {data_a}
+            li   t1, {data_b}
+            li   t2, 4          # 4 words = 16 int8 lanes
+            cfu  zero, zero, zero, 2, 0    # reset accumulator
+        loop:
+            lw   a0, 0(t0)
+            lw   a1, 0(t1)
+            cfu  a2, a0, a1, 0, 0          # acc += dot4
+            addi t0, t0, 4
+            addi t1, t1, 4
+            addi t2, t2, -1
+            bnez t2, loop
+            cfu  a3, zero, zero, 1, 0      # read accumulator
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(13) == want

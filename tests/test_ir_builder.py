@@ -1,0 +1,133 @@
+"""Tests for repro.ir.builder: layer helpers and spec caching."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.tensor import DType
+
+
+class TestBasics:
+    def test_input_and_constant(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        c = b.constant(np.ones(3, dtype=np.float32), name="c")
+        assert b.spec(x).shape == (1, 3, 8, 8)
+        assert b.spec(c).shape == (3,)
+
+    def test_weight_deterministic_by_seed(self):
+        w1 = GraphBuilder(seed=42)
+        w2 = GraphBuilder(seed=42)
+        a = w1.weight((4, 4), name="w")
+        b = w2.weight((4, 4), name="w")
+        np.testing.assert_array_equal(w1.graph.initializers[a],
+                                      w2.graph.initializers[b])
+
+    def test_different_seeds_differ(self):
+        w1 = GraphBuilder(seed=1)
+        w2 = GraphBuilder(seed=2)
+        a = w1.weight((8, 8))
+        b = w2.weight((8, 8))
+        assert not np.array_equal(w1.graph.initializers[a],
+                                  w2.graph.initializers[b])
+
+
+class TestLayers:
+    def test_conv_shapes(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 3, 16, 16))
+        y = b.conv2d(x, 8, 3, stride=2, padding=1)
+        assert b.spec(y).shape == (2, 8, 8, 8)
+
+    def test_conv_bias_optional(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 4, 4))
+        b.conv2d(x, 4, 1, bias=False, name="nb")
+        node = b.graph.node_by_name("nb")
+        assert len(node.inputs) == 2
+
+    def test_depthwise(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 6, 8, 8))
+        y = b.depthwise_conv2d(x, 3, padding=1)
+        assert b.spec(y).shape == (1, 6, 8, 8)
+        weight_name = [n for n in b.graph.nodes][-1].inputs[1]
+        assert b.graph.initializers[weight_name].shape == (6, 1, 3, 3)
+
+    def test_groups_must_divide(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 6, 8, 8))
+        with pytest.raises(ValueError, match="does not divide"):
+            b.conv2d(x, 8, 3, groups=4)
+
+    def test_dense_chain(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 10))
+        y = b.dense(x, 7)
+        y = b.relu(y)
+        assert b.spec(y).shape == (4, 7)
+
+    def test_batchnorm_params(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 5, 4, 4))
+        b.batchnorm(x, name="bn")
+        node = b.graph.node_by_name("bn")
+        assert len(node.inputs) == 5
+        gamma = b.graph.initializers[node.inputs[1]]
+        assert gamma.shape == (5,)
+        assert (gamma > 0).all()  # positive scale for fold stability
+
+    def test_conv_bn_act_block(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv_bn_act(x, 16, 3, padding=1, act="hardswish", name="blk")
+        ops = [n.op_type for n in b.graph.nodes]
+        assert ops == ["conv2d", "batchnorm", "hardswish"]
+        assert b.spec(y).shape == (1, 16, 8, 8)
+
+    def test_pool_defaults_stride_to_kernel(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 2, 8, 8))
+        y = b.maxpool2d(x, 2)
+        assert b.spec(y).shape == (1, 2, 4, 4)
+
+    def test_concat_and_add(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 2, 4, 4))
+        y = b.conv2d(x, 2, 1)
+        merged = b.concat([x, y], axis=1)
+        assert b.spec(merged).shape == (1, 4, 4, 4)
+        summed = b.add(x, y)
+        assert b.spec(summed).shape == (1, 2, 4, 4)
+
+
+class TestSpecCache:
+    def test_cache_matches_full_inference(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 16, 16))
+        y = b.conv_bn_act(x, 8, 3, padding=1)
+        y = b.maxpool2d(y, 2)
+        y = b.flatten(y)
+        y = b.dense(y, 10)
+        g = b.finish(y)
+        full = g.infer_specs()
+        for name, cached in b._specs.items():
+            assert full[name].shape == cached.shape
+            assert full[name].dtype == cached.dtype
+
+
+class TestFinish:
+    def test_finish_validates(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4))
+        y = b.dense(x, 2)
+        g = b.finish(y)
+        assert g.output_names == [y]
+
+    def test_finish_multiple_outputs(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4))
+        y1 = b.dense(x, 2, name="d1")
+        y2 = b.dense(x, 3, name="d2")
+        g = b.finish([y1, y2])
+        assert len(g.output_names) == 2

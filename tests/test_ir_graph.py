@@ -1,0 +1,176 @@
+"""Tests for repro.ir.graph: structure, validation, costs, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph, GraphError
+from repro.ir.tensor import DType, TensorSpec
+
+
+def small_graph():
+    """input -> dense(w) -> relu -> output"""
+    g = Graph("small")
+    g.add_input(TensorSpec("x", (2, 4)))
+    g.add_initializer("w", np.ones((3, 4), dtype=np.float32))
+    g.add_node("dense", ["x", "w"], ["h"], name="fc")
+    g.add_node("relu", ["h"], ["y"], name="act")
+    g.set_outputs(["y"])
+    return g
+
+
+class TestConstruction:
+    def test_valid_graph(self):
+        g = small_graph()
+        g.validate()
+        assert len(g) == 2
+
+    def test_duplicate_input(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (1,)))
+        with pytest.raises(GraphError, match="duplicate graph input"):
+            g.add_input(TensorSpec("x", (2,)))
+
+    def test_duplicate_initializer(self):
+        g = Graph()
+        g.add_initializer("w", np.zeros(2, dtype=np.float32))
+        with pytest.raises(GraphError, match="duplicate initializer"):
+            g.add_initializer("w", np.zeros(2, dtype=np.float32))
+
+    def test_duplicate_node_name(self):
+        g = small_graph()
+        with pytest.raises(GraphError, match="duplicate node name"):
+            g.add_node("relu", ["y"], ["z"], name="fc")
+
+    def test_initializer_dtype_override(self):
+        g = Graph()
+        g.add_initializer("b", np.array([1, -1], dtype=np.int8), DType.BINARY)
+        assert g.initializer_dtypes["b"] is DType.BINARY
+
+
+class TestValidation:
+    def test_no_inputs(self):
+        g = Graph()
+        g.set_outputs(["y"])
+        with pytest.raises(GraphError, match="no inputs"):
+            g.validate()
+
+    def test_no_outputs(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (1,)))
+        with pytest.raises(GraphError, match="no outputs"):
+            g.validate()
+
+    def test_read_before_produce(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (2, 4)))
+        g.add_node("relu", ["missing"], ["y"])
+        g.set_outputs(["y"])
+        with pytest.raises(GraphError, match="before it is produced"):
+            g.validate()
+
+    def test_tensor_redefinition(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (2, 4)))
+        g.add_node("relu", ["x"], ["y"], name="a")
+        g.add_node("relu", ["x"], ["y"], name="b")
+        g.set_outputs(["y"])
+        with pytest.raises(GraphError, match="redefines"):
+            g.validate()
+
+    def test_output_never_produced(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (2,)))
+        g.add_node("relu", ["x"], ["y"])
+        g.set_outputs(["nope"])
+        with pytest.raises(GraphError, match="never produced"):
+            g.validate()
+
+    def test_name_both_input_and_initializer(self):
+        g = Graph()
+        g.add_input(TensorSpec("x", (2,)))
+        g.add_initializer("x", np.zeros(2, dtype=np.float32))
+        g.add_node("relu", ["x"], ["y"])
+        g.set_outputs(["y"])
+        with pytest.raises(GraphError, match="both inputs and initializers"):
+            g.validate()
+
+
+class TestQueries:
+    def test_producer_map(self):
+        g = small_graph()
+        producers = g.producer_map()
+        assert producers["h"].name == "fc"
+        assert producers["y"].name == "act"
+
+    def test_consumer_map(self):
+        g = small_graph()
+        consumers = g.consumer_map()
+        assert [n.name for n in consumers["x"]] == ["fc"]
+        assert [n.name for n in consumers["h"]] == ["act"]
+
+    def test_node_by_name(self):
+        assert small_graph().node_by_name("fc").op_type == "dense"
+        with pytest.raises(KeyError):
+            small_graph().node_by_name("nope")
+
+
+class TestSpecsAndCost:
+    def test_infer_specs(self):
+        specs = small_graph().infer_specs()
+        assert specs["h"].shape == (2, 3)
+        assert specs["y"].shape == (2, 3)
+
+    def test_total_cost_is_sum(self):
+        g = small_graph()
+        total = g.total_cost()
+        per_node = sum((c for _, c in g.per_node_cost()),
+                       start=type(total)())
+        assert total.macs == per_node.macs
+        assert total.ops == per_node.ops
+        assert total.macs == 2 * 3 * 4
+
+    def test_num_parameters(self):
+        assert small_graph().num_parameters() == 12
+
+    def test_parameter_bytes(self):
+        assert small_graph().parameter_bytes() == 48
+
+
+class TestMutation:
+    def test_rename_tensor(self):
+        g = small_graph()
+        g.rename_tensor("y", "out")
+        assert g.output_names == ["out"]
+        g2 = small_graph()
+        g2.rename_tensor("h", "hidden")
+        assert g2.node_by_name("act").inputs == ["hidden"]
+
+    def test_prune_dead_nodes(self):
+        g = small_graph()
+        g.add_initializer("unused", np.zeros(5, dtype=np.float32))
+        g.add_node("relu", ["h"], ["dead"], name="dead_branch")
+        removed = g.prune_dead_nodes()
+        assert removed == 1
+        assert "unused" not in g.initializers
+        g.validate()
+
+    def test_prune_keeps_live(self):
+        g = small_graph()
+        assert g.prune_dead_nodes() == 0
+        assert len(g) == 2
+
+    def test_copy_is_deep(self):
+        g = small_graph()
+        c = g.copy()
+        c.initializers["w"][0, 0] = 99.0
+        c.nodes[0].attrs["x"] = 1
+        assert g.initializers["w"][0, 0] == 1.0
+        assert "x" not in g.nodes[0].attrs
+
+    def test_with_batch(self):
+        g = small_graph().with_batch(7)
+        assert g.infer_specs()["y"].shape == (7, 3)
+
+    def test_summary_mentions_nodes(self):
+        text = small_graph().summary()
+        assert "fc" in text and "dense" in text

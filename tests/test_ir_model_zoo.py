@@ -1,0 +1,96 @@
+"""Tests for the model zoo: topology fidelity and published-size checks."""
+
+import pytest
+
+from repro.ir import available_models, build_model
+
+
+class TestRegistry:
+    def test_expected_models_available(self):
+        models = available_models()
+        for name in ("resnet50", "mobilenet_v3_large", "mobilenet_v3_small",
+                     "yolov4", "tiny_convnet", "tiny_yolo", "mlp",
+                     "motor_net", "arc_net"):
+            assert name in models
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("alexnet")
+
+
+class TestSmallModels:
+    def test_all_small_models_validate(self):
+        for name in ("tiny_convnet", "tiny_yolo", "mlp", "motor_net",
+                     "arc_net"):
+            build_model(name).validate()
+
+    def test_batch_respected(self):
+        g = build_model("tiny_convnet", batch=5)
+        assert g.inputs[0].shape[0] == 5
+        assert g.infer_specs()[g.output_names[0]].shape[0] == 5
+
+    def test_tiny_yolo_head_channels(self):
+        g = build_model("tiny_yolo", num_classes=4)
+        out = g.infer_specs()[g.output_names[0]]
+        assert out.shape[1] == 3 * (5 + 4)
+
+    def test_tiny_yolo_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="multiple of 32"):
+            build_model("tiny_yolo", image_size=100)
+
+    def test_arc_net_feature_width(self):
+        g = build_model("arc_net", window=128)
+        assert g.inputs[0].shape == (1, 64)
+
+    def test_motor_net_matches_feature_layout(self):
+        from repro.datasets import vibration_features
+        import numpy as np
+
+        g = build_model("motor_net", window=256)
+        features = vibration_features(np.zeros(256, dtype=np.float32))
+        assert g.inputs[0].shape[1:] == (1,) + features.shape
+
+    def test_seed_reproducibility(self):
+        import numpy as np
+
+        a = build_model("mlp", seed=3)
+        b = build_model("mlp", seed=3)
+        for name in a.initializers:
+            np.testing.assert_array_equal(a.initializers[name],
+                                          b.initializers[name])
+
+
+@pytest.mark.slow
+class TestReferenceModels:
+    """Checks against published parameter/compute figures (±10%)."""
+
+    def test_resnet50_size(self):
+        g = build_model("resnet50")
+        params = g.num_parameters()
+        assert 23e6 < params < 28e6          # published: 25.5 M
+        macs = g.total_cost().macs
+        assert 3.6e9 < macs < 4.5e9          # published: ~4.1 GMACs
+
+    def test_mobilenet_v3_large_size(self):
+        g = build_model("mobilenet_v3_large")
+        assert 4.8e6 < g.num_parameters() < 6.2e6   # published: 5.4 M
+        assert 180e6 < g.total_cost().macs < 260e6  # published: ~219 M
+
+    def test_mobilenet_v3_small_size(self):
+        g = build_model("mobilenet_v3_small")
+        assert 2.0e6 < g.num_parameters() < 3.1e6   # published: 2.5 M
+        assert 45e6 < g.total_cost().macs < 70e6    # published: ~56 M
+
+    def test_yolov4_size_and_heads(self):
+        g = build_model("yolov4", image_size=416)
+        assert 58e6 < g.num_parameters() < 70e6     # published: ~64 M
+        specs = g.infer_specs()
+        shapes = [specs[name].shape for name in g.output_names]
+        # Three heads at strides 8/16/32 with 3*(5+80)=255 channels.
+        assert shapes[0] == (1, 255, 52, 52)
+        assert shapes[1] == (1, 255, 26, 26)
+        assert shapes[2] == (1, 255, 13, 13)
+
+    def test_yolov4_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="multiple of 32"):
+            build_model("yolov4", image_size=400)

@@ -1,0 +1,192 @@
+"""Tests for repro.ir.ops: schemas, shape inference, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.ir.ops import OpCost, get_op, registered_ops
+from repro.ir.tensor import DType, ShapeError, TensorSpec
+
+
+def spec(shape, dtype=DType.FP32, name="t"):
+    return TensorSpec(name, shape, dtype)
+
+
+class TestRegistry:
+    def test_core_ops_registered(self):
+        names = registered_ops()
+        for op in ("conv2d", "dense", "batchnorm", "relu", "softmax",
+                   "maxpool2d", "concat", "quantize", "qconv2d",
+                   "fused_conv2d"):
+            assert op in names
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError, match="nonexistent"):
+            get_op("nonexistent")
+
+    def test_arity_check(self):
+        with pytest.raises(ShapeError):
+            get_op("conv2d").check_arity(1)
+        with pytest.raises(ShapeError):
+            get_op("conv2d").check_arity(4)
+
+    def test_required_attrs(self):
+        with pytest.raises(ValueError, match="kernel"):
+            get_op("maxpool2d").check_attrs({})
+
+
+class TestConvInference:
+    def test_output_shape(self):
+        out = get_op("conv2d").infer(
+            [spec((1, 3, 8, 8)), spec((16, 3, 3, 3))],
+            {"stride": 1, "padding": 1})
+        assert out[0].shape == (1, 16, 8, 8)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError, match="channel mismatch"):
+            get_op("conv2d").infer(
+                [spec((1, 4, 8, 8)), spec((16, 3, 3, 3))], {})
+
+    def test_grouped_channels(self):
+        out = get_op("conv2d").infer(
+            [spec((1, 8, 4, 4)), spec((8, 1, 3, 3))],
+            {"groups": 8, "padding": 1})
+        assert out[0].shape == (1, 8, 4, 4)
+
+    def test_bad_bias_shape(self):
+        with pytest.raises(ShapeError, match="bias"):
+            get_op("conv2d").infer(
+                [spec((1, 3, 8, 8)), spec((16, 3, 3, 3)), spec((4,))],
+                {})
+
+    def test_dtype_propagates(self):
+        out = get_op("conv2d").infer(
+            [spec((1, 3, 8, 8), DType.FP16), spec((4, 3, 1, 1), DType.FP16)],
+            {})
+        assert out[0].dtype is DType.FP16
+
+
+class TestConvCost:
+    def test_macs_formula(self):
+        inputs = [spec((1, 3, 8, 8)), spec((16, 3, 3, 3))]
+        outputs = get_op("conv2d").infer(inputs, {"padding": 1})
+        cost = get_op("conv2d").cost(inputs, outputs, {"padding": 1})
+        # MACs = out elements * in_c * kh * kw
+        assert cost.macs == 16 * 8 * 8 * 3 * 3 * 3
+        assert cost.ops == 2 * cost.macs
+        assert cost.params == 16 * 3 * 3 * 3
+
+    def test_weight_bytes_excludes_activations(self):
+        inputs = [spec((1, 3, 8, 8)), spec((16, 3, 3, 3))]
+        outputs = get_op("conv2d").infer(inputs, {"padding": 1})
+        cost = get_op("conv2d").cost(inputs, outputs, {"padding": 1})
+        assert cost.weight_bytes == 16 * 3 * 3 * 3 * 4
+        assert cost.activation_bytes == (3 * 64 + 16 * 64) * 4
+
+
+class TestDense:
+    def test_shape_and_cost(self):
+        inputs = [spec((4, 32)), spec((10, 32)), spec((10,))]
+        outputs = get_op("dense").infer(inputs, {})
+        assert outputs[0].shape == (4, 10)
+        cost = get_op("dense").cost(inputs, outputs, {})
+        assert cost.macs == 4 * 10 * 32
+        assert cost.params == 10 * 32 + 10
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ShapeError):
+            get_op("dense").infer([spec((4, 31)), spec((10, 32))], {})
+
+
+class TestElementwise:
+    def test_binary_broadcast(self):
+        out = get_op("add").infer([spec((2, 3, 1, 1)), spec((2, 3, 4, 4))], {})
+        assert out[0].shape == (2, 3, 4, 4)
+
+    def test_binary_dtype_mismatch(self):
+        with pytest.raises(ShapeError, match="dtype mismatch"):
+            get_op("mul").infer(
+                [spec((2,), DType.FP32), spec((2,), DType.FP16)], {})
+
+    def test_activation_preserves_shape(self):
+        for op in ("relu", "sigmoid", "hardswish", "mish", "softmax"):
+            out = get_op(op).infer([spec((3, 5))], {})
+            assert out[0].shape == (3, 5)
+
+
+class TestShapeOps:
+    def test_flatten(self):
+        out = get_op("flatten").infer([spec((2, 3, 4, 5))], {})
+        assert out[0].shape == (2, 60)
+
+    def test_reshape_with_inference(self):
+        out = get_op("reshape").infer([spec((2, 12))], {"shape": (2, 3, -1)})
+        assert out[0].shape == (2, 3, 4)
+
+    def test_reshape_two_wildcards(self):
+        with pytest.raises(ShapeError, match="at most one"):
+            get_op("reshape").infer([spec((2, 12))], {"shape": (-1, -1)})
+
+    def test_reshape_element_mismatch(self):
+        with pytest.raises(ShapeError):
+            get_op("reshape").infer([spec((2, 12))], {"shape": (5, 5)})
+
+    def test_concat(self):
+        out = get_op("concat").infer(
+            [spec((1, 3, 4, 4)), spec((1, 5, 4, 4))], {"axis": 1})
+        assert out[0].shape == (1, 8, 4, 4)
+
+    def test_concat_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            get_op("concat").infer([spec((1, 3)), spec((1, 3, 4))], {})
+
+    def test_concat_nonaxis_mismatch(self):
+        with pytest.raises(ShapeError):
+            get_op("concat").infer(
+                [spec((1, 3, 4, 4)), spec((1, 5, 5, 4))], {"axis": 1})
+
+    def test_pad(self):
+        out = get_op("pad").infer([spec((1, 3, 4, 4))],
+                                  {"pads": [(0, 0), (0, 0), (1, 2), (1, 1)]})
+        assert out[0].shape == (1, 3, 7, 6)
+
+    def test_upsample(self):
+        out = get_op("upsample2d").infer([spec((1, 2, 4, 4))], {"scale": 2})
+        assert out[0].shape == (1, 2, 8, 8)
+
+
+class TestQuantOps:
+    def test_quantize_dtype(self):
+        out = get_op("quantize").infer(
+            [spec((2, 3))], {"scale": 0.1, "zero_point": 0,
+                             "dtype": DType.INT8})
+        assert out[0].dtype is DType.INT8
+
+    def test_quantize_rejects_float_target(self):
+        with pytest.raises(ValueError):
+            get_op("quantize").infer(
+                [spec((2,))], {"scale": 1.0, "zero_point": 0,
+                               "dtype": DType.FP16})
+
+    def test_dequantize_returns_fp32(self):
+        out = get_op("dequantize").infer(
+            [spec((2,), DType.INT8)], {"scale": 0.1, "zero_point": 0})
+        assert out[0].dtype is DType.FP32
+
+    def test_qconv_output_dtype(self):
+        attrs = {"input_scale": 1, "input_zero_point": 0,
+                 "weight_scale": 1, "weight_zero_point": 0,
+                 "out_scale": 1, "out_zero_point": 0}
+        out = get_op("qconv2d").infer(
+            [spec((1, 3, 4, 4), DType.INT8), spec((2, 3, 1, 1), DType.INT8)],
+            attrs)
+        assert out[0].dtype is DType.INT8
+
+
+class TestOpCost:
+    def test_addition(self):
+        a = OpCost(macs=1, ops=2, params=3, activation_bytes=4, weight_bytes=5)
+        b = OpCost(macs=10, ops=20, params=30, activation_bytes=40,
+                   weight_bytes=50)
+        total = a + b
+        assert (total.macs, total.ops, total.params) == (11, 22, 33)
+        assert total.total_bytes == 99

@@ -1,0 +1,128 @@
+"""Tests for repro.ir.serialization: bit-exact model round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.ir.graph import Graph
+from repro.ir.serialization import (
+    SerializationError,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads,
+    save_graph,
+)
+from repro.ir.tensor import DType, TensorSpec
+
+
+def roundtrip(graph: Graph) -> Graph:
+    return loads(dumps(graph))
+
+
+class TestRoundTrip:
+    def test_weights_bit_exact(self):
+        g = build_model("mlp", batch=2, in_features=8, hidden=(6,),
+                        num_classes=3)
+        restored = roundtrip(g)
+        assert set(restored.initializers) == set(g.initializers)
+        for name, value in g.initializers.items():
+            np.testing.assert_array_equal(restored.initializers[name], value)
+
+    def test_structure_preserved(self):
+        g = build_model("tiny_convnet", batch=1)
+        restored = roundtrip(g)
+        assert [n.op_type for n in restored.nodes] == \
+            [n.op_type for n in g.nodes]
+        assert restored.output_names == g.output_names
+        assert restored.inputs == g.inputs
+
+    def test_attrs_preserved(self):
+        g = build_model("tiny_convnet", batch=1)
+        restored = roundtrip(g)
+        for orig, rest in zip(g.nodes, restored.nodes):
+            assert orig.attrs.keys() == rest.attrs.keys()
+
+    def test_metadata_preserved(self):
+        g = build_model("mlp", batch=1)
+        g.metadata["custom"] = {"nested": [1, 2, 3]}
+        restored = roundtrip(g)
+        assert restored.metadata["custom"] == {"nested": [1, 2, 3]}
+
+    def test_tuple_attrs_roundtrip(self):
+        g = Graph("t")
+        g.add_input(TensorSpec("x", (1, 2, 8, 8)))
+        g.add_node("maxpool2d", ["x"], ["y"], kernel=(2, 2), stride=(2, 2),
+                   padding=(0, 0))
+        g.set_outputs(["y"])
+        restored = roundtrip(g)
+        assert restored.nodes[0].attrs["kernel"] == (2, 2)
+        assert isinstance(restored.nodes[0].attrs["kernel"], tuple)
+
+    def test_dtype_attr_roundtrip(self):
+        g = Graph("q")
+        g.add_input(TensorSpec("x", (1, 4)))
+        g.add_node("quantize", ["x"], ["y"], scale=np.array([0.1]),
+                   zero_point=np.array([3]), dtype=DType.INT8)
+        g.set_outputs(["y"])
+        restored = roundtrip(g)
+        assert restored.nodes[0].attrs["dtype"] is DType.INT8
+        np.testing.assert_allclose(restored.nodes[0].attrs["scale"], [0.1])
+
+    def test_int8_initializer_dtype(self):
+        g = Graph("i8")
+        g.add_input(TensorSpec("x", (1, 2), DType.INT8))
+        g.add_initializer("w", np.array([[1, -2]], dtype=np.int8), DType.INT8)
+        g.add_node("add", ["x", "w"], ["y"])
+        g.set_outputs(["y"])
+        restored = roundtrip(g)
+        assert restored.initializers["w"].dtype == np.int8
+        assert restored.initializer_dtypes["w"] is DType.INT8
+
+    def test_quantized_graph_roundtrip_executes(self):
+        from repro.optim import fuse_graph, quantize_int8
+        from repro.runtime import run_graph
+
+        rng = np.random.default_rng(0)
+        g = build_model("mlp", batch=2, in_features=8, hidden=(6,),
+                        num_classes=3)
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        gq = quantize_int8(fuse_graph(g), [{"input": x}])
+        restored = roundtrip(gq)
+        np.testing.assert_array_equal(
+            run_graph(gq, {"input": x})[gq.output_names[0]],
+            run_graph(restored, {"input": x})[restored.output_names[0]],
+        )
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path):
+        g = build_model("mlp", batch=1)
+        path = save_graph(g, tmp_path / "model.json")
+        restored = load_graph(path)
+        assert restored.name == g.name
+        restored.validate()
+
+
+class TestErrors:
+    def test_wrong_format(self):
+        with pytest.raises(SerializationError, match="not a repro-ir"):
+            graph_from_dict({"format": "onnx", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            graph_from_dict({"format": "repro-ir", "version": 99})
+
+    def test_invalid_graph_rejected(self):
+        g = build_model("mlp", batch=1)
+        data = graph_to_dict(g)
+        data["outputs"] = ["not-a-tensor"]
+        with pytest.raises(SerializationError, match="invalid"):
+            graph_from_dict(data)
+
+    def test_dumps_is_json(self):
+        parsed = json.loads(dumps(build_model("mlp", batch=1)))
+        assert parsed["format"] == "repro-ir"

@@ -1,0 +1,161 @@
+"""Tests for repro.ir.tensor: dtypes, tensor specs, shape helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.tensor import (
+    DType,
+    ShapeError,
+    TensorSpec,
+    broadcast_shapes,
+    conv2d_output_shape,
+    pool2d_output_shape,
+)
+
+
+class TestDType:
+    def test_bits(self):
+        assert DType.FP32.bits == 32
+        assert DType.FP16.bits == 16
+        assert DType.INT8.bits == 8
+        assert DType.BINARY.bits == 1
+
+    def test_is_float(self):
+        assert DType.FP32.is_float
+        assert DType.FP16.is_float
+        assert not DType.INT8.is_float
+
+    def test_is_quantized(self):
+        assert DType.INT8.is_quantized
+        assert DType.UINT8.is_quantized
+        assert DType.BINARY.is_quantized
+        assert not DType.FP32.is_quantized
+
+    def test_numpy_roundtrip(self):
+        for dtype in (DType.FP32, DType.FP16, DType.INT8, DType.UINT8,
+                      DType.INT32):
+            assert DType.from_numpy(dtype.to_numpy()) is dtype
+
+    def test_binary_stored_as_int8(self):
+        assert DType.BINARY.to_numpy() == np.dtype(np.int8)
+
+    def test_from_numpy_unknown(self):
+        with pytest.raises(ValueError):
+            DType.from_numpy(np.dtype(np.complex64))
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec("x", (2, 3, 4))
+        assert spec.rank == 3
+        assert spec.num_elements == 24
+        assert spec.size_bytes == 24 * 4
+
+    def test_scalar(self):
+        spec = TensorSpec("s", ())
+        assert spec.num_elements == 1
+        assert spec.rank == 0
+
+    def test_binary_size_rounds_up(self):
+        spec = TensorSpec("b", (3,), DType.BINARY)
+        assert spec.size_bits == 3
+        assert spec.size_bytes == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (1,))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (2, -1))
+
+    def test_with_batch(self):
+        spec = TensorSpec("x", (1, 3, 8, 8))
+        assert spec.with_batch(4).shape == (4, 3, 8, 8)
+
+    def test_with_batch_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", ()).with_batch(2)
+
+    def test_with_dtype_and_name(self):
+        spec = TensorSpec("x", (2,), DType.FP32)
+        assert spec.with_dtype(DType.INT8).dtype is DType.INT8
+        assert spec.with_name("y").name == "y"
+
+    def test_zeros_matches_spec(self):
+        z = TensorSpec("x", (2, 5), DType.INT8).zeros()
+        assert z.shape == (2, 5)
+        assert z.dtype == np.int8
+        assert not z.any()
+
+    def test_frozen(self):
+        spec = TensorSpec("x", (1,))
+        with pytest.raises(Exception):
+            spec.name = "other"
+
+
+class TestBroadcast:
+    def test_matches_numpy(self):
+        assert broadcast_shapes((2, 1, 3), (4, 3)) == (2, 4, 3)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeError, match="cannot broadcast"):
+            broadcast_shapes((2, 3), (4,))
+
+    def test_error_names_op(self):
+        with pytest.raises(ShapeError, match="in add"):
+            broadcast_shapes((2,), (3,), op="add")
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=4),
+           st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    def test_property_agrees_with_numpy(self, a, b):
+        try:
+            expected = np.broadcast_shapes(tuple(a), tuple(b))
+        except ValueError:
+            with pytest.raises(ShapeError):
+                broadcast_shapes(a, b)
+        else:
+            assert broadcast_shapes(a, b) == tuple(expected)
+
+
+class TestConvShapes:
+    def test_same_padding(self):
+        assert conv2d_output_shape((1, 3, 8, 8), 16, (3, 3), (1, 1),
+                                   (1, 1)) == (1, 16, 8, 8)
+
+    def test_stride(self):
+        assert conv2d_output_shape((2, 3, 224, 224), 64, (7, 7), (2, 2),
+                                   (3, 3)) == (2, 64, 112, 112)
+
+    def test_non_nchw_rejected(self):
+        with pytest.raises(ShapeError):
+            conv2d_output_shape((3, 8, 8), 4, (3, 3), (1, 1), (0, 0))
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ShapeError):
+            conv2d_output_shape((1, 3, 2, 2), 4, (5, 5), (1, 1), (0, 0))
+
+    @given(st.integers(4, 32), st.integers(1, 5), st.integers(1, 3),
+           st.integers(0, 2))
+    def test_property_matches_direct_formula(self, size, k, s, p):
+        if size + 2 * p < k:
+            return
+        shape = conv2d_output_shape((1, 1, size, size), 1, (k, k), (s, s),
+                                    (p, p))
+        expected = (size + 2 * p - k) // s + 1
+        assert shape == (1, 1, expected, expected)
+
+
+class TestPoolShapes:
+    def test_basic(self):
+        assert pool2d_output_shape((1, 8, 16, 16), (2, 2), (2, 2)) \
+            == (1, 8, 8, 8)
+
+    def test_channels_preserved(self):
+        shape = pool2d_output_shape((3, 7, 10, 10), (3, 3), (1, 1), (1, 1))
+        assert shape[1] == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            pool2d_output_shape((1, 1, 2, 2), (4, 4), (1, 1))

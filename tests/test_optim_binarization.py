@@ -1,0 +1,99 @@
+"""Tests for the binary-weight pass."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_accuracy, train_readout
+from repro.datasets import make_shapes_dataset
+from repro.ir import build_model
+from repro.ir.tensor import DType
+from repro.optim import BinarizePass, binarize, fuse_graph
+from repro.runtime import run_graph
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = make_shapes_dataset(200, image_size=32, seed=0)
+    train, test = ds.split(0.8, seed=0)
+    g = train_readout(build_model("tiny_convnet", batch=8, num_classes=4),
+                      train).graph
+    return fuse_graph(g), train, test
+
+
+class TestBinarizePass:
+    def test_weights_become_signs(self, trained):
+        g, _, _ = trained
+        gb = BinarizePass().run(g)
+        binarized = [n for n in gb.nodes if n.op_type in ("bconv2d",
+                                                          "bdense")]
+        assert binarized
+        for node in binarized:
+            weight = gb.initializers[node.inputs[1]]
+            assert weight.dtype == np.int8
+            assert set(np.unique(weight)) <= {-1, 1}
+            assert gb.initializer_dtypes[node.inputs[1]] is DType.BINARY
+
+    def test_scale_is_mean_abs(self, trained):
+        g, _, _ = trained
+        target = [n for n in g.nodes if n.op_type == "fused_conv2d"][0]
+        original = g.initializers[target.inputs[1]].copy()
+        gb = BinarizePass().run(g)
+        node = gb.node_by_name(target.name)
+        expected = np.abs(original).mean(axis=(1, 2, 3))
+        np.testing.assert_allclose(node.attrs["scale"], expected, rtol=1e-6)
+
+    def test_storage_accounted_at_one_bit(self, trained):
+        g, _, _ = trained
+        gb = BinarizePass().run(g)
+        # All conv/dense weights binarized: parameter bytes shrink hard.
+        assert gb.parameter_bytes() < g.parameter_bytes() / 5
+
+    def test_executes_and_validates(self, trained):
+        g, _, _ = trained
+        gb = binarize(g)
+        gb.validate()
+        x = np.zeros((8, 3, 32, 32), dtype=np.float32)
+        out = run_graph(gb, {"input": x})[gb.output_names[0]]
+        assert out.shape == (8, 4)
+
+    def test_skip_layers_respected(self, trained):
+        g, _, _ = trained
+        weighted = [n.name for n in g.nodes
+                    if n.op_type in ("fused_conv2d", "fused_dense",
+                                     "conv2d", "dense")]
+        gb = BinarizePass(skip_layers=weighted).run(g)
+        assert not any(n.op_type.startswith("b") and
+                       n.op_type in ("bconv2d", "bdense") for n in gb.nodes)
+
+    def test_default_keeps_first_and_last(self, trained):
+        g, _, _ = trained
+        gb = binarize(g, keep_first_and_last=True)
+        weighted = [n for n in gb.nodes
+                    if n.op_type in ("bconv2d", "bdense", "fused_conv2d",
+                                     "fused_dense", "conv2d", "dense")]
+        assert weighted[0].op_type in ("fused_conv2d", "conv2d")
+        assert weighted[-1].op_type in ("fused_dense", "dense")
+
+    def test_original_untouched(self, trained):
+        g, _, _ = trained
+        before = {k: v.copy() for k, v in g.initializers.items()}
+        binarize(g)
+        for k, v in before.items():
+            np.testing.assert_array_equal(g.initializers[k], v)
+
+    def test_accuracy_recoverable_with_retraining(self, trained):
+        g, train, test = trained
+        baseline = evaluate_accuracy(g, test)
+        gb = binarize(g)
+        retrained = train_readout(gb, train).graph
+        accuracy = evaluate_accuracy(retrained, test)
+        # Binary backbones lose some accuracy but stay far above chance
+        # (0.25 for four classes) once the readout is refit.
+        assert accuracy > 0.6
+        assert baseline - accuracy < 0.25
+
+    def test_activation_carried_through(self, trained):
+        g, _, _ = trained
+        gb = BinarizePass().run(g)
+        assert any(n.attrs.get("activation") == "relu"
+                   for n in gb.nodes if n.op_type == "bconv2d")

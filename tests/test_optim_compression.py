@@ -1,0 +1,170 @@
+"""Tests for repro.optim.compression: Huffman, clustering, deep compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import build_model
+from repro.optim.compression import (
+    BitString,
+    HuffmanCode,
+    cluster_weights,
+    compress_graph,
+    decompress_into,
+    deep_compress,
+    encode_weights,
+)
+from repro.runtime import run_graph
+
+
+class TestBitString:
+    def test_roundtrip(self):
+        bits = BitString("1011001")
+        restored = BitString.from_bytes(bits.to_bytes(), len(bits))
+        assert "".join(restored) == "1011001"
+
+    def test_append(self):
+        bits = BitString()
+        bits.append("10")
+        bits.append("11")
+        assert "".join(bits) == "1011"
+        assert len(bits) == 4
+
+    def test_num_bytes_rounds_up(self):
+        assert BitString("1" * 9).num_bytes == 2
+
+
+class TestHuffman:
+    def test_roundtrip(self):
+        freq = {0: 50, 1: 25, 2: 15, 3: 10}
+        code = HuffmanCode(freq)
+        symbols = [0, 1, 2, 3, 0, 0, 1]
+        decoded = code.decode(code.encode(symbols), len(symbols))
+        assert decoded == symbols
+
+    def test_frequent_symbols_shorter(self):
+        code = HuffmanCode({0: 1000, 1: 1})
+        assert len(code.codebook[0]) <= len(code.codebook[1])
+
+    def test_single_symbol(self):
+        code = HuffmanCode({7: 10})
+        decoded = code.decode(code.encode([7, 7, 7]), 3)
+        assert decoded == [7, 7, 7]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({})
+
+    def test_mean_bits_at_most_fixed_width(self):
+        rng = np.random.default_rng(0)
+        counts = {i: int(v) for i, v in
+                  enumerate(rng.integers(1, 1000, size=16))}
+        code = HuffmanCode(counts)
+        assert code.mean_bits_per_symbol(counts) <= 4 + 1e-9
+
+    def test_prefix_free(self):
+        code = HuffmanCode({i: i + 1 for i in range(10)})
+        codes = list(code.codebook.values())
+        for a in codes:
+            for b in codes:
+                if a != b:
+                    assert not b.startswith(a)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, symbols):
+        freq = {}
+        for s in symbols:
+            freq[s] = freq.get(s, 0) + 1
+        code = HuffmanCode(freq)
+        bits = code.encode(symbols)
+        packed = BitString.from_bytes(bits.to_bytes(), len(bits))
+        assert code.decode(packed, len(symbols)) == symbols
+
+
+class TestClustering:
+    def test_codebook_size(self):
+        rng = np.random.default_rng(0)
+        codebook, assignment = cluster_weights(rng.normal(size=500), 16)
+        assert len(codebook) == 16
+        assert assignment.min() >= 0 and assignment.max() < 16
+
+    def test_constant_input(self):
+        codebook, assignment = cluster_weights(np.full(10, 3.0), 8)
+        assert len(codebook) == 1
+        assert (assignment == 0).all()
+
+    def test_reconstruction_error_decreases_with_clusters(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=2000)
+        errs = []
+        for k in (4, 16, 64):
+            codebook, assignment = cluster_weights(values, k)
+            errs.append(np.abs(codebook[assignment] - values).mean())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=300)
+        a = cluster_weights(values, 8)
+        b = cluster_weights(values, 8)
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestEncodedLayer:
+    def test_decode_matches_clustered_weights(self):
+        rng = np.random.default_rng(3)
+        weights = rng.normal(size=(32, 16)).astype(np.float32)
+        weights[np.abs(weights) < 0.5] = 0.0   # sparse
+        layer = encode_weights("w", weights, num_clusters=16)
+        decoded = layer.decode()
+        # Zeros restored exactly; nonzeros to their cluster centroids.
+        assert decoded.shape == weights.shape
+        np.testing.assert_array_equal(decoded == 0, weights == 0)
+        nz = weights != 0
+        assert np.abs(decoded[nz] - weights[nz]).max() < 0.5
+
+    def test_all_zero_tensor(self):
+        layer = encode_weights("z", np.zeros((8, 8), dtype=np.float32))
+        assert not layer.decode().any()
+
+    def test_compressed_smaller_than_raw_for_sparse(self):
+        rng = np.random.default_rng(4)
+        weights = rng.normal(size=(64, 64)).astype(np.float32)
+        mask = rng.random(weights.shape) < 0.9
+        weights[mask] = 0.0
+        layer = encode_weights("w", weights, num_clusters=32)
+        assert layer.compressed_bytes < weights.nbytes / 8
+
+
+class TestDeepCompress:
+    def test_ratio_and_sparsity(self):
+        g = build_model("mlp", batch=1, in_features=64, hidden=(256, 128),
+                        num_classes=8)
+        result = deep_compress(g, prune_fraction=0.9, num_clusters=32)
+        assert result.sparsity == pytest.approx(0.9, abs=0.02)
+        assert result.compression_ratio > 15
+
+    def test_compressed_graph_executes(self):
+        g = build_model("mlp", batch=2, in_features=32, hidden=(64,),
+                        num_classes=4)
+        result = deep_compress(g, prune_fraction=0.8)
+        out = run_graph(result.graph,
+                        {"input": np.zeros((2, 32), dtype=np.float32)})
+        assert out[result.graph.output_names[0]].shape == (2, 4)
+
+    def test_decompress_into_round_trips_encoding(self):
+        g = build_model("mlp", batch=1, in_features=32, hidden=(64,),
+                        num_classes=4)
+        model = compress_graph(g, num_clusters=16, min_weights=64)
+        restored = decompress_into(g, model)
+        for name, layer in model.layers.items():
+            np.testing.assert_array_equal(restored.initializers[name],
+                                          layer.decode())
+
+    def test_higher_sparsity_higher_ratio(self):
+        g = build_model("mlp", batch=1, in_features=64, hidden=(256,),
+                        num_classes=8)
+        low = deep_compress(g, prune_fraction=0.5).compression_ratio
+        high = deep_compress(g, prune_fraction=0.95).compression_ratio
+        assert high > low

@@ -1,0 +1,124 @@
+"""Tests for repro.optim.fusion: batchnorm folding and activation fusion."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.ir.builder import GraphBuilder
+from repro.optim import FoldBatchNorm, FuseActivation, PassManager, fuse_graph
+from repro.runtime import run_graph
+
+
+def conv_bn_relu_graph(batch=2):
+    b = GraphBuilder("cbr", seed=7)
+    x = b.input("x", (batch, 3, 8, 8))
+    y = b.conv_bn_act(x, 4, 3, padding=1, name="blk")
+    return b.finish(y)
+
+
+class TestFoldBatchNorm:
+    def test_exactness(self):
+        g = conv_bn_relu_graph()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)) \
+            .astype(np.float32)
+        before = run_graph(g, {"x": x})[g.output_names[0]]
+        folded = FoldBatchNorm().run(g)
+        after = run_graph(folded, {"x": x})[folded.output_names[0]]
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-6)
+
+    def test_removes_batchnorm_nodes(self):
+        g = conv_bn_relu_graph()
+        folded = FoldBatchNorm().run(g)
+        assert not any(n.op_type == "batchnorm" for n in folded.nodes)
+
+    def test_drops_bn_parameters(self):
+        g = conv_bn_relu_graph()
+        folded = FoldBatchNorm().run(g)
+        assert folded.num_parameters() < g.num_parameters()
+
+    def test_adds_bias_when_missing(self):
+        g = conv_bn_relu_graph()
+        folded = FoldBatchNorm().run(g)
+        conv = [n for n in folded.nodes if n.op_type == "conv2d"][0]
+        assert len(conv.inputs) == 3
+
+    def test_skips_multi_consumer_conv(self):
+        b = GraphBuilder("mc")
+        x = b.input("x", (1, 2, 4, 4))
+        c = b.conv2d(x, 2, 1, bias=False, name="conv")
+        bn = b.batchnorm(c, name="bn")
+        other = b.relu(c, name="keep")   # second consumer of conv output
+        merged = b.add(bn, other)
+        g = b.finish(merged)
+        folded = FoldBatchNorm().run(g)
+        assert any(n.op_type == "batchnorm" for n in folded.nodes)
+
+    def test_original_graph_untouched(self):
+        g = conv_bn_relu_graph()
+        nodes_before = len(g)
+        FoldBatchNorm().run(g)
+        assert len(g) == nodes_before
+
+    def test_details_counter(self):
+        fold = FoldBatchNorm()
+        fold.run(conv_bn_relu_graph())
+        assert fold.details()["batchnorms_folded"] == 1
+
+
+class TestFuseActivation:
+    def test_fuses_relu_into_conv(self):
+        g = conv_bn_relu_graph()
+        fused = PassManager([FoldBatchNorm(), FuseActivation()]).run(g)
+        assert len(fused) == 1
+        node = fused.nodes[0]
+        assert node.op_type == "fused_conv2d"
+        assert node.attrs["activation"] == "relu"
+
+    def test_fused_graph_equivalent(self):
+        g = conv_bn_relu_graph()
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8)) \
+            .astype(np.float32)
+        before = run_graph(g, {"x": x})[g.output_names[0]]
+        fused = fuse_graph(g)
+        after = run_graph(fused, {"x": x})[fused.output_names[0]]
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-6)
+
+    def test_does_not_fuse_softmax(self):
+        g = build_model("mlp", batch=2)
+        fused = fuse_graph(g)
+        assert any(n.op_type == "softmax" for n in fused.nodes)
+
+    def test_dense_relu_fusion(self):
+        g = build_model("mlp", batch=2, hidden=(16,))
+        fused = fuse_graph(g)
+        assert any(n.op_type == "fused_dense" and
+                   n.attrs.get("activation") == "relu" for n in fused.nodes)
+
+    def test_multi_consumer_not_fused(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4))
+        h = b.dense(x, 4, name="fc")
+        r = b.relu(h, name="act")
+        merged = b.add(h, r)   # dense output used twice
+        g = b.finish(merged)
+        fused = FuseActivation().run(g)
+        assert any(n.op_type == "relu" for n in fused.nodes)
+
+
+class TestFullModelFusion:
+    def test_tiny_convnet_node_reduction(self):
+        g = build_model("tiny_convnet", batch=1)
+        fused = fuse_graph(g)
+        assert len(fused) < len(g)
+        fused.validate()
+
+    def test_mobilenet_small_fusion_preserves_output(self):
+        g = build_model("mobilenet_v3_small", batch=1, image_size=64,
+                        num_classes=10)
+        x = np.random.default_rng(2).normal(size=(1, 3, 64, 64)) \
+            .astype(np.float32)
+        before = run_graph(g, {"input": x})[g.output_names[0]]
+        fused = fuse_graph(g)
+        after = run_graph(fused, {"input": x})[fused.output_names[0]]
+        np.testing.assert_allclose(after, before, rtol=1e-3, atol=1e-5)
+        assert not any(n.op_type == "batchnorm" for n in fused.nodes)

@@ -1,0 +1,134 @@
+"""Tests for repro.optim.hardware_aware: plan search and objectives."""
+
+import numpy as np
+import pytest
+
+from repro.core import accuracy_quality_fn, train_readout
+from repro.datasets import make_shapes_dataset
+from repro.hw import NaivePeakModel, RooflineModel, get_accelerator
+from repro.ir import build_model
+from repro.optim import (
+    PlanStep,
+    apply_step,
+    compare_objectives,
+    default_candidate_steps,
+    greedy_search,
+    ops_objective,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    dataset = make_shapes_dataset(160, image_size=32, seed=0)
+    train, test = dataset.split(0.75, seed=0)
+    g = build_model("tiny_convnet", batch=8, num_classes=4)
+    trained = train_readout(g, train).graph
+    rng = np.random.default_rng(0)
+    feeds = [{"input": train.features[:8]}]
+    return trained, test, feeds
+
+
+class TestObjectives:
+    def test_ops_objective_counts_ops(self):
+        g = build_model("mlp", batch=1)
+        assert ops_objective(g) == float(g.total_cost().ops)
+
+    def test_roofline_objective_usable(self):
+        g = build_model("tiny_convnet", batch=1)
+        model = RooflineModel(get_accelerator("XavierNX"))
+        assert model.latency_seconds(g) > 0
+
+
+class TestApplyStep:
+    def test_fuse(self, trained_setup):
+        trained, _, _ = trained_setup
+        fused = apply_step(trained, PlanStep("fuse"), None)
+        assert len(fused) < len(trained)
+
+    def test_int8_requires_feeds(self, trained_setup):
+        trained, _, _ = trained_setup
+        with pytest.raises(ValueError, match="calibration"):
+            apply_step(trained, PlanStep("int8"), None)
+
+    def test_unknown_step(self, trained_setup):
+        trained, _, _ = trained_setup
+        with pytest.raises(ValueError, match="unknown plan step"):
+            apply_step(trained, PlanStep("magic"), None)
+
+    def test_prune_step(self, trained_setup):
+        trained, _, _ = trained_setup
+        pruned = apply_step(trained,
+                            PlanStep("neuron_prune", (("fraction", 0.25),)),
+                            None)
+        assert pruned.num_parameters() < trained.num_parameters()
+
+
+class TestCandidateSteps:
+    def test_filtered_by_support(self):
+        steps = default_candidate_steps(supports_int8=False,
+                                        supports_fp16=False)
+        kinds = {s.kind for s in steps}
+        assert "int8" not in kinds and "fp16" not in kinds
+        assert "fuse" in kinds
+
+    def test_describe(self):
+        step = PlanStep("neuron_prune", (("fraction", 0.5),))
+        assert "0.5" in step.describe()
+
+
+class TestGreedySearch:
+    def test_improves_objective(self, trained_setup):
+        trained, test, feeds = trained_setup
+        quality = accuracy_quality_fn(test)
+        result = greedy_search(
+            trained, ops_objective, quality,
+            max_quality_drop=0.1, calibration_feeds=feeds,
+        )
+        baseline = ops_objective(trained)
+        assert result.best.objective_value <= baseline
+        assert len(result.explored) > 1
+
+    def test_respects_quality_budget(self, trained_setup):
+        trained, test, feeds = trained_setup
+        quality = accuracy_quality_fn(test)
+        base = quality(trained)
+        result = greedy_search(
+            trained, ops_objective, quality,
+            max_quality_drop=0.05, calibration_feeds=feeds,
+        )
+        assert base - result.best.quality <= 0.05 + 1e-9
+
+    def test_zero_budget_keeps_exact_transforms_only(self, trained_setup):
+        trained, test, feeds = trained_setup
+        quality = accuracy_quality_fn(test)
+        result = greedy_search(
+            trained, ops_objective, quality,
+            max_quality_drop=0.0,
+            candidate_steps=[PlanStep("neuron_prune", (("fraction", 0.5),))],
+            calibration_feeds=feeds,
+        )
+        # Aggressive pruning hurts accuracy; with zero budget the search
+        # must keep the baseline unless pruning happens to be lossless.
+        assert result.best.quality >= quality(trained) - 1e-9
+
+
+class TestCompareObjectives:
+    def test_returns_both_plans(self, trained_setup):
+        trained, test, feeds = trained_setup
+        quality = accuracy_quality_fn(test)
+        roofline = RooflineModel(get_accelerator("XavierNX"))
+        plans = compare_objectives(
+            trained, roofline.latency_seconds, quality,
+            calibration_feeds=feeds, max_quality_drop=0.1,
+        )
+        assert set(plans) == {"theoretical", "hardware_aware"}
+        # Both re-scored under hardware latency; hardware-aware cannot lose.
+        assert plans["hardware_aware"].objective_value <= \
+            plans["theoretical"].objective_value * 1.001
+
+    def test_naive_model_underestimates_latency(self):
+        g = build_model("tiny_convnet", batch=1)
+        spec = get_accelerator("GTX1660")
+        naive = NaivePeakModel(spec).latency_seconds(g)
+        roofline = RooflineModel(spec).latency_seconds(g)
+        assert naive < roofline  # ignores memory and dispatch overheads

@@ -1,0 +1,122 @@
+"""Tests for the activation-memory planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import GraphBuilder, build_model
+from repro.optim import (
+    Lifetime,
+    compute_lifetimes,
+    plan_memory,
+    scratchpad_analysis,
+)
+
+
+def chain_graph(widths=(64, 32, 16)):
+    """Sequential MLP: lifetimes are strictly nested/disjoint."""
+    b = GraphBuilder("chain")
+    x = b.input("x", (1, 128))
+    for i, width in enumerate(widths):
+        x = b.dense(x, width, name=f"fc{i}")
+        x = b.relu(x, name=f"r{i}")
+    return b.finish(x)
+
+
+class TestLifetimes:
+    def test_chain_lifetimes(self):
+        g = chain_graph()
+        lifetimes = {lt.tensor: lt for lt in compute_lifetimes(g)}
+        # fc0's output is born at node 0 and dies at its relu (node 1).
+        fc0_out = g.nodes[0].outputs[0]
+        assert lifetimes[fc0_out].birth == 0
+        assert lifetimes[fc0_out].death == 1
+
+    def test_graph_output_lives_to_end(self):
+        g = chain_graph()
+        lifetimes = {lt.tensor: lt for lt in compute_lifetimes(g)}
+        assert lifetimes[g.output_names[0]].death == len(g.nodes) - 1
+
+    def test_weights_excluded(self):
+        g = chain_graph()
+        names = {lt.tensor for lt in compute_lifetimes(g)}
+        assert not names & set(g.initializers)
+        assert "x" not in names
+
+    def test_residual_extends_lifetime(self):
+        b = GraphBuilder("res")
+        x = b.input("x", (1, 4, 8, 8))
+        y = b.conv2d(x, 4, 1, name="c1")
+        z = b.relu(y, name="r")
+        z = b.conv2d(z, 4, 1, name="c2")
+        merged = b.add(y, z, name="skip")   # y consumed late
+        g = b.finish(merged)
+        lifetimes = {lt.tensor: lt for lt in compute_lifetimes(g)}
+        y_name = g.node_by_name("c1").outputs[0]
+        skip_pos = g.nodes.index(g.node_by_name("skip"))
+        assert lifetimes[y_name].death == skip_pos
+
+    def test_overlap_predicate(self):
+        a = Lifetime("a", 4, 0, 2)
+        b = Lifetime("b", 4, 2, 5)
+        c = Lifetime("c", 4, 3, 5)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestPlan:
+    def test_chain_reuses_buffers(self):
+        plan = plan_memory(chain_graph())
+        assert plan.arena_bytes < plan.naive_bytes
+        assert plan.arena_bytes >= plan.peak_live_bytes
+
+    def test_plan_validates_no_overlap(self):
+        plan = plan_memory(build_model("tiny_convnet", batch=1))
+        plan.validate()  # raises on any live-range collision
+
+    def test_deep_cnn_reuse_factor(self):
+        plan = plan_memory(build_model("mobilenet_v3_small", batch=1))
+        assert plan.reuse_factor > 5.0
+        assert plan.efficiency >= 0.5
+
+    def test_arena_lower_bounded_by_peak_live(self):
+        for name in ("tiny_convnet", "mlp", "motor_net"):
+            plan = plan_memory(build_model(name, batch=1))
+            assert plan.arena_bytes >= plan.peak_live_bytes
+
+    def test_batch_scales_arena(self):
+        small = plan_memory(build_model("tiny_convnet", batch=1))
+        large = plan_memory(build_model("tiny_convnet", batch=4))
+        assert large.arena_bytes == pytest.approx(4 * small.arena_bytes,
+                                                  rel=0.05)
+
+    def test_report_renders(self):
+        text = plan_memory(chain_graph()).report()
+        assert "reuse" in text and "KiB" in text
+
+    @given(st.lists(st.integers(4, 64), min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_plan_always_valid(self, widths):
+        plan = plan_memory(chain_graph(tuple(widths)))
+        plan.validate()
+        assert plan.arena_bytes >= plan.peak_live_bytes
+
+
+class TestScratchpad:
+    def test_huge_sram_absorbs_everything(self):
+        g = build_model("tiny_convnet", batch=1)
+        report = scratchpad_analysis(g, sram_bytes=1 << 30)
+        assert report.fits_entirely
+        assert report.traffic_saving == 1.0
+
+    def test_zero_sram_spills_everything(self):
+        g = build_model("tiny_convnet", batch=1)
+        report = scratchpad_analysis(g, sram_bytes=0)
+        assert report.traffic_saving == 0.0
+
+    def test_saving_monotonic_in_sram(self):
+        g = build_model("mobilenet_v3_small", batch=1)
+        savings = [scratchpad_analysis(g, size).traffic_saving
+                   for size in (1 << 16, 1 << 18, 1 << 20, 1 << 22)]
+        assert all(a <= b + 1e-9 for a, b in zip(savings, savings[1:]))
+        assert savings[-1] > savings[0]

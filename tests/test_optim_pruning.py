@@ -1,0 +1,127 @@
+"""Tests for repro.optim.pruning: connection and neuron pruning."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.ir.builder import GraphBuilder
+from repro.optim import ConnectionPrune, NeuronPrune, fuse_graph, sparsity_of
+from repro.runtime import run_graph
+
+
+class TestConnectionPrune:
+    def test_target_sparsity_reached(self):
+        g = build_model("mlp", batch=1, in_features=64, hidden=(128,),
+                        num_classes=8)
+        pruned = ConnectionPrune(0.5).run(g)
+        report = sparsity_of(pruned)
+        assert 0.45 <= report.global_sparsity <= 0.55
+
+    def test_zero_fraction_is_noop(self):
+        g = build_model("mlp", batch=1)
+        pruned = ConnectionPrune(0.0).run(g)
+        for name in g.initializers:
+            np.testing.assert_array_equal(pruned.initializers[name],
+                                          g.initializers[name])
+
+    def test_small_layers_skipped(self):
+        g = build_model("mlp", batch=1, in_features=4, hidden=(4,),
+                        num_classes=2)
+        pruner = ConnectionPrune(0.9, min_weights=1000)
+        pruner.run(g)
+        assert pruner.details()["layers_pruned"] == 0
+
+    def test_keeps_largest_weights(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 8))
+        b.graph.add_initializer(
+            "w", np.arange(1, 65, dtype=np.float32).reshape(8, 8))
+        b.graph.add_node("dense", ["x", "w"], ["y"], name="fc")
+        g = b.finish("y") if False else b.graph
+        g.set_outputs(["y"])
+        g.validate()
+        pruned = ConnectionPrune(0.5, min_weights=1).run(g)
+        w = pruned.initializers["w"]
+        # the 32 largest values (33..64) survive
+        assert np.count_nonzero(w) == 32
+        assert w.max() == 64 and (w[w > 0].min() >= 33)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ConnectionPrune(1.0)
+        with pytest.raises(ValueError):
+            ConnectionPrune(-0.1)
+
+    def test_graph_still_executes(self):
+        g = build_model("tiny_convnet", batch=1)
+        pruned = ConnectionPrune(0.8).run(g)
+        x = np.zeros((1, 3, 32, 32), dtype=np.float32)
+        run_graph(pruned, {"input": x})
+
+
+class TestNeuronPrune:
+    def test_channels_removed_and_valid(self):
+        g = fuse_graph(build_model("tiny_convnet", batch=1))
+        pruned = NeuronPrune(0.5).run(g)
+        pruned.validate()
+        assert pruned.num_parameters() < g.num_parameters()
+
+    def test_executes_after_pruning(self):
+        g = fuse_graph(build_model("tiny_convnet", batch=2))
+        pruned = NeuronPrune(0.25).run(g)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)) \
+            .astype(np.float32)
+        out = run_graph(pruned, {"input": x})[pruned.output_names[0]]
+        assert out.shape == (2, 10)
+
+    def test_compute_shrinks(self):
+        g = fuse_graph(build_model("tiny_convnet", batch=1))
+        pruned = NeuronPrune(0.5).run(g)
+        assert pruned.total_cost().macs < g.total_cost().macs * 0.8
+
+    def test_min_channels_floor(self):
+        g = fuse_graph(build_model("tiny_convnet", batch=1))
+        pruned = NeuronPrune(0.99, min_channels=4).run(g)
+        pruned.validate()
+        for node in pruned.nodes:
+            if node.op_type in ("conv2d", "fused_conv2d"):
+                assert pruned.initializers[node.inputs[1]].shape[0] >= 4
+
+    def test_readout_layer_never_pruned(self):
+        g = fuse_graph(build_model("mlp", batch=1, num_classes=7))
+        pruned = NeuronPrune(0.5).run(g)
+        final = [n for n in pruned.nodes
+                 if n.op_type in ("dense", "fused_dense")][-1]
+        assert pruned.initializers[final.inputs[1]].shape[0] == 7
+
+    def test_residual_networks_conservatively_skipped(self):
+        # Bottleneck adds create multi-consumer tensors; the pruner must
+        # not corrupt them.
+        g = fuse_graph(build_model("mobilenet_v3_small", batch=1,
+                                   image_size=64, num_classes=5))
+        pruned = NeuronPrune(0.3).run(g)
+        pruned.validate()
+        x = np.zeros((1, 3, 64, 64), dtype=np.float32)
+        out = run_graph(pruned, {"input": x})[pruned.output_names[0]]
+        assert out.shape == (1, 5)
+
+    def test_keeps_high_saliency_channels(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 2, 4, 4))
+        # Conv with 8 channels of increasing magnitude, then a consumer.
+        w1 = np.zeros((8, 2, 1, 1), dtype=np.float32)
+        for i in range(8):
+            w1[i] = (i + 1) * 0.1
+        c1 = b.constant(w1, name="w1")
+        b.graph.add_node("conv2d", ["x", "w1"], ["h"], name="conv1")
+        w2 = b.weight((4, 8, 1, 1), name="w2")
+        b.graph.add_node("conv2d", ["h", "w2"], ["y"], name="conv2")
+        g = b.graph
+        g.set_outputs(["y"])
+        g.validate()
+        pruned = NeuronPrune(0.5, min_channels=1).run(g)
+        kept = pruned.initializers["w1"]
+        assert kept.shape[0] == 4
+        np.testing.assert_allclose(kept[:, 0, 0, 0],
+                                   [0.5, 0.6, 0.7, 0.8], rtol=1e-5)
+        assert pruned.initializers["w2"].shape == (4, 4, 1, 1)

@@ -1,0 +1,130 @@
+"""Tests for repro.optim.quantization: calibration, QDQ rewrite, FP16."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.ir.tensor import DType
+from repro.optim import (
+    QuantizePass,
+    calibrate,
+    convert_fp16,
+    fuse_graph,
+    quantize_int8,
+)
+from repro.runtime import run_graph
+
+
+@pytest.fixture(scope="module")
+def fused_net():
+    return fuse_graph(build_model("tiny_convnet", batch=4))
+
+
+@pytest.fixture(scope="module")
+def calib_feeds():
+    rng = np.random.default_rng(0)
+    return [{"input": rng.normal(size=(4, 3, 32, 32)).astype(np.float32)}
+            for _ in range(3)]
+
+
+class TestCalibration:
+    def test_records_all_float_tensors(self, fused_net, calib_feeds):
+        result = calibrate(fused_net, calib_feeds)
+        specs = fused_net.infer_specs()
+        for node in fused_net.nodes:
+            for out in node.outputs:
+                if specs[out].dtype.is_float:
+                    assert out in result.ranges
+
+    def test_ranges_widen_across_batches(self, fused_net):
+        rng = np.random.default_rng(1)
+        small = {"input": (rng.normal(size=(4, 3, 32, 32)) * 0.1)
+                 .astype(np.float32)}
+        large = {"input": (rng.normal(size=(4, 3, 32, 32)) * 10)
+                 .astype(np.float32)}
+        one = calibrate(fused_net, [small])
+        both = calibrate(fused_net, [small, large])
+        lo1, hi1 = one.ranges["input"]
+        lo2, hi2 = both.ranges["input"]
+        assert lo2 <= lo1 and hi2 >= hi1
+
+    def test_max_batches_cap(self, fused_net, calib_feeds):
+        result = calibrate(fused_net, calib_feeds * 10, max_batches=2)
+        assert result.ranges  # just confirms it terminated
+
+    def test_empty_iterator_rejected(self, fused_net):
+        with pytest.raises(ValueError, match="at least one batch"):
+            calibrate(fused_net, [])
+
+
+class TestQuantizePass:
+    def test_qdq_structure(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds)
+        ops = [n.op_type for n in gq.nodes]
+        assert "qconv2d" in ops and "qdense" in ops
+        assert ops.count("quantize") == ops.count("qconv2d") + \
+            ops.count("qdense")
+        assert ops.count("dequantize") == ops.count("quantize")
+
+    def test_weights_become_int8(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds)
+        for node in gq.nodes:
+            if node.op_type in ("qconv2d", "qdense"):
+                weight = gq.initializers[node.inputs[1]]
+                assert weight.dtype == np.int8
+
+    def test_accuracy_preserved(self, fused_net, calib_feeds):
+        x = calib_feeds[0]["input"]
+        ref = run_graph(fused_net, {"input": x})[fused_net.output_names[0]]
+        gq = quantize_int8(fused_net, calib_feeds)
+        out = run_graph(gq, {"input": x})[gq.output_names[0]]
+        assert (out.argmax(-1) == ref.argmax(-1)).mean() >= 0.75
+
+    def test_model_size_shrinks(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds)
+        assert gq.parameter_bytes() < fused_net.parameter_bytes() / 2
+
+    def test_per_tensor_mode(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds, per_channel=False)
+        for node in gq.nodes:
+            if node.op_type == "qconv2d":
+                assert np.asarray(node.attrs["weight_scale"]).size == 1
+
+    def test_per_channel_mode(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds, per_channel=True)
+        qconvs = [n for n in gq.nodes if n.op_type == "qconv2d"]
+        assert any(np.asarray(n.attrs["weight_scale"]).size > 1
+                   for n in qconvs)
+
+    def test_activation_attr_carried(self, fused_net, calib_feeds):
+        gq = quantize_int8(fused_net, calib_feeds)
+        assert any(n.attrs.get("activation") == "relu" for n in gq.nodes
+                   if n.op_type == "qconv2d")
+
+    def test_details_counters(self, fused_net, calib_feeds):
+        calibration = calibrate(fused_net, calib_feeds)
+        quantizer = QuantizePass(calibration)
+        quantizer.run(fused_net)
+        assert quantizer.details()["nodes_quantized"] > 0
+
+
+class TestFP16:
+    def test_initializers_cast(self):
+        g = build_model("mlp", batch=2)
+        gh = convert_fp16(g)
+        assert all(v.dtype == np.float16 for v in gh.initializers.values())
+        assert gh.inputs[0].dtype is DType.FP16
+
+    def test_size_halves(self):
+        g = build_model("mlp", batch=2)
+        gh = convert_fp16(g)
+        assert gh.parameter_bytes() == g.parameter_bytes() // 2
+
+    def test_numerically_close(self):
+        rng = np.random.default_rng(3)
+        g = build_model("mlp", batch=2, in_features=16, hidden=(8,),
+                        num_classes=4)
+        x = rng.normal(size=(2, 16)).astype(np.float32)
+        ref = run_graph(g, {"input": x})[g.output_names[0]]
+        out = run_graph(convert_fp16(g), {"input": x})[g.output_names[0]]
+        np.testing.assert_allclose(out.astype(np.float32), ref, atol=1e-2)

@@ -1,0 +1,169 @@
+"""Property-based tests over core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import GraphBuilder, build_model, dumps, loads
+from repro.ir.tensor import DType, TensorSpec
+from repro.optim import ConnectionPrune, fuse_graph
+from repro.runtime import kernels, run_graph
+from repro.runtime.quantized import choose_qparams
+from repro.security.crypto import SealedBox, SigningKey
+
+
+@st.composite
+def mlp_dims(draw):
+    in_features = draw(st.integers(2, 16))
+    hidden = draw(st.lists(st.integers(2, 16), min_size=1, max_size=3))
+    classes = draw(st.integers(2, 8))
+    return in_features, tuple(hidden), classes
+
+
+class TestGraphInvariants:
+    @given(mlp_dims())
+    @settings(max_examples=15, deadline=None)
+    def test_mlp_always_validates_and_runs(self, dims):
+        in_features, hidden, classes = dims
+        g = build_model("mlp", batch=2, in_features=in_features,
+                        hidden=hidden, num_classes=classes)
+        g.validate()
+        out = run_graph(g, {"input": np.zeros((2, in_features),
+                                              dtype=np.float32)})
+        result = out[g.output_names[0]]
+        assert result.shape == (2, classes)
+        np.testing.assert_allclose(result.sum(axis=-1), 1.0, rtol=1e-4)
+
+    @given(mlp_dims())
+    @settings(max_examples=10, deadline=None)
+    def test_serialization_identity(self, dims):
+        in_features, hidden, classes = dims
+        g = build_model("mlp", batch=1, in_features=in_features,
+                        hidden=hidden, num_classes=classes)
+        restored = loads(dumps(g))
+        x = np.random.default_rng(0).normal(size=(1, in_features)) \
+            .astype(np.float32)
+        np.testing.assert_array_equal(
+            run_graph(g, {"input": x})[g.output_names[0]],
+            run_graph(restored, {"input": x})[restored.output_names[0]])
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_rebatching_preserves_per_sample_results(self, batch):
+        g = build_model("mlp", batch=1, in_features=8, hidden=(6,),
+                        num_classes=3, seed=2)
+        gb = g.with_batch(batch)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(batch, 8)).astype(np.float32)
+        batched = run_graph(gb, {"input": x})[gb.output_names[0]]
+        for i in range(batch):
+            single = run_graph(g, {"input": x[i:i + 1]})[g.output_names[0]]
+            np.testing.assert_allclose(batched[i], single[0], rtol=1e-4,
+                                       atol=1e-6)
+
+    @given(st.floats(0.0, 0.95))
+    @settings(max_examples=10, deadline=None)
+    def test_pruned_graph_cost_never_increases(self, fraction):
+        g = build_model("mlp", batch=1, in_features=16, hidden=(32,),
+                        num_classes=4)
+        pruned = ConnectionPrune(fraction).run(g)
+        pruned.validate()
+        assert pruned.num_parameters() == g.num_parameters()  # zeros remain
+        from repro.optim import sparsity_of
+        assert sparsity_of(pruned).global_sparsity >= \
+            sparsity_of(g).global_sparsity
+
+
+class TestKernelInvariants:
+    @given(st.integers(1, 3), st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_softmax_is_distribution(self, batch, classes):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 10, size=(batch, classes))
+        out = kernels.softmax(x)
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, values):
+        x = np.array(values)
+        once = kernels.relu(x)
+        np.testing.assert_array_equal(kernels.relu(once), once)
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_hardsigmoid_bounded(self, values):
+        out = kernels.hardsigmoid(np.array(values))
+        assert (out >= 0).all() and (out <= 1).all()
+
+    @given(st.integers(2, 8), st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_maxpool_upper_bounds_avgpool(self, h, w):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(1, 2, h * 2, w * 2)).astype(np.float32)
+        mx = kernels.maxpool2d(data, 2)
+        avg = kernels.avgpool2d(data, 2)
+        assert (mx >= avg - 1e-6).all()
+
+
+class TestQuantizationInvariants:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2,
+                    max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_output_in_dtype_range(self, values):
+        data = np.array(values, dtype=np.float32)
+        params = choose_qparams(data, symmetric=False)
+        q = params.quantize(data)
+        assert q.min() >= -128 and q.max() <= 127
+
+    @given(st.floats(0.1, 10.0), st.lists(st.floats(-5, 5), min_size=1,
+                                          max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_dequantize_monotonic(self, scale, values):
+        from repro.runtime.quantized import QuantParams
+
+        params = QuantParams(np.array([scale]), np.array([0]))
+        data = np.sort(np.array(values, dtype=np.float32))
+        restored = params.dequantize(params.quantize(data))
+        assert (np.diff(restored) >= -1e-9).all()
+
+
+class TestSecurityInvariants:
+    @given(st.binary(min_size=1, max_size=128), st.binary(max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_signature_binds_message(self, message, perturbation):
+        sk = SigningKey(b"prop-seed")
+        vk = sk.verifying_key()
+        sig = sk.sign(message)
+        vk.verify(message, sig)
+        altered = message + perturbation
+        if altered != message:
+            with pytest.raises(Exception):
+                vk.verify(altered, sig)
+
+    @given(st.binary(max_size=256), st.binary(min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_sealed_box_keys_disjoint(self, payload, key_suffix):
+        box_a = SealedBox(b"key-a")
+        box_b = SealedBox(b"key-a" + key_suffix)
+        blob = box_a.seal(payload)
+        with pytest.raises(Exception):
+            box_b.unseal(blob)
+
+
+class TestFusionInvariant:
+    @given(st.integers(1, 4), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_fusion_preserves_semantics(self, batch, seed):
+        b = GraphBuilder("net", seed=seed)
+        x = b.input("x", (batch, 2, 8, 8))
+        y = b.conv_bn_act(x, 4, 3, padding=1, act="relu", name="b1")
+        y = b.conv_bn_act(y, 4, 3, padding=1, act="hardswish", name="b2")
+        g = b.finish(y)
+        rng = np.random.default_rng(seed)
+        feed = rng.normal(size=(batch, 2, 8, 8)).astype(np.float32)
+        before = run_graph(g, {"x": feed})[g.output_names[0]]
+        fused = fuse_graph(g)
+        after = run_graph(fused, {"x": feed})[fused.output_names[0]]
+        np.testing.assert_allclose(after, before, rtol=1e-3, atol=1e-5)

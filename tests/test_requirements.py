@@ -1,0 +1,237 @@
+"""Tests for the AIoT requirements-engineering framework."""
+
+import pytest
+
+from repro.requirements import (
+    AbstractionLevel,
+    ArchitecturalFramework,
+    ConcernCluster,
+    DependencyRuleViolation,
+    FrameworkError,
+    build_paeb_framework,
+    build_smart_mirror_framework,
+)
+
+
+def two_view_framework():
+    fw = ArchitecturalFramework("sys")
+    fw.add_view("safety-concept", ConcernCluster.SAFETY,
+                AbstractionLevel.CONCEPTUAL)
+    fw.add_view("safety-design", ConcernCluster.SAFETY,
+                AbstractionLevel.DESIGN)
+    fw.add_view("hw-design", ConcernCluster.HARDWARE,
+                AbstractionLevel.DESIGN)
+    fw.add_view("energy-knowledge", ConcernCluster.ENERGY,
+                AbstractionLevel.KNOWLEDGE)
+    return fw
+
+
+class TestGrid:
+    def test_thirteen_clusters(self):
+        # The paper enumerates exactly thirteen clusters of concerns.
+        assert len(ConcernCluster) == 13
+
+    def test_four_levels(self):
+        assert len(AbstractionLevel) == 4
+
+    def test_cell_occupancy_unique(self):
+        fw = two_view_framework()
+        with pytest.raises(FrameworkError, match="already holds"):
+            fw.add_view("dup", ConcernCluster.SAFETY,
+                        AbstractionLevel.DESIGN)
+
+    def test_duplicate_view_id(self):
+        fw = two_view_framework()
+        with pytest.raises(FrameworkError, match="duplicate view id"):
+            fw.add_view("safety-design", ConcernCluster.ENERGY,
+                        AbstractionLevel.DESIGN)
+
+    def test_cell_lookup(self):
+        fw = two_view_framework()
+        view = fw.cell(ConcernCluster.SAFETY, AbstractionLevel.DESIGN)
+        assert view.view_id == "safety-design"
+        assert fw.cell(ConcernCluster.PRIVACY,
+                       AbstractionLevel.DESIGN) is None
+
+
+class TestDependencyRule:
+    def test_vertical_allowed(self):
+        fw = two_view_framework()
+        fw.add_dependency("safety-design", "safety-concept",
+                          "design realizes concept")
+
+    def test_horizontal_allowed(self):
+        fw = two_view_framework()
+        fw.add_dependency("safety-design", "hw-design",
+                          "safety constrains hardware")
+
+    def test_diagonal_rejected(self):
+        fw = two_view_framework()
+        with pytest.raises(DependencyRuleViolation, match="diagonal"):
+            fw.add_dependency("safety-design", "energy-knowledge")
+
+    def test_self_dependency_rejected(self):
+        fw = two_view_framework()
+        with pytest.raises(DependencyRuleViolation):
+            fw.add_dependency("safety-design", "safety-design")
+
+    def test_unknown_view_rejected(self):
+        fw = two_view_framework()
+        with pytest.raises(FrameworkError, match="unknown view"):
+            fw.add_dependency("safety-design", "ghost")
+
+
+class TestTraceability:
+    def build_chain(self):
+        fw = two_view_framework()
+        fw.add_dependency("safety-design", "safety-concept")
+        fw.add_dependency("hw-design", "safety-design")
+        return fw
+
+    def test_direct_queries(self):
+        fw = self.build_chain()
+        assert fw.dependencies_of("safety-design") == ["safety-concept"]
+        assert fw.dependents_of("safety-design") == ["hw-design"]
+
+    def test_impact_is_transitive(self):
+        fw = self.build_chain()
+        assert fw.impact_of_change("safety-concept") == \
+            ["hw-design", "safety-design"]
+
+    def test_impact_of_leaf_is_empty(self):
+        fw = self.build_chain()
+        assert fw.impact_of_change("hw-design") == []
+
+    def test_requirement_tracing(self):
+        fw = self.build_chain()
+        fw.view("safety-concept").add_requirement("R1", "stop in time")
+        owner, affected = fw.trace_requirement("R1")
+        assert owner == "safety-concept"
+        assert "hw-design" in affected
+
+    def test_missing_requirement(self):
+        fw = self.build_chain()
+        with pytest.raises(FrameworkError, match="not found"):
+            fw.trace_requirement("R99")
+
+    def test_duplicate_requirement_id_in_view(self):
+        fw = two_view_framework()
+        view = fw.view("safety-design")
+        view.add_requirement("R1", "a")
+        with pytest.raises(FrameworkError, match="duplicate requirement"):
+            view.add_requirement("R1", "b")
+
+    def test_unverified_listing(self):
+        fw = two_view_framework()
+        fw.view("safety-design").add_requirement("R1", "a")
+        req = fw.view("safety-design").requirements[0]
+        assert fw.unverified_requirements()
+        req.status = "verified"
+        assert not fw.unverified_requirements()
+
+    def test_middle_out_knowledge_recording(self):
+        fw = two_view_framework()
+        fw.view("hw-design").record_knowledge(
+            "vendor errata limits PCIe lanes")
+        assert fw.view("hw-design").knowledge_notes
+
+
+class TestValidationAndReporting:
+    def test_unconnected_requirements_flagged(self):
+        fw = two_view_framework()
+        fw.view("energy-knowledge").add_requirement("E1", "battery life")
+        findings = fw.validate()
+        assert any("energy-knowledge" in f for f in findings)
+
+    def test_grid_summary_renders(self):
+        text = two_view_framework().grid_summary()
+        assert "safety" in text
+        assert "4 views" in text
+
+
+class TestTemplates:
+    def test_paeb_framework_valid(self):
+        fw = build_paeb_framework()
+        assert len(fw.views) >= 8
+        assert fw.dependencies
+        # Every stated PAEB requirement is placed and traceable.
+        for req_id in ("PAEB-R1", "PAEB-R2", "PAEB-R3", "PAEB-R4"):
+            fw.trace_requirement(req_id)
+
+    def test_paeb_attestation_impacts_offload(self):
+        fw = build_paeb_framework()
+        affected = fw.impact_of_change("mobile-network")
+        assert "offload-security" in affected
+        assert "detector-model" in affected
+
+    def test_smart_mirror_privacy_traced(self):
+        fw = build_smart_mirror_framework()
+        owner, affected = fw.trace_requirement("SM-R1")
+        assert owner == "privacy-onsite"
+        assert "four-networks" in affected
+
+    def test_templates_only_legal_dependencies(self):
+        # Construction itself enforces the rule; re-check explicitly.
+        for fw in (build_paeb_framework(), build_smart_mirror_framework()):
+            for dep in fw.dependencies:
+                src = fw.view(dep.source)
+                dst = fw.view(dep.target)
+                assert src.cluster is dst.cluster or src.level is dst.level
+
+
+class TestVerificationSuite:
+    def make_suite(self):
+        from repro.requirements import VerificationSuite
+
+        fw = build_paeb_framework()
+        return fw, VerificationSuite(fw)
+
+    def test_check_requires_existing_requirement(self):
+        fw, suite = self.make_suite()
+        with pytest.raises(FrameworkError):
+            suite.add_check("NOPE-R1", "x", lambda: True)
+
+    def test_passing_checks_verify_requirement(self):
+        fw, suite = self.make_suite()
+        suite.add_check("PAEB-R1", "brakes-in-time", lambda: True)
+        suite.add_check("PAEB-R1", "stops-short", lambda: True)
+        results = suite.run()
+        assert all(r.passed for r in results)
+        statuses = {r.req_id: r.status for _, r in fw.all_requirements()}
+        assert statuses["PAEB-R1"] == "verified"
+
+    def test_one_failure_keeps_requirement_open(self):
+        fw, suite = self.make_suite()
+        suite.add_check("PAEB-R2", "fast-enough", lambda: True)
+        suite.add_check("PAEB-R2", "always-fast", lambda: False)
+        suite.run()
+        statuses = {r.req_id: r.status for _, r in fw.all_requirements()}
+        assert statuses["PAEB-R2"] == "open"
+
+    def test_crashing_check_counts_as_failure(self):
+        fw, suite = self.make_suite()
+        suite.add_check("PAEB-R3", "attests", lambda: 1 / 0)
+        results = suite.run()
+        assert not results[0].passed
+        assert "ZeroDivisionError" in results[0].error
+
+    def test_regression_reopens(self):
+        fw, suite = self.make_suite()
+        state = {"ok": True}
+        suite.add_check("PAEB-R4", "energy-bound", lambda: state["ok"])
+        suite.run()
+        statuses = {r.req_id: r.status for _, r in fw.all_requirements()}
+        assert statuses["PAEB-R4"] == "verified"
+        state["ok"] = False
+        suite.run()
+        statuses = {r.req_id: r.status for _, r in fw.all_requirements()}
+        assert statuses["PAEB-R4"] == "open"
+
+    def test_coverage_and_report(self):
+        fw, suite = self.make_suite()
+        suite.add_check("PAEB-R1", "c1", lambda: True)
+        assert "PAEB-R2" in suite.uncovered_requirements()
+        results = suite.run()
+        text = suite.compliance_report(results)
+        assert "PAEB-R1" in text and "VERIFIED" in text
+        assert "uncovered requirements" in text

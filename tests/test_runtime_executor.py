@@ -1,0 +1,148 @@
+"""Tests for repro.runtime.executor: dispatch, feeds, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.ir.graph import Graph
+from repro.ir.tensor import DType, TensorSpec
+from repro.runtime import ExecutionError, Executor, run_graph
+
+
+def dense_graph():
+    g = Graph("d")
+    g.add_input(TensorSpec("x", (2, 3)))
+    g.add_initializer("w", np.array([[1, 0, 0], [0, 2, 0]], dtype=np.float32))
+    g.add_initializer("b", np.array([0.5, -0.5], dtype=np.float32))
+    g.add_node("dense", ["x", "w", "b"], ["y"], name="fc")
+    g.set_outputs(["y"])
+    return g
+
+
+class TestBasicExecution:
+    def test_dense_result(self):
+        x = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.float32)
+        out = run_graph(dense_graph(), {"x": x})["y"]
+        np.testing.assert_allclose(out, [[1.5, 3.5], [4.5, 9.5]])
+
+    def test_model_zoo_graph_runs(self):
+        g = build_model("tiny_convnet", batch=2)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)) \
+            .astype(np.float32)
+        out = run_graph(g, {"input": x})[g.output_names[0]]
+        assert out.shape == (2, 10)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_multi_output_graph(self):
+        g = build_model("tiny_yolo")
+        x = np.zeros((1, 3, 96, 96), dtype=np.float32)
+        out = run_graph(g, {"input": x})
+        assert len(out) == 1
+
+    def test_keep_intermediates(self):
+        executor = Executor(dense_graph(), keep_intermediates=True)
+        env = executor.run({"x": np.zeros((2, 3), dtype=np.float32)})
+        assert "x" in env and "w" in env and "y" in env
+
+
+class TestFeedValidation:
+    def test_missing_feed(self):
+        with pytest.raises(ExecutionError, match="missing feed"):
+            run_graph(dense_graph(), {})
+
+    def test_wrong_shape(self):
+        with pytest.raises(ExecutionError, match="shape"):
+            run_graph(dense_graph(), {"x": np.zeros((3, 3), dtype=np.float32)})
+
+    def test_unknown_feed(self):
+        with pytest.raises(ExecutionError, match="unknown feed"):
+            run_graph(dense_graph(), {
+                "x": np.zeros((2, 3), dtype=np.float32),
+                "extra": np.zeros(1),
+            })
+
+    def test_feed_cast_to_spec_dtype(self):
+        out = run_graph(dense_graph(), {"x": np.ones((2, 3), dtype=np.float64)})
+        assert out["y"].dtype == np.float32
+
+
+class TestHooks:
+    def test_observation_hook(self):
+        executor = Executor(dense_graph())
+        seen = []
+        executor.add_hook(lambda node, outs: seen.append(node.name) or None)
+        executor.run({"x": np.zeros((2, 3), dtype=np.float32)})
+        assert seen == ["fc"]
+
+    def test_replacement_hook(self):
+        executor = Executor(dense_graph())
+
+        def zero_out(node, outputs):
+            return [np.zeros_like(o) for o in outputs]
+
+        executor.add_hook(zero_out)
+        out = executor.run({"x": np.ones((2, 3), dtype=np.float32)})["y"]
+        assert not out.any()
+
+    def test_clear_hooks(self):
+        executor = Executor(dense_graph())
+        executor.add_hook(lambda n, o: [np.zeros_like(v) for v in o])
+        executor.clear_hooks()
+        out = executor.run({"x": np.ones((2, 3), dtype=np.float32)})["y"]
+        assert out.any()
+
+
+class TestFusedAndQuantized:
+    def test_fused_conv_activation(self):
+        g = Graph("f")
+        g.add_input(TensorSpec("x", (1, 1, 3, 3)))
+        g.add_initializer("w", -np.ones((1, 1, 1, 1), dtype=np.float32))
+        g.add_node("fused_conv2d", ["x", "w"], ["y"], activation="relu")
+        g.set_outputs(["y"])
+        out = run_graph(g, {"x": np.ones((1, 1, 3, 3), dtype=np.float32)})
+        assert not out["y"].any()  # -1 then relu -> 0
+
+    def test_quantize_dequantize_roundtrip(self):
+        g = Graph("q")
+        g.add_input(TensorSpec("x", (1, 4)))
+        g.add_node("quantize", ["x"], ["q"], scale=np.array([0.1]),
+                   zero_point=np.array([0]), dtype=DType.INT8)
+        g.add_node("dequantize", ["q"], ["y"], scale=np.array([0.1]),
+                   zero_point=np.array([0]))
+        g.set_outputs(["y"])
+        x = np.array([[0.35, -0.72, 1.0, 0.0]], dtype=np.float32)
+        out = run_graph(g, {"x": x})["y"]
+        np.testing.assert_allclose(out, x, atol=0.05)
+
+    def test_int8_graph_agrees_with_float(self):
+        from repro.optim import fuse_graph, quantize_int8
+
+        rng = np.random.default_rng(0)
+        g = build_model("tiny_convnet", batch=4)
+        x = rng.normal(size=(4, 3, 32, 32)).astype(np.float32)
+        ref = run_graph(g, {"input": x})[g.output_names[0]]
+        gq = quantize_int8(fuse_graph(g), [{"input": x}])
+        out = run_graph(gq, {"input": x})[gq.output_names[0]]
+        assert (out.argmax(-1) == ref.argmax(-1)).mean() >= 0.75
+
+    def test_fp16_graph_close_to_fp32(self):
+        from repro.optim import convert_fp16, fuse_graph
+
+        rng = np.random.default_rng(1)
+        g = build_model("tiny_convnet", batch=2)
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        ref = run_graph(g, {"input": x})[g.output_names[0]]
+        gh = convert_fp16(fuse_graph(g))
+        out = run_graph(gh, {"input": x})[gh.output_names[0]]
+        np.testing.assert_allclose(out.astype(np.float32), ref, atol=5e-2)
+
+
+class TestErrors:
+    def test_node_failure_names_node(self):
+        g = Graph("bad")
+        g.add_input(TensorSpec("x", (1, 4)))
+        g.add_node("quantize", ["x"], ["y"], scale=np.array([0.0]),
+                   zero_point=np.array([0]))
+        g.set_outputs(["y"])
+        with pytest.raises(Exception):
+            run_graph(g, {"x": np.zeros((1, 4), dtype=np.float32)})

@@ -1,0 +1,68 @@
+"""Tests for repro.runtime.profiler."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.runtime import Profiler, profile_graph
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    g = build_model("tiny_convnet", batch=2)
+    x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)) \
+        .astype(np.float32)
+    return g, profile_graph(g, {"input": x}, runs=3, warmup=1)
+
+
+class TestProfile:
+    def test_counts_runs(self, profiled):
+        _, result = profiled
+        assert result.runs == 3
+        assert all(layer.calls == 3 for layer in result.layers)
+
+    def test_latency_positive(self, profiled):
+        _, result = profiled
+        assert result.mean_latency_seconds > 0
+        assert result.total_seconds >= result.mean_latency_seconds
+
+    def test_layer_times_roughly_sum_to_total(self, profiled):
+        _, result = profiled
+        layer_sum = sum(layer.total_seconds for layer in result.layers)
+        assert layer_sum <= result.total_seconds * 1.5
+        assert layer_sum >= result.total_seconds * 0.3
+
+    def test_peak_activation_positive(self, profiled):
+        _, result = profiled
+        assert result.peak_activation_bytes > 0
+
+    def test_every_node_profiled(self, profiled):
+        g, result = profiled
+        assert {layer.name for layer in result.layers} == \
+            {node.name for node in g.nodes}
+
+    def test_by_op_type_totals(self, profiled):
+        _, result = profiled
+        totals = result.by_op_type()
+        assert "conv2d" in totals
+        assert totals["conv2d"] > 0
+
+    def test_report_format(self, profiled):
+        _, result = profiled
+        text = result.report(top=3)
+        assert "mean latency" in text
+        assert len(text.splitlines()) == 4
+
+    def test_runs_must_be_positive(self):
+        g = build_model("mlp", batch=1)
+        with pytest.raises(ValueError):
+            Profiler(g).profile({"input": np.zeros((1, 64),
+                                                   dtype=np.float32)},
+                                runs=0)
+
+    def test_hooks_cleaned_up_after_profile(self, profiled):
+        g, _ = profiled
+        profiler = Profiler(g)
+        x = np.zeros((2, 3, 32, 32), dtype=np.float32)
+        profiler.profile({"input": x}, runs=1, warmup=0)
+        assert profiler.executor._hooks == []

@@ -1,0 +1,153 @@
+"""Tests for repro.runtime.quantized: qparams and integer kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.tensor import DType
+from repro.runtime import kernels
+from repro.runtime.quantized import (
+    QuantParams,
+    choose_qparams,
+    quantization_error,
+    quantized_conv2d,
+    quantized_dense,
+)
+
+
+class TestQuantParams:
+    def test_quantize_known_values(self):
+        params = QuantParams(np.array([0.5]), np.array([0]))
+        q = params.quantize(np.array([1.0, -1.0, 0.26]))
+        np.testing.assert_array_equal(q, [2, -2, 1])
+
+    def test_clipping_to_int8(self):
+        params = QuantParams(np.array([0.01]), np.array([0]))
+        q = params.quantize(np.array([100.0, -100.0]))
+        np.testing.assert_array_equal(q, [127, -128])
+
+    def test_zero_point_shifts(self):
+        params = QuantParams(np.array([1.0]), np.array([10]),
+                             DType.UINT8)
+        assert params.quantize(np.array([0.0]))[0] == 10
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(np.array([-1.0]), np.array([0]))
+
+    def test_per_tensor_vector_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(np.array([1.0, 2.0]), np.array([0, 0]))
+
+    def test_per_channel_dequantize(self):
+        params = QuantParams(np.array([1.0, 0.5]), np.array([0, 0]),
+                             channel_axis=0)
+        q = np.array([[2], [2]], dtype=np.int8)
+        np.testing.assert_allclose(params.dequantize(q), [[2.0], [1.0]])
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip_error_bounded(self, values):
+        data = np.array(values, dtype=np.float32)
+        params = choose_qparams(data, symmetric=False)
+        # In-range values round-trip within half a quantization step.
+        err = np.abs(params.dequantize(params.quantize(data)) - data)
+        assert err.max() <= float(params.scale[0]) * 0.51 + 1e-6
+
+
+class TestChooseQParams:
+    def test_symmetric_zero_point_is_zero(self):
+        params = choose_qparams(np.array([-3.0, 2.0]), symmetric=True)
+        assert params.zero_point[0] == 0
+
+    def test_asymmetric_covers_range(self):
+        data = np.array([0.0, 10.0], dtype=np.float32)
+        params = choose_qparams(data, symmetric=False)
+        q = params.quantize(data)
+        back = params.dequantize(q)
+        np.testing.assert_allclose(back, data, atol=float(params.scale[0]))
+
+    def test_constant_tensor_handled(self):
+        params = choose_qparams(np.zeros(4, dtype=np.float32))
+        assert float(params.scale[0]) == 1.0
+
+    def test_per_channel_scales_differ(self):
+        data = np.stack([np.ones(4) * 0.1, np.ones(4) * 10.0]) \
+            .astype(np.float32)
+        params = choose_qparams(data, symmetric=True, channel_axis=0)
+        assert params.scale[1] > params.scale[0] * 10
+
+    def test_symmetric_uint8_rejected(self):
+        with pytest.raises(ValueError):
+            choose_qparams(np.ones(3), DType.UINT8, symmetric=True)
+
+    def test_per_channel_beats_per_tensor_on_skewed_weights(self):
+        rng = np.random.default_rng(0)
+        # Channels with wildly different magnitudes: per-tensor scaling
+        # crushes the small channel to zero, per-channel preserves it.
+        weight = np.stack([rng.normal(0, 0.01, 64),
+                           rng.normal(0, 5.0, 64)]).astype(np.float32)
+        per_tensor = choose_qparams(weight, symmetric=True)
+        per_channel = choose_qparams(weight, symmetric=True, channel_axis=0)
+
+        def small_channel_error(params):
+            restored = params.dequantize(params.quantize(weight))
+            return float(np.abs(restored[0] - weight[0]).mean())
+
+        assert small_channel_error(per_channel) < \
+            small_channel_error(per_tensor) / 5
+
+
+class TestQuantizedKernels:
+    def _setup_conv(self, seed=0):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 1, (1, 2, 6, 6)).astype(np.float32)
+        weight = rng.normal(0, 0.5, (3, 2, 3, 3)).astype(np.float32)
+        bias = rng.normal(0, 0.1, 3).astype(np.float32)
+        float_out = kernels.conv2d(data, weight, bias, padding=1)
+        d_params = choose_qparams(data, symmetric=False)
+        w_params = choose_qparams(weight, symmetric=True, channel_axis=0)
+        o_params = choose_qparams(float_out, symmetric=False)
+        return data, weight, bias, float_out, d_params, w_params, o_params
+
+    def test_qconv_close_to_float(self):
+        (data, weight, bias, float_out,
+         d_params, w_params, o_params) = self._setup_conv()
+        q_out = quantized_conv2d(
+            d_params.quantize(data), d_params,
+            w_params.quantize(weight), w_params,
+            bias, o_params, padding=1)
+        restored = o_params.dequantize(q_out)
+        scale = float(o_params.scale[0])
+        assert np.abs(restored - float_out).max() < 8 * scale
+
+    def test_qconv_fused_relu(self):
+        (data, weight, bias, float_out,
+         d_params, w_params, o_params) = self._setup_conv(1)
+        q_out = quantized_conv2d(
+            d_params.quantize(data), d_params,
+            w_params.quantize(weight), w_params,
+            bias, o_params, padding=1, activation="relu")
+        restored = o_params.dequantize(q_out)
+        # ReLU applied before requantization: no negative outputs beyond
+        # the zero-point rounding.
+        assert restored.min() >= -float(o_params.scale[0])
+
+    def test_qdense_close_to_float(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(4, 8)).astype(np.float32)
+        weight = rng.normal(0, 0.5, (3, 8)).astype(np.float32)
+        float_out = data @ weight.T
+        d_params = choose_qparams(data, symmetric=False)
+        w_params = choose_qparams(weight, symmetric=True, channel_axis=0)
+        o_params = choose_qparams(float_out, symmetric=False)
+        q_out = quantized_dense(d_params.quantize(data), d_params,
+                                w_params.quantize(weight), w_params,
+                                None, o_params)
+        restored = o_params.dequantize(q_out)
+        assert np.abs(restored - float_out).max() < 5 * float(o_params.scale[0])
+
+    def test_quantization_error_zero_on_grid(self):
+        params = QuantParams(np.array([0.5]), np.array([0]))
+        on_grid = np.array([0.0, 0.5, -1.0, 2.5], dtype=np.float32)
+        assert quantization_error(on_grid, params) < 1e-7

@@ -1,0 +1,224 @@
+"""Tests for the monitor framework and the concrete input-quality monitors."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    add_dead_pixels,
+    add_image_noise,
+    dc_current_window,
+    inject_dropouts,
+    inject_outliers,
+    make_shapes_dataset,
+)
+from repro.safety import (
+    Action,
+    Anomaly,
+    BlurMonitor,
+    DeadPixelMonitor,
+    DriftMonitor,
+    DropoutMonitor,
+    ExposureMonitor,
+    Monitor,
+    MonitorPipeline,
+    NoiseMonitor,
+    OutlierMonitor,
+    RangeMonitor,
+    Severity,
+    StuckSensorMonitor,
+    median_filter3,
+)
+
+
+class AlwaysFlag(Monitor):
+    name = "always"
+
+    def __init__(self, severity=Severity.WARNING, correctable=False):
+        self.severity = severity
+        self.correctable = correctable
+
+    def observe(self, sample):
+        return [Anomaly(self.name, "synthetic", self.severity)]
+
+    def correct(self, sample, anomalies):
+        return sample * 0 if self.correctable else None
+
+
+class TestPipelinePolicy:
+    def test_clean_sample_passes(self):
+        pipeline = MonitorPipeline([RangeMonitor(-10, 10)])
+        verdict = pipeline.process(np.zeros(8))
+        assert verdict.action is Action.PASS
+        assert verdict.usable
+        assert pipeline.stats.passed == 1
+
+    def test_correctable_anomaly_corrected(self):
+        pipeline = MonitorPipeline([AlwaysFlag(correctable=True)])
+        verdict = pipeline.process(np.ones(4))
+        assert verdict.action is Action.CORRECTED
+        assert not verdict.sample.any()
+        assert pipeline.stats.corrected == 1
+
+    def test_critical_rejects(self):
+        pipeline = MonitorPipeline([AlwaysFlag(Severity.CRITICAL, True)])
+        verdict = pipeline.process(np.ones(4))
+        assert verdict.action is Action.REJECTED
+        assert verdict.sample is None
+        assert not verdict.usable
+
+    def test_strict_mode_rejects_uncorrectable(self):
+        lax = MonitorPipeline([AlwaysFlag(correctable=False)])
+        strict = MonitorPipeline([AlwaysFlag(correctable=False)], strict=True)
+        assert lax.process(np.ones(4)).action is Action.PASS
+        assert strict.process(np.ones(4)).action is Action.REJECTED
+
+    def test_anomaly_counters(self):
+        pipeline = MonitorPipeline([AlwaysFlag()])
+        for _ in range(3):
+            pipeline.process(np.ones(4))
+        assert pipeline.stats.anomalies_by_kind["synthetic"] == 3
+
+    def test_worst_severity(self):
+        pipeline = MonitorPipeline([AlwaysFlag(Severity.WARNING, True)])
+        verdict = pipeline.process(np.ones(4))
+        assert verdict.worst_severity is Severity.WARNING
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorPipeline([])
+
+    def test_reset_clears_state(self):
+        pipeline = MonitorPipeline([OutlierMonitor()])
+        pipeline.process(np.ones(32))
+        pipeline.reset()
+        assert pipeline.stats.observed == 0
+
+
+class TestTimeSeriesMonitors:
+    def test_range_clips(self):
+        monitor = RangeMonitor(0.0, 1.0)
+        sample = np.array([-1.0, 0.5, 2.0])
+        anomalies = monitor.observe(sample)
+        assert anomalies and anomalies[0].kind == "out_of_range"
+        fixed = monitor.correct(sample, anomalies)
+        assert fixed.min() >= 0.0 and fixed.max() <= 1.0
+
+    def test_outlier_detection_after_warmup(self):
+        rng = np.random.default_rng(0)
+        monitor = OutlierMonitor(z_threshold=5.0)
+        for _ in range(10):
+            assert monitor.observe(rng.normal(0, 1, 64)) == []
+        corrupted = inject_outliers(rng.normal(0, 1, 64), 3, magnitude=50)
+        anomalies = monitor.observe(corrupted)
+        assert anomalies and anomalies[0].kind == "outlier"
+        fixed = monitor.correct(corrupted, anomalies)
+        assert np.abs(fixed).max() < 10
+
+    def test_outlier_clean_stream_no_false_alarms(self):
+        rng = np.random.default_rng(1)
+        monitor = OutlierMonitor(z_threshold=6.0)
+        alarms = sum(bool(monitor.observe(rng.normal(0, 1, 64)))
+                     for _ in range(50))
+        assert alarms == 0
+
+    def test_dropout_detection_and_interpolation(self):
+        signal = np.sin(np.linspace(0, 6, 100)).astype(np.float32)
+        corrupted = inject_dropouts(signal, 40, 5)
+        monitor = DropoutMonitor(max_gap=8)
+        anomalies = monitor.observe(corrupted)
+        assert anomalies[0].kind == "dropout"
+        assert anomalies[0].severity is Severity.WARNING
+        fixed = monitor.correct(corrupted, anomalies)
+        assert np.isfinite(fixed).all()
+        np.testing.assert_allclose(fixed, signal, atol=0.05)
+
+    def test_long_dropout_critical(self):
+        signal = np.ones(100, dtype=np.float32)
+        corrupted = inject_dropouts(signal, 10, 50)
+        anomalies = DropoutMonitor(max_gap=8).observe(corrupted)
+        assert anomalies[0].severity is Severity.CRITICAL
+
+    def test_stuck_sensor(self):
+        monitor = StuckSensorMonitor()
+        assert monitor.observe(np.full(64, 3.3))
+        assert not monitor.observe(np.random.default_rng(0).normal(size=64))
+
+    def test_drift_detection(self):
+        monitor = DriftMonitor(reference_mean=0.0, tolerance=0.5,
+                               smoothing=0.5)
+        for _ in range(3):
+            assert monitor.observe(np.random.default_rng(0)
+                                   .normal(0, 0.1, 32)) == []
+        anomalies = []
+        for _ in range(10):
+            anomalies = monitor.observe(
+                np.random.default_rng(1).normal(2.0, 0.1, 32))
+        assert anomalies and anomalies[0].kind == "drift"
+
+
+class TestImageMonitors:
+    def make_frame(self, seed=0):
+        # Pick a circle frame: stripe patterns have edge energy everywhere,
+        # which any single-image noise estimator conflates with noise.
+        ds = make_shapes_dataset(16, image_size=32, noise=0.02, seed=seed)
+        index = int(np.flatnonzero(ds.labels == 0)[0])
+        return ds.features[index]
+
+    def test_noise_monitor_detects_and_denoises(self):
+        frame = self.make_frame()
+        monitor = NoiseMonitor(max_sigma=0.1)
+        assert monitor.observe(frame) == []
+        noisy = add_image_noise(frame, 0.5)
+        anomalies = monitor.observe(noisy)
+        assert anomalies and anomalies[0].kind == "image_noise"
+        denoised = monitor.correct(noisy, anomalies)
+        assert monitor.estimate_sigma(denoised) < \
+            monitor.estimate_sigma(noisy)
+
+    def test_exposure_monitor(self):
+        dark = np.zeros((3, 16, 16), dtype=np.float32)
+        bright = np.ones((3, 16, 16), dtype=np.float32)
+        rng = np.random.default_rng(0)
+        normal = rng.uniform(0.2, 0.8, (3, 16, 16)).astype(np.float32)
+        monitor = ExposureMonitor()
+        assert monitor.observe(dark)[0].kind == "underexposed"
+        assert monitor.observe(bright)[0].kind == "overexposed"
+        assert monitor.observe(normal) == []
+
+    def test_dead_pixel_monitor(self):
+        frame = self.make_frame(1) * 0.3
+        monitor = DeadPixelMonitor(threshold=0.5)
+        corrupted = add_dead_pixels(frame, 10)
+        anomalies = monitor.observe(corrupted)
+        assert anomalies and anomalies[0].kind == "dead_pixels"
+        fixed = monitor.correct(corrupted, anomalies)
+        assert not monitor.observe(fixed)
+
+    def test_blur_monitor(self):
+        sharp = self.make_frame(2)
+        flat = np.full_like(sharp, 0.5)
+        monitor = BlurMonitor(min_variance=1e-5)
+        assert monitor.observe(flat)
+        assert not monitor.observe(sharp)
+
+    def test_median_filter_removes_salt(self):
+        image = np.zeros((9, 9), dtype=np.float64)
+        image[4, 4] = 100.0
+        assert median_filter3(image)[4, 4] == 0.0
+
+
+class TestEndToEndGate:
+    def test_arc_stream_gate(self):
+        """The industrial input gate: outliers corrected, dropouts fixed,
+        stuck sensors rejected."""
+        pipeline = MonitorPipeline([
+            DropoutMonitor(max_gap=16),
+            OutlierMonitor(z_threshold=8.0),
+            StuckSensorMonitor(),
+        ])
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            clean = dc_current_window(False, rng=rng)
+            assert pipeline.process(clean).usable
+        stuck = np.full(128, 8.0, dtype=np.float32)
+        assert pipeline.process(stuck).action is Action.REJECTED

@@ -1,0 +1,245 @@
+"""Tests for the robustness service, fault injection, and hybridization."""
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.runtime import Executor
+from repro.safety import (
+    ActivationFaultHook,
+    AuditedDevice,
+    AuditPolicy,
+    HybridSystem,
+    KernelDecision,
+    RobustnessService,
+    flip_weight_bits,
+    run_detection_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return build_model("mlp", batch=2, in_features=16, hidden=(12,),
+                       num_classes=4, seed=5)
+
+
+@pytest.fixture()
+def feeds():
+    rng = np.random.default_rng(0)
+    return {"input": rng.normal(size=(2, 16)).astype(np.float32)}
+
+
+class TestRobustnessService:
+    def test_consistent_device_passes(self, reference, feeds):
+        service = RobustnessService(reference)
+        outputs = Executor(reference).run(feeds)
+        result = service.check("dev-0", feeds, outputs)
+        assert result.consistent
+        assert not result.quarantined
+
+    def test_corrupted_output_flagged(self, reference, feeds):
+        service = RobustnessService(reference, tolerance=1e-4)
+        outputs = Executor(reference).run(feeds)
+        tampered = {k: v + 0.5 for k, v in outputs.items()}
+        result = service.check("dev-0", feeds, tampered)
+        assert not result.consistent
+
+    def test_missing_output_flagged(self, reference, feeds):
+        service = RobustnessService(reference)
+        result = service.check("dev-0", feeds, {})
+        assert not result.consistent
+        assert result.max_abs_error == float("inf")
+
+    def test_quarantine_after_consecutive_failures(self, reference, feeds):
+        service = RobustnessService(reference, quarantine_after=3)
+        bad = {k: v * 0 for k, v in Executor(reference).run(feeds).items()}
+        for i in range(3):
+            result = service.check("dev-bad", feeds, bad)
+        assert result.quarantined
+        assert service.is_quarantined("dev-bad")
+
+    def test_success_resets_streak(self, reference, feeds):
+        service = RobustnessService(reference, quarantine_after=2)
+        good = Executor(reference).run(feeds)
+        bad = {k: v + 1 for k, v in good.items()}
+        service.check("dev", feeds, bad)
+        service.check("dev", feeds, good)
+        service.check("dev", feeds, bad)
+        assert not service.is_quarantined("dev")
+
+    def test_reinstate(self, reference, feeds):
+        service = RobustnessService(reference, quarantine_after=1)
+        bad = {k: v + 1 for k, v in Executor(reference).run(feeds).items()}
+        service.check("dev", feeds, bad)
+        assert service.is_quarantined("dev")
+        service.reinstate("dev")
+        assert not service.is_quarantined("dev")
+
+    def test_report_lists_devices(self, reference, feeds):
+        service = RobustnessService(reference)
+        service.check("alpha", feeds, Executor(reference).run(feeds))
+        assert "alpha" in service.report()
+
+
+class TestFaultInjection:
+    def test_bitflip_changes_exactly_targeted_weights(self, reference):
+        corrupted, faults = flip_weight_bits(reference, num_flips=1, seed=1)
+        assert len(faults) == 1
+        diffs = sum(
+            int(np.any(corrupted.initializers[k] != reference.initializers[k]))
+            for k in reference.initializers
+        )
+        assert diffs == 1
+
+    def test_original_untouched(self, reference):
+        snapshot = {k: v.copy() for k, v in reference.initializers.items()}
+        flip_weight_bits(reference, num_flips=5, seed=2)
+        for k, v in snapshot.items():
+            np.testing.assert_array_equal(reference.initializers[k], v)
+
+    def test_activation_hook_corrupts_target_only(self, reference, feeds):
+        executor = Executor(reference)
+        clean = executor.run(feeds)
+        hook = ActivationFaultHook("fc0", fraction=1.0, stuck_value=0.0)
+        executor.add_hook(hook)
+        faulty = executor.run(feeds)
+        assert hook.activations == 1
+        assert not np.allclose(clean[reference.output_names[0]],
+                               faulty[reference.output_names[0]])
+
+    def test_detection_campaign(self, reference):
+        rng = np.random.default_rng(3)
+        feeds_list = [
+            {"input": rng.normal(size=(2, 16)).astype(np.float32)}
+            for _ in range(4)
+        ]
+        service = RobustnessService(reference, tolerance=1e-3)
+        # Exponent-MSB flips are the catastrophic fault class: a weight of
+        # magnitude ~0.05 jumps to ~1e38.  These must be caught reliably.
+        result = run_detection_campaign(reference, service, feeds_list,
+                                        num_fault_trials=8, seed=4,
+                                        bits=(30, 30))
+        assert result.detection_rate >= 0.9
+        assert result.false_alarm_rate == 0.0
+
+    def test_low_mantissa_flips_are_benign(self, reference):
+        rng = np.random.default_rng(5)
+        feeds_list = [
+            {"input": rng.normal(size=(2, 16)).astype(np.float32)}
+        ]
+        service = RobustnessService(reference, tolerance=1e-3)
+        result = run_detection_campaign(reference, service, feeds_list,
+                                        num_fault_trials=6, seed=6,
+                                        bits=(0, 4))
+        # Flips in the lowest mantissa bits perturb a weight by ~1e-7:
+        # below tolerance, correctly not flagged.
+        assert result.detection_rate <= 0.5
+
+
+class TestAuditedDevice:
+    def test_audit_policy_cadence(self):
+        policy = AuditPolicy(every_n=5)
+        audited = [i for i in range(20) if policy.should_audit(i)]
+        assert audited == [0, 5, 10, 15]
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            AuditPolicy(every_n=0)
+
+    def test_device_audits_periodically(self, reference, feeds):
+        service = RobustnessService(reference)
+        device = AuditedDevice("edge-1", Executor(reference), service,
+                               AuditPolicy(every_n=3))
+        checks = []
+        for _ in range(9):
+            _, check = device.infer(feeds)
+            checks.append(check)
+        assert device.audits == 3
+        assert sum(c is not None for c in checks) == 3
+        assert all(c.consistent for c in checks if c is not None)
+
+    def test_faulty_device_caught_via_audit(self, reference, feeds):
+        corrupted, _ = flip_weight_bits(reference, num_flips=3,
+                                        bit_range=(28, 30), seed=9)
+        service = RobustnessService(reference, tolerance=1e-3,
+                                    quarantine_after=1)
+        device = AuditedDevice("edge-bad", Executor(corrupted), service,
+                               AuditPolicy(every_n=1))
+        _, check = device.infer(feeds)
+        assert check is not None and not check.consistent
+        assert service.is_quarantined("edge-bad")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.step_cost = 0.0
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step_cost
+        return value
+
+
+class TestHybridSystem:
+    def test_accepts_fast_valid_payload(self):
+        clock = FakeClock()
+        system = HybridSystem(lambda x: x + 1, failsafe=-1, deadline_s=1.0,
+                              clock=clock)
+        result = system.step(1)
+        assert result.decision is KernelDecision.ACCEPTED
+        assert result.output == 2
+        assert not result.failsafe_used
+
+    def test_deadline_miss_degrades(self):
+        clock = FakeClock()
+        clock.step_cost = 10.0  # every clock() call advances 10 s
+        system = HybridSystem(lambda x: x, failsafe=-1, deadline_s=1.0,
+                              clock=clock)
+        result = system.step(5)
+        assert result.decision is KernelDecision.DEADLINE_MISS
+        assert result.output == -1
+
+    def test_invalid_output_degrades(self):
+        system = HybridSystem(
+            lambda x: 999, failsafe=0, deadline_s=10.0,
+            validity=lambda inp, out: out < 100, clock=FakeClock())
+        result = system.step(1)
+        assert result.decision is KernelDecision.INVALID_OUTPUT
+        assert result.output == 0
+
+    def test_payload_crash_degrades(self):
+        def crash(x):
+            raise RuntimeError("model corrupted")
+
+        system = HybridSystem(crash, failsafe="brake", deadline_s=1.0,
+                              clock=FakeClock())
+        result = system.step(0)
+        assert result.decision is KernelDecision.PAYLOAD_ERROR
+        assert result.output == "brake"
+
+    def test_callable_failsafe_receives_input(self):
+        system = HybridSystem(
+            lambda x: 1 / 0, failsafe=lambda x: f"safe-{x}",
+            deadline_s=1.0, clock=FakeClock())
+        assert system.step(7).output == "safe-7"
+
+    def test_availability_statistic(self):
+        calls = [0]
+
+        def flaky(x):
+            calls[0] += 1
+            if calls[0] % 2:
+                raise RuntimeError("intermittent")
+            return x
+
+        system = HybridSystem(flaky, failsafe=0, deadline_s=1.0,
+                              clock=FakeClock())
+        for i in range(10):
+            system.step(i)
+        assert system.stats.availability == 0.5
+        assert system.stats.payload_errors == 5
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            HybridSystem(lambda x: x, failsafe=0, deadline_s=0.0)

@@ -1,0 +1,104 @@
+"""Tests for repro.security.crypto."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.security import crypto
+
+
+class TestHashing:
+    def test_sha256_deterministic(self):
+        assert crypto.sha256(b"abc") == crypto.sha256(b"abc")
+        assert len(crypto.sha256(b"")) == 32
+
+    def test_measure_order_sensitive(self):
+        assert crypto.measure(b"a", b"b") != crypto.measure(b"b", b"a")
+
+    def test_measure_length_prefixed(self):
+        # 'ab' + 'c' must differ from 'a' + 'bc' (no splicing).
+        assert crypto.measure(b"ab", b"c") != crypto.measure(b"a", b"bc")
+
+    def test_hmac_key_sensitivity(self):
+        assert crypto.hmac(b"k1", b"msg") != crypto.hmac(b"k2", b"msg")
+
+    def test_kdf_label_separation(self):
+        master = b"m" * 32
+        assert crypto.kdf(master, "enc") != crypto.kdf(master, "mac")
+        assert crypto.kdf(master, "enc", b"ctx1") != \
+            crypto.kdf(master, "enc", b"ctx2")
+
+    def test_random_bytes_unique(self):
+        assert crypto.random_bytes() != crypto.random_bytes()
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        sk, vk = crypto.generate_keypair()
+        sig = sk.sign(b"message")
+        vk.verify(b"message", sig)  # no exception
+
+    def test_tampered_message_rejected(self):
+        sk, vk = crypto.generate_keypair()
+        sig = sk.sign(b"message")
+        with pytest.raises(crypto.SignatureError):
+            vk.verify(b"messag3", sig)
+
+    def test_tampered_signature_rejected(self):
+        sk, vk = crypto.generate_keypair()
+        sig = bytearray(sk.sign(b"message"))
+        sig[0] ^= 1
+        with pytest.raises(crypto.SignatureError):
+            vk.verify(b"message", bytes(sig))
+
+    def test_wrong_key_rejected(self):
+        sk1, _ = crypto.generate_keypair()
+        _, vk2 = crypto.generate_keypair()
+        with pytest.raises(crypto.SignatureError):
+            vk2.verify(b"m", sk1.sign(b"m"))
+
+    def test_seeded_keys_deterministic(self):
+        a = crypto.SigningKey(b"seed")
+        b = crypto.SigningKey(b"seed")
+        assert a.key_id == b.key_id
+        assert a.sign(b"x") == b.sign(b"x")
+
+
+class TestSealedBox:
+    def test_roundtrip(self):
+        box = crypto.SealedBox(b"key")
+        blob = box.seal(b"secret payload")
+        assert box.unseal(blob) == b"secret payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        box = crypto.SealedBox(b"key")
+        blob = box.seal(b"secret payload")
+        assert b"secret payload" not in blob
+
+    def test_nonce_randomizes(self):
+        box = crypto.SealedBox(b"key")
+        assert box.seal(b"data") != box.seal(b"data")
+
+    def test_wrong_key_rejected(self):
+        blob = crypto.SealedBox(b"key1").seal(b"data")
+        with pytest.raises(crypto.SignatureError):
+            crypto.SealedBox(b"key2").unseal(blob)
+
+    def test_tamper_detected(self):
+        box = crypto.SealedBox(b"key")
+        blob = bytearray(box.seal(b"data"))
+        blob[-1] ^= 1
+        with pytest.raises(crypto.SignatureError):
+            box.unseal(bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(crypto.SignatureError, match="too short"):
+            crypto.SealedBox(b"key").unseal(b"short")
+
+    @given(st.binary(max_size=512))
+    def test_property_roundtrip(self, payload):
+        box = crypto.SealedBox(b"prop-key")
+        assert box.unseal(box.seal(payload)) == payload
+
+    def test_empty_payload(self):
+        box = crypto.SealedBox(b"key")
+        assert box.unseal(box.seal(b"")) == b""

@@ -1,0 +1,221 @@
+"""Tests for the RISC-V PMP unit, standalone and wired into the core."""
+
+import pytest
+
+from repro.security.pmp import (
+    PMP_L,
+    PMP_R,
+    PMP_W,
+    PMP_X,
+    AddressMatching,
+    PmpUnit,
+    napot_addr,
+)
+from repro.simulator import (
+    CAUSE_LOAD_ACCESS_FAULT,
+    CAUSE_STORE_ACCESS_FAULT,
+    Machine,
+    RAM_BASE,
+    halt_with,
+)
+from repro.simulator.memory import AccessType, PrivilegeMode
+
+U = PrivilegeMode.USER
+M = PrivilegeMode.MACHINE
+R = AccessType.READ
+W = AccessType.WRITE
+X = AccessType.FETCH
+
+
+class TestNapotEncoding:
+    def test_basic(self):
+        # 4 KiB region at 0x80000000
+        addr = napot_addr(0x80000000, 0x1000)
+        assert addr == (0x80000000 >> 2) | ((0x1000 // 8) - 1)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="not aligned"):
+            napot_addr(0x1004, 0x1000)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            napot_addr(0x1000, 0xC00)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            napot_addr(0x1000, 4)
+
+
+class TestMatching:
+    def test_napot_region_bounds(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R)
+        assert pmp.check(0x80000000, 4, R, U)
+        assert pmp.check(0x80000FFC, 4, R, U)
+        assert not pmp.check(0x80001000, 4, R, U)
+        assert not pmp.check(0x7FFFFFFC, 4, R, U)
+
+    def test_permission_bits_independent(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R | PMP_X)
+        assert pmp.check(0x80000000, 4, R, U)
+        assert pmp.check(0x80000000, 4, X, U)
+        assert not pmp.check(0x80000000, 4, W, U)
+
+    def test_tor_matching(self):
+        pmp = PmpUnit()
+        # entry0: TOR with pmpaddr0 as top -> region [0, 0x1000)
+        pmp.configure(0, PMP_R | (AddressMatching.TOR << 3), 0x1000 >> 2)
+        assert pmp.check(0x0, 4, R, U)
+        assert pmp.check(0xFFC, 4, R, U)
+        assert not pmp.check(0x1000, 4, R, U)
+
+    def test_na4_single_word(self):
+        pmp = PmpUnit()
+        pmp.configure(0, PMP_W | (AddressMatching.NA4 << 3), 0x2000 >> 2)
+        assert pmp.check(0x2000, 4, W, U)
+        assert not pmp.check(0x2004, 4, W, U)
+
+    def test_lowest_entry_wins(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, 0)       # deny-all
+        pmp.set_region(1, 0x80000000, 0x10000, PMP_R | PMP_W)
+        assert not pmp.check(0x80000000, 4, R, U)      # entry 0 shadows
+        assert pmp.check(0x80002000, 4, R, U)          # entry 1 applies
+
+    def test_partial_coverage_denied(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 8, PMP_R)
+        # 8-byte access straddling the end of the 8-byte region
+        assert not pmp.check(0x80000004, 8, R, U)
+
+
+class TestPrivilegeSemantics:
+    def test_machine_default_allow(self):
+        pmp = PmpUnit()
+        assert pmp.check(0x12345678, 4, W, M)
+
+    def test_user_default_deny(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R)
+        assert not pmp.check(0x1000, 4, R, U)  # outside any region
+
+    def test_unlocked_entry_ignored_in_machine_mode(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, 0)  # no permissions
+        assert pmp.check(0x80000000, 4, W, M)     # M ignores unlocked
+
+    def test_locked_entry_binds_machine_mode(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R, lock=True)
+        assert pmp.check(0x80000000, 4, R, M)
+        assert not pmp.check(0x80000000, 4, W, M)
+
+    def test_locked_cfg_write_ignored(self):
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R, lock=True)
+        pmp.configure(0, PMP_R | PMP_W | PMP_X, 0)
+        assert pmp.entries[0].locked
+        assert not pmp.entries[0].permits(AccessType.WRITE)
+
+    def test_empty_unit_allows_everything(self):
+        pmp = PmpUnit(0)
+        assert pmp.check(0, 4, W, U)
+
+    def test_guard_raises_and_counts(self):
+        from repro.simulator.memory import AccessViolation
+
+        pmp = PmpUnit()
+        pmp.set_region(0, 0x80000000, 0x1000, PMP_R)
+        with pytest.raises(AccessViolation):
+            pmp.guard(0x9000, 4, R, U)
+        assert pmp.denied_count == 1
+
+
+class TestPmpInMachine:
+    """End-to-end: U-mode software constrained by PMP on the simulated SoC.
+
+    Reproduces the paper's claim that PMP 'can efficiently ensure the
+    secure execution of software in M-mode and U-mode'.
+    """
+
+    def build(self, user_body):
+        pmp = PmpUnit()
+        machine = Machine(pmp=pmp)
+        # U-mode may execute+read the first 4 KiB (code) and read/write a
+        # 4 KiB data window; MMIO (simctrl) is M-mode only.
+        pmp.set_region(0, RAM_BASE, 0x1000, PMP_R | PMP_X)
+        pmp.set_region(1, RAM_BASE + 0x1000, 0x1000, PMP_R | PMP_W)
+        machine.load_assembly(f"""
+            la   t0, trap
+            csrw mtvec, t0
+            la   t0, user
+            csrw mepc, t0
+            mret
+        user:
+            {user_body}
+        hang:
+            j hang
+        trap:
+        """ + halt_with(9))
+        return machine, pmp
+
+    def test_user_write_to_window_allowed(self):
+        machine, pmp = self.build(f"""
+            li   a0, {RAM_BASE + 0x1000}
+            li   a1, 77
+            sw   a1, 0(a0)
+            ecall              # clean syscall back to M-mode
+        """)
+        result = machine.run(max_steps=200)
+        assert result.exit_code == 9
+        assert machine.read_word(RAM_BASE + 0x1000) == 77
+        assert pmp.denied_count == 0
+
+    def test_user_write_outside_window_trapped(self):
+        machine, pmp = self.build(f"""
+            li   a0, {RAM_BASE + 0x8000}
+            sw   a0, 0(a0)
+        """)
+        result = machine.run(max_steps=200)
+        assert result.exit_code == 9
+        assert machine.cpu.last_trap_cause == CAUSE_STORE_ACCESS_FAULT
+        assert pmp.denied_count >= 1
+
+    def test_user_cannot_reach_mmio(self):
+        from repro.simulator import SIMCTRL_BASE
+
+        machine, pmp = self.build(f"""
+            li   a0, {SIMCTRL_BASE}
+            sw   zero, 0(a0)     # try to halt the sim from U-mode
+        """)
+        machine.run(max_steps=200)
+        assert machine.cpu.last_trap_cause == CAUSE_STORE_ACCESS_FAULT
+
+    def test_user_read_of_code_region_allowed(self):
+        machine, pmp = self.build(f"""
+            li   a0, {RAM_BASE}
+            lw   a1, 0(a0)
+            ecall
+        """)
+        result = machine.run(max_steps=200)
+        assert result.exit_code == 9
+        assert machine.cpu.last_trap_cause is not None  # the final ecall
+
+    def test_pmp_csr_programming_from_assembly(self):
+        """PMP configured through the CSR interface, not the Python API."""
+        pmp = PmpUnit()
+        machine = Machine(pmp=pmp)
+        napot = napot_addr(RAM_BASE, 0x1000)
+        cfg = (PMP_R | PMP_X) | (AddressMatching.NAPOT << 3)
+        machine.load_assembly(f"""
+            li   t0, {napot}
+            csrw pmpaddr0, t0
+            li   t0, {cfg}
+            csrw pmpcfg0, t0
+            csrr a0, pmpcfg0
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(10) == cfg
+        assert pmp.check(RAM_BASE, 4, R, U)
+        assert not pmp.check(RAM_BASE, 4, W, U)

@@ -1,0 +1,354 @@
+"""Tests for TEEs: SGX-like enclaves, Twine runtime, TrustZone, attestation."""
+
+import pytest
+
+from repro.security import (
+    AttestationError,
+    DistributedAttestation,
+    Enclave,
+    SecureBootError,
+    SignedImage,
+    SigningKey,
+    TeeError,
+    TransitionCosts,
+    TrustedApp,
+    TrustedWasmRuntime,
+    Verifier,
+    build_attested_device,
+)
+from repro.security.trustzone import SecureBoot, SecureWorld
+from repro.security.workloads import (
+    WasmKvAdapter,
+    build_kv_module,
+    run_kv_workload,
+    NativeKvStore,
+)
+
+
+@pytest.fixture()
+def device_key():
+    return SigningKey(b"device-key-0")
+
+
+def make_enclave(device_key, name="test-enclave", code=b"code-v1"):
+    enclave = Enclave(name, code, device_key)
+    enclave.register_ecall("ping", lambda: "pong")
+    enclave.register_ocall("host_time", lambda: 12345)
+    enclave.initialize()
+    return enclave
+
+
+class TestEnclaveLifecycle:
+    def test_ecall_after_init(self, device_key):
+        enclave = make_enclave(device_key)
+        assert enclave.ecall("ping") == "pong"
+        assert enclave.stats.ecalls == 1
+
+    def test_ecall_before_init_rejected(self, device_key):
+        enclave = Enclave("e", b"code", device_key)
+        enclave.register_ecall("ping", lambda: "pong")
+        with pytest.raises(TeeError, match="not initialized"):
+            enclave.ecall("ping")
+
+    def test_ecall_registration_frozen_after_init(self, device_key):
+        enclave = make_enclave(device_key)
+        with pytest.raises(TeeError, match="measurement"):
+            enclave.register_ecall("new", lambda: None)
+
+    def test_unknown_ecall(self, device_key):
+        enclave = make_enclave(device_key)
+        with pytest.raises(TeeError, match="no ECALL"):
+            enclave.ecall("backdoor")
+
+    def test_destroyed_enclave_unusable(self, device_key):
+        enclave = make_enclave(device_key)
+        enclave.destroy()
+        with pytest.raises(TeeError, match="destroyed"):
+            enclave.ecall("ping")
+
+    def test_ocall_counted(self, device_key):
+        enclave = make_enclave(device_key)
+        assert enclave.ocall("host_time") == 12345
+        assert enclave.stats.ocalls == 1
+
+
+class TestMeasurement:
+    def test_depends_on_code(self, device_key):
+        e1 = make_enclave(device_key, code=b"code-v1")
+        e2 = make_enclave(device_key, code=b"code-v2")
+        assert e1.measurement() != e2.measurement()
+
+    def test_depends_on_entry_points(self, device_key):
+        e1 = Enclave("e", b"code", device_key)
+        e1.register_ecall("a", lambda: None)
+        e2 = Enclave("e", b"code", device_key)
+        e2.register_ecall("b", lambda: None)
+        assert e1.measurement() != e2.measurement()
+
+    def test_stable_across_instances(self, device_key):
+        assert make_enclave(device_key).measurement() == \
+            make_enclave(device_key).measurement()
+
+
+class TestSealing:
+    def test_roundtrip(self, device_key):
+        enclave = make_enclave(device_key)
+        blob = enclave.seal(b"model weights")
+        assert enclave.unseal(blob) == b"model weights"
+
+    def test_bound_to_measurement(self, device_key):
+        e1 = make_enclave(device_key, code=b"v1")
+        e2 = make_enclave(device_key, code=b"v2")
+        blob = e1.seal(b"secret")
+        with pytest.raises(TeeError):
+            e2.unseal(blob)
+
+    def test_bound_to_device(self):
+        e1 = make_enclave(SigningKey(b"dev1"))
+        e2 = make_enclave(SigningKey(b"dev2"))
+        with pytest.raises(TeeError):
+            e2.unseal(e1.seal(b"secret"))
+
+
+class TestEpcPaging:
+    def test_within_epc_no_faults(self, device_key):
+        enclave = Enclave("e", b"c", device_key, epc_bytes=1 << 20)
+        enclave.initialize()
+        enclave.touch_memory(1 << 19)
+        assert enclave.stats.page_faults == 0
+
+    def test_beyond_epc_faults(self, device_key):
+        enclave = Enclave("e", b"c", device_key, epc_bytes=1 << 20)
+        enclave.initialize()
+        enclave.touch_memory(2 << 20)
+        assert enclave.stats.page_faults > 0
+
+    def test_overhead_model(self, device_key):
+        costs = TransitionCosts(ecall_cycles=1000, ocall_cycles=1000,
+                                page_fault_cycles=0, clock_hz=1e6)
+        enclave = Enclave("e", b"c", device_key, costs=costs)
+        enclave.register_ecall("noop", lambda: None)
+        enclave.initialize()
+        for _ in range(10):
+            enclave.ecall("noop")
+        assert enclave.modeled_overhead_seconds() == pytest.approx(0.01)
+
+
+class TestTrustedWasmRuntime:
+    def test_workload_correctness_inside_enclave(self, device_key):
+        runtime = TrustedWasmRuntime(build_kv_module(8), device_key)
+        native = NativeKvStore(8)
+        tee_result = run_kv_workload(WasmKvAdapter(runtime), num_keys=50)
+        native_result = run_kv_workload(native, num_keys=50)
+        assert tee_result.checksum == native_result.checksum
+
+    def test_every_invoke_is_an_ecall(self, device_key):
+        runtime = TrustedWasmRuntime(build_kv_module(8), device_key)
+        runtime.invoke("put", 1, 2)
+        runtime.invoke("get", 1)
+        assert runtime.stats.ecalls == 2
+
+    def test_measurement_covers_module(self, device_key):
+        r1 = TrustedWasmRuntime(build_kv_module(8), device_key)
+        r2 = TrustedWasmRuntime(build_kv_module(9), device_key)
+        assert r1.measurement() != r2.measurement()
+
+    def test_host_imports_become_ocalls(self, device_key):
+        from repro.security.wasm import Function, Module
+
+        module = Module("io", imports=("get_time",))
+        module.add_function(Function("f", 0, 0,
+                                     [("call_host", "get_time", 0)]))
+        runtime = TrustedWasmRuntime(
+            module, device_key,
+            host_imports={"get_time": lambda inst, args: 777})
+        assert runtime.invoke("f") == 777
+        assert runtime.stats.ocalls == 1
+
+    def test_missing_import_rejected(self, device_key):
+        from repro.security.wasm import Function, Module
+
+        module = Module("io", imports=("get_time",))
+        module.add_function(Function("f", 0, 0, [("nop",)]))
+        with pytest.raises(TeeError, match="missing host import"):
+            TrustedWasmRuntime(module, device_key)
+
+
+class TestSecureBoot:
+    def test_chain_verifies(self):
+        vendor = SigningKey(b"vendor")
+        images = [SignedImage.create(f"bl{i}", b"x" * i, vendor)
+                  for i in range(1, 4)]
+        boot = SecureBoot(vendor.verifying_key())
+        assert boot.boot_chain(images) == ["bl1", "bl2", "bl3"]
+
+    def test_tampered_stage_halts_chain(self):
+        vendor = SigningKey(b"vendor")
+        good = SignedImage.create("bl1", b"good", vendor)
+        evil = SignedImage("bl2", b"evil", good.signature)
+        boot = SecureBoot(vendor.verifying_key())
+        with pytest.raises(SecureBootError, match="bl2"):
+            boot.boot_chain([good, evil])
+        assert boot.verified_stages == ["bl1"]
+
+    def test_wrong_vendor_rejected(self):
+        vendor = SigningKey(b"vendor")
+        attacker = SigningKey(b"attacker")
+        image = SignedImage.create("bl1", b"payload", attacker)
+        boot = SecureBoot(vendor.verifying_key())
+        with pytest.raises(SecureBootError):
+            boot.boot_chain([image])
+
+
+class TestTrustZone:
+    def test_smc_invokes_trusted_app(self, device_key):
+        vendor = SigningKey(b"vendor")
+        app = TrustedApp("wallet", b"wallet-code",
+                         {"balance": lambda: 100})
+        normal, secure = build_attested_device(vendor, device_key,
+                                               [(app, b"wallet-code")])
+        assert normal.smc("wallet", "balance") == 100
+        assert normal.world_switches == 2
+        assert normal.switch_overhead_cycles > 0
+
+    def test_unknown_app_or_command(self, device_key):
+        vendor = SigningKey(b"vendor")
+        normal, _ = build_attested_device(vendor, device_key)
+        with pytest.raises(TeeError, match="no trusted app"):
+            normal.smc("ghost", "cmd")
+
+    def test_unsigned_app_rejected(self, device_key):
+        vendor = SigningKey(b"vendor")
+        attacker = SigningKey(b"attacker")
+        normal, secure = build_attested_device(vendor, device_key)
+        app = TrustedApp("mal", b"mal-code", {})
+        evil_image = SignedImage.create("mal", b"mal-code", attacker)
+        with pytest.raises(Exception):
+            secure.install_app(evil_image, app)
+
+    def test_image_code_mismatch_rejected(self, device_key):
+        vendor = SigningKey(b"vendor")
+        normal, secure = build_attested_device(vendor, device_key)
+        app = TrustedApp("a", b"real-code", {})
+        image = SignedImage.create("a", b"other-code", vendor)
+        with pytest.raises(TeeError, match="does not match"):
+            secure.install_app(image, app)
+
+    def test_secure_world_requires_boot(self, device_key):
+        vendor = SigningKey(b"vendor")
+        boot = SecureBoot(vendor.verifying_key())  # never booted
+        with pytest.raises(SecureBootError, match="verified boot chain"):
+            SecureWorld(device_key, boot)
+
+    def test_measurement_covers_apps(self, device_key):
+        vendor = SigningKey(b"vendor")
+        _, bare = build_attested_device(vendor, device_key)
+        app = TrustedApp("x", b"xc", {})
+        _, with_app = build_attested_device(vendor, device_key,
+                                            [(app, b"xc")])
+        assert bare.measurement() != with_app.measurement()
+
+
+class TestAttestation:
+    def setup_verifier(self, tee, device_key):
+        verifier = Verifier()
+        verifier.trust_device(device_key.verifying_key())
+        verifier.trust_measurement(tee.measurement())
+        return verifier
+
+    def test_happy_path(self, device_key):
+        enclave = make_enclave(device_key)
+        verifier = self.setup_verifier(enclave, device_key)
+        verifier.attest(enclave)
+
+    def test_unknown_device_key(self, device_key):
+        enclave = make_enclave(device_key)
+        verifier = Verifier()
+        verifier.trust_measurement(enclave.measurement())
+        nonce = verifier.challenge()
+        with pytest.raises(AttestationError, match="unknown device key"):
+            verifier.verify(enclave.quote(nonce))
+
+    def test_untrusted_measurement(self, device_key):
+        enclave = make_enclave(device_key, code=b"modified-code")
+        verifier = Verifier()
+        verifier.trust_device(device_key.verifying_key())
+        verifier.trust_measurement(b"\x00" * 32)
+        nonce = verifier.challenge()
+        with pytest.raises(AttestationError, match="not trusted"):
+            verifier.verify(enclave.quote(nonce))
+
+    def test_replay_rejected(self, device_key):
+        enclave = make_enclave(device_key)
+        verifier = self.setup_verifier(enclave, device_key)
+        nonce = verifier.challenge()
+        quote = enclave.quote(nonce)
+        verifier.verify(quote)
+        with pytest.raises(AttestationError, match="replay"):
+            verifier.verify(quote)
+
+    def test_unsolicited_nonce_rejected(self, device_key):
+        enclave = make_enclave(device_key)
+        verifier = self.setup_verifier(enclave, device_key)
+        with pytest.raises(AttestationError, match="known challenge"):
+            verifier.verify(enclave.quote(b"\x01" * 32))
+
+    def test_expired_challenge(self, device_key):
+        now = [0.0]
+        enclave = make_enclave(device_key)
+        verifier = Verifier(max_challenge_age_s=10, clock=lambda: now[0])
+        verifier.trust_device(device_key.verifying_key())
+        verifier.trust_measurement(enclave.measurement())
+        nonce = verifier.challenge()
+        now[0] = 100.0
+        with pytest.raises(AttestationError, match="expired"):
+            verifier.verify(enclave.quote(nonce))
+
+    def test_forged_signature_rejected(self, device_key):
+        from repro.security.tee import Quote
+
+        enclave = make_enclave(device_key)
+        verifier = self.setup_verifier(enclave, device_key)
+        nonce = verifier.challenge()
+        quote = enclave.quote(nonce)
+        forged = Quote(quote.measurement, quote.nonce, quote.user_data,
+                       quote.key_id, b"\x00" * 32)
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(forged)
+
+
+class TestDistributedAttestation:
+    def test_filters_untrusted_nodes(self):
+        keys = {name: SigningKey(name.encode()) for name in
+                ("edge-0", "edge-1", "edge-2")}
+        enclaves = {name: make_enclave(key, name=name)
+                    for name, key in keys.items()}
+        # edge-2 runs modified code.
+        enclaves["edge-2"] = make_enclave(keys["edge-2"], name="edge-2",
+                                          code=b"evil")
+        verifier = Verifier()
+        for name, key in keys.items():
+            verifier.trust_device(key.verifying_key())
+        verifier.trust_measurement(enclaves["edge-0"].measurement())
+        verifier.trust_measurement(enclaves["edge-1"].measurement())
+
+        distributed = DistributedAttestation(verifier)
+        for name, enclave in enclaves.items():
+            distributed.register_node(name, enclave)
+        assert distributed.trusted_nodes() == ["edge-0", "edge-1"]
+
+    def test_duplicate_node_rejected(self, device_key):
+        distributed = DistributedAttestation(Verifier())
+        enclave = make_enclave(device_key)
+        distributed.register_node("n", enclave)
+        with pytest.raises(ValueError):
+            distributed.register_node("n", enclave)
+
+    def test_reports_include_reasons(self, device_key):
+        enclave = make_enclave(device_key)
+        verifier = Verifier()  # trusts nothing
+        distributed = DistributedAttestation(verifier)
+        distributed.register_node("n", enclave)
+        reports = distributed.attest_all()
+        assert not reports[0].ok
+        assert reports[0].reason

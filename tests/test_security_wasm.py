@@ -1,0 +1,288 @@
+"""Tests for the Wasm-like sandbox VM."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.security.wasm import (
+    Function,
+    Instance,
+    Module,
+    OutOfFuelError,
+    TrapError,
+    ValidationError,
+)
+
+
+def single_fn_module(body, num_params=0, num_locals=0, pages=1):
+    module = Module("test", memory_pages=pages)
+    module.add_function(Function("f", num_params, num_locals, body))
+    return Instance(module)
+
+
+class TestArithmetic:
+    def test_const_add(self):
+        inst = single_fn_module([
+            ("i32.const", 2), ("i32.const", 3), ("i32.add",)])
+        assert inst.invoke("f") == 5
+
+    def test_wrapping(self):
+        inst = single_fn_module([
+            ("i32.const", 0xFFFFFFFF), ("i32.const", 1), ("i32.add",)])
+        assert inst.invoke("f") == 0
+
+    def test_signed_division(self):
+        inst = single_fn_module([
+            ("i32.const", -7), ("i32.const", 2), ("i32.div_s",)])
+        assert inst.invoke("f") == (-3) & 0xFFFFFFFF
+
+    def test_div_by_zero_traps(self):
+        inst = single_fn_module([
+            ("i32.const", 1), ("i32.const", 0), ("i32.div_u",)])
+        with pytest.raises(TrapError, match="divide by zero"):
+            inst.invoke("f")
+
+    def test_comparisons_signed_vs_unsigned(self):
+        lt_s = single_fn_module([
+            ("i32.const", -1), ("i32.const", 1), ("i32.lt_s",)])
+        lt_u = single_fn_module([
+            ("i32.const", -1), ("i32.const", 1), ("i32.lt_u",)])
+        assert lt_s.invoke("f") == 1
+        assert lt_u.invoke("f") == 0
+
+    def test_shifts_mask_count(self):
+        inst = single_fn_module([
+            ("i32.const", 1), ("i32.const", 33), ("i32.shl",)])
+        assert inst.invoke("f") == 2  # shift count taken mod 32
+
+    def test_eqz(self):
+        inst = single_fn_module([("i32.const", 0), ("i32.eqz",)])
+        assert inst.invoke("f") == 1
+
+
+class TestLocalsAndParams:
+    def test_params_passed(self):
+        inst = single_fn_module(
+            [("local.get", 0), ("local.get", 1), ("i32.sub",)], num_params=2)
+        assert inst.invoke("f", 10, 4) == 6
+
+    def test_local_set_get(self):
+        inst = single_fn_module([
+            ("i32.const", 9), ("local.set", 0), ("local.get", 0),
+        ], num_locals=1)
+        assert inst.invoke("f") == 9
+
+    def test_local_tee_keeps_stack(self):
+        inst = single_fn_module([
+            ("i32.const", 5), ("local.tee", 0),
+            ("local.get", 0), ("i32.add",),
+        ], num_locals=1)
+        assert inst.invoke("f") == 10
+
+    def test_wrong_arity_rejected(self):
+        inst = single_fn_module([("i32.const", 0)], num_params=1)
+        with pytest.raises(Exception, match="expects 1 args"):
+            inst.invoke("f")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        body = [("local.get", 0),
+                ("if", [("i32.const", 100)], [("i32.const", 200)])]
+        inst = single_fn_module(body, num_params=1)
+        assert inst.invoke("f", 1) == 100
+        assert inst.invoke("f", 0) == 200
+
+    def test_loop_countdown(self):
+        # sum 1..n via loop + br_if
+        body = [
+            ("i32.const", 0), ("local.set", 1),
+            ("loop", [
+                ("local.get", 1), ("local.get", 0), ("i32.add",),
+                ("local.set", 1),
+                ("local.get", 0), ("i32.const", 1), ("i32.sub",),
+                ("local.tee", 0),
+                ("i32.const", 0), ("i32.gt_u",), ("br_if", 0),
+            ]),
+            ("local.get", 1),
+        ]
+        inst = single_fn_module(body, num_params=1, num_locals=1)
+        assert inst.invoke("f", 10) == 55
+
+    def test_br_out_of_block(self):
+        body = [
+            ("block", [
+                ("i32.const", 1), ("br", 0), ("unreachable",),
+            ]),
+        ]
+        inst = single_fn_module(body)
+        assert inst.invoke("f") == 1
+
+    def test_nested_br_depth(self):
+        body = [
+            ("block", [
+                ("block", [
+                    ("br", 1),     # exits the outer block
+                    ("unreachable",),
+                ]),
+                ("unreachable",),  # skipped by the outer-exit
+            ]),
+            ("i32.const", 42),
+        ]
+        assert single_fn_module(body).invoke("f") == 42
+
+    def test_return_early(self):
+        body = [("i32.const", 7), ("return",), ("unreachable",)]
+        assert single_fn_module(body).invoke("f") == 7
+
+    def test_unreachable_traps(self):
+        with pytest.raises(TrapError, match="unreachable"):
+            single_fn_module([("unreachable",)]).invoke("f")
+
+    def test_function_call(self):
+        module = Module("m")
+        module.add_function(Function("double", 1, 0, [
+            ("local.get", 0), ("local.get", 0), ("i32.add",)]))
+        module.add_function(Function("main", 1, 0, [
+            ("local.get", 0), ("call", "double"), ("call", "double")]))
+        inst = Instance(module)
+        assert inst.invoke("main", 3) == 12
+
+
+class TestMemory:
+    def test_store_load(self):
+        body = [
+            ("i32.const", 16), ("i32.const", 0xABCD), ("i32.store", 0),
+            ("i32.const", 16), ("i32.load", 0),
+        ]
+        assert single_fn_module(body).invoke("f") == 0xABCD
+
+    def test_offset_addressing(self):
+        body = [
+            ("i32.const", 0), ("i32.const", 99), ("i32.store", 64),
+            ("i32.const", 64), ("i32.load", 0),
+        ]
+        assert single_fn_module(body).invoke("f") == 99
+
+    def test_byte_access(self):
+        body = [
+            ("i32.const", 8), ("i32.const", 0x1FF), ("i32.store8", 0),
+            ("i32.const", 8), ("i32.load8_u", 0),
+        ]
+        assert single_fn_module(body).invoke("f") == 0xFF
+
+    def test_out_of_bounds_traps(self):
+        body = [("i32.const", 65536), ("i32.load", 0)]
+        with pytest.raises(TrapError, match="out of bounds"):
+            single_fn_module(body).invoke("f")
+
+    def test_host_memory_helpers(self):
+        inst = single_fn_module([("nop",)])
+        inst.write_bytes(100, b"hello")
+        assert inst.read_bytes(100, 5) == b"hello"
+
+
+class TestSandboxing:
+    def test_fuel_exhaustion(self):
+        spin = [("loop", [("br", 0)])]
+        module = Module("spin")
+        module.add_function(Function("f", 0, 0, spin, returns=0))
+        inst = Instance(module, fuel=1000)
+        with pytest.raises(OutOfFuelError):
+            inst.invoke("f")
+
+    def test_instruction_counting(self):
+        inst = single_fn_module([("i32.const", 1), ("i32.const", 2),
+                                 ("i32.add",)])
+        inst.invoke("f")
+        assert inst.instructions_executed == 3
+
+    def test_unresolved_import_rejected(self):
+        module = Module("m", imports=("env.log",))
+        module.add_function(Function("f", 0, 0, [("nop",)]))
+        with pytest.raises(ValidationError, match="unresolved"):
+            Instance(module)
+
+    def test_host_call(self):
+        calls = []
+
+        def logger(instance, args):
+            calls.append(args)
+            return 123
+
+        module = Module("m", imports=("log",))
+        module.add_function(Function("f", 0, 0, [
+            ("i32.const", 7), ("i32.const", 8), ("call_host", "log", 2)]))
+        inst = Instance(module, host={"log": logger})
+        assert inst.invoke("f") == 123
+        assert calls == [(7, 8)]
+        assert inst.host_calls == 1
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ValidationError, match="unknown instruction"):
+            single_fn_module([("f64.mul",)]).invoke("f")
+
+    def test_measurement_changes_with_code(self):
+        m1 = Module("m")
+        m1.add_function(Function("f", 0, 0, [("i32.const", 1)]))
+        m2 = Module("m")
+        m2.add_function(Function("f", 0, 0, [("i32.const", 2)]))
+        assert m1.measurement_bytes() != m2.measurement_bytes()
+
+
+class TestKvWorkload:
+    """The Twine guest: wasm KV store must agree with the native version."""
+
+    def test_basic_operations(self):
+        from repro.security.workloads import MISSING, build_kv_module
+
+        inst = Instance(build_kv_module(8))
+        assert inst.invoke("put", 42, 1000) == 1
+        assert inst.invoke("get", 42) == 1000
+        assert inst.invoke("has", 42) == 1
+        assert inst.invoke("get", 43) == MISSING
+        assert inst.invoke("delete", 42) == 1
+        assert inst.invoke("get", 42) == MISSING
+        assert inst.invoke("delete", 42) == 0
+
+    def test_update_in_place(self):
+        from repro.security.workloads import build_kv_module
+
+        inst = Instance(build_kv_module(8))
+        inst.invoke("put", 1, 10)
+        inst.invoke("put", 1, 20)
+        assert inst.invoke("get", 1) == 20
+
+    def test_collision_chain(self):
+        from repro.security.workloads import build_kv_module
+
+        inst = Instance(build_kv_module(4))  # 16 slots: easy collisions
+        for key in range(10):
+            assert inst.invoke("put", key, key * 7) == 1
+        for key in range(10):
+            assert inst.invoke("get", key) == key * 7
+
+    def test_table_full(self):
+        from repro.security.workloads import build_kv_module
+
+        inst = Instance(build_kv_module(3))  # 8 slots
+        for key in range(8):
+            assert inst.invoke("put", key + 100, 1) == 1
+        assert inst.invoke("put", 999, 1) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 30),
+                              st.integers(0, 1000)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_agrees_with_native(self, operations):
+        from repro.security.workloads import NativeKvStore, build_kv_module
+
+        wasm = Instance(build_kv_module(6))
+        native = NativeKvStore(6)
+        for op, key, value in operations:
+            if op == 0:
+                assert wasm.invoke("put", key, value) == \
+                    native.put(key, value)
+            elif op == 1:
+                assert wasm.invoke("get", key) == native.get(key)
+            else:
+                assert wasm.invoke("delete", key) == native.delete(key)

@@ -1,0 +1,227 @@
+"""Tests for the memory-mapped accelerator (type-2) and timer interrupts."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    ACCEL_BASE,
+    CAUSE_MACHINE_TIMER_INTERRUPT,
+    Machine,
+    RAM_BASE,
+    TIMER_BASE,
+    attach_accelerator,
+    halt_with,
+)
+from repro.simulator.memory import PrivilegeMode
+
+WEIGHTS = RAM_BASE + 0x8000
+VECTOR = RAM_BASE + 0x9000
+RESULT = RAM_BASE + 0xA000
+
+
+def setup_machine(rows=4, cols=8, seed=0, macs_per_cycle=16):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-128, 128, size=(rows, cols), dtype=np.int8)
+    vector = rng.integers(-128, 128, size=cols, dtype=np.int8)
+    machine = Machine()
+    device = attach_accelerator(machine, macs_per_cycle=macs_per_cycle)
+    machine.load_binary(matrix.tobytes(), WEIGHTS)
+    machine.load_binary(vector.tobytes(), VECTOR)
+    return machine, device, matrix, vector
+
+
+def drive_program(rows, cols):
+    """Guest program: configure the engine, start it, check DONE."""
+    return f"""
+        li   t0, {ACCEL_BASE}
+        li   t1, {WEIGHTS}
+        sw   t1, 8(t0)          # SRC_A
+        li   t1, {VECTOR}
+        sw   t1, 12(t0)         # SRC_B
+        li   t1, {RESULT}
+        sw   t1, 16(t0)         # DST
+        li   t1, {rows}
+        sw   t1, 20(t0)         # ROWS
+        li   t1, {cols}
+        sw   t1, 24(t0)         # COLS
+        li   t1, 1
+        sw   t1, 0(t0)          # CTRL: start
+        lw   a0, 4(t0)          # STATUS
+        lw   a1, 28(t0)         # CYCLES
+    """ + halt_with(0)
+
+
+class TestMatVecAccelerator:
+    def test_computes_matvec(self):
+        machine, device, matrix, vector = setup_machine(rows=4, cols=8)
+        machine.load_assembly(drive_program(4, 8))
+        machine.run()
+        assert machine.cpu.read_reg(10) == 1  # STATUS_DONE
+        want = matrix.astype(np.int32) @ vector.astype(np.int32)
+        for row, expected in enumerate(want):
+            got = machine.read_word(RESULT + 4 * row)
+            assert got == int(expected) & 0xFFFFFFFF
+
+    def test_odd_sizes_byte_tail(self):
+        machine, device, matrix, vector = setup_machine(rows=3, cols=5,
+                                                        seed=1)
+        machine.load_assembly(drive_program(3, 5))
+        machine.run()
+        want = matrix.astype(np.int32) @ vector.astype(np.int32)
+        got = [machine.read_word(RESULT + 4 * i) for i in range(3)]
+        assert got == [int(v) & 0xFFFFFFFF for v in want]
+
+    def test_cycle_model(self):
+        machine, device, *_ = setup_machine(rows=8, cols=16,
+                                            macs_per_cycle=16)
+        machine.load_assembly(drive_program(8, 16))
+        machine.run()
+        # setup 40 + ceil(8*16/16) = 48 cycles
+        assert machine.cpu.read_reg(11) == 48
+        assert device.last_cycles == 48
+
+    def test_cycles_charged_to_cpu(self):
+        machine, device, *_ = setup_machine(rows=64, cols=64)
+        machine.load_assembly(drive_program(64, 64))
+        result = machine.run()
+        # The engine's cycles dominate the handful of driver instructions.
+        assert result.cycles > device.last_cycles
+
+    def test_invalid_dims_error(self):
+        machine, device, *_ = setup_machine()
+        machine.load_assembly(f"""
+            li   t0, {ACCEL_BASE}
+            li   t1, 0
+            sw   t1, 20(t0)     # ROWS = 0
+            li   t1, 8
+            sw   t1, 24(t0)
+            li   t1, 1
+            sw   t1, 0(t0)
+            lw   a0, 4(t0)
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(10) == 2  # STATUS_ERROR
+
+    def test_bad_dma_address_error(self):
+        machine, device, *_ = setup_machine()
+        machine.load_assembly(f"""
+            li   t0, {ACCEL_BASE}
+            li   t1, 0x40000000  # unmapped
+            sw   t1, 8(t0)
+            li   t1, {VECTOR}
+            sw   t1, 12(t0)
+            li   t1, {RESULT}
+            sw   t1, 16(t0)
+            li   t1, 4
+            sw   t1, 20(t0)
+            li   t1, 4
+            sw   t1, 24(t0)
+            li   t1, 1
+            sw   t1, 0(t0)
+            lw   a0, 4(t0)
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(10) == 2
+
+    def test_status_write_clears(self):
+        machine, device, matrix, vector = setup_machine()
+        machine.load_assembly(drive_program(4, 8) if False else f"""
+            li   t0, {ACCEL_BASE}
+            li   t1, {WEIGHTS}
+            sw   t1, 8(t0)
+            li   t1, {VECTOR}
+            sw   t1, 12(t0)
+            li   t1, {RESULT}
+            sw   t1, 16(t0)
+            li   t1, 4
+            sw   t1, 20(t0)
+            li   t1, 8
+            sw   t1, 24(t0)
+            li   t1, 1
+            sw   t1, 0(t0)
+            sw   zero, 4(t0)    # clear status
+            lw   a0, 4(t0)
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(10) == 0
+
+    def test_operation_counters(self):
+        machine, device, *_ = setup_machine()
+        machine.load_assembly(drive_program(4, 8))
+        machine.run()
+        assert device.operations == 1
+        assert device.total_cycles == device.last_cycles
+
+
+class TestTimerInterrupt:
+    def interrupt_program(self, compare: int) -> str:
+        return f"""
+            la   t0, handler
+            csrw mtvec, t0
+            li   t0, {TIMER_BASE}
+            li   t1, {compare}
+            sw   t1, 8(t0)          # mtimecmp low
+            sw   zero, 12(t0)       # mtimecmp high
+            li   t0, 0x80           # MTIE
+            csrw mie, t0
+            csrrsi zero, mstatus, 8 # MIE = 1
+        spin:
+            j spin
+        handler:
+        """ + halt_with(3)
+
+    def test_timer_interrupt_fires(self):
+        machine = Machine()
+        machine.load_assembly(self.interrupt_program(compare=50))
+        result = machine.run(max_steps=500)
+        assert result.exit_code == 3
+        assert machine.cpu.last_trap_cause == CAUSE_MACHINE_TIMER_INTERRUPT
+        assert machine.cpu.csrs[0x342] == CAUSE_MACHINE_TIMER_INTERRUPT
+
+    def test_interrupt_masked_without_mie(self):
+        machine = Machine()
+        machine.load_assembly(f"""
+            li   t0, {TIMER_BASE}
+            li   t1, 10
+            sw   t1, 8(t0)
+            sw   zero, 12(t0)
+            li   t0, 0x80
+            csrw mie, t0
+            # mstatus.MIE stays 0: interrupt must NOT be taken in M-mode
+        spin:
+            j spin
+        """)
+        result = machine.run(max_steps=200)
+        assert not result.halted
+        assert machine.cpu.last_trap_cause is None
+
+    def test_interrupt_taken_from_user_mode(self):
+        machine = Machine()
+        machine.load_assembly(f"""
+            la   t0, handler
+            csrw mtvec, t0
+            li   t0, {TIMER_BASE}
+            li   t1, 60
+            sw   t1, 8(t0)
+            sw   zero, 12(t0)
+            li   t0, 0x80
+            csrw mie, t0
+            la   t0, user
+            csrw mepc, t0
+            mret                    # to U-mode with mstatus.MIE = 0
+        user:
+            j user
+        handler:
+        """ + halt_with(7))
+        result = machine.run(max_steps=500)
+        # M-mode interrupts are always taken from U-mode.
+        assert result.exit_code == 7
+        assert machine.cpu.last_trap_cause == CAUSE_MACHINE_TIMER_INTERRUPT
+
+    def test_mepc_points_into_interrupted_loop(self):
+        machine = Machine()
+        machine.load_assembly(self.interrupt_program(compare=50))
+        machine.run(max_steps=500)
+        mepc = machine.cpu.csrs[0x341]
+        # The spin loop is a single jump; mepc must point at it.
+        assert RAM_BASE <= mepc < RAM_BASE + 0x100

@@ -1,0 +1,160 @@
+"""Tests for the RV32 assembler: golden encodings, labels, pseudo-ops."""
+
+import pytest
+
+from repro.simulator import Assembler, AssemblyError, assemble
+
+
+def words(source, origin=0x80000000):
+    blob = assemble(source, origin=origin)
+    return [int.from_bytes(blob[i:i + 4], "little")
+            for i in range(0, len(blob), 4)]
+
+
+class TestGoldenEncodings:
+    """Encodings checked against the RISC-V spec / gnu as output."""
+
+    def test_addi(self):
+        assert words("addi x1, x0, 5") == [0x00500093]
+
+    def test_add(self):
+        assert words("add x3, x1, x2") == [0x002081B3]
+
+    def test_sub(self):
+        assert words("sub x3, x1, x2") == [0x402081B3]
+
+    def test_lui(self):
+        assert words("lui x5, 0x12345") == [0x123452B7]
+
+    def test_lw(self):
+        assert words("lw x6, 8(x2)") == [0x00812303]
+
+    def test_sw(self):
+        assert words("sw x6, 12(x2)") == [0x00612623]
+
+    def test_mul(self):
+        assert words("mul x10, x11, x12") == [0x02C58533]
+
+    def test_ecall_ebreak_mret(self):
+        assert words("ecall") == [0x00000073]
+        assert words("ebreak") == [0x00100073]
+        assert words("mret") == [0x30200073]
+
+    def test_csrrw(self):
+        # csrrw x5, mscratch(0x340), x6
+        assert words("csrrw x5, mscratch, x6") == [0x340312F3]
+
+    def test_jal_forward(self):
+        # jal x0, +8
+        assert words("j skip\nnop\nskip:") == [0x0080006F, 0x00000013]
+
+    def test_beq_backward(self):
+        source = "loop:\nnop\nbeq x0, x0, loop"
+        got = words(source)
+        # branch offset -4
+        assert got[1] == 0xFE000EE3
+
+    def test_srai(self):
+        assert words("srai x1, x2, 3") == [0x40315093]
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert words("nop") == [0x00000013]
+
+    def test_mv(self):
+        assert words("mv x1, x2") == [0x00010093]
+
+    def test_li_small(self):
+        got = words("li a0, 5")
+        assert len(got) == 2  # lui + addi pair (lui of 0)
+
+    def test_li_large_roundtrip(self):
+        from repro.simulator import Machine, halt_with
+
+        for value in (0, 1, -1, 0x7FFFFFFF, 0x80000000, 0xDEADBEEF, 2048,
+                      -2048, 0xFFF, 0x1000):
+            machine = Machine()
+            machine.load_assembly(f"li a0, {value}" + halt_with(0))
+            machine.run()
+            assert machine.cpu.read_reg(10) == value & 0xFFFFFFFF, hex(value)
+
+    def test_ret(self):
+        assert words("ret") == [0x00008067]
+
+    def test_not_neg_seqz_snez(self):
+        from repro.simulator import Machine, halt_with
+
+        machine = Machine()
+        machine.load_assembly("""
+            li   a0, 5
+            not  a1, a0
+            neg  a2, a0
+            seqz a3, a0
+            snez a4, a0
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(11) == 0xFFFFFFFA
+        assert machine.cpu.read_reg(12) == (-5) & 0xFFFFFFFF
+        assert machine.cpu.read_reg(13) == 0
+        assert machine.cpu.read_reg(14) == 1
+
+    def test_cfu_encoding_uses_custom0(self):
+        got = words("cfu x1, x2, x3, 2, 5")[0]
+        assert got & 0x7F == 0x0B            # custom-0 opcode
+        assert (got >> 12) & 0x7 == 2        # funct3
+        assert (got >> 25) & 0x7F == 5       # funct7
+
+
+class TestLabels:
+    def test_label_on_same_line(self):
+        got = words("start: nop\nj start")
+        assert len(got) == 2
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError, match="bad immediate/label"):
+            assemble("j nowhere")
+
+    def test_comments_stripped(self):
+        assert words("nop # this is a comment\n# full line comment") == \
+            [0x00000013]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate x1, x2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("add x1, x2, x99")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble("addi x1, x0, 5000")
+
+    def test_branch_out_of_range(self):
+        source = "beq x0, x0, far\n" + "nop\n" * 2000 + "far:"
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble(source)
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="bad memory operand"):
+            assemble("lw x1, x2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus x1")
+
+
+class TestRegisters:
+    def test_abi_aliases(self):
+        # a0 == x10: both encodings identical
+        assert words("addi a0, zero, 1") == words("addi x10, x0, 1")
+
+    def test_fp_is_s0(self):
+        assert words("mv fp, sp") == words("mv s0, x2")

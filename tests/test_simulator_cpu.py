@@ -1,0 +1,350 @@
+"""Tests for the RV32IM core: ISA semantics, traps, privilege, CSRs."""
+
+import pytest
+
+from repro.simulator import (
+    CAUSE_BREAKPOINT,
+    CAUSE_ECALL_FROM_M,
+    CAUSE_ECALL_FROM_U,
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_LOAD_ACCESS_FAULT,
+    Machine,
+    PrivilegeMode,
+    RAM_BASE,
+    halt_with,
+)
+
+
+def run_asm(source, max_steps=10_000, **machine_kwargs):
+    machine = Machine(**machine_kwargs)
+    machine.load_assembly(source + halt_with(0))
+    result = machine.run(max_steps=max_steps)
+    assert result.halted, f"did not halt; pc={machine.cpu.pc:#x}"
+    return machine
+
+
+def signed(value):
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        m = run_asm("""
+            li   a0, 10
+            addi a0, a0, 5
+            li   a1, -3
+            add  a2, a0, a1
+        """)
+        assert m.cpu.read_reg(12) == 12
+
+    def test_sub_underflow_wraps(self):
+        m = run_asm("""
+            li   a0, 0
+            li   a1, 1
+            sub  a2, a0, a1
+        """)
+        assert m.cpu.read_reg(12) == 0xFFFFFFFF
+
+    def test_slt_signed_vs_unsigned(self):
+        m = run_asm("""
+            li   a0, -1
+            li   a1, 1
+            slt  a2, a0, a1     # -1 < 1 signed -> 1
+            sltu a3, a0, a1     # 0xffffffff < 1 unsigned -> 0
+        """)
+        assert m.cpu.read_reg(12) == 1
+        assert m.cpu.read_reg(13) == 0
+
+    def test_logic_ops(self):
+        m = run_asm("""
+            li   a0, 0xF0F0
+            li   a1, 0x0FF0
+            and  a2, a0, a1
+            or   a3, a0, a1
+            xor  a4, a0, a1
+        """)
+        assert m.cpu.read_reg(12) == 0x00F0
+        assert m.cpu.read_reg(13) == 0xFFF0
+        assert m.cpu.read_reg(14) == 0xFF00
+
+    def test_shifts(self):
+        m = run_asm("""
+            li   a0, -8
+            srai a1, a0, 1      # arithmetic: -4
+            srli a2, a0, 1      # logical: big positive
+            slli a3, a0, 1      # -16
+        """)
+        assert signed(m.cpu.read_reg(11)) == -4
+        assert m.cpu.read_reg(12) == 0x7FFFFFFC
+        assert signed(m.cpu.read_reg(13)) == -16
+
+    def test_lui_auipc(self):
+        m = run_asm("lui a0, 0x12345")
+        assert m.cpu.read_reg(10) == 0x12345000
+
+    def test_x0_hardwired(self):
+        m = run_asm("""
+            li   a0, 7
+            add  x0, a0, a0
+            add  a1, x0, x0
+        """)
+        assert m.cpu.read_reg(11) == 0
+
+
+class TestMExtension:
+    def test_mul_signed(self):
+        m = run_asm("""
+            li a0, -7
+            li a1, 6
+            mul a2, a0, a1
+        """)
+        assert signed(m.cpu.read_reg(12)) == -42
+
+    def test_mulh_variants(self):
+        m = run_asm("""
+            li a0, -1
+            li a1, -1
+            mulh   a2, a0, a1    # (-1 * -1) >> 32 = 0
+            mulhu  a3, a0, a1    # (2^32-1)^2 >> 32 = 0xFFFFFFFE
+            mulhsu a4, a0, a1    # -1 * (2^32-1) >> 32 = 0xFFFFFFFF
+        """)
+        assert m.cpu.read_reg(12) == 0
+        assert m.cpu.read_reg(13) == 0xFFFFFFFE
+        assert m.cpu.read_reg(14) == 0xFFFFFFFF
+
+    def test_div_truncates_toward_zero(self):
+        m = run_asm("""
+            li a0, -7
+            li a1, 2
+            div a2, a0, a1
+            rem a3, a0, a1
+        """)
+        assert signed(m.cpu.read_reg(12)) == -3
+        assert signed(m.cpu.read_reg(13)) == -1
+
+    def test_div_by_zero_spec_values(self):
+        m = run_asm("""
+            li a0, 42
+            li a1, 0
+            div  a2, a0, a1
+            divu a3, a0, a1
+            rem  a4, a0, a1
+            remu a5, a0, a1
+        """)
+        assert m.cpu.read_reg(12) == 0xFFFFFFFF
+        assert m.cpu.read_reg(13) == 0xFFFFFFFF
+        assert m.cpu.read_reg(14) == 42
+        assert m.cpu.read_reg(15) == 42
+
+    def test_div_overflow(self):
+        m = run_asm("""
+            li a0, 0x80000000
+            li a1, -1
+            div a2, a0, a1
+            rem a3, a0, a1
+        """)
+        assert m.cpu.read_reg(12) == 0x80000000
+        assert m.cpu.read_reg(13) == 0
+
+
+class TestMemory:
+    def test_word_store_load(self):
+        m = run_asm(f"""
+            li   a0, {RAM_BASE + 0x1000}
+            li   a1, 0xDEADBEEF
+            sw   a1, 0(a0)
+            lw   a2, 0(a0)
+        """)
+        assert m.cpu.read_reg(12) == 0xDEADBEEF
+
+    def test_byte_sign_extension(self):
+        m = run_asm(f"""
+            li   a0, {RAM_BASE + 0x1000}
+            li   a1, 0x80
+            sb   a1, 0(a0)
+            lb   a2, 0(a0)     # sign-extended
+            lbu  a3, 0(a0)     # zero-extended
+        """)
+        assert m.cpu.read_reg(12) == 0xFFFFFF80
+        assert m.cpu.read_reg(13) == 0x80
+
+    def test_halfword(self):
+        m = run_asm(f"""
+            li   a0, {RAM_BASE + 0x1000}
+            li   a1, 0x8001
+            sh   a1, 2(a0)
+            lh   a2, 2(a0)
+            lhu  a3, 2(a0)
+        """)
+        assert m.cpu.read_reg(12) == 0xFFFF8001
+        assert m.cpu.read_reg(13) == 0x8001
+
+    def test_unmapped_load_traps(self):
+        machine = Machine()
+        machine.load_assembly("""
+            li   a0, 0x40000000
+            lw   a1, 0(a0)
+        """)
+        # li expands to two instructions; the load is the third.
+        machine.run(max_steps=3)
+        assert machine.cpu.last_trap_cause == CAUSE_LOAD_ACCESS_FAULT
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        m = run_asm("""
+            li   a0, 0
+            li   a1, 100
+        loop:
+            add  a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, loop
+        """, max_steps=1000)
+        assert m.cpu.read_reg(10) == 5050
+
+    def test_branch_variants(self):
+        m = run_asm("""
+            li a0, 5
+            li a1, 5
+            li a2, 0
+            beq a0, a1, t1
+            li a2, 99
+        t1:
+            li a3, -1
+            li a4, 1
+            blt a3, a4, t2
+            li a2, 98
+        t2:
+            bltu a3, a4, fail   # unsigned: 0xffffffff > 1, not taken
+            j done
+        fail:
+            li a2, 97
+        done:
+        """)
+        assert m.cpu.read_reg(12) == 0
+
+    def test_jal_links(self):
+        m = run_asm("""
+            jal  ra, target
+            j    done
+        target:
+            li   a0, 1
+            ret
+        done:
+        """)
+        assert m.cpu.read_reg(10) == 1
+
+    def test_call_ret(self):
+        m = run_asm("""
+            li   a0, 3
+            call double
+            call double
+            j    end
+        double:
+            add  a0, a0, a0
+            ret
+        end:
+        """)
+        assert m.cpu.read_reg(10) == 12
+
+
+class TestTrapsAndCsrs:
+    def test_ecall_from_m(self):
+        machine = Machine()
+        machine.load_assembly("ecall")
+        machine.run(max_steps=1)
+        assert machine.cpu.last_trap_cause == CAUSE_ECALL_FROM_M
+        assert machine.cpu.csrs[0x341] == RAM_BASE  # mepc
+
+    def test_ebreak(self):
+        machine = Machine()
+        machine.load_assembly("ebreak")
+        machine.run(max_steps=1)
+        assert machine.cpu.last_trap_cause == CAUSE_BREAKPOINT
+
+    def test_illegal_instruction(self):
+        machine = Machine()
+        machine.write_words(RAM_BASE, [0xFFFFFFFF])
+        machine.run(max_steps=1)
+        assert machine.cpu.last_trap_cause == CAUSE_ILLEGAL_INSTRUCTION
+
+    def test_trap_vectors_to_mtvec(self):
+        machine = Machine()
+        machine.load_assembly(f"""
+            la   t0, handler
+            csrw mtvec, t0
+            ecall
+        hang:
+            j hang
+        handler:
+        """ + halt_with(7))
+        result = machine.run(max_steps=100)
+        assert result.exit_code == 7
+
+    def test_csr_read_write(self):
+        m = run_asm("""
+            li    t0, 0x1234
+            csrw  mscratch, t0
+            csrr  a0, mscratch
+            csrrs a1, mscratch, zero    # read, no write
+            csrrci a2, mscratch, 4      # clear bit 2
+            csrr  a3, mscratch
+        """)
+        assert m.cpu.read_reg(10) == 0x1234
+        assert m.cpu.read_reg(11) == 0x1234
+        assert m.cpu.read_reg(13) == 0x1230
+
+    def test_cycle_counter_increments(self):
+        m = run_asm("""
+            csrr a0, cycle
+            nop
+            nop
+            csrr a1, cycle
+        """)
+        assert m.cpu.read_reg(11) > m.cpu.read_reg(10)
+
+
+class TestPrivilege:
+    def drop_to_user(self, user_code, trap_handler=halt_with(5)):
+        """Boilerplate: set mtvec, drop to U-mode, run user code."""
+        return f"""
+            la   t0, trap
+            csrw mtvec, t0
+            la   t0, user
+            csrw mepc, t0
+            mret
+        user:
+            {user_code}
+            j user_done
+        user_done:
+        """ + halt_with(0) + """
+        trap:
+        """ + trap_handler
+
+    def test_mret_enters_user_mode(self):
+        machine = Machine()
+        machine.load_assembly(self.drop_to_user("nop"))
+        machine.run(max_steps=100)
+        # halt_with(0) executed from U-mode (no PMP -> allowed)
+        assert machine.simctrl.exit_code == 0
+
+    def test_ecall_from_user_cause(self):
+        machine = Machine()
+        machine.load_assembly(self.drop_to_user("ecall"))
+        machine.run(max_steps=100)
+        assert machine.cpu.last_trap_cause == CAUSE_ECALL_FROM_U
+        assert machine.simctrl.exit_code == 5
+        assert machine.cpu.mode is PrivilegeMode.MACHINE
+
+    def test_user_csr_access_is_illegal(self):
+        machine = Machine()
+        machine.load_assembly(self.drop_to_user("csrw mscratch, zero"))
+        machine.run(max_steps=100)
+        assert machine.cpu.last_trap_cause == CAUSE_ILLEGAL_INSTRUCTION
+        assert machine.simctrl.exit_code == 5
+
+    def test_mret_from_user_is_illegal(self):
+        machine = Machine()
+        machine.load_assembly(self.drop_to_user("mret"))
+        machine.run(max_steps=100)
+        assert machine.cpu.last_trap_cause == CAUSE_ILLEGAL_INSTRUCTION

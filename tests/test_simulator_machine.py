@@ -1,0 +1,242 @@
+"""Tests for machine composition, peripherals, CFUs, and the CI harness."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    Expectation,
+    Machine,
+    MultiCfu,
+    PopcountCfu,
+    Ram,
+    RAM_BASE,
+    SimdMacCfu,
+    SimTest,
+    SystemBus,
+    TIMER_BASE,
+    UART_BASE,
+    halt_with,
+    run_suite,
+)
+from repro.simulator.memory import BusError, PrivilegeMode
+
+
+class TestBus:
+    def test_overlapping_regions_rejected(self):
+        bus = SystemBus()
+        bus.register(0x1000, 0x100, Ram(0x100), "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            bus.register(0x10FF, 0x100, Ram(0x100), "b")
+
+    def test_unmapped_access(self):
+        bus = SystemBus()
+        with pytest.raises(BusError, match="unmapped"):
+            bus.read(0x0, 4)
+
+    def test_cross_region_access_rejected(self):
+        bus = SystemBus()
+        bus.register(0x1000, 0x10, Ram(0x10), "a")
+        with pytest.raises(BusError, match="boundary"):
+            bus.read(0x100E, 4)
+
+    def test_read_write(self):
+        bus = SystemBus()
+        bus.register(0x1000, 0x100, Ram(0x100), "ram")
+        bus.write(0x1004, 4, 0xCAFEBABE)
+        assert bus.read(0x1004, 4) == 0xCAFEBABE
+        assert bus.read(0x1004, 1) == 0xBE
+
+
+class TestMachine:
+    def test_uart_output(self):
+        machine = Machine()
+        machine.load_assembly(f"""
+            li   a0, {UART_BASE}
+            li   a1, 79          # 'O'
+            sb   a1, 0(a0)
+            li   a1, 75          # 'K'
+            sb   a1, 0(a0)
+        """ + halt_with(0))
+        result = machine.run()
+        assert result.uart_output == "OK"
+        assert result.success
+
+    def test_exit_code(self):
+        machine = Machine()
+        machine.load_assembly(halt_with(42))
+        result = machine.run()
+        assert result.exit_code == 42
+        assert not result.success
+
+    def test_step_budget(self):
+        machine = Machine()
+        machine.load_assembly("spin: j spin")
+        result = machine.run(max_steps=100)
+        assert not result.halted
+        assert result.steps == 100
+
+    def test_until_predicate(self):
+        machine = Machine()
+        machine.load_assembly("""
+            li a0, 0
+        loop:
+            addi a0, a0, 1
+            j loop
+        """)
+        result = machine.run(until=lambda m: m.cpu.read_reg(10) >= 5)
+        assert machine.cpu.read_reg(10) == 5
+
+    def test_timer_counts_cycles(self):
+        machine = Machine()
+        machine.load_assembly("nop\nnop\nnop" + halt_with(0))
+        result = machine.run()
+        lo = machine.bus.read(TIMER_BASE, 4, PrivilegeMode.MACHINE)
+        assert lo == result.cycles
+
+    def test_reset_preserves_memory(self):
+        machine = Machine()
+        machine.load_assembly(halt_with(3))
+        first = machine.run()
+        machine.reset()
+        second = machine.run()
+        assert first.exit_code == second.exit_code == 3
+
+    def test_uart_status_ready(self):
+        machine = Machine()
+        assert machine.bus.read(UART_BASE + 4, 4, PrivilegeMode.MACHINE) == 1
+
+
+class TestCfus:
+    def test_simd_mac_dot4(self):
+        cfu = SimdMacCfu()
+        a = 0x01020304  # bytes 4,3,2,1
+        b = 0x02020202
+        assert cfu.execute(3, 0, a, b) == 2 * (1 + 2 + 3 + 4)
+
+    def test_simd_mac_signed_bytes(self):
+        cfu = SimdMacCfu()
+        a = 0xFF000000  # top byte = -1
+        b = 0x7F000000  # top byte = 127
+        result = cfu.execute(3, 0, a, b)
+        assert result == (-127) & 0xFFFFFFFF
+
+    def test_accumulator_workflow(self):
+        cfu = SimdMacCfu()
+        cfu.execute(2, 0, 0, 0)          # reset
+        cfu.execute(0, 0, 0x01010101, 0x01010101)  # +4
+        cfu.execute(0, 0, 0x02020202, 0x01010101)  # +8
+        assert cfu.execute(1, 0, 0, 0) == 12
+        assert cfu.mac_count == 2
+
+    def test_cfu_matches_numpy_dot(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=64, dtype=np.int8)
+        b = rng.integers(-128, 128, size=64, dtype=np.int8)
+        cfu = SimdMacCfu()
+        cfu.execute(2, 0, 0, 0)
+        for i in range(0, 64, 4):
+            pa = int.from_bytes(a[i:i + 4].tobytes(), "little")
+            pb = int.from_bytes(b[i:i + 4].tobytes(), "little")
+            cfu.execute(0, 0, pa, pb)
+        want = int(np.dot(a.astype(np.int32), b.astype(np.int32)))
+        assert cfu.execute(1, 0, 0, 0) == want & 0xFFFFFFFF
+
+    def test_popcount(self):
+        cfu = PopcountCfu()
+        assert cfu.execute(0, 0, 0xFF00FF00, 0) == 16
+        # xnor-popcount of identical words = 32
+        assert cfu.execute(1, 0, 0x12345678, 0x12345678) == 32
+
+    def test_multi_cfu_dispatch(self):
+        multi = MultiCfu({0: SimdMacCfu(), 1: PopcountCfu()})
+        assert multi.execute(0, 1, 0xF, 0) == 4      # popcount via funct7=1
+        with pytest.raises(ValueError, match="no CFU"):
+            multi.execute(0, 9, 0, 0)
+
+    def test_cfu_instruction_in_program(self):
+        machine = Machine(cfu=SimdMacCfu())
+        machine.load_assembly("""
+            li   a0, 0x04030201
+            li   a1, 0x01010101
+            cfu  a2, a0, a1, 3, 0
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(12) == 10
+
+    def test_cfu_without_unit_is_illegal(self):
+        machine = Machine()  # no CFU attached
+        machine.load_assembly("cfu a0, a1, a2, 0, 0")
+        machine.run(max_steps=1)
+        from repro.simulator import CAUSE_ILLEGAL_INSTRUCTION
+        assert machine.cpu.last_trap_cause == CAUSE_ILLEGAL_INSTRUCTION
+
+
+class TestCiHarness:
+    def test_passing_test(self):
+        test = SimTest(
+            name="arith",
+            assembly="li a0, 6\nli a1, 7\nmul a2, a0, a1" + halt_with(0),
+            expect=Expectation(exit_code=0, registers={12: 42}),
+        )
+        test.run()
+
+    def test_register_mismatch_raises(self):
+        from repro.simulator import SimAssertionError
+
+        test = SimTest(
+            name="bad",
+            assembly="li a0, 1" + halt_with(0),
+            expect=Expectation(registers={10: 2}),
+        )
+        with pytest.raises(SimAssertionError, match="x10"):
+            test.run()
+
+    def test_uart_expectation(self):
+        test = SimTest(
+            name="uart",
+            assembly=f"""
+                li a0, {UART_BASE}
+                li a1, 104
+                sb a1, 0(a0)
+                li a1, 105
+                sb a1, 0(a0)
+            """ + halt_with(0),
+            expect=Expectation(uart_equals="hi"),
+        )
+        test.run()
+
+    def test_cycle_budget(self):
+        from repro.simulator import SimAssertionError
+
+        test = SimTest(
+            name="slow",
+            assembly="li a0, 1000\nloop: addi a0, a0, -1\nbnez a0, loop"
+                     + halt_with(0),
+            expect=Expectation(max_cycles=10),
+        )
+        with pytest.raises(SimAssertionError, match="budget"):
+            test.run()
+
+    def test_suite_collects_failures(self):
+        suite = [
+            SimTest("ok", "li a0, 1" + halt_with(0), Expectation()),
+            SimTest("fail", "li a0, 1" + halt_with(1), Expectation()),
+        ]
+        report = run_suite(suite)
+        assert report.passed == ["ok"]
+        assert "fail" in report.failed
+        assert not report.ok
+        assert "1 passed, 1 failed" in report.summary()
+
+    def test_memory_word_expectation(self):
+        address = RAM_BASE + 0x2000
+        test = SimTest(
+            name="mem",
+            assembly=f"""
+                li a0, {address}
+                li a1, 0x1234
+                sw a1, 0(a0)
+            """ + halt_with(0),
+            expect=Expectation(memory_words={address: 0x1234}),
+        )
+        test.run()

@@ -1,0 +1,107 @@
+"""Tests for declarative platform descriptions."""
+
+import json
+
+import pytest
+
+from repro.simulator import (
+    ACCEL_BASE,
+    Machine,
+    PlatformError,
+    RAM_BASE,
+    halt_with,
+    load_platform,
+)
+from repro.simulator.memory import AccessType, PrivilegeMode
+
+
+class TestLoadPlatform:
+    def test_defaults(self):
+        machine = load_platform({"name": "bare"})
+        assert isinstance(machine, Machine)
+        assert machine.cpu.cfu is None
+        assert machine.pmp is None
+
+    def test_ram_size(self):
+        machine = load_platform({"ram_size": 4096})
+        assert machine.ram.size == 4096
+
+    def test_cfu_attached_and_usable(self):
+        machine = load_platform({"cfu": "simd_mac"})
+        machine.load_assembly("""
+            li a0, 0x01010101
+            cfu a1, a0, a0, 3, 0
+        """ + halt_with(0))
+        machine.run()
+        assert machine.cpu.read_reg(11) == 4
+
+    def test_unknown_cfu(self):
+        with pytest.raises(PlatformError, match="unknown CFU"):
+            load_platform({"cfu": "npu9000"})
+
+    def test_matvec_peripheral_mapped(self):
+        machine = load_platform({
+            "peripherals": [{"type": "matvec", "macs_per_cycle": 8}],
+        })
+        # CTRL register readable at the default base.
+        assert machine.bus.read(ACCEL_BASE, 4, PrivilegeMode.MACHINE) == 0
+
+    def test_unknown_peripheral(self):
+        with pytest.raises(PlatformError, match="unknown peripheral"):
+            load_platform({"peripherals": [{"type": "gpu"}]})
+
+    def test_pmp_regions_programmed(self):
+        machine = load_platform({
+            "pmp": {"regions": [
+                {"index": 0, "base": RAM_BASE, "size": 0x1000,
+                 "perms": "rx"},
+            ]},
+        })
+        assert machine.pmp is not None
+        assert machine.pmp.check(RAM_BASE, 4, AccessType.READ,
+                                 PrivilegeMode.USER)
+        assert not machine.pmp.check(RAM_BASE, 4, AccessType.WRITE,
+                                     PrivilegeMode.USER)
+
+    def test_bad_pmp_perms(self):
+        with pytest.raises(PlatformError, match="unknown PMP permission"):
+            load_platform({"pmp": {"regions": [
+                {"index": 0, "base": RAM_BASE, "size": 0x1000,
+                 "perms": "rq"},
+            ]}})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(PlatformError, match="unknown platform keys"):
+            load_platform({"chassis": "uRECS"})
+
+    def test_loads_from_json_file(self, tmp_path):
+        path = tmp_path / "platform.json"
+        path.write_text(json.dumps({
+            "name": "vexriscv-ml",
+            "cfu": "popcount",
+            "ram_size": 65536,
+        }))
+        machine = load_platform(path)
+        assert machine.ram.size == 65536
+        assert machine.cpu.cfu is not None
+
+    def test_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PlatformError, match="cannot load"):
+            load_platform(path)
+
+    def test_full_stack_description(self):
+        """A complete ML platform from one description: CFU + engine + PMP."""
+        machine = load_platform({
+            "name": "vedliot-soc",
+            "ram_size": 1 << 20,
+            "cfu": "simd_mac",
+            "peripherals": [{"type": "matvec", "macs_per_cycle": 32}],
+            "pmp": {"regions": [
+                {"index": 0, "base": RAM_BASE, "size": 1 << 20,
+                 "perms": "rwx"},
+            ]},
+        })
+        machine.load_assembly("li a0, 1" + halt_with(0))
+        assert machine.run().success
