@@ -1,0 +1,105 @@
+"""Txt-K — dispatch overhead of planned vs. interpreted execution.
+
+The toolchain compiles a model once and runs it many times (paper
+Sec. III); the runtime therefore binds every node's kernel, attributes
+and quantization parameters a single time (``repro.runtime.plan``) and
+executes a thin loop over the bound steps.  This benchmark quantifies
+what that buys over the seed interpreter, which re-resolved attrs,
+dtypes and quantization parameters on every run.
+
+Two workloads over the small CNN the use-case pipelines deploy:
+
+1. *fp32*: dispatch overhead is attr lookups and closure construction;
+2. *int8* (QDQ): the interpreter additionally rebuilds ``QuantParams``
+   (array coercion + validation) per quantized node per run — the
+   pathological case the compile-once split removes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.optim import fuse_graph, quantize_int8
+from repro.runtime import Executor, compile_node
+
+RUNS = 30
+REPEATS = 5
+
+
+def make_workloads():
+    rng = np.random.default_rng(0)
+    fp32 = build_model("tiny_convnet", batch=1)
+    x = rng.normal(size=(1, 3, 32, 32)).astype(np.float32)
+    int8 = quantize_int8(fuse_graph(fp32), [{"input": x}])
+    return [("tiny_convnet fp32", fp32, {"input": x}),
+            ("tiny_convnet int8", int8, {"input": x})]
+
+
+def interpret_run(executor, graph, specs, feeds):
+    """The seed interpreter's cost model: per-run feed validation, then
+    re-resolving every node's kernel from its attrs."""
+    env = executor._check_feeds(feeds)
+    env.update(graph.initializers)
+    for node in graph.nodes:
+        args = [env[name] for name in node.inputs]
+        outputs = compile_node(node, specs)(args)
+        for name, value in zip(node.outputs, outputs):
+            env[name] = value
+    return {name: env[name] for name in graph.output_names}
+
+
+def _best_of_interleaved(fns, repeats=REPEATS, runs=RUNS):
+    """Time each callable as best-of-``repeats`` mean over ``runs`` calls,
+    alternating between them every round so frequency scaling and cache
+    warmth bias neither side."""
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            for _ in range(runs):
+                fn()
+            best[i] = min(best[i], (time.perf_counter() - start) / runs)
+    return best
+
+
+def dispatch_study():
+    rows = []
+    for label, graph, feeds in make_workloads():
+        executor = Executor(graph)
+        specs = graph.infer_specs()
+        executor.run(feeds)                   # warm caches
+        interpret_run(executor, graph, specs, feeds)
+        planned, interpreted = _best_of_interleaved([
+            lambda: executor.run(feeds),
+            lambda: interpret_run(executor, graph, specs, feeds),
+        ])
+        rows.append((label, len(graph.nodes), planned, interpreted))
+    return rows
+
+
+def render(rows):
+    lines = [f"{'workload':<22}{'nodes':>7}{'planned us':>12}"
+             f"{'interp us':>12}{'speedup':>9}"]
+    for label, nodes, planned, interpreted in rows:
+        lines.append(f"{label:<22}{nodes:>7}{planned * 1e6:>12.1f}"
+                     f"{interpreted * 1e6:>12.1f}"
+                     f"{interpreted / planned:>8.2f}x")
+    return "\n".join(lines)
+
+
+def test_txt_planned_execution(benchmark, report):
+    rows = benchmark.pedantic(dispatch_study, rounds=1, iterations=1)
+    report("txt_planned_execution", render(rows))
+
+    results = {label: (planned, interpreted)
+               for label, _, planned, interpreted in rows}
+    # 1. Planned execution never loses to per-run dispatch (small noise
+    #    margin: kernels dominate the fp32 graph).
+    for label, (planned, interpreted) in results.items():
+        assert planned <= interpreted * 1.10, label
+    # 2. On the quantized graph the per-run QuantParams rebuild is pure
+    #    overhead; compiling it away must win outright.
+    planned, interpreted = results["tiny_convnet int8"]
+    assert planned < interpreted

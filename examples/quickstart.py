@@ -42,11 +42,22 @@ def main() -> None:
     print()
     print(render_target_predictions(report.variant("int8")))
 
-    # The compiled artifact a deployment agent would ship to the device.
+    # The compiled artifact a deployment agent would ship to the device,
+    # and the execution plan the runtime binds once and reuses per run.
     compiled = pipeline.compile_for_target(pipeline.graph)
     print()
     print(f"compiled for {target.name}: precision {compiled.dtype.value}, "
           f"artifact {compiled.artifact_bytes / 1024:.1f} KiB")
+
+    from repro.optim import plan_memory
+    from repro.runtime import compile_plan
+
+    plan = compile_plan(pipeline.graph)
+    arena = plan_memory(pipeline.graph)
+    print(f"execution plan: {len(plan)} bound steps, "
+          f"peak live {plan.peak_live_bytes / 1024:.1f} KiB "
+          f"(arena {arena.arena_bytes / 1024:.1f} KiB, "
+          f"{arena.reuse_factor:.1f}x reuse over naive buffers)")
 
 
 if __name__ == "__main__":

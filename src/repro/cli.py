@@ -5,6 +5,7 @@ Subcommands:
     models                      list the model zoo with sizes and compute
     accelerators [--family F]   list the accelerator catalog (Fig. 3 data)
     predict                     roofline prediction of a model on a platform
+    plan                        compile a model's execution plan + memory arena
     optimize                    run the deployment pipeline on a dataset
     simulate                    assemble and run a program on the RV32 SoC
 
@@ -71,6 +72,23 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               f"{prediction.avg_power_w:>7.1f}"
               f"{prediction.energy_per_inference_j * 1e3:>9.2f}"
               f"{prediction.fps:>8.1f}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .ir import build_model
+    from .optim import plan_memory
+    from .runtime import compile_plan
+
+    graph = build_model(args.model, batch=args.batch)
+    plan = compile_plan(graph)
+    memory = plan_memory(graph)
+    if args.steps:
+        print(plan.summary())
+    else:
+        print(f"execution plan for {graph.name!r}: {len(plan)} steps, "
+              f"peak live {plan.peak_live_bytes / 1024:.1f} KiB")
+    print(memory.report())
     return 0
 
 
@@ -175,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--batches", type=int, nargs="+",
                         default=[1, 4, 8])
     p_pred.set_defaults(fn=_cmd_predict)
+
+    p_plan = sub.add_parser("plan",
+                            help="compile an execution plan and arena layout")
+    p_plan.add_argument("--model", required=True)
+    p_plan.add_argument("--batch", type=int, default=1)
+    p_plan.add_argument("--steps", action="store_true",
+                        help="list every bound step with its release set")
+    p_plan.set_defaults(fn=_cmd_plan)
 
     p_opt = sub.add_parser("optimize",
                            help="run the deployment pipeline")

@@ -29,7 +29,9 @@ from .memory_planner import (
     MemoryPlan,
     ScratchpadReport,
     compute_lifetimes,
+    peak_live_bytes,
     plan_memory,
+    release_schedule,
     scratchpad_analysis,
 )
 from .hardware_aware import (
@@ -50,7 +52,8 @@ __all__ = [
     "convert_fp16", "quantize_int8",
     "BinarizePass", "binarize",
     "Lifetime", "MemoryPlan", "ScratchpadReport", "compute_lifetimes",
-    "plan_memory", "scratchpad_analysis",
+    "peak_live_bytes", "plan_memory", "release_schedule",
+    "scratchpad_analysis",
     "ConnectionPrune", "NeuronPrune", "SparsityReport", "sparsity_of",
     "BitString", "CompressedModel", "DeepCompressionResult", "EncodedLayer",
     "HuffmanCode", "cluster_weights", "compress_graph", "decompress_into",

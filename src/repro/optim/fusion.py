@@ -120,8 +120,12 @@ class FuseActivation(GraphPass):
                 continue
             prev.op_type = self._TARGETS[prev.op_type]
             prev.attrs["activation"] = act.op_type
-            if act.op_type == "leaky_relu" and "alpha" in act.attrs:
-                prev.attrs["activation_alpha"] = act.attrs["alpha"]
+            if act.op_type == "leaky_relu":
+                # Record the slope explicitly (default included) so every
+                # dispatch path applies the same alpha the standalone
+                # activation node would have.
+                prev.attrs["activation_alpha"] = float(
+                    act.attrs.get("alpha", 0.1))
             g.rename_tensor(act.outputs[0], prev.outputs[0])
             g.remove_node(act)
             fused += 1

@@ -104,6 +104,27 @@ def compute_lifetimes(graph: Graph) -> List[Lifetime]:
     ]
 
 
+def release_schedule(
+    graph: Graph, lifetimes: Optional[List[Lifetime]] = None
+) -> List[Tuple[str, ...]]:
+    """Per-position release lists: the executable form of the liveness study.
+
+    Entry ``i`` names the intermediate tensors whose last consumer is node
+    ``i`` — their storage may be dropped (or handed back to the arena) as
+    soon as that node has run.  Graph outputs never appear; inputs and
+    initializers are caller-owned and excluded by ``compute_lifetimes``.
+    """
+    if lifetimes is None:
+        lifetimes = compute_lifetimes(graph)
+    outputs = set(graph.output_names)
+    releases: List[List[str]] = [[] for _ in graph.nodes]
+    for lt in lifetimes:
+        if lt.tensor in outputs:
+            continue
+        releases[lt.death].append(lt.tensor)
+    return [tuple(names) for names in releases]
+
+
 def plan_memory(graph: Graph) -> MemoryPlan:
     """Greedy best-fit offset assignment (largest tensors first).
 
@@ -132,13 +153,14 @@ def plan_memory(graph: Graph) -> MemoryPlan:
         arena = max(arena, candidate + tensor.size_bytes)
 
     naive = sum(lt.size_bytes for lt in lifetimes)
-    peak = _peak_live(lifetimes)
+    peak = peak_live_bytes(lifetimes)
     plan = MemoryPlan(graph.name, lifetimes, offsets, arena, naive, peak)
     plan.validate()
     return plan
 
 
-def _peak_live(lifetimes: List[Lifetime]) -> int:
+def peak_live_bytes(lifetimes: List[Lifetime]) -> int:
+    """Maximum concurrently-live activation bytes over the schedule."""
     events: Dict[int, int] = {}
     for lt in lifetimes:
         events[lt.birth] = events.get(lt.birth, 0) + lt.size_bytes

@@ -155,6 +155,8 @@ class QuantizePass(GraphPass):
                     attrs.pop(key)
             if node.attrs.get("activation"):
                 attrs["activation"] = node.attrs["activation"]
+                if "activation_alpha" in node.attrs:
+                    attrs["activation_alpha"] = node.attrs["activation_alpha"]
             new_nodes.append(Node(
                 name=node.name,
                 op_type=target,

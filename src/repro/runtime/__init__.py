@@ -1,6 +1,7 @@
-"""Reference runtime: numpy kernels, executor, quantized arithmetic, profiler."""
+"""Reference runtime: numpy kernels, compiled plans, executor, profiler."""
 
-from .executor import ExecutionError, Executor, run_graph
+from .executor import Executor, run_graph
+from .plan import CompiledStep, ExecutionError, ExecutionPlan, compile_node, compile_plan
 from .profiler import LayerProfile, Profiler, ProfileResult, profile_graph
 from .quantized import (
     QuantParams,
@@ -12,6 +13,7 @@ from .quantized import (
 
 __all__ = [
     "ExecutionError", "Executor", "run_graph",
+    "CompiledStep", "ExecutionPlan", "compile_node", "compile_plan",
     "LayerProfile", "Profiler", "ProfileResult", "profile_graph",
     "QuantParams", "choose_qparams", "quantization_error",
     "quantized_conv2d", "quantized_dense",

@@ -1,67 +1,52 @@
-"""Reference executor: interprets an IR graph on numpy tensors.
+"""Reference executor: runs a compiled plan on numpy tensors.
 
-This is the "runtime" stage of the deployment flow (paper Sec. III, step 6).
-It supports float graphs, QDQ-quantized graphs produced by the PTQ pass, and
-fused graphs produced by the fusion pass.  Per-node hooks allow the profiler
-(latency/memory measurements, Kenning-style) and the safety fault injector
-to observe or perturb intermediate tensors.
+This is the "runtime" stage of the deployment flow (paper Sec. III,
+step 6).  The graph is compiled once at construction time
+(:func:`repro.runtime.plan.compile_plan`): every node's attributes and
+quantization parameters are resolved into a bound kernel callable, and a
+liveness schedule (from the activation-memory planner) marks where each
+intermediate tensor dies.  :meth:`Executor.run` is then a thin loop —
+call the bound kernel, fire hooks, store outputs, drop dead tensors — so
+repeated inference pays no per-run dispatch or attr-lookup cost and holds
+no more activation memory than the planner's ``peak_live_bytes``.
+
+It supports float graphs, QDQ-quantized graphs produced by the PTQ pass,
+binarized graphs, and fused graphs.  Per-node hooks allow the profiler
+(latency/memory measurements, Kenning-style) and the safety fault
+injector to observe or perturb intermediate tensors.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..ir.graph import Graph, Node
-from ..ir.tensor import DType, TensorSpec
-from . import kernels
-from .quantized import QuantParams, quantized_conv2d, quantized_dense
+from ..ir.tensor import TensorSpec
+from .plan import ExecutionError, ExecutionPlan, compile_plan
 
 # Hook signature: (node, output arrays) -> possibly-replaced output arrays.
 NodeHook = Callable[[Node, List[np.ndarray]], Optional[List[np.ndarray]]]
 
 
-class ExecutionError(RuntimeError):
-    """Raised when graph execution fails (bad feeds, missing kernel, ...)."""
-
-
-def _conv_attrs(node: Node) -> Dict[str, Any]:
-    return {
-        "stride": node.attrs.get("stride", 1),
-        "padding": node.attrs.get("padding", 0),
-        "groups": node.attrs.get("groups", 1),
-    }
-
-
-def _node_qparams(node: Node, prefix: str, channel_axis=None) -> QuantParams:
-    dtype = node.attrs.get(f"{prefix}_dtype", DType.INT8)
-    if isinstance(dtype, str):
-        dtype = DType(dtype)
-    scale = np.asarray(node.attrs[f"{prefix}_scale"])
-    axis = channel_axis if scale.size > 1 else None
-    return QuantParams(
-        scale, np.asarray(node.attrs[f"{prefix}_zero_point"]),
-        dtype, channel_axis=axis,
-    )
-
-
 class Executor:
-    """Executes a validated graph.
+    """Executes a graph through its compiled plan.
 
     Parameters
     ----------
     graph
-        The graph to execute; validated at construction.
+        The graph to execute; validated and compiled at construction.
     keep_intermediates
         When true, :meth:`run` returns every tensor, not just graph outputs
-        (used by the robustness monitors and by debugging tools).
+        (used by the robustness monitors and by debugging tools).  This
+        disables early release of dead activations.
     """
 
     def __init__(self, graph: Graph, keep_intermediates: bool = False) -> None:
-        graph.validate()
+        self.plan: ExecutionPlan = compile_plan(graph)
         self.graph = graph
-        self.specs: Dict[str, TensorSpec] = graph.infer_specs()
+        self.specs: Dict[str, TensorSpec] = self.plan.specs
         self.keep_intermediates = keep_intermediates
         self._hooks: List[NodeHook] = []
 
@@ -97,10 +82,12 @@ class Executor:
         """Run one inference; returns a dict of output name to array."""
         env = self._check_feeds(feeds)
         env.update(self.graph.initializers)
-        for node in self.graph.nodes:
+        release = not self.keep_intermediates
+        for step in self.plan.steps:
+            node = step.node
             args = [env[name] for name in node.inputs]
             try:
-                outputs = self._dispatch(node, args)
+                outputs = step.run(args)
             except ExecutionError:
                 raise
             except Exception as exc:
@@ -113,125 +100,15 @@ class Executor:
                     outputs = replaced
             for name, value in zip(node.outputs, outputs):
                 env[name] = value
+            if release:
+                for name in step.release:
+                    del env[name]
         if self.keep_intermediates:
             return env
         return {name: env[name] for name in self.graph.output_names}
 
     def __call__(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         return self.run(feeds)
-
-    # -- dispatch ---------------------------------------------------------------
-
-    def _dispatch(self, node: Node, args: List[np.ndarray]) -> List[np.ndarray]:
-        op = node.op_type
-        if op in ("conv2d", "fused_conv2d"):
-            out = kernels.conv2d(args[0], args[1],
-                                 bias=args[2] if len(args) > 2 else None,
-                                 **_conv_attrs(node))
-            act = node.attrs.get("activation")
-            if act:
-                out = kernels.ACTIVATIONS[act](out)
-            return [out]
-        if op in ("dense", "fused_dense"):
-            out = kernels.dense(args[0], args[1],
-                                bias=args[2] if len(args) > 2 else None)
-            act = node.attrs.get("activation")
-            if act:
-                out = kernels.ACTIVATIONS[act](out)
-            return [out]
-        if op == "bconv2d":
-            scale = np.asarray(node.attrs["scale"], dtype=np.float32)
-            out = kernels.conv2d(args[0], args[1].astype(np.float32),
-                                 **_conv_attrs(node))
-            out = out * scale.reshape(1, -1, 1, 1)
-            if len(args) > 2:
-                out = out + args[2].reshape(1, -1, 1, 1)
-            act = node.attrs.get("activation")
-            if act:
-                out = kernels.ACTIVATIONS[act](out)
-            return [out]
-        if op == "bdense":
-            scale = np.asarray(node.attrs["scale"], dtype=np.float32)
-            out = kernels.dense(args[0], args[1].astype(np.float32)) * scale
-            if len(args) > 2:
-                out = out + args[2]
-            act = node.attrs.get("activation")
-            if act:
-                out = kernels.ACTIVATIONS[act](out)
-            return [out]
-        if op == "qconv2d":
-            out = quantized_conv2d(
-                args[0], _node_qparams(node, "input"),
-                args[1], _node_qparams(node, "weight", channel_axis=0),
-                args[2] if len(args) > 2 else None,
-                _node_qparams(node, "out"),
-                activation=node.attrs.get("activation"),
-                **_conv_attrs(node),
-            )
-            return [out]
-        if op == "qdense":
-            out = quantized_dense(
-                args[0], _node_qparams(node, "input"),
-                args[1], _node_qparams(node, "weight", channel_axis=0),
-                args[2] if len(args) > 2 else None,
-                _node_qparams(node, "out"),
-                activation=node.attrs.get("activation"),
-            )
-            return [out]
-        if op == "batchnorm":
-            return [kernels.batchnorm(*args, epsilon=node.attrs.get("epsilon", 1e-5))]
-        if op in kernels.ACTIVATIONS:
-            if op == "leaky_relu":
-                return [kernels.leaky_relu(args[0],
-                                           alpha=node.attrs.get("alpha", 0.1))]
-            return [kernels.ACTIVATIONS[op](args[0])]
-        if op == "softmax":
-            return [kernels.softmax(args[0], axis=node.attrs.get("axis", -1))]
-        if op == "add":
-            return [args[0] + args[1]]
-        if op == "sub":
-            return [args[0] - args[1]]
-        if op == "mul":
-            return [args[0] * args[1]]
-        if op == "maximum":
-            return [np.maximum(args[0], args[1])]
-        if op == "maxpool2d":
-            return [kernels.maxpool2d(args[0], node.attrs["kernel"],
-                                      node.attrs.get("stride"),
-                                      node.attrs.get("padding", 0))]
-        if op == "avgpool2d":
-            return [kernels.avgpool2d(args[0], node.attrs["kernel"],
-                                      node.attrs.get("stride"),
-                                      node.attrs.get("padding", 0))]
-        if op == "global_avgpool2d":
-            return [kernels.global_avgpool2d(args[0])]
-        if op == "upsample2d":
-            return [kernels.upsample2d(args[0], int(node.attrs["scale"]))]
-        if op == "flatten":
-            return [args[0].reshape(args[0].shape[0], -1)]
-        if op == "reshape":
-            return [args[0].reshape(self.specs[node.outputs[0]].shape)]
-        if op == "concat":
-            return [np.concatenate(args, axis=int(node.attrs.get("axis", 1)))]
-        if op == "pad":
-            return [kernels.pad(args[0], node.attrs["pads"])]
-        if op == "quantize":
-            params = _node_qparams_from(node)
-            return [params.quantize(args[0])]
-        if op == "dequantize":
-            params = _node_qparams_from(node)
-            return [params.dequantize(args[0])]
-        raise ExecutionError(f"no kernel for op {op!r}")
-
-
-def _node_qparams_from(node: Node) -> QuantParams:
-    dtype = node.attrs.get("dtype", DType.INT8)
-    if isinstance(dtype, str):
-        dtype = DType(dtype)
-    scale = np.asarray(node.attrs["scale"])
-    axis = node.attrs.get("channel_axis") if scale.size > 1 else None
-    return QuantParams(scale, np.asarray(node.attrs["zero_point"]), dtype,
-                       channel_axis=axis)
 
 
 def run_graph(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:

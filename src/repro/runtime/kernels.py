@@ -160,6 +160,22 @@ ACTIVATIONS = {
 }
 
 
+def resolve_activation(name, alpha=None):
+    """Bind an activation name (and optional ``leaky_relu`` slope) once.
+
+    Returns ``None`` for no activation, otherwise a unary callable.  This
+    is the single place fused-activation attributes are interpreted, so
+    every dispatch site (float, binary, quantized) agrees on the slope
+    instead of silently falling back to ``leaky_relu``'s default.
+    """
+    if name is None:
+        return None
+    if name == "leaky_relu":
+        slope = 0.1 if alpha is None else float(alpha)
+        return lambda x: leaky_relu(x, alpha=slope)
+    return ACTIVATIONS[name]
+
+
 # -- pooling ------------------------------------------------------------------
 
 def _pool2d(data: np.ndarray, kernel, stride, padding, reducer,
@@ -193,6 +209,13 @@ def maxpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
 
 
 def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
+    """Average pooling with *count-include-pad* semantics.
+
+    Padded positions contribute zeros to the window sum and are counted in
+    the divisor (every window divides by ``kh * kw``), matching ONNX
+    AveragePool's ``count_include_pad=1`` — not PyTorch's default of
+    excluding padding from the divisor.
+    """
     stride = kernel if stride is None else stride
     return _pool2d(data, kernel, stride, padding, np.mean, 0.0)
 

@@ -1,0 +1,361 @@
+"""Compiled execution plans: bind kernels once, free activations early.
+
+The paper's toolchain (Sec. III) compiles a model once and then runs it
+many times on a memory-constrained target.  This module is the compile
+half of that split for the reference runtime: :func:`compile_plan` walks a
+validated graph a single time and produces, per node, a *bound* kernel
+callable with every attribute, quantization parameter, and shape already
+resolved — the run loop does no attr lookups, dtype parsing, or
+isinstance checks.
+
+The plan also carries a liveness schedule derived from
+:func:`repro.optim.memory_planner.compute_lifetimes`: after each step, the
+intermediate tensors whose last consumer just ran are released, so the
+executor's live set never exceeds the memory planner's
+``peak_live_bytes`` lower bound (the arena-reuse semantics of
+Sec. II-B's activation-memory study, applied to execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from ..ir.tensor import DType, TensorSpec
+from . import kernels
+from .quantized import QuantParams, quantized_conv2d, quantized_dense
+
+# A bound kernel: positional input arrays in, output arrays out.
+KernelFn = Callable[[Sequence[np.ndarray]], List[np.ndarray]]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when graph compilation or execution fails."""
+
+
+@dataclass(frozen=True)
+class CompiledStep:
+    """One node of the plan: the IR node, its bound kernel, and the
+    intermediate tensors whose storage may be reclaimed after it runs."""
+
+    node: Node
+    run: KernelFn
+    release: Tuple[str, ...]
+
+
+@dataclass
+class ExecutionPlan:
+    """The compiled form of a graph: an ordered list of bound steps."""
+
+    graph_name: str
+    steps: List[CompiledStep]
+    specs: Dict[str, TensorSpec]
+    peak_live_bytes: int
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def summary(self) -> str:
+        """Human-readable step listing with the release schedule."""
+        lines = [
+            f"execution plan for {self.graph_name!r}: {len(self.steps)} "
+            f"steps, peak live {self.peak_live_bytes / 1024:.1f} KiB"
+        ]
+        for step in self.steps:
+            frees = (f"  frees {', '.join(step.release)}"
+                     if step.release else "")
+            lines.append(
+                f"  {step.node.name:<28} {step.node.op_type:<16}{frees}"
+            )
+        return "\n".join(lines)
+
+
+# -- per-op kernel builders ----------------------------------------------------
+#
+# A builder runs once at compile time; everything it resolves from node
+# attrs or specs is captured in the returned closure.
+
+_BUILDERS: Dict[str, Callable[[Node, Dict[str, TensorSpec]], KernelFn]] = {}
+
+
+def _builder(*op_types: str):
+    def deco(fn):
+        for op in op_types:
+            _BUILDERS[op] = fn
+        return fn
+    return deco
+
+
+def _conv_attrs(node: Node) -> Dict[str, object]:
+    return {
+        "stride": node.attrs.get("stride", 1),
+        "padding": node.attrs.get("padding", 0),
+        "groups": node.attrs.get("groups", 1),
+    }
+
+
+def _fused_activation(node: Node):
+    return kernels.resolve_activation(
+        node.attrs.get("activation"), node.attrs.get("activation_alpha"))
+
+
+def _node_qparams(node: Node, prefix: str, channel_axis=None) -> QuantParams:
+    dtype = node.attrs.get(f"{prefix}_dtype", DType.INT8)
+    if isinstance(dtype, str):
+        dtype = DType(dtype)
+    scale = np.asarray(node.attrs[f"{prefix}_scale"])
+    axis = channel_axis if scale.size > 1 else None
+    return QuantParams(
+        scale, np.asarray(node.attrs[f"{prefix}_zero_point"]),
+        dtype, channel_axis=axis,
+    )
+
+
+def _own_qparams(node: Node) -> QuantParams:
+    dtype = node.attrs.get("dtype", DType.INT8)
+    if isinstance(dtype, str):
+        dtype = DType(dtype)
+    scale = np.asarray(node.attrs["scale"])
+    axis = node.attrs.get("channel_axis") if scale.size > 1 else None
+    return QuantParams(scale, np.asarray(node.attrs["zero_point"]), dtype,
+                       channel_axis=axis)
+
+
+@_builder("conv2d", "fused_conv2d")
+def _build_conv2d(node: Node, specs) -> KernelFn:
+    attrs = _conv_attrs(node)
+    act = _fused_activation(node)
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        out = kernels.conv2d(args[0], args[1],
+                             bias=args[2] if has_bias else None, **attrs)
+        return [act(out) if act else out]
+    return run
+
+
+@_builder("dense", "fused_dense")
+def _build_dense(node: Node, specs) -> KernelFn:
+    act = _fused_activation(node)
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        out = kernels.dense(args[0], args[1],
+                            bias=args[2] if has_bias else None)
+        return [act(out) if act else out]
+    return run
+
+
+@_builder("bconv2d")
+def _build_bconv2d(node: Node, specs) -> KernelFn:
+    attrs = _conv_attrs(node)
+    scale = np.asarray(node.attrs["scale"],
+                       dtype=np.float32).reshape(1, -1, 1, 1)
+    act = _fused_activation(node)
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        out = kernels.conv2d(args[0], args[1].astype(np.float32), **attrs)
+        out = out * scale
+        if has_bias:
+            out = out + args[2].reshape(1, -1, 1, 1)
+        return [act(out) if act else out]
+    return run
+
+
+@_builder("bdense")
+def _build_bdense(node: Node, specs) -> KernelFn:
+    scale = np.asarray(node.attrs["scale"], dtype=np.float32)
+    act = _fused_activation(node)
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        out = kernels.dense(args[0], args[1].astype(np.float32)) * scale
+        if has_bias:
+            out = out + args[2]
+        return [act(out) if act else out]
+    return run
+
+
+@_builder("qconv2d")
+def _build_qconv2d(node: Node, specs) -> KernelFn:
+    attrs = _conv_attrs(node)
+    input_params = _node_qparams(node, "input")
+    weight_params = _node_qparams(node, "weight", channel_axis=0)
+    out_params = _node_qparams(node, "out")
+    activation = node.attrs.get("activation")
+    alpha = node.attrs.get("activation_alpha")
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        return [quantized_conv2d(
+            args[0], input_params, args[1], weight_params,
+            args[2] if has_bias else None, out_params,
+            activation=activation, activation_alpha=alpha, **attrs)]
+    return run
+
+
+@_builder("qdense")
+def _build_qdense(node: Node, specs) -> KernelFn:
+    input_params = _node_qparams(node, "input")
+    weight_params = _node_qparams(node, "weight", channel_axis=0)
+    out_params = _node_qparams(node, "out")
+    activation = node.attrs.get("activation")
+    alpha = node.attrs.get("activation_alpha")
+    has_bias = len(node.inputs) > 2
+
+    def run(args):
+        return [quantized_dense(
+            args[0], input_params, args[1], weight_params,
+            args[2] if has_bias else None, out_params,
+            activation=activation, activation_alpha=alpha)]
+    return run
+
+
+@_builder("batchnorm")
+def _build_batchnorm(node: Node, specs) -> KernelFn:
+    epsilon = float(node.attrs.get("epsilon", 1e-5))
+
+    def run(args):
+        return [kernels.batchnorm(*args, epsilon=epsilon)]
+    return run
+
+
+@_builder("softmax")
+def _build_softmax(node: Node, specs) -> KernelFn:
+    axis = int(node.attrs.get("axis", -1))
+    return lambda args: [kernels.softmax(args[0], axis=axis)]
+
+
+@_builder("add")
+def _build_add(node: Node, specs) -> KernelFn:
+    return lambda args: [args[0] + args[1]]
+
+
+@_builder("sub")
+def _build_sub(node: Node, specs) -> KernelFn:
+    return lambda args: [args[0] - args[1]]
+
+
+@_builder("mul")
+def _build_mul(node: Node, specs) -> KernelFn:
+    return lambda args: [args[0] * args[1]]
+
+
+@_builder("maximum")
+def _build_maximum(node: Node, specs) -> KernelFn:
+    return lambda args: [np.maximum(args[0], args[1])]
+
+
+@_builder("maxpool2d")
+def _build_maxpool2d(node: Node, specs) -> KernelFn:
+    kernel = node.attrs["kernel"]
+    stride = node.attrs.get("stride")
+    padding = node.attrs.get("padding", 0)
+    return lambda args: [kernels.maxpool2d(args[0], kernel, stride, padding)]
+
+
+@_builder("avgpool2d")
+def _build_avgpool2d(node: Node, specs) -> KernelFn:
+    kernel = node.attrs["kernel"]
+    stride = node.attrs.get("stride")
+    padding = node.attrs.get("padding", 0)
+    return lambda args: [kernels.avgpool2d(args[0], kernel, stride, padding)]
+
+
+@_builder("global_avgpool2d")
+def _build_global_avgpool2d(node: Node, specs) -> KernelFn:
+    return lambda args: [kernels.global_avgpool2d(args[0])]
+
+
+@_builder("upsample2d")
+def _build_upsample2d(node: Node, specs) -> KernelFn:
+    scale = int(node.attrs["scale"])
+    return lambda args: [kernels.upsample2d(args[0], scale)]
+
+
+@_builder("flatten")
+def _build_flatten(node: Node, specs) -> KernelFn:
+    return lambda args: [args[0].reshape(args[0].shape[0], -1)]
+
+
+@_builder("reshape")
+def _build_reshape(node: Node, specs) -> KernelFn:
+    shape = specs[node.outputs[0]].shape
+    return lambda args: [args[0].reshape(shape)]
+
+
+@_builder("concat")
+def _build_concat(node: Node, specs) -> KernelFn:
+    axis = int(node.attrs.get("axis", 1))
+    return lambda args: [np.concatenate(args, axis=axis)]
+
+
+@_builder("pad")
+def _build_pad(node: Node, specs) -> KernelFn:
+    pads = node.attrs["pads"]
+    return lambda args: [kernels.pad(args[0], pads)]
+
+
+@_builder("quantize")
+def _build_quantize(node: Node, specs) -> KernelFn:
+    params = _own_qparams(node)
+    return lambda args: [params.quantize(args[0])]
+
+
+@_builder("dequantize")
+def _build_dequantize(node: Node, specs) -> KernelFn:
+    params = _own_qparams(node)
+    return lambda args: [params.dequantize(args[0])]
+
+
+def _build_activation(node: Node, specs) -> KernelFn:
+    fn = kernels.resolve_activation(node.op_type, node.attrs.get("alpha"))
+    return lambda args: [fn(args[0])]
+
+
+for _name in kernels.ACTIVATIONS:
+    _BUILDERS[_name] = _build_activation
+
+
+# -- compilation ---------------------------------------------------------------
+
+def compile_node(node: Node, specs: Dict[str, TensorSpec]) -> KernelFn:
+    """Resolve one node into a bound kernel callable."""
+    builder = _BUILDERS.get(node.op_type)
+    if builder is None:
+        raise ExecutionError(f"no kernel for op {node.op_type!r}")
+    try:
+        return builder(node, specs)
+    except ExecutionError:
+        raise
+    except Exception as exc:
+        raise ExecutionError(
+            f"node {node.name!r} ({node.op_type}) failed to compile: {exc}"
+        ) from exc
+
+
+def compile_plan(graph: Graph,
+                 specs: Optional[Dict[str, TensorSpec]] = None
+                 ) -> ExecutionPlan:
+    """Validate ``graph`` and compile it into an :class:`ExecutionPlan`."""
+    # Deferred import: repro.optim pulls in passes that import this runtime
+    # package at module scope.
+    from ..optim.memory_planner import (
+        compute_lifetimes, peak_live_bytes, release_schedule,
+    )
+
+    graph.validate()
+    if specs is None:
+        specs = graph.infer_specs()
+    lifetimes = compute_lifetimes(graph)
+    releases = release_schedule(graph, lifetimes)
+    steps = [
+        CompiledStep(node, compile_node(node, specs), releases[position])
+        for position, node in enumerate(graph.nodes)
+    ]
+    return ExecutionPlan(graph.name, steps, specs,
+                         peak_live_bytes(lifetimes))

@@ -5,6 +5,13 @@ Provides the measurement half of the Kenning-style benchmarking flow
 activation memory.  The analytic hardware model (repro.hw) predicts what a
 *target* would do; this profiler measures what the reference runtime
 actually does on the host.
+
+Memory accounting follows the executor's liveness schedule: a tensor's
+bytes are counted live from the node that produces it until its last
+consumer has run, so ``peak_activation_bytes`` is the true live-set peak
+— the same quantity the activation-memory planner lower-bounds with
+``plan_memory(graph).peak_live_bytes`` — not the monotone sum of every
+output ever produced.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ class ProfileResult:
     total_seconds: float
     layers: List[LayerProfile] = field(default_factory=list)
     peak_activation_bytes: int = 0
+    planned_peak_bytes: int = 0     # the plan's predicted live-set peak
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -90,17 +98,28 @@ class Profiler:
             node.name: LayerProfile(node.name, node.op_type)
             for node in self.graph.nodes
         }
+        # Tensors whose last consumer is each node: after that node runs
+        # (and its outputs are counted), their bytes leave the live set.
+        releases = {step.node.name: step.release
+                    for step in self.executor.plan.steps}
         state = {"last": 0.0, "live_bytes": 0, "peak": 0}
+        sizes: Dict[str, int] = {}
 
         def timing_hook(node: Node, outputs):
             now = time.perf_counter()
             profile = layers[node.name]
             profile.calls += 1
             profile.total_seconds += now - state["last"]
-            out_bytes = sum(int(o.nbytes) for o in outputs)
+            out_bytes = 0
+            for name, out in zip(node.outputs, outputs):
+                nbytes = int(out.nbytes)
+                sizes[name] = nbytes
+                out_bytes += nbytes
             profile.output_bytes = out_bytes
             state["live_bytes"] += out_bytes
             state["peak"] = max(state["peak"], state["live_bytes"])
+            for name in releases[node.name]:
+                state["live_bytes"] -= sizes.pop(name, 0)
             state["last"] = time.perf_counter()
             return None
 
@@ -112,6 +131,7 @@ class Profiler:
         try:
             for _ in range(runs):
                 state["live_bytes"] = 0
+                sizes.clear()
                 start = time.perf_counter()
                 state["last"] = start
                 self.executor.run(feeds)
@@ -125,6 +145,7 @@ class Profiler:
             total_seconds=total,
             layers=list(layers.values()),
             peak_activation_bytes=state["peak"],
+            planned_peak_bytes=self.executor.plan.peak_live_bytes,
         )
 
 

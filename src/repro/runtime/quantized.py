@@ -120,6 +120,7 @@ def quantized_conv2d(
     out_params: QuantParams,
     stride=1, padding=0, groups: int = 1,
     activation: Optional[str] = None,
+    activation_alpha: Optional[float] = None,
 ) -> np.ndarray:
     """INT8 convolution with int32 accumulation and requantization.
 
@@ -135,7 +136,8 @@ def quantized_conv2d(
         stride=stride, padding=padding, groups=groups,
     )
     return _requantize(acc, data_params, weight_params, bias, out_params,
-                       channel_ndim=4, activation=activation)
+                       channel_ndim=4, activation=activation,
+                       activation_alpha=activation_alpha)
 
 
 def quantized_dense(
@@ -144,18 +146,21 @@ def quantized_dense(
     bias: Optional[np.ndarray],
     out_params: QuantParams,
     activation: Optional[str] = None,
+    activation_alpha: Optional[float] = None,
 ) -> np.ndarray:
     """INT8 matmul with int32 accumulation and requantization."""
     acc = (q_data.astype(np.int32) - int(data_params.zero_point.ravel()[0])) @ \
         q_weight.astype(np.int32).T
     return _requantize(acc, data_params, weight_params, bias, out_params,
-                       channel_ndim=2, activation=activation)
+                       channel_ndim=2, activation=activation,
+                       activation_alpha=activation_alpha)
 
 
 def _requantize(acc: np.ndarray, data_params: QuantParams,
                 weight_params: QuantParams, bias: Optional[np.ndarray],
                 out_params: QuantParams, channel_ndim: int,
-                activation: Optional[str] = None) -> np.ndarray:
+                activation: Optional[str] = None,
+                activation_alpha: Optional[float] = None) -> np.ndarray:
     """Scale int32 accumulators into the output quantization grid.
 
     An optional fused activation is applied in the real domain before
@@ -175,9 +180,9 @@ def _requantize(acc: np.ndarray, data_params: QuantParams,
             real = real + bias
     real = real.astype(np.float32)
     if activation:
-        from .kernels import ACTIVATIONS
+        from .kernels import resolve_activation
 
-        real = ACTIVATIONS[activation](real)
+        real = resolve_activation(activation, activation_alpha)(real)
     return out_params.quantize(real)
 
 

@@ -51,6 +51,21 @@ class TestPredict:
             main(["predict", "--model", "mlp", "--platform", "TPUv9"])
 
 
+class TestPlan:
+    def test_compiles_and_reports_arena(self, capsys):
+        assert main(["plan", "--model", "tiny_convnet"]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out
+        assert "peak live" in out
+        assert "memory plan" in out
+
+    def test_steps_listing(self, capsys):
+        assert main(["plan", "--model", "mlp", "--steps"]) == 0
+        out = capsys.readouterr().out
+        assert "frees" in out
+        assert "fc0" in out
+
+
 class TestOptimize:
     def test_arc_pipeline(self, capsys):
         assert main(["optimize", "--dataset", "arc",

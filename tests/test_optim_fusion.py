@@ -94,6 +94,24 @@ class TestFuseActivation:
         assert any(n.op_type == "fused_dense" and
                    n.attrs.get("activation") == "relu" for n in fused.nodes)
 
+    def test_leaky_relu_slope_recorded(self):
+        b = GraphBuilder("lk")
+        x = b.input("x", (1, 4))
+        h = b.dense(x, 4, name="fc")
+        y = b.activation(h, "leaky_relu", alpha=0.3, name="act")
+        fused = FuseActivation().run(b.finish(y))
+        node = fused.nodes[0]
+        assert node.attrs["activation"] == "leaky_relu"
+        assert node.attrs["activation_alpha"] == 0.3
+
+    def test_leaky_relu_default_slope_recorded(self):
+        b = GraphBuilder("lk")
+        x = b.input("x", (1, 4))
+        h = b.dense(x, 4, name="fc")
+        y = b.activation(h, "leaky_relu", name="act")
+        fused = FuseActivation().run(b.finish(y))
+        assert fused.nodes[0].attrs["activation_alpha"] == 0.1
+
     def test_multi_consumer_not_fused(self):
         b = GraphBuilder()
         x = b.input("x", (1, 4))

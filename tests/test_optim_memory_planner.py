@@ -8,7 +8,9 @@ from repro.ir import GraphBuilder, build_model
 from repro.optim import (
     Lifetime,
     compute_lifetimes,
+    peak_live_bytes,
     plan_memory,
+    release_schedule,
     scratchpad_analysis,
 )
 
@@ -55,6 +57,29 @@ class TestLifetimes:
         y_name = g.node_by_name("c1").outputs[0]
         skip_pos = g.nodes.index(g.node_by_name("skip"))
         assert lifetimes[y_name].death == skip_pos
+
+    def test_release_schedule_frees_at_last_use(self):
+        g = chain_graph()
+        schedule = release_schedule(g)
+        assert len(schedule) == len(g.nodes)
+        # fc0's output dies at its relu (node 1) and is released there.
+        fc0_out = g.nodes[0].outputs[0]
+        assert fc0_out in schedule[1]
+        # Graph outputs are never released.
+        released = {name for names in schedule for name in names}
+        assert not released & set(g.output_names)
+
+    def test_release_schedule_accepts_precomputed_lifetimes(self):
+        g = chain_graph()
+        lifetimes = compute_lifetimes(g)
+        assert release_schedule(g, lifetimes) == release_schedule(g)
+
+    def test_peak_live_bytes_simple_chain(self):
+        g = chain_graph()
+        lifetimes = compute_lifetimes(g)
+        peak = peak_live_bytes(lifetimes)
+        assert peak == plan_memory(g).peak_live_bytes
+        assert 0 < peak <= sum(lt.size_bytes for lt in lifetimes)
 
     def test_overlap_predicate(self):
         a = Lifetime("a", 4, 0, 2)

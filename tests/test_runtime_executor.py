@@ -137,6 +137,127 @@ class TestFusedAndQuantized:
         np.testing.assert_allclose(out.astype(np.float32), ref, atol=5e-2)
 
 
+class TestFusedLeakyReluAlpha:
+    """Fused leaky_relu must keep its slope on every dispatch path.
+
+    Regression: the fused attr ``activation_alpha`` used to be dropped at
+    all dispatch sites, silently applying the default 0.1 slope.
+    """
+
+    ALPHA = 0.3
+
+    def _conv_pair(self, op_type, **extra_attrs):
+        """(unfused, fused) graphs for a conv-family op + leaky_relu."""
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+
+        unfused = Graph("u")
+        unfused.add_input(TensorSpec("x", (1, 2, 6, 6)))
+        unfused.add_initializer("w", w.copy() if op_type != "bconv2d"
+                                else np.sign(w).astype(np.int8))
+        unfused.add_node(op_type, ["x", "w"], ["c"], padding=1,
+                         name="conv", **extra_attrs)
+        unfused.add_node("leaky_relu", ["c"], ["y"], alpha=self.ALPHA,
+                         name="act")
+        unfused.set_outputs(["y"])
+
+        fused = Graph("f")
+        fused.add_input(TensorSpec("x", (1, 2, 6, 6)))
+        fused.add_initializer("w", w.copy() if op_type != "bconv2d"
+                              else np.sign(w).astype(np.int8))
+        target = "fused_conv2d" if op_type == "conv2d" else op_type
+        fused.add_node(target, ["x", "w"], ["y"], padding=1, name="conv",
+                       activation="leaky_relu",
+                       activation_alpha=self.ALPHA, **extra_attrs)
+        fused.set_outputs(["y"])
+        return unfused, fused, {"x": x}
+
+    def test_fused_conv2d_keeps_alpha(self):
+        unfused, fused, feeds = self._conv_pair("conv2d")
+        np.testing.assert_array_equal(
+            run_graph(fused, feeds)["y"], run_graph(unfused, feeds)["y"])
+
+    def test_fused_dense_keeps_alpha(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(5, 8)).astype(np.float32)
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        unfused = Graph("u")
+        unfused.add_input(TensorSpec("x", (2, 8)))
+        unfused.add_initializer("w", w)
+        unfused.add_node("dense", ["x", "w"], ["h"], name="fc")
+        unfused.add_node("leaky_relu", ["h"], ["y"], alpha=0.25, name="act")
+        unfused.set_outputs(["y"])
+        fused = Graph("f")
+        fused.add_input(TensorSpec("x", (2, 8)))
+        fused.add_initializer("w", w)
+        fused.add_node("fused_dense", ["x", "w"], ["y"], name="fc",
+                       activation="leaky_relu", activation_alpha=0.25)
+        fused.set_outputs(["y"])
+        feeds = {"x": x}
+        np.testing.assert_array_equal(
+            run_graph(fused, feeds)["y"], run_graph(unfused, feeds)["y"])
+
+    def test_bconv2d_keeps_alpha(self):
+        scale = np.full(4, 0.5, dtype=np.float32)
+        unfused, fused, feeds = self._conv_pair("bconv2d", scale=scale)
+        np.testing.assert_array_equal(
+            run_graph(fused, feeds)["y"], run_graph(unfused, feeds)["y"])
+
+    def test_bdense_keeps_alpha(self):
+        rng = np.random.default_rng(5)
+        w = np.sign(rng.normal(size=(5, 8))).astype(np.int8)
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        scale = np.full(5, 0.25, dtype=np.float32)
+        unfused = Graph("u")
+        unfused.add_input(TensorSpec("x", (2, 8)))
+        unfused.add_initializer("w", w)
+        unfused.add_node("bdense", ["x", "w"], ["h"], name="fc", scale=scale)
+        unfused.add_node("leaky_relu", ["h"], ["y"], alpha=0.4, name="act")
+        unfused.set_outputs(["y"])
+        fused = Graph("f")
+        fused.add_input(TensorSpec("x", (2, 8)))
+        fused.add_initializer("w", w)
+        fused.add_node("bdense", ["x", "w"], ["y"], name="fc", scale=scale,
+                       activation="leaky_relu", activation_alpha=0.4)
+        fused.set_outputs(["y"])
+        feeds = {"x": x}
+        np.testing.assert_array_equal(
+            run_graph(fused, feeds)["y"], run_graph(unfused, feeds)["y"])
+
+    def test_fusion_pass_end_to_end_nondefault_alpha(self):
+        """fuse_graph output is bitwise-identical to the original graph."""
+        from repro.optim import fuse_graph
+
+        unfused, _, feeds = self._conv_pair("conv2d")
+        ref = run_graph(unfused, feeds)["y"]
+        fused = fuse_graph(unfused)
+        assert fused.nodes[0].attrs["activation_alpha"] == self.ALPHA
+        out = run_graph(fused, feeds)[fused.output_names[0]]
+        np.testing.assert_array_equal(out, ref)
+        # The default-slope result differs, so the test would catch a
+        # dropped alpha rather than vacuously pass.
+        assert not np.array_equal(
+            ref, np.where(ref >= 0, ref, ref / self.ALPHA * 0.1))
+
+    def test_quantized_requantize_keeps_alpha(self):
+        from repro.runtime import QuantParams, quantized_dense
+
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        w = rng.normal(size=(6, 8)).astype(np.float32)
+        in_p = QuantParams(np.array(0.05), np.array(0))
+        w_p = QuantParams(np.array(0.05), np.array(0))
+        out_p = QuantParams(np.array(0.05), np.array(0))
+        qx, qw = in_p.quantize(x), w_p.quantize(w)
+        got = quantized_dense(qx, in_p, qw, w_p, None, out_p,
+                              activation="leaky_relu", activation_alpha=0.5)
+        real = (qx.astype(np.int32) @ qw.astype(np.int32).T) * \
+            (0.05 * 0.05)
+        real = np.where(real >= 0, real, 0.5 * real).astype(np.float32)
+        np.testing.assert_array_equal(got, out_p.quantize(real))
+
+
 class TestErrors:
     def test_node_failure_names_node(self):
         g = Graph("bad")

@@ -36,6 +36,18 @@ class TestProfile:
         _, result = profiled
         assert result.peak_activation_bytes > 0
 
+    def test_peak_is_live_set_not_total_sum(self, profiled):
+        """Regression: the peak used to be the monotone sum of every
+        output ever produced; it must be the true live-set maximum."""
+        from repro.optim import plan_memory
+
+        g, result = profiled
+        plan = plan_memory(g)
+        assert result.peak_activation_bytes == plan.peak_live_bytes
+        assert result.planned_peak_bytes == plan.peak_live_bytes
+        naive_sum = sum(layer.output_bytes for layer in result.layers)
+        assert result.peak_activation_bytes < naive_sum
+
     def test_every_node_profiled(self, profiled):
         g, result = profiled
         assert {layer.name for layer in result.layers} == \
