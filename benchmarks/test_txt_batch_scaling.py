@@ -1,0 +1,124 @@
+"""Txt-L — throughput scaling from batching and plan-pool workers.
+
+The paper's batch-size study shows throughput climbing with batch size
+until the accelerator saturates; this benchmark reproduces that lever on
+the host runtime and verifies the serving layer captures it online:
+
+1. *Executor-level batch scaling*: one arena-backed executor per batch
+   size, steady-state (zero-allocation) runs; batch 8 must beat batch 1
+   by >= 1.5x on at least one zoo model (dispatch overhead and GEMM
+   shape amortization).
+2. *Serving-engine worker scaling*: a closed-loop serve-bench sweep of
+   the plan-worker pool.  numpy only overlaps workers inside
+   GIL-releasing BLAS calls, so strict > 1x scaling is asserted only on
+   multi-core hosts; single-core hosts assert a no-collapse floor.
+3. *Allocation-free steady state*: after warmup, timed executor runs
+   perform zero scratch-arena allocations (and in particular zero large
+   ones), asserted via the arena's stats counters.
+
+``REPRO_BENCH_SMOKE=1`` shrinks runs/requests for CI smoke jobs.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.runtime import Executor
+from repro.serving import run_bench, sample_feeds
+from repro.serving.bench import render as render_bench
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+RUNS = 6 if SMOKE else 20
+REPEATS = 2 if SMOKE else 4
+REQUESTS = 24 if SMOKE else 96
+MODELS = ("mlp", "arc_net", "motor_net", "tiny_convnet")
+BATCHES = (1, 8)
+
+
+def _steady_throughput(graph, batch, runs=RUNS, repeats=REPEATS):
+    """Best-of samples/s of arena-backed steady-state runs, plus the
+    arena's allocation counters over the timed section."""
+    batched = graph.with_batch(batch)
+    single = sample_feeds(graph)
+    feeds = {name: np.concatenate([array] * batch, axis=0) if batch > 1
+             else array for name, array in single.items()}
+    executor = Executor(batched, reuse_buffers=True)
+    executor.recycle(executor.run(feeds))                   # warmup
+    arena = executor.plan.arena
+    baseline = arena.stats.snapshot()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(runs):
+            executor.recycle(executor.run(feeds))
+        best = min(best, (time.perf_counter() - start) / runs)
+    stats = arena.stats
+    return (batch / best,
+            stats.allocations - baseline.allocations,
+            stats.large_allocations - baseline.large_allocations,
+            stats.reuses - baseline.reuses)
+
+
+def batch_scaling_study():
+    rows = []
+    for name in MODELS:
+        graph = build_model(name)
+        per_batch = {}
+        for batch in BATCHES:
+            fps, allocs, large, reuses = _steady_throughput(graph, batch)
+            per_batch[batch] = (fps, allocs, large, reuses)
+        rows.append((name, per_batch))
+    return rows
+
+
+def render_scaling(rows):
+    lines = [f"{'model':<16}{'batch':>6}{'samples/s':>12}{'speedup':>9}"
+             f"{'allocs':>8}{'large':>7}{'reuses':>8}"]
+    for name, per_batch in rows:
+        base = per_batch[BATCHES[0]][0]
+        for batch in BATCHES:
+            fps, allocs, large, reuses = per_batch[batch]
+            lines.append(f"{name:<16}{batch:>6}{fps:>12.1f}"
+                         f"{fps / base:>8.2f}x{allocs:>8}{large:>7}"
+                         f"{reuses:>8}")
+    return "\n".join(lines)
+
+
+def test_txt_batch_scaling(benchmark, report):
+    rows = benchmark.pedantic(batch_scaling_study, rounds=1, iterations=1)
+
+    # Worker-pool sweep over the serving engine (closed loop).
+    graph = build_model("tiny_convnet")
+    sweep = run_bench(graph, configs=[(1, 1), (1, 8), (4, 8)],
+                      requests=REQUESTS, warmup=8)
+    report("txt_batch_scaling",
+           render_scaling(rows) + "\n\n" +
+           render_bench(sweep, name="tiny_convnet serve-bench") +
+           f"\n(host cpu_count={os.cpu_count()}, smoke={SMOKE})")
+
+    # 1. Batching captures >= 1.5x on at least one model.
+    speedups = {name: per_batch[8][0] / per_batch[1][0]
+                for name, per_batch in rows}
+    assert max(speedups.values()) >= 1.5, speedups
+    # 2. Steady state is allocation-free: the timed runs performed no
+    #    arena allocations at all — large or small — on any model/batch.
+    for name, per_batch in rows:
+        for batch, (fps, allocs, large, reuses) in per_batch.items():
+            assert allocs == 0, (name, batch, allocs)
+            assert large == 0, (name, batch, large)
+            assert reuses > 0, (name, batch)
+    # 3. Micro-batching wins end-to-end through the serving engine too.
+    by_config = {(r.workers, r.max_batch): r for r in sweep}
+    assert (by_config[(1, 8)].throughput_rps
+            > by_config[(1, 1)].throughput_rps)
+    # 4. Worker-pool scaling: strict on multi-core hosts; on a single
+    #    core the GIL serializes workers, so only assert no collapse.
+    pool_ratio = (by_config[(4, 8)].throughput_rps
+                  / by_config[(1, 8)].throughput_rps)
+    if (os.cpu_count() or 1) >= 2:
+        assert pool_ratio > 1.0, pool_ratio
+    else:
+        assert pool_ratio > 0.5, pool_ratio

@@ -6,6 +6,7 @@ Subcommands:
     accelerators [--family F]   list the accelerator catalog (Fig. 3 data)
     predict                     roofline prediction of a model on a platform
     plan                        compile a model's execution plan + memory arena
+    serve-bench                 benchmark the batched serving engine
     optimize                    run the deployment pipeline on a dataset
     simulate                    assemble and run a program on the RV32 SoC
 
@@ -52,6 +53,26 @@ def _cmd_accelerators(args: argparse.Namespace) -> int:
     return 0
 
 
+def _measured_fps(graph, batch: int, repeat: int) -> float:
+    """Measured host throughput: run ``repeat`` arena-backed inferences."""
+    import time
+
+    from .runtime import Executor
+    from .serving.bench import sample_feeds
+
+    batched = graph.with_batch(batch)
+    feeds = {name: np.concatenate([array] * batch, axis=0) if batch > 1
+             else array
+             for name, array in sample_feeds(graph).items()}
+    executor = Executor(batched, reuse_buffers=True)
+    executor.recycle(executor.run(feeds))        # warmup
+    start = time.perf_counter()
+    for _ in range(repeat):
+        executor.recycle(executor.run(feeds))
+    elapsed = time.perf_counter() - start
+    return repeat * batch / elapsed if elapsed > 0 else 0.0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     from .hw import RooflineModel, resolve_platform
     from .ir import build_model
@@ -61,17 +82,25 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     spec = resolve_platform(args.platform)
     model = RooflineModel(spec)
     dtype = DType(args.dtype) if args.dtype else None
+    batches = [args.batch] if args.batch is not None else args.batches
+    measured = args.repeat > 0
     print(f"{args.model} on {spec.name}:")
-    print(f"{'batch':>6}{'dtype':>7}{'lat ms':>9}{'GOPS':>8}{'W':>7}"
-          f"{'mJ/inf':>9}{'fps':>8}")
-    for batch in args.batches:
+    header = (f"{'batch':>6}{'dtype':>7}{'lat ms':>9}{'GOPS':>8}{'W':>7}"
+              f"{'mJ/inf':>9}{'fps':>8}")
+    if measured:
+        header += f"{'host fps':>10}"
+    print(header)
+    for batch in batches:
         prediction = model.predict(graph, batch=batch, dtype=dtype)
-        print(f"{batch:>6}{prediction.dtype.value:>7}"
-              f"{prediction.latency_s * 1e3:>9.2f}"
-              f"{prediction.throughput_gops:>8.0f}"
-              f"{prediction.avg_power_w:>7.1f}"
-              f"{prediction.energy_per_inference_j * 1e3:>9.2f}"
-              f"{prediction.fps:>8.1f}")
+        line = (f"{batch:>6}{prediction.dtype.value:>7}"
+                f"{prediction.latency_s * 1e3:>9.2f}"
+                f"{prediction.throughput_gops:>8.0f}"
+                f"{prediction.avg_power_w:>7.1f}"
+                f"{prediction.energy_per_inference_j * 1e3:>9.2f}"
+                f"{prediction.fps:>8.1f}")
+        if measured:
+            line += f"{_measured_fps(graph, batch, args.repeat):>10.1f}"
+        print(line)
     return 0
 
 
@@ -89,6 +118,54 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"execution plan for {graph.name!r}: {len(plan)} steps, "
               f"peak live {plan.peak_live_bytes / 1024:.1f} KiB")
     print(memory.report())
+    if args.repeat > 0:
+        import time
+
+        from .runtime import Executor
+        from .serving.bench import sample_feeds
+
+        feeds = {name: np.concatenate([array] * args.batch, axis=0)
+                 if args.batch > 1 else array
+                 for name, array in sample_feeds(graph).items()}
+        executor = Executor(graph, reuse_buffers=True, plan=plan)
+        executor.recycle(executor.run(feeds))            # warmup
+        arena = executor.plan.arena
+        baseline = arena.stats.snapshot()
+        start = time.perf_counter()
+        for _ in range(args.repeat):
+            executor.recycle(executor.run(feeds))
+        elapsed = time.perf_counter() - start
+        steady = arena.stats.allocations - baseline.allocations
+        per_batch_ms = elapsed / args.repeat * 1e3
+        print(f"executed {args.repeat}x batch={args.batch}: "
+              f"{per_batch_ms:.2f} ms/batch, "
+              f"{args.repeat * args.batch / elapsed:.1f} samples/s, "
+              f"{steady} steady-state allocations "
+              f"({arena.stats.reuses - baseline.reuses} buffer reuses)")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .ir import build_model
+    from .serving import render, run_bench
+
+    kwargs = {}
+    if args.image_size:
+        kwargs["image_size"] = args.image_size
+    graph = build_model(args.model, **kwargs)
+    configs = []
+    for raw in args.configs:
+        try:
+            workers, max_batch = (int(part) for part in raw.split("x"))
+        except ValueError:
+            print(f"bad config {raw!r}: expected WORKERSxBATCH, e.g. 1x8",
+                  file=sys.stderr)
+            return 2
+        configs.append((workers, max_batch))
+    results = run_bench(graph, configs=configs, requests=args.requests,
+                        clients=args.clients, warmup=args.warmup,
+                        max_latency_ms=args.max_latency_ms)
+    print(render(results, name=args.model))
     return 0
 
 
@@ -192,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--dtype", choices=("fp32", "fp16", "int8"))
     p_pred.add_argument("--batches", type=int, nargs="+",
                         default=[1, 4, 8])
+    p_pred.add_argument("--batch", type=int, default=None,
+                        help="predict a single batch size (overrides "
+                             "--batches)")
+    p_pred.add_argument("--repeat", type=int, default=0,
+                        help="also measure host throughput over K "
+                             "arena-backed runs per batch size")
     p_pred.set_defaults(fn=_cmd_predict)
 
     p_plan = sub.add_parser("plan",
@@ -200,7 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--batch", type=int, default=1)
     p_plan.add_argument("--steps", action="store_true",
                         help="list every bound step with its release set")
+    p_plan.add_argument("--repeat", type=int, default=0,
+                        help="execute the compiled plan K times on the "
+                             "scratch arena and report timing")
     p_plan.set_defaults(fn=_cmd_plan)
+
+    p_serve = sub.add_parser("serve-bench",
+                             help="benchmark the batched serving engine")
+    p_serve.add_argument("--model", default="tiny_convnet")
+    p_serve.add_argument("--image-size", type=int, default=None,
+                         help="override the model's input resolution")
+    p_serve.add_argument("--configs", nargs="+", default=["1x1", "1x8"],
+                         help="WORKERSxBATCH configurations to sweep")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="measured requests per configuration")
+    p_serve.add_argument("--clients", type=int, default=None,
+                         help="closed-loop client threads (default: "
+                              "workers * max_batch)")
+    p_serve.add_argument("--warmup", type=int, default=8)
+    p_serve.add_argument("--max-latency-ms", type=float, default=2.0,
+                         help="batching deadline for the oldest request")
+    p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_opt = sub.add_parser("optimize",
                            help="run the deployment pipeline")

@@ -55,6 +55,15 @@ class ComputeNode:
     def predict(self, graph: Graph) -> Prediction:
         return RooflineModel(self.spec).predict(graph, batch=1)
 
+    def batch_throughput(self, graph: Graph,
+                         batches: Sequence[int] = (1, 4, 8),
+                         ) -> Dict[int, float]:
+        """Predicted samples/s at each batch size (the serving layer's
+        micro-batching decides how far up this curve a node runs)."""
+        model = RooflineModel(self.spec)
+        return {int(b): model.predict(graph, batch=int(b)).fps
+                for b in batches}
+
 
 @dataclass
 class Assignment:

@@ -1,6 +1,8 @@
 """Reference runtime: numpy kernels, compiled plans, executor, profiler."""
 
+from .arena import ArenaStats, RunContext, ScratchArena
 from .executor import Executor, run_graph
+from .kernels import Workspace
 from .plan import CompiledStep, ExecutionError, ExecutionPlan, compile_node, compile_plan
 from .profiler import LayerProfile, Profiler, ProfileResult, profile_graph
 from .quantized import (
@@ -12,6 +14,7 @@ from .quantized import (
 )
 
 __all__ = [
+    "ArenaStats", "RunContext", "ScratchArena", "Workspace",
     "ExecutionError", "Executor", "run_graph",
     "CompiledStep", "ExecutionPlan", "compile_node", "compile_plan",
     "LayerProfile", "Profiler", "ProfileResult", "profile_graph",

@@ -10,6 +10,14 @@ call the bound kernel, fire hooks, store outputs, drop dead tensors — so
 repeated inference pays no per-run dispatch or attr-lookup cost and holds
 no more activation memory than the planner's ``peak_live_bytes``.
 
+With ``reuse_buffers=True`` the executor goes one step further: node
+outputs are allocated through the plan instance's scratch arena and dead
+intermediates are returned to it, so after a warmup run steady-state
+inference performs no large heap allocations (the arena's stats counters
+prove it).  Callers that want a fully closed loop hand their finished
+output arrays back via :meth:`Executor.recycle` — what the serving
+engine does after splitting a batch into per-request copies.
+
 It supports float graphs, QDQ-quantized graphs produced by the PTQ pass,
 binarized graphs, and fused graphs.  Per-node hooks allow the profiler
 (latency/memory measurements, Kenning-style) and the safety fault
@@ -18,12 +26,13 @@ injector to observe or perturb intermediate tensors.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
 from ..ir.graph import Graph, Node
 from ..ir.tensor import TensorSpec
+from .arena import RunContext
 from .plan import ExecutionError, ExecutionPlan, compile_plan
 
 # Hook signature: (node, output arrays) -> possibly-replaced output arrays.
@@ -41,13 +50,35 @@ class Executor:
         When true, :meth:`run` returns every tensor, not just graph outputs
         (used by the robustness monitors and by debugging tools).  This
         disables early release of dead activations.
+    reuse_buffers
+        When true, the executor attaches a per-instance scratch arena and
+        kernel workspace to the plan and routes all activation storage
+        through them.  Incompatible with ``keep_intermediates`` (tensors
+        kept for the caller can never be recycled).
+    plan
+        An already-compiled plan to reuse (compiled steps are immutable
+        and shareable); the serving engine's worker pool passes the same
+        base plan to every worker instead of recompiling the graph.
     """
 
-    def __init__(self, graph: Graph, keep_intermediates: bool = False) -> None:
-        self.plan: ExecutionPlan = compile_plan(graph)
+    def __init__(self, graph: Graph, keep_intermediates: bool = False,
+                 reuse_buffers: bool = False,
+                 plan: Optional[ExecutionPlan] = None) -> None:
+        if keep_intermediates and reuse_buffers:
+            raise ValueError(
+                "keep_intermediates and reuse_buffers are mutually "
+                "exclusive: kept tensors can never be recycled")
+        if plan is None:
+            plan = compile_plan(graph)
+        if reuse_buffers:
+            plan = plan.with_buffers()
+        self.plan: ExecutionPlan = plan
         self.graph = graph
         self.specs: Dict[str, TensorSpec] = self.plan.specs
         self.keep_intermediates = keep_intermediates
+        self.reuse_buffers = reuse_buffers
+        self._ctx: Optional[RunContext] = (
+            RunContext(plan.arena, plan.workspace) if reuse_buffers else None)
         self._hooks: List[NodeHook] = []
 
     def add_hook(self, hook: NodeHook) -> None:
@@ -83,11 +114,13 @@ class Executor:
         env = self._check_feeds(feeds)
         env.update(self.graph.initializers)
         release = not self.keep_intermediates
+        ctx = self._ctx
         for step in self.plan.steps:
             node = step.node
             args = [env[name] for name in node.inputs]
             try:
-                outputs = step.run(args)
+                outputs = step.run(args, ctx) if ctx is not None \
+                    else step.run(args)
             except ExecutionError:
                 raise
             except Exception as exc:
@@ -97,15 +130,45 @@ class Executor:
             for hook in self._hooks:
                 replaced = hook(node, outputs)
                 if replaced is not None:
+                    if ctx is not None:
+                        # A hook that substitutes a tensor orphans the
+                        # arena original; reclaim it unless the
+                        # replacement still aliases its storage.
+                        for orig, new in zip(outputs, replaced):
+                            if new is not orig and \
+                                    not np.may_share_memory(orig, new):
+                                ctx.arena.release(orig)
                     outputs = replaced
             for name, value in zip(node.outputs, outputs):
                 env[name] = value
             if release:
                 for name in step.release:
-                    del env[name]
+                    dead = env.pop(name)
+                    if ctx is not None:
+                        ctx.arena.release(dead)
         if self.keep_intermediates:
             return env
-        return {name: env[name] for name in self.graph.output_names}
+        results = {name: env[name] for name in self.graph.output_names}
+        if ctx is not None:
+            # Outputs escape to the caller; stop tracking them so the
+            # arena never hands their storage out again behind the
+            # caller's back.  recycle() re-donates them explicitly.
+            for value in results.values():
+                ctx.arena.detach(value)
+        return results
+
+    def recycle(self, outputs: Union[Mapping[str, np.ndarray],
+                                     Iterable[np.ndarray]]) -> None:
+        """Donate finished output arrays back to the scratch arena.
+
+        No-op without ``reuse_buffers``.  After recycling, the arrays
+        must no longer be read — their storage will back future runs.
+        """
+        if self._ctx is None:
+            return
+        arrays = outputs.values() if isinstance(outputs, Mapping) else outputs
+        for array in arrays:
+            self._ctx.arena.adopt(array)
 
     def __call__(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         return self.run(feeds)

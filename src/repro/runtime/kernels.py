@@ -5,11 +5,20 @@ vectorization over micro-optimization: conv2d uses an im2col formulation so
 small models execute in milliseconds, which is all the toolchain tests and
 the use-case pipelines need (large models are evaluated analytically by the
 hardware performance model, not executed).
+
+Every hot kernel additionally accepts scratch buffers so the serving
+engine's steady-state path performs no large allocations: ``out=`` receives
+a preallocated destination (normally from a plan's
+:class:`repro.runtime.arena.ScratchArena`) and ``workspace=`` a
+:class:`Workspace` holding reusable intra-kernel scratch (im2col columns,
+padded inputs, fp32 accumulators) keyed by shape/dtype.  The scratch
+variants are bitwise-identical to the allocating path: both sides run the
+same ufunc/BLAS calls in the same order, only the destination differs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,20 +29,85 @@ def _pair(value) -> Tuple[int, int]:
     return int(value), int(value)
 
 
+class Workspace:
+    """Reusable scratch buffers keyed by (tag, shape, dtype).
+
+    A kernel asks for the same scratch shape on every call, so each key
+    allocates exactly once and is then recycled for the lifetime of the
+    plan instance.  The tag separates buffers a single kernel needs
+    simultaneously (columns vs. padded input vs. accumulator).
+    """
+
+    __slots__ = ("_buffers", "allocations", "allocated_bytes", "hits")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+        self.allocations = 0
+        self.allocated_bytes = 0
+        self.hits = 0
+
+    def get(self, shape, dtype, tag: str = "") -> np.ndarray:
+        key = (tag, tuple(int(d) for d in shape), np.dtype(dtype).str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(key[1], dtype=np.dtype(key[2]))
+            self._buffers[key] = buf
+            self.allocations += 1
+            self.allocated_bytes += buf.nbytes
+        else:
+            self.hits += 1
+        return buf
+
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+def _pad_into(buffer: np.ndarray, data: np.ndarray, ph: int, pw: int,
+              value: float) -> np.ndarray:
+    """Fill ``buffer`` with ``data`` surrounded by a constant border."""
+    h, w = data.shape[2], data.shape[3]
+    buffer[:, :, :ph, :] = value
+    buffer[:, :, ph + h:, :] = value
+    buffer[:, :, :, :pw] = value
+    buffer[:, :, :, pw + w:] = value
+    buffer[:, :, ph:ph + h, pw:pw + w] = data
+    return buffer
+
+
 def im2col(data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
-           padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold NCHW input into (N, C*kh*kw, oh*ow) patch columns."""
+           padding: Tuple[int, int], out: Optional[np.ndarray] = None,
+           pad_buffer: Optional[np.ndarray] = None,
+           ) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NCHW input into (N, C*kh*kw, oh*ow) patch columns.
+
+    ``out`` may be a preallocated column buffer (its dtype wins: slice
+    assignment upcasts fp16 data exactly, which is how the fp16 path
+    builds fp32 columns without an intermediate copy).  ``pad_buffer`` is
+    a reusable (N, C, H+2ph, W+2pw) scratch for the padded input; padding
+    is always zero-filled explicitly so fp16 inputs keep their dtype and
+    pad value through ``np.pad``.
+    """
     n, c, h, w = data.shape
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
     if ph or pw:
-        data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        if pad_buffer is not None:
+            data = _pad_into(pad_buffer, data, ph, pw, 0)
+        else:
+            data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                          constant_values=0)
     oh = (h + 2 * ph - kh) // sh + 1
     ow = (w + 2 * pw - kw) // sw + 1
     # Gather all kernel offsets via strided slicing; avoids Python loops over
     # output pixels (the dominant cost for reference conv).
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=data.dtype)
+    if out is None:
+        cols = np.empty((n, c, kh, kw, oh, ow), dtype=data.dtype)
+    else:
+        cols = out.reshape(n, c, kh, kw, oh, ow)
     for i in range(kh):
         i_end = i + sh * oh
         for j in range(kw):
@@ -43,60 +117,155 @@ def im2col(data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
 
 
 def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
-           stride=1, padding=0, groups: int = 1) -> np.ndarray:
-    """2-D convolution, NCHW input, OIHW weight, optional groups."""
+           stride=1, padding=0, groups: int = 1,
+           out: Optional[np.ndarray] = None,
+           workspace: Optional[Workspace] = None) -> np.ndarray:
+    """2-D convolution, NCHW input, OIHW weight, optional groups.
+
+    With ``out``/``workspace`` the kernel writes its result into the
+    caller's buffer and draws all scratch (columns, padded input, fp32
+    accumulator for fp16 data) from the workspace instead of the heap.
+    """
     stride = _pair(stride)
     padding = _pair(padding)
-    n = data.shape[0]
+    n, _, h, w = data.shape
     out_c, in_c, kh, kw = weight.shape
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // stride[0] + 1
+    ow = (w + 2 * pw - kw) // stride[1] + 1
     if groups == 1:
-        cols, (oh, ow) = im2col(data, (kh, kw), stride, padding)
+        # FP16 semantics: half-precision storage, single-precision
+        # accumulation (what FP16 tensor units actually do).
+        halved = data.dtype == np.float16
+        compute_dtype = np.float32 if halved else data.dtype
+        cols_buf = pad_buf = None
+        if workspace is not None:
+            cols_buf = workspace.get((n, in_c * kh * kw, oh * ow),
+                                     compute_dtype, "im2col")
+            if ph or pw:
+                pad_buf = workspace.get((n, in_c, h + 2 * ph, w + 2 * pw),
+                                        data.dtype, "pad")
+        cols, _ = im2col(data, (kh, kw), stride, padding,
+                         out=cols_buf, pad_buffer=pad_buf)
         w2 = weight.reshape(out_c, in_c * kh * kw)
-        if data.dtype == np.float16:
-            # FP16 semantics: half-precision storage, single-precision
-            # accumulation (what FP16 tensor units actually do).
-            cols = cols.astype(np.float32)
-            w2 = w2.astype(np.float32)
-        out = np.einsum("of,nfp->nop", w2, cols, optimize=True)
-        out = out.reshape(n, out_c, oh, ow)
+        if halved:
+            if cols.dtype != np.float32:
+                cols = cols.astype(np.float32)
+            if workspace is not None:
+                w32 = workspace.get(w2.shape, np.float32, "weight")
+                np.copyto(w32, w2)
+                w2 = w32
+            else:
+                w2 = w2.astype(np.float32)
+        if out is not None and out.dtype == compute_dtype:
+            acc = out.reshape(n, out_c, oh * ow)
+            np.matmul(w2, cols, out=acc)
+            res = out
+        elif out is not None:
+            if workspace is not None:
+                acc_buf = workspace.get((n, out_c, oh * ow), compute_dtype,
+                                        "acc")
+            else:
+                acc_buf = np.empty((n, out_c, oh * ow), dtype=compute_dtype)
+            np.matmul(w2, cols, out=acc_buf)
+            res = acc_buf.reshape(n, out_c, oh, ow)
+        else:
+            res = np.matmul(w2, cols).reshape(n, out_c, oh, ow)
     else:
         in_per_group = data.shape[1] // groups
         out_per_group = out_c // groups
-        outputs = []
-        for g in range(groups):
-            d = data[:, g * in_per_group:(g + 1) * in_per_group]
-            w = weight[g * out_per_group:(g + 1) * out_per_group]
-            outputs.append(conv2d(d, w, stride=stride, padding=padding))
-        out = np.concatenate(outputs, axis=1)
+        if out is None:
+            parts = []
+            for g in range(groups):
+                d = data[:, g * in_per_group:(g + 1) * in_per_group]
+                wg = weight[g * out_per_group:(g + 1) * out_per_group]
+                parts.append(conv2d(d, wg, stride=stride, padding=padding,
+                                    workspace=workspace))
+            res = np.concatenate(parts, axis=1)
+        else:
+            for g in range(groups):
+                d = data[:, g * in_per_group:(g + 1) * in_per_group]
+                wg = weight[g * out_per_group:(g + 1) * out_per_group]
+                gbuf = None
+                if workspace is not None:
+                    gbuf = workspace.get((n, out_per_group, oh, ow),
+                                         out.dtype, "group_out")
+                part = conv2d(d, wg, stride=stride, padding=padding,
+                              out=gbuf, workspace=workspace)
+                out[:, g * out_per_group:(g + 1) * out_per_group] = part
+            res = out
     if bias is not None:
-        out = out + bias.reshape(1, -1, 1, 1)
-    if np.issubdtype(data.dtype, np.floating):
-        out = out.astype(data.dtype, copy=False)
-    return out
+        b4 = bias.reshape(1, -1, 1, 1)
+        if out is None:
+            res = res + b4
+        else:
+            np.add(res, b4, out=res)
+    if np.issubdtype(data.dtype, np.floating) and res.dtype != data.dtype:
+        if out is not None:
+            out[...] = res       # cast-copy (fp32 accumulator -> fp16 out)
+            res = out
+        else:
+            res = res.astype(data.dtype, copy=False)
+    return res
 
 
-def dense(data: np.ndarray, weight: np.ndarray, bias=None) -> np.ndarray:
+def dense(data: np.ndarray, weight: np.ndarray, bias=None,
+          out: Optional[np.ndarray] = None,
+          workspace: Optional[Workspace] = None) -> np.ndarray:
     """Affine map over the last axis: y = x @ W.T + b (weight is (out, in))."""
-    if data.dtype == np.float16:
-        out = (data.astype(np.float32) @ weight.astype(np.float32).T)
+    halved = data.dtype == np.float16
+    if halved:
+        if workspace is None:
+            a32 = data.astype(np.float32)
+            w32 = weight.astype(np.float32)
+        else:
+            a32 = workspace.get(data.shape, np.float32, "dense_in")
+            np.copyto(a32, data)
+            w32 = workspace.get(weight.shape, np.float32, "dense_w")
+            np.copyto(w32, weight)
+        if out is not None:
+            acc_shape = data.shape[:-1] + (weight.shape[0],)
+            if workspace is not None:
+                acc = workspace.get(acc_shape, np.float32, "dense_acc")
+            else:
+                acc = np.empty(acc_shape, dtype=np.float32)
+            np.matmul(a32, w32.T, out=acc)
+            res = acc
+        else:
+            res = a32 @ w32.T
+    elif out is not None:
+        np.matmul(data, weight.T, out=out)
+        res = out
     else:
-        out = data @ weight.T
+        res = data @ weight.T
     if bias is not None:
-        out = out + bias
-    if np.issubdtype(data.dtype, np.floating):
-        out = out.astype(data.dtype, copy=False)
-    return out
+        if out is None:
+            res = res + bias
+        else:
+            np.add(res, bias, out=res)
+    if np.issubdtype(data.dtype, np.floating) and res.dtype != data.dtype:
+        if out is not None:
+            out[...] = res
+            res = out
+        else:
+            res = res.astype(data.dtype, copy=False)
+    return res
 
 
 def batchnorm(data: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
               mean: np.ndarray, var: np.ndarray,
-              epsilon: float = 1e-5) -> np.ndarray:
+              epsilon: float = 1e-5,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
     """Inference-mode batch normalization over the channel axis (axis 1)."""
     shape = [1] * data.ndim
     shape[1] = -1
     scale = (gamma / np.sqrt(var + epsilon)).reshape(shape)
     shift = (beta - mean * gamma / np.sqrt(var + epsilon)).reshape(shape)
-    return data * scale + shift
+    if out is None:
+        return data * scale + shift
+    np.multiply(data, scale, out=out)
+    np.add(out, shift, out=out)
+    return out
 
 
 # -- activations -------------------------------------------------------------
@@ -159,6 +328,13 @@ ACTIVATIONS = {
     "identity": lambda x: x,
 }
 
+# Activations apply_activation_inplace can rewrite in place without
+# changing a single output bit relative to the ACTIVATIONS entry.
+INPLACE_ACTIVATIONS = frozenset({
+    "identity", "relu", "relu6", "tanh", "leaky_relu",
+    "hardsigmoid", "hardswish",
+})
+
 
 def resolve_activation(name, alpha=None):
     """Bind an activation name (and optional ``leaky_relu`` slope) once.
@@ -176,10 +352,59 @@ def resolve_activation(name, alpha=None):
     return ACTIVATIONS[name]
 
 
+def apply_activation_inplace(name, x: np.ndarray,
+                             workspace: Optional[Workspace] = None,
+                             alpha=None) -> bool:
+    """Apply an activation to ``x`` in place; return False if unsupported.
+
+    Every supported rewrite performs exactly the operations of the
+    allocating form, so the values written are bitwise-identical — the
+    invariant the zoo equivalence suite asserts.  ``leaky_relu`` and
+    ``hardswish`` need workspace scratch and report unsupported without it.
+    """
+    if name not in INPLACE_ACTIVATIONS:
+        return False
+    if name == "identity":
+        return True
+    if name == "relu":
+        np.maximum(x, 0, out=x)
+        return True
+    if name == "relu6":
+        np.clip(x, 0, 6, out=x)
+        return True
+    if name == "tanh":
+        np.tanh(x, out=x)
+        return True
+    if name == "hardsigmoid":
+        x /= 6.0
+        x += 0.5
+        np.clip(x, 0.0, 1.0, out=x)
+        return True
+    if workspace is None:
+        return False
+    if name == "leaky_relu":
+        slope = 0.1 if alpha is None else float(alpha)
+        scaled = workspace.get(x.shape, x.dtype, "act_scaled")
+        np.multiply(x, slope, out=scaled)
+        mask = workspace.get(x.shape, np.bool_, "act_mask")
+        np.less(x, 0, out=mask)
+        np.copyto(x, scaled, where=mask)
+        return True
+    # hardswish: x * hardsigmoid(x) with the gate built in scratch.
+    gate = workspace.get(x.shape, x.dtype, "act_gate")
+    np.copyto(gate, x)
+    gate /= 6.0
+    gate += 0.5
+    np.clip(gate, 0.0, 1.0, out=gate)
+    np.multiply(x, gate, out=x)
+    return True
+
+
 # -- pooling ------------------------------------------------------------------
 
 def _pool2d(data: np.ndarray, kernel, stride, padding, reducer,
-            pad_value: float) -> np.ndarray:
+            pad_value: float, out: Optional[np.ndarray] = None,
+            workspace: Optional[Workspace] = None) -> np.ndarray:
     kernel = _pair(kernel)
     stride = _pair(stride)
     padding = _pair(padding)
@@ -188,11 +413,21 @@ def _pool2d(data: np.ndarray, kernel, stride, padding, reducer,
     sh, sw = stride
     ph, pw = padding
     if ph or pw:
-        data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
-                      constant_values=pad_value)
+        if workspace is not None:
+            data = _pad_into(
+                workspace.get((n, c, h + 2 * ph, w + 2 * pw), data.dtype,
+                              "pool_pad"),
+                data, ph, pw, pad_value)
+        else:
+            data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                          constant_values=pad_value)
     oh = (h + 2 * ph - kh) // sh + 1
     ow = (w + 2 * pw - kw) // sw + 1
-    windows = np.empty((n, c, oh, ow, kh * kw), dtype=data.dtype)
+    if workspace is not None:
+        windows = workspace.get((n, c, oh, ow, kh * kw), data.dtype,
+                                "pool_windows")
+    else:
+        windows = np.empty((n, c, oh, ow, kh * kw), dtype=data.dtype)
     idx = 0
     for i in range(kh):
         i_end = i + sh * oh
@@ -200,15 +435,22 @@ def _pool2d(data: np.ndarray, kernel, stride, padding, reducer,
             j_end = j + sw * ow
             windows[..., idx] = data[:, :, i:i_end:sh, j:j_end:sw]
             idx += 1
+    if out is not None:
+        return reducer(windows, axis=-1, out=out)
     return reducer(windows, axis=-1)
 
 
-def maxpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
+def maxpool2d(data: np.ndarray, kernel, stride=None, padding=0,
+              out: Optional[np.ndarray] = None,
+              workspace: Optional[Workspace] = None) -> np.ndarray:
     stride = kernel if stride is None else stride
-    return _pool2d(data, kernel, stride, padding, np.max, -np.inf)
+    return _pool2d(data, kernel, stride, padding, np.max, -np.inf,
+                   out=out, workspace=workspace)
 
 
-def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
+def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0,
+              out: Optional[np.ndarray] = None,
+              workspace: Optional[Workspace] = None) -> np.ndarray:
     """Average pooling with *count-include-pad* semantics.
 
     Padded positions contribute zeros to the window sum and are counted in
@@ -217,17 +459,31 @@ def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0) -> np.ndarray:
     excluding padding from the divisor.
     """
     stride = kernel if stride is None else stride
-    return _pool2d(data, kernel, stride, padding, np.mean, 0.0)
+    return _pool2d(data, kernel, stride, padding, np.mean, 0.0,
+                   out=out, workspace=workspace)
 
 
 def global_avgpool2d(data: np.ndarray) -> np.ndarray:
     return data.mean(axis=(2, 3), keepdims=True)
 
 
-def upsample2d(data: np.ndarray, scale: int) -> np.ndarray:
+def upsample2d(data: np.ndarray, scale: int,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
     """Nearest-neighbour upsampling by an integer factor."""
-    return data.repeat(scale, axis=2).repeat(scale, axis=3)
+    if out is None:
+        return data.repeat(scale, axis=2).repeat(scale, axis=3)
+    n, c, h, w = data.shape
+    view = out.reshape(n, c, h, scale, w, scale)
+    view[...] = data[:, :, :, None, :, None]
+    return out
 
 
-def pad(data: np.ndarray, pads) -> np.ndarray:
-    return np.pad(data, [(int(b), int(a)) for b, a in pads])
+def pad(data: np.ndarray, pads,
+        out: Optional[np.ndarray] = None) -> np.ndarray:
+    if out is None:
+        return np.pad(data, [(int(b), int(a)) for b, a in pads])
+    out.fill(0)
+    interior = tuple(slice(int(b), int(b) + dim)
+                     for (b, _), dim in zip(pads, data.shape))
+    out[interior] = data
+    return out

@@ -14,11 +14,19 @@ intermediate tensors whose last consumer just ran are released, so the
 executor's live set never exceeds the memory planner's
 ``peak_live_bytes`` lower bound (the arena-reuse semantics of
 Sec. II-B's activation-memory study, applied to execution).
+
+A plan *instance* additionally owns a scratch arena and kernel workspace
+(:meth:`ExecutionPlan.with_buffers`): every bound kernel accepts an
+optional :class:`repro.runtime.arena.RunContext` and, when given one,
+writes its output into recycled arena buffers and draws intra-kernel
+scratch from the workspace, so steady-state inference performs no large
+allocations.  Compiled steps are immutable and shared — a worker pool
+clones cheap per-worker instances over the same steps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,10 +34,13 @@ import numpy as np
 from ..ir.graph import Graph, Node
 from ..ir.tensor import DType, TensorSpec
 from . import kernels
+from .arena import RunContext, ScratchArena
 from .quantized import QuantParams, quantized_conv2d, quantized_dense
 
-# A bound kernel: positional input arrays in, output arrays out.
-KernelFn = Callable[[Sequence[np.ndarray]], List[np.ndarray]]
+# A bound kernel: positional input arrays in, output arrays out.  The
+# optional context supplies arena/workspace buffers; kernels must behave
+# identically (bitwise) with or without it.
+KernelFn = Callable[..., List[np.ndarray]]
 
 
 class ExecutionError(RuntimeError):
@@ -48,15 +59,32 @@ class CompiledStep:
 
 @dataclass
 class ExecutionPlan:
-    """The compiled form of a graph: an ordered list of bound steps."""
+    """The compiled form of a graph: an ordered list of bound steps.
+
+    ``arena`` and ``workspace`` are per-instance scratch storage (None on
+    a freshly compiled plan); :meth:`with_buffers` derives an instance
+    that shares the immutable compiled steps but owns fresh buffers, which
+    is how the serving engine's worker pool gets one plan instance per
+    worker without recompiling.
+    """
 
     graph_name: str
     steps: List[CompiledStep]
     specs: Dict[str, TensorSpec]
     peak_live_bytes: int
+    arena: Optional[ScratchArena] = field(default=None, repr=False)
+    workspace: Optional[kernels.Workspace] = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.steps)
+
+    def with_buffers(self) -> "ExecutionPlan":
+        """A new plan instance sharing compiled steps, with its own
+        scratch arena and kernel workspace."""
+        return ExecutionPlan(self.graph_name, self.steps, self.specs,
+                             self.peak_live_bytes,
+                             arena=ScratchArena(),
+                             workspace=kernels.Workspace())
 
     def summary(self) -> str:
         """Human-readable step listing with the release schedule."""
@@ -76,7 +104,10 @@ class ExecutionPlan:
 # -- per-op kernel builders ----------------------------------------------------
 #
 # A builder runs once at compile time; everything it resolves from node
-# attrs or specs is captured in the returned closure.
+# attrs or specs is captured in the returned closure.  Each closure takes
+# (args, ctx=None): without a context it allocates exactly as the seed
+# kernels did; with one it routes outputs through the arena and scratch
+# through the workspace.
 
 _BUILDERS: Dict[str, Callable[[Node, Dict[str, TensorSpec]], KernelFn]] = {}
 
@@ -100,6 +131,27 @@ def _conv_attrs(node: Node) -> Dict[str, object]:
 def _fused_activation(node: Node):
     return kernels.resolve_activation(
         node.attrs.get("activation"), node.attrs.get("activation_alpha"))
+
+
+def _out_spec(node: Node, specs) -> Tuple[Tuple[int, ...], np.dtype]:
+    spec = specs[node.outputs[0]]
+    return tuple(spec.shape), spec.dtype.to_numpy()
+
+
+def _finish_activation(name, alpha, act, out: np.ndarray,
+                       ctx: RunContext) -> np.ndarray:
+    """Apply a fused activation to an arena-owned buffer.
+
+    In-place when the activation supports it; otherwise fall back to the
+    allocating form and hand the now-dead arena buffer straight back."""
+    if act is None:
+        return out
+    if kernels.apply_activation_inplace(name, out, ctx.workspace,
+                                        alpha=alpha):
+        return out
+    result = act(out)
+    ctx.arena.release(out)
+    return result
 
 
 def _node_qparams(node: Node, prefix: str, channel_axis=None) -> QuantParams:
@@ -127,25 +179,41 @@ def _own_qparams(node: Node) -> QuantParams:
 @_builder("conv2d", "fused_conv2d")
 def _build_conv2d(node: Node, specs) -> KernelFn:
     attrs = _conv_attrs(node)
+    act_name = node.attrs.get("activation")
+    act_alpha = node.attrs.get("activation_alpha")
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
+    shape, dtype = _out_spec(node, specs)
 
-    def run(args):
-        out = kernels.conv2d(args[0], args[1],
-                             bias=args[2] if has_bias else None, **attrs)
-        return [act(out) if act else out]
+    def run(args, ctx=None):
+        bias = args[2] if has_bias else None
+        if ctx is None:
+            out = kernels.conv2d(args[0], args[1], bias=bias, **attrs)
+            return [act(out) if act else out]
+        out = kernels.conv2d(args[0], args[1], bias=bias,
+                             out=ctx.alloc(shape, dtype),
+                             workspace=ctx.workspace, **attrs)
+        return [_finish_activation(act_name, act_alpha, act, out, ctx)]
     return run
 
 
 @_builder("dense", "fused_dense")
 def _build_dense(node: Node, specs) -> KernelFn:
+    act_name = node.attrs.get("activation")
+    act_alpha = node.attrs.get("activation_alpha")
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
+    shape, dtype = _out_spec(node, specs)
 
-    def run(args):
-        out = kernels.dense(args[0], args[1],
-                            bias=args[2] if has_bias else None)
-        return [act(out) if act else out]
+    def run(args, ctx=None):
+        bias = args[2] if has_bias else None
+        if ctx is None:
+            out = kernels.dense(args[0], args[1], bias=bias)
+            return [act(out) if act else out]
+        out = kernels.dense(args[0], args[1], bias=bias,
+                            out=ctx.alloc(shape, dtype),
+                            workspace=ctx.workspace)
+        return [_finish_activation(act_name, act_alpha, act, out, ctx)]
     return run
 
 
@@ -157,7 +225,7 @@ def _build_bconv2d(node: Node, specs) -> KernelFn:
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
 
-    def run(args):
+    def run(args, ctx=None):
         out = kernels.conv2d(args[0], args[1].astype(np.float32), **attrs)
         out = out * scale
         if has_bias:
@@ -172,7 +240,7 @@ def _build_bdense(node: Node, specs) -> KernelFn:
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
 
-    def run(args):
+    def run(args, ctx=None):
         out = kernels.dense(args[0], args[1].astype(np.float32)) * scale
         if has_bias:
             out = out + args[2]
@@ -190,7 +258,7 @@ def _build_qconv2d(node: Node, specs) -> KernelFn:
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
 
-    def run(args):
+    def run(args, ctx=None):
         return [quantized_conv2d(
             args[0], input_params, args[1], weight_params,
             args[2] if has_bias else None, out_params,
@@ -207,7 +275,7 @@ def _build_qdense(node: Node, specs) -> KernelFn:
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
 
-    def run(args):
+    def run(args, ctx=None):
         return [quantized_dense(
             args[0], input_params, args[1], weight_params,
             args[2] if has_bias else None, out_params,
@@ -218,103 +286,152 @@ def _build_qdense(node: Node, specs) -> KernelFn:
 @_builder("batchnorm")
 def _build_batchnorm(node: Node, specs) -> KernelFn:
     epsilon = float(node.attrs.get("epsilon", 1e-5))
+    shape, dtype = _out_spec(node, specs)
 
-    def run(args):
-        return [kernels.batchnorm(*args, epsilon=epsilon)]
+    def run(args, ctx=None):
+        if ctx is None:
+            return [kernels.batchnorm(*args, epsilon=epsilon)]
+        return [kernels.batchnorm(*args, epsilon=epsilon,
+                                  out=ctx.alloc(shape, dtype))]
     return run
 
 
 @_builder("softmax")
 def _build_softmax(node: Node, specs) -> KernelFn:
     axis = int(node.attrs.get("axis", -1))
-    return lambda args: [kernels.softmax(args[0], axis=axis)]
+    return lambda args, ctx=None: [kernels.softmax(args[0], axis=axis)]
 
 
-@_builder("add")
-def _build_add(node: Node, specs) -> KernelFn:
-    return lambda args: [args[0] + args[1]]
+def _build_binop(ufunc):
+    def build(node: Node, specs) -> KernelFn:
+        shape, dtype = _out_spec(node, specs)
+
+        def run(args, ctx=None):
+            if ctx is None:
+                return [ufunc(args[0], args[1])]
+            return [ufunc(args[0], args[1], out=ctx.alloc(shape, dtype))]
+        return run
+    return build
 
 
-@_builder("sub")
-def _build_sub(node: Node, specs) -> KernelFn:
-    return lambda args: [args[0] - args[1]]
+_BUILDERS["add"] = _build_binop(np.add)
+_BUILDERS["sub"] = _build_binop(np.subtract)
+_BUILDERS["mul"] = _build_binop(np.multiply)
+_BUILDERS["maximum"] = _build_binop(np.maximum)
 
 
-@_builder("mul")
-def _build_mul(node: Node, specs) -> KernelFn:
-    return lambda args: [args[0] * args[1]]
+def _build_pool(kernel_fn):
+    def build(node: Node, specs) -> KernelFn:
+        kernel = node.attrs["kernel"]
+        stride = node.attrs.get("stride")
+        padding = node.attrs.get("padding", 0)
+        shape, dtype = _out_spec(node, specs)
+
+        def run(args, ctx=None):
+            if ctx is None:
+                return [kernel_fn(args[0], kernel, stride, padding)]
+            return [kernel_fn(args[0], kernel, stride, padding,
+                              out=ctx.alloc(shape, dtype),
+                              workspace=ctx.workspace)]
+        return run
+    return build
 
 
-@_builder("maximum")
-def _build_maximum(node: Node, specs) -> KernelFn:
-    return lambda args: [np.maximum(args[0], args[1])]
-
-
-@_builder("maxpool2d")
-def _build_maxpool2d(node: Node, specs) -> KernelFn:
-    kernel = node.attrs["kernel"]
-    stride = node.attrs.get("stride")
-    padding = node.attrs.get("padding", 0)
-    return lambda args: [kernels.maxpool2d(args[0], kernel, stride, padding)]
-
-
-@_builder("avgpool2d")
-def _build_avgpool2d(node: Node, specs) -> KernelFn:
-    kernel = node.attrs["kernel"]
-    stride = node.attrs.get("stride")
-    padding = node.attrs.get("padding", 0)
-    return lambda args: [kernels.avgpool2d(args[0], kernel, stride, padding)]
+_BUILDERS["maxpool2d"] = _build_pool(kernels.maxpool2d)
+_BUILDERS["avgpool2d"] = _build_pool(kernels.avgpool2d)
 
 
 @_builder("global_avgpool2d")
 def _build_global_avgpool2d(node: Node, specs) -> KernelFn:
-    return lambda args: [kernels.global_avgpool2d(args[0])]
+    return lambda args, ctx=None: [kernels.global_avgpool2d(args[0])]
 
 
 @_builder("upsample2d")
 def _build_upsample2d(node: Node, specs) -> KernelFn:
     scale = int(node.attrs["scale"])
-    return lambda args: [kernels.upsample2d(args[0], scale)]
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None:
+            return [kernels.upsample2d(args[0], scale)]
+        return [kernels.upsample2d(args[0], scale,
+                                   out=ctx.alloc(shape, dtype))]
+    return run
 
 
-@_builder("flatten")
-def _build_flatten(node: Node, specs) -> KernelFn:
-    return lambda args: [args[0].reshape(args[0].shape[0], -1)]
+def _build_view_copy(node: Node, specs) -> KernelFn:
+    """flatten/reshape: a view when allocating, an arena copy with a
+    context (views into buffers the arena may recycle are never issued)."""
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None:
+            return [args[0].reshape(shape)]
+        out = ctx.alloc(shape, dtype)
+        out[...] = args[0].reshape(shape)
+        return [out]
+    return run
 
 
-@_builder("reshape")
-def _build_reshape(node: Node, specs) -> KernelFn:
-    shape = specs[node.outputs[0]].shape
-    return lambda args: [args[0].reshape(shape)]
+_BUILDERS["flatten"] = _build_view_copy
+_BUILDERS["reshape"] = _build_view_copy
 
 
 @_builder("concat")
 def _build_concat(node: Node, specs) -> KernelFn:
     axis = int(node.attrs.get("axis", 1))
-    return lambda args: [np.concatenate(args, axis=axis)]
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None:
+            return [np.concatenate(args, axis=axis)]
+        return [np.concatenate(args, axis=axis,
+                               out=ctx.alloc(shape, dtype))]
+    return run
 
 
 @_builder("pad")
 def _build_pad(node: Node, specs) -> KernelFn:
     pads = node.attrs["pads"]
-    return lambda args: [kernels.pad(args[0], pads)]
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None:
+            return [kernels.pad(args[0], pads)]
+        return [kernels.pad(args[0], pads, out=ctx.alloc(shape, dtype))]
+    return run
 
 
 @_builder("quantize")
 def _build_quantize(node: Node, specs) -> KernelFn:
     params = _own_qparams(node)
-    return lambda args: [params.quantize(args[0])]
+    return lambda args, ctx=None: [params.quantize(args[0])]
 
 
 @_builder("dequantize")
 def _build_dequantize(node: Node, specs) -> KernelFn:
     params = _own_qparams(node)
-    return lambda args: [params.dequantize(args[0])]
+    return lambda args, ctx=None: [params.dequantize(args[0])]
 
 
 def _build_activation(node: Node, specs) -> KernelFn:
-    fn = kernels.resolve_activation(node.op_type, node.attrs.get("alpha"))
-    return lambda args: [fn(args[0])]
+    name = node.op_type
+    alpha = node.attrs.get("alpha")
+    fn = kernels.resolve_activation(name, alpha)
+    inplace = name in kernels.INPLACE_ACTIVATIONS
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None or not inplace:
+            return [fn(args[0])]
+        out = ctx.alloc(shape, dtype)
+        np.copyto(out, args[0])
+        if not kernels.apply_activation_inplace(name, out, ctx.workspace,
+                                                alpha=alpha):
+            ctx.arena.release(out)
+            return [fn(args[0])]
+        return [out]
+    return run
 
 
 for _name in kernels.ACTIVATIONS:

@@ -51,6 +51,11 @@ class ProfileResult:
     layers: List[LayerProfile] = field(default_factory=list)
     peak_activation_bytes: int = 0
     planned_peak_bytes: int = 0     # the plan's predicted live-set peak
+    # Scratch-arena behaviour over the timed runs (zero when profiling
+    # without reuse_buffers): steady-state inference should show
+    # arena_allocations == 0 and a growing arena_reuses.
+    arena_allocations: int = 0
+    arena_reuses: int = 0
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -82,10 +87,15 @@ class ProfileResult:
 
 
 class Profiler:
-    """Wraps an :class:`Executor` with timing hooks."""
+    """Wraps an :class:`Executor` with timing hooks.
 
-    def __init__(self, graph: Graph) -> None:
-        self.executor = Executor(graph)
+    With ``reuse_buffers=True`` the profiled executor runs on its scratch
+    arena (outputs are recycled between runs), so the result reports how
+    many real allocations the timed runs performed — zero in steady state.
+    """
+
+    def __init__(self, graph: Graph, reuse_buffers: bool = False) -> None:
+        self.executor = Executor(graph, reuse_buffers=reuse_buffers)
         self.graph = graph
 
     def profile(
@@ -124,8 +134,10 @@ class Profiler:
             return None
 
         for _ in range(warmup):
-            self.executor.run(feeds)
+            self.executor.recycle(self.executor.run(feeds))
 
+        arena = self.executor.plan.arena
+        baseline = arena.stats.snapshot() if arena is not None else None
         self.executor.add_hook(timing_hook)
         total = 0.0
         try:
@@ -134,8 +146,9 @@ class Profiler:
                 sizes.clear()
                 start = time.perf_counter()
                 state["last"] = start
-                self.executor.run(feeds)
+                out = self.executor.run(feeds)
                 total += time.perf_counter() - start
+                self.executor.recycle(out)
         finally:
             self.executor.clear_hooks()
 
@@ -146,6 +159,10 @@ class Profiler:
             layers=list(layers.values()),
             peak_activation_bytes=state["peak"],
             planned_peak_bytes=self.executor.plan.peak_live_bytes,
+            arena_allocations=(arena.stats.allocations - baseline.allocations
+                               if arena is not None else 0),
+            arena_reuses=(arena.stats.reuses - baseline.reuses
+                          if arena is not None else 0),
         )
 
 

@@ -1,0 +1,13 @@
+"""Serving layer: dynamic micro-batching over pooled execution plans."""
+
+from .batcher import BatchQueue, InferenceRequest
+from .bench import BenchResult, render, run_bench, sample_feeds
+from .engine import EngineClosedError, InferenceEngine
+from .metrics import MetricsRecorder, MetricsSnapshot, percentile
+
+__all__ = [
+    "BatchQueue", "InferenceRequest",
+    "BenchResult", "render", "run_bench", "sample_feeds",
+    "EngineClosedError", "InferenceEngine",
+    "MetricsRecorder", "MetricsSnapshot", "percentile",
+]

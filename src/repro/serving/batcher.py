@@ -1,0 +1,98 @@
+"""Dynamic micro-batching: coalesce single-sample requests into batches.
+
+The throughput lever of the paper's batch-size study (Fig. 4) applied to
+online serving: single-sample ``infer()`` calls arriving close together
+are stacked along the leading batch axis and executed as one plan run,
+amortizing dispatch and memory traffic.  The queue trades a bounded
+amount of latency for that coalescing — a batch is dispatched as soon as
+``max_batch`` requests are waiting, or once the *oldest* request has
+waited ``max_latency_s``, whichever comes first.  Under light load that
+deadline fires with a single request queued and the engine degrades
+gracefully to batch-1 execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class InferenceRequest:
+    """One queued single-sample request (leading batch axis of size 1)."""
+
+    feeds: Dict[str, np.ndarray]
+    future: "Future" = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class BatchQueue:
+    """A deadline-driven coalescing queue of inference requests.
+
+    ``next_batch`` is the consumer side (the engine's dispatcher thread):
+    it blocks until at least one request is queued, then keeps collecting
+    until the batch is full or the oldest request's deadline expires.
+    Returns ``None`` once the queue is closed and drained.
+    """
+
+    def __init__(self, max_batch: int = 8,
+                 max_latency_s: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_latency_s < 0:
+            raise ValueError("max_latency_s must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_latency_s = float(max_latency_s)
+        self._items: Deque[InferenceRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def submit(self, request: InferenceRequest) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batch queue is closed")
+            self._items.append(request)
+            self._cond.notify()
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def next_batch(self) -> Optional[List[InferenceRequest]]:
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if self.max_batch > 1 and self.max_latency_s > 0:
+                deadline = self._items[0].enqueued_at + self.max_latency_s
+                while len(self._items) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+            count = min(self.max_batch, len(self._items))
+            return [self._items.popleft() for _ in range(count)]
+
+    def drain(self) -> List[InferenceRequest]:
+        """Remove and return everything still queued (used at shutdown)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items

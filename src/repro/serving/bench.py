@@ -1,0 +1,148 @@
+"""Closed-loop serving benchmark: sweep workers x max_batch configurations.
+
+Measures what the serving layer actually buys on the host: a set of
+client threads issues synchronous single-sample requests as fast as the
+engine answers them, for each configuration in the sweep.  Throughput at
+``max_batch > 1`` versus ``max_batch = 1`` isolates the micro-batching
+win (the paper's batch-size lever); throughput at ``workers > 1`` versus
+one worker isolates the plan-pool win (meaningful only on multi-core
+hosts, since numpy only overlaps inside GIL-releasing BLAS calls).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .engine import InferenceEngine
+from .metrics import MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured (workers, max_batch) configuration."""
+
+    workers: int
+    max_batch: int
+    clients: int
+    requests: int
+    elapsed_s: float
+    throughput_rps: float
+    mean_batch: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    arena_allocations: int
+    arena_reuses: int
+
+
+def sample_feeds(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
+    """One synthetic single-sample feed dict for ``graph``'s inputs."""
+    rng = np.random.default_rng(seed)
+    template = graph.with_batch(1)
+    return {
+        spec.name: rng.standard_normal(spec.shape).astype(
+            spec.dtype.to_numpy())
+        for spec in template.inputs
+    }
+
+
+def _closed_loop(engine: InferenceEngine, feeds: Mapping[str, np.ndarray],
+                 clients: int, requests: int) -> float:
+    """Issue ``requests`` total sync requests from ``clients`` threads;
+    returns elapsed wall-clock seconds."""
+    remaining = [requests]
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def client() -> None:
+        while True:
+            with lock:
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+            try:
+                engine.infer_sync(feeds, timeout=60.0)
+            except BaseException as exc:  # surfaced after the join below
+                with lock:
+                    errors.append(exc)
+                return
+
+    import time
+    threads = [threading.Thread(target=client, daemon=True)
+               for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def run_bench(graph: Graph,
+              configs: Sequence[Tuple[int, int]] = ((1, 1), (1, 8)),
+              requests: int = 64, clients: Optional[int] = None,
+              warmup: int = 8,
+              max_latency_ms: float = 2.0) -> List[BenchResult]:
+    """Benchmark ``graph`` under each ``(workers, max_batch)`` config.
+
+    ``clients`` defaults to ``workers * max_batch`` per config so the
+    queue has enough concurrent demand to actually fill batches.
+    """
+    results: List[BenchResult] = []
+    feeds = sample_feeds(graph)
+    for workers, max_batch in configs:
+        n_clients = clients if clients is not None else workers * max_batch
+        with InferenceEngine(graph, workers=workers, max_batch=max_batch,
+                             max_latency_ms=max_latency_ms) as engine:
+            _closed_loop(engine, feeds, n_clients, warmup)
+            before = engine.metrics()
+            elapsed = _closed_loop(engine, feeds, n_clients, requests)
+            after = engine.metrics()
+            measured = after.requests - before.requests
+            batches = after.batches - before.batches
+            results.append(BenchResult(
+                workers=workers,
+                max_batch=max_batch,
+                clients=n_clients,
+                requests=measured,
+                elapsed_s=elapsed,
+                throughput_rps=measured / elapsed if elapsed > 0 else 0.0,
+                mean_batch=measured / batches if batches else 0.0,
+                p50_ms=after.p50_ms,
+                p95_ms=after.p95_ms,
+                p99_ms=after.p99_ms,
+                arena_allocations=(after.arena_allocations
+                                   - before.arena_allocations),
+                arena_reuses=after.arena_reuses - before.arena_reuses,
+            ))
+    return results
+
+
+def render(results: Sequence[BenchResult], name: str = "") -> str:
+    """Fixed-width table of a benchmark sweep."""
+    header = (f"{'workers':>7} {'batch':>5} {'clients':>7} {'req/s':>9} "
+              f"{'mean_b':>6} {'p50ms':>7} {'p95ms':>7} "
+              f"{'allocs':>6} {'reuses':>7}")
+    lines = []
+    if name:
+        lines.append(f"serve-bench: {name}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    base = results[0].throughput_rps if results else 0.0
+    for row in results:
+        speedup = (f" ({row.throughput_rps / base:.2f}x)"
+                   if base > 0 and row is not results[0] else "")
+        lines.append(
+            f"{row.workers:>7} {row.max_batch:>5} {row.clients:>7} "
+            f"{row.throughput_rps:>9.1f} {row.mean_batch:>6.2f} "
+            f"{row.p50_ms:>7.2f} {row.p95_ms:>7.2f} "
+            f"{row.arena_allocations:>6} {row.arena_reuses:>7}{speedup}")
+    return "\n".join(lines)

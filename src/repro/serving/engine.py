@@ -1,0 +1,245 @@
+"""Batched inference engine: micro-batching over a pool of plan workers.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for,
+built on the compiled-plan runtime:
+
+* a :class:`repro.serving.batcher.BatchQueue` coalesces concurrent
+  single-sample requests along the leading batch axis (Fig. 4's batch
+  scaling, applied online);
+* a ``ThreadPoolExecutor`` drives a pool of per-worker plan instances —
+  numpy's BLAS-bound kernels release the GIL, so workers overlap on
+  multi-core hosts;
+* every plan instance owns a scratch arena and kernel workspace
+  (``reuse_buffers``), so steady-state serving performs no large heap
+  allocations: batch results are split into per-request copies and the
+  batch buffers immediately recycled.
+
+Plans are compiled once per observed batch size and shared: workers hold
+cheap ``with_buffers()`` instances over the same immutable compiled steps.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..runtime.arena import ArenaStats
+from ..runtime.executor import Executor
+from ..runtime.plan import ExecutionPlan, compile_plan
+from .batcher import BatchQueue, InferenceRequest
+from .metrics import MetricsRecorder, MetricsSnapshot
+
+import time
+
+
+class EngineClosedError(RuntimeError):
+    """Raised when submitting to an engine that has been shut down."""
+
+
+class InferenceEngine:
+    """Serves single-sample requests through dynamically formed batches.
+
+    Parameters
+    ----------
+    graph
+        Model to serve; rebatched internally, so any build batch works.
+    workers
+        Concurrent plan workers (and the bound on in-flight batches).
+    max_batch
+        Largest batch the queue may coalesce.
+    max_latency_ms
+        How long the oldest queued request may wait for the batch to
+        fill before being dispatched anyway.
+    reuse_buffers
+        Run workers on scratch arenas (allocation-free steady state).
+    """
+
+    def __init__(self, graph: Graph, workers: int = 1, max_batch: int = 8,
+                 max_latency_ms: float = 2.0,
+                 reuse_buffers: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.template = graph.with_batch(1)
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.reuse_buffers = reuse_buffers
+        self._input_specs = {spec.name: spec for spec in self.template.inputs}
+        self.queue = BatchQueue(max_batch=max_batch,
+                                max_latency_s=max_latency_ms / 1e3)
+        self.recorder = MetricsRecorder()
+        self._closed = False
+        # Compiled base plans shared across workers, keyed by batch size.
+        self._compile_lock = threading.Lock()
+        self._compiled: Dict[int, Tuple[Graph, ExecutionPlan]] = {}
+        # Checked-in executors per batch size, plus every executor ever
+        # created (for aggregate arena stats).
+        self._pool_lock = threading.Lock()
+        self._free: Dict[int, List[Executor]] = {}
+        self._executors: List[Executor] = []
+        # A worker slot must be free before the dispatcher forms a batch;
+        # otherwise it would drain the queue into the thread pool's
+        # internal backlog and lose every coalescing opportunity.
+        self._slots = threading.Semaphore(self.workers)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix="repro-serve")
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="repro-serve-dispatch",
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def infer(self, feeds: Mapping[str, np.ndarray]) -> "Future":
+        """Submit one sample (leading batch axis 1); returns a Future
+        resolving to a dict of output name -> array."""
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        request = InferenceRequest(feeds=self._check_sample(feeds))
+        self.queue.submit(request)
+        return request.future
+
+    def infer_sync(self, feeds: Mapping[str, np.ndarray],
+                   timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
+        return self.infer(feeds).result(timeout=timeout)
+
+    def infer_many(self, samples: Sequence[Mapping[str, np.ndarray]],
+                   timeout: Optional[float] = None
+                   ) -> List[Dict[str, np.ndarray]]:
+        """Submit a burst of samples and wait for all results in order."""
+        futures = [self.infer(sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def metrics(self) -> MetricsSnapshot:
+        """A consistent snapshot of throughput/latency/batching/arena."""
+        arena_stats = ArenaStats()
+        workspace_allocations = 0
+        with self._pool_lock:
+            executors = list(self._executors)
+        for executor in executors:
+            arena = executor.plan.arena
+            if arena is not None:
+                arena_stats.allocations += arena.stats.allocations
+                arena_stats.allocated_bytes += arena.stats.allocated_bytes
+                arena_stats.large_allocations += arena.stats.large_allocations
+                arena_stats.reuses += arena.stats.reuses
+                arena_stats.reused_bytes += arena.stats.reused_bytes
+            if executor.plan.workspace is not None:
+                workspace_allocations += executor.plan.workspace.allocations
+        return self.recorder.snapshot(
+            queue_depth=self.queue.depth(),
+            arena_stats=arena_stats,
+            workspace_allocations=workspace_allocations)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work, fail whatever is still queued, and join
+        the dispatcher and workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        self._dispatcher.join(timeout=timeout)
+        for request in self.queue.drain():
+            request.future.set_exception(
+                EngineClosedError("engine closed before execution"))
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_sample(self, feeds: Mapping[str, np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        sample: Dict[str, np.ndarray] = {}
+        for name, spec in self._input_specs.items():
+            if name not in feeds:
+                raise ValueError(f"missing feed for graph input {name!r}")
+            value = np.asarray(feeds[name])
+            if tuple(value.shape) != spec.shape:
+                raise ValueError(
+                    f"feed {name!r} has shape {value.shape}, expected the "
+                    f"single-sample shape {spec.shape}")
+            sample[name] = value.astype(spec.dtype.to_numpy(), copy=False)
+        extra = set(feeds) - set(sample)
+        if extra:
+            raise ValueError(f"unknown feed tensors: {sorted(extra)}")
+        return sample
+
+    def _base_plan(self, batch: int) -> Tuple[Graph, ExecutionPlan]:
+        with self._compile_lock:
+            entry = self._compiled.get(batch)
+            if entry is None:
+                graph = self.template.with_batch(batch)
+                entry = (graph, compile_plan(graph))
+                self._compiled[batch] = entry
+            return entry
+
+    def _checkout(self, batch: int) -> Executor:
+        with self._pool_lock:
+            free = self._free.get(batch)
+            if free:
+                return free.pop()
+        graph, plan = self._base_plan(batch)
+        executor = Executor(graph, reuse_buffers=self.reuse_buffers,
+                            plan=plan)
+        with self._pool_lock:
+            self._executors.append(executor)
+        return executor
+
+    def _checkin(self, batch: int, executor: Executor) -> None:
+        with self._pool_lock:
+            self._free.setdefault(batch, []).append(executor)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._slots.acquire()
+            batch = self.queue.next_batch()
+            if batch is None:
+                self._slots.release()
+                return
+            future = self._pool.submit(self._run_batch, batch)
+            future.add_done_callback(lambda _: self._slots.release())
+
+    def _run_batch(self, requests: List[InferenceRequest]) -> None:
+        size = len(requests)
+        try:
+            executor = self._checkout(size)
+            try:
+                if size == 1:
+                    feeds = requests[0].feeds
+                else:
+                    feeds = {
+                        name: np.concatenate(
+                            [request.feeds[name] for request in requests],
+                            axis=0)
+                        for name in self._input_specs
+                    }
+                outputs = executor.run(feeds)
+                # Per-request copies so the (large) batch buffers can go
+                # straight back to the worker's arena.
+                results = [
+                    {name: array[index:index + 1].copy()
+                     for name, array in outputs.items()}
+                    for index in range(size)
+                ]
+                executor.recycle(outputs)
+            finally:
+                self._checkin(size, executor)
+        except BaseException as exc:
+            self.recorder.record_failure(size)
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        completed = time.monotonic()
+        self.recorder.record_batch(
+            size, [completed - request.enqueued_at for request in requests])
+        for request, result in zip(requests, results):
+            request.future.set_result(result)

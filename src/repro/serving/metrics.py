@@ -1,0 +1,128 @@
+"""Thread-safe serving metrics: throughput, latency percentiles, batching.
+
+The serving engine records one event per executed batch; a
+:class:`MetricsSnapshot` is an immutable, consistent view a monitoring
+loop (or the ``serve-bench`` CLI) can pull at any time without pausing
+the workers.  Latency percentiles are computed over a sliding window of
+recent requests so a long-running engine reports current behaviour, not
+its lifetime average.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+LATENCY_WINDOW = 8192
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One consistent view of an engine's serving behaviour."""
+
+    requests: int
+    batches: int
+    failures: int
+    queue_depth: int
+    uptime_s: float
+    throughput_rps: float
+    mean_batch: float
+    batch_histogram: Dict[int, int]
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    # Allocation behaviour aggregated over the engine's plan instances:
+    # a warmed-up engine shows flat allocation counts and growing reuses.
+    arena_allocations: int = 0
+    arena_large_allocations: int = 0
+    arena_reuses: int = 0
+    workspace_allocations: int = 0
+
+    def report(self) -> str:
+        histogram = " ".join(f"{size}:{count}" for size, count
+                             in sorted(self.batch_histogram.items()))
+        return "\n".join([
+            f"requests {self.requests} in {self.uptime_s:.2f}s "
+            f"({self.throughput_rps:.1f} req/s), {self.batches} batches, "
+            f"{self.failures} failed, queue depth {self.queue_depth}",
+            f"latency p50 {self.p50_ms:.2f} ms, p95 {self.p95_ms:.2f} ms, "
+            f"p99 {self.p99_ms:.2f} ms",
+            f"mean batch {self.mean_batch:.2f} (histogram {histogram or '-'})",
+            f"arena: {self.arena_allocations} allocations "
+            f"({self.arena_large_allocations} large), "
+            f"{self.arena_reuses} reuses, "
+            f"{self.workspace_allocations} workspace buffers",
+        ])
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    batches: int = 0
+    failures: int = 0
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+
+
+class MetricsRecorder:
+    """Accumulates serving events; all methods are thread-safe."""
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._counters = _Counters()
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._started_at = time.monotonic()
+
+    def record_batch(self, batch_size: int, latencies_s) -> None:
+        with self._lock:
+            self._counters.requests += batch_size
+            self._counters.batches += 1
+            histogram = self._counters.batch_histogram
+            histogram[batch_size] = histogram.get(batch_size, 0) + 1
+            self._latencies.extend(latencies_s)
+
+    def record_failure(self, count: int) -> None:
+        with self._lock:
+            self._counters.failures += count
+
+    def snapshot(self, queue_depth: int = 0,
+                 arena_stats=None,
+                 workspace_allocations: int = 0) -> MetricsSnapshot:
+        """Build a consistent snapshot; ``arena_stats`` is an aggregated
+        :class:`repro.runtime.arena.ArenaStats` (or None)."""
+        with self._lock:
+            counters = self._counters
+            uptime = time.monotonic() - self._started_at
+            window = sorted(self._latencies)
+            requests = counters.requests
+            batches = counters.batches
+            return MetricsSnapshot(
+                requests=requests,
+                batches=batches,
+                failures=counters.failures,
+                queue_depth=queue_depth,
+                uptime_s=uptime,
+                throughput_rps=requests / uptime if uptime > 0 else 0.0,
+                mean_batch=requests / batches if batches else 0.0,
+                batch_histogram=dict(counters.batch_histogram),
+                p50_ms=percentile(window, 50) * 1e3,
+                p95_ms=percentile(window, 95) * 1e3,
+                p99_ms=percentile(window, 99) * 1e3,
+                arena_allocations=(arena_stats.allocations
+                                   if arena_stats else 0),
+                arena_large_allocations=(arena_stats.large_allocations
+                                         if arena_stats else 0),
+                arena_reuses=arena_stats.reuses if arena_stats else 0,
+                workspace_allocations=workspace_allocations,
+            )

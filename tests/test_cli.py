@@ -50,6 +50,21 @@ class TestPredict:
         with pytest.raises(KeyError):
             main(["predict", "--model", "mlp", "--platform", "TPUv9"])
 
+    def test_single_batch_overrides_sweep(self, capsys):
+        assert main(["predict", "--model", "mlp",
+                     "--platform", "XavierNX", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines() if l.strip() and
+                l.strip()[0].isdigit()]
+        assert len(rows) == 1
+        assert rows[0].strip().startswith("2")
+
+    def test_repeat_measures_host_fps(self, capsys):
+        assert main(["predict", "--model", "mlp", "--platform", "XavierNX",
+                     "--batch", "1", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "host fps" in out
+
 
 class TestPlan:
     def test_compiles_and_reports_arena(self, capsys):
@@ -64,6 +79,32 @@ class TestPlan:
         out = capsys.readouterr().out
         assert "frees" in out
         assert "fc0" in out
+
+    def test_repeat_reports_steady_state(self, capsys):
+        assert main(["plan", "--model", "mlp", "--batch", "2",
+                     "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out
+        assert "0 steady-state allocations" in out
+
+
+class TestServeBench:
+    def test_sweep_reports_table(self, capsys):
+        assert main(["serve-bench", "--model", "mlp",
+                     "--configs", "1x1", "1x2",
+                     "--requests", "6", "--warmup", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: mlp" in out
+        assert "req/s" in out
+        # one row per configuration after the header rule
+        rows = [l for l in out.splitlines() if l.strip() and
+                l.strip()[0].isdigit()]
+        assert len(rows) == 2
+
+    def test_bad_config_string_rejected(self, capsys):
+        assert main(["serve-bench", "--model", "mlp",
+                     "--configs", "nonsense"]) == 2
+        assert "WORKERSxBATCH" in capsys.readouterr().err
 
 
 class TestOptimize:

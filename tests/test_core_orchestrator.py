@@ -36,6 +36,18 @@ class TestWorkload:
             Workload("w", small_net, rate_hz=1, max_latency_s=0)
 
 
+class TestComputeNode:
+    def test_batch_throughput_curve(self, small_net):
+        node = make_nodes("XavierNX")[0]
+        curve = node.batch_throughput(small_net, batches=(1, 4, 8))
+        assert sorted(curve) == [1, 4, 8]
+        assert all(fps > 0 for fps in curve.values())
+        # Larger batches never predict lower throughput on the roofline
+        # model, and batch 1 matches the scalar predict() path.
+        assert curve[1] <= curve[4] <= curve[8]
+        assert curve[1] == pytest.approx(node.predict(small_net).fps)
+
+
 class TestPlacement:
     def test_empty_orchestrator_rejected(self):
         with pytest.raises(ValueError):

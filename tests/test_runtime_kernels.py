@@ -195,3 +195,169 @@ class TestSpatial:
     def test_pad(self):
         out = kernels.pad(np.ones((1, 2)), [(1, 0), (0, 2)])
         assert out.shape == (2, 4)
+
+
+class TestGroupedConvBias:
+    """Regression: grouped/depthwise conv must apply bias exactly once,
+    at the very end — not once per group recursion."""
+
+    def test_grouped_bias_applied_once(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(2, 4, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(6, 2, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=6).astype(np.float32)
+        with_bias = kernels.conv2d(data, weight, bias, padding=1, groups=2)
+        without = kernels.conv2d(data, weight, None, padding=1, groups=2)
+        np.testing.assert_allclose(
+            with_bias, without + bias.reshape(1, -1, 1, 1),
+            rtol=1e-5, atol=1e-6)
+
+    def test_depthwise_bias_matches_per_channel_reference(self):
+        rng = np.random.default_rng(12)
+        data = rng.normal(size=(1, 3, 5, 5)).astype(np.float32)
+        weight = rng.normal(size=(3, 1, 3, 3)).astype(np.float32)
+        bias = np.array([10.0, -20.0, 30.0], dtype=np.float32)
+        got = kernels.conv2d(data, weight, bias, padding=1, groups=3)
+        for channel in range(3):
+            want = naive_conv2d(data[:, channel:channel + 1],
+                                weight[channel:channel + 1],
+                                bias[channel:channel + 1], padding=1)
+            np.testing.assert_allclose(got[:, channel:channel + 1], want,
+                                       rtol=1e-4, atol=1e-4)
+
+
+class TestIm2col:
+    def test_padding_fills_zero(self):
+        data = np.full((1, 1, 2, 2), 7.0, dtype=np.float32)
+        cols, (oh, ow) = kernels.im2col(data, kernel=(3, 3), stride=(1, 1),
+                                        padding=(1, 1))
+        # Every border patch position must see explicit zeros, so column
+        # sums under-count the interior exactly by the padded fraction.
+        assert (oh, ow) == (2, 2)
+        assert cols.shape == (1, 9, 4)
+        corners = cols[0, :, 0]
+        assert np.count_nonzero(corners) == 4      # 2x2 data in a 3x3 patch
+        assert corners.sum() == 4 * 7.0
+
+    def test_fp16_input_preserved_and_upcast_columns(self):
+        data = np.arange(16, dtype=np.float16).reshape(1, 1, 4, 4)
+        cols, _ = kernels.im2col(data, kernel=(3, 3), stride=(1, 1),
+                                 padding=(1, 1))
+        assert cols.dtype == np.float16
+        out = np.empty(cols.shape, dtype=np.float32)
+        up, _ = kernels.im2col(data, kernel=(3, 3), stride=(1, 1),
+                               padding=(1, 1), out=out)
+        assert up.base is out and up.dtype == np.float32
+        np.testing.assert_array_equal(up, cols.astype(np.float32))
+
+    def test_fp16_conv_output_dtype_preserved(self):
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(1, 2, 6, 6)).astype(np.float16)
+        weight = rng.normal(size=(3, 2, 3, 3)).astype(np.float16)
+        out = kernels.conv2d(data, weight, padding=1)
+        assert out.dtype == np.float16
+
+
+class TestScratchVariants:
+    """``out=``/workspace kernel variants must be bitwise-identical to
+    the allocating paths — the allocation-free executor relies on it."""
+
+    def test_conv2d_out_bitwise(self):
+        rng = np.random.default_rng(21)
+        data = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        weight = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=4).astype(np.float32)
+        want = kernels.conv2d(data, weight, bias, stride=2, padding=1)
+        out = np.empty(want.shape, dtype=want.dtype)
+        ws = kernels.Workspace()
+        got = kernels.conv2d(data, weight, bias, stride=2, padding=1,
+                             out=out, workspace=ws)
+        assert got is out
+        np.testing.assert_array_equal(got, want)
+        # Second call reuses the workspace buffers instead of allocating.
+        allocations = ws.allocations
+        kernels.conv2d(data, weight, bias, stride=2, padding=1,
+                       out=out, workspace=ws)
+        assert ws.allocations == allocations
+        assert ws.hits > 0
+
+    def test_grouped_conv2d_out_bitwise(self):
+        rng = np.random.default_rng(22)
+        data = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(6, 2, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=6).astype(np.float32)
+        want = kernels.conv2d(data, weight, bias, padding=1, groups=2)
+        out = np.empty(want.shape, dtype=want.dtype)
+        got = kernels.conv2d(data, weight, bias, padding=1, groups=2,
+                             out=out, workspace=kernels.Workspace())
+        np.testing.assert_array_equal(got, want)
+
+    def test_dense_out_bitwise(self):
+        rng = np.random.default_rng(23)
+        data = rng.normal(size=(4, 16)).astype(np.float32)
+        weight = rng.normal(size=(8, 16)).astype(np.float32)
+        bias = rng.normal(size=8).astype(np.float32)
+        want = kernels.dense(data, weight, bias)
+        out = np.empty(want.shape, dtype=want.dtype)
+        got = kernels.dense(data, weight, bias, out=out,
+                            workspace=kernels.Workspace())
+        assert got is out
+        np.testing.assert_array_equal(got, want)
+
+    def test_fp16_conv2d_out_bitwise(self):
+        rng = np.random.default_rng(24)
+        data = rng.normal(size=(1, 2, 6, 6)).astype(np.float16)
+        weight = rng.normal(size=(3, 2, 3, 3)).astype(np.float16)
+        want = kernels.conv2d(data, weight, padding=1)
+        out = np.empty(want.shape, dtype=np.float16)
+        got = kernels.conv2d(data, weight, padding=1, out=out,
+                             workspace=kernels.Workspace())
+        assert got.dtype == np.float16
+        np.testing.assert_array_equal(got, want)
+
+    def test_pool_out_bitwise(self):
+        rng = np.random.default_rng(25)
+        data = rng.normal(size=(1, 2, 8, 8)).astype(np.float32)
+        for fn in (kernels.maxpool2d, kernels.avgpool2d):
+            want = fn(data, 2, stride=2, padding=1)
+            out = np.empty(want.shape, dtype=want.dtype)
+            got = fn(data, 2, stride=2, padding=1, out=out,
+                     workspace=kernels.Workspace())
+            assert got is out
+            np.testing.assert_array_equal(got, want)
+
+    def test_batchnorm_out_bitwise(self):
+        rng = np.random.default_rng(26)
+        data = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        gamma = rng.normal(size=3).astype(np.float32)
+        beta = rng.normal(size=3).astype(np.float32)
+        mean = rng.normal(size=3).astype(np.float32)
+        var = np.abs(rng.normal(size=3)).astype(np.float32) + 0.5
+        want = kernels.batchnorm(data, gamma, beta, mean, var)
+        out = np.empty(want.shape, dtype=want.dtype)
+        got = kernels.batchnorm(data, gamma, beta, mean, var, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("name", sorted(kernels.INPLACE_ACTIVATIONS))
+    def test_inplace_activation_bitwise(self, name):
+        rng = np.random.default_rng(27)
+        data = rng.normal(size=(64,)).astype(np.float32) * 4.0
+        want = kernels.resolve_activation(name)(data)
+        buf = data.copy()
+        handled = kernels.apply_activation_inplace(
+            name, buf, workspace=kernels.Workspace())
+        assert handled is True
+        np.testing.assert_array_equal(buf, want)
+
+    def test_upsample_and_pad_out_bitwise(self):
+        data = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        want = kernels.upsample2d(data, 2)
+        out = np.empty(want.shape, dtype=want.dtype)
+        np.testing.assert_array_equal(
+            kernels.upsample2d(data, 2, out=out), want)
+        pads = [(0, 0), (0, 0), (1, 1), (1, 1)]
+        want_pad = kernels.pad(data, pads)
+        out_pad = np.empty(want_pad.shape, dtype=want_pad.dtype)
+        np.testing.assert_array_equal(
+            kernels.pad(data, pads, out=out_pad), want_pad)

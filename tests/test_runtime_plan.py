@@ -173,6 +173,33 @@ class TestZooProperties:
         assert result.peak_activation_bytes == expected
         assert result.planned_peak_bytes == expected
 
+    def test_arena_execution_bitwise_and_allocation_free(self, name):
+        """The scratch-buffer (out=) kernel variants are bitwise-identical
+        to the allocating paths, and repeat runs with output recycling
+        perform zero arena allocations — the serving engine's steady
+        state."""
+        g = zoo_graph(name)
+        feeds = reference_feeds(g)
+        reference = Executor(g).run(feeds)
+        executor = Executor(g, reuse_buffers=True)
+
+        first = executor.run(feeds)
+        for tensor, value in reference.items():
+            assert value.dtype == first[tensor].dtype
+            np.testing.assert_array_equal(value, first[tensor])
+        executor.recycle(first)
+
+        arena = executor.plan.arena
+        baseline = arena.stats.snapshot()
+        for _ in range(2):
+            again = executor.run(feeds)
+            for tensor, value in reference.items():
+                np.testing.assert_array_equal(value, again[tensor])
+            executor.recycle(again)
+        assert arena.stats.allocations == baseline.allocations
+        assert arena.stats.large_allocations == baseline.large_allocations
+        assert arena.stats.reuses > baseline.reuses
+
 
 class TestErrorCompatibility:
     def test_execution_error_still_raised_for_bad_feeds(self):

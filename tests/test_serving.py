@@ -1,0 +1,247 @@
+"""Tests for repro.serving: micro-batching queue, engine, metrics, bench."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.runtime import Executor
+from repro.serving import (
+    BatchQueue,
+    EngineClosedError,
+    InferenceEngine,
+    InferenceRequest,
+    MetricsRecorder,
+    percentile,
+    run_bench,
+    sample_feeds,
+)
+from repro.serving.bench import render
+
+
+def make_request(value=0.0, shape=(1, 4)):
+    return InferenceRequest(feeds={"input": np.full(shape, value,
+                                                    dtype=np.float32)})
+
+
+class TestBatchQueue:
+    def test_coalesces_up_to_max_batch(self):
+        queue = BatchQueue(max_batch=4, max_latency_s=10.0)
+        for i in range(6):
+            queue.submit(make_request(i))
+        first = queue.next_batch()
+        second = queue.next_batch()
+        assert len(first) == 4 and len(second) == 2
+        assert queue.depth() == 0
+
+    def test_deadline_dispatches_partial_batch(self):
+        queue = BatchQueue(max_batch=8, max_latency_s=0.02)
+        queue.submit(make_request())
+        start = time.monotonic()
+        batch = queue.next_batch()
+        waited = time.monotonic() - start
+        assert len(batch) == 1
+        assert waited >= 0.015
+
+    def test_batch_one_skips_deadline_wait(self):
+        queue = BatchQueue(max_batch=1, max_latency_s=10.0)
+        queue.submit(make_request())
+        start = time.monotonic()
+        assert len(queue.next_batch()) == 1
+        assert time.monotonic() - start < 1.0
+
+    def test_submit_after_close_raises(self):
+        queue = BatchQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(make_request())
+
+    def test_next_batch_returns_none_when_closed_and_empty(self):
+        queue = BatchQueue()
+        results = []
+
+        def consumer():
+            results.append(queue.next_batch())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert results == [None]
+
+    def test_close_releases_blocked_deadline_wait(self):
+        queue = BatchQueue(max_batch=8, max_latency_s=30.0)
+        queue.submit(make_request())
+        results = []
+
+        def consumer():
+            results.append(queue.next_batch())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert len(results) == 1 and len(results[0]) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchQueue(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchQueue(max_latency_s=-1.0)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = sorted([1.0, 2.0, 3.0, 4.0])
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile([], 50) == 0.0
+
+    def test_recorder_snapshot(self):
+        recorder = MetricsRecorder()
+        recorder.record_batch(4, [0.001, 0.002, 0.003, 0.004])
+        recorder.record_batch(1, [0.010])
+        recorder.record_failure(2)
+        snapshot = recorder.snapshot(queue_depth=3)
+        assert snapshot.requests == 5
+        assert snapshot.batches == 2
+        assert snapshot.failures == 2
+        assert snapshot.queue_depth == 3
+        assert snapshot.batch_histogram == {4: 1, 1: 1}
+        assert snapshot.mean_batch == pytest.approx(2.5)
+        assert snapshot.p99_ms == pytest.approx(10.0)
+        assert "requests 5" in snapshot.report()
+
+
+@pytest.fixture(scope="module")
+def mlp_graph():
+    return build_model("mlp")
+
+
+@pytest.fixture(scope="module")
+def mlp_feeds(mlp_graph):
+    return sample_feeds(mlp_graph, seed=3)
+
+
+class TestInferenceEngine:
+    def test_single_request_matches_direct_executor(self, mlp_graph,
+                                                    mlp_feeds):
+        reference = Executor(mlp_graph.with_batch(1)).run(mlp_feeds)
+        with InferenceEngine(mlp_graph, workers=1, max_batch=1) as engine:
+            got = engine.infer_sync(mlp_feeds, timeout=10)
+        assert set(got) == set(reference)
+        for name in reference:
+            assert got[name].dtype == reference[name].dtype
+            np.testing.assert_allclose(got[name], reference[name],
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_burst_is_batched_and_results_match(self, mlp_graph, mlp_feeds):
+        reference = Executor(mlp_graph.with_batch(1)).run(mlp_feeds)
+        with InferenceEngine(mlp_graph, workers=1, max_batch=8,
+                             max_latency_ms=50.0) as engine:
+            results = engine.infer_many([mlp_feeds] * 16, timeout=10)
+            snapshot = engine.metrics()
+        assert len(results) == 16
+        for result in results:
+            for name in reference:
+                np.testing.assert_allclose(result[name], reference[name],
+                                           rtol=1e-5, atol=1e-6)
+        assert snapshot.requests == 16
+        assert snapshot.mean_batch > 1.0          # coalescing happened
+        assert max(snapshot.batch_histogram) > 1
+
+    def test_light_load_degrades_to_batch_one(self, mlp_graph, mlp_feeds):
+        with InferenceEngine(mlp_graph, workers=1, max_batch=8,
+                             max_latency_ms=1.0) as engine:
+            for _ in range(3):
+                engine.infer_sync(mlp_feeds, timeout=10)
+                time.sleep(0.01)
+            snapshot = engine.metrics()
+        assert snapshot.batch_histogram.get(1, 0) >= 3
+
+    def test_steady_state_is_allocation_free(self, mlp_graph, mlp_feeds):
+        with InferenceEngine(mlp_graph, workers=1, max_batch=4,
+                             max_latency_ms=20.0) as engine:
+            engine.infer_many([mlp_feeds] * 8, timeout=10)   # warmup
+            before = engine.metrics()
+            engine.infer_many([mlp_feeds] * 8, timeout=10)
+            after = engine.metrics()
+        assert after.arena_allocations == before.arena_allocations
+        assert after.arena_large_allocations == before.arena_large_allocations
+        assert after.arena_reuses > before.arena_reuses
+
+    def test_shape_and_name_validation(self, mlp_graph, mlp_feeds):
+        with InferenceEngine(mlp_graph, workers=1, max_batch=1) as engine:
+            with pytest.raises(ValueError, match="missing feed"):
+                engine.infer({})
+            bad = {name: np.concatenate([arr, arr], axis=0)
+                   for name, arr in mlp_feeds.items()}
+            with pytest.raises(ValueError, match="shape"):
+                engine.infer(bad)
+            with pytest.raises(ValueError, match="unknown feed"):
+                engine.infer({**mlp_feeds, "bogus": np.zeros(3)})
+
+    def test_submit_after_close_raises(self, mlp_graph, mlp_feeds):
+        engine = InferenceEngine(mlp_graph, workers=1, max_batch=1)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.infer(mlp_feeds)
+        engine.close()                            # idempotent
+
+    def test_execution_error_propagates_to_futures(self, mlp_graph,
+                                                   mlp_feeds,
+                                                   monkeypatch):
+        engine = InferenceEngine(mlp_graph, workers=1, max_batch=2,
+                                 max_latency_ms=20.0)
+        try:
+            def explode(self, feeds):
+                raise RuntimeError("kernel exploded")
+
+            monkeypatch.setattr(Executor, "run", explode)
+            futures = [engine.infer(mlp_feeds) for _ in range(2)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    future.result(timeout=10)
+            assert engine.metrics().failures == 2
+        finally:
+            monkeypatch.undo()
+            engine.close()
+
+    def test_worker_pool_serves_concurrent_clients(self, mlp_graph,
+                                                   mlp_feeds):
+        with InferenceEngine(mlp_graph, workers=2, max_batch=2,
+                             max_latency_ms=1.0) as engine:
+            errors = []
+
+            def client():
+                try:
+                    for _ in range(5):
+                        engine.infer_sync(mlp_feeds, timeout=10)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            snapshot = engine.metrics()
+        assert not errors
+        assert snapshot.requests == 20
+        assert snapshot.failures == 0
+
+
+class TestBench:
+    def test_run_bench_and_render(self, mlp_graph):
+        rows = run_bench(mlp_graph, configs=[(1, 1), (1, 4)], requests=8,
+                         warmup=2)
+        assert len(rows) == 2
+        assert all(row.requests == 8 for row in rows)
+        assert all(row.throughput_rps > 0 for row in rows)
+        table = render(rows, name="mlp")
+        assert "serve-bench: mlp" in table
+        assert "req/s" in table
