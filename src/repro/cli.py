@@ -6,6 +6,7 @@ Subcommands:
     accelerators [--family F]   list the accelerator catalog (Fig. 3 data)
     predict                     roofline prediction of a model on a platform
     plan                        compile a model's execution plan + memory arena
+    plan-cache                  inspect/clear/warm the persistent plan cache
     serve-bench                 benchmark the batched serving engine
     optimize                    run the deployment pipeline on a dataset
     simulate                    assemble and run a program on the RV32 SoC
@@ -142,6 +143,42 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               f"{args.repeat * args.batch / elapsed:.1f} samples/s, "
               f"{steady} steady-state allocations "
               f"({arena.stats.reuses - baseline.reuses} buffer reuses)")
+    return 0
+
+
+def _cmd_plan_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from .runtime.plan_cache import PlanCache, load_or_build
+
+    cache = PlanCache(args.cache_dir)
+    if args.action == "stats":
+        entries = cache.entries()
+        print(f"plan cache at {cache.directory}: {len(entries)} entries")
+        if entries:
+            print(f"{'key':<16}{'model':<22}{'nodes':>7}{'packed':>8}"
+                  f"{'size KiB':>10}")
+            for entry in entries:
+                print(f"{entry['key'][:12] + '…':<16}{entry['graph']:<22}"
+                      f"{entry['nodes']:>7}{entry['packed_arrays']:>8}"
+                      f"{entry['bytes'] / 1024:>10.1f}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    # warm <zoo-model>: specialize + compile + store (or confirm a hit).
+    from .ir import build_model
+
+    graph = build_model(args.model, batch=args.batch)
+    start = time.perf_counter()
+    model = load_or_build(graph, cache=cache)
+    elapsed = (time.perf_counter() - start) * 1e3
+    source = "cache hit" if model.from_cache else "cold build (stored)"
+    packed = sum(len(p) for p in model.plan.packs.values())
+    print(f"{args.model} batch={args.batch}: {source} in {elapsed:.1f} ms "
+          f"({len(model.plan)} steps, {packed} prepacked arrays, "
+          f"key {model.key[:12]}…)")
     return 0
 
 
@@ -287,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execute the compiled plan K times on the "
                              "scratch arena and report timing")
     p_plan.set_defaults(fn=_cmd_plan)
+
+    p_cache = sub.add_parser("plan-cache",
+                             help="inspect or warm the persistent plan "
+                                  "cache")
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    c_stats = cache_sub.add_parser("stats", help="list cached entries")
+    c_clear = cache_sub.add_parser("clear", help="remove every entry")
+    c_warm = cache_sub.add_parser(
+        "warm", help="specialize + compile a zoo model into the cache")
+    c_warm.add_argument("model", help="zoo model name")
+    c_warm.add_argument("--batch", type=int, default=1)
+    for sub_parser in (c_stats, c_clear, c_warm):
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="cache directory (default: "
+                                     "$REPRO_PLAN_CACHE_DIR or "
+                                     "~/.cache/repro/plan-cache)")
+        sub_parser.set_defaults(fn=_cmd_plan_cache)
 
     p_serve = sub.add_parser("serve-bench",
                              help="benchmark the batched serving engine")

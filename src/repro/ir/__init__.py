@@ -19,7 +19,9 @@ from .graph import Graph, GraphError, Node
 from .builder import GraphBuilder
 from .serialization import (
     SerializationError,
+    canonical_dumps,
     dumps,
+    graph_fingerprint,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -33,7 +35,8 @@ __all__ = [
     "conv2d_output_shape", "pool2d_output_shape",
     "OpCost", "OpSchema", "get_op", "register_op", "registered_ops",
     "Graph", "GraphError", "Node", "GraphBuilder",
-    "SerializationError", "dumps", "graph_from_dict", "graph_to_dict",
+    "SerializationError", "canonical_dumps", "dumps", "graph_fingerprint",
+    "graph_from_dict", "graph_to_dict",
     "load_graph", "loads", "save_graph",
     "available_models", "build_model", "register_model",
 ]

@@ -10,6 +10,7 @@ raw buffers so round-trips are bit-exact.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -72,8 +73,8 @@ def _decode_array(entry: Dict[str, Any]) -> np.ndarray:
     return arr.reshape(tuple(entry["shape"])).copy()
 
 
-def graph_to_dict(graph: Graph) -> Dict[str, Any]:
-    """Convert a graph to a JSON-serializable dictionary."""
+def _topology_dict(graph: Graph) -> Dict[str, Any]:
+    """Everything but the weights: the cheap-to-encode half of the model."""
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -94,7 +95,14 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
             }
             for n in graph.nodes
         ],
-        "initializers": {
+    }
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Convert a graph to a JSON-serializable dictionary."""
+    return dict(
+        _topology_dict(graph),
+        initializers={
             name: dict(
                 _encode_array(value),
                 logical_dtype=graph.initializer_dtypes.get(
@@ -103,11 +111,45 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
             )
             for name, value in graph.initializers.items()
         },
-    }
+    )
 
 
-def graph_from_dict(data: Dict[str, Any]) -> Graph:
-    """Rebuild a graph from :func:`graph_to_dict` output; validates the result."""
+def canonical_dumps(graph: Graph) -> str:
+    """Serialize with sorted keys and no whitespace: a canonical byte
+    stream, so equal graphs always hash equal across processes."""
+    return json.dumps(graph_to_dict(graph), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """SHA-256 content hash of the model.
+
+    Covers topology, attributes, and the raw weight bytes — exactly the
+    inputs plan compilation depends on — so the plan cache can key on it
+    and invalidate whenever any of them change.  Weights are hashed as
+    raw buffers (not base64 JSON) so fingerprinting a large model costs
+    one pass over its bytes; the digest is stable across processes.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(_topology_dict(graph), sort_keys=True,
+                             separators=(",", ":")).encode("utf-8"))
+    for name in sorted(graph.initializers):
+        value = np.ascontiguousarray(graph.initializers[name])
+        logical = graph.initializer_dtypes.get(
+            name, DType.from_numpy(value.dtype))
+        digest.update(
+            f"\x00{name}\x00{logical.value}\x00{value.dtype.str}"
+            f"\x00{value.shape}\x00".encode("utf-8"))
+        digest.update(value.data)
+    return digest.hexdigest()
+
+
+def graph_from_dict(data: Dict[str, Any], validate: bool = True) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output; validates the result.
+
+    ``validate=False`` skips the final validation sweep — for trusted
+    sources such as plan-cache entries that were validated before being
+    stored, where re-validation would erase the warm-start win."""
     if data.get("format") != FORMAT_NAME:
         raise SerializationError(
             f"not a {FORMAT_NAME} model (format={data.get('format')!r})"
@@ -133,10 +175,12 @@ def graph_from_dict(data: Dict[str, Any]) -> Graph:
             name=entry["name"], **attrs,
         )
     graph.set_outputs(data["outputs"])
-    try:
-        graph.validate()
-    except (GraphError, ValueError) as exc:
-        raise SerializationError(f"deserialized graph is invalid: {exc}") from exc
+    if validate:
+        try:
+            graph.validate()
+        except (GraphError, ValueError) as exc:
+            raise SerializationError(
+                f"deserialized graph is invalid: {exc}") from exc
     return graph
 
 

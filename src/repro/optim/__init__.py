@@ -1,6 +1,13 @@
 """Optimizing toolchain: fusion, quantization, pruning, compression, search."""
 
-from .passes import GraphPass, PassManager, PassReport
+from .passes import (
+    AOTConfig,
+    ConstantFold,
+    GraphPass,
+    PassManager,
+    PassReport,
+    specialize_graph,
+)
 from .fusion import FoldBatchNorm, FuseActivation, fuse_graph
 from .quantization import (
     CalibrationResult,
@@ -46,7 +53,8 @@ from .hardware_aware import (
 )
 
 __all__ = [
-    "GraphPass", "PassManager", "PassReport",
+    "AOTConfig", "ConstantFold", "GraphPass", "PassManager", "PassReport",
+    "specialize_graph",
     "FoldBatchNorm", "FuseActivation", "fuse_graph",
     "CalibrationResult", "CastFP16", "QuantizePass", "calibrate",
     "convert_fp16", "quantize_int8",

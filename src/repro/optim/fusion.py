@@ -27,15 +27,19 @@ _FUSABLE_ACTIVATIONS = frozenset(
 
 
 class FoldBatchNorm(GraphPass):
-    """Fold ``conv2d -> batchnorm`` into a single conv with adjusted weights.
+    """Fold ``conv2d/dense -> batchnorm`` into the preceding weighted node.
 
-    Only fires when the conv's output feeds exactly the batchnorm (single
-    consumer) and the conv has no fused activation yet.  The rewrite is
-    exact: y = gamma * (conv(x) - mean) / sqrt(var + eps) + beta is a conv
-    with scaled kernels and a shifted bias.
+    Only fires when the weighted node's output feeds exactly the
+    batchnorm (single consumer) and the node has no fused activation yet.
+    The rewrite is exact in real arithmetic:
+    y = gamma * (Wx - mean) / sqrt(var + eps) + beta is the same layer
+    with scaled kernels and a shifted bias (float rounding differs at
+    allclose level, which is why AOTConfig gates it off by default).
     """
 
     name = "fold_batchnorm"
+
+    _FOLDABLE = ("conv2d", "fused_conv2d", "dense", "fused_dense")
 
     def run(self, graph: Graph) -> Graph:
         g = graph.copy()
@@ -45,12 +49,12 @@ class FoldBatchNorm(GraphPass):
         for bn in list(g.nodes):
             if bn.op_type != "batchnorm":
                 continue
-            conv = producers.get(bn.inputs[0])
-            if conv is None or conv.op_type not in ("conv2d", "fused_conv2d"):
+            prev = producers.get(bn.inputs[0])
+            if prev is None or prev.op_type not in self._FOLDABLE:
                 continue
-            if conv.attrs.get("activation"):
+            if prev.attrs.get("activation"):
                 continue
-            if len(consumers.get(conv.outputs[0], [])) != 1:
+            if len(consumers.get(prev.outputs[0], [])) != 1:
                 continue
             gamma = g.initializers.get(bn.inputs[1])
             beta = g.initializers.get(bn.inputs[2])
@@ -61,26 +65,28 @@ class FoldBatchNorm(GraphPass):
             eps = float(bn.attrs.get("epsilon", 1e-5))
             scale = gamma / np.sqrt(var + eps)
 
-            weight_name = conv.inputs[1]
+            weight_name = prev.inputs[1]
             weight = g.initializers[weight_name]
+            # Per-output-channel scale: axis 0 for OIHW convs and
+            # (out, in) dense weights alike.
             g.initializers[weight_name] = (
-                weight * scale.reshape(-1, 1, 1, 1)
+                weight * scale.reshape((-1,) + (1,) * (weight.ndim - 1))
             ).astype(weight.dtype)
 
-            if len(conv.inputs) > 2:
-                bias_name = conv.inputs[2]
+            if len(prev.inputs) > 2:
+                bias_name = prev.inputs[2]
                 bias = g.initializers[bias_name]
             else:
-                bias_name = f"{conv.name}_folded_bias"
+                bias_name = f"{prev.name}_folded_bias"
                 bias = np.zeros(weight.shape[0], dtype=weight.dtype)
                 g.add_initializer(bias_name, bias)
-                conv.inputs.append(bias_name)
+                prev.inputs.append(bias_name)
             g.initializers[bias_name] = (
                 (bias - mean) * scale + beta
             ).astype(bias.dtype)
 
             # Bypass the batchnorm node and drop it with its parameters.
-            g.rename_tensor(bn.outputs[0], conv.outputs[0])
+            g.rename_tensor(bn.outputs[0], prev.outputs[0])
             g.remove_node(bn)
             folded += 1
             # Maps are stale after rewiring; rebuild for subsequent matches.

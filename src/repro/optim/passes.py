@@ -13,6 +13,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..ir.graph import Graph
 
 
@@ -92,3 +94,91 @@ class PassManager:
                 f"{report.params_before:>11,} -> {report.params_after:<11,}"
             )
         return "\n".join(lines)
+
+
+class ConstantFold(GraphPass):
+    """Evaluate nodes whose inputs are all initializers at compile time.
+
+    The classic AOT pass: any subgraph fully determined by the weights is
+    executed once with the reference kernels and its outputs become
+    initializers, so the runtime never recomputes it.  Because the fold
+    runs the *same* bound kernel the executor would have run, the folded
+    graph is bitwise-identical to the original by construction.  Nodes
+    producing graph outputs are left alone (a plan needs at least the
+    steps that materialize its outputs).
+    """
+
+    name = "constant_fold"
+
+    def run(self, graph: Graph) -> Graph:
+        # Deferred import: repro.runtime is a consumer of this package.
+        from ..runtime.plan import compile_node
+
+        g = graph.copy()
+        specs = g.infer_specs()
+        outputs = set(g.output_names)
+        folded = 0
+        for node in list(g.nodes):  # topological order: chains fold fully
+            if not node.inputs or any(o in outputs for o in node.outputs):
+                continue
+            if not all(name in g.initializers for name in node.inputs):
+                continue
+            args = [g.initializers[name] for name in node.inputs]
+            values = compile_node(node, specs)(args)
+            g.remove_node(node)
+            for name, value in zip(node.outputs, values):
+                g.add_initializer(name, np.ascontiguousarray(value),
+                                  specs[name].dtype)
+            folded += 1
+        g.prune_dead_nodes()
+        self._details = {"nodes_folded": folded}
+        return g
+
+
+@dataclass(frozen=True)
+class AOTConfig:
+    """What the ahead-of-time specialization stage is allowed to do.
+
+    ``fold_constants`` and ``prepack`` are bitwise-exact and on by
+    default.  ``fold_batchnorm`` and ``fuse_activations`` change float
+    rounding (allclose-level, not bitwise) and therefore default off —
+    callers opt in when they accept the standard fused numerics.
+    """
+
+    fold_constants: bool = True
+    fold_batchnorm: bool = False
+    fuse_activations: bool = False
+    prepack: bool = True
+
+    def cache_token(self) -> str:
+        """Stable string folded into the plan-cache key, so changing any
+        knob invalidates previously cached plans."""
+        return ("aot:v1"
+                f":fc={int(self.fold_constants)}"
+                f":bn={int(self.fold_batchnorm)}"
+                f":fa={int(self.fuse_activations)}"
+                f":pp={int(self.prepack)}")
+
+
+def specialize_graph(graph: Graph, config: Optional[AOTConfig] = None) -> Graph:
+    """Apply the AOT graph-level specialization pipeline.
+
+    Pass order matters: batchnorm folding rewrites weights, activation
+    fusion collapses nodes, and constant folding then evaluates whatever
+    became weight-only.  Weight *prepacking* (``config.prepack``) is not
+    a graph transform — :func:`repro.runtime.plan.compile_plan` applies
+    it when building the plan.
+    """
+    from .fusion import FoldBatchNorm, FuseActivation
+
+    config = config or AOTConfig()
+    passes: List[GraphPass] = []
+    if config.fold_batchnorm:
+        passes.append(FoldBatchNorm())
+    if config.fuse_activations:
+        passes.append(FuseActivation())
+    if config.fold_constants:
+        passes.append(ConstantFold())
+    if not passes:
+        return graph
+    return PassManager(passes).run(graph)

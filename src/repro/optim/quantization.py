@@ -146,6 +146,10 @@ class QuantizePass(GraphPass):
                 "input_zero_point": input_params.zero_point,
                 "weight_scale": weight_params.scale,
                 "weight_zero_point": weight_params.zero_point,
+                # Recorded explicitly so plan builders (and anything that
+                # round-trips the graph through serialization) never have
+                # to re-infer the per-channel axis from scale.size.
+                "weight_channel_axis": channel_axis,
                 "out_scale": out_params.scale,
                 "out_zero_point": out_params.zero_point,
                 "out_dtype": DType.INT8,

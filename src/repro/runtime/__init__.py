@@ -3,21 +3,43 @@
 from .arena import ArenaStats, RunContext, ScratchArena
 from .executor import Executor, run_graph
 from .kernels import Workspace
-from .plan import CompiledStep, ExecutionError, ExecutionPlan, compile_node, compile_plan
+from .plan import (
+    PACK_FORMAT_VERSION,
+    CompiledStep,
+    ExecutionError,
+    ExecutionPlan,
+    compile_node,
+    compile_plan,
+    prepack_graph,
+)
+from .plan_cache import (
+    CacheStats,
+    PlanCache,
+    SpecializedModel,
+    default_cache_dir,
+    load_or_build,
+)
 from .profiler import LayerProfile, Profiler, ProfileResult, profile_graph
 from .quantized import (
     QuantParams,
+    RequantPlan,
+    build_requant_plan,
     choose_qparams,
     quantization_error,
     quantized_conv2d,
     quantized_dense,
+    zero_point_row_term,
 )
 
 __all__ = [
     "ArenaStats", "RunContext", "ScratchArena", "Workspace",
     "ExecutionError", "Executor", "run_graph",
-    "CompiledStep", "ExecutionPlan", "compile_node", "compile_plan",
+    "CompiledStep", "ExecutionPlan", "PACK_FORMAT_VERSION",
+    "compile_node", "compile_plan", "prepack_graph",
+    "CacheStats", "PlanCache", "SpecializedModel",
+    "default_cache_dir", "load_or_build",
     "LayerProfile", "Profiler", "ProfileResult", "profile_graph",
-    "QuantParams", "choose_qparams", "quantization_error",
-    "quantized_conv2d", "quantized_dense",
+    "QuantParams", "RequantPlan", "build_requant_plan",
+    "choose_qparams", "quantization_error",
+    "quantized_conv2d", "quantized_dense", "zero_point_row_term",
 ]

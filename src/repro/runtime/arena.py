@@ -87,6 +87,27 @@ class ScratchArena:
         self._issued[id(buf)] = buf
         return buf
 
+    def reserve(self, shape, dtype, count: int = 1) -> int:
+        """Pre-populate the free pool up to ``count`` buffers of this key.
+
+        Used by plan prewarm so even the first run draws recycled
+        buffers.  The heap memory obtained here is counted in the
+        allocation stats (it is real memory), but it is acquired before
+        steady state begins.  Returns how many buffers were added.
+        """
+        key = self._key(shape, dtype)
+        free = self._free.setdefault(key, [])
+        added = 0
+        while len(free) < count:
+            buf = np.empty(key[0], dtype=np.dtype(key[1]))
+            self.stats.allocations += 1
+            self.stats.allocated_bytes += buf.nbytes
+            if buf.nbytes > self.large_threshold:
+                self.stats.large_allocations += 1
+            free.append(buf)
+            added += 1
+        return added
+
     def release(self, array: np.ndarray) -> bool:
         """Return a dead tensor to the pool; ignores arrays we never issued."""
         issued = self._issued.pop(id(array), None)

@@ -59,11 +59,16 @@ class Executor:
         An already-compiled plan to reuse (compiled steps are immutable
         and shareable); the serving engine's worker pool passes the same
         base plan to every worker instead of recompiling the graph.
+    prewarm
+        With ``reuse_buffers``, pre-populate the scratch arena's free
+        pool from the plan's activation shapes so even the first run
+        allocates nothing from the heap.
     """
 
     def __init__(self, graph: Graph, keep_intermediates: bool = False,
                  reuse_buffers: bool = False,
-                 plan: Optional[ExecutionPlan] = None) -> None:
+                 plan: Optional[ExecutionPlan] = None,
+                 prewarm: bool = False) -> None:
         if keep_intermediates and reuse_buffers:
             raise ValueError(
                 "keep_intermediates and reuse_buffers are mutually "
@@ -71,7 +76,7 @@ class Executor:
         if plan is None:
             plan = compile_plan(graph)
         if reuse_buffers:
-            plan = plan.with_buffers()
+            plan = plan.with_buffers(prewarm=prewarm)
         self.plan: ExecutionPlan = plan
         self.graph = graph
         self.specs: Dict[str, TensorSpec] = self.plan.specs

@@ -119,12 +119,18 @@ def im2col(data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
 def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
            stride=1, padding=0, groups: int = 1,
            out: Optional[np.ndarray] = None,
-           workspace: Optional[Workspace] = None) -> np.ndarray:
+           workspace: Optional[Workspace] = None,
+           packed_weight: Optional[np.ndarray] = None) -> np.ndarray:
     """2-D convolution, NCHW input, OIHW weight, optional groups.
 
     With ``out``/``workspace`` the kernel writes its result into the
     caller's buffer and draws all scratch (columns, padded input, fp32
     accumulator for fp16 data) from the workspace instead of the heap.
+
+    ``packed_weight`` is an optional ``(out_c, in_c*kh*kw)`` matrix
+    prepacked at plan-build time (already reshaped into im2col layout
+    and, for fp16 data, already cast to fp32), so the hot loop skips the
+    per-call reshape/cast.  ``weight`` still supplies the kernel shape.
     """
     stride = _pair(stride)
     padding = _pair(padding)
@@ -147,11 +153,14 @@ def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
                                         data.dtype, "pad")
         cols, _ = im2col(data, (kh, kw), stride, padding,
                          out=cols_buf, pad_buffer=pad_buf)
-        w2 = weight.reshape(out_c, in_c * kh * kw)
+        w2 = weight.reshape(out_c, in_c * kh * kw) \
+            if packed_weight is None else packed_weight
         if halved:
             if cols.dtype != np.float32:
                 cols = cols.astype(np.float32)
-            if workspace is not None:
+            if w2.dtype == np.float32:
+                pass                     # prepacked fp32 copy, nothing to do
+            elif workspace is not None:
                 w32 = workspace.get(w2.shape, np.float32, "weight")
                 np.copyto(w32, w2)
                 w2 = w32
@@ -217,10 +226,14 @@ def dense(data: np.ndarray, weight: np.ndarray, bias=None,
     if halved:
         if workspace is None:
             a32 = data.astype(np.float32)
-            w32 = weight.astype(np.float32)
         else:
             a32 = workspace.get(data.shape, np.float32, "dense_in")
             np.copyto(a32, data)
+        if weight.dtype == np.float32:
+            w32 = weight                 # prepacked fp32 copy, reuse as-is
+        elif workspace is None:
+            w32 = weight.astype(np.float32)
+        else:
             w32 = workspace.get(weight.shape, np.float32, "dense_w")
             np.copyto(w32, weight)
         if out is not None:

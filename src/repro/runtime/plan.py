@@ -8,6 +8,23 @@ callable with every attribute, quantization parameter, and shape already
 resolved — the run loop does no attr lookups, dtype parsing, or
 isinstance checks.
 
+Ahead-of-time weight prepacking extends the same bind-once idea to the
+weights themselves.  A :func:`prepack_graph` sweep runs the
+``_PREPACKERS`` registry over every node whose weights are initializers
+and precomputes the arrays the kernels would otherwise derive per call:
+conv filters reshaped into the im2col GEMM layout, fp16 weights cast up
+to the fp32 compute dtype, binary weights packed to a 1-bit bitplane,
+integer weights pre-cast (and, for ``qdense``, pre-transposed — integer
+matmul is exact, so the transposed call form is bitwise-identical), and
+quantized zero-point row-sums folded into a single additive term.  Float
+GEMM weights are deliberately *not* pre-transposed: ``x @ W.T`` and
+``x @ ascontiguousarray(W.T)`` take different BLAS code paths (NT vs NN)
+whose results differ in the last ulp, and every specialized path must
+stay bitwise-identical to the interpreter (see DESIGN.md).  Packs are
+plain ``{name: ndarray}`` dicts, so a plan's prepack state can be
+persisted by :mod:`repro.runtime.plan_cache` and rebound on a warm start
+without re-deriving anything.
+
 The plan also carries a liveness schedule derived from
 :func:`repro.optim.memory_planner.compute_lifetimes`: after each step, the
 intermediate tensors whose last consumer just ran are released, so the
@@ -35,12 +52,22 @@ from ..ir.graph import Graph, Node
 from ..ir.tensor import DType, TensorSpec
 from . import kernels
 from .arena import RunContext, ScratchArena
-from .quantized import QuantParams, quantized_conv2d, quantized_dense
+from .quantized import (
+    QuantParams,
+    build_requant_plan,
+    quantized_conv2d,
+    quantized_dense,
+    zero_point_row_term,
+)
 
 # A bound kernel: positional input arrays in, output arrays out.  The
 # optional context supplies arena/workspace buffers; kernels must behave
 # identically (bitwise) with or without it.
 KernelFn = Callable[..., List[np.ndarray]]
+
+# Version of the prepack entry layout.  Part of the plan-cache key, so a
+# change to what any prepacker stores invalidates stale cache entries.
+PACK_FORMAT_VERSION = 1
 
 
 class ExecutionError(RuntimeError):
@@ -61,36 +88,75 @@ class CompiledStep:
 class ExecutionPlan:
     """The compiled form of a graph: an ordered list of bound steps.
 
-    ``arena`` and ``workspace`` are per-instance scratch storage (None on
-    a freshly compiled plan); :meth:`with_buffers` derives an instance
-    that shares the immutable compiled steps but owns fresh buffers, which
-    is how the serving engine's worker pool gets one plan instance per
-    worker without recompiling.
+    ``packs`` holds the per-node prepacked weight arrays (empty when the
+    plan was compiled with ``prepack=False``); the plan cache persists
+    exactly this mapping.  ``arena`` and ``workspace`` are per-instance
+    scratch storage (None on a freshly compiled plan);
+    :meth:`with_buffers` derives an instance that shares the immutable
+    compiled steps but owns fresh buffers, which is how the serving
+    engine's worker pool gets one plan instance per worker without
+    recompiling.
     """
 
     graph_name: str
     steps: List[CompiledStep]
     specs: Dict[str, TensorSpec]
     peak_live_bytes: int
+    packs: Dict[str, Dict[str, np.ndarray]] = field(
+        default_factory=dict, repr=False)
     arena: Optional[ScratchArena] = field(default=None, repr=False)
     workspace: Optional[kernels.Workspace] = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.steps)
 
-    def with_buffers(self) -> "ExecutionPlan":
+    def with_buffers(self, prewarm: bool = False) -> "ExecutionPlan":
         """A new plan instance sharing compiled steps, with its own
-        scratch arena and kernel workspace."""
+        scratch arena and kernel workspace.
+
+        With ``prewarm=True`` the arena's free pool is pre-populated with
+        one buffer per activation (shape, dtype) at its peak concurrency
+        under the release schedule, so even the *first* run draws from
+        the pool instead of the heap — the serving engine's cold-start
+        smoothing.
+        """
+        arena = ScratchArena()
+        if prewarm:
+            for (shape, dtype), count in self._peak_concurrency().items():
+                arena.reserve(shape, dtype, count)
         return ExecutionPlan(self.graph_name, self.steps, self.specs,
-                             self.peak_live_bytes,
-                             arena=ScratchArena(),
+                             self.peak_live_bytes, packs=self.packs,
+                             arena=arena,
                              workspace=kernels.Workspace())
+
+    def _peak_concurrency(self) -> Dict[Tuple[Tuple[int, ...], str], int]:
+        """Max simultaneously-live activation count per (shape, dtype),
+        walking the steps against the release schedule."""
+        live: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        count: Dict[Tuple[Tuple[int, ...], str], int] = {}
+        peak: Dict[Tuple[Tuple[int, ...], str], int] = {}
+        for step in self.steps:
+            for name in step.node.outputs:
+                spec = self.specs.get(name)
+                if spec is None:
+                    continue
+                key = (tuple(spec.shape), np.dtype(spec.dtype.to_numpy()).str)
+                live[name] = key
+                count[key] = count.get(key, 0) + 1
+                peak[key] = max(peak.get(key, 0), count[key])
+            for name in step.release:
+                key = live.pop(name, None)
+                if key is not None:
+                    count[key] -= 1
+        return peak
 
     def summary(self) -> str:
         """Human-readable step listing with the release schedule."""
+        packed = sum(len(p) for p in self.packs.values())
         lines = [
             f"execution plan for {self.graph_name!r}: {len(self.steps)} "
-            f"steps, peak live {self.peak_live_bytes / 1024:.1f} KiB"
+            f"steps, peak live {self.peak_live_bytes / 1024:.1f} KiB, "
+            f"{packed} prepacked arrays"
         ]
         for step in self.steps:
             frees = (f"  frees {', '.join(step.release)}"
@@ -104,12 +170,12 @@ class ExecutionPlan:
 # -- per-op kernel builders ----------------------------------------------------
 #
 # A builder runs once at compile time; everything it resolves from node
-# attrs or specs is captured in the returned closure.  Each closure takes
-# (args, ctx=None): without a context it allocates exactly as the seed
-# kernels did; with one it routes outputs through the arena and scratch
-# through the workspace.
+# attrs, specs, or the optional prepack entry is captured in the returned
+# closure.  Each closure takes (args, ctx=None): without a context it
+# allocates exactly as the seed kernels did; with one it routes outputs
+# through the arena and scratch through the workspace.
 
-_BUILDERS: Dict[str, Callable[[Node, Dict[str, TensorSpec]], KernelFn]] = {}
+_BUILDERS: Dict[str, Callable[..., KernelFn]] = {}
 
 
 def _builder(*op_types: str):
@@ -159,7 +225,9 @@ def _node_qparams(node: Node, prefix: str, channel_axis=None) -> QuantParams:
     if isinstance(dtype, str):
         dtype = DType(dtype)
     scale = np.asarray(node.attrs[f"{prefix}_scale"])
-    axis = channel_axis if scale.size > 1 else None
+    axis = node.attrs.get(f"{prefix}_channel_axis", channel_axis)
+    if scale.size == 1:
+        axis = None
     return QuantParams(
         scale, np.asarray(node.attrs[f"{prefix}_zero_point"]),
         dtype, channel_axis=axis,
@@ -176,41 +244,59 @@ def _own_qparams(node: Node) -> QuantParams:
                        channel_axis=axis)
 
 
+def _unpack_bitplane(pack: Dict[str, np.ndarray]) -> np.ndarray:
+    """Expand a 1-bit sign plane back to the ±1.0 fp32 weights.
+
+    Inverse of the ``bits``/``bshape`` entries written by the binary
+    prepackers; ``2 * bit - 1`` reproduces ``signs.astype(float32)``
+    exactly for the ±1 sign tensors BinarizePass emits.
+    """
+    shape = tuple(int(d) for d in pack["bshape"])
+    size = int(np.prod(shape))
+    bits = np.unpackbits(pack["bits"], count=size)
+    return (bits.astype(np.float32) * 2.0 - 1.0).reshape(shape)
+
+
 @_builder("conv2d", "fused_conv2d")
-def _build_conv2d(node: Node, specs) -> KernelFn:
+def _build_conv2d(node: Node, specs, pack=None) -> KernelFn:
     attrs = _conv_attrs(node)
     act_name = node.attrs.get("activation")
     act_alpha = node.attrs.get("activation_alpha")
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
     shape, dtype = _out_spec(node, specs)
+    w2 = pack.get("w2") if pack else None
 
     def run(args, ctx=None):
         bias = args[2] if has_bias else None
         if ctx is None:
-            out = kernels.conv2d(args[0], args[1], bias=bias, **attrs)
+            out = kernels.conv2d(args[0], args[1], bias=bias,
+                                 packed_weight=w2, **attrs)
             return [act(out) if act else out]
         out = kernels.conv2d(args[0], args[1], bias=bias,
                              out=ctx.alloc(shape, dtype),
-                             workspace=ctx.workspace, **attrs)
+                             workspace=ctx.workspace,
+                             packed_weight=w2, **attrs)
         return [_finish_activation(act_name, act_alpha, act, out, ctx)]
     return run
 
 
 @_builder("dense", "fused_dense")
-def _build_dense(node: Node, specs) -> KernelFn:
+def _build_dense(node: Node, specs, pack=None) -> KernelFn:
     act_name = node.attrs.get("activation")
     act_alpha = node.attrs.get("activation_alpha")
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
     shape, dtype = _out_spec(node, specs)
+    w32 = pack.get("w32") if pack else None
 
     def run(args, ctx=None):
+        weight = w32 if w32 is not None else args[1]
         bias = args[2] if has_bias else None
         if ctx is None:
-            out = kernels.dense(args[0], args[1], bias=bias)
+            out = kernels.dense(args[0], weight, bias=bias)
             return [act(out) if act else out]
-        out = kernels.dense(args[0], args[1], bias=bias,
+        out = kernels.dense(args[0], weight, bias=bias,
                             out=ctx.alloc(shape, dtype),
                             workspace=ctx.workspace)
         return [_finish_activation(act_name, act_alpha, act, out, ctx)]
@@ -218,15 +304,21 @@ def _build_dense(node: Node, specs) -> KernelFn:
 
 
 @_builder("bconv2d")
-def _build_bconv2d(node: Node, specs) -> KernelFn:
+def _build_bconv2d(node: Node, specs, pack=None) -> KernelFn:
     attrs = _conv_attrs(node)
     scale = np.asarray(node.attrs["scale"],
                        dtype=np.float32).reshape(1, -1, 1, 1)
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
+    signs32 = _unpack_bitplane(pack) if pack and "bits" in pack else None
+    w2 = None
+    if signs32 is not None and int(attrs["groups"]) == 1:
+        w2 = signs32.reshape(signs32.shape[0], -1)
 
     def run(args, ctx=None):
-        out = kernels.conv2d(args[0], args[1].astype(np.float32), **attrs)
+        weight = signs32 if signs32 is not None \
+            else args[1].astype(np.float32)
+        out = kernels.conv2d(args[0], weight, packed_weight=w2, **attrs)
         out = out * scale
         if has_bias:
             out = out + args[2].reshape(1, -1, 1, 1)
@@ -235,13 +327,16 @@ def _build_bconv2d(node: Node, specs) -> KernelFn:
 
 
 @_builder("bdense")
-def _build_bdense(node: Node, specs) -> KernelFn:
+def _build_bdense(node: Node, specs, pack=None) -> KernelFn:
     scale = np.asarray(node.attrs["scale"], dtype=np.float32)
     act = _fused_activation(node)
     has_bias = len(node.inputs) > 2
+    signs32 = _unpack_bitplane(pack) if pack and "bits" in pack else None
 
     def run(args, ctx=None):
-        out = kernels.dense(args[0], args[1].astype(np.float32)) * scale
+        weight = signs32 if signs32 is not None \
+            else args[1].astype(np.float32)
+        out = kernels.dense(args[0], weight) * scale
         if has_bias:
             out = out + args[2]
         return [act(out) if act else out]
@@ -249,7 +344,7 @@ def _build_bdense(node: Node, specs) -> KernelFn:
 
 
 @_builder("qconv2d")
-def _build_qconv2d(node: Node, specs) -> KernelFn:
+def _build_qconv2d(node: Node, specs, pack=None) -> KernelFn:
     attrs = _conv_attrs(node)
     input_params = _node_qparams(node, "input")
     weight_params = _node_qparams(node, "weight", channel_axis=0)
@@ -257,6 +352,30 @@ def _build_qconv2d(node: Node, specs) -> KernelFn:
     activation = node.attrs.get("activation")
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
+
+    if pack and "w_int" in pack and (not has_bias or "bias" in pack):
+        w_int = pack["w_int"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=4, activation=activation, activation_alpha=alpha)
+        w2 = (w_int.reshape(w_int.shape[0], -1)
+              if int(attrs["groups"]) == 1 else None)
+
+        def run(args, ctx=None):
+            q = args[0].astype(np.int32)
+            if row_term is None:
+                acc = kernels.conv2d(q - input_zero, w_int,
+                                     packed_weight=w2, **attrs)
+            else:
+                # (q - z) * W == q * W - z * rowsum(W): integer-exact, so
+                # the shift folds into the prepacked additive term.
+                acc = kernels.conv2d(q, w_int, packed_weight=w2, **attrs)
+                acc -= row_term
+            return [requant(acc)]
+        return run
 
     def run(args, ctx=None):
         return [quantized_conv2d(
@@ -267,13 +386,32 @@ def _build_qconv2d(node: Node, specs) -> KernelFn:
 
 
 @_builder("qdense")
-def _build_qdense(node: Node, specs) -> KernelFn:
+def _build_qdense(node: Node, specs, pack=None) -> KernelFn:
     input_params = _node_qparams(node, "input")
     weight_params = _node_qparams(node, "weight", channel_axis=0)
     out_params = _node_qparams(node, "out")
     activation = node.attrs.get("activation")
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
+
+    if pack and "wt_int" in pack and (not has_bias or "bias" in pack):
+        wt_int = pack["wt_int"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=2, activation=activation, activation_alpha=alpha)
+
+        def run(args, ctx=None):
+            q = args[0].astype(np.int32)
+            if row_term is None:
+                acc = (q - input_zero) @ wt_int
+            else:
+                acc = q @ wt_int
+                acc -= row_term
+            return [requant(acc)]
+        return run
 
     def run(args, ctx=None):
         return [quantized_dense(
@@ -284,7 +422,7 @@ def _build_qdense(node: Node, specs) -> KernelFn:
 
 
 @_builder("batchnorm")
-def _build_batchnorm(node: Node, specs) -> KernelFn:
+def _build_batchnorm(node: Node, specs, pack=None) -> KernelFn:
     epsilon = float(node.attrs.get("epsilon", 1e-5))
     shape, dtype = _out_spec(node, specs)
 
@@ -297,13 +435,13 @@ def _build_batchnorm(node: Node, specs) -> KernelFn:
 
 
 @_builder("softmax")
-def _build_softmax(node: Node, specs) -> KernelFn:
+def _build_softmax(node: Node, specs, pack=None) -> KernelFn:
     axis = int(node.attrs.get("axis", -1))
     return lambda args, ctx=None: [kernels.softmax(args[0], axis=axis)]
 
 
 def _build_binop(ufunc):
-    def build(node: Node, specs) -> KernelFn:
+    def build(node: Node, specs, pack=None) -> KernelFn:
         shape, dtype = _out_spec(node, specs)
 
         def run(args, ctx=None):
@@ -321,7 +459,7 @@ _BUILDERS["maximum"] = _build_binop(np.maximum)
 
 
 def _build_pool(kernel_fn):
-    def build(node: Node, specs) -> KernelFn:
+    def build(node: Node, specs, pack=None) -> KernelFn:
         kernel = node.attrs["kernel"]
         stride = node.attrs.get("stride")
         padding = node.attrs.get("padding", 0)
@@ -342,12 +480,12 @@ _BUILDERS["avgpool2d"] = _build_pool(kernels.avgpool2d)
 
 
 @_builder("global_avgpool2d")
-def _build_global_avgpool2d(node: Node, specs) -> KernelFn:
+def _build_global_avgpool2d(node: Node, specs, pack=None) -> KernelFn:
     return lambda args, ctx=None: [kernels.global_avgpool2d(args[0])]
 
 
 @_builder("upsample2d")
-def _build_upsample2d(node: Node, specs) -> KernelFn:
+def _build_upsample2d(node: Node, specs, pack=None) -> KernelFn:
     scale = int(node.attrs["scale"])
     shape, dtype = _out_spec(node, specs)
 
@@ -359,7 +497,7 @@ def _build_upsample2d(node: Node, specs) -> KernelFn:
     return run
 
 
-def _build_view_copy(node: Node, specs) -> KernelFn:
+def _build_view_copy(node: Node, specs, pack=None) -> KernelFn:
     """flatten/reshape: a view when allocating, an arena copy with a
     context (views into buffers the arena may recycle are never issued)."""
     shape, dtype = _out_spec(node, specs)
@@ -378,7 +516,7 @@ _BUILDERS["reshape"] = _build_view_copy
 
 
 @_builder("concat")
-def _build_concat(node: Node, specs) -> KernelFn:
+def _build_concat(node: Node, specs, pack=None) -> KernelFn:
     axis = int(node.attrs.get("axis", 1))
     shape, dtype = _out_spec(node, specs)
 
@@ -391,7 +529,7 @@ def _build_concat(node: Node, specs) -> KernelFn:
 
 
 @_builder("pad")
-def _build_pad(node: Node, specs) -> KernelFn:
+def _build_pad(node: Node, specs, pack=None) -> KernelFn:
     pads = node.attrs["pads"]
     shape, dtype = _out_spec(node, specs)
 
@@ -403,18 +541,18 @@ def _build_pad(node: Node, specs) -> KernelFn:
 
 
 @_builder("quantize")
-def _build_quantize(node: Node, specs) -> KernelFn:
+def _build_quantize(node: Node, specs, pack=None) -> KernelFn:
     params = _own_qparams(node)
     return lambda args, ctx=None: [params.quantize(args[0])]
 
 
 @_builder("dequantize")
-def _build_dequantize(node: Node, specs) -> KernelFn:
+def _build_dequantize(node: Node, specs, pack=None) -> KernelFn:
     params = _own_qparams(node)
     return lambda args, ctx=None: [params.dequantize(args[0])]
 
 
-def _build_activation(node: Node, specs) -> KernelFn:
+def _build_activation(node: Node, specs, pack=None) -> KernelFn:
     name = node.op_type
     alpha = node.attrs.get("alpha")
     fn = kernels.resolve_activation(name, alpha)
@@ -438,15 +576,153 @@ for _name in kernels.ACTIVATIONS:
     _BUILDERS[_name] = _build_activation
 
 
+# -- weight prepacking ---------------------------------------------------------
+#
+# A prepacker inspects one node whose weights are graph initializers and
+# returns the ``{entry: ndarray}`` pack its builder consumes, or None
+# when nothing about the node can be specialized (dynamic weights,
+# unsupported layout).  Every entry must be a plain ndarray so the plan
+# cache can persist packs losslessly in an .npz archive.
+
+_PREPACKERS: Dict[str, Callable[..., Optional[Dict[str, np.ndarray]]]] = {}
+
+
+def _prepacker(*op_types: str):
+    def deco(fn):
+        for op in op_types:
+            _PREPACKERS[op] = fn
+        return fn
+    return deco
+
+
+def _weight_init(node: Node, graph: Graph) -> Optional[np.ndarray]:
+    if len(node.inputs) < 2:
+        return None
+    return graph.initializers.get(node.inputs[1])
+
+
+def _bias_init(node: Node, graph: Graph) -> Optional[np.ndarray]:
+    if len(node.inputs) < 3:
+        return None
+    return graph.initializers.get(node.inputs[2])
+
+
+def _padding_is_zero(node: Node) -> bool:
+    padding = node.attrs.get("padding", 0)
+    if isinstance(padding, (tuple, list)):
+        return not any(int(p) for p in padding)
+    return int(padding) == 0
+
+
+@_prepacker("conv2d", "fused_conv2d")
+def _prepack_conv2d(node, graph, specs):
+    weight = _weight_init(node, graph)
+    if weight is None or int(node.attrs.get("groups", 1)) != 1:
+        return None
+    w2 = weight.reshape(weight.shape[0], -1)
+    if specs[node.inputs[0]].dtype.to_numpy() == np.float16:
+        # The fp16 path accumulates in fp32; prepack the upcast so the
+        # hot loop's workspace copy disappears.  Same values into the
+        # same GEMM call form, hence bitwise-identical.
+        w2 = w2.astype(np.float32)
+    return {"w2": np.ascontiguousarray(w2)}
+
+
+@_prepacker("dense", "fused_dense")
+def _prepack_dense(node, graph, specs):
+    weight = _weight_init(node, graph)
+    if weight is None or not np.issubdtype(weight.dtype, np.floating) \
+            or weight.dtype == np.float32:
+        # fp32 GEMM weights stay untouched: pre-transposing would flip
+        # OpenBLAS from its NT to its NN kernel, whose results are not
+        # bitwise-identical (see DESIGN.md).  Only the fp16 upcast — the
+        # same values entering the same call form — is safe to hoist.
+        return None
+    return {"w32": weight.astype(np.float32)}
+
+
+@_prepacker("bconv2d", "bdense")
+def _prepack_binary(node, graph, specs):
+    signs = _weight_init(node, graph)
+    if signs is None:
+        return None
+    # BinarizePass emits strict ±1 sign tensors, so one bit per weight
+    # round-trips exactly (bit = sign > 0, weight = 2 * bit - 1).
+    return {
+        "bits": np.packbits(signs.reshape(-1) > 0),
+        "bshape": np.asarray(signs.shape, dtype=np.int64),
+    }
+
+
+@_prepacker("qconv2d")
+def _prepack_qconv2d(node, graph, specs):
+    q_weight = _weight_init(node, graph)
+    if q_weight is None:
+        return None
+    pack = {"w_int": q_weight.astype(np.int32)}
+    bias = _bias_init(node, graph)
+    if len(node.inputs) > 2:
+        if bias is None:
+            return None  # dynamic bias: requant cannot be hoisted
+        pack["bias"] = bias
+    if _padding_is_zero(node):
+        # Zero padding injects literal zeros *after* the zero-point
+        # shift, so the rowsum identity only holds for unpadded convs.
+        row_term = zero_point_row_term(
+            q_weight, _node_qparams(node, "input"), (1, 2, 3))
+        if row_term is not None:
+            pack["row_term"] = row_term.reshape(1, -1, 1, 1)
+    return pack
+
+
+@_prepacker("qdense")
+def _prepack_qdense(node, graph, specs):
+    q_weight = _weight_init(node, graph)
+    if q_weight is None:
+        return None
+    # Integer matmul is exact, so the pre-transposed contiguous call
+    # form is bitwise-identical to the strided `q @ W.T` it replaces.
+    pack = {"wt_int": np.ascontiguousarray(q_weight.astype(np.int32).T)}
+    bias = _bias_init(node, graph)
+    if len(node.inputs) > 2:
+        if bias is None:
+            return None
+        pack["bias"] = bias
+    row_term = zero_point_row_term(
+        q_weight, _node_qparams(node, "input"), (1,))
+    if row_term is not None:
+        pack["row_term"] = row_term
+    return pack
+
+
+def prepack_graph(graph: Graph,
+                  specs: Optional[Dict[str, TensorSpec]] = None
+                  ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Precompute every weight-derived array the kernels would otherwise
+    build per call.  Returns ``{node_name: {entry: ndarray}}``."""
+    if specs is None:
+        specs = graph.infer_specs()
+    packs: Dict[str, Dict[str, np.ndarray]] = {}
+    for node in graph.nodes:
+        packer = _PREPACKERS.get(node.op_type)
+        if packer is None:
+            continue
+        pack = packer(node, graph, specs)
+        if pack:
+            packs[node.name] = pack
+    return packs
+
+
 # -- compilation ---------------------------------------------------------------
 
-def compile_node(node: Node, specs: Dict[str, TensorSpec]) -> KernelFn:
+def compile_node(node: Node, specs: Dict[str, TensorSpec],
+                 pack: Optional[Dict[str, np.ndarray]] = None) -> KernelFn:
     """Resolve one node into a bound kernel callable."""
     builder = _BUILDERS.get(node.op_type)
     if builder is None:
         raise ExecutionError(f"no kernel for op {node.op_type!r}")
     try:
-        return builder(node, specs)
+        return builder(node, specs, pack)
     except ExecutionError:
         raise
     except Exception as exc:
@@ -456,23 +732,39 @@ def compile_node(node: Node, specs: Dict[str, TensorSpec]) -> KernelFn:
 
 
 def compile_plan(graph: Graph,
-                 specs: Optional[Dict[str, TensorSpec]] = None
-                 ) -> ExecutionPlan:
-    """Validate ``graph`` and compile it into an :class:`ExecutionPlan`."""
+                 specs: Optional[Dict[str, TensorSpec]] = None,
+                 *,
+                 prepack: bool = True,
+                 packs: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+                 releases: Optional[Sequence[Sequence[str]]] = None,
+                 peak_live: Optional[int] = None) -> ExecutionPlan:
+    """Compile ``graph`` into an :class:`ExecutionPlan`.
+
+    The keyword-only arguments are the warm-start seams the plan cache
+    uses: when ``specs``, ``releases``/``peak_live``, and ``packs`` are
+    all supplied (from a cache hit), compilation skips validation, shape
+    inference, liveness analysis, and prepacking — only the cheap kernel
+    binding remains.  A cold call computes all of them.
+    """
     # Deferred import: repro.optim pulls in passes that import this runtime
     # package at module scope.
     from ..optim.memory_planner import (
         compute_lifetimes, peak_live_bytes, release_schedule,
     )
 
-    graph.validate()
     if specs is None:
+        graph.validate()
         specs = graph.infer_specs()
-    lifetimes = compute_lifetimes(graph)
-    releases = release_schedule(graph, lifetimes)
+    if releases is None or peak_live is None:
+        lifetimes = compute_lifetimes(graph)
+        releases = release_schedule(graph, lifetimes)
+        peak_live = peak_live_bytes(lifetimes)
+    if packs is None:
+        packs = prepack_graph(graph, specs) if prepack else {}
     steps = [
-        CompiledStep(node, compile_node(node, specs), releases[position])
+        CompiledStep(node, compile_node(node, specs, packs.get(node.name)),
+                     tuple(releases[position]))
         for position, node in enumerate(graph.nodes)
     ]
-    return ExecutionPlan(graph.name, steps, specs,
-                         peak_live_bytes(lifetimes))
+    return ExecutionPlan(graph.name, steps, specs, int(peak_live),
+                         packs=packs)

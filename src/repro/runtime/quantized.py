@@ -10,7 +10,7 @@ hardware-aware optimizer benchmarks the accuracy difference between them
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,10 @@ class QuantParams:
             raise ValueError("per-tensor params must be scalar")
         object.__setattr__(self, "scale", scale)
         object.__setattr__(self, "zero_point", zero)
+        # Broadcast-shaped views are pure functions of the (immutable)
+        # params and the operand rank; cache them so the hot quantize/
+        # dequantize loop never re-reshapes per call.
+        object.__setattr__(self, "_bcache", {})
 
     @property
     def qmin(self) -> int:
@@ -60,16 +64,25 @@ class QuantParams:
         shape[self.channel_axis] = -1
         return values.reshape(shape)
 
+    def broadcast_for(self, ndim: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(scale, zero_point)`` reshaped to broadcast over an
+        ``ndim``-rank operand — the plan-build-time form of
+        :meth:`_broadcast`."""
+        entry = self._bcache.get(ndim)
+        if entry is None:
+            entry = (self._broadcast(self.scale, ndim),
+                     self._broadcast(self.zero_point, ndim))
+            self._bcache[ndim] = entry
+        return entry
+
     def quantize(self, real: np.ndarray) -> np.ndarray:
         """Quantize float values to the integer grid (round-to-nearest-even)."""
-        scale = self._broadcast(self.scale, real.ndim)
-        zero = self._broadcast(self.zero_point, real.ndim)
+        scale, zero = self.broadcast_for(real.ndim)
         q = np.round(real / scale) + zero
         return np.clip(q, self.qmin, self.qmax).astype(self.dtype.to_numpy())
 
     def dequantize(self, q: np.ndarray) -> np.ndarray:
-        scale = self._broadcast(self.scale, q.ndim)
-        zero = self._broadcast(self.zero_point, q.ndim)
+        scale, zero = self.broadcast_for(q.ndim)
         return ((q.astype(np.float64) - zero) * scale).astype(np.float32)
 
 
@@ -156,6 +169,80 @@ def quantized_dense(
                        activation_alpha=activation_alpha)
 
 
+class RequantPlan:
+    """Requantization with every weight-dependent constant precomputed.
+
+    Folds the combined ``input_scale * weight_scale`` multiplier, the
+    broadcast-reshaped bias, and the output grid's broadcast scale/zero
+    into plan-build time, so applying the plan to an int32 accumulator
+    performs only the arithmetic an integer NPU's requantization unit
+    would.  :func:`_requantize` routes through this class, so the hoisted
+    path is bitwise-identical to per-call requantization by construction.
+    """
+
+    __slots__ = ("multiplier", "bias", "activation", "out_scale", "out_zero",
+                 "qmin", "qmax", "out_dtype")
+
+    def __init__(self, multiplier: np.ndarray, bias: Optional[np.ndarray],
+                 activation: Optional[Callable[[np.ndarray], np.ndarray]],
+                 out_scale: np.ndarray, out_zero: np.ndarray,
+                 qmin: int, qmax: int, out_dtype: np.dtype) -> None:
+        self.multiplier = multiplier
+        self.bias = bias
+        self.activation = activation
+        self.out_scale = out_scale
+        self.out_zero = out_zero
+        self.qmin = qmin
+        self.qmax = qmax
+        self.out_dtype = out_dtype
+
+    def __call__(self, acc: np.ndarray) -> np.ndarray:
+        real = acc * self.multiplier
+        if self.bias is not None:
+            real = real + self.bias
+        real = real.astype(np.float32)
+        if self.activation is not None:
+            real = self.activation(real)
+        q = np.round(real / self.out_scale) + self.out_zero
+        return np.clip(q, self.qmin, self.qmax).astype(self.out_dtype)
+
+
+def requant_multiplier(data_params: QuantParams,
+                       weight_params: QuantParams,
+                       channel_ndim: int) -> np.ndarray:
+    """The combined float rescale ``input_scale * weight_scale``, reshaped
+    to broadcast over a ``channel_ndim``-rank accumulator."""
+    w_scale = weight_params.scale
+    if weight_params.channel_axis is not None:
+        shape = [1] * channel_ndim
+        shape[1 if channel_ndim == 4 else -1] = -1
+        w_scale = w_scale.reshape(shape)
+    return float(data_params.scale.ravel()[0]) * w_scale
+
+
+def build_requant_plan(data_params: QuantParams,
+                       weight_params: QuantParams,
+                       bias: Optional[np.ndarray],
+                       out_params: QuantParams, channel_ndim: int,
+                       activation: Optional[str] = None,
+                       activation_alpha: Optional[float] = None
+                       ) -> RequantPlan:
+    """Precompute every constant of the requantization step once."""
+    from .kernels import resolve_activation
+
+    if bias is not None and channel_ndim == 4:
+        bias = bias.reshape(1, -1, 1, 1)
+    out_scale, out_zero = out_params.broadcast_for(channel_ndim)
+    return RequantPlan(
+        requant_multiplier(data_params, weight_params, channel_ndim),
+        bias,
+        resolve_activation(activation, activation_alpha) if activation
+        else None,
+        out_scale, out_zero,
+        out_params.qmin, out_params.qmax, out_params.dtype.to_numpy(),
+    )
+
+
 def _requantize(acc: np.ndarray, data_params: QuantParams,
                 weight_params: QuantParams, bias: Optional[np.ndarray],
                 out_params: QuantParams, channel_ndim: int,
@@ -165,25 +252,41 @@ def _requantize(acc: np.ndarray, data_params: QuantParams,
 
     An optional fused activation is applied in the real domain before
     requantization, matching how integer NPUs fold activations into the
-    requantization step.
+    requantization step.  Builds a throwaway :class:`RequantPlan`; hot
+    paths build the plan once and reuse it per call.
     """
-    w_scale = weight_params.scale
-    if weight_params.channel_axis is not None:
-        shape = [1] * channel_ndim
-        shape[1 if channel_ndim == 4 else -1] = -1
-        w_scale = w_scale.reshape(shape)
-    real = acc * (float(data_params.scale.ravel()[0]) * w_scale)
-    if bias is not None:
-        if channel_ndim == 4:
-            real = real + bias.reshape(1, -1, 1, 1)
-        else:
-            real = real + bias
-    real = real.astype(np.float32)
-    if activation:
-        from .kernels import resolve_activation
+    return build_requant_plan(data_params, weight_params, bias, out_params,
+                              channel_ndim, activation=activation,
+                              activation_alpha=activation_alpha)(acc)
 
-        real = resolve_activation(activation, activation_alpha)(real)
-    return out_params.quantize(real)
+
+# Widest reduction (in_channels * kh * kw, or in_features) for which the
+# zero-point row-sum rewrite provably stays inside int32: every product
+# |q| * |w| is bounded by 255 * 128 (uint8 data, int8 weights), so both
+# the unshifted accumulator and the correction term stay below
+# 32640 * 2^16 = 2,139,095,040 < 2^31 - 1 for reductions up to 2^16.
+ZERO_POINT_ROW_TERM_MAX_REDUCE = 1 << 16
+
+
+def zero_point_row_term(q_weight: np.ndarray, data_params: QuantParams,
+                        reduce_axes: Tuple[int, ...]) -> Optional[np.ndarray]:
+    """Precompute ``zero_point * sum(W)`` per output channel.
+
+    Rewrites ``(q - z) @ W^T`` as ``q @ W^T - z * rowsum(W)``: integer
+    arithmetic is exact, so the rewrite is bitwise-identical as long as
+    the int32 accumulator cannot overflow — guarded by the reduction
+    width.  Returns ``None`` when the zero point is already 0 (nothing to
+    hoist) or when the reduction is too wide for the overflow guard;
+    callers then keep the subtract-first form.
+    """
+    zero = int(data_params.zero_point.ravel()[0])
+    if zero == 0:
+        return None
+    width = int(np.prod([q_weight.shape[axis] for axis in reduce_axes]))
+    if width > ZERO_POINT_ROW_TERM_MAX_REDUCE:
+        return None
+    row_sums = q_weight.astype(np.int64).sum(axis=reduce_axes)
+    return (zero * row_sums).astype(np.int32)
 
 
 def quantization_error(real: np.ndarray, params: QuantParams) -> float:

@@ -56,17 +56,35 @@ class InferenceEngine:
         fill before being dispatched anyway.
     reuse_buffers
         Run workers on scratch arenas (allocation-free steady state).
+    plan_cache
+        Optional :class:`repro.runtime.plan_cache.PlanCache`: per-batch
+        plan builds go through :func:`load_or_build`, so a restarted
+        engine warm-starts from disk instead of respecializing.  Hit and
+        miss counts surface in :meth:`metrics`.
+    aot_config
+        :class:`repro.optim.passes.AOTConfig` for cache-backed builds
+        (bitwise-safe defaults when None).
+    prewarm
+        Pre-populate each worker arena from the plan's activation shapes
+        (first run allocation-free, not just steady state).
     """
 
     def __init__(self, graph: Graph, workers: int = 1, max_batch: int = 8,
                  max_latency_ms: float = 2.0,
-                 reuse_buffers: bool = True) -> None:
+                 reuse_buffers: bool = True,
+                 plan_cache=None, aot_config=None,
+                 prewarm: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.template = graph.with_batch(1)
         self.workers = int(workers)
         self.max_batch = int(max_batch)
         self.reuse_buffers = reuse_buffers
+        self.plan_cache = plan_cache
+        self.aot_config = aot_config
+        self.prewarm = bool(prewarm)
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._input_specs = {spec.name: spec for spec in self.template.inputs}
         self.queue = BatchQueue(max_batch=max_batch,
                                 max_latency_s=max_latency_ms / 1e3)
@@ -129,10 +147,14 @@ class InferenceEngine:
                 arena_stats.reused_bytes += arena.stats.reused_bytes
             if executor.plan.workspace is not None:
                 workspace_allocations += executor.plan.workspace.allocations
+        with self._compile_lock:
+            cache_hits, cache_misses = self._cache_hits, self._cache_misses
         return self.recorder.snapshot(
             queue_depth=self.queue.depth(),
             arena_stats=arena_stats,
-            workspace_allocations=workspace_allocations)
+            workspace_allocations=workspace_allocations,
+            plan_cache_hits=cache_hits,
+            plan_cache_misses=cache_misses)
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop accepting work, fail whatever is still queued, and join
@@ -177,7 +199,18 @@ class InferenceEngine:
             entry = self._compiled.get(batch)
             if entry is None:
                 graph = self.template.with_batch(batch)
-                entry = (graph, compile_plan(graph))
+                if self.plan_cache is not None:
+                    from ..runtime.plan_cache import load_or_build
+
+                    model = load_or_build(graph, self.aot_config,
+                                          self.plan_cache)
+                    if model.from_cache:
+                        self._cache_hits += 1
+                    else:
+                        self._cache_misses += 1
+                    entry = (model.graph, model.plan)
+                else:
+                    entry = (graph, compile_plan(graph))
                 self._compiled[batch] = entry
             return entry
 
@@ -188,7 +221,7 @@ class InferenceEngine:
                 return free.pop()
         graph, plan = self._base_plan(batch)
         executor = Executor(graph, reuse_buffers=self.reuse_buffers,
-                            plan=plan)
+                            plan=plan, prewarm=self.prewarm)
         with self._pool_lock:
             self._executors.append(executor)
         return executor

@@ -49,6 +49,10 @@ class MetricsSnapshot:
     arena_large_allocations: int = 0
     arena_reuses: int = 0
     workspace_allocations: int = 0
+    # Persistent plan-cache traffic for the engine's per-batch-size plan
+    # builds: hits are warm starts that skipped specialization entirely.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def report(self) -> str:
         histogram = " ".join(f"{size}:{count}" for size, count
@@ -64,6 +68,8 @@ class MetricsSnapshot:
             f"({self.arena_large_allocations} large), "
             f"{self.arena_reuses} reuses, "
             f"{self.workspace_allocations} workspace buffers",
+            f"plan cache: {self.plan_cache_hits} hits, "
+            f"{self.plan_cache_misses} misses",
         ])
 
 
@@ -98,7 +104,9 @@ class MetricsRecorder:
 
     def snapshot(self, queue_depth: int = 0,
                  arena_stats=None,
-                 workspace_allocations: int = 0) -> MetricsSnapshot:
+                 workspace_allocations: int = 0,
+                 plan_cache_hits: int = 0,
+                 plan_cache_misses: int = 0) -> MetricsSnapshot:
         """Build a consistent snapshot; ``arena_stats`` is an aggregated
         :class:`repro.runtime.arena.ArenaStats` (or None)."""
         with self._lock:
@@ -125,4 +133,6 @@ class MetricsRecorder:
                                          if arena_stats else 0),
                 arena_reuses=arena_stats.reuses if arena_stats else 0,
                 workspace_allocations=workspace_allocations,
+                plan_cache_hits=plan_cache_hits,
+                plan_cache_misses=plan_cache_misses,
             )

@@ -1,0 +1,231 @@
+"""Tests for the ahead-of-time specialization stage.
+
+Covers constant folding (bitwise by construction), batchnorm folding into
+dense layers, the ``specialize_graph`` pipeline, serialization round-trips
+of specialized graphs, weight prepacking, and bitwise zoo equivalence of
+``load_or_build`` plans for every specialized path: float, binary, and
+quantized — including the arena (``out=``) execution variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import available_models, build_model
+from repro.ir.graph import Graph
+from repro.ir.serialization import graph_fingerprint, load_graph, save_graph
+from repro.ir.tensor import DType, TensorSpec
+from repro.optim import (
+    AOTConfig,
+    ConstantFold,
+    FoldBatchNorm,
+    QuantizePass,
+    binarize,
+    calibrate,
+    fuse_graph,
+    specialize_graph,
+)
+from repro.runtime import Executor, PlanCache, compile_plan, load_or_build
+
+ZOO_OVERRIDES = {
+    "resnet50": {"image_size": 64},
+    "yolov4": {"image_size": 64},
+    "mobilenet_v3_large": {"image_size": 64},
+    "mobilenet_v3_small": {"image_size": 64},
+}
+
+
+def zoo_graph(name, batch=1):
+    return build_model(name, batch=batch, **ZOO_OVERRIDES.get(name, {}))
+
+
+def reference_feeds(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        spec.name: rng.normal(size=spec.shape).astype(spec.dtype.to_numpy())
+        for spec in graph.inputs
+    }
+
+
+def quantized_net(batch=2):
+    g = fuse_graph(build_model("tiny_convnet", batch=batch))
+    rng = np.random.default_rng(7)
+    feeds = [{"input": rng.normal(size=(batch, 3, 32, 32))
+              .astype(np.float32)} for _ in range(3)]
+    return QuantizePass(calibrate(g, feeds)).run(g)
+
+
+def assert_bitwise(expected, got):
+    assert set(expected) == set(got)
+    for name, value in expected.items():
+        assert got[name].dtype == value.dtype
+        np.testing.assert_array_equal(got[name], value)
+
+
+class TestConstantFold:
+    def _weight_chain(self):
+        g = Graph("const_chain")
+        g.add_input(TensorSpec("x", (1, 4)))
+        g.add_initializer("a", np.arange(4, dtype=np.float32).reshape(1, 4))
+        g.add_initializer("b", np.full((1, 4), 0.5, dtype=np.float32))
+        g.add_node("add", ["a", "b"], ["c"], name="fold_me")
+        g.add_node("mul", ["c", "c"], ["d"], name="fold_me_too")
+        g.add_node("add", ["x", "d"], ["y"], name="keep_me")
+        g.set_outputs(["y"])
+        return g
+
+    def test_folds_weight_only_chain(self):
+        g = self._weight_chain()
+        folded = ConstantFold().run(g)
+        assert [n.name for n in folded.nodes] == ["keep_me"]
+        assert "d" in folded.initializers
+        # Dead intermediates of the folded chain are pruned.
+        assert "c" not in folded.initializers
+
+    def test_fold_is_bitwise(self):
+        g = self._weight_chain()
+        feeds = reference_feeds(g)
+        assert_bitwise(Executor(g).run(feeds),
+                       Executor(ConstantFold().run(g)).run(feeds))
+
+    def test_reports_folded_count(self):
+        pass_ = ConstantFold()
+        pass_.run(self._weight_chain())
+        assert pass_.details()["nodes_folded"] == 2
+
+    def test_output_producing_nodes_not_folded(self):
+        g = Graph("const_out")
+        g.add_input(TensorSpec("x", (1, 4)))
+        g.add_initializer("a", np.ones((1, 4), dtype=np.float32))
+        g.add_node("add", ["a", "a"], ["y"], name="produces_output")
+        g.add_node("identity", ["x"], ["z"], name="passthrough")
+        g.set_outputs(["y", "z"])
+        folded = ConstantFold().run(g)
+        assert {n.name for n in folded.nodes} == \
+            {"produces_output", "passthrough"}
+
+    def test_original_graph_untouched(self):
+        g = self._weight_chain()
+        ConstantFold().run(g)
+        assert len(g.nodes) == 3 and "d" not in g.initializers
+
+
+class TestFoldBatchNorm:
+    def test_folds_into_dense(self):
+        g = Graph("dense_bn")
+        g.add_input(TensorSpec("x", (2, 8)))
+        rng = np.random.default_rng(3)
+        g.add_initializer("w", rng.normal(size=(5, 8)).astype(np.float32))
+        g.add_initializer("gamma", rng.uniform(0.5, 2, 5).astype(np.float32))
+        g.add_initializer("beta", rng.normal(size=5).astype(np.float32))
+        g.add_initializer("mean", rng.normal(size=5).astype(np.float32))
+        g.add_initializer("var", rng.uniform(0.5, 2, 5).astype(np.float32))
+        g.add_node("dense", ["x", "w"], ["h"])
+        g.add_node("batchnorm", ["h", "gamma", "beta", "mean", "var"], ["y"])
+        g.set_outputs(["y"])
+        feeds = reference_feeds(g)
+        expected = Executor(g).run(feeds)
+        folded = FoldBatchNorm().run(g)
+        assert [n.op_type for n in folded.nodes] == ["dense"]
+        got = Executor(folded).run(feeds)
+        # The fold rewires the batchnorm's output onto the dense node.
+        np.testing.assert_allclose(got[folded.output_names[0]],
+                                   expected["y"], rtol=1e-5, atol=1e-5)
+
+
+class TestSpecializeGraph:
+    def test_default_config_is_bitwise(self):
+        g = zoo_graph("tiny_convnet")
+        feeds = reference_feeds(g)
+        specialized = specialize_graph(g)
+        assert_bitwise(Executor(g).run(feeds),
+                       Executor(specialized).run(feeds))
+
+    def test_batchnorm_config_folds_and_stays_close(self):
+        g = zoo_graph("tiny_convnet")
+        feeds = reference_feeds(g)
+        expected = Executor(g).run(feeds)
+        specialized = specialize_graph(
+            g, AOTConfig(fold_batchnorm=True, fuse_activations=True))
+        assert not any(n.op_type == "batchnorm" for n in specialized.nodes)
+        got = Executor(specialized).run(feeds)
+        for name, value in expected.items():
+            np.testing.assert_allclose(got[name], value,
+                                       rtol=1e-4, atol=1e-4)
+
+    def test_serialization_round_trip_of_specialized_graph(self, tmp_path):
+        g = zoo_graph("tiny_convnet")
+        feeds = reference_feeds(g)
+        specialized = specialize_graph(g)
+        path = save_graph(specialized, tmp_path / "specialized.json")
+        reloaded = load_graph(path)
+        assert graph_fingerprint(reloaded) == graph_fingerprint(specialized)
+        assert_bitwise(Executor(g).run(feeds), Executor(reloaded).run(feeds))
+
+
+class TestPrepacking:
+    def test_plans_carry_packs_by_default(self):
+        plan = compile_plan(zoo_graph("tiny_convnet"))
+        assert plan.packs  # conv weights prepacked into GEMM layout
+        assert not compile_plan(zoo_graph("tiny_convnet"),
+                                prepack=False).packs
+
+    def test_binary_packs_are_bitplanes(self):
+        g = binarize(zoo_graph("tiny_convnet"))
+        plan = compile_plan(g)
+        bit_packs = [p for p in plan.packs.values() if "bits" in p]
+        assert bit_packs
+        for pack in bit_packs:
+            assert pack["bits"].dtype == np.uint8  # 8 weights per byte
+
+    def test_packed_and_unpacked_quantized_plans_agree_bitwise(self):
+        g = quantized_net()
+        feeds = reference_feeds(g)
+        assert_bitwise(
+            Executor(g, plan=compile_plan(g, prepack=False)).run(feeds),
+            Executor(g, plan=compile_plan(g, prepack=True)).run(feeds))
+
+    def test_prewarmed_first_run_allocates_nothing(self):
+        g = zoo_graph("tiny_convnet")
+        executor = Executor(g, reuse_buffers=True, prewarm=True)
+        arena = executor.plan.arena
+        baseline = arena.stats.snapshot()
+        assert baseline.allocations > 0  # the reserve itself
+        outputs = executor.run(reference_feeds(g))
+        assert arena.stats.allocations == baseline.allocations
+        assert arena.stats.large_allocations == baseline.large_allocations
+        executor.recycle(outputs)
+
+
+class TestSpecializedPathsBitwise:
+    """Every specialized path agrees bitwise with the plain executor."""
+
+    @pytest.mark.parametrize("name", available_models())
+    def test_float_zoo_warm_plan_bitwise(self, name, tmp_path):
+        g = zoo_graph(name)
+        feeds = reference_feeds(g)
+        expected = Executor(g).run(feeds)
+        cache = PlanCache(tmp_path)
+        load_or_build(g, cache=cache)
+        warm = load_or_build(g, cache=cache)
+        assert warm.from_cache
+        assert_bitwise(expected,
+                       Executor(warm.graph, plan=warm.plan).run(feeds))
+
+    @pytest.mark.parametrize("variant", ["binary", "quantized"])
+    def test_compressed_paths_warm_plan_bitwise(self, variant, tmp_path):
+        g = binarize(zoo_graph("tiny_convnet")) if variant == "binary" \
+            else quantized_net()
+        feeds = reference_feeds(g)
+        expected = Executor(g).run(feeds)
+        cache = PlanCache(tmp_path)
+        load_or_build(g, cache=cache)
+        warm = load_or_build(g, cache=cache)
+        assert warm.from_cache
+        assert_bitwise(expected,
+                       Executor(warm.graph, plan=warm.plan).run(feeds))
+        # Arena (out=) execution over the cached plan, twice.
+        executor = Executor(warm.graph, plan=warm.plan, reuse_buffers=True)
+        for _ in range(2):
+            got = executor.run(feeds)
+            assert_bitwise(expected, got)
+            executor.recycle(got)
