@@ -118,6 +118,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     else:
         print(f"execution plan for {graph.name!r}: {len(plan)} steps, "
               f"peak live {plan.peak_live_bytes / 1024:.1f} KiB")
+        if plan.schedule is not None:
+            print(f"  schedule depth {plan.schedule.depth} (critical "
+                  f"path), max width {plan.schedule.max_width}")
     print(memory.report())
     if args.repeat > 0:
         import time
@@ -128,7 +131,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         feeds = {name: np.concatenate([array] * args.batch, axis=0)
                  if args.batch > 1 else array
                  for name, array in sample_feeds(graph).items()}
-        executor = Executor(graph, reuse_buffers=True, plan=plan)
+        executor = Executor(graph, reuse_buffers=True, plan=plan,
+                            num_threads=args.num_threads)
         executor.recycle(executor.run(feeds))            # warmup
         arena = executor.plan.arena
         baseline = arena.stats.snapshot()
@@ -201,7 +205,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         configs.append((workers, max_batch))
     results = run_bench(graph, configs=configs, requests=args.requests,
                         clients=args.clients, warmup=args.warmup,
-                        max_latency_ms=args.max_latency_ms)
+                        max_latency_ms=args.max_latency_ms,
+                        num_threads=args.num_threads)
     print(render(results, name=args.model))
     return 0
 
@@ -323,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--repeat", type=int, default=0,
                         help="execute the compiled plan K times on the "
                              "scratch arena and report timing")
+    p_plan.add_argument("--num-threads", type=int, default=None,
+                        help="worker threads for plan execution "
+                             "(default: $REPRO_NUM_THREADS or 1)")
     p_plan.set_defaults(fn=_cmd_plan)
 
     p_cache = sub.add_parser("plan-cache",
@@ -357,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--warmup", type=int, default=8)
     p_serve.add_argument("--max-latency-ms", type=float, default=2.0,
                          help="batching deadline for the oldest request")
+    p_serve.add_argument("--num-threads", type=int, default=None,
+                         help="threads per batch execution "
+                              "(default: $REPRO_NUM_THREADS or 1)")
     p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_opt = sub.add_parser("optimize",

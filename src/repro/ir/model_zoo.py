@@ -339,6 +339,41 @@ def tiny_convnet(batch: int = 1, image_size: int = 32, channels: int = 3,
     return g
 
 
+@register_model("wide_branch_net")
+def wide_branch_net(batch: int = 1, image_size: int = 32, channels: int = 3,
+                    branches: int = 4, branch_channels: int = 16,
+                    num_classes: int = 10, seed: int = 0) -> Graph:
+    """Inception-style classifier with ``branches`` independent conv
+    branches off a shared stem, merged by concat.
+
+    The branches have no data dependencies on each other, so the plan
+    schedule is wide (max width == ``branches``) — the workload the
+    parallel executor's inter-op scheduling exists for, and the model
+    the thread-scaling benchmark measures.
+    """
+    b = GraphBuilder("wide_branch_net", seed=seed)
+    x = b.input("input", (batch, channels, image_size, image_size))
+    stem = b.conv_bn_act(x, branch_channels, 3, padding=1, name="stem")
+    arms = []
+    for i in range(branches):
+        y = b.conv_bn_act(stem, branch_channels, 3, padding=1,
+                          name=f"br{i}_a")
+        y = b.conv_bn_act(y, branch_channels, 3, padding=1,
+                          name=f"br{i}_b")
+        arms.append(y)
+    x = b.concat(arms, axis=1, name="merge")
+    x = b.conv_bn_act(x, branch_channels * 2, 1, name="fuse")
+    x = b.global_avgpool2d(x, name="gap")
+    x = b.flatten(x, name="flat")
+    x = b.dense(x, num_classes, name="fc")
+    x = b.softmax(x, name="probs")
+    g = b.finish(x)
+    g.metadata.update(model="wide_branch_net", task="classification",
+                      image_size=image_size, num_classes=num_classes,
+                      branches=branches)
+    return g
+
+
 @register_model("tiny_yolo")
 def tiny_yolo(batch: int = 1, image_size: int = 96, num_classes: int = 4,
               seed: int = 0) -> Graph:

@@ -1,13 +1,25 @@
 """Reference runtime: numpy kernels, compiled plans, executor, profiler."""
 
-from .arena import ArenaStats, RunContext, ScratchArena
+from .arena import (
+    ArenaOwnershipError,
+    ArenaStats,
+    RunContext,
+    ScratchArena,
+    WorkerSlices,
+)
 from .executor import Executor, run_graph
 from .kernels import Workspace
+from .parallel import NUM_THREADS_ENV_VAR, WorkerPool, get_pool, \
+    resolve_num_threads
 from .plan import (
     PACK_FORMAT_VERSION,
     CompiledStep,
     ExecutionError,
     ExecutionPlan,
+    PlanSchedule,
+    ShardPlan,
+    build_schedule,
+    build_shard,
     compile_node,
     compile_plan,
     prepack_graph,
@@ -32,9 +44,12 @@ from .quantized import (
 )
 
 __all__ = [
-    "ArenaStats", "RunContext", "ScratchArena", "Workspace",
+    "ArenaOwnershipError", "ArenaStats", "RunContext", "ScratchArena",
+    "WorkerSlices", "Workspace",
     "ExecutionError", "Executor", "run_graph",
+    "NUM_THREADS_ENV_VAR", "WorkerPool", "get_pool", "resolve_num_threads",
     "CompiledStep", "ExecutionPlan", "PACK_FORMAT_VERSION",
+    "PlanSchedule", "ShardPlan", "build_schedule", "build_shard",
     "compile_node", "compile_plan", "prepack_graph",
     "CacheStats", "PlanCache", "SpecializedModel",
     "default_cache_dir", "load_or_build",

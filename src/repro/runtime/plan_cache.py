@@ -51,12 +51,20 @@ from ..ir.serialization import (
     graph_to_dict,
 )
 from ..ir.tensor import DType, TensorSpec
-from .plan import PACK_FORMAT_VERSION, ExecutionPlan, compile_plan
+from .plan import (
+    PACK_FORMAT_VERSION,
+    ExecutionPlan,
+    PlanSchedule,
+    compile_plan,
+)
 
 CACHE_ENV_VAR = "REPRO_PLAN_CACHE_DIR"
 
 ENTRY_FORMAT = "repro-plan"
-ENTRY_VERSION = 1
+# v2: entries persist the dependency-counted PlanSchedule (indegrees,
+# successors, refcounts, levels) consumed by the parallel executor; v1
+# entries miss the version check and are rebuilt in place.
+ENTRY_VERSION = 2
 
 _META_FILE = "meta.json"
 _BLOB_FILE = "weights.bin"
@@ -150,10 +158,13 @@ class PlanCache:
                 graph.add_initializer(name, _view(index), DType(dtype))
             for node_name, entry_name, *index in meta["packs"]:
                 packs.setdefault(node_name, {})[entry_name] = _view(index)
+            schedule = PlanSchedule.from_dict(meta["schedule"]) \
+                if meta.get("schedule") else None
             plan = compile_plan(
                 graph, specs, packs=packs,
                 releases=[tuple(r) for r in meta["releases"]],
-                peak_live=int(meta["peak_live_bytes"]))
+                peak_live=int(meta["peak_live_bytes"]),
+                schedule=schedule)
         except Exception:
             self.stats.misses += 1
             return None
@@ -211,6 +222,8 @@ class PlanCache:
                 ],
                 "releases": [list(step.release) for step in plan.steps],
                 "peak_live_bytes": int(plan.peak_live_bytes),
+                "schedule": (plan.schedule.to_dict()
+                             if plan.schedule is not None else None),
                 "packs": pack_index,
             }
             (tmp / _META_FILE).write_text(json.dumps(meta))

@@ -90,18 +90,23 @@ def run_bench(graph: Graph,
               configs: Sequence[Tuple[int, int]] = ((1, 1), (1, 8)),
               requests: int = 64, clients: Optional[int] = None,
               warmup: int = 8,
-              max_latency_ms: float = 2.0) -> List[BenchResult]:
+              max_latency_ms: float = 2.0,
+              num_threads: Optional[int] = None) -> List[BenchResult]:
     """Benchmark ``graph`` under each ``(workers, max_batch)`` config.
 
     ``clients`` defaults to ``workers * max_batch`` per config so the
     queue has enough concurrent demand to actually fill batches.
+    ``num_threads`` is handed to every engine (intra-batch parallel plan
+    execution on the shared pool; ``None`` defers to
+    ``REPRO_NUM_THREADS``).
     """
     results: List[BenchResult] = []
     feeds = sample_feeds(graph)
     for workers, max_batch in configs:
         n_clients = clients if clients is not None else workers * max_batch
         with InferenceEngine(graph, workers=workers, max_batch=max_batch,
-                             max_latency_ms=max_latency_ms) as engine:
+                             max_latency_ms=max_latency_ms,
+                             num_threads=num_threads) as engine:
             _closed_loop(engine, feeds, n_clients, warmup)
             before = engine.metrics()
             elapsed = _closed_loop(engine, feeds, n_clients, requests)

@@ -6,9 +6,12 @@ built on the compiled-plan runtime:
 * a :class:`repro.serving.batcher.BatchQueue` coalesces concurrent
   single-sample requests along the leading batch axis (Fig. 4's batch
   scaling, applied online);
-* a ``ThreadPoolExecutor`` drives a pool of per-worker plan instances —
-  numpy's BLAS-bound kernels release the GIL, so workers overlap on
-  multi-core hosts;
+* whole batches run as tasks on the process-wide shared
+  :class:`repro.runtime.parallel.WorkerPool` — numpy's BLAS-bound
+  kernels release the GIL, so batches overlap on multi-core hosts, and
+  with ``num_threads > 1`` each batch's executor additionally schedules
+  independent plan steps (and row shards of wide steps) onto the *same*
+  pool.  One pool serves both levels; there are no ad-hoc threads;
 * every plan instance owns a scratch arena and kernel workspace
   (``reuse_buffers``), so steady-state serving performs no large heap
   allocations: batch results are split into per-request copies and the
@@ -21,7 +24,7 @@ cheap ``with_buffers()`` instances over the same immutable compiled steps.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +32,7 @@ import numpy as np
 from ..ir.graph import Graph
 from ..runtime.arena import ArenaStats
 from ..runtime.executor import Executor
+from ..runtime.parallel import get_pool, resolve_num_threads
 from ..runtime.plan import ExecutionPlan, compile_plan
 from .batcher import BatchQueue, InferenceRequest
 from .metrics import MetricsRecorder, MetricsSnapshot
@@ -67,13 +71,18 @@ class InferenceEngine:
     prewarm
         Pre-populate each worker arena from the plan's activation shapes
         (first run allocation-free, not just steady state).
+    num_threads
+        Threads each batch's executor may use for dependency-scheduled
+        step execution and row sharding (bitwise-identical results at
+        any value).  ``None`` defers to ``REPRO_NUM_THREADS``, else 1.
     """
 
     def __init__(self, graph: Graph, workers: int = 1, max_batch: int = 8,
                  max_latency_ms: float = 2.0,
                  reuse_buffers: bool = True,
                  plan_cache=None, aot_config=None,
-                 prewarm: bool = False) -> None:
+                 prewarm: bool = False,
+                 num_threads: Optional[int] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.template = graph.with_batch(1)
@@ -99,11 +108,14 @@ class InferenceEngine:
         self._free: Dict[int, List[Executor]] = {}
         self._executors: List[Executor] = []
         # A worker slot must be free before the dispatcher forms a batch;
-        # otherwise it would drain the queue into the thread pool's
-        # internal backlog and lose every coalescing opportunity.
+        # otherwise it would drain the queue into the shared pool's
+        # backlog and lose every coalescing opportunity.
         self._slots = threading.Semaphore(self.workers)
-        self._pool = ThreadPoolExecutor(max_workers=self.workers,
-                                        thread_name_prefix="repro-serve")
+        self.num_threads = resolve_num_threads(num_threads)
+        # One shared process pool runs both the engine's batch tasks and
+        # the executors' step/shard helpers; size it so a full complement
+        # of batches still leaves the intra-batch helpers runnable.
+        self._pool = get_pool(ensure=self.workers + self.num_threads - 1)
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="repro-serve-dispatch",
                                             daemon=True)
@@ -157,8 +169,12 @@ class InferenceEngine:
             plan_cache_misses=cache_misses)
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Stop accepting work, fail whatever is still queued, and join
-        the dispatcher and workers."""
+        """Stop accepting work, fail whatever is still queued, and wait
+        for in-flight batches to finish.
+
+        The shared process pool is never shut down (other subsystems use
+        it); instead, draining every worker slot proves all of this
+        engine's batch tasks have completed."""
         if self._closed:
             return
         self._closed = True
@@ -167,7 +183,15 @@ class InferenceEngine:
         for request in self.queue.drain():
             request.future.set_exception(
                 EngineClosedError("engine closed before execution"))
-        self._pool.shutdown(wait=True)
+        acquired = 0
+        for _ in range(self.workers):
+            ok = (self._slots.acquire(timeout=timeout)
+                  if timeout is not None else self._slots.acquire())
+            if not ok:
+                break
+            acquired += 1
+        for _ in range(acquired):
+            self._slots.release()
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -221,7 +245,8 @@ class InferenceEngine:
                 return free.pop()
         graph, plan = self._base_plan(batch)
         executor = Executor(graph, reuse_buffers=self.reuse_buffers,
-                            plan=plan, prewarm=self.prewarm)
+                            plan=plan, prewarm=self.prewarm,
+                            num_threads=self.num_threads)
         with self._pool_lock:
             self._executors.append(executor)
         return executor
@@ -237,8 +262,15 @@ class InferenceEngine:
             if batch is None:
                 self._slots.release()
                 return
-            future = self._pool.submit(self._run_batch, batch)
-            future.add_done_callback(lambda _: self._slots.release())
+            self._pool.submit(self._make_batch_task(batch))
+
+    def _make_batch_task(self, batch: List[InferenceRequest]):
+        def task() -> None:
+            try:
+                self._run_batch(batch)
+            finally:
+                self._slots.release()
+        return task
 
     def _run_batch(self, requests: List[InferenceRequest]) -> None:
         size = len(requests)

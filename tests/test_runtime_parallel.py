@@ -1,0 +1,461 @@
+"""Tests for parallel plan execution: scheduler, sharding, pool, arena.
+
+The hard correctness bar is bitwise equivalence: the parallel executor
+must produce byte-identical outputs to the sequential executor across
+float, binary, and quantized paths at 1, 2, and 8 threads — dependency
+scheduling changes *when* steps run, sharding changes *who* computes
+which rows, and neither may change a single bit of the result.  On top
+of that: schedule-structure invariants, a property test that random
+out-of-order completions never free a buffer a pending consumer needs,
+the arena's single-owner guard, and the ``REPRO_NUM_THREADS`` plumbing.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ir import build_model
+from repro.optim import BinarizePass, QuantizePass, calibrate, fuse_graph
+from repro.runtime import (
+    ArenaOwnershipError,
+    ExecutionError,
+    Executor,
+    Profiler,
+    ScratchArena,
+    WorkerSlices,
+    build_schedule,
+    compile_plan,
+    kernels,
+    resolve_num_threads,
+)
+from repro.runtime.parallel import NUM_THREADS_ENV_VAR, WorkerPool
+from repro.runtime.plan import CompiledStep, ExecutionPlan
+
+THREAD_COUNTS = (1, 2, 8)
+
+
+def reference_feeds(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        spec.name: rng.normal(size=spec.shape)
+        .astype(spec.dtype.to_numpy())
+        for spec in graph.inputs
+    }
+
+
+def quantized(graph, feeds):
+    fused = fuse_graph(graph)
+    return QuantizePass(calibrate(fused, [feeds])).run(fused), fused
+
+
+def assert_bitwise(got, want, context=""):
+    assert set(got) == set(want)
+    for name in want:
+        assert got[name].dtype == want[name].dtype, (context, name)
+        np.testing.assert_array_equal(got[name], want[name],
+                                      err_msg=f"{context}:{name}")
+
+
+# Models chosen for schedule shape: a pure chain (mlp), a single-branch
+# conv net (tiny_convnet), and the wide-branch workload whose schedule
+# actually fans out.  batch=4 makes the conv steps shardable.
+PARALLEL_MODELS = [
+    ("mlp", {"batch": 4}),
+    ("tiny_convnet", {"batch": 4}),
+    ("wide_branch_net", {"batch": 4}),
+]
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("name,kwargs", PARALLEL_MODELS)
+    @pytest.mark.parametrize("num_threads", THREAD_COUNTS)
+    def test_float_paths(self, name, kwargs, num_threads):
+        graph = build_model(name, **kwargs)
+        feeds = reference_feeds(graph)
+        want = Executor(graph).run(feeds)
+        for reuse in (False, True):
+            executor = Executor(graph, reuse_buffers=reuse,
+                                num_threads=num_threads)
+            for _ in range(2):      # repeat: arena steady state too
+                got = executor.run(feeds)
+                assert_bitwise(got, want, f"{name}/t{num_threads}/r{reuse}")
+                executor.recycle(got)
+
+    @pytest.mark.parametrize("num_threads", THREAD_COUNTS)
+    def test_quantized_path(self, num_threads):
+        graph = build_model("wide_branch_net", batch=4)
+        feeds = reference_feeds(graph)
+        qgraph, _ = quantized(graph, feeds)
+        want = Executor(qgraph).run(feeds)
+        for reuse in (False, True):
+            executor = Executor(qgraph, reuse_buffers=reuse,
+                                num_threads=num_threads)
+            for _ in range(2):
+                got = executor.run(feeds)
+                assert_bitwise(got, want, f"q/t{num_threads}/r{reuse}")
+                executor.recycle(got)
+
+    @pytest.mark.parametrize("num_threads", THREAD_COUNTS)
+    def test_binary_path(self, num_threads):
+        graph = build_model("tiny_convnet", batch=4)
+        feeds = reference_feeds(graph)
+        bgraph = BinarizePass().run(fuse_graph(graph))
+        want = Executor(bgraph).run(feeds)
+        got = Executor(bgraph, num_threads=num_threads).run(feeds)
+        assert_bitwise(got, want, f"b/t{num_threads}")
+
+    def test_fp16_conv_shards_bitwise(self):
+        from repro.optim import convert_fp16
+
+        graph = convert_fp16(build_model("tiny_convnet", batch=8))
+        feeds = reference_feeds(graph)
+        want = Executor(graph).run(feeds)
+        got = Executor(graph, reuse_buffers=True, num_threads=4).run(feeds)
+        assert_bitwise(got, want, "fp16")
+
+
+class TestSchedule:
+    def test_chain_has_no_width(self):
+        plan = compile_plan(build_model("mlp"))
+        assert plan.schedule.max_width == 1
+        assert plan.schedule.depth == len(plan.steps)
+
+    def test_wide_branches_fan_out(self):
+        plan = compile_plan(build_model("wide_branch_net", branches=4))
+        assert plan.schedule.max_width == 4
+        # critical path: stem block + one branch + merge tail, far
+        # shorter than the step count
+        assert plan.schedule.depth < len(plan.steps)
+
+    def test_indegree_matches_successor_edges(self):
+        plan = compile_plan(build_model("wide_branch_net"))
+        schedule = plan.schedule
+        assert sum(schedule.indegree) == \
+            sum(len(s) for s in schedule.successors)
+        # every successor edge goes forward in topological order
+        for index, succs in enumerate(schedule.successors):
+            assert all(s > index for s in succs)
+
+    def test_refcounts_count_consumer_steps(self):
+        plan = compile_plan(build_model("wide_branch_net"))
+        schedule = plan.schedule
+        releasable = {name for step in plan.steps for name in step.release}
+        assert set(schedule.refcounts) == releasable
+        for name, count in schedule.refcounts.items():
+            consumers = sum(1 for step in plan.steps
+                            if name in step.node.inputs)
+            assert count == consumers
+
+    def test_roundtrips_through_dict(self):
+        schedule = compile_plan(build_model("tiny_convnet")).schedule
+        from repro.runtime.plan import PlanSchedule
+
+        clone = PlanSchedule.from_dict(
+            json.loads(json.dumps(schedule.to_dict())))
+        assert clone == schedule
+
+    def test_summary_reports_depth_and_width(self):
+        plan = compile_plan(build_model("wide_branch_net", branches=3))
+        text = plan.summary()
+        assert f"schedule depth {plan.schedule.depth}" in text
+        assert "max width 3" in text
+
+
+class TestOutOfOrderReleaseSafety:
+    """Property test: under *any* topological completion order, the
+    refcount release rule never frees a tensor a still-pending consumer
+    needs, and frees every releasable tensor by the end."""
+
+    @pytest.mark.parametrize("model,kwargs", [
+        ("wide_branch_net", {"branches": 6}),
+        ("tiny_yolo", {}),
+        ("resnet50", {"image_size": 64}),
+    ])
+    def test_random_topological_orders(self, model, kwargs):
+        plan = compile_plan(build_model(model, **kwargs))
+        schedule = plan.schedule
+        steps = plan.steps
+        produced_by = {name: i for i, step in enumerate(steps)
+                      for name in step.node.outputs}
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            indegree = list(schedule.indegree)
+            refcounts = dict(schedule.refcounts)
+            ready = [i for i in range(len(steps)) if indegree[i] == 0]
+            live = set()
+            freed = set()
+            while ready:
+                index = ready.pop(int(rng.integers(len(ready))))
+                step = steps[index]
+                for name in step.node.inputs:
+                    if name in produced_by:
+                        assert name not in freed, \
+                            f"{step.node.name} consumed freed {name}"
+                        assert name in live
+                for name in step.node.outputs:
+                    live.add(name)
+                for name in step.node.outputs:
+                    if refcounts.get(name) == 0:
+                        live.discard(name)
+                        freed.add(name)
+                for name in set(step.node.inputs):
+                    count = refcounts.get(name)
+                    if count is None:
+                        continue
+                    refcounts[name] = count - 1
+                    if count == 1 and name in produced_by:
+                        live.discard(name)
+                        freed.add(name)
+                for succ in schedule.successors[index]:
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        ready.append(succ)
+            assert freed == {name for name in schedule.refcounts
+                             if name in produced_by}
+
+
+class TestShardedKernels:
+    def test_shard_bounds_cover_disjointly(self):
+        for total in (1, 2, 7, 8, 64):
+            for parts in (1, 2, 3, 8, 100):
+                bounds = kernels.shard_bounds(total, parts)
+                assert bounds[0][0] == 0 and bounds[-1][1] == total
+                for (_, a_hi), (b_lo, _) in zip(bounds, bounds[1:]):
+                    assert a_hi == b_lo
+                assert len(bounds) == min(max(parts, 1), total)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float16])
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0)])
+    def test_conv2d_rows_bitwise(self, dtype, stride, padding):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(8, 3, 12, 12)).astype(dtype)
+        weight = rng.normal(size=(5, 3, 3, 3)).astype(dtype)
+        bias = rng.normal(size=(5,)).astype(dtype)
+        want = kernels.conv2d(data, weight, bias=bias, stride=stride,
+                              padding=padding)
+        out = np.empty_like(want)
+        for lo, hi in kernels.shard_bounds(8, 3):
+            kernels.conv2d_rows(data, weight, lo, hi, out, bias=bias,
+                                stride=stride, padding=padding)
+        np.testing.assert_array_equal(out, want)
+
+    def test_dense_rows_integer_exact(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(-40, 40, size=(9, 17)).astype(np.int32)
+        weight = rng.integers(-40, 40, size=(6, 17)).astype(np.int32)
+        want = kernels.dense(data, weight)
+        out = np.empty_like(want)
+        for lo, hi in kernels.shard_bounds(9, 4):
+            kernels.dense_rows(data, weight, lo, hi, out)
+        np.testing.assert_array_equal(out, want)
+
+    def test_wide_conv_steps_carry_shard_plans(self):
+        plan = compile_plan(build_model("wide_branch_net", batch=4))
+        sharded = [s for s in plan.steps if s.shard is not None]
+        assert sharded, "expected shardable conv steps at batch 4"
+        for step in sharded:
+            assert step.shard.rows == 4
+        # float dense is never sharded (row splits are not bitwise-safe)
+        assert all(s.node.op_type not in ("dense", "fused_dense")
+                   for s in sharded)
+
+    def test_batch_one_is_never_sharded(self):
+        plan = compile_plan(build_model("wide_branch_net", batch=1))
+        assert all(s.shard is None for s in plan.steps)
+
+
+class TestArenaOwnership:
+    def test_concurrent_misuse_fails_loudly(self):
+        arena = ScratchArena()
+        arena._active = threading.get_ident() + 1   # a thread mid-call
+        with pytest.raises(ArenaOwnershipError):
+            arena.alloc((4,), np.float32)
+
+    def test_share_replaces_assertion_with_lock(self):
+        arena = ScratchArena().share()
+        assert arena.is_shared
+        arena._active = threading.get_ident() + 1
+        arena.release(arena.alloc((4,), np.float32))    # no raise
+
+    def test_shared_arena_survives_thread_storm(self):
+        arena = ScratchArena().share()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    arena.release(arena.alloc((16, 16), np.float32))
+            except BaseException as exc:   # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert arena.stats.releases == 8 * 200
+
+    def test_worker_slices_are_per_thread(self):
+        slices = WorkerSlices(kernels.Workspace)
+        mine = slices.get()
+        assert slices.get() is mine
+        other = []
+        thread = threading.Thread(target=lambda: other.append(slices.get()))
+        thread.start()
+        thread.join()
+        assert other[0] is not mine
+        assert len(slices) == 2
+
+
+class TestNumThreadsPlumbing:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(NUM_THREADS_ENV_VAR, "7")
+        assert resolve_num_threads(2) == 2
+        assert resolve_num_threads() == 7
+
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(NUM_THREADS_ENV_VAR, raising=False)
+        assert resolve_num_threads() == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "many"])
+    def test_bad_values_raise(self, monkeypatch, bad):
+        monkeypatch.setenv(NUM_THREADS_ENV_VAR, bad)
+        with pytest.raises(ValueError):
+            resolve_num_threads()
+
+    def test_executor_reads_env(self, monkeypatch):
+        monkeypatch.setenv(NUM_THREADS_ENV_VAR, "3")
+        executor = Executor(build_model("mlp"))
+        assert executor.num_threads == 3
+
+    def test_worker_pool_grows_only(self):
+        pool = WorkerPool(name="test-pool")
+        assert pool.ensure(2) == 2
+        assert pool.ensure(1) == 2
+        done = threading.Event()
+        pool.submit(done.set)
+        assert done.wait(5.0)
+
+
+class TestParallelExecutorBehaviour:
+    def test_hooks_force_sequential_order(self):
+        graph = build_model("wide_branch_net", batch=2)
+        executor = Executor(graph, num_threads=8)
+        seen = []
+        executor.add_hook(lambda node, outs: seen.append(node.name))
+        executor.run(reference_feeds(graph))
+        assert seen == [node.name for node in graph.nodes]
+
+    def test_error_in_parallel_step_raises_execution_error(self):
+        graph = build_model("wide_branch_net", batch=2)
+        plan = compile_plan(graph)
+        victim = len(plan.steps) // 2
+
+        def boom(args, ctx=None):
+            raise RuntimeError("kernel exploded")
+
+        steps = list(plan.steps)
+        steps[victim] = CompiledStep(steps[victim].node, boom,
+                                     steps[victim].release)
+        broken = ExecutionPlan(plan.graph_name, steps, plan.specs,
+                               plan.peak_live_bytes, packs=plan.packs,
+                               schedule=build_schedule(steps))
+        executor = Executor(graph, plan=broken, num_threads=4)
+        with pytest.raises(ExecutionError, match="kernel exploded"):
+            executor.run(reference_feeds(graph))
+
+    def test_profiler_reports_concurrency(self):
+        graph = build_model("wide_branch_net", batch=2)
+        profiler = Profiler(graph, reuse_buffers=True, num_threads=4)
+        result = profiler.profile(reference_feeds(graph), runs=2, warmup=1)
+        assert result.num_threads == 4
+        assert result.observed_concurrency >= 1.0
+        assert all(layer.calls == 2 for layer in result.layers)
+        assert result.peak_activation_bytes > 0
+        assert "observed concurrency" in result.report()
+
+    def test_timeline_spans_cover_every_step(self):
+        graph = build_model("wide_branch_net", batch=4)
+        executor = Executor(graph, num_threads=4)
+        executor.record_timeline = True
+        executor.run(reference_feeds(graph))
+        timeline = executor.last_timeline
+        assert timeline is not None
+        assert {entry["name"] for entry in timeline} == \
+            {node.name for node in graph.nodes}
+        assert all(entry["end"] >= entry["start"] for entry in timeline)
+        # sharded steps contribute one span per shard
+        plan = executor.plan
+        sharded = {s.node.name for s in plan.steps if s.shard is not None}
+        for name in sharded:
+            assert sum(1 for e in timeline if e["name"] == name) > 1
+
+
+class TestPlanCacheSchedule:
+    def test_warm_load_preserves_schedule(self, tmp_path):
+        from repro.runtime.plan_cache import PlanCache
+
+        graph = build_model("wide_branch_net", batch=2)
+        cache = PlanCache(tmp_path)
+        key = cache.key_for(graph)
+        plan = compile_plan(graph)
+        cache.store(key, graph, plan)
+        loaded = cache.load(key)
+        assert loaded is not None
+        _, warm_plan = loaded
+        assert warm_plan.schedule == plan.schedule
+
+    def test_old_entry_version_is_a_miss(self, tmp_path):
+        from repro.runtime.plan_cache import PlanCache, _META_FILE
+
+        graph = build_model("mlp")
+        cache = PlanCache(tmp_path)
+        key = cache.key_for(graph)
+        cache.store(key, graph, compile_plan(graph))
+        meta_path = tmp_path / key / _META_FILE
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 1
+        meta_path.write_text(json.dumps(meta))
+        assert cache.load(key) is None
+
+    def test_warm_plan_runs_parallel_bitwise(self, tmp_path):
+        from repro.runtime.plan_cache import PlanCache
+
+        graph = build_model("wide_branch_net", batch=4)
+        cache = PlanCache(tmp_path)
+        key = cache.key_for(graph)
+        cache.store(key, graph, compile_plan(graph))
+        warm_graph, warm_plan = cache.load(key)
+        feeds = reference_feeds(graph)
+        want = Executor(graph).run(feeds)
+        got = Executor(warm_graph, plan=warm_plan, num_threads=4).run(feeds)
+        assert_bitwise(got, want, "warm-parallel")
+
+
+class TestEngineThreads:
+    def test_engine_with_threads_matches_reference(self):
+        from repro.serving import InferenceEngine
+
+        graph = build_model("tiny_convnet")
+        feeds = reference_feeds(graph)
+        want = Executor(graph).run(feeds)
+        with InferenceEngine(graph, workers=2, max_batch=4,
+                             num_threads=2) as engine:
+            results = engine.infer_many([feeds] * 12)
+        assert len(results) == 12
+        for got in results:
+            for name in want:
+                np.testing.assert_allclose(got[name], want[name],
+                                           rtol=1e-5, atol=1e-6)
+
+    def test_engine_reads_env_default(self, monkeypatch):
+        from repro.serving import InferenceEngine
+
+        monkeypatch.setenv(NUM_THREADS_ENV_VAR, "2")
+        graph = build_model("mlp")
+        with InferenceEngine(graph, workers=1, max_batch=2) as engine:
+            assert engine.num_threads == 2
+            engine.infer_sync(reference_feeds(graph), timeout=30.0)
