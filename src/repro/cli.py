@@ -8,6 +8,8 @@ Subcommands:
     plan                        compile a model's execution plan + memory arena
     plan-cache                  inspect/clear/warm the persistent plan cache
     serve-bench                 benchmark the batched serving engine
+    metrics                     run a short workload, export the registry
+    trace                       export a Chrome/Perfetto trace of a run
     optimize                    run the deployment pipeline on a dataset
     simulate                    assemble and run a program on the RV32 SoC
 
@@ -187,8 +189,16 @@ def _cmd_plan_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
     from .ir import build_model
     from .serving import render, run_bench
+    from .telemetry import (
+        Tracer,
+        registry_to_json,
+        traces_to_chrome,
+        write_chrome_trace,
+    )
 
     kwargs = {}
     if args.image_size:
@@ -203,11 +213,92 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         configs.append((workers, max_batch))
+    tracer = Tracer(sample_rate=args.trace_sample,
+                    capacity=4096) if args.trace_out else None
     results = run_bench(graph, configs=configs, requests=args.requests,
                         clients=args.clients, warmup=args.warmup,
                         max_latency_ms=args.max_latency_ms,
-                        num_threads=args.num_threads)
+                        num_threads=args.num_threads, tracer=tracer,
+                        slow_request_ms=args.slow_request_ms)
     print(render(results, name=args.model))
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(registry_to_json(), handle, indent=2)
+        print(f"metrics snapshot written to {args.metrics_json}")
+    if args.trace_out:
+        events = traces_to_chrome(tracer.traces())
+        write_chrome_trace(args.trace_out, events)
+        print(f"chrome trace with {len(events)} events "
+              f"({tracer.sampled_count} sampled requests) written to "
+              f"{args.trace_out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .ir import build_model
+    from .runtime.plan_cache import PlanCache
+    from .serving import InferenceEngine
+    from .serving.bench import sample_feeds
+    from .telemetry import registry_to_json, render_prometheus
+
+    graph = build_model(args.model)
+    feeds = sample_feeds(graph)
+    with tempfile.TemporaryDirectory(prefix="repro-metrics-") as scratch:
+        cache = PlanCache(args.cache_dir if args.cache_dir else scratch)
+        with InferenceEngine(graph, max_batch=args.max_batch,
+                             plan_cache=cache,
+                             num_threads=args.num_threads) as engine:
+            engine.infer_many([feeds] * args.requests, timeout=60.0)
+            # Scrape while the engine (and its queue gauge) is live.
+            if args.format == "json":
+                payload = json.dumps(registry_to_json(), indent=2)
+            else:
+                payload = render_prometheus()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(f"metrics written to {args.output}")
+    else:
+        print(payload, end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import time
+
+    from .ir import build_model
+    from .runtime import Executor
+    from .serving.bench import sample_feeds
+    from .telemetry import timeline_to_chrome, write_chrome_trace
+
+    graph = build_model(args.model, batch=args.batch)
+    feeds = {name: np.concatenate([array] * args.batch, axis=0)
+             if args.batch > 1 else array
+             for name, array in sample_feeds(graph).items()}
+    executor = Executor(graph, reuse_buffers=True,
+                        num_threads=args.num_threads)
+    executor.recycle(executor.run(feeds))            # warmup
+    executor.record_timeline = True
+    timelines = []
+    offsets = []
+    origin = time.perf_counter()
+    try:
+        for _ in range(args.runs):
+            offsets.append(time.perf_counter() - origin)
+            executor.recycle(executor.run(feeds))
+            timelines.append(executor.last_timeline or [])
+    finally:
+        executor.record_timeline = False
+    events = timeline_to_chrome(timelines, offsets_s=offsets)
+    write_chrome_trace(args.out, events)
+    tracks = {event["tid"] for event in events if event.get("ph") == "X"}
+    print(f"{args.model} batch={args.batch} x{args.runs} runs at "
+          f"{executor.num_threads} threads: {len(events)} events on "
+          f"{len(tracks)} tracks -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -368,7 +459,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--num-threads", type=int, default=None,
                          help="threads per batch execution "
                               "(default: $REPRO_NUM_THREADS or 1)")
+    p_serve.add_argument("--metrics-json", default=None, metavar="PATH",
+                         help="write a JSON snapshot of the telemetry "
+                              "registry after the sweep")
+    p_serve.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="trace sampled requests and write a "
+                              "Chrome/Perfetto trace file")
+    p_serve.add_argument("--trace-sample", type=float, default=1.0,
+                         help="request sampling rate for --trace-out "
+                              "(default 1.0)")
+    p_serve.add_argument("--slow-request-ms", type=float, default=None,
+                         help="log requests slower than this threshold "
+                              "on the repro.serving logger")
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a short serving workload and export the metrics "
+             "registry")
+    p_metrics.add_argument("--model", default="mlp")
+    p_metrics.add_argument("--requests", type=int, default=32)
+    p_metrics.add_argument("--max-batch", type=int, default=8)
+    p_metrics.add_argument("--num-threads", type=int, default=None)
+    p_metrics.add_argument("--format", choices=("prom", "json"),
+                           default="prom",
+                           help="Prometheus text exposition (default) "
+                                "or JSON snapshot")
+    p_metrics.add_argument("--output", default=None, metavar="PATH",
+                           help="write to a file instead of stdout")
+    p_metrics.add_argument("--cache-dir", default=None,
+                           help="plan-cache directory for the workload "
+                                "(default: a throwaway temp dir)")
+    p_metrics.set_defaults(fn=_cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="execute a zoo model and export a Chrome/Perfetto trace "
+             "of its per-step timeline")
+    p_trace.add_argument("--model", default="wide_branch_net")
+    p_trace.add_argument("--batch", type=int, default=1)
+    p_trace.add_argument("--runs", type=int, default=3)
+    p_trace.add_argument("--num-threads", type=int, default=None,
+                         help="worker threads (default: "
+                              "$REPRO_NUM_THREADS or 1); at >= 2 the "
+                              "trace shows steps spread across worker "
+                              "tracks")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_opt = sub.add_parser("optimize",
                            help="run the deployment pipeline")

@@ -37,6 +37,8 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..telemetry import collectors as _telemetry
+
 
 class ArenaOwnershipError(RuntimeError):
     """Concurrent use of a single-owner arena (see module docs)."""
@@ -84,6 +86,9 @@ class ScratchArena:
         # entering while it is set is concurrent misuse.
         self._lock: "threading.Lock | None" = None
         self._active: "int | None" = None
+        # Scrape-time telemetry: the registry reads this arena's stats
+        # through a weak reference; the alloc/release paths pay nothing.
+        _telemetry.track_arena(self)
 
     def share(self) -> "ScratchArena":
         """Opt into thread-safe shared mode: mutating calls serialize on

@@ -154,9 +154,18 @@ class Executor:
             return self._run_parallel(env)
         release = not self.keep_intermediates
         ctx = self._ctx
+        # Sequential per-step timeline (same span shape as the parallel
+        # path) for tracing/export; one predictable branch per step when
+        # disabled, zero allocations.
+        timeline: Optional[List[Dict[str, object]]] = (
+            [] if self.record_timeline else None)
+        clock = time.perf_counter
+        t0 = clock() if timeline is not None else 0.0
         for step in self.plan.steps:
             node = step.node
             args = [env[name] for name in node.inputs]
+            if timeline is not None:
+                step_start = clock()
             try:
                 outputs = step.run(args, ctx) if ctx is not None \
                     else step.run(args)
@@ -166,6 +175,11 @@ class Executor:
                 raise ExecutionError(
                     f"node {node.name!r} ({node.op_type}) failed: {exc}"
                 ) from exc
+            if timeline is not None:
+                timeline.append({
+                    "name": node.name, "op": node.op_type,
+                    "start": step_start - t0, "end": clock() - t0,
+                    "thread": threading.get_ident()})
             for hook in self._hooks:
                 replaced = hook(node, outputs)
                 if replaced is not None:
@@ -185,6 +199,8 @@ class Executor:
                     dead = env.pop(name)
                     if ctx is not None:
                         ctx.arena.release(dead)
+        if timeline is not None:
+            self.last_timeline = timeline
         if self.keep_intermediates:
             return env
         results = {name: env[name] for name in self.graph.output_names}

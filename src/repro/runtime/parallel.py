@@ -34,6 +34,8 @@ import threading
 from collections import deque
 from typing import Callable, Optional
 
+from ..telemetry import collectors as _telemetry
+
 NUM_THREADS_ENV_VAR = "REPRO_NUM_THREADS"
 
 
@@ -73,6 +75,11 @@ class WorkerPool:
         self._cond = threading.Condition(self._lock)
         self._tasks: deque = deque()
         self._threads: list = []
+        # Lifetime task counters, read at telemetry scrape time; both
+        # increments happen under locks the pool already takes.
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        _telemetry.track_pool(self)
 
     @property
     def size(self) -> int:
@@ -95,6 +102,7 @@ class WorkerPool:
         """Enqueue a callable; it runs on some pool worker, FIFO order."""
         with self._lock:
             self._tasks.append(task)
+            self.tasks_submitted += 1
             self._cond.notify()
 
     def pending(self) -> int:
@@ -114,6 +122,9 @@ class WorkerPool:
                 # failures into its run state); a task that still leaks
                 # must not kill the shared worker.
                 pass
+            finally:
+                with self._lock:
+                    self.tasks_completed += 1
 
 
 _shared_pool: Optional[WorkerPool] = None

@@ -109,6 +109,10 @@ class PlanCache:
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.stats = CacheStats()
+        # Hit/miss/store counts surface in the process-wide metrics
+        # registry (read at scrape time; lookups pay nothing extra).
+        from ..telemetry import collectors as _telemetry
+        _telemetry.track_plan_cache(self)
 
     # -- keys ------------------------------------------------------------------
 

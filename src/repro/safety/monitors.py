@@ -118,6 +118,11 @@ class MonitorPipeline:
         self.reject_at = reject_at
         self.strict = strict
         self.stats = PipelineStats()
+        # Pipeline decisions and anomaly kinds surface in the metrics
+        # registry (scrape-time read of self.stats; process() is
+        # untouched).
+        from ..telemetry import collectors as _telemetry
+        _telemetry.track_pipeline(self)
 
     def process(self, sample: np.ndarray) -> Verdict:
         self.stats.observed += 1

@@ -30,6 +30,9 @@ class InferenceRequest:
     feeds: Dict[str, np.ndarray]
     future: "Future" = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    # Set by the engine only for sampled requests (tracing default-off):
+    # a repro.telemetry.tracing.RequestTrace collecting pipeline marks.
+    trace: Optional[object] = None
 
 
 class BatchQueue:

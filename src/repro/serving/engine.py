@@ -23,6 +23,7 @@ cheap ``with_buffers()`` instances over the same immutable compiled steps.
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import Future
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -34,10 +35,14 @@ from ..runtime.arena import ArenaStats
 from ..runtime.executor import Executor
 from ..runtime.parallel import get_pool, resolve_num_threads
 from ..runtime.plan import ExecutionPlan, compile_plan
+from ..telemetry import collectors as _telemetry
+from ..telemetry.tracing import RequestTrace, Tracer
 from .batcher import BatchQueue, InferenceRequest
 from .metrics import MetricsRecorder, MetricsSnapshot
 
 import time
+
+logger = logging.getLogger("repro.serving")
 
 
 class EngineClosedError(RuntimeError):
@@ -75,6 +80,18 @@ class InferenceEngine:
         Threads each batch's executor may use for dependency-scheduled
         step execution and row sharding (bitwise-identical results at
         any value).  ``None`` defers to ``REPRO_NUM_THREADS``, else 1.
+    tracer
+        Optional :class:`repro.telemetry.tracing.Tracer`.  Requests the
+        tracer samples carry a :class:`RequestTrace` through the whole
+        pipeline (queue wait, dispatch wait, batch assembly, execute
+        with per-step kernel spans, finalize); finished traces land in
+        the tracer's ring buffer for Chrome-trace export.  ``None`` (the
+        default) disables tracing: the hot path pays one branch.
+    slow_request_ms
+        When set, any request whose end-to-end latency is at or above
+        this many milliseconds is logged on the ``repro.serving`` logger
+        (with its phase decomposition when traced) and counted in
+        ``repro_serving_slow_requests_total``.
     """
 
     def __init__(self, graph: Graph, workers: int = 1, max_batch: int = 8,
@@ -82,7 +99,9 @@ class InferenceEngine:
                  reuse_buffers: bool = True,
                  plan_cache=None, aot_config=None,
                  prewarm: bool = False,
-                 num_threads: Optional[int] = None) -> None:
+                 num_threads: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 slow_request_ms: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.template = graph.with_batch(1)
@@ -98,6 +117,12 @@ class InferenceEngine:
         self.queue = BatchQueue(max_batch=max_batch,
                                 max_latency_s=max_latency_ms / 1e3)
         self.recorder = MetricsRecorder()
+        self.tracer = tracer if tracer is not None and tracer.enabled \
+            else None
+        self.slow_request_ms = (float(slow_request_ms)
+                                if slow_request_ms is not None else None)
+        self.slow_requests = 0
+        self._slow_lock = threading.Lock()
         self._closed = False
         # Compiled base plans shared across workers, keyed by batch size.
         self._compile_lock = threading.Lock()
@@ -120,6 +145,10 @@ class InferenceEngine:
                                             name="repro-serve-dispatch",
                                             daemon=True)
         self._dispatcher.start()
+        # Serving series (requests, failures, queue depth, windowed
+        # percentiles) surface in the process-wide metrics registry via
+        # a scrape-time collector over live engines.
+        _telemetry.track_engine(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -129,6 +158,10 @@ class InferenceEngine:
         if self._closed:
             raise EngineClosedError("engine is closed")
         request = InferenceRequest(feeds=self._check_sample(feeds))
+        if self.tracer is not None and self.tracer.sample():
+            trace = RequestTrace(self.template.name or "request")
+            trace.mark("enqueued")
+            request.trace = trace
         self.queue.submit(request)
         return request.future
 
@@ -262,6 +295,10 @@ class InferenceEngine:
             if batch is None:
                 self._slots.release()
                 return
+            if self.tracer is not None:
+                for request in batch:
+                    if request.trace is not None:
+                        request.trace.mark("dequeued")
             self._pool.submit(self._make_batch_task(batch))
 
     def _make_batch_task(self, batch: List[InferenceRequest]):
@@ -274,6 +311,14 @@ class InferenceEngine:
 
     def _run_batch(self, requests: List[InferenceRequest]) -> None:
         size = len(requests)
+        # Traces ride along only for sampled requests; with no tracer
+        # attached this is a single falsy check per batch.
+        traces = [request.trace for request in requests
+                  if request.trace is not None] if self.tracer is not None \
+            else []
+        for trace in traces:
+            trace.batch_size = size
+            trace.mark("task_start")
         try:
             executor = self._checkout(size)
             try:
@@ -286,7 +331,22 @@ class InferenceEngine:
                             axis=0)
                         for name in self._input_specs
                     }
-                outputs = executor.run(feeds)
+                if traces:
+                    execute_t0 = time.perf_counter()
+                    for trace in traces:
+                        trace.mark("assembled", execute_t0)
+                        trace.mark("execute_t0", execute_t0)
+                    executor.record_timeline = True
+                try:
+                    outputs = executor.run(feeds)
+                finally:
+                    if traces:
+                        executor.record_timeline = False
+                if traces:
+                    timeline = executor.last_timeline or []
+                    for trace in traces:
+                        trace.mark("executed")
+                        trace.attach_steps(timeline)
                 # Per-request copies so the (large) batch buffers can go
                 # straight back to the worker's arena.
                 results = [
@@ -298,13 +358,55 @@ class InferenceEngine:
             finally:
                 self._checkin(size, executor)
         except BaseException as exc:
-            self.recorder.record_failure(size)
+            failed_at = time.monotonic()
+            # Failure latencies join the same percentile window as
+            # successes, so p99 reflects the worst outcomes.
+            self.recorder.record_failure(
+                size, [failed_at - request.enqueued_at
+                       for request in requests])
             for request in requests:
                 if not request.future.done():
                     request.future.set_exception(exc)
+            self._finish_traces(traces, failed=True)
             return
         completed = time.monotonic()
-        self.recorder.record_batch(
-            size, [completed - request.enqueued_at for request in requests])
+        latencies = [completed - request.enqueued_at
+                     for request in requests]
+        self.recorder.record_batch(size, latencies)
         for request, result in zip(requests, results):
             request.future.set_result(result)
+        for trace in traces:
+            trace.mark("completed")
+        self._finish_traces(traces, failed=False)
+        if self.slow_request_ms is not None:
+            self._log_slow(requests, latencies)
+
+    def _finish_traces(self, traces, failed: bool) -> None:
+        if not traces or self.tracer is None:
+            return
+        for trace in traces:
+            if failed:
+                trace.mark("completed")
+            self.tracer.finish(trace)
+
+    def _log_slow(self, requests: List[InferenceRequest],
+                  latencies: List[float]) -> None:
+        threshold_s = self.slow_request_ms / 1e3
+        for request, latency in zip(requests, latencies):
+            if latency < threshold_s:
+                continue
+            with self._slow_lock:
+                self.slow_requests += 1
+            if request.trace is not None:
+                phases = request.trace.phase_durations_ms()
+                detail = ", ".join(f"{name} {value:.2f} ms"
+                                   for name, value in phases.items())
+                logger.warning(
+                    "slow request (trace %d): %.2f ms >= %.2f ms (%s)",
+                    request.trace.trace_id, latency * 1e3,
+                    self.slow_request_ms, detail)
+            else:
+                logger.warning(
+                    "slow request: %.2f ms >= %.2f ms "
+                    "(enable tracing for a phase breakdown)",
+                    latency * 1e3, self.slow_request_ms)

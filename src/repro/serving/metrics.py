@@ -3,9 +3,20 @@
 The serving engine records one event per executed batch; a
 :class:`MetricsSnapshot` is an immutable, consistent view a monitoring
 loop (or the ``serve-bench`` CLI) can pull at any time without pausing
-the workers.  Latency percentiles are computed over a sliding window of
-recent requests so a long-running engine reports current behaviour, not
-its lifetime average.
+the workers.  Latency percentiles *and throughput* are computed over the
+same sliding window of recent requests, so a long-running engine reports
+current behaviour, not its lifetime average (``lifetime_rps`` keeps the
+old meaning).  Failed requests contribute to the picture too: their
+completion timestamps (and, when the engine knows them, their elapsed
+latencies and batch sizes) enter the same windows, so p99 no longer
+silently excludes the worst outcomes, and ``failure_rate`` reports the
+windowed share of failures.
+
+The recorder also publishes into the process-wide telemetry registry:
+per-request latencies feed the ``repro_serving_latency_seconds``
+log-bucket histogram and batch sizes feed ``repro_serving_batch_size``
+(one shared series across engines, Prometheus-exportable via
+``repro metrics``).
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
+
+from ..telemetry import DEFAULT_SIZE_BUCKETS, get_registry
 
 LATENCY_WINDOW = 8192
 
@@ -37,12 +50,18 @@ class MetricsSnapshot:
     failures: int
     queue_depth: int
     uptime_s: float
+    # Sliding-window throughput: completions in the recent window divided
+    # by the window's time span (current behaviour, like the latency
+    # percentiles below).  ``lifetime_rps`` is the old lifetime average.
     throughput_rps: float
     mean_batch: float
     batch_histogram: Dict[int, int]
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    lifetime_rps: float = 0.0
+    # Windowed share of failed requests among recent completions.
+    failure_rate: float = 0.0
     # Allocation behaviour aggregated over the engine's plan instances:
     # a warmed-up engine shows flat allocation counts and growing reuses.
     arena_allocations: int = 0
@@ -59,8 +78,11 @@ class MetricsSnapshot:
                              in sorted(self.batch_histogram.items()))
         return "\n".join([
             f"requests {self.requests} in {self.uptime_s:.2f}s "
-            f"({self.throughput_rps:.1f} req/s), {self.batches} batches, "
-            f"{self.failures} failed, queue depth {self.queue_depth}",
+            f"({self.throughput_rps:.1f} req/s windowed, "
+            f"{self.lifetime_rps:.1f} lifetime), {self.batches} batches, "
+            f"{self.failures} failed "
+            f"({self.failure_rate * 100:.1f}% of window), "
+            f"queue depth {self.queue_depth}",
             f"latency p50 {self.p50_ms:.2f} ms, p95 {self.p95_ms:.2f} ms, "
             f"p99 {self.p99_ms:.2f} ms",
             f"mean batch {self.mean_batch:.2f} (histogram {histogram or '-'})",
@@ -82,25 +104,88 @@ class _Counters:
 
 
 class MetricsRecorder:
-    """Accumulates serving events; all methods are thread-safe."""
+    """Accumulates serving events; all methods are thread-safe.
 
-    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    ``registry`` is the telemetry registry the shared latency/batch-size
+    histograms live in (defaults to the process-wide one).
+    """
+
+    def __init__(self, window: int = LATENCY_WINDOW,
+                 clock=time.monotonic, registry=None) -> None:
         self._lock = threading.Lock()
+        self._clock = clock
         self._counters = _Counters()
         self._latencies: Deque[float] = deque(maxlen=window)
-        self._started_at = time.monotonic()
+        # Completion/failure timestamp streams backing the windowed
+        # throughput and failure-rate computations.
+        self._completions: Deque[float] = deque(maxlen=window)
+        self._failure_times: Deque[float] = deque(maxlen=window)
+        self._started_at = clock()
+        registry = registry or get_registry()
+        self._latency_hist = registry.histogram(
+            "repro_serving_latency_seconds",
+            "End-to-end request latency (enqueue to completion)")
+        self._batch_hist = registry.histogram(
+            "repro_serving_batch_size",
+            "Executed batch sizes", buckets=DEFAULT_SIZE_BUCKETS)
 
     def record_batch(self, batch_size: int, latencies_s) -> None:
+        latencies_s = list(latencies_s)
+        now = self._clock()
         with self._lock:
             self._counters.requests += batch_size
             self._counters.batches += 1
             histogram = self._counters.batch_histogram
             histogram[batch_size] = histogram.get(batch_size, 0) + 1
             self._latencies.extend(latencies_s)
+            self._completions.extend([now] * batch_size)
+        for latency in latencies_s:
+            self._latency_hist.observe(latency)
+        self._batch_hist.observe(batch_size)
 
-    def record_failure(self, count: int) -> None:
+    def record_failure(self, count: int, latencies_s=None) -> None:
+        """Record ``count`` failed requests.
+
+        Failures enter the same sliding windows as successes: their
+        timestamps back ``failure_rate``, and — when the caller knows
+        how long the doomed requests had been in flight — their
+        ``latencies_s`` join the percentile window and their batch size
+        bumps the batch histogram, so p99 reflects the worst outcomes
+        instead of silently excluding them.
+        """
+        latencies_s = list(latencies_s) if latencies_s is not None else []
+        now = self._clock()
         with self._lock:
             self._counters.failures += count
+            self._failure_times.extend([now] * count)
+            if latencies_s:
+                self._latencies.extend(latencies_s)
+                histogram = self._counters.batch_histogram
+                histogram[count] = histogram.get(count, 0) + 1
+        for latency in latencies_s:
+            self._latency_hist.observe(latency)
+
+    def _windowed_rates(self, now: float, lifetime_rps: float):
+        """(windowed rps, windowed failure rate); lock must be held."""
+        completions = self._completions
+        failures = self._failure_times
+        events = len(completions) + len(failures)
+        oldest = None
+        if completions:
+            oldest = completions[0]
+        if failures:
+            oldest = failures[0] if oldest is None \
+                else min(oldest, failures[0])
+        if oldest is None:
+            return 0.0, 0.0
+        span = now - oldest
+        # A burst finishing within clock resolution has no measurable
+        # span; fall back to the lifetime average rather than report 0
+        # or infinity.
+        rps = (len(completions) / span) if span > 0 else lifetime_rps
+        rate = len(failures) / events if events else 0.0
+        return rps, rate
 
     def snapshot(self, queue_depth: int = 0,
                  arena_stats=None,
@@ -111,17 +196,23 @@ class MetricsRecorder:
         :class:`repro.runtime.arena.ArenaStats` (or None)."""
         with self._lock:
             counters = self._counters
-            uptime = time.monotonic() - self._started_at
+            now = self._clock()
+            uptime = now - self._started_at
             window = sorted(self._latencies)
             requests = counters.requests
             batches = counters.batches
+            lifetime_rps = requests / uptime if uptime > 0 else 0.0
+            windowed_rps, failure_rate = self._windowed_rates(
+                now, lifetime_rps)
             return MetricsSnapshot(
                 requests=requests,
                 batches=batches,
                 failures=counters.failures,
                 queue_depth=queue_depth,
                 uptime_s=uptime,
-                throughput_rps=requests / uptime if uptime > 0 else 0.0,
+                throughput_rps=windowed_rps,
+                lifetime_rps=lifetime_rps,
+                failure_rate=failure_rate,
                 mean_batch=requests / batches if batches else 0.0,
                 batch_histogram=dict(counters.batch_histogram),
                 p50_ms=percentile(window, 50) * 1e3,

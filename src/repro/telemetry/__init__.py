@@ -1,0 +1,53 @@
+"""Unified telemetry: metrics registry, request tracing, exporters.
+
+One observability layer for the whole stack (the continuous-monitoring
+requirement of the AIoT deployment flow):
+
+* :mod:`repro.telemetry.registry` — process-wide counters, gauges, and
+  fixed log-bucket histograms, plus scrape-time collectors;
+* :mod:`repro.telemetry.collectors` — the runtime subsystems (arena,
+  worker pool, plan cache, serving engines, safety pipelines) publishing
+  their existing cheap stats with zero hot-path overhead;
+* :mod:`repro.telemetry.tracing` — per-request span trees (queue-wait /
+  dispatch-wait / batch-assembly / execute / per-step kernels) behind a
+  deterministic sampler that is off by default;
+* :mod:`repro.telemetry.export` — Prometheus text exposition, JSON
+  snapshots, and Perfetto-loadable Chrome trace-event files.
+
+Surfaced via ``repro metrics``, ``repro trace``, and ``serve-bench
+--metrics-json/--trace-out``.
+"""
+
+from .export import (
+    parse_prometheus,
+    registry_to_json,
+    render_prometheus,
+    timeline_to_chrome,
+    traces_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+    log_buckets,
+    set_registry,
+)
+from .tracing import RequestTrace, Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "Sample", "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS",
+    "get_registry", "set_registry", "log_buckets",
+    "RequestTrace", "Span", "Tracer",
+    "parse_prometheus", "registry_to_json", "render_prometheus",
+    "timeline_to_chrome", "traces_to_chrome", "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,275 @@
+"""Scrape-time collectors for the runtime's existing cheap counters.
+
+The arena, worker pool, plan cache, serving recorder/engine, and safety
+monitor pipeline all keep small local stats already (they predate this
+module).  Rather than threading registry handles through every hot path,
+each instance registers itself here at construction — a single
+``WeakSet.add`` — and one collector per subsystem reads the live
+instances' stats when the registry is scraped.  Hot paths therefore pay
+**nothing** for telemetry; dead instances drop out of the weak sets and
+their contribution simply stops accumulating.
+
+Series produced (all prefixed ``repro_``):
+
+========================  =========  =====================================
+arena                     counters   allocations/allocated_bytes/
+                                     large_allocations/reuses/reused_bytes/
+                                     releases (``_total``)
+                          gauges     pooled_bytes, instances
+plan cache                counters   hits/misses/stores (``_total``)
+worker pool               counters   tasks_submitted/tasks_completed
+                          gauges     workers, tasks_pending
+serving (per recorder)    counters   requests/batches/failures (``_total``)
+                          gauges     queue_depth, latency p50/p95/p99 ms,
+                                     throughput window rps, failure ratio
+safety pipeline           counters   samples{action=...}, anomalies{kind=...}
+========================  =========  =====================================
+
+The collectors are installed on the **default** registry the first time
+any instance registers; :func:`install_runtime_collectors` installs the
+same set on a custom registry (tests do this to scrape in isolation).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Iterable, List
+
+from .registry import MetricFamily, MetricsRegistry, Sample, get_registry
+
+_arenas: "weakref.WeakSet" = weakref.WeakSet()
+_pools: "weakref.WeakSet" = weakref.WeakSet()
+_plan_caches: "weakref.WeakSet" = weakref.WeakSet()
+_engines: "weakref.WeakSet" = weakref.WeakSet()
+_pipelines: "weakref.WeakSet" = weakref.WeakSet()
+
+_install_lock = threading.Lock()
+_installed_default = False
+
+
+def track_arena(arena) -> None:
+    _ensure_default_installed()
+    _arenas.add(arena)
+
+
+def track_pool(pool) -> None:
+    _ensure_default_installed()
+    _pools.add(pool)
+
+
+def track_plan_cache(cache) -> None:
+    _ensure_default_installed()
+    _plan_caches.add(cache)
+
+
+def track_engine(engine) -> None:
+    _ensure_default_installed()
+    _engines.add(engine)
+
+
+def track_pipeline(pipeline) -> None:
+    _ensure_default_installed()
+    _pipelines.add(pipeline)
+
+
+def _ensure_default_installed() -> None:
+    global _installed_default
+    if _installed_default:
+        return
+    with _install_lock:
+        if not _installed_default:
+            install_runtime_collectors(get_registry())
+            _installed_default = True
+
+
+def install_runtime_collectors(registry: MetricsRegistry) -> List:
+    """Register every subsystem collector on ``registry``.
+
+    Returns the unregister callables (tests use them to detach).
+    """
+    return [
+        registry.register_collector(_collect_arenas),
+        registry.register_collector(_collect_pools),
+        registry.register_collector(_collect_plan_caches),
+        registry.register_collector(_collect_engines),
+        registry.register_collector(_collect_pipelines),
+    ]
+
+
+def _counter_family(name: str, help: str, value: float
+                    ) -> MetricFamily:
+    return MetricFamily(name, "counter", help,
+                        [Sample(name, (), float(value))])
+
+
+def _gauge_family(name: str, help: str, value: float) -> MetricFamily:
+    return MetricFamily(name, "gauge", help,
+                        [Sample(name, (), float(value))])
+
+
+def _collect_arenas() -> Iterable[MetricFamily]:
+    allocations = allocated = large = reuses = reused = releases = 0
+    pooled = instances = 0
+    for arena in list(_arenas):
+        stats = arena.stats
+        allocations += stats.allocations
+        allocated += stats.allocated_bytes
+        large += stats.large_allocations
+        reuses += stats.reuses
+        reused += stats.reused_bytes
+        releases += stats.releases
+        pooled += arena.pooled_bytes()
+        instances += 1
+    yield _counter_family(
+        "repro_arena_allocations_total",
+        "Heap allocations performed by scratch arenas (misses of the "
+        "free pool)", allocations)
+    yield _counter_family(
+        "repro_arena_allocated_bytes_total",
+        "Bytes obtained from the heap by scratch arenas", allocated)
+    yield _counter_family(
+        "repro_arena_large_allocations_total",
+        "Arena allocations above the large-buffer threshold", large)
+    yield _counter_family(
+        "repro_arena_reuses_total",
+        "Buffer requests served from arena free pools", reuses)
+    yield _counter_family(
+        "repro_arena_reused_bytes_total",
+        "Bytes served from arena free pools", reused)
+    yield _counter_family(
+        "repro_arena_releases_total",
+        "Buffers returned to arena free pools", releases)
+    yield _gauge_family(
+        "repro_arena_pooled_bytes",
+        "Bytes currently parked in arena free pools", pooled)
+    yield _gauge_family(
+        "repro_arena_instances",
+        "Live scratch arena instances", instances)
+
+
+def _collect_pools() -> Iterable[MetricFamily]:
+    workers = pending = submitted = completed = 0
+    for pool in list(_pools):
+        workers += pool.size
+        pending += pool.pending()
+        submitted += pool.tasks_submitted
+        completed += pool.tasks_completed
+    yield _gauge_family(
+        "repro_pool_workers", "Threads in the shared worker pools",
+        workers)
+    yield _gauge_family(
+        "repro_pool_tasks_pending",
+        "Tasks queued on the worker pools, not yet started", pending)
+    yield _counter_family(
+        "repro_pool_tasks_submitted_total",
+        "Tasks ever submitted to the worker pools", submitted)
+    yield _counter_family(
+        "repro_pool_tasks_completed_total",
+        "Tasks the worker pools finished running", completed)
+
+
+def _collect_plan_caches() -> Iterable[MetricFamily]:
+    hits = misses = stores = 0
+    for cache in list(_plan_caches):
+        hits += cache.stats.hits
+        misses += cache.stats.misses
+        stores += cache.stats.stores
+    yield _counter_family(
+        "repro_plan_cache_hits_total",
+        "Plan-cache lookups served from disk", hits)
+    yield _counter_family(
+        "repro_plan_cache_misses_total",
+        "Plan-cache lookups that fell back to a cold build", misses)
+    yield _counter_family(
+        "repro_plan_cache_stores_total",
+        "Plan-cache entries written", stores)
+
+
+def _collect_engines() -> Iterable[MetricFamily]:
+    requests = batches = failures = slow = 0
+    depth = 0
+    p50 = p95 = p99 = window_rps = failure_rate = 0.0
+    live = 0
+    for engine in list(_engines):
+        snapshot = engine.recorder.snapshot(
+            queue_depth=engine.queue.depth())
+        requests += snapshot.requests
+        batches += snapshot.batches
+        failures += snapshot.failures
+        slow += engine.slow_requests
+        depth += snapshot.queue_depth
+        p50 = max(p50, snapshot.p50_ms)
+        p95 = max(p95, snapshot.p95_ms)
+        p99 = max(p99, snapshot.p99_ms)
+        window_rps += snapshot.throughput_rps
+        failure_rate = max(failure_rate, snapshot.failure_rate)
+        live += 1
+    yield _counter_family(
+        "repro_serving_requests_total",
+        "Requests completed by serving engines", requests)
+    yield _counter_family(
+        "repro_serving_batches_total",
+        "Batches executed by serving engines", batches)
+    yield _counter_family(
+        "repro_serving_failures_total",
+        "Requests failed by serving engines", failures)
+    yield _counter_family(
+        "repro_serving_slow_requests_total",
+        "Requests that exceeded the engine slow-request threshold", slow)
+    yield _gauge_family(
+        "repro_serving_queue_depth",
+        "Requests waiting in serving batch queues", depth)
+    yield _gauge_family(
+        "repro_serving_engines", "Live serving engines", live)
+    yield _gauge_family(
+        "repro_serving_latency_p50_ms",
+        "Worst per-engine windowed p50 latency", p50)
+    yield _gauge_family(
+        "repro_serving_latency_p95_ms",
+        "Worst per-engine windowed p95 latency", p95)
+    yield _gauge_family(
+        "repro_serving_latency_p99_ms",
+        "Worst per-engine windowed p99 latency", p99)
+    yield _gauge_family(
+        "repro_serving_window_rps",
+        "Summed sliding-window throughput across engines", window_rps)
+    yield _gauge_family(
+        "repro_serving_failure_rate",
+        "Worst per-engine windowed failure rate", failure_rate)
+
+
+def _collect_pipelines() -> Iterable[MetricFamily]:
+    actions = {"passed": 0, "corrected": 0, "rejected": 0}
+    observed = 0
+    kinds: dict = {}
+    for pipeline in list(_pipelines):
+        stats = pipeline.stats
+        observed += stats.observed
+        actions["passed"] += stats.passed
+        actions["corrected"] += stats.corrected
+        actions["rejected"] += stats.rejected
+        for kind, count in stats.anomalies_by_kind.items():
+            kinds[kind] = kinds.get(kind, 0) + count
+    yield _counter_family(
+        "repro_safety_observed_total",
+        "Samples inspected by safety monitor pipelines", observed)
+    samples_family = MetricFamily(
+        "repro_safety_samples_total", "counter",
+        "Monitor pipeline decisions by action")
+    for action, count in sorted(actions.items()):
+        samples_family.samples.append(Sample(
+            "repro_safety_samples_total", (("action", action),),
+            float(count)))
+    yield samples_family
+    anomalies_family = MetricFamily(
+        "repro_safety_anomalies_total", "counter",
+        "Anomalies detected by monitor pipelines, by kind")
+    for kind, count in sorted(kinds.items()):
+        anomalies_family.samples.append(Sample(
+            "repro_safety_anomalies_total", (("kind", kind),),
+            float(count)))
+    if not kinds:
+        anomalies_family.samples.append(Sample(
+            "repro_safety_anomalies_total", (("kind", "none"),), 0.0))
+    yield anomalies_family

@@ -1,0 +1,361 @@
+"""Exporters: Prometheus text, JSON snapshots, Chrome trace-event JSON.
+
+Three ways telemetry leaves the process:
+
+* :func:`render_prometheus` — the text exposition format every
+  Prometheus-compatible scraper understands (``# HELP``/``# TYPE``
+  headers, escaped label values, cumulative histogram buckets).
+  :func:`parse_prometheus` is the deliberately tiny inverse used by the
+  CI smoke job to prove the output is well-formed.
+* :func:`registry_to_json` — one nested dict for dashboards and the
+  ``serve-bench --metrics-json`` artifact.
+* :func:`timeline_to_chrome` / :func:`traces_to_chrome` — Chrome
+  trace-event JSON (the format Perfetto and ``chrome://tracing`` load)
+  built from executor step timelines and finished request traces.
+  Worker threads become named tracks; every event is a complete ``X``
+  event with microsecond ``ts``/``dur``.  :func:`validate_chrome_trace`
+  re-checks an exported file's invariants (valid JSON, non-negative
+  monotonically consistent times) without any browser involved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .registry import MetricFamily, MetricsRegistry, get_registry
+from .tracing import RequestTrace, Span
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's current state in Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} "
+                         f"{_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            if sample.labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(value)}"'
+                    for key, value in sample.labels)
+                lines.append(f"{sample.name}{{{rendered}}} "
+                             f"{_format_value(sample.value)}")
+            else:
+                lines.append(f"{sample.name} "
+                             f"{_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Tiny exposition-format parser (the CI validity check).
+
+    Returns ``{family_name: {"type": kind, "samples": {(sample_name,
+    labels_tuple): value}}}``.  Raises ``ValueError`` on any malformed
+    line, which is the point: feeding it :func:`render_prometheus`
+    output proves the exposition is parseable.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_for(sample_name: str) -> Optional[Dict[str, object]]:
+        for suffix in ("", "_bucket", "_sum", "_count"):
+            base = sample_name[:-len(suffix)] if suffix and \
+                sample_name.endswith(suffix) else (
+                    sample_name if not suffix else None)
+            if base and base in families:
+                return families[base]
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP")
+            families.setdefault(parts[2], {"type": None, "samples": {}})
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE")
+            entry = families.setdefault(parts[2],
+                                        {"type": None, "samples": {}})
+            entry["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample_line(line, lineno)
+        entry = family_for(name)
+        if entry is None:
+            entry = families.setdefault(name, {"type": None, "samples": {}})
+        entry["samples"][(name, labels)] = value
+    return families
+
+
+def _parse_sample_line(line: str, lineno: int):
+    brace = line.find("{")
+    if brace != -1:
+        close = line.rfind("}")
+        if close == -1 or close < brace:
+            raise ValueError(f"line {lineno}: unbalanced braces")
+        name = line[:brace]
+        label_text = line[brace + 1:close]
+        rest = line[close + 1:].strip()
+        labels = []
+        for chunk in _split_labels(label_text, lineno):
+            key, _, raw = chunk.partition("=")
+            if not raw.startswith('"') or not raw.endswith('"'):
+                raise ValueError(f"line {lineno}: unquoted label value")
+            value = raw[1:-1].replace('\\"', '"') \
+                .replace("\\n", "\n").replace("\\\\", "\\")
+            labels.append((key, value))
+        labels_key = tuple(labels)
+    else:
+        name, _, rest = line.partition(" ")
+        rest = rest.strip()
+        labels_key = ()
+    if not name or not name.replace("_", "").replace(":", "").isalnum():
+        raise ValueError(f"line {lineno}: bad metric name {name!r}")
+    token = rest.split(" ")[0] if rest else ""
+    try:
+        value = float(token.replace("+Inf", "inf"))
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {token!r}")
+    return name, labels_key, value
+
+
+def _split_labels(text: str, lineno: int) -> List[str]:
+    chunks: List[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for ch in text:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\" and in_quotes:
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            chunks.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label quote")
+    if current:
+        chunks.append("".join(current))
+    return [chunk for chunk in chunks if chunk]
+
+
+# -- JSON snapshot ----------------------------------------------------------
+
+
+def registry_to_json(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """A JSON-serializable snapshot of every family and sample."""
+    registry = registry or get_registry()
+    families = []
+    for family in registry.collect():
+        families.append({
+            "name": family.name,
+            "type": family.kind,
+            "help": family.help,
+            "samples": [
+                {"name": sample.name,
+                 "labels": dict(sample.labels),
+                 "value": sample.value}
+                for sample in family.samples
+            ],
+        })
+    return {"version": 1, "families": families}
+
+
+# -- Chrome trace events ----------------------------------------------------
+
+_SECONDS_TO_US = 1e6
+
+
+def _thread_tracks(thread_ids: Sequence[int]) -> Dict[int, int]:
+    """Stable compact tid assignment: caller thread first, then workers."""
+    order: List[int] = []
+    for ident in thread_ids:
+        if ident not in order:
+            order.append(ident)
+    return {ident: index for index, ident in enumerate(order)}
+
+
+def _metadata_events(tracks: Mapping[int, int], pid: int) -> List[Dict]:
+    events = []
+    events.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                   "args": {"name": "repro"}})
+    for ident, tid in sorted(tracks.items(), key=lambda kv: kv[1]):
+        label = "caller" if tid == 0 else f"worker-{tid}"
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": label,
+                                            "ident": ident}})
+    return events
+
+
+def timeline_to_chrome(timelines: Sequence[Sequence[Mapping[str, object]]],
+                       pid: int = 1,
+                       offsets_s: Optional[Sequence[float]] = None
+                       ) -> List[Dict]:
+    """Chrome events from executor step timelines (one list per run).
+
+    Each timeline entry is the executor's span dict (``name``/``op``/
+    ``start``/``end``/``thread``/optional ``rows``) with run-relative
+    seconds; ``offsets_s`` places each run on the global time axis
+    (defaults to laying runs end to end with a small gap).
+    """
+    if offsets_s is not None and len(offsets_s) != len(timelines):
+        raise ValueError("offsets_s must match the number of timelines")
+    idents: List[int] = []
+    for timeline in timelines:
+        idents.extend(int(entry.get("thread", 0)) for entry in timeline)
+    tracks = _thread_tracks(idents)
+    events = _metadata_events(tracks, pid)
+    cursor = 0.0
+    for run, timeline in enumerate(timelines):
+        if offsets_s is not None:
+            offset = float(offsets_s[run])
+        else:
+            offset = cursor
+            if timeline:
+                cursor = offset + max(float(entry["end"])
+                                      for entry in timeline) + 1e-4
+        for entry in timeline:
+            start = offset + float(entry["start"])
+            duration = max(0.0, float(entry["end"]) - float(entry["start"]))
+            event = {
+                "name": str(entry["name"]),
+                "cat": str(entry.get("op", "step")),
+                "ph": "X",
+                "pid": pid,
+                "tid": tracks[int(entry.get("thread", 0))],
+                "ts": start * _SECONDS_TO_US,
+                "dur": duration * _SECONDS_TO_US,
+                "args": {"run": run},
+            }
+            if "rows" in entry:
+                event["args"]["rows"] = list(entry["rows"])
+            events.append(event)
+    return events
+
+
+def traces_to_chrome(traces: Iterable[RequestTrace],
+                     pid: int = 1) -> List[Dict]:
+    """Chrome events from finished request traces (span trees).
+
+    The serving phases of one request render on a per-request track;
+    per-step execute children render on their worker-thread tracks, so a
+    4-thread run shows kernel spans spread across worker rows.
+    """
+    spans: List[Span] = []
+    roots: List[Span] = []
+    for trace in traces:
+        root = trace.build_spans()
+        if root is None:
+            continue
+        roots.append(root)
+        spans.extend(root.walk())
+    if not roots:
+        return []
+    origin = min(span.start_s for span in roots)
+    step_idents = [span.thread for span in spans
+                   if span.thread and span.category not in
+                   ("request", "serving")]
+    tracks = _thread_tracks(step_idents)
+    step_base = 1000  # keep worker tracks clear of request tracks
+    events: List[Dict] = _metadata_events(
+        {ident: step_base + tid for ident, tid in tracks.items()}, pid)
+    for index, root in enumerate(roots):
+        request_tid = index % 100
+        for span in root.walk():
+            if span.category in ("request", "serving"):
+                tid = request_tid
+            else:
+                tid = step_base + tracks.get(span.thread, 0)
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": (span.start_s - origin) * _SECONDS_TO_US,
+                "dur": span.duration_s * _SECONDS_TO_US,
+                "args": dict(span.args),
+            })
+    return events
+
+
+def write_chrome_trace(path, events: Sequence[Mapping]) -> None:
+    """Write a Perfetto-loadable trace file (JSON object format)."""
+    payload = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+
+
+def validate_chrome_trace(payload) -> List[Dict]:
+    """Check trace-event invariants; returns the complete events.
+
+    Accepts the parsed JSON object (or a raw string) and raises
+    ``ValueError`` unless every ``X`` event has non-negative ``ts`` and
+    ``dur`` (monotonic consistency: ``ts + dur`` never precedes ``ts``),
+    a name, and integer ``pid``/``tid``.  Used by the CI smoke job on
+    the uploaded artifact.
+    """
+    if isinstance(payload, (str, bytes)):
+        payload = json.loads(payload)
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("trace must be an object with a traceEvents list")
+    complete: List[Dict] = []
+    for index, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"event {index}: not a trace event object")
+        if event["ph"] == "M":
+            continue
+        if event["ph"] != "X":
+            raise ValueError(f"event {index}: unsupported phase "
+                             f"{event['ph']!r}")
+        if not event.get("name"):
+            raise ValueError(f"event {index}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"event {index}: {key} must be an int")
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {index}: bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ValueError(f"event {index}: bad dur {dur!r}")
+        complete.append(event)
+    if not complete:
+        raise ValueError("trace contains no complete (ph=X) events")
+    return complete

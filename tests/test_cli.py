@@ -106,6 +106,85 @@ class TestServeBench:
                      "--configs", "nonsense"]) == 2
         assert "WORKERSxBATCH" in capsys.readouterr().err
 
+    def test_metrics_json_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "serve_trace.json"
+        assert main(["serve-bench", "--model", "mlp",
+                     "--configs", "1x2",
+                     "--requests", "8", "--warmup", "2",
+                     "--metrics-json", str(metrics_path),
+                     "--trace-out", str(trace_path),
+                     "--slow-request-ms", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot written" in out
+        assert "chrome trace" in out
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["version"] == 1
+        names = {family["name"] for family in snapshot["families"]}
+        assert "repro_serving_requests_total" in names
+
+        from repro.telemetry import validate_chrome_trace
+        events = validate_chrome_trace(trace_path.read_text())
+        assert events  # at least one complete event per sampled request
+
+
+class TestMetricsCommand:
+    def test_prometheus_output_covers_subsystems(self, capsys):
+        assert main(["metrics", "--model", "mlp",
+                     "--requests", "8", "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        from repro.telemetry import parse_prometheus
+        families = parse_prometheus(out)
+        for name in ("repro_arena_allocations_total",
+                     "repro_plan_cache_misses_total",
+                     "repro_pool_workers",
+                     "repro_serving_requests_total"):
+            assert name in families, name
+
+    def test_json_format_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "--model", "mlp", "--requests", "4",
+                     "--format", "json", "--output", str(path)]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["families"]
+
+
+class TestTraceCommand:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--model", "mlp", "--runs", "2",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events on" in out and "perfetto" in out
+        from repro.telemetry import validate_chrome_trace
+        events = validate_chrome_trace(path.read_text())
+        # two runs of the same plan -> same step count per run
+        assert len(events) % 2 == 0
+
+    def test_multithreaded_trace_uses_worker_tracks(self, tmp_path):
+        from repro.telemetry import validate_chrome_trace
+
+        # Whether workers win any steps from the caller's claim loop is
+        # a scheduling race on a fast host, so allow a few attempts.
+        for attempt in range(3):
+            path = tmp_path / f"trace4_{attempt}.json"
+            assert main(["trace", "--model", "wide_branch_net",
+                         "--batch", "8", "--runs", "3",
+                         "--num-threads", "4",
+                         "--out", str(path)]) == 0
+            events = validate_chrome_trace(path.read_text())
+            tracks = {event["tid"] for event in events}
+            if len(tracks) >= 2:  # steps spread across worker tracks
+                return
+        raise AssertionError(
+            f"expected >= 2 worker tracks, got {sorted(tracks)}")
+
 
 class TestOptimize:
     def test_arc_pipeline(self, capsys):

@@ -1,0 +1,230 @@
+"""Focused tests for repro.serving.metrics (ISSUE 5 satellite coverage).
+
+Covers the percentile edge cases, snapshot consistency under concurrent
+``record_batch`` calls, the sliding-window throughput fix, and the
+failure-stream accounting.  The recorder takes an injectable clock so
+the window math is tested against exact timestamps.
+"""
+
+import threading
+
+import pytest
+
+from repro.serving.metrics import (
+    LATENCY_WINDOW,
+    MetricsRecorder,
+    MetricsSnapshot,
+    percentile,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_recorder(window: int = LATENCY_WINDOW):
+    clock = FakeClock()
+    recorder = MetricsRecorder(window=window, clock=clock,
+                               registry=MetricsRegistry())
+    return recorder, clock
+
+
+class TestPercentile:
+    def test_empty_returns_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    def test_single_element_every_quantile(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([7.0], q) == 7.0
+
+    def test_q0_and_q100_are_min_and_max(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_nearest_rank_interior(self):
+        values = list(range(101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+
+    def test_out_of_range_quantiles_clamp(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, -50) == 1.0
+        assert percentile(values, 250) == 3.0
+
+
+class TestWindowedThroughput:
+    def test_throughput_uses_recent_window_not_lifetime(self):
+        recorder, clock = make_recorder(window=4)
+        # Ancient traffic: 100 requests long ago.
+        for _ in range(100):
+            recorder.record_batch(1, [0.001])
+        clock.advance(1000.0)
+        # Recent traffic: 4 requests over 2 seconds.
+        for _ in range(4):
+            clock.advance(0.5)
+            recorder.record_batch(1, [0.001])
+        clock.advance(0.0)
+        snapshot = recorder.snapshot()
+        # Window holds the last 4 completions spanning 1.5s ending now.
+        assert snapshot.throughput_rps == pytest.approx(4 / 1.5)
+        # Lifetime average still reports the stale meaning.
+        assert snapshot.lifetime_rps == pytest.approx(
+            104 / snapshot.uptime_s)
+        assert snapshot.lifetime_rps < snapshot.throughput_rps
+
+    def test_zero_span_burst_falls_back_to_lifetime(self):
+        recorder, clock = make_recorder()
+        clock.advance(2.0)
+        recorder.record_batch(4, [0.001] * 4)
+        snapshot = recorder.snapshot()
+        # All completions share one timestamp: no measurable span, so
+        # the windowed rate falls back to the lifetime average.
+        assert snapshot.throughput_rps == pytest.approx(
+            snapshot.lifetime_rps)
+
+    def test_empty_recorder_reports_zero(self):
+        recorder, clock = make_recorder()
+        clock.advance(1.0)
+        snapshot = recorder.snapshot()
+        assert snapshot.throughput_rps == 0.0
+        assert snapshot.lifetime_rps == 0.0
+        assert snapshot.failure_rate == 0.0
+
+
+class TestFailureStream:
+    def test_failure_rate_is_windowed_share(self):
+        recorder, clock = make_recorder()
+        clock.advance(1.0)
+        recorder.record_batch(3, [0.001] * 3)
+        clock.advance(1.0)
+        recorder.record_failure(1)
+        snapshot = recorder.snapshot()
+        assert snapshot.failures == 1
+        assert snapshot.failure_rate == pytest.approx(1 / 4)
+
+    def test_failure_latencies_enter_percentile_window(self):
+        recorder, clock = make_recorder()
+        recorder.record_batch(2, [0.010, 0.010])
+        # The failed request was in flight for 2 seconds: p99 must see it.
+        recorder.record_failure(1, latencies_s=[2.0])
+        snapshot = recorder.snapshot()
+        assert snapshot.p99_ms == pytest.approx(2000.0)
+        # The failed batch bumps the batch histogram too.
+        assert snapshot.batch_histogram == {2: 1, 1: 1}
+
+    def test_failure_without_latency_keeps_percentiles_clean(self):
+        recorder, clock = make_recorder()
+        recorder.record_batch(2, [0.010, 0.020])
+        recorder.record_failure(5)
+        snapshot = recorder.snapshot()
+        assert snapshot.p99_ms == pytest.approx(20.0)
+        assert snapshot.batch_histogram == {2: 1}
+        assert snapshot.failures == 5
+
+    def test_report_mentions_failure_rate_and_both_rates(self):
+        recorder, clock = make_recorder()
+        clock.advance(1.0)
+        recorder.record_batch(1, [0.001])
+        recorder.record_failure(1)
+        report = recorder.snapshot().report()
+        assert "windowed" in report and "lifetime" in report
+        assert "% of window" in report
+
+
+class TestConcurrentRecording:
+    def test_totals_exact_under_concurrent_record_batch(self):
+        recorder = MetricsRecorder(registry=MetricsRegistry())
+        threads_n, batches_n = 8, 50
+
+        def worker():
+            for _ in range(batches_n):
+                recorder.record_batch(4, [0.001, 0.002, 0.003, 0.004])
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = recorder.snapshot()
+        assert snapshot.requests == threads_n * batches_n * 4
+        assert snapshot.batches == threads_n * batches_n
+        assert snapshot.batch_histogram == {4: threads_n * batches_n}
+        assert snapshot.mean_batch == pytest.approx(4.0)
+
+    def test_snapshots_stay_consistent_while_writers_run(self):
+        recorder = MetricsRecorder(registry=MetricsRegistry())
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                recorder.record_batch(2, [0.001, 0.002])
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshot = recorder.snapshot()
+                    # Invariants that must hold in every consistent view.
+                    assert snapshot.requests == 2 * snapshot.batches
+                    assert sum(snapshot.batch_histogram.values()) == \
+                        snapshot.batches
+            except AssertionError as exc:   # surfaced after join
+                errors.append(exc)
+
+        workers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in workers + readers:
+            thread.start()
+        import time
+        time.sleep(0.2)
+        stop.set()
+        for thread in workers + readers:
+            thread.join()
+        assert not errors
+
+    def test_window_bound_respected(self):
+        recorder, clock = make_recorder(window=8)
+        for index in range(32):
+            clock.advance(0.1)
+            recorder.record_batch(1, [float(index)])
+        snapshot = recorder.snapshot()
+        # Only the newest 8 latencies survive: p50 over 24..31.
+        assert snapshot.p50_ms >= 24_000.0
+
+
+class TestRegistryHistogramsFromRecorder:
+    def test_recorder_feeds_latency_and_batch_histograms(self):
+        registry = MetricsRegistry()
+        recorder = MetricsRecorder(registry=registry)
+        recorder.record_batch(4, [0.0001, 0.0002, 0.3, 1.0])
+        recorder.record_failure(1, latencies_s=[5.0])
+        latency = registry.histogram("repro_serving_latency_seconds")
+        batch = registry.histogram("repro_serving_batch_size")
+        assert latency.count == 5            # 4 successes + 1 failure
+        assert batch.count == 1
+        # Bucket boundaries: the default latency buckets start at 100us,
+        # so a 100us observation lands in the first (le-inclusive)
+        # bucket and 5.0s overflows into +Inf.
+        counts = latency.bucket_counts()
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_snapshot_is_immutable(self):
+        recorder, _ = make_recorder()
+        recorder.record_batch(1, [0.001])
+        snapshot = recorder.snapshot()
+        assert isinstance(snapshot, MetricsSnapshot)
+        with pytest.raises(Exception):
+            snapshot.requests = 99
