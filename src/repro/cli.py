@@ -204,6 +204,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.image_size:
         kwargs["image_size"] = args.image_size
     graph = build_model(args.model, **kwargs)
+    if args.replicas:
+        return _serve_bench_replicas(args, graph)
     configs = []
     for raw in args.configs:
         try:
@@ -231,6 +233,39 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"chrome trace with {len(events)} events "
               f"({tracer.sampled_count} sampled requests) written to "
               f"{args.trace_out}")
+    return 0
+
+
+def _serve_bench_replicas(args: argparse.Namespace, graph) -> int:
+    import json
+
+    from .serving import render_replicas, run_replica_bench
+    from .telemetry import registry_to_json
+
+    if args.trace_out:
+        print("--trace-out is not supported with --replicas (request "
+              "traces live inside the replica processes)",
+              file=sys.stderr)
+        return 2
+    # Scrape inside the sweep, while the last tier (and its per-replica
+    # labeled series) is still live.
+    scraped = {}
+
+    def _scrape(tier) -> None:
+        scraped["payload"] = registry_to_json()
+
+    results = run_replica_bench(
+        graph, replica_counts=tuple(args.replicas),
+        requests=args.requests, clients=args.clients,
+        warmup=args.warmup, max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        max_inflight=args.max_inflight, cache_dir=args.cache_dir,
+        on_tier=_scrape if args.metrics_json else None)
+    print(render_replicas(results, name=args.model))
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(scraped["payload"], handle, indent=2)
+        print(f"metrics snapshot written to {args.metrics_json}")
     return 0
 
 
@@ -471,6 +506,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slow-request-ms", type=float, default=None,
                          help="log requests slower than this threshold "
                               "on the repro.serving logger")
+    p_serve.add_argument("--replicas", type=int, nargs="+", default=None,
+                         metavar="N",
+                         help="benchmark the multi-process replica tier "
+                              "at each count instead of the in-process "
+                              "WORKERSxBATCH sweep (a 1-worker "
+                              "in-process baseline row is always "
+                              "included)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch size for --replicas mode "
+                              "(in-process mode takes it from "
+                              "--configs)")
+    p_serve.add_argument("--max-inflight", type=int, default=2,
+                         help="admission-control budget: batches in "
+                              "flight per replica (--replicas mode)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="plan-cache directory shared by the "
+                              "replica processes (default: "
+                              "$REPRO_PLAN_CACHE_DIR or "
+                              "~/.cache/repro/plan-cache)")
     p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_metrics = sub.add_parser(

@@ -14,9 +14,14 @@ reference runtime.  A cache entry persists everything
 
 so a warm start skips graph specialization, validation, shape inference,
 liveness analysis, and prepacking; only the cheap closure binding runs.
-The blob is read with a single ``np.fromfile`` and every array is a
-zero-copy view into it — per-array container overhead (the reason an
-``.npz`` was slower here than just recompiling) never appears.
+The blob is ``np.memmap``-ed read-only and every array is a zero-copy
+view into the mapping — per-array container overhead (the reason an
+``.npz`` was slower here than just recompiling) never appears, and
+because the pages are file-backed and shared, *N* replica processes
+loading the same entry reference one physical copy of the weights (the
+substrate of :mod:`repro.serving.replicas`).  ``load(..., mmap=False)``
+keeps the old private-copy ``np.fromfile`` read for callers that need
+writable arrays.
 
 Entries are keyed by a SHA-256 over the *original* graph's canonical
 serialization (topology + attrs + raw weight bytes), the
@@ -131,10 +136,18 @@ class PlanCache:
 
     # -- load / store ----------------------------------------------------------
 
-    def load(self, key: str) -> Optional[Tuple[Graph, ExecutionPlan]]:
+    def load(self, key: str, *, mmap: bool = True
+             ) -> Optional[Tuple[Graph, ExecutionPlan]]:
         """Hydrate a cached entry; None (and a counted miss) on absence
         or on any defect — a corrupt entry is just a rebuild, never an
-        error."""
+        error.
+
+        With ``mmap`` (the default) the weight blob is mapped read-only:
+        zero copies, lazily paged, and physically shared between every
+        process that loads the same entry — replica executors all run
+        off one resident copy of the weights.  ``mmap=False`` reads a
+        private writable copy instead (``np.fromfile``).
+        """
         entry = self.directory / key
         try:
             meta = json.loads((entry / _META_FILE).read_text())
@@ -147,10 +160,17 @@ class PlanCache:
                                       DType(s["dtype"]))
                 for s in meta["specs"]
             }
-            # One read for every weight and pack; each array below is a
-            # zero-copy view into this buffer.  (An .npz here costs more
-            # than recompiling: ~200 zipfile reads + crc32 passes.)
-            blob = np.fromfile(entry / _BLOB_FILE, dtype=np.uint8)
+            # One map (or read) for every weight and pack; each array
+            # below is a zero-copy view into this buffer.  (An .npz here
+            # costs more than recompiling: ~200 zipfile reads + crc32
+            # passes.)
+            blob_path = entry / _BLOB_FILE
+            if blob_path.stat().st_size == 0:
+                blob = np.zeros(0, dtype=np.uint8)
+            elif mmap:
+                blob = np.memmap(blob_path, dtype=np.uint8, mode="r")
+            else:
+                blob = np.fromfile(blob_path, dtype=np.uint8)
 
             def _view(index: List) -> np.ndarray:
                 dtype_str, shape, offset, nbytes = index

@@ -1,13 +1,32 @@
-"""Serving layer: dynamic micro-batching over pooled execution plans."""
+"""Serving layer: dynamic micro-batching over pooled execution plans,
+plus the multi-process replica tier for multi-core scale."""
 
-from .batcher import BatchQueue, InferenceRequest
-from .bench import BenchResult, render, run_bench, sample_feeds
-from .engine import EngineClosedError, InferenceEngine
+from .batcher import BatchQueue, InferenceRequest, QueueClosedError
+from .bench import (
+    BenchResult,
+    ReplicaBenchResult,
+    render,
+    render_replicas,
+    run_bench,
+    run_replica_bench,
+    sample_feeds,
+)
+from .engine import EngineClosedError, InferenceEngine, check_sample
 from .metrics import MetricsRecorder, MetricsSnapshot, percentile
+from .replicas import (
+    ReplicaCrashError,
+    ReplicaEngine,
+    ReplicaError,
+    ReplicaStats,
+    TierSaturatedError,
+)
 
 __all__ = [
-    "BatchQueue", "InferenceRequest",
-    "BenchResult", "render", "run_bench", "sample_feeds",
-    "EngineClosedError", "InferenceEngine",
+    "BatchQueue", "InferenceRequest", "QueueClosedError",
+    "BenchResult", "ReplicaBenchResult", "render", "render_replicas",
+    "run_bench", "run_replica_bench", "sample_feeds",
+    "EngineClosedError", "InferenceEngine", "check_sample",
     "MetricsRecorder", "MetricsSnapshot", "percentile",
+    "ReplicaCrashError", "ReplicaEngine", "ReplicaError",
+    "ReplicaStats", "TierSaturatedError",
 ]

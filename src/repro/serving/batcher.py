@@ -23,6 +23,16 @@ from typing import Deque, Dict, List, Optional
 import numpy as np
 
 
+class QueueClosedError(RuntimeError):
+    """Raised by :meth:`BatchQueue.submit` once the queue is closed.
+
+    A typed subclass so callers (the engine, the replica tier) can
+    distinguish "the queue shut down under me" from an arbitrary
+    ``RuntimeError`` raised by request execution and translate it into
+    their own closed-error type.
+    """
+
+
 @dataclass
 class InferenceRequest:
     """One queued single-sample request (leading batch axis of size 1)."""
@@ -59,7 +69,7 @@ class BatchQueue:
     def submit(self, request: InferenceRequest) -> None:
         with self._cond:
             if self._closed:
-                raise RuntimeError("batch queue is closed")
+                raise QueueClosedError("batch queue is closed")
             self._items.append(request)
             self._cond.notify()
 

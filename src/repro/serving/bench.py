@@ -136,6 +136,119 @@ def run_bench(graph: Graph,
     return results
 
 
+@dataclass(frozen=True)
+class ReplicaBenchResult:
+    """One measured serving mode in a replica-scaling sweep."""
+
+    mode: str                  # "in-process" or "replicas"
+    replicas: int              # 0 for the in-process baseline
+    max_batch: int
+    clients: int
+    requests: int
+    elapsed_s: float
+    throughput_rps: float
+    mean_batch: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    failures: int
+    restarts: int
+
+
+def run_replica_bench(graph: Graph,
+                      replica_counts: Sequence[int] = (1, 2, 4),
+                      requests: int = 128, clients: Optional[int] = None,
+                      warmup: int = 16, max_batch: int = 8,
+                      max_latency_ms: float = 2.0,
+                      max_inflight: int = 2,
+                      cache_dir=None,
+                      start_method: str = "spawn",
+                      on_tier=None) -> List[ReplicaBenchResult]:
+    """Single-process engine baseline vs the replica tier at each count.
+
+    The baseline is the best in-process configuration (one worker, same
+    ``max_batch``); every replica row uses the identical micro-batching
+    knobs, so the measured ratio isolates what crossing the process
+    boundary buys (multi-core scale) and costs (frame serialization).
+    ``clients`` defaults to enough closed-loop demand to keep every
+    replica's in-flight budget full.  ``on_tier``, if given, is called
+    with each still-live tier after its measurement — the CLI uses it to
+    scrape the telemetry registry while per-replica series exist.
+    """
+    from .engine import InferenceEngine
+    from .replicas import ReplicaEngine
+
+    feeds = sample_feeds(graph)
+    results: List[ReplicaBenchResult] = []
+
+    def _measure(engine, mode: str, replicas: int,
+                 n_clients: int) -> None:
+        _closed_loop(engine, feeds, n_clients, warmup)
+        before = engine.metrics()
+        elapsed = _closed_loop(engine, feeds, n_clients, requests)
+        after = engine.metrics()
+        measured = after.requests - before.requests
+        batches = after.batches - before.batches
+        results.append(ReplicaBenchResult(
+            mode=mode,
+            replicas=replicas,
+            max_batch=max_batch,
+            clients=n_clients,
+            requests=measured,
+            elapsed_s=elapsed,
+            throughput_rps=measured / elapsed if elapsed > 0 else 0.0,
+            mean_batch=measured / batches if batches else 0.0,
+            p50_ms=after.p50_ms,
+            p95_ms=after.p95_ms,
+            p99_ms=after.p99_ms,
+            failures=after.failures - before.failures,
+            restarts=getattr(engine, "restarts", 0),
+        ))
+
+    baseline_clients = clients if clients is not None else max_batch
+    with InferenceEngine(graph, workers=1, max_batch=max_batch,
+                         max_latency_ms=max_latency_ms) as engine:
+        _measure(engine, "in-process", 0, baseline_clients)
+    for count in replica_counts:
+        n_clients = clients if clients is not None \
+            else count * max_inflight * max_batch
+        with ReplicaEngine(graph, replicas=count, max_batch=max_batch,
+                           max_latency_ms=max_latency_ms,
+                           max_inflight=max_inflight,
+                           cache_dir=cache_dir,
+                           start_method=start_method) as tier:
+            _measure(tier, "replicas", count, n_clients)
+            if on_tier is not None:
+                on_tier(tier)
+    return results
+
+
+def render_replicas(results: Sequence[ReplicaBenchResult],
+                    name: str = "") -> str:
+    """Fixed-width table of a replica-scaling sweep (speedups are
+    relative to the in-process baseline row)."""
+    header = (f"{'mode':<12} {'procs':>5} {'clients':>7} {'req/s':>9} "
+              f"{'mean_b':>6} {'p50ms':>7} {'p95ms':>7} {'fail':>5} "
+              f"{'restart':>7}")
+    lines = []
+    if name:
+        lines.append(f"serve-bench --replicas: {name}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    base = results[0].throughput_rps if results else 0.0
+    for row in results:
+        speedup = (f" ({row.throughput_rps / base:.2f}x)"
+                   if base > 0 and row is not results[0] else "")
+        label = row.mode if row.replicas == 0 \
+            else f"{row.mode}-{row.replicas}"
+        lines.append(
+            f"{label:<12} {row.replicas:>5} {row.clients:>7} "
+            f"{row.throughput_rps:>9.1f} {row.mean_batch:>6.2f} "
+            f"{row.p50_ms:>7.2f} {row.p95_ms:>7.2f} {row.failures:>5} "
+            f"{row.restarts:>7}{speedup}")
+    return "\n".join(lines)
+
+
 def render(results: Sequence[BenchResult], name: str = "") -> str:
     """Fixed-width table of a benchmark sweep."""
     header = (f"{'workers':>7} {'batch':>5} {'clients':>7} {'req/s':>9} "

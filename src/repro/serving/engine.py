@@ -37,7 +37,7 @@ from ..runtime.parallel import get_pool, resolve_num_threads
 from ..runtime.plan import ExecutionPlan, compile_plan
 from ..telemetry import collectors as _telemetry
 from ..telemetry.tracing import RequestTrace, Tracer
-from .batcher import BatchQueue, InferenceRequest
+from .batcher import BatchQueue, InferenceRequest, QueueClosedError
 from .metrics import MetricsRecorder, MetricsSnapshot
 
 import time
@@ -47,6 +47,39 @@ logger = logging.getLogger("repro.serving")
 
 class EngineClosedError(RuntimeError):
     """Raised when submitting to an engine that has been shut down."""
+
+
+def check_sample(input_specs: Mapping[str, "object"],
+                 feeds: Mapping[str, np.ndarray]
+                 ) -> Dict[str, np.ndarray]:
+    """Validate one single-sample feed dict against ``input_specs``
+    (name -> :class:`repro.ir.tensor.TensorSpec`) and return arrays the
+    serving pipeline *owns*.
+
+    ``astype(..., copy=False)`` aliases the caller's buffer whenever no
+    dtype conversion is needed, so a caller mutating its array after
+    ``infer()`` returns would corrupt the in-flight batch; any feed that
+    still shares memory with the caller's array is copied here.
+    """
+    sample: Dict[str, np.ndarray] = {}
+    for name, spec in input_specs.items():
+        if name not in feeds:
+            raise ValueError(f"missing feed for graph input {name!r}")
+        raw = feeds[name]
+        value = np.asarray(raw)
+        if tuple(value.shape) != spec.shape:
+            raise ValueError(
+                f"feed {name!r} has shape {value.shape}, expected the "
+                f"single-sample shape {spec.shape}")
+        converted = value.astype(spec.dtype.to_numpy(), copy=False)
+        if isinstance(raw, np.ndarray) and \
+                np.shares_memory(converted, raw):
+            converted = converted.copy()
+        sample[name] = converted
+    extra = set(feeds) - set(sample)
+    if extra:
+        raise ValueError(f"unknown feed tensors: {sorted(extra)}")
+    return sample
 
 
 class InferenceEngine:
@@ -162,7 +195,12 @@ class InferenceEngine:
             trace = RequestTrace(self.template.name or "request")
             trace.mark("enqueued")
             request.trace = trace
-        self.queue.submit(request)
+        try:
+            self.queue.submit(request)
+        except QueueClosedError:
+            # close() won the race between our _closed check and the
+            # queue submit; surface the same typed error as the check.
+            raise EngineClosedError("engine is closed") from None
         return request.future
 
     def infer_sync(self, feeds: Mapping[str, np.ndarray],
@@ -213,9 +251,14 @@ class InferenceEngine:
         self._closed = True
         self.queue.close()
         self._dispatcher.join(timeout=timeout)
-        for request in self.queue.drain():
-            request.future.set_exception(
-                EngineClosedError("engine closed before execution"))
+        drained = self.queue.drain()
+        if drained:
+            # Requests failed at shutdown are failures like any other:
+            # without this, ``failures``/``failure_rate`` under-report
+            # every request the close drained.
+            self._fail_batch(
+                drained, EngineClosedError("engine closed before "
+                                           "execution"))
         acquired = 0
         for _ in range(self.workers):
             ok = (self._slots.acquire(timeout=timeout)
@@ -236,20 +279,23 @@ class InferenceEngine:
 
     def _check_sample(self, feeds: Mapping[str, np.ndarray]
                       ) -> Dict[str, np.ndarray]:
-        sample: Dict[str, np.ndarray] = {}
-        for name, spec in self._input_specs.items():
-            if name not in feeds:
-                raise ValueError(f"missing feed for graph input {name!r}")
-            value = np.asarray(feeds[name])
-            if tuple(value.shape) != spec.shape:
-                raise ValueError(
-                    f"feed {name!r} has shape {value.shape}, expected the "
-                    f"single-sample shape {spec.shape}")
-            sample[name] = value.astype(spec.dtype.to_numpy(), copy=False)
-        extra = set(feeds) - set(sample)
-        if extra:
-            raise ValueError(f"unknown feed tensors: {sorted(extra)}")
-        return sample
+        return check_sample(self._input_specs, feeds)
+
+    def _fail_batch(self, requests: List[InferenceRequest],
+                    exc: BaseException, traces: Sequence = ()) -> None:
+        """Record and propagate a whole batch's failure.
+
+        Failure latencies join the same percentile window as successes,
+        so p99 reflects the worst outcomes.
+        """
+        failed_at = time.monotonic()
+        self.recorder.record_failure(
+            len(requests), [failed_at - request.enqueued_at
+                            for request in requests])
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        self._finish_traces(list(traces), failed=True)
 
     def _base_plan(self, batch: int) -> Tuple[Graph, ExecutionPlan]:
         with self._compile_lock:
@@ -299,7 +345,18 @@ class InferenceEngine:
                 for request in batch:
                     if request.trace is not None:
                         request.trace.mark("dequeued")
-            self._pool.submit(self._make_batch_task(batch))
+            try:
+                self._pool.submit(self._make_batch_task(batch))
+            except BaseException as exc:
+                # The task never made it onto the pool, so its finally
+                # block will never run: release the worker slot here (a
+                # leaked permit would hang a later close() on slot
+                # drain) and fail the batch's futures.
+                self._slots.release()
+                self._fail_batch(
+                    batch, exc,
+                    traces=[request.trace for request in batch
+                            if request.trace is not None])
 
     def _make_batch_task(self, batch: List[InferenceRequest]):
         def task() -> None:
@@ -358,16 +415,7 @@ class InferenceEngine:
             finally:
                 self._checkin(size, executor)
         except BaseException as exc:
-            failed_at = time.monotonic()
-            # Failure latencies join the same percentile window as
-            # successes, so p99 reflects the worst outcomes.
-            self.recorder.record_failure(
-                size, [failed_at - request.enqueued_at
-                       for request in requests])
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            self._finish_traces(traces, failed=True)
+            self._fail_batch(requests, exc, traces=traces)
             return
         completed = time.monotonic()
         latencies = [completed - request.enqueued_at

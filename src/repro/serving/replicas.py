@@ -1,0 +1,920 @@
+"""Multi-process replica serving tier: break the GIL ceiling.
+
+``BENCH_pr4.json`` showed intra-process threading *losing* throughput
+(0.87-0.93x at 2-8 threads): the numpy hot paths are GIL/cache-bound, so
+more threads in one interpreter cannot deliver multi-core scale.  This
+module moves the parallelism across *processes* instead — the VEDLIoT
+premise applied to the host: match the execution substrate to the
+workload rather than adding threads.
+
+Architecture
+------------
+
+* **Replica processes.**  ``N`` executor processes, each owning its own
+  compiled plan, scratch arena, and kernel workspace — no shared Python
+  state, no GIL contention, private caches.  A replica is a tight loop:
+  receive a batch frame, run the plan, send the results back.
+
+* **Zero-copy shared weights.**  Replicas never receive weights over the
+  wire.  The front-end pre-warms the persistent plan cache
+  (:mod:`repro.runtime.plan_cache`) for every batch size the tier can
+  form, and each replica ``np.memmap``-s the entry's 64-byte-aligned
+  ``weights.bin`` blob read-only.  File-backed read-only pages are
+  physically shared by the OS, so *N* replicas reference **one**
+  resident copy of the weights — the cache's flat-blob layout was built
+  for exactly this.
+
+* **Front-end routing with admission control and backpressure.**  The
+  parent keeps the existing :class:`~repro.serving.batcher.BatchQueue`
+  micro-batching; the dispatcher routes each assembled batch to the
+  least-loaded live replica, bounded by ``max_inflight`` outstanding
+  batches per replica.  When every replica is saturated the dispatcher
+  blocks (backpressure into the queue), and once the queue itself holds
+  ``queue_limit`` requests, new submissions are *shed* with a typed
+  :class:`TierSaturatedError` instead of growing an unbounded backlog.
+
+* **Lifecycle.**  Replicas are spawned (``spawn`` start method: safe
+  with the parent's threads), health-checked via a READY handshake, and
+  restarted on crash: a dead replica's in-flight requests fail with
+  :class:`ReplicaCrashError`, its queue is re-routed to survivors, and a
+  replacement process is spawned (up to ``restart_limit`` times).
+
+* **Serialization.**  Requests and results cross the pipe as compact
+  binary frames (:func:`encode_tensors` / :func:`decode_tensors`): raw
+  C-order bytes plus dtype/shape headers, no pickle on the hot path,
+  bitwise-exact round-trips by construction.
+
+* **Telemetry.**  Each response frame piggybacks the replica's local
+  counters (requests, batches, failures, arena traffic) — a few ints,
+  effectively free — and the front-end registers with
+  :mod:`repro.telemetry.collectors`, so one registry scrape shows the
+  whole tier as ``repro_replica_*`` series labeled by replica index.
+
+The front-end mirrors :class:`repro.serving.engine.InferenceEngine`'s
+surface (``infer`` / ``infer_sync`` / ``infer_many`` / ``metrics`` /
+``close``), so serve-bench and client code treat both tiers uniformly.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..runtime.executor import Executor
+from ..runtime.plan_cache import PlanCache, default_cache_dir, load_or_build
+from ..telemetry import collectors as _telemetry
+from .batcher import BatchQueue, InferenceRequest, QueueClosedError
+from .engine import EngineClosedError, check_sample
+from .metrics import MetricsRecorder, MetricsSnapshot
+
+logger = logging.getLogger("repro.serving")
+
+
+class TierSaturatedError(RuntimeError):
+    """Raised when the tier sheds a request because its queue is full.
+
+    The typed signal of the admission controller: the caller can retry
+    with backoff, divert to another tier, or degrade — anything but
+    silently growing an unbounded backlog.
+    """
+
+
+class ReplicaError(RuntimeError):
+    """A replica reported a failure executing a batch (remote error)."""
+
+
+class ReplicaCrashError(RuntimeError):
+    """A replica process died with requests in flight."""
+
+
+class ReplicaProtocolError(RuntimeError):
+    """A malformed frame crossed the replica pipe."""
+
+
+# -- wire format ------------------------------------------------------------
+#
+# Every frame is:   header | stats | payload
+#   header  !4sBQ   magic, kind, request id
+#   stats   !5Q     replica-local counters piggybacked on every frame:
+#                   requests, batches, failures, arena allocations,
+#                   arena reuses (zeros on frames the parent sends)
+#   payload         kind-specific (tensors for REQUEST/RESULT, a typed
+#                   message for ERROR, empty for READY/SHUTDOWN)
+
+_MAGIC = b"RPRT"
+_KIND_REQUEST = 1
+_KIND_RESULT = 2
+_KIND_ERROR = 3
+_KIND_READY = 4
+_KIND_SHUTDOWN = 5
+
+_HEADER = struct.Struct("!4sBQ")
+_STATS = struct.Struct("!5Q")
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+
+_ZERO_STATS = (0, 0, 0, 0, 0)
+
+
+def encode_tensors(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Encode named arrays as one compact binary payload.
+
+    Raw C-order bytes plus name/dtype/shape headers — no pickle, and a
+    bitwise-exact round-trip through :func:`decode_tensors` for every
+    dtype the runtime uses (fp32/fp16/int8/int32/uint8/bool).
+    """
+    parts: List[bytes] = [_U32.pack(len(arrays))]
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        parts.append(_U16.pack(len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(_U16.pack(len(dtype_bytes)))
+        parts.append(dtype_bytes)
+        parts.append(_U8.pack(array.ndim))
+        parts.append(struct.pack(f"!{array.ndim}Q", *array.shape))
+        parts.append(_U64.pack(array.nbytes))
+        parts.append(array.tobytes())
+    return b"".join(parts)
+
+
+def decode_tensors(payload) -> Dict[str, np.ndarray]:
+    """Decode :func:`encode_tensors` output.
+
+    The returned arrays are read-only views over ``payload`` (no copy);
+    consumers that need ownership copy the slices they keep — both the
+    replica executor (inputs are never written) and the front-end's
+    per-request result split already satisfy that.
+    """
+    view = memoryview(payload)
+    offset = 0
+    (count,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    arrays: Dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (name_len,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        name = bytes(view[offset:offset + name_len]).decode("utf-8")
+        offset += name_len
+        (dtype_len,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        dtype = np.dtype(bytes(view[offset:offset + dtype_len])
+                         .decode("ascii"))
+        offset += dtype_len
+        (ndim,) = _U8.unpack_from(view, offset)
+        offset += _U8.size
+        shape = struct.unpack_from(f"!{ndim}Q", view, offset)
+        offset += ndim * _U64.size
+        (nbytes,) = _U64.unpack_from(view, offset)
+        offset += _U64.size
+        data = view[offset:offset + nbytes]
+        if len(data) != nbytes:
+            raise ReplicaProtocolError("truncated tensor payload")
+        offset += nbytes
+        arrays[name] = np.frombuffer(data, dtype=dtype).reshape(shape)
+    return arrays
+
+
+def _pack_frame(kind: int, request_id: int,
+                stats: Tuple[int, ...] = _ZERO_STATS,
+                payload: bytes = b"") -> bytes:
+    return _HEADER.pack(_MAGIC, kind, request_id) + _STATS.pack(*stats) \
+        + payload
+
+
+def _unpack_frame(frame: bytes):
+    if len(frame) < _HEADER.size + _STATS.size:
+        raise ReplicaProtocolError("short frame")
+    magic, kind, request_id = _HEADER.unpack_from(frame, 0)
+    if magic != _MAGIC:
+        raise ReplicaProtocolError(f"bad frame magic {magic!r}")
+    stats = _STATS.unpack_from(frame, _HEADER.size)
+    payload = memoryview(frame)[_HEADER.size + _STATS.size:]
+    return kind, request_id, stats, payload
+
+
+def _pack_error(request_id: int, stats: Tuple[int, ...],
+                exc: BaseException) -> bytes:
+    kind_bytes = type(exc).__name__.encode("utf-8")
+    message_bytes = str(exc).encode("utf-8", errors="replace")
+    payload = (_U32.pack(len(kind_bytes)) + kind_bytes
+               + _U32.pack(len(message_bytes)) + message_bytes)
+    return _pack_frame(_KIND_ERROR, request_id, stats, payload)
+
+
+def _unpack_error(payload) -> Tuple[str, str]:
+    view = memoryview(payload)
+    (kind_len,) = _U32.unpack_from(view, 0)
+    offset = _U32.size
+    kind = bytes(view[offset:offset + kind_len]).decode("utf-8")
+    offset += kind_len
+    (message_len,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    message = bytes(view[offset:offset + message_len]).decode("utf-8")
+    return kind, message
+
+
+# -- replica process --------------------------------------------------------
+
+
+@dataclass
+class ReplicaSpec:
+    """Everything a replica process needs to serve (picklable).
+
+    Weights travel as a plan-cache directory plus per-batch-size keys —
+    never over the pipe; each replica memmaps the shared blob read-only.
+    """
+
+    index: int
+    cache_dir: str
+    keys: Dict[int, str]
+    reuse_buffers: bool = True
+    num_threads: int = 1
+    prewarm_batches: Tuple[int, ...] = ()
+
+
+def _replica_main(conn, spec: ReplicaSpec) -> None:
+    """One replica process: load mmap-shared plans, serve batch frames."""
+    import signal
+
+    # The parent coordinates shutdown over the pipe; a ^C delivered to
+    # the whole process group must not kill replicas mid-frame.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):          # non-main thread / platform
+        pass
+
+    requests = batches = failures = 0
+    cache = PlanCache(spec.cache_dir)
+    executors: Dict[int, Executor] = {}
+
+    def _executor_for(batch: int) -> Executor:
+        executor = executors.get(batch)
+        if executor is None:
+            key = spec.keys.get(batch)
+            if key is None:
+                raise ReplicaProtocolError(
+                    f"no plan-cache key for batch size {batch} "
+                    f"(tier prewarmed {sorted(spec.keys)})")
+            loaded = cache.load(key)       # mmap: weights shared, read-only
+            if loaded is None:
+                raise RuntimeError(
+                    f"plan-cache entry {key[:12]}… missing or corrupt")
+            graph, plan = loaded
+            executor = Executor(graph, plan=plan,
+                                reuse_buffers=spec.reuse_buffers,
+                                num_threads=spec.num_threads)
+            executors[batch] = executor
+        return executor
+
+    def _stats() -> Tuple[int, int, int, int, int]:
+        allocations = reuses = 0
+        for executor in executors.values():
+            arena = executor.plan.arena
+            if arena is not None:
+                allocations += arena.stats.allocations
+                reuses += arena.stats.reuses
+        return (requests, batches, failures, allocations, reuses)
+
+    try:
+        for batch in spec.prewarm_batches:
+            _executor_for(batch)
+        conn.send_bytes(_pack_frame(_KIND_READY, 0, _stats()))
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            kind, request_id, _, payload = _unpack_frame(frame)
+            if kind == _KIND_SHUTDOWN:
+                break
+            if kind != _KIND_REQUEST:
+                continue
+            size = 0
+            try:
+                feeds = decode_tensors(payload)
+                size = int(next(iter(feeds.values())).shape[0]) \
+                    if feeds else 0
+                executor = _executor_for(size)
+                outputs = executor.run(feeds)
+                # Encoding copies the result bytes out of the arena, so
+                # the batch buffers recycle before the frame is sent.
+                body = encode_tensors(outputs)
+                executor.recycle(outputs)
+                requests += size
+                batches += 1
+                response = _pack_frame(_KIND_RESULT, request_id,
+                                       _stats(), body)
+            except BaseException as exc:
+                failures += size if size else 1
+                response = _pack_error(request_id, _stats(), exc)
+            try:
+                conn.send_bytes(response)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()
+
+
+# -- front end --------------------------------------------------------------
+
+
+@dataclass
+class _Inflight:
+    requests: List[InferenceRequest]
+    sent_at: float
+
+
+class _Replica:
+    """Parent-side handle of one replica process."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.inflight: Dict[int, _Inflight] = {}
+        self.alive = True
+        self.completed_requests = 0
+        self.completed_batches = 0
+        self.failed_requests = 0
+        # Latest piggybacked child counters: requests, batches,
+        # failures, arena allocations, arena reuses.
+        self.child_stats: Tuple[int, ...] = _ZERO_STATS
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's view in :meth:`ReplicaEngine.replica_stats`."""
+
+    index: int
+    pid: Optional[int]
+    alive: bool
+    inflight: int
+    completed_requests: int
+    completed_batches: int
+    failed_requests: int
+    child_requests: int
+    child_batches: int
+    child_failures: int
+    child_arena_allocations: int
+    child_arena_reuses: int
+
+
+_BLAS_ENV_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+                  "MKL_NUM_THREADS")
+
+
+class ReplicaEngine:
+    """Routes micro-batched requests across N executor processes.
+
+    Parameters
+    ----------
+    graph
+        Model to serve; rebatched internally, so any build batch works.
+    replicas
+        Executor processes to spawn.  Throughput scales with cores
+        because each replica is a full interpreter with its own GIL.
+    max_batch / max_latency_ms
+        Micro-batching knobs, exactly as on ``InferenceEngine``.
+    max_inflight
+        Outstanding batches allowed per replica; one executes while the
+        next waits in the replica's pipe (pipelining), and the
+        dispatcher blocks once every live replica is at the bound
+        (backpressure).
+    queue_limit
+        Admission bound on the front-end queue; submissions past it are
+        shed with :class:`TierSaturatedError`.  Defaults to
+        ``4 * replicas * max_inflight * max_batch``.
+    cache_dir
+        Plan-cache directory shared with the replicas (default: the
+        process-wide cache).  The tier pre-warms an entry per batch
+        size ``1..max_batch``; replicas memmap those entries read-only,
+        so all processes share one resident copy of the weights and a
+        restarted tier warm-starts from disk.
+    aot_config
+        :class:`repro.optim.passes.AOTConfig` for the pre-warmed builds
+        (bitwise-safe defaults when None).
+    num_threads
+        Intra-process executor threads per replica (default 1: the tier
+        scales by process, and oversubscribing cores hurts).
+    blas_threads
+        Value exported to the BLAS thread-count env vars around replica
+        spawn (default 1, same rationale); ``None`` leaves the
+        environment alone.
+    start_method
+        ``multiprocessing`` start method (default ``"spawn"``: safe
+        with the parent's dispatcher/receiver threads; ``"fork"`` is
+        faster to boot but inherits arbitrary thread state).
+    restart_limit
+        Total replica restarts the tier will perform before declaring
+        surviving capacity final (default 3).
+    ready_timeout_s
+        How long to wait for each replica's READY handshake.
+    """
+
+    def __init__(self, graph: Graph, replicas: int = 2, max_batch: int = 8,
+                 max_latency_ms: float = 2.0,
+                 max_inflight: int = 2,
+                 queue_limit: Optional[int] = None,
+                 cache_dir=None, aot_config=None,
+                 reuse_buffers: bool = True,
+                 num_threads: int = 1,
+                 blas_threads: Optional[int] = 1,
+                 start_method: str = "spawn",
+                 restart_limit: int = 3,
+                 ready_timeout_s: float = 120.0) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.template = graph.with_batch(1)
+        self.replicas = int(replicas)
+        self.max_batch = int(max_batch)
+        self.max_inflight = int(max_inflight)
+        self.queue_limit = int(queue_limit) if queue_limit is not None \
+            else 4 * self.replicas * self.max_inflight * self.max_batch
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.restart_limit = int(restart_limit)
+        self.ready_timeout_s = float(ready_timeout_s)
+        self.blas_threads = blas_threads
+        self._ctx = multiprocessing.get_context(start_method)
+        self._input_specs = {spec.name: spec
+                             for spec in self.template.inputs}
+        self.queue = BatchQueue(max_batch=max_batch,
+                                max_latency_s=max_latency_ms / 1e3)
+        self.recorder = MetricsRecorder()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._next_id = 1
+        self._restarts = 0
+        self._shed = 0
+        # Test seam: clearing the gate holds the dispatcher between
+        # batches, making queue-drain/shed behaviour deterministic.
+        self._dispatch_gate = threading.Event()
+        self._dispatch_gate.set()
+
+        # Pre-warm one plan-cache entry per batch size the queue can
+        # form; replicas load these by key (mmap, zero-copy).
+        self.cache_dir = str(cache_dir) if cache_dir is not None \
+            else str(default_cache_dir())
+        cache = PlanCache(self.cache_dir)
+        self._cache_hits = 0
+        self._cache_misses = 0
+        keys: Dict[int, str] = {}
+        for batch in range(1, self.max_batch + 1):
+            model = load_or_build(self.template.with_batch(batch),
+                                  aot_config, cache)
+            if model.from_cache:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+            keys[batch] = model.key
+        self._spec_template = ReplicaSpec(
+            index=-1, cache_dir=self.cache_dir, keys=keys,
+            reuse_buffers=bool(reuse_buffers),
+            num_threads=int(num_threads),
+            prewarm_batches=(1, self.max_batch) if self.max_batch > 1
+            else (1,))
+
+        self._replicas: List[_Replica] = []
+        self._receivers: List[threading.Thread] = []
+        try:
+            for index in range(self.replicas):
+                self._replicas.append(self._spawn(index))
+            for replica in self._replicas:
+                self._await_ready(replica)
+        except BaseException:
+            for replica in self._replicas:
+                if replica.process.is_alive():
+                    replica.process.terminate()
+            raise
+        for replica in self._replicas:
+            self._start_receiver(replica)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-replica-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+        _telemetry.track_replica_tier(self)
+
+    # -- public API ----------------------------------------------------------
+
+    def infer(self, feeds: Mapping[str, np.ndarray]):
+        """Submit one sample; returns a Future resolving to the output
+        dict.  Raises :class:`TierSaturatedError` when the admission
+        queue is full and :class:`EngineClosedError` after close."""
+        if self._closed:
+            raise EngineClosedError("replica tier is closed")
+        sample = check_sample(self._input_specs, feeds)
+        if self.queue.depth() >= self.queue_limit:
+            with self._cond:
+                self._shed += 1
+            raise TierSaturatedError(
+                f"replica tier saturated: {self.queue_limit} requests "
+                f"queued; request shed")
+        request = InferenceRequest(feeds=sample)
+        try:
+            self.queue.submit(request)
+        except QueueClosedError:
+            raise EngineClosedError("replica tier is closed") from None
+        return request.future
+
+    def infer_sync(self, feeds: Mapping[str, np.ndarray],
+                   timeout: Optional[float] = None
+                   ) -> Dict[str, np.ndarray]:
+        return self.infer(feeds).result(timeout=timeout)
+
+    def infer_many(self, samples: Sequence[Mapping[str, np.ndarray]],
+                   timeout: Optional[float] = None
+                   ) -> List[Dict[str, np.ndarray]]:
+        futures = [self.infer(sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def metrics(self) -> MetricsSnapshot:
+        """Front-end serving snapshot (same shape as the in-process
+        engine's); per-replica detail lives in :meth:`replica_stats`."""
+        return self.recorder.snapshot(
+            queue_depth=self.queue.depth(),
+            plan_cache_hits=self._cache_hits,
+            plan_cache_misses=self._cache_misses)
+
+    def replica_stats(self) -> List[ReplicaStats]:
+        """Per-replica health and counters (parent + piggybacked)."""
+        with self._cond:
+            return [
+                ReplicaStats(
+                    index=replica.index,
+                    pid=replica.pid,
+                    alive=replica.alive,
+                    inflight=len(replica.inflight),
+                    completed_requests=replica.completed_requests,
+                    completed_batches=replica.completed_batches,
+                    failed_requests=replica.failed_requests,
+                    child_requests=replica.child_stats[0],
+                    child_batches=replica.child_stats[1],
+                    child_failures=replica.child_stats[2],
+                    child_arena_allocations=replica.child_stats[3],
+                    child_arena_reuses=replica.child_stats[4],
+                )
+                for replica in self._replicas
+            ]
+
+    @property
+    def restarts(self) -> int:
+        with self._cond:
+            return self._restarts
+
+    @property
+    def shed_requests(self) -> int:
+        with self._cond:
+            return self._shed
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop admissions, fail whatever is still queued, wait for
+        in-flight batches, and shut the replica processes down."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        self._dispatch_gate.set()
+        self._dispatcher.join(timeout=timeout)
+        drained = self.queue.drain()
+        if drained:
+            self._fail_requests(
+                drained,
+                EngineClosedError("replica tier closed before execution"))
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cond:
+            while any(replica.alive and replica.inflight
+                      for replica in self._replicas):
+                remaining = 0.5 if deadline is None \
+                    else min(0.5, deadline - time.monotonic())
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+        with self._cond:
+            replicas = list(self._replicas)
+        for replica in replicas:
+            try:
+                with replica.send_lock:
+                    replica.conn.send_bytes(
+                        _pack_frame(_KIND_SHUTDOWN, 0))
+            except (OSError, ValueError):
+                pass
+        for replica in replicas:
+            replica.process.join(timeout=5.0)
+            if replica.process.is_alive():
+                replica.process.terminate()
+                replica.process.join(timeout=1.0)
+                if replica.process.is_alive():
+                    replica.process.kill()
+                    replica.process.join(timeout=1.0)
+            try:
+                replica.conn.close()
+            except OSError:
+                pass
+        for thread in self._receivers:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ReplicaEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index: int) -> _Replica:
+        spec = ReplicaSpec(
+            index=index,
+            cache_dir=self._spec_template.cache_dir,
+            keys=self._spec_template.keys,
+            reuse_buffers=self._spec_template.reuse_buffers,
+            num_threads=self._spec_template.num_threads,
+            prewarm_batches=self._spec_template.prewarm_batches)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        saved = {}
+        if self.blas_threads is not None:
+            # The replica inherits its environment at spawn: pin its
+            # BLAS pools so N replicas do not oversubscribe the cores
+            # they are supposed to split.
+            for var in _BLAS_ENV_VARS:
+                saved[var] = os.environ.get(var)
+                os.environ[var] = str(self.blas_threads)
+        try:
+            process = self._ctx.Process(
+                target=_replica_main, args=(child_conn, spec),
+                name=f"repro-replica-{index}", daemon=True)
+            process.start()
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+        child_conn.close()
+        return _Replica(index, process, parent_conn)
+
+    def _await_ready(self, replica: _Replica) -> None:
+        if not replica.conn.poll(self.ready_timeout_s):
+            replica.process.terminate()
+            raise RuntimeError(
+                f"replica {replica.index} failed to become ready within "
+                f"{self.ready_timeout_s:.0f}s")
+        try:
+            frame = replica.conn.recv_bytes()
+        except (EOFError, OSError):
+            replica.process.join(timeout=1.0)
+            raise RuntimeError(
+                f"replica {replica.index} died during startup (exit "
+                f"code {replica.process.exitcode})") from None
+        kind, _, stats, _ = _unpack_frame(frame)
+        if kind != _KIND_READY:
+            replica.process.terminate()
+            raise ReplicaProtocolError(
+                f"replica {replica.index} sent frame kind {kind} "
+                f"instead of READY")
+        replica.child_stats = stats
+
+    def _start_receiver(self, replica: _Replica) -> None:
+        thread = threading.Thread(
+            target=self._receive_loop, args=(replica,),
+            name=f"repro-replica-recv-{replica.index}", daemon=True)
+        thread.start()
+        self._receivers.append(thread)
+
+    def _restart(self, replica: _Replica) -> None:
+        """Spawn a replacement for a crashed replica (receiver thread)."""
+        try:
+            replacement = self._spawn(replica.index)
+            self._await_ready(replacement)
+        except BaseException:
+            logger.exception("replica %d restart failed", replica.index)
+            with self._cond:
+                self._cond.notify_all()
+            return
+        with self._cond:
+            if self._closed:
+                # close() raced the restart: the replacement never
+                # entered the replica list, so shut it down here.
+                replacement.alive = False
+            else:
+                position = self._replicas.index(replica)
+                self._replicas[position] = replacement
+            self._cond.notify_all()
+        if not replacement.alive:
+            replacement.process.terminate()
+            replacement.process.join(timeout=1.0)
+            return
+        self._start_receiver(replacement)
+        logger.warning("replica %d restarted (pid %s)", replica.index,
+                       replacement.pid)
+
+    def _on_replica_failure(self, replica: _Replica,
+                            exc: BaseException) -> None:
+        with self._cond:
+            if not replica.alive:
+                return
+            replica.alive = False
+            doomed = list(replica.inflight.values())
+            replica.inflight.clear()
+            replica.failed_requests += sum(
+                len(inflight.requests) for inflight in doomed)
+            should_restart = (not self._closed
+                              and self._restarts < self.restart_limit)
+            if should_restart:
+                self._restarts += 1
+            self._cond.notify_all()
+        try:
+            replica.conn.close()
+        except OSError:
+            pass
+        replica.process.join(timeout=1.0)
+        for inflight in doomed:
+            self._fail_requests(inflight.requests, ReplicaCrashError(
+                f"replica {replica.index} (pid {replica.pid}) died with "
+                f"the batch in flight: {exc}"))
+        if doomed or not self._closed:
+            logger.warning(
+                "replica %d (pid %s) exited%s", replica.index,
+                replica.pid,
+                f" failing {len(doomed)} in-flight batches" if doomed
+                else "")
+        if should_restart:
+            self._restart(replica)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _fail_requests(self, requests: List[InferenceRequest],
+                       exc: BaseException) -> None:
+        failed_at = time.monotonic()
+        self.recorder.record_failure(
+            len(requests), [failed_at - request.enqueued_at
+                            for request in requests])
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+    def _acquire_replica(self) -> Optional[_Replica]:
+        """Least-loaded live replica with a free in-flight slot; blocks
+        while all are saturated (backpressure), returns None once no
+        replica is alive and no restart is pending."""
+        with self._cond:
+            while True:
+                live = [replica for replica in self._replicas
+                        if replica.alive]
+                available = [replica for replica in live
+                             if len(replica.inflight) < self.max_inflight]
+                if available:
+                    return min(available,
+                               key=lambda r: len(r.inflight))
+                if not live:
+                    return None
+                self._cond.wait(timeout=0.25)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._dispatch_gate.wait()
+            batch = self.queue.next_batch()
+            if batch is None:
+                return
+            while True:
+                replica = self._acquire_replica()
+                if replica is None:
+                    self._fail_requests(batch, ReplicaCrashError(
+                        "no live replicas (crashed beyond the restart "
+                        "limit)"))
+                    break
+                if self._send_batch(replica, batch):
+                    break
+
+    def _send_batch(self, replica: _Replica,
+                    batch: List[InferenceRequest]) -> bool:
+        """Route ``batch`` to ``replica``; False if the replica died
+        between acquisition and registration (caller re-routes)."""
+        if len(batch) == 1:
+            feeds = batch[0].feeds
+        else:
+            feeds = {
+                name: np.concatenate(
+                    [request.feeds[name] for request in batch], axis=0)
+                for name in self._input_specs
+            }
+        with self._cond:
+            if not replica.alive:
+                # The in-flight registry is only mutated while the
+                # replica is alive, so the crash handler's drain is
+                # guaranteed to see every registered batch.
+                return False
+            request_id = self._next_id
+            self._next_id += 1
+            replica.inflight[request_id] = _Inflight(
+                batch, time.monotonic())
+        frame = _pack_frame(_KIND_REQUEST, request_id,
+                            payload=encode_tensors(feeds))
+        try:
+            with replica.send_lock:
+                replica.conn.send_bytes(frame)
+        except (OSError, ValueError) as exc:
+            # The crash handler (here or on the receiver thread) drains
+            # the registered in-flight entry, failing these futures.
+            self._on_replica_failure(replica, exc)
+        return True
+
+    # -- receive -------------------------------------------------------------
+
+    def _receive_loop(self, replica: _Replica) -> None:
+        while True:
+            try:
+                frame = replica.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                kind, request_id, stats, payload = _unpack_frame(frame)
+            except ReplicaProtocolError:
+                logger.exception("replica %d sent a malformed frame",
+                                 replica.index)
+                break
+            if kind == _KIND_RESULT:
+                self._on_result(replica, request_id, stats, payload)
+            elif kind == _KIND_ERROR:
+                self._on_error(replica, request_id, stats, payload)
+        self._on_replica_failure(
+            replica, ReplicaCrashError("connection lost"))
+
+    def _pop_inflight(self, replica: _Replica, request_id: int,
+                      stats: Tuple[int, ...]) -> Optional[_Inflight]:
+        with self._cond:
+            entry = replica.inflight.pop(request_id, None)
+            replica.child_stats = tuple(stats)
+            self._cond.notify_all()
+        return entry
+
+    def _on_result(self, replica: _Replica, request_id: int,
+                   stats: Tuple[int, ...], payload) -> None:
+        entry = self._pop_inflight(replica, request_id, stats)
+        if entry is None:
+            return
+        requests = entry.requests
+        try:
+            outputs = decode_tensors(payload)
+            results = [
+                {name: array[index:index + 1].copy()
+                 for name, array in outputs.items()}
+                for index in range(len(requests))
+            ]
+        except BaseException as exc:
+            self._record_replica_failure(replica, requests, ReplicaError(
+                f"replica {replica.index} returned an undecodable "
+                f"result: {exc}"))
+            return
+        completed = time.monotonic()
+        latencies = [completed - request.enqueued_at
+                     for request in requests]
+        self.recorder.record_batch(len(requests), latencies)
+        with self._cond:
+            replica.completed_requests += len(requests)
+            replica.completed_batches += 1
+        for request, result in zip(requests, results):
+            if not request.future.done():
+                request.future.set_result(result)
+
+    def _on_error(self, replica: _Replica, request_id: int,
+                  stats: Tuple[int, ...], payload) -> None:
+        entry = self._pop_inflight(replica, request_id, stats)
+        if entry is None:
+            return
+        try:
+            kind, message = _unpack_error(payload)
+        except BaseException:
+            kind, message = "unknown", "malformed error frame"
+        self._record_replica_failure(
+            replica, entry.requests,
+            ReplicaError(f"replica {replica.index} failed the batch: "
+                         f"{kind}: {message}"))
+
+    def _record_replica_failure(self, replica: _Replica,
+                                requests: List[InferenceRequest],
+                                exc: BaseException) -> None:
+        with self._cond:
+            replica.failed_requests += len(requests)
+        self._fail_requests(requests, exc)

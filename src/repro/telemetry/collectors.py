@@ -22,6 +22,10 @@ worker pool               counters   tasks_submitted/tasks_completed
 serving (per recorder)    counters   requests/batches/failures (``_total``)
                           gauges     queue_depth, latency p50/p95/p99 ms,
                                      throughput window rps, failure ratio
+replica tier              counters   replica requests/failures and child
+                                     arena allocations (labeled
+                                     ``replica="N"``), tier restarts/shed
+                          gauges     live replicas, per-replica inflight
 safety pipeline           counters   samples{action=...}, anomalies{kind=...}
 ========================  =========  =====================================
 
@@ -43,6 +47,7 @@ _pools: "weakref.WeakSet" = weakref.WeakSet()
 _plan_caches: "weakref.WeakSet" = weakref.WeakSet()
 _engines: "weakref.WeakSet" = weakref.WeakSet()
 _pipelines: "weakref.WeakSet" = weakref.WeakSet()
+_replica_tiers: "weakref.WeakSet" = weakref.WeakSet()
 
 _install_lock = threading.Lock()
 _installed_default = False
@@ -73,6 +78,11 @@ def track_pipeline(pipeline) -> None:
     _pipelines.add(pipeline)
 
 
+def track_replica_tier(tier) -> None:
+    _ensure_default_installed()
+    _replica_tiers.add(tier)
+
+
 def _ensure_default_installed() -> None:
     global _installed_default
     if _installed_default:
@@ -94,6 +104,7 @@ def install_runtime_collectors(registry: MetricsRegistry) -> List:
         registry.register_collector(_collect_plan_caches),
         registry.register_collector(_collect_engines),
         registry.register_collector(_collect_pipelines),
+        registry.register_collector(_collect_replica_tiers),
     ]
 
 
@@ -237,6 +248,56 @@ def _collect_engines() -> Iterable[MetricFamily]:
     yield _gauge_family(
         "repro_serving_failure_rate",
         "Worst per-engine windowed failure rate", failure_rate)
+
+
+def _collect_replica_tiers() -> Iterable[MetricFamily]:
+    """One registry view of every replica tier: per-replica series are
+    labeled ``replica="N"`` so a single scrape shows the whole tier."""
+    requests_family = MetricFamily(
+        "repro_replica_requests_total", "counter",
+        "Requests completed per replica process")
+    failures_family = MetricFamily(
+        "repro_replica_failures_total", "counter",
+        "Requests failed per replica process (crashes included)")
+    inflight_family = MetricFamily(
+        "repro_replica_inflight", "gauge",
+        "Batches currently in flight per replica process")
+    arena_family = MetricFamily(
+        "repro_replica_arena_allocations_total", "counter",
+        "Scratch-arena heap allocations inside each replica process")
+    live = restarts = shed = 0
+    for tier in list(_replica_tiers):
+        for stats in tier.replica_stats():
+            labels = (("replica", str(stats.index)),)
+            requests_family.samples.append(Sample(
+                requests_family.name, labels,
+                float(stats.completed_requests)))
+            failures_family.samples.append(Sample(
+                failures_family.name, labels,
+                float(stats.failed_requests)))
+            inflight_family.samples.append(Sample(
+                inflight_family.name, labels, float(stats.inflight)))
+            arena_family.samples.append(Sample(
+                arena_family.name, labels,
+                float(stats.child_arena_allocations)))
+            live += int(stats.alive)
+        restarts += tier.restarts
+        shed += tier.shed_requests
+    for family in (requests_family, failures_family, inflight_family,
+                   arena_family):
+        if not family.samples:
+            family.samples.append(Sample(
+                family.name, (("replica", "none"),), 0.0))
+        yield family
+    yield _gauge_family(
+        "repro_replicas_live", "Live replica processes across tiers",
+        live)
+    yield _counter_family(
+        "repro_replica_tier_restarts_total",
+        "Replica processes restarted after a crash", restarts)
+    yield _counter_family(
+        "repro_replica_tier_shed_total",
+        "Requests shed by replica-tier admission control", shed)
 
 
 def _collect_pipelines() -> Iterable[MetricFamily]:

@@ -154,6 +154,55 @@ class TestLoadStore:
         meta_path.write_text(json.dumps(meta))
         assert cache.load(cold.key) is None
 
+    def test_default_load_memmaps_weights_read_only(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        g = small_graph("mlp")
+        cold = load_or_build(g, cache=cache)
+        graph, _ = cache.load(cold.key)
+        assert graph.initializers            # mlp has weights
+        for name, value in graph.initializers.items():
+            # Views into one shared file mapping: not writable, and the
+            # base chain bottoms out in np.memmap — the property the
+            # replica tier's zero-copy weight sharing rests on.
+            assert not value.flags.writeable
+            base = value
+            while isinstance(base, np.ndarray) and \
+                    not isinstance(base, np.memmap):
+                base = base.base
+            assert isinstance(base, np.memmap)
+
+    def test_mmap_false_loads_private_writable_copy(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        g = small_graph("mlp")
+        cold = load_or_build(g, cache=cache)
+        feeds = reference_feeds(g)
+        graph, plan = cache.load(cold.key, mmap=False)
+        reference = Executor(graph, plan=plan).run(feeds)
+        name = next(iter(graph.initializers))
+        value = graph.initializers[name]
+        assert value.flags.writeable
+        # Mutating the private copy must not reach the file: a fresh
+        # mmap load still executes identically.
+        value.fill(0.0)
+        fresh_graph, fresh_plan = cache.load(cold.key)
+        got = Executor(fresh_graph, plan=fresh_plan).run(feeds)
+        for out_name, out_value in reference.items():
+            np.testing.assert_array_equal(got[out_name], out_value)
+
+    def test_mmap_and_private_loads_execute_identically(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        g = small_graph()
+        feeds = reference_feeds(g)
+        load_or_build(g, cache=cache)
+        key = cache.key_for(g)
+        mapped_graph, mapped_plan = cache.load(key)
+        private_graph, private_plan = cache.load(key, mmap=False)
+        mapped = Executor(mapped_graph, plan=mapped_plan).run(feeds)
+        private = Executor(private_graph, plan=private_plan).run(feeds)
+        for name, value in mapped.items():
+            assert value.dtype == private[name].dtype
+            np.testing.assert_array_equal(value, private[name])
+
 
 class TestMaintenance:
     def test_entries_report_metadata(self, tmp_path):

@@ -14,6 +14,8 @@ from repro.serving import (
     InferenceEngine,
     InferenceRequest,
     MetricsRecorder,
+    QueueClosedError,
+    check_sample,
     percentile,
     run_bench,
     sample_feeds,
@@ -233,6 +235,153 @@ class TestInferenceEngine:
         assert not errors
         assert snapshot.requests == 20
         assert snapshot.failures == 0
+
+
+class TestEngineShutdownRaces:
+    def test_queue_closed_race_surfaces_typed_error(self, mlp_graph,
+                                                    mlp_feeds):
+        # Deterministic replay of the submit-vs-close race window: the
+        # engine's _closed flag is still False but the queue is already
+        # closed.  Submitting must surface EngineClosedError, never the
+        # queue's internal QueueClosedError (or a bare RuntimeError).
+        engine = InferenceEngine(mlp_graph, workers=1, max_batch=1)
+        try:
+            engine.queue.close()
+            with pytest.raises(EngineClosedError):
+                engine.infer(mlp_feeds)
+        finally:
+            engine.close()
+
+    def test_queue_submit_raises_typed_error(self):
+        queue = BatchQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(make_request())
+        assert issubclass(QueueClosedError, RuntimeError)
+
+    def test_submit_vs_close_stress_every_future_resolves(self, mlp_graph,
+                                                          mlp_feeds):
+        # 100 consecutive engine lifetimes with a client submitting
+        # concurrently with close(): every accepted future must resolve
+        # (result or EngineClosedError) — nothing hangs, nothing leaks a
+        # bare RuntimeError.
+        for _ in range(100):
+            engine = InferenceEngine(mlp_graph, workers=1, max_batch=2,
+                                     max_latency_ms=0.5)
+            futures = []
+            started = threading.Barrier(2)
+
+            def client():
+                started.wait()
+                for _ in range(8):
+                    try:
+                        futures.append(engine.infer(mlp_feeds))
+                    except EngineClosedError:
+                        return
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            started.wait()
+            engine.close(timeout=10)
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            for future in futures:
+                try:
+                    result = future.result(timeout=10)
+                except EngineClosedError:
+                    continue
+                assert set(result) == {
+                    name for name in mlp_graph.output_names}
+
+    def test_close_counts_drained_requests_as_failures(self, mlp_graph,
+                                                       mlp_feeds):
+        engine = InferenceEngine(mlp_graph, workers=1, max_batch=1,
+                                 max_latency_ms=1.0)
+        captured = []
+
+        class CapturingPool:
+            def submit(self, task):
+                captured.append(task)
+
+        # The captured task never runs, so the dispatcher's only worker
+        # slot stays held and every later request is stuck in the queue:
+        # close() must drain those as *counted* failures.
+        engine._pool = CapturingPool()
+        blocker = engine.infer(mlp_feeds)
+        deadline = time.monotonic() + 5
+        while not captured and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert captured
+        queued = [engine.infer(mlp_feeds) for _ in range(3)]
+        engine.close(timeout=0.5)
+        for future in queued:
+            with pytest.raises(EngineClosedError):
+                future.result(timeout=10)
+        snapshot = engine.metrics()
+        assert snapshot.failures == 3
+        assert snapshot.failure_rate > 0.0
+        # Run the stranded batch: the slot releases and its request
+        # completes normally (close never abandoned it).
+        captured[0]()
+        assert blocker.result(timeout=10)
+
+    def test_pool_submit_failure_releases_slot(self, mlp_graph, mlp_feeds):
+        engine = InferenceEngine(mlp_graph, workers=1, max_batch=1)
+
+        class RejectingPool:
+            def submit(self, task):
+                raise RuntimeError("pool rejected task")
+
+        engine._pool = RejectingPool()
+        future = engine.infer(mlp_feeds)
+        with pytest.raises(RuntimeError, match="pool rejected task"):
+            future.result(timeout=10)
+        assert engine.metrics().failures == 1
+        # A leaked permit would stall the slot drain below for the full
+        # timeout; with the release in place close() returns promptly.
+        start = time.monotonic()
+        engine.close(timeout=10)
+        assert time.monotonic() - start < 5
+        assert engine._slots.acquire(timeout=1)   # permit survived
+        engine._slots.release()
+
+
+class TestFeedAliasing:
+    def test_check_sample_never_aliases_caller_arrays(self, mlp_graph,
+                                                      mlp_feeds):
+        specs = {spec.name: spec
+                 for spec in mlp_graph.with_batch(1).inputs}
+        owned = check_sample(specs, mlp_feeds)
+        for name, raw in mlp_feeds.items():
+            # Same dtype means astype(copy=False) would alias; the
+            # pipeline must own its inputs regardless.
+            assert not np.shares_memory(owned[name], raw)
+        # Conversion path still converts.
+        as_f64 = {name: array.astype(np.float64)
+                  for name, array in mlp_feeds.items()}
+        converted = check_sample(specs, as_f64)
+        for name, spec in specs.items():
+            assert converted[name].dtype == spec.dtype.to_numpy()
+
+    def test_mutating_feed_after_infer_keeps_batch_intact(self, mlp_graph,
+                                                          mlp_feeds):
+        reference = Executor(mlp_graph.with_batch(1)).run(mlp_feeds)
+        with InferenceEngine(mlp_graph, workers=1, max_batch=2,
+                             max_latency_ms=500.0) as engine:
+            victim = {name: array.copy()
+                      for name, array in mlp_feeds.items()}
+            first = engine.infer(victim)
+            # The request now waits for its batch to fill; a caller
+            # reusing its buffer must not corrupt it.
+            for array in victim.values():
+                array.fill(1e6)
+            second = engine.infer(mlp_feeds)
+            for result in (first.result(timeout=10),
+                           second.result(timeout=10)):
+                for name in reference:
+                    np.testing.assert_allclose(
+                        result[name], reference[name],
+                        rtol=1e-5, atol=1e-6)
 
 
 class TestBench:
