@@ -136,10 +136,19 @@ def _infer_conv2d(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec
     if weight.rank != 4:
         raise ShapeError(f"conv2d weight must be OIHW, got shape {weight.shape}")
     out_c, in_c, kh, kw = weight.shape
+    # The layout pass tags nodes whose *activations* flow NHWC; weights
+    # stay OIHW.  Inference maps through the equivalent NCHW shapes.
+    nhwc = attrs.get("layout") == "NHWC"
+    data_shape = data.shape
+    if nhwc:
+        if data.rank != 4:
+            raise ShapeError(f"NHWC conv2d expects rank-4 input, got {data.shape}")
+        n, h, w, c = data_shape
+        data_shape = (n, c, h, w)
     groups = int(attrs.get("groups", 1))
-    if data.shape[1] != in_c * groups:
+    if data_shape[1] != in_c * groups:
         raise ShapeError(
-            f"conv2d channel mismatch: input has {data.shape[1]} channels, "
+            f"conv2d channel mismatch: input has {data_shape[1]} channels, "
             f"weight expects {in_c * groups} (groups={groups})"
         )
     if len(inputs) == 3 and inputs[2].shape != (out_c,):
@@ -147,12 +156,14 @@ def _infer_conv2d(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec
             f"conv2d bias shape {inputs[2].shape} != ({out_c},)"
         )
     shape = conv2d_output_shape(
-        data.shape,
+        data_shape,
         out_c,
         (kh, kw),
         _pair(attrs.get("stride", 1)),
         _pair(attrs.get("padding", 0)),
     )
+    if nhwc:
+        shape = (shape[0], shape[2], shape[3], shape[1])
     return [TensorSpec("out", shape, data.dtype)]
 
 
@@ -301,8 +312,16 @@ def _infer_pool(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
     kernel = _pair(attrs["kernel"])
     stride = _pair(attrs.get("stride", kernel))
     padding = _pair(attrs.get("padding", 0))
-    shape = pool2d_output_shape(inputs[0].shape, kernel, stride, padding)
-    return [TensorSpec("out", shape, inputs[0].dtype)]
+    data = inputs[0]
+    if attrs.get("layout") == "NHWC":
+        if data.rank != 4:
+            raise ShapeError(f"NHWC pool expects rank-4 input, got {data.shape}")
+        n, h, w, c = data.shape
+        shape = pool2d_output_shape((n, c, h, w), kernel, stride, padding)
+        shape = (shape[0], shape[2], shape[3], shape[1])
+    else:
+        shape = pool2d_output_shape(data.shape, kernel, stride, padding)
+    return [TensorSpec("out", shape, data.dtype)]
 
 
 def _cost_pool(
@@ -413,6 +432,23 @@ def _infer_reshape(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpe
 register_op(OpSchema(
     name="reshape", min_inputs=1, max_inputs=1,
     infer=_infer_reshape, cost=_cost_copy, required_attrs=("shape",),
+))
+
+
+def _infer_transpose(inputs: Sequence[TensorSpec], attrs: Attrs) -> List[TensorSpec]:
+    data = inputs[0]
+    perm = tuple(int(p) for p in attrs["perm"])
+    if sorted(perm) != list(range(data.rank)):
+        raise ShapeError(
+            f"transpose perm {perm} is not a permutation of rank {data.rank}"
+        )
+    shape = tuple(data.shape[p] for p in perm)
+    return [TensorSpec("out", shape, data.dtype)]
+
+
+register_op(OpSchema(
+    name="transpose", min_inputs=1, max_inputs=1,
+    infer=_infer_transpose, cost=_cost_copy, required_attrs=("perm",),
 ))
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..ir.graph import Graph
+from ..ir.graph import Graph, Node
 
 
 @dataclass
@@ -135,6 +135,183 @@ class ConstantFold(GraphPass):
         return g
 
 
+class LayoutPlanner(GraphPass):
+    """Choose NCHW vs NHWC per subgraph and insert boundary transposes.
+
+    Walks the graph for connected regions of layout-flexible nodes —
+    exact-GEMM-eligible ``qconv2d`` (single group, reduction within
+    ``kernels.EXACT_GEMM_MAX_REDUCE``, per-tensor activation scales),
+    pools, per-tensor ``quantize``/``dequantize``, elementwise
+    activations, and same-shape binary ops — and converts each region
+    with at least ``min_convs`` convolutions to NHWC: one transpose
+    (0,2,3,1) per entry tensor, one transpose (0,3,1,2) per exit tensor,
+    and a ``layout="NHWC"`` attr on the conv/pool nodes inside.  Weights
+    and biases stay in their OIHW/1-D layouts; the prepacker emits the
+    NHWC-ordered GEMM pack.
+
+    Every rewritten kernel is bitwise-identical per element to its NCHW
+    form (transposes copy, the NHWC conv/pool kernels reduce the same
+    value sequences, quantize/dequantize/activations are elementwise), so
+    a region's exit transposes restore the exact NCHW reference bytes —
+    the zoo equivalence suite asserts this with the pass enabled.
+    """
+
+    name = "layout_planner"
+
+    _POOL_OPS = frozenset({"maxpool2d", "avgpool2d"})
+    _BINARY_OPS = frozenset({"add", "sub", "mul", "maximum"})
+
+    def __init__(self, min_convs: int = 2) -> None:
+        super().__init__()
+        self.min_convs = int(min_convs)
+
+    def run(self, graph: Graph) -> Graph:
+        from ..runtime import kernels
+
+        g = graph.copy()
+        self._details = {"regions": 0, "transposes": 0, "nodes_nhwc": 0}
+        if not kernels.exact_qgemm_enabled():
+            # Without the exact packs the NHWC conv falls back to
+            # transpose-per-call; converting regions would only add work.
+            return g
+        specs = g.infer_specs()
+        inits = g.initializers
+        elementwise = set(kernels.ACTIVATIONS)
+
+        def rank4(name: str) -> bool:
+            spec = specs.get(name)
+            return (spec is not None and len(spec.shape) == 4
+                    and name not in inits)
+
+        def scalar_attr(node: Node, key: str) -> bool:
+            return np.asarray(node.attrs.get(key)).size == 1
+
+        def eligible(node: Node) -> bool:
+            if node.op_type == "qconv2d":
+                if len(node.inputs) < 2 or node.inputs[1] not in inits:
+                    return False
+                weight = inits[node.inputs[1]]
+                reduce_width = int(np.prod(weight.shape[1:]))
+                return (rank4(node.inputs[0])
+                        and int(node.attrs.get("groups", 1)) == 1
+                        and reduce_width <= kernels.EXACT_GEMM_MAX_REDUCE
+                        and scalar_attr(node, "input_scale")
+                        and scalar_attr(node, "out_scale"))
+            if node.op_type in self._POOL_OPS:
+                return rank4(node.inputs[0])
+            if node.op_type in ("quantize", "dequantize"):
+                return rank4(node.inputs[0]) and scalar_attr(node, "scale")
+            if node.op_type in elementwise:
+                return rank4(node.inputs[0])
+            if node.op_type in self._BINARY_OPS:
+                return (rank4(node.inputs[0]) and rank4(node.inputs[1])
+                        and specs[node.inputs[0]].shape
+                        == specs[node.inputs[1]].shape)
+            return False
+
+        producer: Dict[str, int] = {}
+        for index, node in enumerate(g.nodes):
+            for out in node.outputs:
+                producer[out] = index
+
+        elig = [i for i, node in enumerate(g.nodes) if eligible(node)]
+        elig_set = set(elig)
+        parent = {i: i for i in elig}
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def data_slots(node: Node) -> range:
+            return range(1 if node.op_type == "qconv2d"
+                         else len(node.inputs))
+
+        for i in elig:
+            node = g.nodes[i]
+            for slot in data_slots(node):
+                p = producer.get(node.inputs[slot])
+                if p is not None and p in elig_set:
+                    ra, rb = find(i), find(p)
+                    if ra != rb:
+                        parent[ra] = rb
+
+        regions: Dict[int, List[int]] = {}
+        for i in elig:
+            regions.setdefault(find(i), []).append(i)
+        chosen = sorted(
+            (sorted(idxs) for idxs in regions.values()
+             if sum(1 for i in idxs
+                    if g.nodes[i].op_type == "qconv2d") >= self.min_convs),
+            key=lambda idxs: idxs[0])
+
+        before: Dict[int, List[Node]] = {}
+        after: Dict[int, List[Node]] = {}
+        output_names = set(g.output_names)
+        transposes = tagged = 0
+        for ridx, idxs in enumerate(chosen):
+            region = set(idxs)
+            entry_cache: Dict[str, str] = {}
+            for i in idxs:
+                node = g.nodes[i]
+                if node.op_type == "qconv2d" \
+                        or node.op_type in self._POOL_OPS:
+                    node.attrs["layout"] = "NHWC"
+                tagged += 1
+                for slot in data_slots(node):
+                    name = node.inputs[slot]
+                    p = producer.get(name)
+                    if p is not None and p in region:
+                        continue
+                    nhwc = entry_cache.get(name)
+                    if nhwc is None:
+                        nhwc = f"{name}__nhwc{ridx}"
+                        before.setdefault(i, []).append(Node(
+                            name=f"{nhwc}_t", op_type="transpose",
+                            inputs=[name], outputs=[nhwc],
+                            attrs={"perm": (0, 2, 3, 1)}))
+                        entry_cache[name] = nhwc
+                        transposes += 1
+                    node.inputs[slot] = nhwc
+            region_outputs = {out for i in idxs for out in g.nodes[i].outputs}
+            exits = region_outputs & output_names
+            for j, node in enumerate(g.nodes):
+                if j in region:
+                    continue
+                exits.update(name for name in node.inputs
+                             if name in region_outputs)
+            for name in sorted(exits):
+                p = producer[name]
+                renamed = f"{name}__nhwc{ridx}"
+                pn = g.nodes[p]
+                pn.outputs[pn.outputs.index(name)] = renamed
+                for i in idxs:
+                    inner = g.nodes[i]
+                    for slot, iname in enumerate(inner.inputs):
+                        if iname == name:
+                            inner.inputs[slot] = renamed
+                after.setdefault(p, []).append(Node(
+                    name=f"{renamed}_from", op_type="transpose",
+                    inputs=[renamed], outputs=[name],
+                    attrs={"perm": (0, 3, 1, 2)}))
+                transposes += 1
+
+        if chosen:
+            rebuilt: List[Node] = []
+            for i, node in enumerate(g.nodes):
+                rebuilt.extend(before.get(i, ()))
+                rebuilt.append(node)
+                rebuilt.extend(after.get(i, ()))
+            g.nodes = rebuilt
+        self._details = {
+            "regions": len(chosen),
+            "transposes": transposes,
+            "nodes_nhwc": tagged,
+        }
+        return g
+
+
 @dataclass(frozen=True)
 class AOTConfig:
     """What the ahead-of-time specialization stage is allowed to do.
@@ -143,21 +320,26 @@ class AOTConfig:
     default.  ``fold_batchnorm`` and ``fuse_activations`` change float
     rounding (allclose-level, not bitwise) and therefore default off —
     callers opt in when they accept the standard fused numerics.
+    ``plan_layout`` runs :class:`LayoutPlanner` — also bitwise-exact, but
+    off by default because it only pays for graphs with quantized conv
+    chains.
     """
 
     fold_constants: bool = True
     fold_batchnorm: bool = False
     fuse_activations: bool = False
     prepack: bool = True
+    plan_layout: bool = False
 
     def cache_token(self) -> str:
         """Stable string folded into the plan-cache key, so changing any
         knob invalidates previously cached plans."""
-        return ("aot:v1"
+        return ("aot:v2"
                 f":fc={int(self.fold_constants)}"
                 f":bn={int(self.fold_batchnorm)}"
                 f":fa={int(self.fuse_activations)}"
-                f":pp={int(self.prepack)}")
+                f":pp={int(self.prepack)}"
+                f":ly={int(self.plan_layout)}")
 
 
 def specialize_graph(graph: Graph, config: Optional[AOTConfig] = None) -> Graph:
@@ -179,6 +361,8 @@ def specialize_graph(graph: Graph, config: Optional[AOTConfig] = None) -> Graph:
         passes.append(FuseActivation())
     if config.fold_constants:
         passes.append(ConstantFold())
+    if config.plan_layout:
+        passes.append(LayoutPlanner())
     if not passes:
         return graph
     return PassManager(passes).run(graph)

@@ -65,6 +65,13 @@ class ArenaStats:
     reused_bytes: int = 0
     releases: int = 0
     foreign_releases: int = 0
+    # Live-footprint accounting: ``outstanding_bytes`` is the sum of
+    # buffers currently checked out; ``peak_bytes`` is the high-water
+    # mark of outstanding + pooled bytes — the arena's real memory
+    # footprint at its worst moment.  ``clear()`` resets the live
+    # numbers but keeps the peak (it happened).
+    outstanding_bytes: int = 0
+    peak_bytes: int = 0
 
     def snapshot(self) -> "ArenaStats":
         return replace(self)
@@ -76,6 +83,9 @@ class ScratchArena:
     def __init__(self, large_threshold: int = LARGE_ALLOCATION_BYTES) -> None:
         self.large_threshold = int(large_threshold)
         self.stats = ArenaStats()
+        # Incremental mirror of pooled_bytes() so peak accounting costs
+        # one add per mutation instead of a free-list walk.
+        self._pooled_nbytes = 0
         self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
         # Strong references to every buffer currently checked out.  Keying
         # by id() is safe exactly because the reference is strong: an id
@@ -137,6 +147,7 @@ class ScratchArena:
                 buf = free.pop()
                 self.stats.reuses += 1
                 self.stats.reused_bytes += buf.nbytes
+                self._pooled_nbytes -= buf.nbytes
             else:
                 buf = np.empty(key[0], dtype=np.dtype(key[1]))
                 self.stats.allocations += 1
@@ -144,6 +155,8 @@ class ScratchArena:
                 if buf.nbytes > self.large_threshold:
                     self.stats.large_allocations += 1
             self._issued[id(buf)] = buf
+            self.stats.outstanding_bytes += buf.nbytes
+            self._note_peak()
             return buf
         finally:
             self._exit(locked)
@@ -168,7 +181,9 @@ class ScratchArena:
                 if buf.nbytes > self.large_threshold:
                     self.stats.large_allocations += 1
                 free.append(buf)
+                self._pooled_nbytes += buf.nbytes
                 added += 1
+            self._note_peak()
             return added
         finally:
             self._exit(locked)
@@ -184,6 +199,8 @@ class ScratchArena:
             self._free.setdefault(self._key(array.shape, array.dtype),
                                   []).append(array)
             self.stats.releases += 1
+            self.stats.outstanding_bytes -= issued.nbytes
+            self._pooled_nbytes += issued.nbytes
             return True
         finally:
             self._exit(locked)
@@ -192,7 +209,9 @@ class ScratchArena:
         """Stop tracking an issued buffer (it escapes to the caller)."""
         locked = self._enter()
         try:
-            self._issued.pop(id(array), None)
+            issued = self._issued.pop(id(array), None)
+            if issued is not None:
+                self.stats.outstanding_bytes -= issued.nbytes
         finally:
             self._exit(locked)
 
@@ -206,9 +225,16 @@ class ScratchArena:
             self._free.setdefault(self._key(array.shape, array.dtype),
                                   []).append(array)
             self.stats.releases += 1
+            self._pooled_nbytes += array.nbytes
+            self._note_peak()
             return True
         finally:
             self._exit(locked)
+
+    def _note_peak(self) -> None:
+        live = self.stats.outstanding_bytes + self._pooled_nbytes
+        if live > self.stats.peak_bytes:
+            self.stats.peak_bytes = live
 
     def pooled_bytes(self) -> int:
         return sum(buf.nbytes for bufs in self._free.values() for buf in bufs)
@@ -218,6 +244,8 @@ class ScratchArena:
         try:
             self._free.clear()
             self._issued.clear()
+            self._pooled_nbytes = 0
+            self.stats.outstanding_bytes = 0
         finally:
             self._exit(locked)
 

@@ -1,26 +1,59 @@
 """Numpy reference kernels for every IR operator.
 
 These implement the float semantics of the op set.  They favour clarity and
-vectorization over micro-optimization: conv2d uses an im2col formulation so
-small models execute in milliseconds, which is all the toolchain tests and
-the use-case pipelines need (large models are evaluated analytically by the
-hardware performance model, not executed).
+vectorization over micro-optimization, with two deliberate fast
+formulations on the conv hot path:
+
+* **Implicit-GEMM convolution** (the default, ``REPRO_CONV_MODE=implicit``).
+  Pointwise convs (1x1, stride 1, no padding, no groups) feed the GEMM a
+  zero-copy ``reshape`` view of the input — no column buffer exists at
+  all.  General convs skip the materialized *padded* input: a per-geometry
+  column buffer is border-zeroed **once** at creation and every call
+  copies only the clipped in-bounds patch rectangles straight out of the
+  unpadded input (``_gather_cols``).  Both forms hand the GEMM a buffer
+  with bit-identical content and memory layout to the classic
+  materialized im2col, so the results are bitwise-identical — the same
+  BLAS call sees the same bytes.  ``REPRO_CONV_MODE=im2col`` (or
+  :func:`set_conv_mode`) selects the reference path: pad-buffer copy plus
+  full strided gather, kept as the equivalence oracle for the property
+  tests and benchmarks.
+* **Exact blocked integer GEMM** (:func:`qconv2d_acc`,
+  :func:`qdense_acc`).  int8 x int8 products are at most ``127 * 128``
+  and the guarded reduction width keeps every partial sum far below
+  ``2**53``, so a float64 GEMM computes the *exact* integer accumulator
+  regardless of summation order — which makes it bitwise-safe to run the
+  quantized matmuls through BLAS dgemm (numpy's integer matmul has no
+  BLAS path) and to tile them over L2-sized column panels
+  (``QGEMM_PANEL_BYTES``).  Reductions wider than
+  ``EXACT_GEMM_MAX_REDUCE`` fall back to the int32 reference path, whose
+  wrap-on-overflow semantics float64 would not reproduce.
+
+Split-K (splitting the *reduction* axis of a float GEMM) remains
+forbidden everywhere: it reassociates floating-point accumulation and is
+not bitwise-safe.  The integer paths may tile only because their
+arithmetic is exact; the float conv never splits or re-blocks its GEMM —
+the implicit path changes how the column buffer is *filled*, never the
+GEMM call itself.
 
 Every hot kernel additionally accepts scratch buffers so the serving
 engine's steady-state path performs no large allocations: ``out=`` receives
 a preallocated destination (normally from a plan's
 :class:`repro.runtime.arena.ScratchArena`) and ``workspace=`` a
-:class:`Workspace` holding reusable intra-kernel scratch (im2col columns,
-padded inputs, fp32 accumulators) keyed by shape/dtype.  The scratch
-variants are bitwise-identical to the allocating path: both sides run the
-same ufunc/BLAS calls in the same order, only the destination differs.
+:class:`Workspace` holding reusable intra-kernel scratch (column buffers,
+fp32 accumulators, f64 GEMM panels) keyed by (tag, shape, dtype).  The
+scratch variants are bitwise-identical to the allocating path: both sides
+run the same ufunc/BLAS calls in the same order, only the destination
+differs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from ..telemetry import collectors as _telemetry
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -29,31 +62,115 @@ def _pair(value) -> Tuple[int, int]:
     return int(value), int(value)
 
 
+# -- kernel-mode switches ------------------------------------------------------
+#
+# Both switches exist so the reference formulations stay runnable as the
+# equivalence oracle: the property tests and the Txt-P benchmark flip
+# them to compare the fast paths against the classic ones bit for bit.
+
+# Widest reduction (C*kh*kw or K) the exact float64 integer GEMM accepts.
+# int8 products are <= 127*128 = 16256, so K = 2**16 bounds every partial
+# sum below 2**30.6 * ... well below 2**53 — the dgemm result is the exact
+# integer.  Beyond this the int32 reference path runs instead: its
+# wrap-on-overflow semantics are part of the observable behaviour and
+# float64 would not reproduce them.  Matches
+# quantized.ZERO_POINT_ROW_TERM_MAX_REDUCE.
+EXACT_GEMM_MAX_REDUCE = 1 << 16
+
+# Target panel size (bytes of f64 accumulator columns) for the
+# cache-blocked quantized GEMMs.  512 KiB keeps one panel of columns plus
+# the weight pack stripe resident in a typical 1 MiB L2.
+QGEMM_PANEL_BYTES = 1 << 19
+
+_CONV_MODES = ("implicit", "im2col")
+
+_conv_mode = os.environ.get("REPRO_CONV_MODE", "implicit")
+if _conv_mode not in _CONV_MODES:
+    _conv_mode = "implicit"
+
+_exact_qgemm = os.environ.get("REPRO_EXACT_QGEMM", "1") != "0"
+
+
+def conv_mode() -> str:
+    """Current float-conv formulation: ``"implicit"`` or ``"im2col"``."""
+    return _conv_mode
+
+
+def set_conv_mode(mode: str) -> str:
+    """Select the conv formulation; returns the previous mode."""
+    global _conv_mode
+    if mode not in _CONV_MODES:
+        raise ValueError(f"unknown conv mode: {mode!r} (expected one of "
+                         f"{_CONV_MODES})")
+    previous = _conv_mode
+    _conv_mode = mode
+    return previous
+
+
+def exact_qgemm_enabled() -> bool:
+    """Whether prepacking may emit float64 exact-GEMM quantized packs."""
+    return _exact_qgemm
+
+
+def set_exact_qgemm(enabled: bool) -> bool:
+    """Enable/disable exact-GEMM quantized packs; returns previous value."""
+    global _exact_qgemm
+    previous = _exact_qgemm
+    _exact_qgemm = bool(enabled)
+    return previous
+
+
 class Workspace:
     """Reusable scratch buffers keyed by (tag, shape, dtype).
 
     A kernel asks for the same scratch shape on every call, so each key
     allocates exactly once and is then recycled for the lifetime of the
     plan instance.  The tag separates buffers a single kernel needs
-    simultaneously (columns vs. padded input vs. accumulator).
+    simultaneously (columns vs. padded input vs. accumulator); the
+    implicit-GEMM conv additionally encodes the conv *geometry* in its
+    tag, because its border-zeroed column buffers are initialized once
+    and may only be shared by calls that never write the border.
+
+    Because the full key is (tag, shape, dtype), two kernels that reuse
+    a tag with different shapes or dtypes always receive **different**
+    buffers — handing back a mismatched buffer would corrupt results,
+    which the workspace regression tests guard.
+
+    ``init`` (optional) runs exactly once, when the buffer is created —
+    the hook the border-zeroed column buffers use to write their zeros
+    outside the per-call hot path.
+
+    ``peak_bytes`` is the high-water mark of resident scratch across the
+    workspace's lifetime (it survives :meth:`clear`), surfaced by the
+    telemetry collectors and the kernel-speed benchmark.
     """
 
-    __slots__ = ("_buffers", "allocations", "allocated_bytes", "hits")
+    __slots__ = ("_buffers", "allocations", "allocated_bytes", "hits",
+                 "peak_bytes", "__weakref__")
 
     def __init__(self) -> None:
         self._buffers: Dict[tuple, np.ndarray] = {}
         self.allocations = 0
         self.allocated_bytes = 0
         self.hits = 0
+        self.peak_bytes = 0
+        # Scrape-time telemetry: registered through a weak reference,
+        # the hot get() path pays nothing.
+        _telemetry.track_workspace(self)
 
-    def get(self, shape, dtype, tag: str = "") -> np.ndarray:
+    def get(self, shape, dtype, tag: str = "",
+            init: Optional[Callable[[np.ndarray], None]] = None
+            ) -> np.ndarray:
         key = (tag, tuple(int(d) for d in shape), np.dtype(dtype).str)
         buf = self._buffers.get(key)
         if buf is None:
             buf = np.empty(key[1], dtype=np.dtype(key[2]))
+            if init is not None:
+                init(buf)
             self._buffers[key] = buf
             self.allocations += 1
             self.allocated_bytes += buf.nbytes
+            self.peak_bytes = max(self.peak_bytes, self.nbytes())
         else:
             self.hits += 1
         return buf
@@ -116,6 +233,85 @@ def im2col(data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
     return cols.reshape(n, c * kh * kw, oh * ow), (oh, ow)
 
 
+def _gather_cols(data: np.ndarray, cols6: np.ndarray, kernel, stride,
+                 padding, row_offset: int = 0) -> None:
+    """Fill patch columns straight from the *unpadded* input.
+
+    ``cols6`` is an (N, C, kh, kw, rows, ow) view of a column buffer whose
+    border entries (positions where the receptive field falls into the
+    padding) are already zero.  For each kernel offset (i, j) only the
+    rectangle of output positions whose source pixel lies inside the
+    input is copied — the strided copies touch exactly the same elements
+    the pad-then-gather im2col writes there, so the buffer content is
+    bit-identical without ever materializing the padded input.
+
+    ``row_offset`` names the first output row covered by ``cols6`` so the
+    cache-blocked quantized path can gather one output-row panel at a
+    time.
+    """
+    n, c, h, w = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    rows, ow = cols6.shape[4], cols6.shape[5]
+    for i in range(kh):
+        # Output rows oy with 0 <= oy*sh + i - ph <= h-1, clipped to the
+        # panel [row_offset, row_offset + rows).
+        oy_lo = max(row_offset, -((i - ph) // sh))
+        oy_hi = min(row_offset + rows, (h - 1 - i + ph) // sh + 1)
+        if oy_hi <= oy_lo:
+            continue
+        y0 = oy_lo * sh + i - ph
+        ycnt = oy_hi - oy_lo
+        for j in range(kw):
+            ox_lo = max(0, -((j - pw) // sw))
+            ox_hi = min(ow, (w - 1 - j + pw) // sw + 1)
+            if ox_hi <= ox_lo:
+                continue
+            x0 = ox_lo * sw + j - pw
+            xcnt = ox_hi - ox_lo
+            cols6[:, :, i, j,
+                  oy_lo - row_offset:oy_hi - row_offset,
+                  ox_lo:ox_hi] = \
+                data[:, :,
+                     y0:y0 + (ycnt - 1) * sh + 1:sh,
+                     x0:x0 + (xcnt - 1) * sw + 1:sw]
+
+
+def _implicit_cols(data: np.ndarray, kernel, stride, padding,
+                   oh: int, ow: int, compute_dtype,
+                   workspace: Optional[Workspace]) -> np.ndarray:
+    """Column buffer for implicit-GEMM conv, (N, C*kh*kw, oh*ow).
+
+    Skips the padded-input materialization entirely: the buffer's border
+    is zeroed once (at workspace-buffer creation, or per call when
+    allocating) and :func:`_gather_cols` copies only in-bounds patch
+    rectangles.  The result has bit-identical content and layout to the
+    classic :func:`im2col` output, so the downstream GEMM is unchanged.
+
+    The workspace tag encodes the conv geometry: a border-zeroed buffer
+    is only valid for calls that never write its border cells, so buffers
+    from different geometries must never alias even at equal shape.
+    """
+    n, c, h, w = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    shape = (n, c * kh * kw, oh * ow)
+    padded = bool(ph or pw)
+    if workspace is not None:
+        tag = f"cols:{h}x{w}:k{kh}x{kw}:s{sh}x{sw}:p{ph}x{pw}"
+        init = (lambda buf: buf.fill(0)) if padded else None
+        cols = workspace.get(shape, compute_dtype, tag, init=init)
+    elif padded:
+        cols = np.zeros(shape, dtype=compute_dtype)
+    else:
+        cols = np.empty(shape, dtype=compute_dtype)
+    _gather_cols(data, cols.reshape(n, c, kh, kw, oh, ow),
+                 kernel, stride, padding)
+    return cols
+
+
 def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
            stride=1, padding=0, groups: int = 1,
            out: Optional[np.ndarray] = None,
@@ -144,15 +340,32 @@ def conv2d(data: np.ndarray, weight: np.ndarray, bias=None,
         # accumulation (what FP16 tensor units actually do).
         halved = data.dtype == np.float16
         compute_dtype = np.float32 if halved else data.dtype
-        cols_buf = pad_buf = None
-        if workspace is not None:
-            cols_buf = workspace.get((n, in_c * kh * kw, oh * ow),
-                                     compute_dtype, "im2col")
-            if ph or pw:
-                pad_buf = workspace.get((n, in_c, h + 2 * ph, w + 2 * pw),
-                                        data.dtype, "pad")
-        cols, _ = im2col(data, (kh, kw), stride, padding,
-                         out=cols_buf, pad_buffer=pad_buf)
+        pointwise = (kh == 1 and kw == 1 and stride == (1, 1)
+                     and not (ph or pw))
+        if _conv_mode == "implicit" and pointwise:
+            # A 1x1/stride-1 conv is exactly a GEMM over the flattened
+            # spatial axis: the reshape view already has the content and
+            # layout its im2col would build, so no column buffer exists.
+            if not halved:
+                cols = data.reshape(n, in_c, h * w)
+            elif workspace is not None:
+                cols = workspace.get((n, in_c, h * w), np.float32, "im2col")
+                np.copyto(cols, data.reshape(n, in_c, h * w))
+            else:
+                cols = data.reshape(n, in_c, h * w).astype(np.float32)
+        elif _conv_mode == "implicit":
+            cols = _implicit_cols(data, (kh, kw), stride, padding, oh, ow,
+                                  compute_dtype, workspace)
+        else:
+            cols_buf = pad_buf = None
+            if workspace is not None:
+                cols_buf = workspace.get((n, in_c * kh * kw, oh * ow),
+                                         compute_dtype, "im2col")
+                if ph or pw:
+                    pad_buf = workspace.get((n, in_c, h + 2 * ph, w + 2 * pw),
+                                            data.dtype, "pad")
+            cols, _ = im2col(data, (kh, kw), stride, padding,
+                             out=cols_buf, pad_buffer=pad_buf)
         w2 = weight.reshape(out_c, in_c * kh * kw) \
             if packed_weight is None else packed_weight
         if halved:
@@ -263,6 +476,219 @@ def dense(data: np.ndarray, weight: np.ndarray, bias=None,
         else:
             res = res.astype(data.dtype, copy=False)
     return res
+
+
+# -- exact blocked quantized GEMM ---------------------------------------------
+#
+# The quantized matmuls accumulate integers, and integer accumulation is
+# exact under any grouping — so unlike the float GEMMs these may be
+# tiled into cache-sized panels and still produce bit-identical int32
+# accumulators.  Running them as float64 BLAS GEMMs is what makes them
+# fast: numpy's integer matmul has no BLAS path.  Exactness holds
+# because every product is an integer of magnitude <= 255 * 128 and the
+# reduction width is capped at EXACT_GEMM_MAX_REDUCE, keeping all
+# partial sums far below 2**53.
+
+
+def qconv2d_acc(q_data: np.ndarray, w2_f64: np.ndarray, kernel, stride,
+                padding, input_zero: int = 0,
+                workspace: Optional[Workspace] = None) -> np.ndarray:
+    """Exact conv accumulator (N, out_c, oh, ow) float64 via blocked dgemm.
+
+    ``q_data`` is the raw int8/uint8 NCHW activation; ``w2_f64`` the
+    prepacked (out_c, C*kh*kw) float64 weight matrix (integer-valued).
+    With ``input_zero`` the zero point is subtracted *before* the gather,
+    so zero padding enters the columns as shifted-domain zeros — exactly
+    the reference path's subtract-then-pad semantics.  With
+    ``input_zero=0`` the raw codes are gathered directly (the caller
+    corrects via the hoisted zero-point row term).
+
+    The accumulation is tiled over output-row panels of roughly
+    ``QGEMM_PANEL_BYTES`` of columns; every panel GEMM computes exact
+    integers, so the blocking is bitwise-invisible.
+    """
+    kernel = _pair(kernel)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = q_data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    out_c = w2_f64.shape[0]
+    k = c * kh * kw
+    padded = bool(ph or pw)
+    if input_zero:
+        if workspace is not None:
+            src = workspace.get(q_data.shape, np.float64, "qshift")
+        else:
+            src = np.empty(q_data.shape, dtype=np.float64)
+        np.subtract(q_data, float(input_zero), out=src, dtype=np.float64)
+    else:
+        src = q_data
+    if workspace is not None:
+        acc = workspace.get((n, out_c, oh, ow), np.float64, "qacc")
+    else:
+        acc = np.empty((n, out_c, oh, ow), dtype=np.float64)
+    acc3 = acc.reshape(n, out_c, oh * ow)
+    panel_rows = max(1, min(oh, QGEMM_PANEL_BYTES // max(1, k * ow * 8)))
+    if panel_rows >= oh:
+        cols = _implicit_cols(src, kernel, stride, padding, oh, ow,
+                              np.float64, workspace)
+        np.matmul(w2_f64, cols, out=acc3)
+        return acc
+    for r0 in range(0, oh, panel_rows):
+        rows = min(panel_rows, oh - r0)
+        m = rows * ow
+        if workspace is not None:
+            cbuf = workspace.get((n, c, kh, kw, rows, ow), np.float64,
+                                 "qcols")
+            pbuf = workspace.get((n, out_c, m), np.float64, "qpanel")
+        else:
+            cbuf = np.empty((n, c, kh, kw, rows, ow), dtype=np.float64)
+            pbuf = np.empty((n, out_c, m), dtype=np.float64)
+        if padded:
+            cbuf.fill(0)
+        _gather_cols(src, cbuf, kernel, stride, padding, row_offset=r0)
+        np.matmul(w2_f64, cbuf.reshape(n, k, m), out=pbuf)
+        acc3[:, :, r0 * ow:r0 * ow + m] = pbuf
+    return acc
+
+
+def qdense_acc(q_data: np.ndarray, wt_f64: np.ndarray, input_zero: int = 0,
+               workspace: Optional[Workspace] = None) -> np.ndarray:
+    """Exact dense accumulator (..., out) float64: (q - z) @ wt_f64.
+
+    ``wt_f64`` is the prepacked (in, out) float64 transposed weight.  The
+    GEMM is tiled over output-column panels; integer-exact, so blocking
+    never changes a bit of the accumulator.
+    """
+    in_dim = q_data.shape[-1]
+    out_dim = wt_f64.shape[1]
+    if workspace is not None:
+        a = workspace.get(q_data.shape, np.float64, "qdense_in")
+    else:
+        a = np.empty(q_data.shape, dtype=np.float64)
+    np.subtract(q_data, float(input_zero), out=a, dtype=np.float64)
+    acc_shape = q_data.shape[:-1] + (out_dim,)
+    if workspace is not None:
+        acc = workspace.get(acc_shape, np.float64, "qdense_acc")
+    else:
+        acc = np.empty(acc_shape, dtype=np.float64)
+    m = 1
+    for dim in q_data.shape[:-1]:
+        m *= int(dim)
+    a2 = a.reshape(m, in_dim)
+    acc2 = acc.reshape(m, out_dim)
+    panel_cols = max(1, min(out_dim, QGEMM_PANEL_BYTES // max(1, m * 8)))
+    if panel_cols >= out_dim:
+        np.matmul(a2, wt_f64, out=acc2)
+        return acc
+    for c0 in range(0, out_dim, panel_cols):
+        c1 = min(out_dim, c0 + panel_cols)
+        np.matmul(a2, wt_f64[:, c0:c1], out=acc2[:, c0:c1])
+    return acc
+
+
+def _gather_cols_nhwc(data: np.ndarray, cols6: np.ndarray, kernel, stride,
+                      padding, row_offset: int = 0) -> None:
+    """NHWC twin of :func:`_gather_cols`.
+
+    ``cols6`` is (N, rows, ow, kh, kw, C): patch columns laid out so the
+    flattened reduction axis is (i*kw + j)*C + ci — the order the NHWC
+    weight pack uses.
+    """
+    n, h, w, c = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    rows, ow = cols6.shape[1], cols6.shape[2]
+    for i in range(kh):
+        oy_lo = max(row_offset, -((i - ph) // sh))
+        oy_hi = min(row_offset + rows, (h - 1 - i + ph) // sh + 1)
+        if oy_hi <= oy_lo:
+            continue
+        y0 = oy_lo * sh + i - ph
+        ycnt = oy_hi - oy_lo
+        for j in range(kw):
+            ox_lo = max(0, -((j - pw) // sw))
+            ox_hi = min(ow, (w - 1 - j + pw) // sw + 1)
+            if ox_hi <= ox_lo:
+                continue
+            x0 = ox_lo * sw + j - pw
+            xcnt = ox_hi - ox_lo
+            cols6[:, oy_lo - row_offset:oy_hi - row_offset, ox_lo:ox_hi,
+                  i, j, :] = \
+                data[:,
+                     y0:y0 + (ycnt - 1) * sh + 1:sh,
+                     x0:x0 + (xcnt - 1) * sw + 1:sw, :]
+
+
+def qconv2d_acc_nhwc(q_data: np.ndarray, w_f64: np.ndarray, kernel, stride,
+                     padding, input_zero: int = 0,
+                     workspace: Optional[Workspace] = None) -> np.ndarray:
+    """Exact NHWC conv accumulator (N, oh, ow, out_c) float64.
+
+    ``q_data`` is NHWC int8/uint8; ``w_f64`` the (kh*kw*C, out_c) float64
+    weight pack whose rows follow the NHWC gather order.  Same zero-point
+    and panel-blocking contract as :func:`qconv2d_acc`.
+    """
+    kernel = _pair(kernel)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, h, w, c = q_data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    out_c = w_f64.shape[1]
+    k = kh * kw * c
+    padded = bool(ph or pw)
+    if input_zero:
+        if workspace is not None:
+            src = workspace.get(q_data.shape, np.float64, "qshift_nhwc")
+        else:
+            src = np.empty(q_data.shape, dtype=np.float64)
+        np.subtract(q_data, float(input_zero), out=src, dtype=np.float64)
+    else:
+        src = q_data
+    if workspace is not None:
+        acc = workspace.get((n, oh, ow, out_c), np.float64, "qacc_nhwc")
+    else:
+        acc = np.empty((n, oh, ow, out_c), dtype=np.float64)
+    panel_rows = max(1, min(oh, QGEMM_PANEL_BYTES // max(1, k * ow * 8)))
+    if panel_rows >= oh:
+        shape6 = (n, oh, ow, kh, kw, c)
+        if workspace is not None:
+            tag = f"qcols_nhwc:{h}x{w}:k{kh}x{kw}:s{sh}x{sw}:p{ph}x{pw}"
+            init = (lambda buf: buf.fill(0)) if padded else None
+            cols = workspace.get(shape6, np.float64, tag, init=init)
+        elif padded:
+            cols = np.zeros(shape6, dtype=np.float64)
+        else:
+            cols = np.empty(shape6, dtype=np.float64)
+        _gather_cols_nhwc(src, cols, kernel, stride, padding)
+        np.matmul(cols.reshape(n, oh * ow, k), w_f64,
+                  out=acc.reshape(n, oh * ow, out_c))
+        return acc
+    for r0 in range(0, oh, panel_rows):
+        rows = min(panel_rows, oh - r0)
+        m = rows * ow
+        if workspace is not None:
+            cbuf = workspace.get((n, rows, ow, kh, kw, c), np.float64,
+                                 "qcols_nhwc_panel")
+            pbuf = workspace.get((n, m, out_c), np.float64, "qpanel_nhwc")
+        else:
+            cbuf = np.empty((n, rows, ow, kh, kw, c), dtype=np.float64)
+            pbuf = np.empty((n, m, out_c), dtype=np.float64)
+        if padded:
+            cbuf.fill(0)
+        _gather_cols_nhwc(src, cbuf, kernel, stride, padding, row_offset=r0)
+        np.matmul(cbuf.reshape(n, m, k), w_f64, out=pbuf)
+        acc[:, r0:r0 + rows] = pbuf.reshape(n, rows, ow, out_c)
+    return acc
 
 
 def batchnorm(data: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
@@ -474,6 +900,79 @@ def avgpool2d(data: np.ndarray, kernel, stride=None, padding=0,
     stride = kernel if stride is None else stride
     return _pool2d(data, kernel, stride, padding, np.mean, 0.0,
                    out=out, workspace=workspace)
+
+
+def _pad_into_nhwc(buffer: np.ndarray, data: np.ndarray, ph: int, pw: int,
+                   value: float) -> np.ndarray:
+    h, w = data.shape[1], data.shape[2]
+    buffer[:, :ph, :, :] = value
+    buffer[:, ph + h:, :, :] = value
+    buffer[:, :, :pw, :] = value
+    buffer[:, :, pw + w:, :] = value
+    buffer[:, ph:ph + h, pw:pw + w, :] = data
+    return buffer
+
+
+def _pool2d_nhwc(data: np.ndarray, kernel, stride, padding, reducer,
+                 pad_value: float, out: Optional[np.ndarray] = None,
+                 workspace: Optional[Workspace] = None) -> np.ndarray:
+    """NHWC twin of :func:`_pool2d`.
+
+    The window gather visits kernel offsets in the same ``i*kw + j``
+    order and reduces a last axis of the same length ``kh*kw``, so for
+    every output element numpy performs the identical reduction over the
+    identical value sequence — the result is the NCHW pool's output bits,
+    merely transposed.
+    """
+    kernel = _pair(kernel)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, h, w, c = data.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        if workspace is not None:
+            data = _pad_into_nhwc(
+                workspace.get((n, h + 2 * ph, w + 2 * pw, c), data.dtype,
+                              "pool_pad_nhwc"),
+                data, ph, pw, pad_value)
+        else:
+            data = np.pad(data, ((0, 0), (ph, ph), (pw, pw), (0, 0)),
+                          constant_values=pad_value)
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if workspace is not None:
+        windows = workspace.get((n, oh, ow, c, kh * kw), data.dtype,
+                                "pool_windows_nhwc")
+    else:
+        windows = np.empty((n, oh, ow, c, kh * kw), dtype=data.dtype)
+    idx = 0
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            windows[..., idx] = data[:, i:i_end:sh, j:j_end:sw, :]
+            idx += 1
+    if out is not None:
+        return reducer(windows, axis=-1, out=out)
+    return reducer(windows, axis=-1)
+
+
+def maxpool2d_nhwc(data: np.ndarray, kernel, stride=None, padding=0,
+                   out: Optional[np.ndarray] = None,
+                   workspace: Optional[Workspace] = None) -> np.ndarray:
+    stride = kernel if stride is None else stride
+    return _pool2d_nhwc(data, kernel, stride, padding, np.max, -np.inf,
+                        out=out, workspace=workspace)
+
+
+def avgpool2d_nhwc(data: np.ndarray, kernel, stride=None, padding=0,
+                   out: Optional[np.ndarray] = None,
+                   workspace: Optional[Workspace] = None) -> np.ndarray:
+    stride = kernel if stride is None else stride
+    return _pool2d_nhwc(data, kernel, stride, padding, np.mean, 0.0,
+                        out=out, workspace=workspace)
 
 
 def global_avgpool2d(data: np.ndarray) -> np.ndarray:

@@ -16,7 +16,13 @@ conv filters reshaped into the im2col GEMM layout, fp16 weights cast up
 to the fp32 compute dtype, binary weights packed to a 1-bit bitplane,
 integer weights pre-cast (and, for ``qdense``, pre-transposed — integer
 matmul is exact, so the transposed call form is bitwise-identical), and
-quantized zero-point row-sums folded into a single additive term.  Float
+quantized zero-point row-sums folded into a single additive term.
+Exact-GEMM-eligible quantized nodes (single group, reduction within
+``kernels.EXACT_GEMM_MAX_REDUCE``) instead pack float64 weight matrices
+(``w2_f64``/``wt_f64``, or ``w_nhwc_f64`` for NHWC-layout regions) that
+feed the blocked float64 GEMMs in :mod:`repro.runtime.kernels` — the
+accumulators are exact integers, so these packs are bitwise-identical to
+the int32 forms they replace.  Float
 GEMM weights are deliberately *not* pre-transposed: ``x @ W.T`` and
 ``x @ ascontiguousarray(W.T)`` take different BLAS code paths (NT vs NN)
 whose results differ in the last ulp, and every specialized path must
@@ -67,7 +73,10 @@ KernelFn = Callable[..., List[np.ndarray]]
 
 # Version of the prepack entry layout.  Part of the plan-cache key, so a
 # change to what any prepacker stores invalidates stale cache entries.
-PACK_FORMAT_VERSION = 1
+# v2: quantized packs for exact-GEMM-eligible nodes store float64 weight
+# matrices ("w2_f64"/"wt_f64"/"w_nhwc_f64") instead of int32 tensors,
+# and NHWC-layout convs store the NHWC-ordered pack + row term.
+PACK_FORMAT_VERSION = 2
 
 
 class ExecutionError(RuntimeError):
@@ -110,6 +119,7 @@ class CompiledStep:
     run: KernelFn
     release: Tuple[str, ...]
     shard: Optional[ShardPlan] = None
+    layout: str = "NCHW"
 
 
 @dataclass(frozen=True)
@@ -479,6 +489,11 @@ def _build_bdense(node: Node, specs, pack=None) -> KernelFn:
     return run
 
 
+def _conv_kernel_hw(node: Node, specs) -> Tuple[int, int]:
+    w_spec = specs[node.inputs[1]]
+    return int(w_spec.shape[2]), int(w_spec.shape[3])
+
+
 @_builder("qconv2d")
 def _build_qconv2d(node: Node, specs, pack=None) -> KernelFn:
     attrs = _conv_attrs(node)
@@ -488,6 +503,69 @@ def _build_qconv2d(node: Node, specs, pack=None) -> KernelFn:
     activation = node.attrs.get("activation")
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
+
+    if node.attrs.get("layout") == "NHWC":
+        # Layout-pass region: activations flow NHWC through this node.
+        # Weights are still OIHW initializers; the pack carries the
+        # NHWC-ordered float64 matrix.  Without a pack, semantics are
+        # *defined* by transposing back to the NCHW reference.
+        if pack and "w_nhwc_f64" in pack and (not has_bias or "bias" in pack):
+            w_f64 = pack["w_nhwc_f64"]
+            row_term = pack.get("row_term_nhwc")
+            input_zero = int(input_params.zero_point.ravel()[0])
+            requant = build_requant_plan(
+                input_params, weight_params,
+                pack.get("bias") if has_bias else None, out_params,
+                channel_ndim=4, activation=activation,
+                activation_alpha=alpha, channel_axis=-1)
+            kernel_hw = _conv_kernel_hw(node, specs)
+            stride, padding = attrs["stride"], attrs["padding"]
+
+            def run(args, ctx=None):
+                ws = ctx.workspace if ctx is not None else None
+                acc = kernels.qconv2d_acc_nhwc(
+                    args[0], w_f64, kernel_hw, stride, padding,
+                    input_zero=0 if row_term is not None else input_zero,
+                    workspace=ws)
+                if row_term is not None:
+                    acc -= row_term
+                return [requant(acc)]
+            return run
+
+        def run(args, ctx=None):
+            nchw = np.ascontiguousarray(args[0].transpose(0, 3, 1, 2))
+            out = quantized_conv2d(
+                nchw, input_params, args[1], weight_params,
+                args[2] if has_bias else None, out_params,
+                activation=activation, activation_alpha=alpha, **attrs)
+            return [np.ascontiguousarray(out.transpose(0, 2, 3, 1))]
+        return run
+
+    if pack and "w2_f64" in pack and (not has_bias or "bias" in pack):
+        # Exact blocked-GEMM path: the float64 accumulator holds the same
+        # integers the int32 reference computes (see kernels module
+        # docstring), and the requant plan's first op converts int32 to
+        # float64 anyway — identical bits either way.
+        w2_f64 = pack["w2_f64"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=4, activation=activation, activation_alpha=alpha)
+        kernel_hw = _conv_kernel_hw(node, specs)
+        stride, padding = attrs["stride"], attrs["padding"]
+
+        def run(args, ctx=None):
+            ws = ctx.workspace if ctx is not None else None
+            acc = kernels.qconv2d_acc(
+                args[0], w2_f64, kernel_hw, stride, padding,
+                input_zero=0 if row_term is not None else input_zero,
+                workspace=ws)
+            if row_term is not None:
+                acc -= row_term
+            return [requant(acc)]
+        return run
 
     if pack and "w_int" in pack and (not has_bias or "bias" in pack):
         w_int = pack["w_int"]
@@ -529,6 +607,26 @@ def _build_qdense(node: Node, specs, pack=None) -> KernelFn:
     activation = node.attrs.get("activation")
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
+
+    if pack and "wt_f64" in pack and (not has_bias or "bias" in pack):
+        wt_f64 = pack["wt_f64"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=2, activation=activation, activation_alpha=alpha)
+
+        def run(args, ctx=None):
+            ws = ctx.workspace if ctx is not None else None
+            acc = kernels.qdense_acc(
+                args[0], wt_f64,
+                input_zero=0 if row_term is not None else input_zero,
+                workspace=ws)
+            if row_term is not None:
+                acc -= row_term
+            return [requant(acc)]
+        return run
 
     if pack and "wt_int" in pack and (not has_bias or "bias" in pack):
         wt_int = pack["wt_int"]
@@ -594,25 +692,46 @@ _BUILDERS["mul"] = _build_binop(np.multiply)
 _BUILDERS["maximum"] = _build_binop(np.maximum)
 
 
-def _build_pool(kernel_fn):
+def _build_pool(kernel_fn, kernel_fn_nhwc):
     def build(node: Node, specs, pack=None) -> KernelFn:
         kernel = node.attrs["kernel"]
         stride = node.attrs.get("stride")
         padding = node.attrs.get("padding", 0)
         shape, dtype = _out_spec(node, specs)
+        # NHWC windows reduce the same kh*kw values per output element in
+        # the same gather order, so the pooled bits match the NCHW pool's
+        # output exactly, merely transposed.
+        fn = kernel_fn_nhwc if node.attrs.get("layout") == "NHWC" \
+            else kernel_fn
 
         def run(args, ctx=None):
             if ctx is None:
-                return [kernel_fn(args[0], kernel, stride, padding)]
-            return [kernel_fn(args[0], kernel, stride, padding,
-                              out=ctx.alloc(shape, dtype),
-                              workspace=ctx.workspace)]
+                return [fn(args[0], kernel, stride, padding)]
+            return [fn(args[0], kernel, stride, padding,
+                       out=ctx.alloc(shape, dtype),
+                       workspace=ctx.workspace)]
         return run
     return build
 
 
-_BUILDERS["maxpool2d"] = _build_pool(kernels.maxpool2d)
-_BUILDERS["avgpool2d"] = _build_pool(kernels.avgpool2d)
+_BUILDERS["maxpool2d"] = _build_pool(kernels.maxpool2d,
+                                     kernels.maxpool2d_nhwc)
+_BUILDERS["avgpool2d"] = _build_pool(kernels.avgpool2d,
+                                     kernels.avgpool2d_nhwc)
+
+
+@_builder("transpose")
+def _build_transpose(node: Node, specs, pack=None) -> KernelFn:
+    perm = tuple(int(p) for p in node.attrs["perm"])
+    shape, dtype = _out_spec(node, specs)
+
+    def run(args, ctx=None):
+        if ctx is None:
+            return [np.ascontiguousarray(args[0].transpose(perm))]
+        out = ctx.alloc(shape, dtype)
+        np.copyto(out, args[0].transpose(perm))
+        return [out]
+    return run
 
 
 @_builder("global_avgpool2d")
@@ -773,6 +892,10 @@ def _shard_conv2d(node: Node, specs, pack=None) -> Optional[ShardPlan]:
 
 @_shard_builder("qconv2d")
 def _shard_qconv2d(node: Node, specs, pack=None) -> Optional[ShardPlan]:
+    if node.attrs.get("layout") == "NHWC":
+        # NHWC steps run whole: the exact GEMM already blocks internally
+        # and a batch split would duplicate the panel scratch per worker.
+        return None
     shape, dtype = _out_spec(node, specs)
     if len(shape) != 4 or not _shard_worth(node, specs, shape[0]):
         return None
@@ -783,6 +906,30 @@ def _shard_qconv2d(node: Node, specs, pack=None) -> Optional[ShardPlan]:
     activation = node.attrs.get("activation")
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
+
+    if pack and "w2_f64" in pack and (not has_bias or "bias" in pack):
+        # Exact float64 GEMM on a batch slice: integer accumulation is
+        # exact under any split, so shards reproduce their rows bit for
+        # bit (same argument as the int32 shard below).
+        w2_f64 = pack["w2_f64"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=4, activation=activation, activation_alpha=alpha)
+        kernel_hw = _conv_kernel_hw(node, specs)
+        stride, padding = attrs["stride"], attrs["padding"]
+
+        def run_shard(args, out, lo, hi, workspace=None):
+            acc = kernels.qconv2d_acc(
+                args[0][lo:hi], w2_f64, kernel_hw, stride, padding,
+                input_zero=0 if row_term is not None else input_zero,
+                workspace=workspace)
+            if row_term is not None:
+                acc -= row_term
+            out[lo:hi] = requant(acc)
+        return ShardPlan(int(shape[0]), shape, np.dtype(dtype), run_shard)
 
     if pack and "w_int" in pack and (not has_bias or "bias" in pack):
         # Mirror the prepacked builder on a row slice: the integer conv
@@ -829,7 +976,24 @@ def _shard_qdense(node: Node, specs, pack=None) -> Optional[ShardPlan]:
     alpha = node.attrs.get("activation_alpha")
     has_bias = len(node.inputs) > 2
 
-    if pack and "wt_int" in pack and (not has_bias or "bias" in pack):
+    if pack and "wt_f64" in pack and (not has_bias or "bias" in pack):
+        wt_f64 = pack["wt_f64"]
+        row_term = pack.get("row_term")
+        input_zero = int(input_params.zero_point.ravel()[0])
+        requant = build_requant_plan(
+            input_params, weight_params,
+            pack.get("bias") if has_bias else None, out_params,
+            channel_ndim=2, activation=activation, activation_alpha=alpha)
+
+        def run_shard(args, out, lo, hi, workspace=None):
+            acc = kernels.qdense_acc(
+                args[0][lo:hi], wt_f64,
+                input_zero=0 if row_term is not None else input_zero,
+                workspace=workspace)
+            if row_term is not None:
+                acc -= row_term
+            out[lo:hi] = requant(acc)
+    elif pack and "wt_int" in pack and (not has_bias or "bias" in pack):
         wt_int = pack["wt_int"]
         row_term = pack.get("row_term")
         input_zero = int(input_params.zero_point.ravel()[0])
@@ -953,12 +1117,42 @@ def _prepack_binary(node, graph, specs):
     }
 
 
+def _exact_qconv_eligible(node: Node, q_weight: np.ndarray) -> bool:
+    """Whether the conv may run through the exact float64 blocked GEMM:
+    single-group, reduction narrow enough that every partial sum is an
+    exact integer in float64 *and* matches the int32 reference (which
+    cannot overflow below this width either)."""
+    k = int(np.prod(q_weight.shape[1:]))
+    return (kernels.exact_qgemm_enabled()
+            and int(node.attrs.get("groups", 1)) == 1
+            and k <= kernels.EXACT_GEMM_MAX_REDUCE)
+
+
 @_prepacker("qconv2d")
 def _prepack_qconv2d(node, graph, specs):
     q_weight = _weight_init(node, graph)
     if q_weight is None:
         return None
-    pack = {"w_int": q_weight.astype(np.int32)}
+    layout = node.attrs.get("layout", "NCHW")
+    out_c = q_weight.shape[0]
+    k = int(np.prod(q_weight.shape[1:]))
+    exact = _exact_qconv_eligible(node, q_weight)
+    if layout == "NHWC":
+        if not exact:
+            # The layout pass only tags exact-eligible convs; a stale
+            # tag (e.g. exact GEMM disabled after planning) falls back
+            # to the transposing reference builder, which needs no pack.
+            return None
+        # OIHW -> (kh, kw, in_c, out_c): row index (i*kw + j)*C + ci,
+        # the NHWC column gather order.
+        pack = {"w_nhwc_f64": np.ascontiguousarray(
+            q_weight.transpose(2, 3, 1, 0).reshape(k, out_c)
+            .astype(np.float64))}
+    elif exact:
+        pack = {"w2_f64": np.ascontiguousarray(
+            q_weight.reshape(out_c, k).astype(np.float64))}
+    else:
+        pack = {"w_int": q_weight.astype(np.int32)}
     bias = _bias_init(node, graph)
     if len(node.inputs) > 2:
         if bias is None:
@@ -970,7 +1164,10 @@ def _prepack_qconv2d(node, graph, specs):
         row_term = zero_point_row_term(
             q_weight, _node_qparams(node, "input"), (1, 2, 3))
         if row_term is not None:
-            pack["row_term"] = row_term.reshape(1, -1, 1, 1)
+            if layout == "NHWC":
+                pack["row_term_nhwc"] = row_term.reshape(1, 1, 1, -1)
+            else:
+                pack["row_term"] = row_term.reshape(1, -1, 1, 1)
     return pack
 
 
@@ -980,8 +1177,15 @@ def _prepack_qdense(node, graph, specs):
     if q_weight is None:
         return None
     # Integer matmul is exact, so the pre-transposed contiguous call
-    # form is bitwise-identical to the strided `q @ W.T` it replaces.
-    pack = {"wt_int": np.ascontiguousarray(q_weight.astype(np.int32).T)}
+    # form is bitwise-identical to the strided `q @ W.T` it replaces —
+    # and, within the exact-GEMM reduction bound, so is the float64
+    # BLAS form (see kernels module docstring).
+    if kernels.exact_qgemm_enabled() \
+            and q_weight.shape[1] <= kernels.EXACT_GEMM_MAX_REDUCE:
+        pack = {"wt_f64": np.ascontiguousarray(
+            q_weight.astype(np.float64).T)}
+    else:
+        pack = {"wt_int": np.ascontiguousarray(q_weight.astype(np.int32).T)}
     bias = _bias_init(node, graph)
     if len(node.inputs) > 2:
         if bias is None:
@@ -1065,7 +1269,8 @@ def compile_plan(graph: Graph,
     steps = [
         CompiledStep(node, compile_node(node, specs, packs.get(node.name)),
                      tuple(releases[position]),
-                     shard=build_shard(node, specs, packs.get(node.name)))
+                     shard=build_shard(node, specs, packs.get(node.name)),
+                     layout=str(node.attrs.get("layout", "NCHW")))
         for position, node in enumerate(graph.nodes)
     ]
     if schedule is None or len(schedule.indegree) != len(steps):

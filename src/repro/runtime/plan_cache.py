@@ -69,7 +69,12 @@ ENTRY_FORMAT = "repro-plan"
 # v2: entries persist the dependency-counted PlanSchedule (indegrees,
 # successors, refcounts, levels) consumed by the parallel executor; v1
 # entries miss the version check and are rebuilt in place.
-ENTRY_VERSION = 2
+# v3: steps carry a layout tag (NCHW/NHWC from the layout-planner pass)
+# and prepacked weights use the v2 pack format (float64 exact-GEMM
+# panels, NHWC packs, NHWC row terms).  The pack version is also part of
+# the cache key, so v2 entries both miss the key and fail the version
+# check — either way they are rebuilt and atomically replaced in place.
+ENTRY_VERSION = 3
 
 _META_FILE = "meta.json"
 _BLOB_FILE = "weights.bin"

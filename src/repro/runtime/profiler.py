@@ -35,10 +35,20 @@ class LayerProfile:
     calls: int = 0
     total_seconds: float = 0.0
     output_bytes: int = 0
+    # Analytic work for one call of this node (from the op schema's cost
+    # model); zero when the op has no cost model or specs are missing.
+    macs: int = 0
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.calls if self.calls else 0.0
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Achieved GFLOP/s across profiled calls (2 FLOPs per MAC)."""
+        if not self.total_seconds or not self.macs:
+            return 0.0
+        return 2.0 * self.macs * self.calls / self.total_seconds / 1e9
 
 
 @dataclass
@@ -90,9 +100,12 @@ class ProfileResult:
         for layer in hottest[:top]:
             share = (layer.total_seconds / self.total_seconds * 100
                      if self.total_seconds else 0.0)
+            rate = (f"  {layer.achieved_gflops:6.2f} GFLOP/s"
+                    if layer.macs else "")
             lines.append(
                 f"  {layer.name:<28} {layer.op_type:<16} "
                 f"{layer.mean_seconds * 1e6:9.1f} us/call  {share:5.1f}%"
+                f"{rate}"
             )
         return "\n".join(lines)
 
@@ -118,6 +131,26 @@ class Profiler:
                                  num_threads=num_threads)
         self.graph = graph
 
+    def _node_macs(self, node: Node) -> int:
+        """Analytic MACs for one call of ``node``, 0 when unmodelled."""
+        from ..ir.ops import get_op
+
+        specs = self.executor.specs
+        try:
+            schema = get_op(node.op_type)
+            inputs = [specs[name] for name in node.inputs]
+            outputs = [specs[name] for name in node.outputs]
+            return int(schema.cost(inputs, outputs, node.attrs).macs)
+        except Exception:
+            return 0
+
+    def _new_layers(self) -> Dict[str, LayerProfile]:
+        return {
+            node.name: LayerProfile(node.name, node.op_type,
+                                    macs=self._node_macs(node))
+            for node in self.graph.nodes
+        }
+
     def profile(
         self, feeds: Mapping[str, np.ndarray], runs: int = 3, warmup: int = 1,
     ) -> ProfileResult:
@@ -126,10 +159,7 @@ class Profiler:
             raise ValueError("runs must be >= 1")
         if self.executor.num_threads > 1:
             return self._profile_parallel(feeds, runs, warmup)
-        layers: Dict[str, LayerProfile] = {
-            node.name: LayerProfile(node.name, node.op_type)
-            for node in self.graph.nodes
-        }
+        layers: Dict[str, LayerProfile] = self._new_layers()
         # Tensors whose last consumer is each node: after that node runs
         # (and its outputs are counted), their bytes leave the live set.
         releases = {step.node.name: step.release
@@ -232,10 +262,7 @@ class Profiler:
     def _profile_parallel(self, feeds: Mapping[str, np.ndarray],
                           runs: int, warmup: int) -> ProfileResult:
         executor = self.executor
-        layers: Dict[str, LayerProfile] = {
-            node.name: LayerProfile(node.name, node.op_type)
-            for node in self.graph.nodes
-        }
+        layers: Dict[str, LayerProfile] = self._new_layers()
         sizes = self._tensor_bytes()
         node_out_bytes = {
             node.name: sum(sizes.get(name, 0) for name in node.outputs)

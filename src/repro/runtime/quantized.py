@@ -209,13 +209,22 @@ class RequantPlan:
 
 def requant_multiplier(data_params: QuantParams,
                        weight_params: QuantParams,
-                       channel_ndim: int) -> np.ndarray:
+                       channel_ndim: int,
+                       channel_axis: Optional[int] = None) -> np.ndarray:
     """The combined float rescale ``input_scale * weight_scale``, reshaped
-    to broadcast over a ``channel_ndim``-rank accumulator."""
+    to broadcast over a ``channel_ndim``-rank accumulator.
+
+    ``channel_axis`` names the accumulator's output-channel axis; the
+    default keeps the historical convention (axis 1 for NCHW conv
+    accumulators, last axis for dense).  The layout pass passes ``-1``
+    for NHWC conv accumulators.
+    """
     w_scale = weight_params.scale
     if weight_params.channel_axis is not None:
+        if channel_axis is None:
+            channel_axis = 1 if channel_ndim == 4 else -1
         shape = [1] * channel_ndim
-        shape[1 if channel_ndim == 4 else -1] = -1
+        shape[channel_axis] = -1
         w_scale = w_scale.reshape(shape)
     return float(data_params.scale.ravel()[0]) * w_scale
 
@@ -225,16 +234,32 @@ def build_requant_plan(data_params: QuantParams,
                        bias: Optional[np.ndarray],
                        out_params: QuantParams, channel_ndim: int,
                        activation: Optional[str] = None,
-                       activation_alpha: Optional[float] = None
+                       activation_alpha: Optional[float] = None,
+                       channel_axis: Optional[int] = None
                        ) -> RequantPlan:
-    """Precompute every constant of the requantization step once."""
+    """Precompute every constant of the requantization step once.
+
+    The plan consumes int32 accumulators — or exact float64 accumulators
+    from the blocked quantized GEMMs: int32 -> float64 conversion is
+    exact and the first plan operation multiplies by the float64 combined
+    scale either way, so both accumulator dtypes produce bit-identical
+    outputs.
+
+    ``channel_axis`` (NHWC: ``-1``) positions the per-channel multiplier
+    and bias; NHWC callers must use per-tensor (scalar) output params,
+    which broadcast the same in any layout.
+    """
     from .kernels import resolve_activation
 
     if bias is not None and channel_ndim == 4:
-        bias = bias.reshape(1, -1, 1, 1)
+        if channel_axis in (None, 1):
+            bias = bias.reshape(1, -1, 1, 1)
+        else:
+            bias = bias.reshape(1, 1, 1, -1)
     out_scale, out_zero = out_params.broadcast_for(channel_ndim)
     return RequantPlan(
-        requant_multiplier(data_params, weight_params, channel_ndim),
+        requant_multiplier(data_params, weight_params, channel_ndim,
+                           channel_axis=channel_axis),
         bias,
         resolve_activation(activation, activation_alpha) if activation
         else None,

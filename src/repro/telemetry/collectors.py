@@ -16,6 +16,9 @@ arena                     counters   allocations/allocated_bytes/
                                      large_allocations/reuses/reused_bytes/
                                      releases (``_total``)
                           gauges     pooled_bytes, instances
+kernel workspace          counters   allocations/allocated_bytes/hits
+                                     (``_total``)
+                          gauges     bytes, peak_bytes, instances
 plan cache                counters   hits/misses/stores (``_total``)
 worker pool               counters   tasks_submitted/tasks_completed
                           gauges     workers, tasks_pending
@@ -43,6 +46,7 @@ from typing import Iterable, List
 from .registry import MetricFamily, MetricsRegistry, Sample, get_registry
 
 _arenas: "weakref.WeakSet" = weakref.WeakSet()
+_workspaces: "weakref.WeakSet" = weakref.WeakSet()
 _pools: "weakref.WeakSet" = weakref.WeakSet()
 _plan_caches: "weakref.WeakSet" = weakref.WeakSet()
 _engines: "weakref.WeakSet" = weakref.WeakSet()
@@ -56,6 +60,11 @@ _installed_default = False
 def track_arena(arena) -> None:
     _ensure_default_installed()
     _arenas.add(arena)
+
+
+def track_workspace(workspace) -> None:
+    _ensure_default_installed()
+    _workspaces.add(workspace)
 
 
 def track_pool(pool) -> None:
@@ -100,6 +109,7 @@ def install_runtime_collectors(registry: MetricsRegistry) -> List:
     """
     return [
         registry.register_collector(_collect_arenas),
+        registry.register_collector(_collect_workspaces),
         registry.register_collector(_collect_pools),
         registry.register_collector(_collect_plan_caches),
         registry.register_collector(_collect_engines),
@@ -121,7 +131,7 @@ def _gauge_family(name: str, help: str, value: float) -> MetricFamily:
 
 def _collect_arenas() -> Iterable[MetricFamily]:
     allocations = allocated = large = reuses = reused = releases = 0
-    pooled = instances = 0
+    pooled = instances = outstanding = peak = 0
     for arena in list(_arenas):
         stats = arena.stats
         allocations += stats.allocations
@@ -131,6 +141,8 @@ def _collect_arenas() -> Iterable[MetricFamily]:
         reused += stats.reused_bytes
         releases += stats.releases
         pooled += arena.pooled_bytes()
+        outstanding += stats.outstanding_bytes
+        peak += stats.peak_bytes
         instances += 1
     yield _counter_family(
         "repro_arena_allocations_total",
@@ -155,8 +167,44 @@ def _collect_arenas() -> Iterable[MetricFamily]:
         "repro_arena_pooled_bytes",
         "Bytes currently parked in arena free pools", pooled)
     yield _gauge_family(
+        "repro_arena_outstanding_bytes",
+        "Bytes currently checked out of scratch arenas", outstanding)
+    yield _gauge_family(
+        "repro_arena_peak_bytes",
+        "High-water mark of arena live bytes (outstanding + pooled)",
+        peak)
+    yield _gauge_family(
         "repro_arena_instances",
         "Live scratch arena instances", instances)
+
+
+def _collect_workspaces() -> Iterable[MetricFamily]:
+    allocations = allocated = hits = 0
+    resident = peak = instances = 0
+    for workspace in list(_workspaces):
+        allocations += workspace.allocations
+        allocated += workspace.allocated_bytes
+        hits += workspace.hits
+        resident += workspace.nbytes()
+        peak += workspace.peak_bytes
+        instances += 1
+    yield _counter_family(
+        "repro_workspace_allocations_total",
+        "Scratch buffers created by kernel workspaces", allocations)
+    yield _counter_family(
+        "repro_workspace_allocated_bytes_total",
+        "Bytes allocated for kernel workspace scratch buffers", allocated)
+    yield _counter_family(
+        "repro_workspace_hits_total",
+        "Workspace buffer requests served by an existing buffer", hits)
+    yield _gauge_family(
+        "repro_workspace_bytes",
+        "Bytes currently resident in kernel workspaces", resident)
+    yield _gauge_family(
+        "repro_workspace_peak_bytes",
+        "Summed per-workspace high-water scratch bytes", peak)
+    yield _gauge_family(
+        "repro_workspace_instances", "Live kernel workspaces", instances)
 
 
 def _collect_pools() -> Iterable[MetricFamily]:
