@@ -92,6 +92,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               f"{'mJ/inf':>9}{'fps':>8}")
     if measured:
         header += f"{'host fps':>10}"
+    if args.slo_ms is not None:
+        header += f"{'slo':>6}"
     print(header)
     for batch in batches:
         prediction = model.predict(graph, batch=batch, dtype=dtype)
@@ -103,6 +105,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 f"{prediction.fps:>8.1f}")
         if measured:
             line += f"{_measured_fps(graph, batch, args.repeat):>10.1f}"
+        if args.slo_ms is not None:
+            meets = prediction.latency_s * 1e3 <= args.slo_ms
+            line += f"{'ok' if meets else 'MISS':>6}"
         print(line)
     return 0
 
@@ -206,6 +211,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     graph = build_model(args.model, **kwargs)
     if args.replicas:
         return _serve_bench_replicas(args, graph)
+    if args.trace:
+        return _serve_bench_trace(args, graph)
     configs = []
     for raw in args.configs:
         try:
@@ -233,6 +240,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"chrome trace with {len(events)} events "
               f"({tracer.sampled_count} sampled requests) written to "
               f"{args.trace_out}")
+    return 0
+
+
+def _serve_bench_trace(args: argparse.Namespace, graph) -> int:
+    """Open-loop trace replay: ``serve-bench --trace bursty --slo-ms 25``.
+
+    Replays a deterministic arrival trace against the fixed-knob and/or
+    SLO-aware adaptive engine and reports per-mode goodput, shedding,
+    and admitted-request percentiles.  With neither ``--adaptive`` nor
+    ``--no-adaptive`` both modes run, so the table is the comparison.
+    """
+    from .serving import make_trace, render_trace_replay, run_trace_replay
+
+    arrivals = make_trace(args.trace, rate_rps=args.rate,
+                          duration_s=args.duration, seed=args.seed)
+    modes = [args.adaptive] if args.adaptive is not None else [False, True]
+    rows = []
+    for adaptive in modes:
+        rows.append(run_trace_replay(
+            graph, arrivals, slo_ms=args.slo_ms, trace_name=args.trace,
+            adaptive=adaptive, max_batch=args.max_batch,
+            max_latency_ms=args.max_latency_ms,
+            num_threads=args.num_threads, warmup=args.warmup))
+    print(render_trace_replay(rows, name=args.model))
     return 0
 
 
@@ -277,7 +308,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .runtime.plan_cache import PlanCache
     from .serving import InferenceEngine
     from .serving.bench import sample_feeds
-    from .telemetry import registry_to_json, render_prometheus
+    from .telemetry import (
+        registry_to_json,
+        render_prometheus,
+        render_summary,
+    )
 
     graph = build_model(args.model)
     feeds = sample_feeds(graph)
@@ -290,6 +325,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             # Scrape while the engine (and its queue gauge) is live.
             if args.format == "json":
                 payload = json.dumps(registry_to_json(), indent=2)
+            elif args.format == "summary":
+                payload = render_summary()
             else:
                 payload = render_prometheus()
     if args.output:
@@ -440,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--batch", type=int, default=None,
                         help="predict a single batch size (overrides "
                              "--batches)")
+    p_pred.add_argument("--slo-ms", type=float, default=None,
+                        help="mark each batch size ok/MISS against this "
+                             "per-inference latency SLO (the static "
+                             "counterpart of serve-bench --slo-ms)")
     p_pred.add_argument("--repeat", type=int, default=0,
                         help="also measure host throughput over K "
                              "arena-backed runs per batch size")
@@ -520,6 +561,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-inflight", type=int, default=2,
                          help="admission-control budget: batches in "
                               "flight per replica (--replicas mode)")
+    p_serve.add_argument("--trace", default=None,
+                         choices=("bursty", "diurnal", "poisson"),
+                         help="replay a deterministic open-loop arrival "
+                              "trace (SLO-aware mode) instead of the "
+                              "closed-loop sweep")
+    p_serve.add_argument("--slo-ms", type=float, default=25.0,
+                         help="per-request completion SLO for --trace "
+                              "replay (default 25)")
+    p_serve.add_argument("--rate", type=float, default=2000.0,
+                         help="mean arrival rate for --trace (req/s, "
+                              "default 2000)")
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="trace length in seconds (default 2)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="trace arrival-process seed")
+    p_serve.add_argument("--adaptive", default=None,
+                         action=argparse.BooleanOptionalAction,
+                         help="run only the adaptive (or with "
+                              "--no-adaptive, only the fixed-knob) "
+                              "engine in --trace replay; default runs "
+                              "both and prints the comparison")
     p_serve.add_argument("--cache-dir", default=None,
                          help="plan-cache directory shared by the "
                               "replica processes (default: "
@@ -535,10 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--requests", type=int, default=32)
     p_metrics.add_argument("--max-batch", type=int, default=8)
     p_metrics.add_argument("--num-threads", type=int, default=None)
-    p_metrics.add_argument("--format", choices=("prom", "json"),
+    p_metrics.add_argument("--format", choices=("prom", "json", "summary"),
                            default="prom",
-                           help="Prometheus text exposition (default) "
-                                "or JSON snapshot")
+                           help="Prometheus text exposition (default), "
+                                "JSON snapshot, or a fixed-width "
+                                "summary with interpolated p50/p95/p99 "
+                                "columns for every histogram")
     p_metrics.add_argument("--output", default=None, metavar="PATH",
                            help="write to a file instead of stdout")
     p_metrics.add_argument("--cache-dir", default=None,

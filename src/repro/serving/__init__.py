@@ -1,17 +1,32 @@
 """Serving layer: dynamic micro-batching over pooled execution plans,
 plus the multi-process replica tier for multi-core scale."""
 
-from .batcher import BatchQueue, InferenceRequest, QueueClosedError
+from .batcher import (
+    BatchQueue,
+    InferenceRequest,
+    QueueClosedError,
+    RequestShedError,
+)
 from .bench import (
     BenchResult,
     ReplicaBenchResult,
+    TraceReplayResult,
+    make_trace,
     render,
     render_replicas,
+    render_trace_replay,
     run_bench,
     run_replica_bench,
+    run_trace_replay,
     sample_feeds,
 )
-from .engine import EngineClosedError, InferenceEngine, check_sample
+from .engine import (
+    EngineClosedError,
+    InferenceEngine,
+    ShedPolicy,
+    check_sample,
+)
+from .latency_model import BatchLatencyModel
 from .metrics import MetricsRecorder, MetricsSnapshot, percentile
 from .replicas import (
     ReplicaCrashError,
@@ -23,9 +38,13 @@ from .replicas import (
 
 __all__ = [
     "BatchQueue", "InferenceRequest", "QueueClosedError",
-    "BenchResult", "ReplicaBenchResult", "render", "render_replicas",
-    "run_bench", "run_replica_bench", "sample_feeds",
-    "EngineClosedError", "InferenceEngine", "check_sample",
+    "RequestShedError",
+    "BenchResult", "ReplicaBenchResult", "TraceReplayResult",
+    "make_trace", "render", "render_replicas", "render_trace_replay",
+    "run_bench", "run_replica_bench", "run_trace_replay",
+    "sample_feeds",
+    "EngineClosedError", "InferenceEngine", "ShedPolicy",
+    "check_sample", "BatchLatencyModel",
     "MetricsRecorder", "MetricsSnapshot", "percentile",
     "ReplicaCrashError", "ReplicaEngine", "ReplicaError",
     "ReplicaStats", "TierSaturatedError",

@@ -37,16 +37,46 @@ from ..runtime.parallel import get_pool, resolve_num_threads
 from ..runtime.plan import ExecutionPlan, compile_plan
 from ..telemetry import collectors as _telemetry
 from ..telemetry.tracing import RequestTrace, Tracer
-from .batcher import BatchQueue, InferenceRequest, QueueClosedError
+from .batcher import (
+    BatchQueue,
+    InferenceRequest,
+    QueueClosedError,
+    RequestShedError,
+)
+from .latency_model import BatchLatencyModel, model_path
 from .metrics import MetricsRecorder, MetricsSnapshot
 
 import time
+
+from dataclasses import dataclass
 
 logger = logging.getLogger("repro.serving")
 
 
 class EngineClosedError(RuntimeError):
     """Raised when submitting to an engine that has been shut down."""
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """When and what the engine sheds instead of queueing.
+
+    ``queue_limit`` bounds the batch queue: an arrival past it evicts
+    the youngest lowest-priority queued request if the arrival outranks
+    it, else the arrival itself is shed (both with
+    :class:`RequestShedError`).  ``miss_rate_threshold`` arms a
+    windowed circuit breaker: once the recorder's miss rate (failures +
+    sheds + deadline misses over recent requests) reaches it, arriving
+    requests with ``priority <= shed_priority`` are shed at admission —
+    the lowest classes brown out first while higher classes keep their
+    SLO.  The breaker only arms after ``min_events`` requests so a cold
+    engine is never judged on two data points.
+    """
+
+    queue_limit: Optional[int] = None
+    miss_rate_threshold: Optional[float] = None
+    shed_priority: int = 0
+    min_events: int = 32
 
 
 def check_sample(input_specs: Mapping[str, "object"],
@@ -125,6 +155,32 @@ class InferenceEngine:
         this many milliseconds is logged on the ``repro.serving`` logger
         (with its phase decomposition when traced) and counted in
         ``repro_serving_slow_requests_total``.
+    adaptive
+        Enable SLO-aware adaptive batching: the engine fits an online
+        :class:`repro.serving.latency_model.BatchLatencyModel` from its
+        own execute timings and the queue assembles the largest batch
+        whose predicted completion still meets the tightest in-queue
+        deadline (falling back to the fixed knobs while the model is
+        cold).  Requests whose deadline is predicted unmeetable even at
+        batch 1 are shed with :class:`RequestShedError`.  With a
+        ``plan_cache`` attached the model is persisted next to the plan
+        entry, so a restarted engine starts calibrated.
+    default_slo_ms
+        Deadline assigned to requests that do not pass ``slo_ms``
+        explicitly (None: such requests are best-effort and never miss).
+    shed_policy
+        A :class:`ShedPolicy` arming queue-bound eviction and the
+        windowed miss-rate admission breaker.
+    latency_model
+        Inject a pre-built/shared :class:`BatchLatencyModel` (tests,
+        cross-engine calibration); default builds or loads one when
+        ``adaptive`` is set.
+    headroom_ms
+        Scheduling slack the adaptive assembly reserves on every
+        deadline comparison (dispatch/finalize overhead the execute
+        cost model does not see).  Raise it to trade goodput for a
+        tighter admitted-request tail; a useful rule of thumb is
+        10-20% of the SLO.
     """
 
     def __init__(self, graph: Graph, workers: int = 1, max_batch: int = 8,
@@ -134,7 +190,12 @@ class InferenceEngine:
                  prewarm: bool = False,
                  num_threads: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
-                 slow_request_ms: Optional[float] = None) -> None:
+                 slow_request_ms: Optional[float] = None,
+                 adaptive: bool = False,
+                 default_slo_ms: Optional[float] = None,
+                 shed_policy: Optional[ShedPolicy] = None,
+                 latency_model: Optional[BatchLatencyModel] = None,
+                 headroom_ms: float = 0.5) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.template = graph.with_batch(1)
@@ -147,8 +208,36 @@ class InferenceEngine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._input_specs = {spec.name: spec for spec in self.template.inputs}
-        self.queue = BatchQueue(max_batch=max_batch,
-                                max_latency_s=max_latency_ms / 1e3)
+        self.adaptive = bool(adaptive)
+        self.default_slo_ms = (float(default_slo_ms)
+                               if default_slo_ms is not None else None)
+        self.shed_policy = shed_policy
+        self.latency_model = latency_model
+        self._latency_model_path = None
+        if self.adaptive and self.latency_model is None:
+            if plan_cache is not None:
+                # Warm starts begin calibrated: the model is keyed and
+                # stored alongside the plan-cache entry it timed.
+                key = plan_cache.key_for(self.template, aot_config)
+                self._latency_model_path = model_path(
+                    plan_cache.directory, key)
+                self.latency_model = BatchLatencyModel.load(
+                    self._latency_model_path)
+            if self.latency_model is None:
+                self.latency_model = BatchLatencyModel()
+        needs_shed = self.adaptive or (
+            shed_policy is not None and (
+                shed_policy.queue_limit is not None
+                or shed_policy.miss_rate_threshold is not None))
+        self.queue = BatchQueue(
+            max_batch=max_batch,
+            max_latency_s=max_latency_ms / 1e3,
+            cost_model=(self.latency_model.predict
+                        if self.adaptive else None),
+            on_shed=self._shed_request if needs_shed else None,
+            queue_limit=(shed_policy.queue_limit
+                         if shed_policy is not None else None),
+            headroom_s=headroom_ms / 1e3)
         self.recorder = MetricsRecorder()
         self.tracer = tracer if tracer is not None and tracer.enabled \
             else None
@@ -185,12 +274,38 @@ class InferenceEngine:
 
     # -- public API ----------------------------------------------------------
 
-    def infer(self, feeds: Mapping[str, np.ndarray]) -> "Future":
+    def infer(self, feeds: Mapping[str, np.ndarray],
+              slo_ms: Optional[float] = None,
+              priority: int = 0) -> "Future":
         """Submit one sample (leading batch axis 1); returns a Future
-        resolving to a dict of output name -> array."""
+        resolving to a dict of output name -> array.
+
+        ``slo_ms`` attaches a completion deadline this many ms from now
+        (default: the engine's ``default_slo_ms``); the adaptive batcher
+        sizes batches so predicted completion meets the tightest queued
+        deadline, and sheds requests it predicts will miss anyway.
+        ``priority`` orders service and shedding (higher serves first,
+        sheds last).  The future may fail with
+        :class:`RequestShedError` when the request is shed.
+        """
         if self._closed:
             raise EngineClosedError("engine is closed")
-        request = InferenceRequest(feeds=self._check_sample(feeds))
+        request = InferenceRequest(feeds=self._check_sample(feeds),
+                                   priority=int(priority))
+        if slo_ms is None:
+            slo_ms = self.default_slo_ms
+        if slo_ms is not None:
+            request.deadline_s = request.enqueued_at + slo_ms / 1e3
+        policy = self.shed_policy
+        if policy is not None and \
+                policy.miss_rate_threshold is not None and \
+                request.priority <= policy.shed_priority and \
+                self.recorder.window_events() >= policy.min_events and \
+                self.recorder.miss_rate() >= policy.miss_rate_threshold:
+            # The breaker is open: fail fast with the typed shed error
+            # instead of queueing work the window says will go bad.
+            self._shed_request(request)
+            return request.future
         if self.tracer is not None and self.tracer.sample():
             trace = RequestTrace(self.template.name or "request")
             trace.mark("enqueued")
@@ -204,14 +319,19 @@ class InferenceEngine:
         return request.future
 
     def infer_sync(self, feeds: Mapping[str, np.ndarray],
-                   timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
-        return self.infer(feeds).result(timeout=timeout)
+                   timeout: Optional[float] = None,
+                   slo_ms: Optional[float] = None,
+                   priority: int = 0) -> Dict[str, np.ndarray]:
+        return self.infer(feeds, slo_ms=slo_ms,
+                          priority=priority).result(timeout=timeout)
 
     def infer_many(self, samples: Sequence[Mapping[str, np.ndarray]],
-                   timeout: Optional[float] = None
-                   ) -> List[Dict[str, np.ndarray]]:
+                   timeout: Optional[float] = None,
+                   slo_ms: Optional[float] = None,
+                   priority: int = 0) -> List[Dict[str, np.ndarray]]:
         """Submit a burst of samples and wait for all results in order."""
-        futures = [self.infer(sample) for sample in samples]
+        futures = [self.infer(sample, slo_ms=slo_ms, priority=priority)
+                   for sample in samples]
         return [future.result(timeout=timeout) for future in futures]
 
     def metrics(self) -> MetricsSnapshot:
@@ -268,6 +388,16 @@ class InferenceEngine:
             acquired += 1
         for _ in range(acquired):
             self._slots.release()
+        if self._latency_model_path is not None and \
+                self.latency_model is not None and \
+                self.latency_model.observations > 0:
+            # Persist the calibration next to the plan-cache entry so
+            # the next engine on this model starts warm.
+            try:
+                self.latency_model.save(self._latency_model_path)
+            except OSError as exc:
+                logger.warning("could not persist latency model to %s: "
+                               "%s", self._latency_model_path, exc)
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -280,6 +410,22 @@ class InferenceEngine:
     def _check_sample(self, feeds: Mapping[str, np.ndarray]
                       ) -> Dict[str, np.ndarray]:
         return check_sample(self._input_specs, feeds)
+
+    def _shed_request(self, request: InferenceRequest) -> None:
+        """Fail one request with the typed shed error and record it."""
+        self.recorder.record_shed(1)
+        if not request.future.done():
+            deadline_note = ""
+            if request.deadline_s is not None:
+                remaining_ms = (request.deadline_s
+                                - time.monotonic()) * 1e3
+                deadline_note = (f" ({remaining_ms:.1f} ms of SLO "
+                                 f"budget left)")
+            request.future.set_exception(RequestShedError(
+                f"request shed by SLO-aware admission control"
+                f"{deadline_note}; retry with backoff or lower load"))
+        if request.trace is not None:
+            self._finish_traces([request.trace], failed=True)
 
     def _fail_batch(self, requests: List[InferenceRequest],
                     exc: BaseException, traces: Sequence = ()) -> None:
@@ -376,6 +522,8 @@ class InferenceEngine:
         for trace in traces:
             trace.batch_size = size
             trace.mark("task_start")
+        task_t0 = time.perf_counter() if self.latency_model is not None \
+            else 0.0
         try:
             executor = self._checkout(size)
             try:
@@ -417,10 +565,22 @@ class InferenceEngine:
         except BaseException as exc:
             self._fail_batch(requests, exc, traces=traces)
             return
+        if self.latency_model is not None:
+            # The model predicts task-start-to-results time (assembly +
+            # execute + finalize): exactly the interval the assembly
+            # policy adds to "now" when it asks whether a batch of n
+            # makes a deadline.
+            self.latency_model.observe(
+                size, time.perf_counter() - task_t0)
         completed = time.monotonic()
         latencies = [completed - request.enqueued_at
                      for request in requests]
-        self.recorder.record_batch(size, latencies)
+        slo_misses = sum(
+            1 for request in requests
+            if request.deadline_s is not None
+            and completed > request.deadline_s)
+        self.recorder.record_batch(size, latencies,
+                                   slo_misses=slo_misses)
         for request, result in zip(requests, results):
             request.future.set_result(result)
         for trace in traces:

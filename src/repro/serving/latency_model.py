@@ -1,0 +1,309 @@
+"""Online per-batch-size execute-latency models for SLO-aware batching.
+
+The adaptive batcher needs one question answered cheaply and
+continuously: *if I dispatch a batch of n right now, when will it
+finish?*  This module fits that predictor from the engine's own
+recorded execute timings:
+
+* every executed batch contributes one ``(batch_size, execute_seconds)``
+  observation into a per-size fixed log-bucket histogram (the telemetry
+  layer's :func:`repro.telemetry.registry.log_buckets` scheme, finer
+  grained here) — O(1) per batch, no unbounded sample lists;
+* the per-size **quantile** (default p90, interpolated within buckets by
+  :func:`repro.telemetry.registry.quantile_from_buckets`) forms the
+  calibration points: using an upper quantile instead of the mean bakes
+  percentile inflation into the fit, so predictions track what a p99 SLO
+  cares about, not the happy path;
+* a robust linear model ``t(n) = a + b * n`` is fitted through those
+  points with the Theil–Sen estimator (median of pairwise slopes —
+  a single garbage-collection-mangled timing cannot steer the fit),
+  refreshed lazily after every ``refit_interval`` observations;
+* predictions carry a multiplicative safety ``margin`` on top, and the
+  model reports itself *cold* (``predict`` returns None) until it has
+  seen enough samples — the batcher falls back to the fixed-knob timer
+  policy until the model warms up.
+
+Persistence: :meth:`to_dict` / :meth:`from_dict` round-trip the bucket
+counts as JSON.  The engine stores the model next to the persistent plan
+cache (``<cache-dir>/latency/<plan-key>.json``), so a restarted engine
+begins calibrated instead of re-learning the hardware from scratch —
+the warm-start story of the plan cache, extended to timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..telemetry.registry import log_buckets, quantile_from_buckets
+
+FORMAT_VERSION = 1
+
+# Finer-than-telemetry bounds: 2 us .. ~8.7 s in x1.41 steps, so
+# within-bucket interpolation resolves sub-millisecond differences the
+# batch-size decision actually hinges on.
+LATENCY_BOUNDS: Tuple[float, ...] = log_buckets(2e-6, 2.0 ** 0.5, 45)
+
+
+class _SizeHistogram:
+    """Bucket counts + count/sum for one batch size (not thread-safe;
+    the owning model serializes access)."""
+
+    __slots__ = ("counts", "count", "sum")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(LATENCY_BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in LATENCY_BOUNDS:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        return quantile_from_buckets(LATENCY_BOUNDS, self.counts, q)
+
+
+class BatchLatencyModel:
+    """Robust online fit of execute latency versus batch size.
+
+    Parameters
+    ----------
+    quantile
+        Which per-size latency quantile the line is fitted through
+        (percentile inflation: 0.9 by default).
+    margin
+        Multiplicative safety factor applied to every prediction.
+    min_samples
+        Observations a batch size needs before it contributes a
+        calibration point (and before the model counts as warm).
+    refit_interval
+        Observations between lazy refits of the (a, b) line.
+    """
+
+    def __init__(self, quantile: float = 0.9, margin: float = 1.2,
+                 min_samples: int = 5, refit_interval: int = 32) -> None:
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be within (0, 1]")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1.0")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.quantile = float(quantile)
+        self.margin = float(margin)
+        self.min_samples = int(min_samples)
+        self.refit_interval = max(1, int(refit_interval))
+        self._lock = threading.Lock()
+        self._sizes: Dict[int, _SizeHistogram] = {}
+        self._observations = 0
+        self._since_refit = 0
+        self._coeffs: Optional[Tuple[float, float]] = None   # (a, b)
+        self._dirty = False
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, batch_size: int, execute_s: float) -> None:
+        """Record one executed batch's plan-run duration."""
+        if batch_size < 1 or execute_s < 0 or execute_s != execute_s:
+            return                                    # NaN/garbage guard
+        with self._lock:
+            hist = self._sizes.get(batch_size)
+            if hist is None:
+                hist = self._sizes[batch_size] = _SizeHistogram()
+            hist.observe(execute_s)
+            self._observations += 1
+            self._since_refit += 1
+            if self._since_refit >= self.refit_interval or \
+                    self._coeffs is None:
+                self._dirty = True
+                self._since_refit = 0
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return self._observations
+
+    def warm(self) -> bool:
+        """True once at least one batch size has ``min_samples``."""
+        with self._lock:
+            return any(h.count >= self.min_samples
+                       for h in self._sizes.values())
+
+    # -- fitting -------------------------------------------------------------
+
+    def _calibration_points(self) -> List[Tuple[int, float]]:
+        """(batch size, inflated latency) points; lock must be held."""
+        return sorted(
+            (size, hist.quantile(self.quantile))
+            for size, hist in self._sizes.items()
+            if hist.count >= self.min_samples)
+
+    @staticmethod
+    def _theil_sen(points: List[Tuple[int, float]]
+                   ) -> Tuple[float, float]:
+        """Median-of-pairwise-slopes line through >= 2 points."""
+        slopes = [
+            (y2 - y1) / (x2 - x1)
+            for i, (x1, y1) in enumerate(points)
+            for (x2, y2) in points[i + 1:]
+            if x2 != x1
+        ]
+        slopes.sort()
+        mid = len(slopes) // 2
+        slope = slopes[mid] if len(slopes) % 2 else \
+            0.5 * (slopes[mid - 1] + slopes[mid])
+        slope = max(0.0, slope)            # latency never shrinks with n
+        intercepts = sorted(y - slope * x for x, y in points)
+        mid = len(intercepts) // 2
+        intercept = intercepts[mid] if len(intercepts) % 2 else \
+            0.5 * (intercepts[mid - 1] + intercepts[mid])
+        return max(0.0, intercept), slope
+
+    def _refit(self) -> None:
+        """Recompute (a, b); lock must be held."""
+        points = self._calibration_points()
+        if not points:
+            self._coeffs = None
+        elif len(points) == 1:
+            # One calibrated size: flat up to it, scale linearly past it
+            # (conservative — no evidence batching is cheaper than
+            # proportional).
+            size, latency = points[0]
+            self._coeffs = (0.0, latency / size) if size > 0 \
+                else (latency, 0.0)
+        else:
+            self._coeffs = self._theil_sen(points)
+        self._dirty = False
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(self, batch_size: int) -> Optional[float]:
+        """Predicted execute seconds for a batch of ``batch_size``
+        (margin included), or None while the model is cold."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        with self._lock:
+            if self._dirty:
+                self._refit()
+            if self._coeffs is None:
+                return None
+            a, b = self._coeffs
+            return (a + b * batch_size) * self.margin
+
+    def coefficients(self) -> Optional[Tuple[float, float]]:
+        """Current (intercept, slope) in seconds, margin excluded."""
+        with self._lock:
+            if self._dirty:
+                self._refit()
+            return self._coeffs
+
+    def snapshot(self) -> Dict[str, object]:
+        """Debug/metrics view: per-size sample counts and quantiles."""
+        with self._lock:
+            if self._dirty:
+                self._refit()
+            coeffs = self._coeffs
+            sizes = {
+                size: {"count": hist.count,
+                       "mean_ms": hist.sum / hist.count * 1e3
+                       if hist.count else 0.0,
+                       f"p{int(self.quantile * 100)}_ms":
+                       hist.quantile(self.quantile) * 1e3}
+                for size, hist in sorted(self._sizes.items())
+            }
+        return {
+            "observations": self._observations,
+            "intercept_ms": coeffs[0] * 1e3 if coeffs else None,
+            "slope_ms_per_sample": coeffs[1] * 1e3 if coeffs else None,
+            "margin": self.margin,
+            "sizes": sizes,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "version": FORMAT_VERSION,
+                "quantile": self.quantile,
+                "margin": self.margin,
+                "min_samples": self.min_samples,
+                "bounds": list(LATENCY_BOUNDS),
+                "sizes": {
+                    str(size): {"counts": list(hist.counts),
+                                "count": hist.count, "sum": hist.sum}
+                    for size, hist in self._sizes.items()
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BatchLatencyModel":
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported latency-model version {payload.get('version')}")
+        if list(payload.get("bounds", [])) != list(LATENCY_BOUNDS):
+            # Bucket scheme changed between releases: the counts are
+            # meaningless under the new bounds — start cold.
+            raise ValueError("latency-model bucket bounds mismatch")
+        model = cls(quantile=float(payload.get("quantile", 0.9)),
+                    margin=float(payload.get("margin", 1.2)),
+                    min_samples=int(payload.get("min_samples", 5)))
+        for key, entry in dict(payload.get("sizes", {})).items():
+            size = int(key)
+            counts = [int(c) for c in entry["counts"]]
+            if len(counts) != len(LATENCY_BOUNDS) + 1 or \
+                    any(c < 0 for c in counts):
+                raise ValueError("corrupt latency-model bucket counts")
+            hist = _SizeHistogram()
+            hist.counts = counts
+            hist.count = int(entry["count"])
+            hist.sum = float(entry["sum"])
+            model._sizes[size] = hist
+            model._observations += hist.count
+        model._dirty = True
+        return model
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically persist the model as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp = tempfile.mkstemp(dir=str(path.parent),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(self.to_dict(), stream)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> Optional["BatchLatencyModel"]:
+        """Load a persisted model; None when absent or unreadable (a
+        corrupt calibration file must never stop an engine from
+        starting — it just starts cold)."""
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+            return cls.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+def model_path(cache_dir: Union[str, Path], key: str) -> Path:
+    """Where a plan-cache-keyed latency model lives on disk."""
+    return Path(cache_dir) / "latency" / f"{key}.json"

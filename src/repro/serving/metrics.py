@@ -62,6 +62,17 @@ class MetricsSnapshot:
     lifetime_rps: float = 0.0
     # Windowed share of failed requests among recent completions.
     failure_rate: float = 0.0
+    # SLO accounting (all zero for engines serving no-deadline traffic):
+    # requests shed before execution, completed requests that missed
+    # their deadline, and the windowed rate of SLO-met completions
+    # (goodput) next to the raw throughput above.
+    shed: int = 0
+    slo_misses: int = 0
+    goodput_rps: float = 0.0
+    # Windowed share of bad outcomes (failures + sheds + deadline
+    # misses) among recent completions — the signal the load-shedding
+    # admission controller keys on.
+    miss_rate: float = 0.0
     # Allocation behaviour aggregated over the engine's plan instances:
     # a warmed-up engine shows flat allocation counts and growing reuses.
     arena_allocations: int = 0
@@ -82,6 +93,8 @@ class MetricsSnapshot:
             f"{self.lifetime_rps:.1f} lifetime), {self.batches} batches, "
             f"{self.failures} failed "
             f"({self.failure_rate * 100:.1f}% of window), "
+            f"{self.shed} shed, {self.slo_misses} SLO misses "
+            f"({self.goodput_rps:.1f} goodput req/s), "
             f"queue depth {self.queue_depth}",
             f"latency p50 {self.p50_ms:.2f} ms, p95 {self.p95_ms:.2f} ms, "
             f"p99 {self.p99_ms:.2f} ms",
@@ -100,6 +113,8 @@ class _Counters:
     requests: int = 0
     batches: int = 0
     failures: int = 0
+    shed: int = 0
+    slo_misses: int = 0
     batch_histogram: Dict[int, int] = field(default_factory=dict)
 
 
@@ -117,10 +132,13 @@ class MetricsRecorder:
         self._clock = clock
         self._counters = _Counters()
         self._latencies: Deque[float] = deque(maxlen=window)
-        # Completion/failure timestamp streams backing the windowed
-        # throughput and failure-rate computations.
+        # Completion/failure/shed/SLO-met timestamp streams backing the
+        # windowed throughput, failure-rate, goodput, and miss-rate
+        # computations.
         self._completions: Deque[float] = deque(maxlen=window)
         self._failure_times: Deque[float] = deque(maxlen=window)
+        self._shed_times: Deque[float] = deque(maxlen=window)
+        self._good_times: Deque[float] = deque(maxlen=window)
         self._started_at = clock()
         registry = registry or get_registry()
         self._latency_hist = registry.histogram(
@@ -130,19 +148,37 @@ class MetricsRecorder:
             "repro_serving_batch_size",
             "Executed batch sizes", buckets=DEFAULT_SIZE_BUCKETS)
 
-    def record_batch(self, batch_size: int, latencies_s) -> None:
+    def record_batch(self, batch_size: int, latencies_s,
+                     slo_misses: int = 0) -> None:
+        """Record one executed batch.
+
+        ``slo_misses`` counts the requests in the batch that completed
+        *after* their deadline; the rest (including no-deadline
+        requests, which cannot miss) enter the goodput window.
+        """
         latencies_s = list(latencies_s)
         now = self._clock()
+        slo_misses = max(0, min(int(slo_misses), batch_size))
         with self._lock:
             self._counters.requests += batch_size
             self._counters.batches += 1
+            self._counters.slo_misses += slo_misses
             histogram = self._counters.batch_histogram
             histogram[batch_size] = histogram.get(batch_size, 0) + 1
             self._latencies.extend(latencies_s)
             self._completions.extend([now] * batch_size)
+            self._good_times.extend([now] * (batch_size - slo_misses))
         for latency in latencies_s:
             self._latency_hist.observe(latency)
         self._batch_hist.observe(batch_size)
+
+    def record_shed(self, count: int = 1) -> None:
+        """Record ``count`` requests shed before execution (early,
+        typed rejections — not failures, not completions)."""
+        now = self._clock()
+        with self._lock:
+            self._counters.shed += count
+            self._shed_times.extend([now] * count)
 
     def record_failure(self, count: int, latencies_s=None) -> None:
         """Record ``count`` failed requests.
@@ -167,25 +203,43 @@ class MetricsRecorder:
             self._latency_hist.observe(latency)
 
     def _windowed_rates(self, now: float, lifetime_rps: float):
-        """(windowed rps, windowed failure rate); lock must be held."""
+        """(windowed rps, failure rate, goodput rps, miss rate); lock
+        must be held."""
         completions = self._completions
         failures = self._failure_times
-        events = len(completions) + len(failures)
-        oldest = None
-        if completions:
-            oldest = completions[0]
-        if failures:
-            oldest = failures[0] if oldest is None \
-                else min(oldest, failures[0])
+        sheds = self._shed_times
+        events = len(completions) + len(failures) + len(sheds)
+        oldest = min((stream[0] for stream in
+                      (completions, failures, sheds) if stream),
+                     default=None)
         if oldest is None:
-            return 0.0, 0.0
+            return 0.0, 0.0, 0.0, 0.0
         span = now - oldest
         # A burst finishing within clock resolution has no measurable
         # span; fall back to the lifetime average rather than report 0
         # or infinity.
         rps = (len(completions) / span) if span > 0 else lifetime_rps
-        rate = len(failures) / events if events else 0.0
-        return rps, rate
+        goodput = (len(self._good_times) / span) if span > 0 else rps
+        failure_rate = len(failures) / events if events else 0.0
+        # Bad outcomes: failures, sheds, and completions past deadline
+        # (completions - good).
+        bad = len(failures) + len(sheds) + \
+            (len(completions) - len(self._good_times))
+        miss_rate = bad / events if events else 0.0
+        return rps, failure_rate, goodput, miss_rate
+
+    def miss_rate(self) -> float:
+        """Windowed share of bad outcomes (failures + sheds + deadline
+        misses) among recent requests — cheap enough for the admission
+        controller to consult on every submit."""
+        with self._lock:
+            return self._windowed_rates(self._clock(), 0.0)[3]
+
+    def window_events(self) -> int:
+        """Requests currently represented in the sliding windows."""
+        with self._lock:
+            return (len(self._completions) + len(self._failure_times)
+                    + len(self._shed_times))
 
     def snapshot(self, queue_depth: int = 0,
                  arena_stats=None,
@@ -202,17 +256,21 @@ class MetricsRecorder:
             requests = counters.requests
             batches = counters.batches
             lifetime_rps = requests / uptime if uptime > 0 else 0.0
-            windowed_rps, failure_rate = self._windowed_rates(
-                now, lifetime_rps)
+            windowed_rps, failure_rate, goodput_rps, miss_rate = \
+                self._windowed_rates(now, lifetime_rps)
             return MetricsSnapshot(
                 requests=requests,
                 batches=batches,
                 failures=counters.failures,
+                shed=counters.shed,
+                slo_misses=counters.slo_misses,
                 queue_depth=queue_depth,
                 uptime_s=uptime,
                 throughput_rps=windowed_rps,
                 lifetime_rps=lifetime_rps,
                 failure_rate=failure_rate,
+                goodput_rps=goodput_rps,
+                miss_rate=miss_rate,
                 mean_batch=requests / batches if batches else 0.0,
                 batch_histogram=dict(counters.batch_histogram),
                 p50_ms=percentile(window, 50) * 1e3,

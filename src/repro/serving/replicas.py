@@ -516,20 +516,32 @@ class ReplicaEngine:
 
     # -- public API ----------------------------------------------------------
 
-    def infer(self, feeds: Mapping[str, np.ndarray]):
+    def infer(self, feeds: Mapping[str, np.ndarray],
+              slo_ms: Optional[float] = None, priority: int = 0):
         """Submit one sample; returns a Future resolving to the output
         dict.  Raises :class:`TierSaturatedError` when the admission
-        queue is full and :class:`EngineClosedError` after close."""
+        queue is full and :class:`EngineClosedError` after close.
+
+        ``slo_ms``/``priority`` mirror the in-process engine's SLO API:
+        the deadline feeds the tier's SLO-miss and goodput accounting,
+        and priority orders the admission queue (higher classes
+        dispatch to replicas first, FIFO within a class).  The tier's
+        front-end queue runs the fixed-knob policy — deadline-sized
+        assembly stays a per-replica concern.
+        """
         if self._closed:
             raise EngineClosedError("replica tier is closed")
         sample = check_sample(self._input_specs, feeds)
         if self.queue.depth() >= self.queue_limit:
             with self._cond:
                 self._shed += 1
+            self.recorder.record_shed(1)
             raise TierSaturatedError(
                 f"replica tier saturated: {self.queue_limit} requests "
                 f"queued; request shed")
-        request = InferenceRequest(feeds=sample)
+        request = InferenceRequest(feeds=sample, priority=int(priority))
+        if slo_ms is not None:
+            request.deadline_s = request.enqueued_at + slo_ms / 1e3
         try:
             self.queue.submit(request)
         except QueueClosedError:
@@ -537,14 +549,18 @@ class ReplicaEngine:
         return request.future
 
     def infer_sync(self, feeds: Mapping[str, np.ndarray],
-                   timeout: Optional[float] = None
+                   timeout: Optional[float] = None,
+                   slo_ms: Optional[float] = None, priority: int = 0
                    ) -> Dict[str, np.ndarray]:
-        return self.infer(feeds).result(timeout=timeout)
+        return self.infer(feeds, slo_ms=slo_ms,
+                          priority=priority).result(timeout=timeout)
 
     def infer_many(self, samples: Sequence[Mapping[str, np.ndarray]],
-                   timeout: Optional[float] = None
+                   timeout: Optional[float] = None,
+                   slo_ms: Optional[float] = None, priority: int = 0
                    ) -> List[Dict[str, np.ndarray]]:
-        futures = [self.infer(sample) for sample in samples]
+        futures = [self.infer(sample, slo_ms=slo_ms, priority=priority)
+                   for sample in samples]
         return [future.result(timeout=timeout) for future in futures]
 
     def metrics(self) -> MetricsSnapshot:
@@ -890,7 +906,11 @@ class ReplicaEngine:
         completed = time.monotonic()
         latencies = [completed - request.enqueued_at
                      for request in requests]
-        self.recorder.record_batch(len(requests), latencies)
+        slo_misses = sum(1 for request in requests
+                         if request.deadline_s is not None
+                         and completed > request.deadline_s)
+        self.recorder.record_batch(len(requests), latencies,
+                                   slo_misses=slo_misses)
         with self._cond:
             replica.completed_requests += len(requests)
             replica.completed_batches += 1

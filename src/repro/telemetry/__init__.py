@@ -22,6 +22,7 @@ from .export import (
     parse_prometheus,
     registry_to_json,
     render_prometheus,
+    render_summary,
     timeline_to_chrome,
     traces_to_chrome,
     validate_chrome_trace,
@@ -38,6 +39,7 @@ from .registry import (
     Sample,
     get_registry,
     log_buckets,
+    quantile_from_buckets,
     set_registry,
 )
 from .tracing import RequestTrace, Span, Tracer
@@ -46,8 +48,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
     "Sample", "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS",
     "get_registry", "set_registry", "log_buckets",
+    "quantile_from_buckets",
     "RequestTrace", "Span", "Tracer",
     "parse_prometheus", "registry_to_json", "render_prometheus",
+    "render_summary",
     "timeline_to_chrome", "traces_to_chrome", "validate_chrome_trace",
     "write_chrome_trace",
 ]

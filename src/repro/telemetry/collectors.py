@@ -247,8 +247,10 @@ def _collect_plan_caches() -> Iterable[MetricFamily]:
 
 def _collect_engines() -> Iterable[MetricFamily]:
     requests = batches = failures = slow = 0
+    shed = slo_misses = 0
     depth = 0
     p50 = p95 = p99 = window_rps = failure_rate = 0.0
+    goodput = miss_rate = 0.0
     live = 0
     for engine in list(_engines):
         snapshot = engine.recorder.snapshot(
@@ -256,13 +258,17 @@ def _collect_engines() -> Iterable[MetricFamily]:
         requests += snapshot.requests
         batches += snapshot.batches
         failures += snapshot.failures
+        shed += snapshot.shed
+        slo_misses += snapshot.slo_misses
         slow += engine.slow_requests
         depth += snapshot.queue_depth
         p50 = max(p50, snapshot.p50_ms)
         p95 = max(p95, snapshot.p95_ms)
         p99 = max(p99, snapshot.p99_ms)
         window_rps += snapshot.throughput_rps
+        goodput += snapshot.goodput_rps
         failure_rate = max(failure_rate, snapshot.failure_rate)
+        miss_rate = max(miss_rate, snapshot.miss_rate)
         live += 1
     yield _counter_family(
         "repro_serving_requests_total",
@@ -296,6 +302,22 @@ def _collect_engines() -> Iterable[MetricFamily]:
     yield _gauge_family(
         "repro_serving_failure_rate",
         "Worst per-engine windowed failure rate", failure_rate)
+    yield _counter_family(
+        "repro_serving_shed_total",
+        "Requests shed by SLO-aware admission control before execution",
+        shed)
+    yield _counter_family(
+        "repro_serving_slo_misses_total",
+        "Completed requests that finished after their deadline",
+        slo_misses)
+    yield _gauge_family(
+        "repro_serving_goodput_rps",
+        "Summed sliding-window SLO-met throughput across engines",
+        goodput)
+    yield _gauge_family(
+        "repro_serving_miss_rate",
+        "Worst per-engine windowed share of bad outcomes "
+        "(failures + sheds + deadline misses)", miss_rate)
 
 
 def _collect_replica_tiers() -> Iterable[MetricFamily]:

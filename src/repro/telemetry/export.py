@@ -175,6 +175,80 @@ def _split_labels(text: str, lineno: int) -> List[str]:
     return [chunk for chunk in chunks if chunk]
 
 
+# -- Human-readable summary -------------------------------------------------
+
+
+def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
+    """Fixed-width operator summary of the registry.
+
+    Counters and gauges print one ``name value`` line.  Histogram
+    families get count/sum/p50/p95/p99 columns, with the percentiles
+    estimated from the log buckets via
+    :func:`repro.telemetry.registry.quantile_from_buckets` (linear
+    interpolation within a bucket, Prometheus
+    ``histogram_quantile``-style) — no raw samples are retained, so
+    the estimate is exact only at bucket boundaries.
+    """
+    from .registry import quantile_from_buckets
+
+    registry = registry or get_registry()
+    scalar_lines: List[str] = []
+    histogram_rows: List[tuple] = []
+    for family in registry.collect():
+        if family.kind != "histogram":
+            for sample in family.samples:
+                label = sample.name
+                if sample.labels:
+                    rendered = ",".join(f"{key}={value}" for key, value
+                                        in sample.labels)
+                    label = f"{sample.name}{{{rendered}}}"
+                scalar_lines.append(
+                    f"{label:<52} {_format_value(sample.value):>12}")
+            continue
+        # Regroup the exploded _bucket/_sum/_count samples per label
+        # set and de-cumulate the buckets for the quantile estimator.
+        grouped: Dict[tuple, Dict[str, object]] = {}
+        for sample in family.samples:
+            plain = tuple((key, value) for key, value in sample.labels
+                          if key != "le")
+            entry = grouped.setdefault(
+                plain, {"bounds": [], "cumulative": [], "sum": 0.0,
+                        "count": 0})
+            if sample.name.endswith("_bucket"):
+                bound = dict(sample.labels)["le"]
+                if bound != "+Inf":
+                    entry["bounds"].append(float(bound))
+                entry["cumulative"].append(int(sample.value))
+            elif sample.name.endswith("_sum"):
+                entry["sum"] = sample.value
+            elif sample.name.endswith("_count"):
+                entry["count"] = int(sample.value)
+        for plain, entry in grouped.items():
+            cumulative = entry["cumulative"]
+            counts = [cumulative[0]] + [
+                cumulative[index] - cumulative[index - 1]
+                for index in range(1, len(cumulative))]
+            label = family.name
+            if plain:
+                rendered = ",".join(f"{key}={value}"
+                                    for key, value in plain)
+                label = f"{family.name}{{{rendered}}}"
+            quantiles = [quantile_from_buckets(entry["bounds"], counts, q)
+                         for q in (0.5, 0.95, 0.99)]
+            histogram_rows.append(
+                (label, entry["count"], entry["sum"], *quantiles))
+    lines = scalar_lines
+    if histogram_rows:
+        if lines:
+            lines.append("")
+        lines.append(f"{'histogram':<52} {'count':>8} {'sum':>12} "
+                     f"{'p50':>10} {'p95':>10} {'p99':>10}")
+        for label, count, total, p50, p95, p99 in histogram_rows:
+            lines.append(f"{label:<52} {count:>8} {total:>12.4f} "
+                         f"{p50:>10.5f} {p95:>10.5f} {p99:>10.5f}")
+    return "\n".join(lines) + "\n"
+
+
 # -- JSON snapshot ----------------------------------------------------------
 
 

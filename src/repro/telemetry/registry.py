@@ -68,6 +68,43 @@ DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 2.0, 16)
 DEFAULT_SIZE_BUCKETS = log_buckets(1.0, 2.0, 9)
 
 
+def quantile_from_buckets(bounds: Sequence[float],
+                          counts: Sequence[int], q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) of a log-bucket histogram.
+
+    ``counts`` is per-bucket (non-cumulative), one slot per finite bound
+    plus the trailing +Inf slot, as returned by
+    :meth:`Histogram.bucket_counts`.  The rank is located in its bucket
+    and linearly interpolated between the bucket's edges — the standard
+    Prometheus ``histogram_quantile`` estimator.  The first bucket
+    interpolates from 0; a rank landing in the +Inf overflow bucket
+    clamps to the largest finite bound (there is no upper edge to
+    interpolate toward).  Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile q must be within [0, 1]")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError("counts must have one slot per bound plus +Inf")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(bounds):          # +Inf overflow bucket
+                return float(bounds[-1])
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if count == 0:
+                return float(upper)
+            fraction = (rank - previous) / count
+            return float(lower + (upper - lower) * fraction)
+    return float(bounds[-1])
+
+
 @dataclass(frozen=True)
 class Sample:
     """One exposition line: a value under a label set."""
@@ -276,6 +313,12 @@ class _HistogramChild:
         with self._lock:
             return list(self._counts)
 
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (0..1) of the observed values."""
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_buckets(self._bounds, counts, q)
+
     def samples(self, name: str, labels: LabelPairs) -> List[Sample]:
         with self._lock:
             counts = list(self._counts)
@@ -332,6 +375,9 @@ class Histogram(_Family):
 
     def bucket_counts(self) -> List[int]:
         return self._default().bucket_counts()
+
+    def quantile(self, q: float) -> float:
+        return self._default().quantile(q)
 
 
 Collector = Callable[[], Iterable[MetricFamily]]

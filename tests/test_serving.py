@@ -94,6 +94,80 @@ class TestBatchQueue:
             BatchQueue(max_batch=0)
         with pytest.raises(ValueError):
             BatchQueue(max_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchQueue(queue_limit=0, on_shed=lambda r: None)
+        with pytest.raises(ValueError):
+            BatchQueue(queue_limit=4)       # queue_limit needs on_shed
+
+
+class TestBatchQueueDeadlineEdges:
+    def test_max_latency_zero_dispatches_immediately(self):
+        # The fast path: no timer, whatever is queued goes at once.
+        queue = BatchQueue(max_batch=8, max_latency_s=0.0)
+        for i in range(3):
+            queue.submit(make_request(i))
+        start = time.monotonic()
+        batch = queue.next_batch()
+        assert len(batch) == 3
+        assert time.monotonic() - start < 0.5
+
+    def test_submit_after_close_raises_typed_error(self):
+        queue = BatchQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(make_request())
+
+    def test_burst_arriving_at_deadline_expiry_is_not_lost(self):
+        # Requests landing exactly as the oldest request's timer fires
+        # must end up in this dispatch or the next one — never dropped.
+        queue = BatchQueue(max_batch=8, max_latency_s=0.05)
+        served = []
+        done = threading.Event()
+
+        def consumer():
+            while True:
+                batch = queue.next_batch()
+                if batch is None:
+                    return
+                served.extend(batch)
+                if len(served) >= 8:
+                    done.set()
+                    queue.close()
+
+        thread = threading.Thread(target=consumer)
+        queue.submit(make_request())
+        thread.start()
+        time.sleep(0.05)                     # the oldest's deadline
+        for i in range(7):
+            queue.submit(make_request(i))
+        assert done.wait(timeout=5)
+        thread.join(timeout=5)
+        assert len(served) == 8
+        assert queue.depth() == 0
+
+    def test_close_during_adaptive_deadline_wait_flushes_request(self):
+        # A request parked in the adaptive wait-for-more-arrivals state
+        # must be dispatched (not stranded) when the queue closes.
+        shed = []
+        queue = BatchQueue(max_batch=8, max_latency_s=30.0,
+                           cost_model=lambda n: 1e-4,
+                           on_shed=shed.append)
+        request = make_request()
+        request.deadline_s = time.monotonic() + 10.0
+        queue.submit(request)
+        results = []
+
+        def consumer():
+            results.append(queue.next_batch())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert len(results) == 1 and results[0] is not None
+        assert len(results[0]) == 1
+        assert shed == []
 
 
 class TestMetrics:
@@ -155,6 +229,46 @@ class TestInferenceEngine:
         assert snapshot.requests == 16
         assert snapshot.mean_batch > 1.0          # coalescing happened
         assert max(snapshot.batch_histogram) > 1
+
+    def test_adaptive_path_is_bitwise_identical_to_fixed(self, mlp_graph,
+                                                         mlp_feeds):
+        # The semantics bar extended to SLO-aware batching: for the same
+        # batch composition, an admitted request's outputs must be
+        # bit-for-bit what the fixed-knob engine produces.  Both engines
+        # are forced into one deterministic batch of 4 (huge timer, 4
+        # submissions, generous deadline; the adaptive model is
+        # pre-warmed so the deadline-aware policy — not the cold-model
+        # fallback — does the assembly).
+        from repro.serving import BatchLatencyModel
+
+        def run(adaptive):
+            model = None
+            if adaptive:
+                model = BatchLatencyModel(min_samples=1)
+                for size in (1, 2, 4):
+                    for _ in range(8):
+                        model.observe(size, 1e-5 * size)
+            with InferenceEngine(mlp_graph, workers=1, max_batch=4,
+                                 max_latency_ms=5000.0,
+                                 adaptive=adaptive,
+                                 latency_model=model) as engine:
+                futures = [engine.infer(mlp_feeds, slo_ms=60_000.0)
+                           for _ in range(4)]
+                results = [future.result(timeout=30) for future in futures]
+                histogram = engine.metrics().batch_histogram
+            return results, histogram
+
+        fixed_results, fixed_hist = run(adaptive=False)
+        adaptive_results, adaptive_hist = run(adaptive=True)
+        # Same composition (one batch of 4) on both paths...
+        assert fixed_hist == {4: 1}
+        assert adaptive_hist == {4: 1}
+        # ...therefore bitwise-identical outputs.
+        for fixed, got in zip(fixed_results, adaptive_results):
+            assert set(fixed) == set(got)
+            for name in fixed:
+                assert fixed[name].dtype == got[name].dtype
+                np.testing.assert_array_equal(fixed[name], got[name])
 
     def test_light_load_degrades_to_batch_one(self, mlp_graph, mlp_feeds):
         with InferenceEngine(mlp_graph, workers=1, max_batch=8,

@@ -148,6 +148,69 @@ class TestHistogram:
         assert hist.count == 2000
 
 
+class TestQuantileEstimator:
+    def test_interpolates_within_buckets(self):
+        from repro.telemetry import quantile_from_buckets
+
+        # 10 observations spread uniformly in the (1, 2] bucket: the
+        # median interpolates to the bucket midpoint-ish rank.
+        bounds = (1.0, 2.0, 4.0)
+        counts = [0, 10, 0, 0]
+        assert quantile_from_buckets(bounds, counts, 0.5) == \
+            pytest.approx(1.5)
+        assert quantile_from_buckets(bounds, counts, 0.0) == \
+            pytest.approx(1.0)
+        assert quantile_from_buckets(bounds, counts, 1.0) == \
+            pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        from repro.telemetry import quantile_from_buckets
+
+        assert quantile_from_buckets((2.0,), [4, 0], 0.5) == \
+            pytest.approx(1.0)
+
+    def test_inf_bucket_clamps_to_last_bound(self):
+        from repro.telemetry import quantile_from_buckets
+
+        assert quantile_from_buckets((1.0, 2.0), [0, 0, 5], 0.99) == 2.0
+
+    def test_empty_and_bad_inputs(self):
+        from repro.telemetry import quantile_from_buckets
+
+        assert quantile_from_buckets((1.0, 2.0), [0, 0, 0], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0,), [1, 1], 1.5)
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0, 2.0), [1, 1], 0.5)
+
+    def test_histogram_quantile_tracks_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=tuple(
+            log_buckets(0.001, 2.0, 16)))
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.002, 0.1, size=500)
+        for value in values:
+            hist.observe(float(value))
+        # Log buckets are coarse: the estimate must land within one
+        # bucket ratio of the true percentile.
+        true_p95 = float(np.percentile(values, 95))
+        estimate = hist.quantile(0.95)
+        assert true_p95 / 2.0 <= estimate <= true_p95 * 2.0
+
+    def test_render_summary_has_quantile_columns(self):
+        from repro.telemetry import render_summary
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(3)
+        hist = registry.histogram("h_seconds", "a histogram",
+                                  buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        text = render_summary(registry)
+        assert "c_total" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "h_seconds" in text
+
+
 class TestCollectorsAndMerge:
     def test_collector_families_merge_and_sum(self):
         registry = MetricsRegistry()
