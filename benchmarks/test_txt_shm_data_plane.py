@@ -1,0 +1,187 @@
+"""Txt-R — data plane: shared-memory rings vs the pipe codec.
+
+BENCH_pr6 bought multi-core scale with replica processes but paid for
+it in serialization: every request tensor crossed the parent→child pipe
+as framed bytes (encode, kernel transit, decode), both directions.  The
+shm data plane removes the payload from the pipe — tensors are written
+once into a 64-byte-aligned slot of a per-replica shared-memory ring
+and only a fixed-size control frame crosses — so the marginal cost per
+request should stop scaling with activation bytes.
+
+Measured here, per batch size (1, 8, 32), on a one-replica tier so both
+modes run the identical execution schedule:
+
+1. closed-loop throughput and latency of pipe vs shm on an
+   activation-heavy convnet (``tiny_convnet`` at 64x64 input — ~49 KiB
+   of request payload per sample) and the compute-light ``mlp``;
+2. a frame-packing microbench: the legacy two-stage
+   ``encode_tensors`` + frame concatenation vs the single-allocation
+   ``pack_tensor_frame`` the pipe path now uses.
+
+Every row must complete all requests with zero fallbacks in shm mode —
+a "win" that silently degraded to the pipe codec doesn't count.
+
+``REPRO_BENCH_SMOKE=1`` shrinks request counts for CI smoke jobs.
+Results are written to ``BENCH_pr9.json`` at the repo root.  The CI
+guard (shm >= pipe throughput at batch 8 on the convnet) only arms on
+hosts with at least 4 CPUs: on 1-CPU runners parent-side copy work and
+child execution contend for the same core, so the numbers are recorded
+but the transport difference is buried in scheduler noise.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.ir import build_model
+from repro.serving import run_shm_bench, sample_feeds
+from repro.serving.replicas import (
+    _KIND_REQUEST,
+    _ZERO_STATS,
+    _pack_frame,
+    encode_tensors,
+    pack_tensor_frame,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REQUESTS = 24 if SMOKE else 192
+WARMUP = 8 if SMOKE else 24
+
+BATCH_SIZES = (1, 8) if SMOKE else (1, 8, 32)
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pr9.json"
+
+
+def data_plane_sweep(graph):
+    with tempfile.TemporaryDirectory(prefix="repro-shm-bench-") \
+            as cache_dir:
+        rows = run_shm_bench(graph, batch_sizes=BATCH_SIZES,
+                             requests=REQUESTS, warmup=WARMUP,
+                             cache_dir=cache_dir)
+    for row in rows:
+        if row.data_plane == "shm":
+            assert row.shm_requests > 0, f"batch {row.batch}: no slots used"
+            assert row.shm_fallbacks == 0, \
+                f"batch {row.batch}: shm degraded to the pipe codec"
+    pipe_rps = {row.batch: row.throughput_rps for row in rows
+                if row.data_plane == "pipe"}
+    return {
+        "rows": [
+            {
+                "data_plane": row.data_plane,
+                "batch": row.batch,
+                "clients": row.clients,
+                "requests": row.requests,
+                "request_kb": row.request_kb,
+                "throughput_rps": row.throughput_rps,
+                "mean_batch": row.mean_batch,
+                "p50_ms": row.p50_ms,
+                "p95_ms": row.p95_ms,
+                "p99_ms": row.p99_ms,
+                "shm_requests": row.shm_requests,
+                "shm_fallbacks": row.shm_fallbacks,
+                "speedup_vs_pipe": (
+                    row.throughput_rps / pipe_rps[row.batch]
+                    if row.data_plane == "shm" and pipe_rps[row.batch]
+                    else 1.0),
+            }
+            for row in rows
+        ],
+    }
+
+
+def frame_pack_microbench(graph, batch=32, repeats=50):
+    """ns/frame for the legacy two-stage pipe framing vs the
+    single-allocation packer (identical output bytes)."""
+    template = graph.with_batch(batch)
+    feeds = {
+        spec.name: sample_feeds(graph, seed=1)[spec.name].repeat(batch,
+                                                                 axis=0)
+        for spec in template.inputs
+    }
+    legacy_frame = _pack_frame(_KIND_REQUEST, 1, _ZERO_STATS,
+                               encode_tensors(feeds))
+    single_frame = pack_tensor_frame(_KIND_REQUEST, 1, _ZERO_STATS, feeds)
+    assert bytes(single_frame) == bytes(legacy_frame)
+
+    def clock(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    legacy_s = clock(lambda: _pack_frame(_KIND_REQUEST, 1, _ZERO_STATS,
+                                         encode_tensors(feeds)))
+    single_s = clock(lambda: pack_tensor_frame(_KIND_REQUEST, 1,
+                                               _ZERO_STATS, feeds))
+    return {
+        "batch": batch,
+        "frame_bytes": len(legacy_frame),
+        "legacy_us": legacy_s * 1e6,
+        "single_alloc_us": single_s * 1e6,
+        "speedup": legacy_s / single_s if single_s > 0 else 0.0,
+    }
+
+
+def render(results, packing):
+    lines = []
+    for name, sweep in results.items():
+        lines.append(name)
+        for entry in sweep["rows"]:
+            tag = (f" ({entry['speedup_vs_pipe']:.2f}x vs pipe)"
+                   if entry["data_plane"] == "shm" else "")
+            lines.append(
+                f"  {entry['data_plane']:<5} batch {entry['batch']:>2} "
+                f"{entry['throughput_rps']:>9.1f} req/s "
+                f"p95 {entry['p95_ms']:>8.2f} ms "
+                f"slots {entry['shm_requests']:>4} "
+                f"fallbk {entry['shm_fallbacks']}{tag}")
+    lines.append(
+        f"frame packing (batch {packing['batch']}, "
+        f"{packing['frame_bytes'] / 1024:.0f} KiB): "
+        f"legacy {packing['legacy_us']:.0f} us vs "
+        f"single-alloc {packing['single_alloc_us']:.0f} us "
+        f"({packing['speedup']:.2f}x)")
+    lines.append(f"host cpus: {os.cpu_count()}")
+    return "\n".join(lines)
+
+
+def test_txt_shm_data_plane(benchmark, report):
+    workloads = {
+        "tiny_convnet_64": build_model("tiny_convnet", image_size=64),
+        "mlp": build_model("mlp"),
+    }
+
+    def study():
+        sweeps = {name: data_plane_sweep(graph)
+                  for name, graph in workloads.items()}
+        packing = frame_pack_microbench(workloads["tiny_convnet_64"])
+        return sweeps, packing
+
+    results, packing = benchmark.pedantic(study, rounds=1, iterations=1)
+    report("txt_shm_data_plane", render(results, packing))
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "txt_shm_data_plane",
+        "smoke": SMOKE,
+        "cpus": os.cpu_count(),
+        "workloads": results,
+        "frame_packing": packing,
+    }, indent=2) + "\n")
+
+    # The packer's single allocation must never lose to the two-stage
+    # path it replaces — this holds even on a 1-CPU host.
+    assert packing["speedup"] >= 0.9, (
+        f"single-allocation framing regressed: {packing['speedup']:.2f}x")
+    # The transport guard needs a core for the parent's copy loop: on
+    # >= 4-CPU hosts shm must at least match the pipe codec at batch 8
+    # on the activation-heavy workload.
+    if (os.cpu_count() or 1) >= 4:
+        rows = results["tiny_convnet_64"]["rows"]
+        at8 = next(entry for entry in rows
+                   if entry["data_plane"] == "shm" and entry["batch"] == 8)
+        assert at8["speedup_vs_pipe"] >= 1.0, (
+            f"shm {at8['speedup_vs_pipe']:.2f}x < 1.0x vs pipe at batch 8 "
+            f"on {os.cpu_count()}-cpu host")

@@ -291,6 +291,7 @@ def _serve_bench_replicas(args: argparse.Namespace, graph) -> int:
         warmup=args.warmup, max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         max_inflight=args.max_inflight, cache_dir=args.cache_dir,
+        shm=args.shm,
         on_tier=_scrape if args.metrics_json else None)
     print(render_replicas(results, name=args.model))
     if args.metrics_json:
@@ -561,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-inflight", type=int, default=2,
                          help="admission-control budget: batches in "
                               "flight per replica (--replicas mode)")
+    p_serve.add_argument("--shm", default=None,
+                         action=argparse.BooleanOptionalAction,
+                         help="force the shared-memory data plane on "
+                              "(--shm) or off (--no-shm) for --replicas "
+                              "mode; default follows $REPRO_REPLICA_SHM "
+                              "(on where supported)")
     p_serve.add_argument("--trace", default=None,
                          choices=("bursty", "diurnal", "poisson"),
                          help="replay a deterministic open-loop arrival "

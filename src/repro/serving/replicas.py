@@ -39,10 +39,26 @@ Architecture
   :class:`ReplicaCrashError`, its queue is re-routed to survivors, and a
   replacement process is spawned (up to ``restart_limit`` times).
 
-* **Serialization.**  Requests and results cross the pipe as compact
-  binary frames (:func:`encode_tensors` / :func:`decode_tensors`): raw
-  C-order bytes plus dtype/shape headers, no pickle on the hot path,
-  bitwise-exact round-trips by construction.
+* **Zero-copy data plane.**  With shared memory enabled (the default;
+  ``REPRO_REPLICA_SHM=0`` or ``shm=False`` disables), tensor payloads
+  never cross the pipe at all: the parent writes each batch **once**
+  into a 64-byte-aligned slot of the replica's request ring
+  (:mod:`repro.serving.shm`), sends a tiny control frame (slot index,
+  ring generation, descriptor table), and the replica executes straight
+  out of read-only views of the mapped slot, writing outputs into the
+  paired response-ring slot the parent reads zero-copy.  Slot
+  availability *is* the ``max_inflight`` bound, rings are retired
+  (unlinked) whole on crash so a restarted replica serves from a fresh
+  generation, and anything that does not fit a slot falls back
+  per-frame to the pipe codec below — bitwise-identical either way.
+
+* **Serialization.**  Pipe-borne requests and results (the shm-off
+  path, and the per-frame fallback) cross as compact binary frames
+  (:func:`pack_tensor_frame` / :func:`decode_tensors`): raw C-order
+  bytes plus dtype/shape headers, no pickle on the hot path, assembled
+  with a single allocation (headers packed in place, payloads
+  ``np.copyto``-ed into views of one ``bytearray``), bitwise-exact
+  round-trips by construction.
 
 * **Telemetry.**  Each response frame piggybacks the replica's local
   counters (requests, batches, failures, arena traffic) — a few ints,
@@ -72,9 +88,28 @@ from ..ir.graph import Graph
 from ..runtime.executor import Executor
 from ..runtime.plan_cache import PlanCache, default_cache_dir, load_or_build
 from ..telemetry import collectors as _telemetry
-from .batcher import BatchQueue, InferenceRequest, QueueClosedError
-from .engine import EngineClosedError, check_sample
+from ..telemetry.registry import get_registry, log_buckets
+from .batcher import (
+    BatchQueue,
+    InferenceRequest,
+    QueueClosedError,
+    RequestShedError,
+)
+from .engine import EngineClosedError, ShedPolicy, check_sample
+from .latency_model import BatchLatencyModel, model_path
 from .metrics import MetricsRecorder, MetricsSnapshot
+from .shm import (
+    ShmAttachment,
+    ShmChannel,
+    ShmRingSpec,
+    layout_tensors,
+    pack_descriptors,
+    read_tensors,
+    required_slot_bytes,
+    shm_available,
+    unpack_descriptors,
+    write_tensors,
+)
 
 logger = logging.getLogger("repro.serving")
 
@@ -108,7 +143,10 @@ class ReplicaProtocolError(RuntimeError):
 #                   requests, batches, failures, arena allocations,
 #                   arena reuses (zeros on frames the parent sends)
 #   payload         kind-specific (tensors for REQUEST/RESULT, a typed
-#                   message for ERROR, empty for READY/SHUTDOWN)
+#                   message for ERROR, empty for READY/SHUTDOWN; for
+#                   SHM_REQUEST/SHM_RESULT a !II slot-index/generation
+#                   pair plus a tensor descriptor table — the payload
+#                   bytes themselves live in the shared-memory rings)
 
 _MAGIC = b"RPRT"
 _KIND_REQUEST = 1
@@ -116,6 +154,10 @@ _KIND_RESULT = 2
 _KIND_ERROR = 3
 _KIND_READY = 4
 _KIND_SHUTDOWN = 5
+_KIND_SHM_REQUEST = 6
+_KIND_SHM_RESULT = 7
+
+_SHM_SLOT = struct.Struct("!II")
 
 _HEADER = struct.Struct("!4sBQ")
 _STATS = struct.Struct("!5Q")
@@ -187,6 +229,61 @@ def decode_tensors(payload) -> Dict[str, np.ndarray]:
     return arrays
 
 
+def pack_tensor_frame(kind: int, request_id: int,
+                      stats: Tuple[int, ...],
+                      arrays: Mapping[str, np.ndarray]) -> bytearray:
+    """Assemble a complete tensor frame in **one** allocation.
+
+    Wire-compatible with ``_pack_frame(kind, id, stats,
+    encode_tensors(arrays))`` — same bytes — but where that path
+    materializes every array via ``tobytes()``, joins the parts, and
+    concatenates the header (three traversals of the payload), this
+    packs headers in place and ``np.copyto``-s each tensor directly
+    into a view of the final ``bytearray``: exactly one pass over the
+    payload bytes, and no intermediate the allocator has to find room
+    for next to the result.  ``Connection.send_bytes`` accepts the
+    bytearray as-is.
+    """
+    names = sorted(arrays)
+    metas = []
+    total = _HEADER.size + _STATS.size + _U32.size
+    for name in names:
+        array = np.asarray(arrays[name])
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        metas.append((array, name_bytes, dtype_bytes))
+        total += (_U16.size + len(name_bytes) + _U16.size
+                  + len(dtype_bytes) + _U8.size + array.ndim * _U64.size
+                  + _U64.size + array.nbytes)
+    frame = bytearray(total)
+    _HEADER.pack_into(frame, 0, _MAGIC, kind, request_id)
+    _STATS.pack_into(frame, _HEADER.size, *stats)
+    offset = _HEADER.size + _STATS.size
+    _U32.pack_into(frame, offset, len(metas))
+    offset += _U32.size
+    for array, name_bytes, dtype_bytes in metas:
+        _U16.pack_into(frame, offset, len(name_bytes))
+        offset += _U16.size
+        frame[offset:offset + len(name_bytes)] = name_bytes
+        offset += len(name_bytes)
+        _U16.pack_into(frame, offset, len(dtype_bytes))
+        offset += _U16.size
+        frame[offset:offset + len(dtype_bytes)] = dtype_bytes
+        offset += len(dtype_bytes)
+        _U8.pack_into(frame, offset, array.ndim)
+        offset += _U8.size
+        struct.pack_into(f"!{array.ndim}Q", frame, offset, *array.shape)
+        offset += array.ndim * _U64.size
+        _U64.pack_into(frame, offset, array.nbytes)
+        offset += _U64.size
+        target = np.frombuffer(frame, dtype=array.dtype,
+                               count=array.size,
+                               offset=offset).reshape(array.shape)
+        np.copyto(target, array, casting="no")
+        offset += array.nbytes
+    return frame
+
+
 def _pack_frame(kind: int, request_id: int,
                 stats: Tuple[int, ...] = _ZERO_STATS,
                 payload: bytes = b"") -> bytes:
@@ -243,6 +340,9 @@ class ReplicaSpec:
     reuse_buffers: bool = True
     num_threads: int = 1
     prewarm_batches: Tuple[int, ...] = ()
+    # Shared-memory ring pair to attach (None: pipe codec only).  The
+    # generation inside ties every control frame to this spawn's rings.
+    shm: Optional[ShmRingSpec] = None
 
 
 def _replica_main(conn, spec: ReplicaSpec) -> None:
@@ -288,7 +388,13 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                 reuses += arena.stats.reuses
         return (requests, batches, failures, allocations, reuses)
 
+    attachment: Optional[ShmAttachment] = None
     try:
+        if spec.shm is not None:
+            # Attach both rings before READY: an attach failure is a
+            # startup failure the parent's handshake surfaces, never a
+            # tier silently serving over a slower path than configured.
+            attachment = ShmAttachment(spec.shm)
         for batch in spec.prewarm_batches:
             _executor_for(batch)
         conn.send_bytes(_pack_frame(_KIND_READY, 0, _stats()))
@@ -300,23 +406,50 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
             kind, request_id, _, payload = _unpack_frame(frame)
             if kind == _KIND_SHUTDOWN:
                 break
-            if kind != _KIND_REQUEST:
+            if kind not in (_KIND_REQUEST, _KIND_SHM_REQUEST):
                 continue
             size = 0
             try:
-                feeds = decode_tensors(payload)
+                if kind == _KIND_SHM_REQUEST:
+                    slot, generation = _SHM_SLOT.unpack_from(payload, 0)
+                    if attachment is None:
+                        raise ReplicaProtocolError(
+                            "shm frame on a pipe-only replica")
+                    if generation != attachment.generation:
+                        raise ReplicaProtocolError(
+                            f"shm frame for generation {generation}, "
+                            f"attached {attachment.generation}")
+                    descs, _ = unpack_descriptors(
+                        payload[_SHM_SLOT.size:])
+                    # Execute straight out of the mapped slot: no
+                    # payload bytes ever crossed the pipe.
+                    feeds = attachment.request_views(slot, descs)
+                else:
+                    feeds = decode_tensors(payload)
                 size = int(next(iter(feeds.values())).shape[0]) \
                     if feeds else 0
                 executor = _executor_for(size)
                 outputs = executor.run(feeds)
-                # Encoding copies the result bytes out of the arena, so
-                # the batch buffers recycle before the frame is sent.
-                body = encode_tensors(outputs)
-                executor.recycle(outputs)
+                out_descs = None
+                if kind == _KIND_SHM_REQUEST:
+                    # One copy arena -> response slot; the parent reads
+                    # it zero-copy.  None: outputs outgrew the slot
+                    # (dynamic shapes) — fall back to the pipe codec
+                    # for this frame only.
+                    out_descs = attachment.write_response(slot, outputs)
                 requests += size
                 batches += 1
-                response = _pack_frame(_KIND_RESULT, request_id,
-                                       _stats(), body)
+                if out_descs is not None:
+                    response = _pack_frame(
+                        _KIND_SHM_RESULT, request_id, _stats(),
+                        _SHM_SLOT.pack(slot, attachment.generation)
+                        + pack_descriptors(out_descs))
+                else:
+                    # Single-allocation framing: headers packed in
+                    # place, result bytes copied out of the arena once.
+                    response = pack_tensor_frame(
+                        _KIND_RESULT, request_id, _stats(), outputs)
+                executor.recycle(outputs)
             except BaseException as exc:
                 failures += size if size else 1
                 response = _pack_error(request_id, _stats(), exc)
@@ -324,8 +457,12 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                 conn.send_bytes(response)
             except (BrokenPipeError, OSError):
                 break
-    finally:
+            feeds = None               # release the slot views between
+    finally:                           # frames and before close below
+        feeds = None
         conn.close()
+        if attachment is not None:
+            attachment.close()
 
 
 # -- front end --------------------------------------------------------------
@@ -335,15 +472,21 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
 class _Inflight:
     requests: List[InferenceRequest]
     sent_at: float
+    # Shared-memory bookkeeping: the request-ring slot this batch rides
+    # in (None: pipe frame) and the payload bytes parked there.
+    slot: Optional[int] = None
+    shm_bytes: int = 0
 
 
 class _Replica:
     """Parent-side handle of one replica process."""
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(self, index: int, process, conn,
+                 channel: Optional[ShmChannel] = None) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        self.channel = channel
         self.send_lock = threading.Lock()
         self.inflight: Dict[int, _Inflight] = {}
         self.alive = True
@@ -427,6 +570,28 @@ class ReplicaEngine:
         surviving capacity final (default 3).
     ready_timeout_s
         How long to wait for each replica's READY handshake.
+    shm
+        Route tensor payloads through per-replica shared-memory rings
+        instead of the pipe (:mod:`repro.serving.shm`).  ``None`` (the
+        default) follows ``REPRO_REPLICA_SHM`` (on unless set to
+        ``0``); either way the tier silently runs pipe-only where POSIX
+        shared memory is unavailable.  Slot sizes are fixed from the
+        graph's input/output specs at ``max_batch``, with one slot pair
+        per ``max_inflight`` batch; oversized frames fall back to the
+        pipe codec per-request (counted in ``shm_fallbacks``).
+    adaptive
+        Enable SLO-aware assembly on the tier's *front-end* queue: a
+        tier-level :class:`BatchLatencyModel` is fitted from
+        dispatch-to-completion timings and the queue forms the largest
+        batch predicted to meet the tightest queued deadline, shedding
+        requests that cannot make their SLO even alone — *before* they
+        cross the data plane.  The model persists next to the plan
+        cache (``<key>-tier``), so a restarted tier starts calibrated.
+    default_slo_ms / shed_policy / latency_model / headroom_ms
+        Exactly as on :class:`repro.serving.engine.InferenceEngine`:
+        the default request deadline, the queue-bound/miss-rate
+        :class:`ShedPolicy`, an injected shared model, and the
+        scheduling slack the assembly reserves per comparison.
     """
 
     def __init__(self, graph: Graph, replicas: int = 2, max_batch: int = 8,
@@ -439,7 +604,13 @@ class ReplicaEngine:
                  blas_threads: Optional[int] = 1,
                  start_method: str = "spawn",
                  restart_limit: int = 3,
-                 ready_timeout_s: float = 120.0) -> None:
+                 ready_timeout_s: float = 120.0,
+                 shm: Optional[bool] = None,
+                 adaptive: bool = False,
+                 default_slo_ms: Optional[float] = None,
+                 shed_policy: Optional[ShedPolicy] = None,
+                 latency_model: Optional[BatchLatencyModel] = None,
+                 headroom_ms: float = 0.5) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if max_inflight < 1:
@@ -458,8 +629,6 @@ class ReplicaEngine:
         self._ctx = multiprocessing.get_context(start_method)
         self._input_specs = {spec.name: spec
                              for spec in self.template.inputs}
-        self.queue = BatchQueue(max_batch=max_batch,
-                                max_latency_s=max_latency_ms / 1e3)
         self.recorder = MetricsRecorder()
         self._cond = threading.Condition()
         self._closed = False
@@ -470,6 +639,31 @@ class ReplicaEngine:
         # batches, making queue-drain/shed behaviour deterministic.
         self._dispatch_gate = threading.Event()
         self._dispatch_gate.set()
+
+        # -- shared-memory data plane ------------------------------------
+        if shm is None:
+            env = os.environ.get("REPRO_REPLICA_SHM", "")
+            shm = env.strip().lower() not in ("0", "false", "off", "no")
+        self.shm_enabled = bool(shm) and shm_available()
+        self._generation = 0
+        self._shm_requests = 0
+        self._shm_fallbacks = 0
+        self._shm_bytes_inflight = 0
+        self._slot_wait = None
+        if self.shm_enabled:
+            # Fixed slot sizes from the specs at max_batch: the common
+            # case always fits, dynamic shapes fall back per-frame.
+            self._request_slot_bytes = required_slot_bytes(
+                self.template.inputs, self.max_batch)
+            specs = self.template.infer_specs()
+            self._response_slot_bytes = required_slot_bytes(
+                [specs[name] for name in self.template.output_names],
+                self.max_batch)
+            self._slot_wait = get_registry().histogram(
+                "repro_replica_shm_slot_wait_seconds",
+                "Dispatcher wait for a live replica with a free "
+                "shared-memory slot pair",
+                buckets=log_buckets(1e-5, 4.0, 12))
 
         # Pre-warm one plan-cache entry per batch size the queue can
         # form; replicas load these by key (mmap, zero-copy).
@@ -494,6 +688,37 @@ class ReplicaEngine:
             prewarm_batches=(1, self.max_batch) if self.max_batch > 1
             else (1,))
 
+        # -- SLO-aware front-end assembly --------------------------------
+        self.adaptive = bool(adaptive)
+        self.default_slo_ms = (float(default_slo_ms)
+                               if default_slo_ms is not None else None)
+        self.shed_policy = shed_policy
+        self.latency_model = latency_model
+        self._latency_model_path = None
+        if self.adaptive and self.latency_model is None:
+            # Keyed off the batch-1 plan entry, suffixed so the tier's
+            # dispatch-to-completion timings never mix with the
+            # in-process engine's execute-only model for the same plan.
+            self._latency_model_path = model_path(
+                self.cache_dir, keys[1] + "-tier")
+            self.latency_model = BatchLatencyModel.load(
+                self._latency_model_path)
+            if self.latency_model is None:
+                self.latency_model = BatchLatencyModel()
+        needs_shed = self.adaptive or (
+            shed_policy is not None and (
+                shed_policy.queue_limit is not None
+                or shed_policy.miss_rate_threshold is not None))
+        self.queue = BatchQueue(
+            max_batch=max_batch,
+            max_latency_s=max_latency_ms / 1e3,
+            cost_model=(self.latency_model.predict
+                        if self.adaptive else None),
+            on_shed=self._shed_request if needs_shed else None,
+            queue_limit=(shed_policy.queue_limit
+                         if shed_policy is not None else None),
+            headroom_s=headroom_ms / 1e3)
+
         self._replicas: List[_Replica] = []
         self._receivers: List[threading.Thread] = []
         try:
@@ -505,6 +730,8 @@ class ReplicaEngine:
             for replica in self._replicas:
                 if replica.process.is_alive():
                     replica.process.terminate()
+                if replica.channel is not None:
+                    replica.channel.retire()
             raise
         for replica in self._replicas:
             self._start_receiver(replica)
@@ -523,11 +750,14 @@ class ReplicaEngine:
         queue is full and :class:`EngineClosedError` after close.
 
         ``slo_ms``/``priority`` mirror the in-process engine's SLO API:
-        the deadline feeds the tier's SLO-miss and goodput accounting,
-        and priority orders the admission queue (higher classes
-        dispatch to replicas first, FIFO within a class).  The tier's
-        front-end queue runs the fixed-knob policy — deadline-sized
-        assembly stays a per-replica concern.
+        the deadline (default: ``default_slo_ms``) feeds the tier's
+        SLO-miss and goodput accounting, and priority orders the
+        admission queue (higher classes dispatch to replicas first,
+        FIFO within a class).  With ``adaptive`` set, the front-end
+        queue sizes batches to the tightest queued deadline and sheds
+        requests predicted to miss even alone — their futures fail with
+        :class:`RequestShedError` before any payload crosses the data
+        plane.
         """
         if self._closed:
             raise EngineClosedError("replica tier is closed")
@@ -540,8 +770,21 @@ class ReplicaEngine:
                 f"replica tier saturated: {self.queue_limit} requests "
                 f"queued; request shed")
         request = InferenceRequest(feeds=sample, priority=int(priority))
+        if slo_ms is None:
+            slo_ms = self.default_slo_ms
         if slo_ms is not None:
             request.deadline_s = request.enqueued_at + slo_ms / 1e3
+        policy = self.shed_policy
+        if policy is not None and \
+                policy.miss_rate_threshold is not None and \
+                request.priority <= policy.shed_priority and \
+                self.recorder.window_events() >= policy.min_events and \
+                self.recorder.miss_rate() >= policy.miss_rate_threshold:
+            # The windowed breaker is open: fail fast with the typed
+            # shed error instead of queueing work the window says will
+            # go bad.
+            self._shed_request(request)
+            return request.future
         try:
             self.queue.submit(request)
         except QueueClosedError:
@@ -602,6 +845,36 @@ class ReplicaEngine:
         with self._cond:
             return self._shed
 
+    @property
+    def shm_requests(self) -> int:
+        """Batches whose payload crossed via a shared-memory slot."""
+        with self._cond:
+            return self._shm_requests
+
+    @property
+    def shm_fallbacks(self) -> int:
+        """Frames that fell back to the pipe codec while shm was on
+        (oversize request or response, or no free slot)."""
+        with self._cond:
+            return self._shm_fallbacks
+
+    @property
+    def shm_bytes_inflight(self) -> int:
+        """Request-payload bytes currently parked in ring slots."""
+        with self._cond:
+            return self._shm_bytes_inflight
+
+    def shm_segment_names(self) -> List[str]:
+        """Names of every live (non-retired) ring segment — the tier's
+        current /dev/shm footprint (tests assert it empties on close)."""
+        with self._cond:
+            names: List[str] = []
+            for replica in self._replicas:
+                channel = replica.channel
+                if channel is not None and not channel.retired:
+                    names.extend(channel.segment_names())
+            return names
+
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop admissions, fail whatever is still queued, wait for
         in-flight batches, and shut the replica processes down."""
@@ -648,8 +921,25 @@ class ReplicaEngine:
                 replica.conn.close()
             except OSError:
                 pass
+            if replica.channel is not None:
+                # After the join above no process maps the rings, so
+                # retirement both unlinks the names and releases the
+                # parent mapping — nothing of this tier survives in
+                # /dev/shm.
+                replica.channel.retire()
         for thread in self._receivers:
             thread.join(timeout=5.0)
+        if self._latency_model_path is not None and \
+                self.latency_model is not None and \
+                self.latency_model.observations > 0:
+            # Persist the tier-level calibration so the next tier on
+            # this model starts warm (mirrors the in-process engine).
+            try:
+                self.latency_model.save(self._latency_model_path)
+            except OSError as exc:
+                logger.warning("could not persist tier latency model "
+                               "to %s: %s", self._latency_model_path,
+                               exc)
 
     def __enter__(self) -> "ReplicaEngine":
         return self
@@ -660,35 +950,52 @@ class ReplicaEngine:
     # -- lifecycle -----------------------------------------------------------
 
     def _spawn(self, index: int) -> _Replica:
+        channel: Optional[ShmChannel] = None
+        if self.shm_enabled:
+            # A fresh generation per spawn: a restarted replica can
+            # never see (or be addressed through) a predecessor's
+            # rings, so stale frames cannot alias new batches.
+            with self._cond:
+                self._generation += 1
+                generation = self._generation
+            channel = ShmChannel(self.max_inflight,
+                                 self._request_slot_bytes,
+                                 self._response_slot_bytes, generation)
         spec = ReplicaSpec(
             index=index,
             cache_dir=self._spec_template.cache_dir,
             keys=self._spec_template.keys,
             reuse_buffers=self._spec_template.reuse_buffers,
             num_threads=self._spec_template.num_threads,
-            prewarm_batches=self._spec_template.prewarm_batches)
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        saved = {}
-        if self.blas_threads is not None:
-            # The replica inherits its environment at spawn: pin its
-            # BLAS pools so N replicas do not oversubscribe the cores
-            # they are supposed to split.
-            for var in _BLAS_ENV_VARS:
-                saved[var] = os.environ.get(var)
-                os.environ[var] = str(self.blas_threads)
+            prewarm_batches=self._spec_template.prewarm_batches,
+            shm=channel.spec() if channel is not None else None)
         try:
-            process = self._ctx.Process(
-                target=_replica_main, args=(child_conn, spec),
-                name=f"repro-replica-{index}", daemon=True)
-            process.start()
-        finally:
-            for var, value in saved.items():
-                if value is None:
-                    os.environ.pop(var, None)
-                else:
-                    os.environ[var] = value
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            saved = {}
+            if self.blas_threads is not None:
+                # The replica inherits its environment at spawn: pin its
+                # BLAS pools so N replicas do not oversubscribe the cores
+                # they are supposed to split.
+                for var in _BLAS_ENV_VARS:
+                    saved[var] = os.environ.get(var)
+                    os.environ[var] = str(self.blas_threads)
+            try:
+                process = self._ctx.Process(
+                    target=_replica_main, args=(child_conn, spec),
+                    name=f"repro-replica-{index}", daemon=True)
+                process.start()
+            finally:
+                for var, value in saved.items():
+                    if value is None:
+                        os.environ.pop(var, None)
+                    else:
+                        os.environ[var] = value
+        except BaseException:
+            if channel is not None:
+                channel.retire()
+            raise
         child_conn.close()
-        return _Replica(index, process, parent_conn)
+        return _Replica(index, process, parent_conn, channel=channel)
 
     def _await_ready(self, replica: _Replica) -> None:
         if not replica.conn.poll(self.ready_timeout_s):
@@ -720,11 +1027,15 @@ class ReplicaEngine:
 
     def _restart(self, replica: _Replica) -> None:
         """Spawn a replacement for a crashed replica (receiver thread)."""
+        replacement = None
         try:
             replacement = self._spawn(replica.index)
             self._await_ready(replacement)
         except BaseException:
             logger.exception("replica %d restart failed", replica.index)
+            if replacement is not None and \
+                    replacement.channel is not None:
+                replacement.channel.retire()
             with self._cond:
                 self._cond.notify_all()
             return
@@ -740,6 +1051,8 @@ class ReplicaEngine:
         if not replacement.alive:
             replacement.process.terminate()
             replacement.process.join(timeout=1.0)
+            if replacement.channel is not None:
+                replacement.channel.retire()
             return
         self._start_receiver(replacement)
         logger.warning("replica %d restarted (pid %s)", replica.index,
@@ -755,11 +1068,21 @@ class ReplicaEngine:
             replica.inflight.clear()
             replica.failed_requests += sum(
                 len(inflight.requests) for inflight in doomed)
+            for inflight in doomed:
+                if inflight.slot is not None:
+                    self._shm_bytes_inflight -= inflight.shm_bytes
             should_restart = (not self._closed
                               and self._restarts < self.restart_limit)
             if should_restart:
                 self._restarts += 1
             self._cond.notify_all()
+        if replica.channel is not None:
+            # Retire the whole generation: both segment names leave
+            # /dev/shm immediately; in-flight slots die with it (a
+            # racing slot write holds the mapping open — close defers,
+            # the quarantined mapping drains, the name is already
+            # gone).  The replacement spawns fresh rings.
+            replica.channel.retire()
         try:
             replica.conn.close()
         except OSError:
@@ -780,6 +1103,24 @@ class ReplicaEngine:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _shed_request(self, request: InferenceRequest) -> None:
+        """Fail one request with the typed shed error and record it
+        (the queue's ``on_shed`` callback and the admission breaker)."""
+        with self._cond:
+            self._shed += 1
+        self.recorder.record_shed(1)
+        if not request.future.done():
+            deadline_note = ""
+            if request.deadline_s is not None:
+                remaining_ms = (request.deadline_s
+                                - time.monotonic()) * 1e3
+                deadline_note = (f" ({remaining_ms:.1f} ms of SLO "
+                                 f"budget left)")
+            request.future.set_exception(RequestShedError(
+                f"request shed by the replica tier's SLO-aware "
+                f"admission control{deadline_note}; retry with backoff "
+                f"or lower load"))
+
     def _fail_requests(self, requests: List[InferenceRequest],
                        exc: BaseException) -> None:
         failed_at = time.monotonic()
@@ -793,7 +1134,14 @@ class ReplicaEngine:
     def _acquire_replica(self) -> Optional[_Replica]:
         """Least-loaded live replica with a free in-flight slot; blocks
         while all are saturated (backpressure), returns None once no
-        replica is alive and no restart is pending."""
+        replica is alive and no restart is pending.
+
+        With the shm data plane the in-flight bound is one ring-slot
+        pair per batch, so this wait *is* the slot wait — it feeds the
+        ``repro_replica_shm_slot_wait_seconds`` histogram.
+        """
+        started = time.perf_counter() if self._slot_wait is not None \
+            else 0.0
         with self._cond:
             while True:
                 live = [replica for replica in self._replicas
@@ -801,6 +1149,9 @@ class ReplicaEngine:
                 available = [replica for replica in live
                              if len(replica.inflight) < self.max_inflight]
                 if available:
+                    if self._slot_wait is not None:
+                        self._slot_wait.observe(
+                            time.perf_counter() - started)
                     return min(available,
                                key=lambda r: len(r.inflight))
                 if not live:
@@ -835,18 +1186,50 @@ class ReplicaEngine:
                     [request.feeds[name] for request in batch], axis=0)
                 for name in self._input_specs
             }
+        descs = None
+        total = 0
+        if replica.channel is not None:
+            descs, total = layout_tensors(feeds)
+            if total > replica.channel.request_slot_bytes:
+                descs = None               # oversize: pipe fallback
+        slot = None
+        view = None
         with self._cond:
             if not replica.alive:
                 # The in-flight registry is only mutated while the
                 # replica is alive, so the crash handler's drain is
                 # guaranteed to see every registered batch.
                 return False
+            if descs is not None:
+                slot = replica.channel.acquire_slot()
+                if slot is not None:
+                    # Materialize the slot view while the replica is
+                    # known alive: a concurrent retirement now finds a
+                    # live export and defers its close, so the write
+                    # below lands in a (worst case quarantined) mapping
+                    # rather than a released one.
+                    view = replica.channel.request_ring.slot_view(slot)
+                    self._shm_bytes_inflight += total
+                    self._shm_requests += 1
+            if replica.channel is not None and slot is None:
+                self._shm_fallbacks += 1
             request_id = self._next_id
             self._next_id += 1
             replica.inflight[request_id] = _Inflight(
-                batch, time.monotonic())
-        frame = _pack_frame(_KIND_REQUEST, request_id,
-                            payload=encode_tensors(feeds))
+                batch, time.monotonic(), slot=slot,
+                shm_bytes=total if slot is not None else 0)
+        if slot is not None:
+            # The data plane's single copy, outside the lock: payload
+            # bytes go straight into the mapped slot and only the tiny
+            # control frame crosses the pipe.
+            write_tensors(view, feeds, descs)
+            frame = _pack_frame(
+                _KIND_SHM_REQUEST, request_id,
+                payload=_SHM_SLOT.pack(slot, replica.channel.generation)
+                + pack_descriptors(descs))
+        else:
+            frame = pack_tensor_frame(_KIND_REQUEST, request_id,
+                                      _ZERO_STATS, feeds)
         try:
             with replica.send_lock:
                 replica.conn.send_bytes(frame)
@@ -870,39 +1253,93 @@ class ReplicaEngine:
                 logger.exception("replica %d sent a malformed frame",
                                  replica.index)
                 break
-            if kind == _KIND_RESULT:
-                self._on_result(replica, request_id, stats, payload)
+            if kind in (_KIND_RESULT, _KIND_SHM_RESULT):
+                self._on_result(replica, request_id, stats, payload,
+                                shm=(kind == _KIND_SHM_RESULT))
             elif kind == _KIND_ERROR:
                 self._on_error(replica, request_id, stats, payload)
         self._on_replica_failure(
             replica, ReplicaCrashError("connection lost"))
 
-    def _pop_inflight(self, replica: _Replica, request_id: int,
-                      stats: Tuple[int, ...]) -> Optional[_Inflight]:
+    def _peek_inflight(self, replica: _Replica, request_id: int,
+                       stats: Tuple[int, ...]) -> Optional[_Inflight]:
+        """Look the entry up *without* releasing anything: its slots
+        stay owned until :meth:`_finish_inflight` — releasing before
+        the result bytes are copied out would let the next batch
+        overwrite a response slot still being read."""
+        with self._cond:
+            replica.child_stats = tuple(stats)
+            return replica.inflight.get(request_id)
+
+    def _finish_inflight(self, replica: _Replica,
+                         request_id: int) -> Optional[_Inflight]:
+        """Pop the entry and recycle its ring slot; None when the
+        crash handler raced us and already failed the batch."""
         with self._cond:
             entry = replica.inflight.pop(request_id, None)
-            replica.child_stats = tuple(stats)
+            if entry is not None and entry.slot is not None:
+                if replica.channel is not None:
+                    replica.channel.release_slot(entry.slot)
+                self._shm_bytes_inflight -= entry.shm_bytes
             self._cond.notify_all()
         return entry
 
     def _on_result(self, replica: _Replica, request_id: int,
-                   stats: Tuple[int, ...], payload) -> None:
-        entry = self._pop_inflight(replica, request_id, stats)
+                   stats: Tuple[int, ...], payload,
+                   shm: bool = False) -> None:
+        entry = self._peek_inflight(replica, request_id, stats)
         if entry is None:
             return
         requests = entry.requests
         try:
-            outputs = decode_tensors(payload)
+            if shm:
+                slot, generation = _SHM_SLOT.unpack_from(payload, 0)
+                channel = replica.channel
+                with self._cond:
+                    if channel is None or channel.retired or \
+                            generation != channel.generation or \
+                            slot != entry.slot:
+                        raise ReplicaProtocolError(
+                            f"shm result for slot {slot} generation "
+                            f"{generation} does not match the in-"
+                            f"flight batch")
+                    # Export the view under the lock (same rule as the
+                    # send side): a concurrent retirement defers its
+                    # close instead of unmapping under the read.
+                    view = channel.response_ring.slot_view(slot)
+                descs, _ = unpack_descriptors(payload[_SHM_SLOT.size:])
+                outputs = read_tensors(view, descs)
+            else:
+                if entry.slot is not None:
+                    # The batch went out over shm but the outputs did
+                    # not fit the response slot: the replica fell back
+                    # to an inline pipe result for this frame.
+                    with self._cond:
+                        self._shm_fallbacks += 1
+                outputs = decode_tensors(payload)
+            # The per-request split is the read side's only copy; the
+            # response slot is free for reuse the moment it is done.
             results = [
                 {name: array[index:index + 1].copy()
                  for name, array in outputs.items()}
                 for index in range(len(requests))
             ]
         except BaseException as exc:
-            self._record_replica_failure(replica, requests, ReplicaError(
-                f"replica {replica.index} returned an undecodable "
-                f"result: {exc}"))
+            if self._finish_inflight(replica, request_id) is not None:
+                self._record_replica_failure(
+                    replica, requests, ReplicaError(
+                        f"replica {replica.index} returned an "
+                        f"undecodable result: {exc}"))
             return
+        if self._finish_inflight(replica, request_id) is None:
+            return
+        if self.latency_model is not None:
+            # Tier-level calibration point: dispatch-to-completion for
+            # this batch size — exactly the interval the front-end
+            # assembly adds to "now" when it sizes a batch against a
+            # deadline (pipe transit and replica queueing included).
+            self.latency_model.observe(
+                len(requests), time.monotonic() - entry.sent_at)
         completed = time.monotonic()
         latencies = [completed - request.enqueued_at
                      for request in requests]
@@ -920,7 +1357,9 @@ class ReplicaEngine:
 
     def _on_error(self, replica: _Replica, request_id: int,
                   stats: Tuple[int, ...], payload) -> None:
-        entry = self._pop_inflight(replica, request_id, stats)
+        with self._cond:
+            replica.child_stats = tuple(stats)
+        entry = self._finish_inflight(replica, request_id)
         if entry is None:
             return
         try:

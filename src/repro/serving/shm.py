@@ -1,0 +1,399 @@
+"""Zero-copy shared-memory data plane for the replica tier.
+
+PR 6 made the *weights* zero-copy (one resident read-only mmap of the
+plan cache's ``weights.bin`` across every replica), but activations
+still paid full serialization per request: ``tobytes()`` →
+``send_bytes()`` → ``recv_bytes()`` → ``frombuffer()`` is at least two
+whole copies plus a kernel pipe transit of every payload byte, each
+direction.  For activation-heavy vision models that copy tax — not the
+GEMMs — is the replica tier's marginal cost.
+
+This module replaces the pipe-borne payload with slots in per-replica
+``multiprocessing.shared_memory`` rings:
+
+* the parent writes request tensors **once**, directly into a 64-byte-
+  aligned slot of the replica's request ring (``np.copyto`` into a
+  mapped view — no pickle, no intermediate frame, no pipe transit of
+  payload bytes);
+* only a tiny control frame (slot index, generation, tensor descriptor
+  table, plus the existing piggybacked stats) crosses the pipe;
+* the replica executes straight out of read-only views of the mapped
+  slot and writes outputs into the paired slot of a **response ring**,
+  which the parent reads zero-copy (the per-request result split was
+  already a copy and stays the only one).
+
+Slot lifecycle
+--------------
+
+Rings carry a **generation** counter.  Slots are acquired and released
+only by the parent (under the tier's condition variable), so ring-slot
+availability *is* the tier's ``max_inflight`` backpressure: one slot
+pair per in-flight batch, and a batch can only be sent while a slot is
+free.  When a replica crashes, its rings are **retired**: the whole
+generation is unlinked (no `/dev/shm` leak), in-flight slots die with
+it, and the restarted replica attaches a fresh generation — a stale
+frame can never alias a new batch's memory.  Retirement tolerates live
+exported views (a crash can race a slot write): ``close()`` of the
+mapping is retried, but ``unlink()`` always happens immediately, so the
+segment name is gone even while a quarantined mapping drains.
+
+Sizing and fallback
+-------------------
+
+Slot sizes are computed statically from the graph's input/output specs
+at the tier's ``max_batch`` — the common case always fits.  Anything
+that does not (oversized tensors, dynamic shapes) falls back per-frame
+to the PR 6 pipe codec, as does the whole tier under
+``REPRO_REPLICA_SHM=0`` or on platforms without POSIX shared memory.
+Fallbacks are counted and exported via telemetry; results are bitwise
+identical on every path by construction (same bytes, same kernels).
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+SLOT_ALIGN = 64
+
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None
+
+
+def align_up(nbytes: int, align: int = SLOT_ALIGN) -> int:
+    return (int(nbytes) + align - 1) // align * align
+
+
+@dataclass(frozen=True)
+class TensorDesc:
+    """One tensor's placement inside a slot (wire-encodable)."""
+
+    name: str
+    dtype: str                      # numpy dtype.str, e.g. "<f4"
+    shape: Tuple[int, ...]
+    offset: int                     # bytes from the slot start (aligned)
+    nbytes: int
+
+
+def layout_tensors(arrays: Mapping[str, np.ndarray]
+                   ) -> Tuple[List[TensorDesc], int]:
+    """Assign 64-byte-aligned offsets to ``arrays`` in sorted-name order.
+
+    Returns the descriptor table and the total slot bytes required.
+    Deterministic given names/shapes/dtypes, so parent and tests agree.
+    """
+    descs: List[TensorDesc] = []
+    offset = 0
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        descs.append(TensorDesc(name=name, dtype=array.dtype.str,
+                                shape=tuple(int(s) for s in array.shape),
+                                offset=offset, nbytes=int(array.nbytes)))
+        offset += align_up(array.nbytes)
+    return descs, offset
+
+
+def required_slot_bytes(specs, batch: int) -> int:
+    """Slot bytes needed for one batch of ``specs`` (TensorSpec-likes
+    whose leading dimension is the per-sample batch axis)."""
+    total = 0
+    for spec in specs:
+        shape = (batch,) + tuple(spec.shape[1:])
+        nbytes = int(np.dtype(spec.dtype.to_numpy()).itemsize
+                     * int(np.prod(shape, dtype=np.int64)))
+        total += align_up(nbytes)
+    return total
+
+
+def write_tensors(view: memoryview, arrays: Mapping[str, np.ndarray],
+                  descs: Sequence[TensorDesc]) -> None:
+    """Copy ``arrays`` into ``view`` at their descriptor offsets.
+
+    The single copy of the data plane: ``np.copyto`` into a typed view
+    of the slot handles non-contiguous sources without materializing
+    intermediate bytes.
+    """
+    for desc in descs:
+        target = np.frombuffer(view, dtype=np.dtype(desc.dtype),
+                               count=_elements(desc),
+                               offset=desc.offset).reshape(desc.shape)
+        np.copyto(target, arrays[desc.name], casting="no")
+
+
+def read_tensors(view: memoryview, descs: Sequence[TensorDesc],
+                 writable: bool = False) -> Dict[str, np.ndarray]:
+    """Zero-copy views over a slot described by ``descs``.
+
+    Read-only by default: the replica must never mutate request memory
+    the parent may reuse, and the parent copies what it keeps.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for desc in descs:
+        array = np.frombuffer(view, dtype=np.dtype(desc.dtype),
+                              count=_elements(desc),
+                              offset=desc.offset).reshape(desc.shape)
+        if writable and not array.flags.writeable:
+            raise ValueError("slot view is not writable")
+        if not writable:
+            array = array.view()
+            array.flags.writeable = False
+        arrays[desc.name] = array
+    return arrays
+
+
+def _elements(desc: TensorDesc) -> int:
+    count = 1
+    for dim in desc.shape:
+        count *= int(dim)
+    return count
+
+
+def pack_descriptors(descs: Sequence[TensorDesc]) -> bytes:
+    """Encode a descriptor table (headers only — no payload bytes)."""
+    parts: List[bytes] = [_U32.pack(len(descs))]
+    for desc in descs:
+        name_bytes = desc.name.encode("utf-8")
+        dtype_bytes = desc.dtype.encode("ascii")
+        parts.append(_U16.pack(len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(_U16.pack(len(dtype_bytes)))
+        parts.append(dtype_bytes)
+        parts.append(_U8.pack(len(desc.shape)))
+        parts.append(struct.pack(f"!{len(desc.shape)}Q", *desc.shape))
+        parts.append(_U64.pack(desc.offset))
+        parts.append(_U64.pack(desc.nbytes))
+    return b"".join(parts)
+
+
+def unpack_descriptors(payload) -> Tuple[List[TensorDesc], int]:
+    """Decode :func:`pack_descriptors` output; returns (table, bytes
+    consumed)."""
+    view = memoryview(payload)
+    offset = 0
+    (count,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    descs: List[TensorDesc] = []
+    for _ in range(count):
+        (name_len,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        name = bytes(view[offset:offset + name_len]).decode("utf-8")
+        offset += name_len
+        (dtype_len,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        dtype = bytes(view[offset:offset + dtype_len]).decode("ascii")
+        offset += dtype_len
+        (ndim,) = _U8.unpack_from(view, offset)
+        offset += _U8.size
+        shape = struct.unpack_from(f"!{ndim}Q", view, offset)
+        offset += ndim * _U64.size
+        (tensor_offset,) = _U64.unpack_from(view, offset)
+        offset += _U64.size
+        (nbytes,) = _U64.unpack_from(view, offset)
+        offset += _U64.size
+        descs.append(TensorDesc(name=name, dtype=dtype,
+                                shape=tuple(int(s) for s in shape),
+                                offset=int(tensor_offset),
+                                nbytes=int(nbytes)))
+    return descs, offset
+
+
+@dataclass(frozen=True)
+class ShmRingSpec:
+    """Everything a replica needs to attach a channel (picklable)."""
+
+    request_name: str
+    response_name: str
+    slots: int
+    request_slot_bytes: int
+    response_slot_bytes: int
+    generation: int
+
+
+class _Ring:
+    """One named shared-memory segment divided into equal slots."""
+
+    def __init__(self, name: Optional[str], slots: int,
+                 slot_bytes: int, create: bool) -> None:
+        if _shared_memory is None:
+            raise RuntimeError("shared memory is unavailable")
+        self.slots = int(slots)
+        self.slot_bytes = align_up(slot_bytes)
+        size = max(1, self.slots * self.slot_bytes)
+        if create:
+            # Short repro_-prefixed names: the CI leak check greps
+            # /dev/shm for repro_* and macOS caps POSIX names ~31 chars.
+            name = f"repro_{uuid.uuid4().hex[:16]}"
+            self._shm = _shared_memory.SharedMemory(
+                name=name, create=True, size=size)
+        else:
+            self._shm = _shared_memory.SharedMemory(name=name)
+        self.name = self._shm.name
+        self._closed = False
+
+    def slot_view(self, index: int) -> memoryview:
+        if not 0 <= index < self.slots:
+            raise IndexError(f"slot {index} out of range "
+                             f"[0, {self.slots})")
+        start = index * self.slot_bytes
+        return self._shm.buf[start:start + self.slot_bytes]
+
+    def close(self) -> bool:
+        """Release the mapping; False when live exported views defer it
+        (quarantine — the caller may retry, and process exit collects
+        it regardless).  The segment *name* is handled by unlink()."""
+        if self._closed:
+            return True
+        try:
+            self._shm.close()
+        except BufferError:
+            return False
+        self._closed = True
+        return True
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmChannel:
+    """Parent-side slot bookkeeping for one replica's ring pair.
+
+    The tier serializes acquire/release under its own lock, so this
+    class keeps plain lists.  ``slots`` equals the tier's
+    ``max_inflight``: slot availability *is* the backpressure bound.
+    """
+
+    def __init__(self, slots: int, request_slot_bytes: int,
+                 response_slot_bytes: int, generation: int) -> None:
+        self.generation = int(generation)
+        self.request_ring = _Ring(None, slots, request_slot_bytes,
+                                  create=True)
+        try:
+            self.response_ring = _Ring(None, slots, response_slot_bytes,
+                                       create=True)
+        except BaseException:
+            self.request_ring.close()
+            self.request_ring.unlink()
+            raise
+        # LIFO free list: hot slots stay cache- and TLB-warm.
+        self._free: List[int] = list(range(int(slots)))
+        self.retired = False
+
+    @property
+    def slots(self) -> int:
+        return self.request_ring.slots
+
+    @property
+    def request_slot_bytes(self) -> int:
+        return self.request_ring.slot_bytes
+
+    @property
+    def response_slot_bytes(self) -> int:
+        return self.response_ring.slot_bytes
+
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def acquire_slot(self) -> Optional[int]:
+        """Pop a free slot index (caller holds the tier lock); None when
+        every slot is in flight (backpressure)."""
+        if self.retired or not self._free:
+            return None
+        return self._free.pop()
+
+    def release_slot(self, index: int) -> None:
+        if not self.retired:
+            self._free.append(index)
+
+    def segment_names(self) -> Tuple[str, str]:
+        return (self.request_ring.name, self.response_ring.name)
+
+    def spec(self) -> ShmRingSpec:
+        return ShmRingSpec(
+            request_name=self.request_ring.name,
+            response_name=self.response_ring.name,
+            slots=self.slots,
+            request_slot_bytes=self.request_slot_bytes,
+            response_slot_bytes=self.response_slot_bytes,
+            generation=self.generation)
+
+    def retire(self) -> None:
+        """Unlink both segments now; close mappings (or quarantine).
+
+        Idempotent.  Called on replica crash and tier close — after it
+        returns no ``repro_*`` name of this generation exists in
+        ``/dev/shm`` regardless of what was in flight.
+        """
+        if self.retired:
+            self.request_ring.unlink()
+            self.response_ring.unlink()
+            self.request_ring.close()
+            self.response_ring.close()
+            return
+        self.retired = True
+        self._free = []
+        self.request_ring.unlink()
+        self.response_ring.unlink()
+        self.request_ring.close()
+        self.response_ring.close()
+
+
+class ShmAttachment:
+    """Replica-side view of the parent's ring pair.
+
+    Attaching re-registers the segment names, but replicas share the
+    parent's resource-tracker process (``spawn`` passes the tracker fd
+    down), and its registry is a set — so the attach is a no-op there,
+    a SIGKILLed replica cannot trigger an unlink of segments the
+    parent still owns, and leftover names are still reaped if the
+    whole tree dies without :meth:`ShmChannel.retire`.
+    """
+
+    def __init__(self, spec: ShmRingSpec) -> None:
+        self.generation = spec.generation
+        self.request_ring = _Ring(spec.request_name, spec.slots,
+                                  spec.request_slot_bytes, create=False)
+        try:
+            self.response_ring = _Ring(spec.response_name, spec.slots,
+                                       spec.response_slot_bytes,
+                                       create=False)
+        except BaseException:
+            self.request_ring.close()
+            raise
+
+    def request_views(self, slot: int, descs: Sequence[TensorDesc]
+                      ) -> Dict[str, np.ndarray]:
+        return read_tensors(self.request_ring.slot_view(slot), descs)
+
+    def write_response(self, slot: int,
+                       outputs: Mapping[str, np.ndarray]
+                       ) -> Optional[List[TensorDesc]]:
+        """Write ``outputs`` into the response slot; None when they do
+        not fit (the caller falls back to the pipe codec)."""
+        descs, total = layout_tensors(outputs)
+        if total > self.response_ring.slot_bytes:
+            return None
+        write_tensors(self.response_ring.slot_view(slot), outputs, descs)
+        return descs
+
+    def close(self) -> None:
+        self.request_ring.close()
+        self.response_ring.close()

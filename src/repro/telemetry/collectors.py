@@ -27,8 +27,10 @@ serving (per recorder)    counters   requests/batches/failures (``_total``)
                                      throughput window rps, failure ratio
 replica tier              counters   replica requests/failures and child
                                      arena allocations (labeled
-                                     ``replica="N"``), tier restarts/shed
-                          gauges     live replicas, per-replica inflight
+                                     ``replica="N"``), tier restarts/shed,
+                                     shm requests/fallbacks
+                          gauges     live replicas, per-replica inflight,
+                                     shm bytes inflight
 safety pipeline           counters   samples{action=...}, anomalies{kind=...}
 ========================  =========  =====================================
 
@@ -336,7 +338,11 @@ def _collect_replica_tiers() -> Iterable[MetricFamily]:
         "repro_replica_arena_allocations_total", "counter",
         "Scratch-arena heap allocations inside each replica process")
     live = restarts = shed = 0
+    shm_bytes = shm_requests = shm_fallbacks = 0
     for tier in list(_replica_tiers):
+        shm_bytes += tier.shm_bytes_inflight
+        shm_requests += tier.shm_requests
+        shm_fallbacks += tier.shm_fallbacks
         for stats in tier.replica_stats():
             labels = (("replica", str(stats.index)),)
             requests_family.samples.append(Sample(
@@ -368,6 +374,18 @@ def _collect_replica_tiers() -> Iterable[MetricFamily]:
     yield _counter_family(
         "repro_replica_tier_shed_total",
         "Requests shed by replica-tier admission control", shed)
+    yield _gauge_family(
+        "repro_replica_shm_bytes_inflight",
+        "Request payload bytes currently parked in shared-memory ring "
+        "slots across replica tiers", shm_bytes)
+    yield _counter_family(
+        "repro_replica_shm_requests_total",
+        "Batches whose payload crossed the replica data plane via a "
+        "shared-memory slot", shm_requests)
+    yield _counter_family(
+        "repro_replica_shm_fallbacks_total",
+        "Frames that fell back to the pipe codec while shared memory "
+        "was enabled (oversize payload or no free slot)", shm_fallbacks)
 
 
 def _collect_pipelines() -> Iterable[MetricFamily]:
