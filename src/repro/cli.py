@@ -10,6 +10,8 @@ Subcommands:
     serve-bench                 benchmark the batched serving engine
     metrics                     run a short workload, export the registry
     trace                       export a Chrome/Perfetto trace of a run
+                                (--replicas N merges the fleet's spans)
+    flightrec                   dump the always-on serving event ring
     optimize                    run the deployment pipeline on a dataset
     simulate                    assemble and run a program on the RV32 SoC
 
@@ -271,13 +273,14 @@ def _serve_bench_replicas(args: argparse.Namespace, graph) -> int:
     import json
 
     from .serving import render_replicas, run_replica_bench
-    from .telemetry import registry_to_json
+    from .telemetry import (
+        Tracer,
+        chrome_trace_processes,
+        registry_to_json,
+        traces_to_chrome,
+        write_chrome_trace,
+    )
 
-    if args.trace_out:
-        print("--trace-out is not supported with --replicas (request "
-              "traces live inside the replica processes)",
-              file=sys.stderr)
-        return 2
     # Scrape inside the sweep, while the last tier (and its per-replica
     # labeled series) is still live.
     scraped = {}
@@ -285,6 +288,8 @@ def _serve_bench_replicas(args: argparse.Namespace, graph) -> int:
     def _scrape(tier) -> None:
         scraped["payload"] = registry_to_json()
 
+    tracer = Tracer(sample_rate=args.trace_sample,
+                    capacity=4096) if args.trace_out else None
     results = run_replica_bench(
         graph, replica_counts=tuple(args.replicas),
         requests=args.requests, clients=args.clients,
@@ -292,12 +297,22 @@ def _serve_bench_replicas(args: argparse.Namespace, graph) -> int:
         max_latency_ms=args.max_latency_ms,
         max_inflight=args.max_inflight, cache_dir=args.cache_dir,
         shm=args.shm,
-        on_tier=_scrape if args.metrics_json else None)
+        on_tier=_scrape if args.metrics_json else None,
+        tracer=tracer, slow_request_ms=args.slow_request_ms)
     print(render_replicas(results, name=args.model))
     if args.metrics_json:
         with open(args.metrics_json, "w") as handle:
             json.dump(scraped["payload"], handle, indent=2)
         print(f"metrics snapshot written to {args.metrics_json}")
+    if args.trace_out:
+        events = traces_to_chrome(tracer.traces())
+        write_chrome_trace(args.trace_out, events)
+        tracks = chrome_trace_processes(events)
+        names = ", ".join(tracks[pid] for pid in sorted(tracks))
+        print(f"fleet chrome trace with {len(events)} events "
+              f"({tracer.sampled_count} sampled requests) across "
+              f"{len(tracks)} process tracks [{names}] written to "
+              f"{args.trace_out}")
     return 0
 
 
@@ -339,6 +354,57 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_tier(model: str, replicas: int, requests: int,
+                     tracer, flight_recorder=None, shm=None):
+    """Drive a short concurrent workload through a traced replica tier.
+
+    Submissions overlap (the whole wave is enqueued before the first
+    result is awaited) so batches spread across every replica and the
+    merged trace shows real slot-wait / dispatch interleaving.
+    """
+    import tempfile
+
+    from .ir import build_model
+    from .serving.bench import sample_feeds
+    from .serving.replicas import ReplicaEngine
+
+    graph = build_model(model)
+    feeds = sample_feeds(graph)
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as scratch:
+        with ReplicaEngine(graph, replicas=replicas, max_batch=4,
+                           max_latency_ms=2.0, cache_dir=scratch,
+                           shm=shm, tracer=tracer,
+                           flight_recorder=flight_recorder) as tier:
+            futures = [tier.infer(feeds) for _ in range(requests)]
+            for future in futures:
+                future.result(timeout=120.0)
+
+
+def _trace_replicas(args: argparse.Namespace) -> int:
+    """``repro trace --replicas N``: merged fleet trace of a live tier."""
+    from .telemetry import (
+        Tracer,
+        chrome_trace_processes,
+        traces_to_chrome,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer(sample_rate=1.0, capacity=4096)
+    requests = max(args.runs, 1) * args.replicas * 8
+    _run_traced_tier(args.model, args.replicas, requests, tracer)
+    events = traces_to_chrome(tracer.traces())
+    validate_chrome_trace({"traceEvents": events})
+    write_chrome_trace(args.out, events)
+    tracks = chrome_trace_processes(events)
+    names = ", ".join(tracks[pid] for pid in sorted(tracks))
+    print(f"{args.model} x{requests} requests over {args.replicas} "
+          f"replicas: {len(events)} events on {len(tracks)} process "
+          f"tracks [{names}] -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import time
 
@@ -347,6 +413,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .serving.bench import sample_feeds
     from .telemetry import timeline_to_chrome, write_chrome_trace
 
+    if args.replicas:
+        return _trace_replicas(args)
     graph = build_model(args.model, batch=args.batch)
     feeds = {name: np.concatenate([array] * args.batch, axis=0)
              if args.batch > 1 else array
@@ -372,6 +440,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"{executor.num_threads} threads: {len(events)} events on "
           f"{len(tracks)} tracks -> {args.out}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    """``repro flightrec dump``: capture a short replica workload into
+    the flight recorder and write the versioned dump (+ Chrome trace
+    sibling) for inspection."""
+    from .telemetry import FlightRecorder, load_flightrec_dump
+
+    recorder = FlightRecorder()
+    _run_traced_tier(args.model, args.replicas, args.requests,
+                     tracer=None, flight_recorder=recorder)
+    path = recorder.dump("on-demand", path=args.out)
+    payload = load_flightrec_dump(path)       # self-check before report
+    kinds = {}
+    for event in payload["events"]:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    summary = ", ".join(f"{kind}={count}"
+                        for kind, count in sorted(kinds.items()))
+    print(f"flight recorder dump v{payload['version']} with "
+          f"{len(payload['events'])} events ({summary}) written to "
+          f"{path}")
+    print(f"chrome trace sibling: "
+          f"{path.with_name(path.stem + '.trace.json')}")
     return 0
 
 
@@ -629,8 +721,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_NUM_THREADS or 1); at >= 2 the "
                               "trace shows steps spread across worker "
                               "tracks")
+    p_trace.add_argument("--replicas", type=int, default=None, metavar="N",
+                         help="trace a live N-replica serving tier "
+                              "instead of a single executor: the merged "
+                              "fleet trace has one process track per "
+                              "replica, clock-aligned onto the parent's "
+                              "timeline")
     p_trace.add_argument("--out", default="trace.json", metavar="PATH")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_frec = sub.add_parser(
+        "flightrec",
+        help="inspect the always-on flight recorder (recent serving "
+             "events ring)")
+    frec_sub = p_frec.add_subparsers(dest="action", required=True)
+    f_dump = frec_sub.add_parser(
+        "dump",
+        help="run a short replica workload and dump the event ring "
+             "(versioned JSON + Chrome trace sibling)")
+    f_dump.add_argument("--model", default="mlp")
+    f_dump.add_argument("--replicas", type=int, default=2)
+    f_dump.add_argument("--requests", type=int, default=32)
+    f_dump.add_argument("--out", default=None, metavar="PATH",
+                        help="dump file path (default: a timestamped "
+                             "file under $REPRO_FLIGHTREC_DIR or "
+                             "~/.cache/repro/flightrec)")
+    f_dump.set_defaults(fn=_cmd_flightrec)
 
     p_opt = sub.add_parser("optimize",
                            help="run the deployment pipeline")

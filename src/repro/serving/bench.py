@@ -164,7 +164,10 @@ def run_replica_bench(graph: Graph,
                       cache_dir=None,
                       start_method: str = "spawn",
                       shm: Optional[bool] = None,
-                      on_tier=None) -> List[ReplicaBenchResult]:
+                      on_tier=None,
+                      tracer=None,
+                      slow_request_ms: Optional[float] = None
+                      ) -> List[ReplicaBenchResult]:
     """Single-process engine baseline vs the replica tier at each count.
 
     The baseline is the best in-process configuration (one worker, same
@@ -178,7 +181,11 @@ def run_replica_bench(graph: Graph,
     rows at unequal offered load would fold demand differences into the
     reported speedups.  ``on_tier``, if given, is called with each
     still-live tier after its measurement — the CLI uses it to scrape
-    the telemetry registry while per-replica series exist.
+    the telemetry registry while per-replica series exist.  ``tracer``
+    and ``slow_request_ms`` go to the replica-tier rows only (the
+    in-process baseline stays untraced): the sampled traces carry the
+    merged cross-process spans for ``serve-bench --replicas
+    --trace-out``.
     """
     from .engine import InferenceEngine
     from .replicas import ReplicaEngine
@@ -221,7 +228,8 @@ def run_replica_bench(graph: Graph,
                            max_inflight=max_inflight,
                            cache_dir=cache_dir,
                            start_method=start_method,
-                           shm=shm) as tier:
+                           shm=shm, tracer=tracer,
+                           slow_request_ms=slow_request_ms) as tier:
             _measure(tier, "replicas", count, offered_clients)
             if on_tier is not None:
                 on_tier(tier)

@@ -31,6 +31,11 @@ from ..telemetry import DEFAULT_SIZE_BUCKETS, get_registry
 
 LATENCY_WINDOW = 8192
 
+# Error-budget burn-rate windows (Prometheus label -> seconds) and the
+# default availability SLO backing ``error_budget_burn``.
+BURN_WINDOWS = (("1m", 60.0), ("5m", 300.0))
+DEFAULT_SLO_TARGET = 0.99
+
 
 def percentile(sorted_values, q: float) -> float:
     """Nearest-rank percentile of an ascending sequence (0 when empty)."""
@@ -240,6 +245,45 @@ class MetricsRecorder:
         with self._lock:
             return (len(self._completions) + len(self._failure_times)
                     + len(self._shed_times))
+
+    @staticmethod
+    def _count_since(stream: Deque[float], cutoff: float) -> int:
+        """Events at or after ``cutoff`` in an ascending timestamp deque."""
+        count = 0
+        for stamp in reversed(stream):
+            if stamp < cutoff:
+                break
+            count += 1
+        return count
+
+    def error_budget_burn(self, window_s: float,
+                          slo_target: float = DEFAULT_SLO_TARGET) -> float:
+        """SRE-style burn rate of the error budget over ``window_s``.
+
+        The bad-event rate (failures + sheds + deadline misses, the same
+        stream :meth:`miss_rate` sees) over the window, divided by the
+        budget the SLO allows (``1 - slo_target``): 1.0 means the budget
+        is being spent exactly as fast as it accrues; 14.4 over 1h is
+        the classic page-now threshold.  0.0 when the window saw no
+        traffic.  Bounded by the deque window (``LATENCY_WINDOW`` recent
+        events), so under extreme rates long windows under-count equally
+        on both sides of the ratio.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0.0 <= slo_target < 1.0:
+            raise ValueError("slo_target must be within [0, 1)")
+        cutoff = self._clock() - window_s
+        with self._lock:
+            completions = self._count_since(self._completions, cutoff)
+            failures = self._count_since(self._failure_times, cutoff)
+            sheds = self._count_since(self._shed_times, cutoff)
+            good = self._count_since(self._good_times, cutoff)
+        total = completions + failures + sheds
+        if total == 0:
+            return 0.0
+        bad = failures + sheds + max(0, completions - good)
+        return (bad / total) / (1.0 - slo_target)
 
     def snapshot(self, queue_depth: int = 0,
                  arena_stats=None,

@@ -66,6 +66,26 @@ Architecture
   :mod:`repro.telemetry.collectors`, so one registry scrape shows the
   whole tier as ``repro_replica_*`` series labeled by replica index.
 
+* **Distributed tracing.**  With a :class:`Tracer` attached, sampled
+  requests carry a :class:`TierRequestTrace` whose phases decompose the
+  tier pipeline (queue wait / slot wait / assembly / dispatch /
+  finalize).  The dispatch frame of a traced batch grows an optional
+  trailing trace-context block; the replica answers with its per-step
+  executor timeline piggybacked on the result frame, and the parent
+  merges those spans — aligned onto its own ``perf_counter`` axis via
+  the spawn-time clock handshake (:mod:`repro.telemetry.clock`, min-RTT
+  midpoint, periodically resynced over the same pipe) and clamped into
+  the batch's dispatch window — under the request's ``dispatch`` phase.
+  Untraced batches carry zero extra bytes and the replica takes the
+  exact pre-existing path.
+
+* **Flight recorder.**  The tier feeds the always-on bounded event ring
+  (:mod:`repro.telemetry.flightrec`): admissions, sheds, batch
+  compositions, slot waits, SLO misses, generation retirements,
+  restarts, breaker trips.  The ring auto-dumps (versioned JSON +
+  Chrome trace) on a replica crash-restart or a breaker-open
+  transition, so the moments before an incident are always on disk.
+
 The front-end mirrors :class:`repro.serving.engine.InferenceEngine`'s
 surface (``infer`` / ``infer_sync`` / ``infer_many`` / ``metrics`` /
 ``close``), so serve-bench and client code treat both tiers uniformly.
@@ -88,7 +108,14 @@ from ..ir.graph import Graph
 from ..runtime.executor import Executor
 from ..runtime.plan_cache import PlanCache, default_cache_dir, load_or_build
 from ..telemetry import collectors as _telemetry
+from ..telemetry.clock import (
+    DEFAULT_HANDSHAKE_PROBES,
+    DEFAULT_RESYNC_S,
+    ClockSync,
+)
+from ..telemetry.flightrec import FlightRecorder, get_flight_recorder
 from ..telemetry.registry import get_registry, log_buckets
+from ..telemetry.tracing import RequestTrace, Span, Tracer
 from .batcher import (
     BatchQueue,
     InferenceRequest,
@@ -156,6 +183,10 @@ _KIND_READY = 4
 _KIND_SHUTDOWN = 5
 _KIND_SHM_REQUEST = 6
 _KIND_SHM_RESULT = 7
+# Clock probe: the replica answers with its perf_counter reading; the
+# parent brackets the round trip to estimate the clock-domain offset
+# (spawn-time handshake + periodic resync, see telemetry.clock).
+_KIND_CLOCK = 8
 
 _SHM_SLOT = struct.Struct("!II")
 
@@ -165,8 +196,30 @@ _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _U64 = struct.Struct("!Q")
+_F64 = struct.Struct("!d")
 
 _ZERO_STATS = (0, 0, 0, 0, 0)
+
+# Optional trailing blocks.  Both tensor codecs are self-delimiting
+# (decode consumes exactly what encode produced), so a traced frame can
+# append a magic-tagged block after the regular payload without
+# changing the wire format untraced frames use — old and new payloads
+# are byte-identical when tracing is off.
+#
+#   trace context  !2sQ     b"Tc", trace id — appended to a dispatched
+#                           batch frame to ask the replica for spans
+#   span block     !2sQddd  b"Sp", trace id, frame-received /
+#                           execute-start / execute-end perf_counter
+#                           readings in the *replica's* clock domain,
+#                           then a !I count of per-step entries
+#   span entry     !ddQHH   step start/end (seconds relative to
+#                           execute-start), thread ident, name/op byte
+#                           lengths, followed by the name and op bytes
+_TRACE_CTX = struct.Struct("!2sQ")
+_TRACE_CTX_MAGIC = b"Tc"
+_SPAN_HEADER = struct.Struct("!2sQddd")
+_SPAN_MAGIC = b"Sp"
+_SPAN_ENTRY = struct.Struct("!ddQHH")
 
 
 def encode_tensors(arrays: Mapping[str, np.ndarray]) -> bytes:
@@ -200,6 +253,12 @@ def decode_tensors(payload) -> Dict[str, np.ndarray]:
     replica executor (inputs are never written) and the front-end's
     per-request result split already satisfy that.
     """
+    return _decode_tensors(payload)[0]
+
+
+def _decode_tensors(payload) -> Tuple[Dict[str, np.ndarray], int]:
+    """Decode plus the bytes consumed, so callers can find a trailing
+    trace block appended after the tensor table."""
     view = memoryview(payload)
     offset = 0
     (count,) = _U32.unpack_from(view, offset)
@@ -226,7 +285,7 @@ def decode_tensors(payload) -> Dict[str, np.ndarray]:
             raise ReplicaProtocolError("truncated tensor payload")
         offset += nbytes
         arrays[name] = np.frombuffer(data, dtype=dtype).reshape(shape)
-    return arrays
+    return arrays, offset
 
 
 def pack_tensor_frame(kind: int, request_id: int,
@@ -323,6 +382,66 @@ def _unpack_error(payload) -> Tuple[str, str]:
     return kind, message
 
 
+def _unpack_trace_ctx(rest) -> Optional[int]:
+    """Trace id from a request frame's trailing context block, or None
+    (untraced frames simply end where the tensor payload ends)."""
+    if len(rest) < _TRACE_CTX.size:
+        return None
+    magic, trace_id = _TRACE_CTX.unpack_from(rest, 0)
+    if magic != _TRACE_CTX_MAGIC:
+        return None
+    return trace_id
+
+
+def _pack_span_block(trace_id: int, recv_t: float, exec_start: float,
+                     exec_end: float,
+                     timeline: Sequence[Mapping[str, object]]) -> bytes:
+    """The replica's span payload: batch landmarks + per-step entries,
+    all in the replica's own perf_counter domain (steps relative to
+    ``exec_start``, exactly as the executor timeline records them)."""
+    parts: List[bytes] = [
+        _SPAN_HEADER.pack(_SPAN_MAGIC, trace_id, recv_t, exec_start,
+                          exec_end),
+        _U32.pack(len(timeline)),
+    ]
+    for entry in timeline:
+        name_bytes = str(entry["name"]).encode("utf-8")
+        op_bytes = str(entry.get("op", "step")).encode("utf-8")
+        parts.append(_SPAN_ENTRY.pack(
+            float(entry["start"]), float(entry["end"]),
+            int(entry.get("thread", 0)) & 0xFFFFFFFFFFFFFFFF,
+            len(name_bytes), len(op_bytes)))
+        parts.append(name_bytes)
+        parts.append(op_bytes)
+    return b"".join(parts)
+
+
+def _unpack_span_block(rest):
+    """Inverse of :func:`_pack_span_block`; None when ``rest`` holds no
+    span block (untraced result frames end at the tensor payload)."""
+    if len(rest) < _SPAN_HEADER.size:
+        return None
+    magic, trace_id, recv_t, exec_start, exec_end = \
+        _SPAN_HEADER.unpack_from(rest, 0)
+    if magic != _SPAN_MAGIC:
+        return None
+    offset = _SPAN_HEADER.size
+    (count,) = _U32.unpack_from(rest, offset)
+    offset += _U32.size
+    steps: List[Dict[str, object]] = []
+    for _ in range(count):
+        start, end, thread, name_len, op_len = \
+            _SPAN_ENTRY.unpack_from(rest, offset)
+        offset += _SPAN_ENTRY.size
+        name = bytes(rest[offset:offset + name_len]).decode("utf-8")
+        offset += name_len
+        op = bytes(rest[offset:offset + op_len]).decode("utf-8")
+        offset += op_len
+        steps.append({"name": name, "op": op, "start": start,
+                      "end": end, "thread": thread})
+    return trace_id, recv_t, exec_start, exec_end, steps
+
+
 # -- replica process --------------------------------------------------------
 
 
@@ -403,12 +522,25 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                 frame = conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            recv_t = time.perf_counter()
             kind, request_id, _, payload = _unpack_frame(frame)
             if kind == _KIND_SHUTDOWN:
                 break
+            if kind == _KIND_CLOCK:
+                # Answer with our clock reading immediately: every
+                # microsecond between recv and reply widens the RTT
+                # bound on the parent's offset estimate.
+                try:
+                    conn.send_bytes(_pack_frame(
+                        _KIND_CLOCK, request_id, _stats(),
+                        _F64.pack(time.perf_counter())))
+                except (BrokenPipeError, OSError):
+                    break
+                continue
             if kind not in (_KIND_REQUEST, _KIND_SHM_REQUEST):
                 continue
             size = 0
+            trace_id = None
             try:
                 if kind == _KIND_SHM_REQUEST:
                     slot, generation = _SHM_SLOT.unpack_from(payload, 0)
@@ -419,17 +551,28 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                         raise ReplicaProtocolError(
                             f"shm frame for generation {generation}, "
                             f"attached {attachment.generation}")
-                    descs, _ = unpack_descriptors(
+                    descs, consumed = unpack_descriptors(
                         payload[_SHM_SLOT.size:])
+                    trace_id = _unpack_trace_ctx(
+                        payload[_SHM_SLOT.size + consumed:])
                     # Execute straight out of the mapped slot: no
                     # payload bytes ever crossed the pipe.
                     feeds = attachment.request_views(slot, descs)
                 else:
-                    feeds = decode_tensors(payload)
+                    feeds, consumed = _decode_tensors(payload)
+                    trace_id = _unpack_trace_ctx(payload[consumed:])
                 size = int(next(iter(feeds.values())).shape[0]) \
                     if feeds else 0
                 executor = _executor_for(size)
-                outputs = executor.run(feeds)
+                if trace_id is not None:
+                    executor.record_timeline = True
+                try:
+                    exec_start = time.perf_counter()
+                    outputs = executor.run(feeds)
+                    exec_end = time.perf_counter()
+                finally:
+                    if trace_id is not None:
+                        executor.record_timeline = False
                 out_descs = None
                 if kind == _KIND_SHM_REQUEST:
                     # One copy arena -> response slot; the parent reads
@@ -439,16 +582,25 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                     out_descs = attachment.write_response(slot, outputs)
                 requests += size
                 batches += 1
+                # A traced batch ships its spans home piggybacked on
+                # the result frame; untraced frames append nothing.
+                span_block = b""
+                if trace_id is not None:
+                    span_block = _pack_span_block(
+                        trace_id, recv_t, exec_start, exec_end,
+                        executor.last_timeline or ())
                 if out_descs is not None:
                     response = _pack_frame(
                         _KIND_SHM_RESULT, request_id, _stats(),
                         _SHM_SLOT.pack(slot, attachment.generation)
-                        + pack_descriptors(out_descs))
+                        + pack_descriptors(out_descs) + span_block)
                 else:
                     # Single-allocation framing: headers packed in
                     # place, result bytes copied out of the arena once.
                     response = pack_tensor_frame(
                         _KIND_RESULT, request_id, _stats(), outputs)
+                    if span_block:
+                        response += span_block
                 executor.recycle(outputs)
             except BaseException as exc:
                 failures += size if size else 1
@@ -468,6 +620,37 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
 # -- front end --------------------------------------------------------------
 
 
+class TierRequestTrace(RequestTrace):
+    """Span decomposition for a request crossing the replica tier.
+
+    Same mark-sheet machinery as the in-process engine's trace, but the
+    phases follow the tier pipeline, and the ``dispatch`` window (send
+    to receive, the time the batch spends on the other side of the data
+    plane) hosts the replica's merged remote spans::
+
+        request
+        ├── queue_wait       submit -> dispatcher pops the batch
+        ├── slot_wait        waiting for a live replica with capacity
+        ├── batch_assembly   concat + slot write / frame pack + send
+        ├── dispatch         frame sent -> result frame received
+        │   └── replica_batch   (replica process track, clock-aligned)
+        │       └── execute
+        │           └── <per-step kernel spans>
+        └── finalize         per-request split + future completion
+    """
+
+    __slots__ = ()
+
+    _PHASES = (
+        ("queue_wait", "enqueued", "dequeued"),
+        ("slot_wait", "dequeued", "acquired"),
+        ("batch_assembly", "acquired", "sent"),
+        ("dispatch", "sent", "received"),
+        ("finalize", "received", "completed"),
+    )
+    _STEPS_PHASE = "dispatch"
+
+
 @dataclass
 class _Inflight:
     requests: List[InferenceRequest]
@@ -476,6 +659,11 @@ class _Inflight:
     # in (None: pipe frame) and the payload bytes parked there.
     slot: Optional[int] = None
     shm_bytes: int = 0
+    # Tracing: the sampled traces riding in this batch and the
+    # perf_counter send stamp bounding the dispatch window (remote
+    # spans are clamped into [sent_pc, received_pc] after alignment).
+    traces: Tuple[TierRequestTrace, ...] = ()
+    sent_pc: float = 0.0
 
 
 class _Replica:
@@ -496,6 +684,11 @@ class _Replica:
         # Latest piggybacked child counters: requests, batches,
         # failures, arena allocations, arena reuses.
         self.child_stats: Tuple[int, ...] = _ZERO_STATS
+        # Clock-domain alignment: offset estimate for this process
+        # (handshaken before the receiver starts, resynced in-band) and
+        # the send stamps of resync probes still in flight.
+        self.clock = ClockSync()
+        self.clock_probes: Dict[int, float] = {}
 
     @property
     def pid(self) -> Optional[int]:
@@ -592,6 +785,23 @@ class ReplicaEngine:
         the default request deadline, the queue-bound/miss-rate
         :class:`ShedPolicy`, an injected shared model, and the
         scheduling slack the assembly reserves per comparison.
+    tracer
+        Optional :class:`repro.telemetry.Tracer`; sampled requests
+        carry a :class:`TierRequestTrace` across the data plane, and
+        finished traces include the replica's clock-aligned per-step
+        spans (see the module docstring).  ``None`` (the default) keeps
+        every frame byte-identical to the untraced wire format.
+    slow_request_ms
+        Log a warning (with the tier-phase breakdown when the request
+        was traced) for any request completing slower than this many
+        milliseconds; mirrors the in-process engine's slow-request log
+        and feeds ``slow_requests``.
+    flight_recorder
+        The event ring the tier records into (default: the process-wide
+        recorder).  Auto-dumped on crash-restart and breaker trips.
+    clock_resync_s
+        How often (seconds) the dispatcher refreshes each replica's
+        clock-offset estimate with an in-band probe (default 30).
     """
 
     def __init__(self, graph: Graph, replicas: int = 2, max_batch: int = 8,
@@ -610,7 +820,11 @@ class ReplicaEngine:
                  default_slo_ms: Optional[float] = None,
                  shed_policy: Optional[ShedPolicy] = None,
                  latency_model: Optional[BatchLatencyModel] = None,
-                 headroom_ms: float = 0.5) -> None:
+                 headroom_ms: float = 0.5,
+                 tracer: Optional[Tracer] = None,
+                 slow_request_ms: Optional[float] = None,
+                 flight_recorder: Optional[FlightRecorder] = None,
+                 clock_resync_s: float = DEFAULT_RESYNC_S) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if max_inflight < 1:
@@ -639,6 +853,19 @@ class ReplicaEngine:
         # batches, making queue-drain/shed behaviour deterministic.
         self._dispatch_gate = threading.Event()
         self._dispatch_gate.set()
+
+        # -- observability -----------------------------------------------
+        self.tracer = tracer
+        self.slow_request_ms = (float(slow_request_ms)
+                                if slow_request_ms is not None else None)
+        self.slow_requests = 0
+        self.flightrec = flight_recorder if flight_recorder is not None \
+            else get_flight_recorder()
+        self.clock_resync_s = float(clock_resync_s)
+        # Breaker-open edge detection: the flight recorder dumps once
+        # per trip, not once per shed request while the breaker stays
+        # open.
+        self._breaker_open = False
 
         # -- shared-memory data plane ------------------------------------
         if shm is None:
@@ -766,6 +993,8 @@ class ReplicaEngine:
             with self._cond:
                 self._shed += 1
             self.recorder.record_shed(1)
+            self.flightrec.record("shed", reason="queue_full",
+                                  priority=int(priority))
             raise TierSaturatedError(
                 f"replica tier saturated: {self.queue_limit} requests "
                 f"queued; request shed")
@@ -783,8 +1012,27 @@ class ReplicaEngine:
             # The windowed breaker is open: fail fast with the typed
             # shed error instead of queueing work the window says will
             # go bad.
+            with self._cond:
+                tripped = not self._breaker_open
+                self._breaker_open = True
+            if tripped:
+                self.flightrec.record(
+                    "breaker_trip",
+                    miss_rate=self.recorder.miss_rate(),
+                    threshold=policy.miss_rate_threshold)
+                self.flightrec.try_dump("breaker-trip")
             self._shed_request(request)
             return request.future
+        if self._breaker_open:
+            with self._cond:
+                self._breaker_open = False
+        tracer = self.tracer
+        if tracer is not None and tracer.sample():
+            trace = TierRequestTrace()
+            trace.mark("enqueued")
+            request.trace = trace
+        self.flightrec.record("admit", priority=request.priority,
+                              slo_ms=slo_ms)
         try:
             self.queue.submit(request)
         except QueueClosedError:
@@ -1017,6 +1265,33 @@ class ReplicaEngine:
                 f"replica {replica.index} sent frame kind {kind} "
                 f"instead of READY")
         replica.child_stats = stats
+        self._sync_clock(replica)
+
+    def _sync_clock(self, replica: _Replica,
+                    probes: int = DEFAULT_HANDSHAKE_PROBES) -> None:
+        """Spawn-time offset handshake: a few synchronous round trips
+        over the just-idle pipe (runs between READY and the receiver
+        thread starting, so the parent owns the connection).  Keeps the
+        min-RTT midpoint estimate; see :mod:`repro.telemetry.clock`."""
+        for _ in range(probes):
+            t_send = time.perf_counter()
+            replica.conn.send_bytes(_pack_frame(_KIND_CLOCK, 0))
+            if not replica.conn.poll(self.ready_timeout_s):
+                replica.process.terminate()
+                raise RuntimeError(
+                    f"replica {replica.index} did not answer the clock "
+                    f"handshake within {self.ready_timeout_s:.0f}s")
+            frame = replica.conn.recv_bytes()
+            t_recv = time.perf_counter()
+            kind, _, stats, payload = _unpack_frame(frame)
+            if kind != _KIND_CLOCK or len(payload) < _F64.size:
+                replica.process.terminate()
+                raise ReplicaProtocolError(
+                    f"replica {replica.index} answered the clock "
+                    f"handshake with frame kind {kind}")
+            replica.child_stats = stats
+            (t_child,) = _F64.unpack_from(payload, 0)
+            replica.clock.observe(t_send, t_child, t_recv)
 
     def _start_receiver(self, replica: _Replica) -> None:
         thread = threading.Thread(
@@ -1076,6 +1351,8 @@ class ReplicaEngine:
             if should_restart:
                 self._restarts += 1
             self._cond.notify_all()
+        generation = replica.channel.generation \
+            if replica.channel is not None else None
         if replica.channel is not None:
             # Retire the whole generation: both segment names leave
             # /dev/shm immediately; in-flight slots die with it (a
@@ -1098,6 +1375,20 @@ class ReplicaEngine:
                 replica.pid,
                 f" failing {len(doomed)} in-flight batches" if doomed
                 else "")
+            # Crash path: record the generation retirement, then dump
+            # the ring so the moments before the crash (last admits,
+            # batch compositions, the retire itself) are on disk even
+            # if the process never recovers.
+            self.flightrec.record(
+                "generation_retire", replica=replica.index,
+                generation=generation if generation is not None else -1,
+                inflight_batches=len(doomed),
+                inflight_requests=sum(len(inflight.requests)
+                                      for inflight in doomed),
+                restarting=should_restart)
+            if should_restart:
+                self.flightrec.record("restart", replica=replica.index)
+            self.flightrec.try_dump(f"replica-{replica.index}-crash")
         if should_restart:
             self._restart(replica)
 
@@ -1109,6 +1400,9 @@ class ReplicaEngine:
         with self._cond:
             self._shed += 1
         self.recorder.record_shed(1)
+        self.flightrec.record("shed", reason="slo",
+                              priority=request.priority)
+        self._finish_trace(request)
         if not request.future.done():
             deadline_note = ""
             if request.deadline_s is not None:
@@ -1121,6 +1415,15 @@ class ReplicaEngine:
                 f"admission control{deadline_note}; retry with backoff "
                 f"or lower load"))
 
+    def _finish_trace(self, request: InferenceRequest) -> None:
+        """Close out a sampled request's trace on a non-success path so
+        the partial span tree (however far it got) still exports."""
+        trace = request.trace
+        if trace is None or self.tracer is None:
+            return
+        trace.mark("completed")
+        self.tracer.finish(trace)
+
     def _fail_requests(self, requests: List[InferenceRequest],
                        exc: BaseException) -> None:
         failed_at = time.monotonic()
@@ -1128,6 +1431,7 @@ class ReplicaEngine:
             len(requests), [failed_at - request.enqueued_at
                             for request in requests])
         for request in requests:
+            self._finish_trace(request)
             if not request.future.done():
                 request.future.set_exception(exc)
 
@@ -1140,8 +1444,8 @@ class ReplicaEngine:
         pair per batch, so this wait *is* the slot wait — it feeds the
         ``repro_replica_shm_slot_wait_seconds`` histogram.
         """
-        started = time.perf_counter() if self._slot_wait is not None \
-            else 0.0
+        started = time.perf_counter()
+        waited = False
         with self._cond:
             while True:
                 live = [replica for replica in self._replicas
@@ -1152,11 +1456,20 @@ class ReplicaEngine:
                     if self._slot_wait is not None:
                         self._slot_wait.observe(
                             time.perf_counter() - started)
-                    return min(available,
-                               key=lambda r: len(r.inflight))
+                    choice = min(available,
+                                 key=lambda r: len(r.inflight))
+                    break
                 if not live:
                     return None
+                waited = True
                 self._cond.wait(timeout=0.25)
+        if waited:
+            # Only actual blocking is an event: the common free-slot
+            # path stays recorder-free.
+            self.flightrec.record(
+                "slot_wait", replica=choice.index,
+                wait_s=time.perf_counter() - started)
+        return choice
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -1164,6 +1477,13 @@ class ReplicaEngine:
             batch = self.queue.next_batch()
             if batch is None:
                 return
+            traces = () if self.tracer is None else \
+                tuple(request.trace for request in batch
+                      if request.trace is not None)
+            if traces:
+                dequeued = time.perf_counter()
+                for trace in traces:
+                    trace.mark("dequeued", at=dequeued)
             while True:
                 replica = self._acquire_replica()
                 if replica is None:
@@ -1171,11 +1491,16 @@ class ReplicaEngine:
                         "no live replicas (crashed beyond the restart "
                         "limit)"))
                     break
-                if self._send_batch(replica, batch):
+                if traces:
+                    acquired = time.perf_counter()
+                    for trace in traces:
+                        trace.mark("acquired", at=acquired)
+                if self._send_batch(replica, batch, traces):
                     break
 
     def _send_batch(self, replica: _Replica,
-                    batch: List[InferenceRequest]) -> bool:
+                    batch: List[InferenceRequest],
+                    traces: Tuple[TierRequestTrace, ...] = ()) -> bool:
         """Route ``batch`` to ``replica``; False if the replica died
         between acquisition and registration (caller re-routes)."""
         if len(batch) == 1:
@@ -1215,9 +1540,17 @@ class ReplicaEngine:
                 self._shm_fallbacks += 1
             request_id = self._next_id
             self._next_id += 1
-            replica.inflight[request_id] = _Inflight(
+            entry = _Inflight(
                 batch, time.monotonic(), slot=slot,
-                shm_bytes=total if slot is not None else 0)
+                shm_bytes=total if slot is not None else 0,
+                traces=traces)
+            replica.inflight[request_id] = entry
+        # A traced batch asks the replica for spans by appending the
+        # trace-context block after the regular payload (both codecs
+        # are self-delimiting, so untraced frames are byte-identical to
+        # the pre-tracing wire format).
+        trailer = _TRACE_CTX.pack(_TRACE_CTX_MAGIC, traces[0].trace_id) \
+            if traces else b""
         if slot is not None:
             # The data plane's single copy, outside the lock: payload
             # bytes go straight into the mapped slot and only the tiny
@@ -1226,17 +1559,52 @@ class ReplicaEngine:
             frame = _pack_frame(
                 _KIND_SHM_REQUEST, request_id,
                 payload=_SHM_SLOT.pack(slot, replica.channel.generation)
-                + pack_descriptors(descs))
+                + pack_descriptors(descs) + trailer)
         else:
             frame = pack_tensor_frame(_KIND_REQUEST, request_id,
                                       _ZERO_STATS, feeds)
+            if trailer:
+                frame += trailer
+        probe_id = None
+        if self.tracer is not None and \
+                replica.clock.stale(resync_s=self.clock_resync_s):
+            with self._cond:
+                if not replica.clock_probes:
+                    probe_id = self._next_id
+                    self._next_id += 1
+                    replica.clock_probes[probe_id] = 0.0
         try:
             with replica.send_lock:
+                if probe_id is not None:
+                    # Periodic in-band resync, sent *ahead* of the
+                    # batch so the reply never queues behind the
+                    # execution (which would balloon the RTT bound; a
+                    # worse sample loses to the min-RTT estimate, but
+                    # there is no reason to collect one on purpose).
+                    replica.clock_probes[probe_id] = \
+                        time.perf_counter()
+                    replica.conn.send_bytes(
+                        _pack_frame(_KIND_CLOCK, probe_id))
+                # Stamp and mark *before* the send: the receiver thread
+                # may process the reply (and freeze the trace's span
+                # tree) before this thread runs again, so marking after
+                # the send races the merge and can lose the dispatch
+                # phase entirely.
+                sent_pc = time.perf_counter()
+                if traces:
+                    entry.sent_pc = sent_pc
+                    for trace in traces:
+                        trace.mark("sent", at=sent_pc)
+                        trace.batch_size = len(batch)
                 replica.conn.send_bytes(frame)
         except (OSError, ValueError) as exc:
             # The crash handler (here or on the receiver thread) drains
             # the registered in-flight entry, failing these futures.
             self._on_replica_failure(replica, exc)
+            return True
+        self.flightrec.record(
+            "batch", replica=replica.index, size=len(batch),
+            slot=slot if slot is not None else -1, shm_bytes=total)
         return True
 
     # -- receive -------------------------------------------------------------
@@ -1258,8 +1626,99 @@ class ReplicaEngine:
                                 shm=(kind == _KIND_SHM_RESULT))
             elif kind == _KIND_ERROR:
                 self._on_error(replica, request_id, stats, payload)
+            elif kind == _KIND_CLOCK:
+                self._on_clock(replica, request_id, stats, payload)
         self._on_replica_failure(
             replica, ReplicaCrashError("connection lost"))
+
+    def _on_clock(self, replica: _Replica, request_id: int,
+                  stats: Tuple[int, ...], payload) -> None:
+        """Fold a resync probe reply into the replica's offset estimate
+        (receiver thread only, so ClockSync needs no lock)."""
+        t_recv = time.perf_counter()
+        with self._cond:
+            replica.child_stats = tuple(stats)
+            t_send = replica.clock_probes.pop(request_id, None)
+        if t_send is None or t_send <= 0.0 or \
+                len(payload) < _F64.size:
+            return
+        (t_child,) = _F64.unpack_from(payload, 0)
+        replica.clock.observe(t_send, t_child, t_recv)
+
+    def _merge_replica_spans(self, replica: _Replica, entry: _Inflight,
+                             received_pc: float, block) -> None:
+        """Attach the replica's piggybacked spans to every trace in the
+        batch, aligned onto the parent clock and clamped into the
+        batch's dispatch window.
+
+        Alignment maps child readings through the replica's offset
+        estimate; clamping into ``[sent_pc, received_pc]`` then makes
+        the nesting *structural* — whatever residual offset error
+        remains (bounded by the winning probe's RTT/2), the replica's
+        spans cannot escape the parent span that caused them, so the
+        merged trace is always monotonic.
+        """
+        trace_id, recv_c, exec_start_c, exec_end_c, steps = block
+        offset = replica.clock.offset_s
+        lo, hi = entry.sent_pc, received_pc
+
+        def align(t_child: float) -> float:
+            return min(max(t_child + offset, lo), hi)
+
+        process = f"replica-{replica.index}"
+        execute = Span("execute", "replica",
+                       align(exec_start_c), align(exec_end_c),
+                       process=process)
+        for step in steps:
+            execute.children.append(Span(
+                str(step["name"]), str(step["op"]),
+                align(exec_start_c + float(step["start"])),
+                align(exec_start_c + float(step["end"])),
+                thread=int(step["thread"]), process=process))
+        root = Span("replica_batch", "replica",
+                    align(recv_c), align(exec_end_c),
+                    process=process,
+                    args={"replica": replica.index,
+                          "trace_id": trace_id,
+                          "batch_size": len(entry.requests),
+                          "clock_offset_s": offset,
+                          "clock_rtt_s": replica.clock.rtt_s},
+                    children=[execute])
+        for trace in entry.traces:
+            trace.attach_children("dispatch", [root])
+
+    def _log_slow_requests(self, entry: _Inflight, replica: _Replica,
+                           latencies: List[float]) -> None:
+        """Mirror the in-process engine's slow-request log, with the
+        tier-phase breakdown (slot wait, dispatch/IPC) when traced."""
+        threshold_s = self.slow_request_ms / 1e3
+        slow = [(request, latency) for request, latency
+                in zip(entry.requests, latencies)
+                if latency >= threshold_s]
+        if not slow:
+            return
+        with self._cond:
+            self.slow_requests += len(slow)
+        for request, latency in slow:
+            trace = request.trace
+            if trace is not None:
+                phases = trace.phase_durations_ms()
+                breakdown = ", ".join(
+                    f"{name} {phases[name]:.2f}ms" for name in
+                    ("queue_wait", "slot_wait", "batch_assembly",
+                     "dispatch", "finalize") if name in phases)
+                logger.warning(
+                    "slow request on replica tier: %.2f ms "
+                    "(threshold %.2f ms, replica %d, batch %d): %s",
+                    latency * 1e3, self.slow_request_ms,
+                    replica.index, len(entry.requests), breakdown)
+            else:
+                logger.warning(
+                    "slow request on replica tier: %.2f ms "
+                    "(threshold %.2f ms, replica %d, batch %d; "
+                    "untraced — attach a tracer for the phase "
+                    "breakdown)", latency * 1e3, self.slow_request_ms,
+                    replica.index, len(entry.requests))
 
     def _peek_inflight(self, replica: _Replica, request_id: int,
                        stats: Tuple[int, ...]) -> Optional[_Inflight]:
@@ -1287,10 +1746,12 @@ class ReplicaEngine:
     def _on_result(self, replica: _Replica, request_id: int,
                    stats: Tuple[int, ...], payload,
                    shm: bool = False) -> None:
+        received_pc = time.perf_counter()
         entry = self._peek_inflight(replica, request_id, stats)
         if entry is None:
             return
         requests = entry.requests
+        span_block = None
         try:
             if shm:
                 slot, generation = _SHM_SLOT.unpack_from(payload, 0)
@@ -1307,7 +1768,11 @@ class ReplicaEngine:
                     # send side): a concurrent retirement defers its
                     # close instead of unmapping under the read.
                     view = channel.response_ring.slot_view(slot)
-                descs, _ = unpack_descriptors(payload[_SHM_SLOT.size:])
+                descs, consumed = unpack_descriptors(
+                    payload[_SHM_SLOT.size:])
+                if entry.traces:
+                    span_block = _unpack_span_block(
+                        payload[_SHM_SLOT.size + consumed:])
                 outputs = read_tensors(view, descs)
             else:
                 if entry.slot is not None:
@@ -1316,7 +1781,9 @@ class ReplicaEngine:
                     # to an inline pipe result for this frame.
                     with self._cond:
                         self._shm_fallbacks += 1
-                outputs = decode_tensors(payload)
+                outputs, consumed = _decode_tensors(payload)
+                if entry.traces:
+                    span_block = _unpack_span_block(payload[consumed:])
             # The per-request split is the read side's only copy; the
             # response slot is free for reuse the moment it is done.
             results = [
@@ -1340,6 +1807,12 @@ class ReplicaEngine:
             # deadline (pipe transit and replica queueing included).
             self.latency_model.observe(
                 len(requests), time.monotonic() - entry.sent_at)
+        if entry.traces:
+            for trace in entry.traces:
+                trace.mark("received", at=received_pc)
+            if span_block is not None:
+                self._merge_replica_spans(replica, entry, received_pc,
+                                          span_block)
         completed = time.monotonic()
         latencies = [completed - request.enqueued_at
                      for request in requests]
@@ -1348,12 +1821,24 @@ class ReplicaEngine:
                          and completed > request.deadline_s)
         self.recorder.record_batch(len(requests), latencies,
                                    slo_misses=slo_misses)
+        if slo_misses:
+            self.flightrec.record("slo_miss", replica=replica.index,
+                                  count=slo_misses, size=len(requests))
         with self._cond:
             replica.completed_requests += len(requests)
             replica.completed_batches += 1
         for request, result in zip(requests, results):
             if not request.future.done():
                 request.future.set_result(result)
+        if entry.traces:
+            completed_pc = time.perf_counter()
+            tracer = self.tracer
+            for trace in entry.traces:
+                trace.mark("completed", at=completed_pc)
+                if tracer is not None:
+                    tracer.finish(trace)
+        if self.slow_request_ms is not None:
+            self._log_slow_requests(entry, replica, latencies)
 
     def _on_error(self, replica: _Replica, request_id: int,
                   stats: Tuple[int, ...], payload) -> None:

@@ -12,13 +12,22 @@ requirement of the AIoT deployment flow):
   dispatch-wait / batch-assembly / execute / per-step kernels) behind a
   deterministic sampler that is off by default;
 * :mod:`repro.telemetry.export` — Prometheus text exposition, JSON
-  snapshots, and Perfetto-loadable Chrome trace-event files.
+  snapshots, and Perfetto-loadable Chrome trace-event files (including
+  the multi-process fleet merger for the replica tier);
+* :mod:`repro.telemetry.clock` — min-RTT midpoint clock alignment so
+  spans recorded in replica processes merge monotonically onto the
+  parent's perf_counter axis;
+* :mod:`repro.telemetry.flightrec` — the always-on bounded ring of
+  recent serving events, auto-dumped on crash-restart or breaker trip.
 
-Surfaced via ``repro metrics``, ``repro trace``, and ``serve-bench
+Surfaced via ``repro metrics``, ``repro trace [--replicas N]``,
+``repro flightrec dump``, and ``serve-bench
 --metrics-json/--trace-out``.
 """
 
+from .clock import ClockSample, ClockSync, handshake as clock_handshake
 from .export import (
+    chrome_trace_processes,
     parse_prometheus,
     registry_to_json,
     render_prometheus,
@@ -27,6 +36,12 @@ from .export import (
     traces_to_chrome,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .flightrec import (
+    FlightRecorder,
+    get_flight_recorder,
+    load_dump as load_flightrec_dump,
+    set_flight_recorder,
 )
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -50,6 +65,10 @@ __all__ = [
     "get_registry", "set_registry", "log_buckets",
     "quantile_from_buckets",
     "RequestTrace", "Span", "Tracer",
+    "ClockSample", "ClockSync", "clock_handshake",
+    "FlightRecorder", "get_flight_recorder", "set_flight_recorder",
+    "load_flightrec_dump",
+    "chrome_trace_processes",
     "parse_prometheus", "registry_to_json", "render_prometheus",
     "render_summary",
     "timeline_to_chrome", "traces_to_chrome", "validate_chrome_trace",

@@ -1,0 +1,120 @@
+"""Cross-process clock alignment for merged traces.
+
+Every process stamps trace times with ``time.perf_counter()``, whose
+zero point is arbitrary *per process*: a replica's span timestamps live
+in a clock domain unrelated to the parent's.  To merge child spans onto
+the parent's timeline we estimate the constant offset between the two
+domains with the classic min-RTT midpoint probe (the NTP/Cristian
+estimate):
+
+    parent sends a probe at ``t_send`` (parent clock), the child
+    answers with its own clock reading ``t_child``, the parent receives
+    the answer at ``t_recv``.  Assuming the outbound and return legs are
+    symmetric, ``t_child`` was read at parent time ``(t_send+t_recv)/2``,
+    so ``offset = (t_send+t_recv)/2 - t_child`` maps child readings into
+    the parent domain via ``t_parent = t_child + offset``.
+
+The asymmetry error is bounded by half the round-trip time, so the probe
+with the **lowest RTT** wins: :class:`ClockSync` keeps the best estimate
+seen and only replaces it with a lower-RTT sample (or any sample once
+the estimate has aged past ``max_age_s``, so slow drift between the two
+domains is periodically corrected).  A spawn-time handshake of a few
+probes over a just-idle pipe typically lands an offset good to a few
+microseconds — far below the span durations being aligned.
+
+This module is deliberately transport-agnostic: the replica protocol in
+:mod:`repro.serving.replicas` owns the probe frames and feeds
+``(t_send, t_child, t_recv)`` triples into :meth:`ClockSync.observe`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+DEFAULT_HANDSHAKE_PROBES = 5
+DEFAULT_RESYNC_S = 30.0
+
+
+@dataclass(frozen=True)
+class ClockSample:
+    """One accepted probe: the offset estimate and its quality bound."""
+
+    offset_s: float      # t_parent = t_child + offset_s
+    rtt_s: float         # round-trip time of the probe (error <= rtt/2)
+    synced_at_s: float   # parent perf_counter when the probe landed
+
+
+class ClockSync:
+    """Best-of-N offset estimate between a remote clock and ours.
+
+    Not thread-safe by itself; callers serialize :meth:`observe` (the
+    replica tier calls it only from its receive loop and the spawn-time
+    handshake, which never overlap).
+    """
+
+    def __init__(self, max_age_s: float = DEFAULT_RESYNC_S * 10) -> None:
+        if max_age_s <= 0:
+            raise ValueError("max_age_s must be positive")
+        self.max_age_s = float(max_age_s)
+        self._best: Optional[ClockSample] = None
+
+    def observe(self, t_send: float, t_child: float,
+                t_recv: float) -> ClockSample:
+        """Fold one probe into the estimate; returns the accepted sample."""
+        rtt = max(0.0, t_recv - t_send)
+        sample = ClockSample(offset_s=(t_send + t_recv) / 2.0 - t_child,
+                             rtt_s=rtt, synced_at_s=t_recv)
+        best = self._best
+        if best is None or rtt <= best.rtt_s or \
+                t_recv - best.synced_at_s > self.max_age_s:
+            self._best = sample
+        return sample
+
+    @property
+    def synced(self) -> bool:
+        return self._best is not None
+
+    @property
+    def offset_s(self) -> float:
+        """Current child->parent offset (0.0 until the first probe)."""
+        return self._best.offset_s if self._best is not None else 0.0
+
+    @property
+    def rtt_s(self) -> float:
+        return self._best.rtt_s if self._best is not None else float("inf")
+
+    def to_parent(self, t_child: float) -> float:
+        """Map a child-domain perf_counter reading onto the parent axis."""
+        return t_child + self.offset_s
+
+    def stale(self, now: Optional[float] = None,
+              resync_s: float = DEFAULT_RESYNC_S) -> bool:
+        """True when a fresh probe is due (never synced, or aged out)."""
+        if self._best is None:
+            return True
+        if now is None:
+            now = time.perf_counter()
+        return now - self._best.synced_at_s >= resync_s
+
+
+def handshake(probe: Callable[[], float],
+              probes: int = DEFAULT_HANDSHAKE_PROBES,
+              sync: Optional[ClockSync] = None) -> ClockSync:
+    """Run a blocking spawn-time handshake of ``probes`` round trips.
+
+    ``probe()`` must perform one round trip and return the child's clock
+    reading; this helper stamps ``t_send``/``t_recv`` around the call and
+    keeps the min-RTT estimate.  Used by the replica tier right after the
+    READY frame, while the parent still owns the pipe exclusively.
+    """
+    if probes < 1:
+        raise ValueError("probes must be >= 1")
+    sync = sync if sync is not None else ClockSync()
+    for _ in range(probes):
+        t_send = time.perf_counter()
+        t_child = probe()
+        t_recv = time.perf_counter()
+        sync.observe(t_send, t_child, t_recv)
+    return sync

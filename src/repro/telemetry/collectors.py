@@ -320,6 +320,29 @@ def _collect_engines() -> Iterable[MetricFamily]:
         "repro_serving_miss_rate",
         "Worst per-engine windowed share of bad outcomes "
         "(failures + sheds + deadline misses)", miss_rate)
+    yield _burn_rate_family()
+
+
+def _burn_rate_family() -> MetricFamily:
+    """Worst error-budget burn across every engine *and* replica tier
+    (both publish through a ``MetricsRecorder``), one sample per
+    window.  Lazy import: serving.metrics itself imports telemetry."""
+    from ..serving.metrics import BURN_WINDOWS
+
+    family = MetricFamily(
+        "repro_serving_error_budget_burn", "gauge",
+        "Worst per-engine SLO error-budget burn rate (bad-outcome share "
+        "over the window divided by the SLO's error budget; 1.0 spends "
+        "the budget exactly as fast as it accrues)")
+    for label, window_s in BURN_WINDOWS:
+        burn = 0.0
+        for owner in list(_engines) + list(_replica_tiers):
+            recorder = getattr(owner, "recorder", None)
+            if recorder is not None:
+                burn = max(burn, recorder.error_budget_burn(window_s))
+        family.samples.append(Sample(
+            family.name, (("window", label),), burn))
+    return family
 
 
 def _collect_replica_tiers() -> Iterable[MetricFamily]:
@@ -337,12 +360,13 @@ def _collect_replica_tiers() -> Iterable[MetricFamily]:
     arena_family = MetricFamily(
         "repro_replica_arena_allocations_total", "counter",
         "Scratch-arena heap allocations inside each replica process")
-    live = restarts = shed = 0
+    live = restarts = shed = slow = 0
     shm_bytes = shm_requests = shm_fallbacks = 0
     for tier in list(_replica_tiers):
         shm_bytes += tier.shm_bytes_inflight
         shm_requests += tier.shm_requests
         shm_fallbacks += tier.shm_fallbacks
+        slow += getattr(tier, "slow_requests", 0)
         for stats in tier.replica_stats():
             labels = (("replica", str(stats.index)),)
             requests_family.samples.append(Sample(
@@ -374,6 +398,9 @@ def _collect_replica_tiers() -> Iterable[MetricFamily]:
     yield _counter_family(
         "repro_replica_tier_shed_total",
         "Requests shed by replica-tier admission control", shed)
+    yield _counter_family(
+        "repro_replica_tier_slow_requests_total",
+        "Tier requests that exceeded the slow-request threshold", slow)
     yield _gauge_family(
         "repro_replica_shm_bytes_inflight",
         "Request payload bytes currently parked in shared-memory ring "

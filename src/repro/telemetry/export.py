@@ -285,10 +285,11 @@ def _thread_tracks(thread_ids: Sequence[int]) -> Dict[int, int]:
     return {ident: index for index, ident in enumerate(order)}
 
 
-def _metadata_events(tracks: Mapping[int, int], pid: int) -> List[Dict]:
+def _metadata_events(tracks: Mapping[int, int], pid: int,
+                     process: str = "repro") -> List[Dict]:
     events = []
     events.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-                   "args": {"name": "repro"}})
+                   "args": {"name": process}})
     for ident, tid in sorted(tracks.items(), key=lambda kv: kv[1]):
         label = "caller" if tid == 0 else f"worker-{tid}"
         events.append({"name": "thread_name", "ph": "M", "pid": pid,
@@ -350,6 +351,16 @@ def traces_to_chrome(traces: Iterable[RequestTrace],
     The serving phases of one request render on a per-request track;
     per-step execute children render on their worker-thread tracks, so a
     4-thread run shows kernel spans spread across worker rows.
+
+    Spans carrying a ``process`` name (the replica tier stamps remote
+    spans ``replica-<index>``) render in their own Chrome *process*
+    track: each distinct name gets a fresh pid (``pid+1`` onward, sorted
+    by name for stability) with ``process_name``/``thread_name``
+    metadata, and the replica's worker threads become compact
+    ``worker-M`` rows inside it.  All span times must already be on one
+    clock axis (see :mod:`repro.telemetry.clock`); the merged fleet
+    trace then shows parent dispatch windows with the child execute
+    spans nested inside them.
     """
     spans: List[Span] = []
     roots: List[Span] = []
@@ -363,30 +374,75 @@ def traces_to_chrome(traces: Iterable[RequestTrace],
         return []
     origin = min(span.start_s for span in roots)
     step_idents = [span.thread for span in spans
-                   if span.thread and span.category not in
-                   ("request", "serving")]
+                   if span.process is None and span.thread and
+                   span.category not in ("request", "serving")]
     tracks = _thread_tracks(step_idents)
     step_base = 1000  # keep worker tracks clear of request tracks
     events: List[Dict] = _metadata_events(
-        {ident: step_base + tid for ident, tid in tracks.items()}, pid)
+        {ident: step_base + tid for ident, tid in tracks.items()}, pid,
+        process="parent")
+    # One Chrome process per remote process name, threads compacted
+    # within it (tid 0 is the replica's serve loop).
+    remote_threads: Dict[str, List[int]] = {}
+    for span in spans:
+        if span.process is not None:
+            remote_threads.setdefault(span.process, []).append(span.thread)
+    remote_pids: Dict[str, int] = {}
+    remote_tracks: Dict[str, Dict[int, int]] = {}
+    for offset, name in enumerate(sorted(remote_threads)):
+        remote_pid = pid + 1 + offset
+        remote_pids[name] = remote_pid
+        track = _thread_tracks([0] + remote_threads[name])
+        remote_tracks[name] = track
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": remote_pid, "tid": 0,
+                       "args": {"name": name}})
+        for ident, tid in sorted(track.items(), key=lambda kv: kv[1]):
+            label = "main" if tid == 0 else f"worker-{tid}"
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": remote_pid, "tid": tid,
+                           "args": {"name": label, "ident": ident}})
     for index, root in enumerate(roots):
         request_tid = index % 100
         for span in root.walk():
-            if span.category in ("request", "serving"):
-                tid = request_tid
+            if span.process is not None:
+                span_pid = remote_pids[span.process]
+                tid = remote_tracks[span.process].get(span.thread, 0)
+            elif span.category in ("request", "serving"):
+                span_pid, tid = pid, request_tid
             else:
+                span_pid = pid
                 tid = step_base + tracks.get(span.thread, 0)
             events.append({
                 "name": span.name,
                 "cat": span.category,
                 "ph": "X",
-                "pid": pid,
+                "pid": span_pid,
                 "tid": tid,
                 "ts": (span.start_s - origin) * _SECONDS_TO_US,
                 "dur": span.duration_s * _SECONDS_TO_US,
                 "args": dict(span.args),
             })
     return events
+
+
+def chrome_trace_processes(payload) -> Dict[int, str]:
+    """``pid -> process name`` from a trace's metadata events.
+
+    Accepts the parsed JSON object, a raw string, or a bare event list;
+    used by tests and the CI smoke job to assert a merged fleet trace
+    really carries parent + per-replica tracks.
+    """
+    if isinstance(payload, (str, bytes)):
+        payload = json.loads(payload)
+    events = payload.get("traceEvents", []) if isinstance(payload, dict) \
+        else payload
+    names: Dict[int, str] = {}
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") == "M" and \
+                event.get("name") == "process_name":
+            names[int(event["pid"])] = str(event["args"]["name"])
+    return names
 
 
 def write_chrome_trace(path, events: Sequence[Mapping]) -> None:
@@ -402,8 +458,10 @@ def validate_chrome_trace(payload) -> List[Dict]:
     Accepts the parsed JSON object (or a raw string) and raises
     ``ValueError`` unless every ``X`` event has non-negative ``ts`` and
     ``dur`` (monotonic consistency: ``ts + dur`` never precedes ``ts``),
-    a name, and integer ``pid``/``tid``.  Used by the CI smoke job on
-    the uploaded artifact.
+    a name, and integer ``pid``/``tid``; metadata (``M``) events naming
+    process/thread tracks must carry a string ``args.name``, and no two
+    ``process_name`` events may claim the same pid with different
+    names.  Used by the CI smoke job on the uploaded artifact.
     """
     if isinstance(payload, (str, bytes)):
         payload = json.loads(payload)
@@ -411,10 +469,27 @@ def validate_chrome_trace(payload) -> List[Dict]:
             not isinstance(payload.get("traceEvents"), list):
         raise ValueError("trace must be an object with a traceEvents list")
     complete: List[Dict] = []
+    process_names: Dict[int, str] = {}
     for index, event in enumerate(payload["traceEvents"]):
         if not isinstance(event, dict) or "ph" not in event:
             raise ValueError(f"event {index}: not a trace event object")
         if event["ph"] == "M":
+            if event.get("name") in ("process_name", "thread_name"):
+                if not isinstance(event.get("pid"), int):
+                    raise ValueError(f"event {index}: metadata pid "
+                                     "must be an int")
+                label = event.get("args", {}).get("name") \
+                    if isinstance(event.get("args"), dict) else None
+                if not isinstance(label, str) or not label:
+                    raise ValueError(f"event {index}: metadata track "
+                                     "needs a string args.name")
+                if event["name"] == "process_name":
+                    pid = event["pid"]
+                    if process_names.get(pid, label) != label:
+                        raise ValueError(
+                            f"event {index}: pid {pid} named both "
+                            f"{process_names[pid]!r} and {label!r}")
+                    process_names[pid] = label
             continue
         if event["ph"] != "X":
             raise ValueError(f"event {index}: unsupported phase "

@@ -42,7 +42,15 @@ _trace_ids = itertools.count(1)
 
 @dataclass
 class Span:
-    """One timed operation; ``start_s``/``end_s`` are perf_counter seconds."""
+    """One timed operation; ``start_s``/``end_s`` are perf_counter seconds.
+
+    ``process`` names the process track a span belongs to in a merged
+    multi-process trace (``None`` means the parent/serving process; the
+    replica tier stamps remote spans ``replica-<index>``).  All times are
+    expected to be on the *parent's* perf_counter axis by the time a
+    span reaches the exporter — cross-process alignment happens where
+    spans are merged (see :mod:`repro.telemetry.clock`).
+    """
 
     name: str
     category: str
@@ -51,6 +59,7 @@ class Span:
     thread: int = 0
     args: Dict[str, object] = field(default_factory=dict)
     children: List["Span"] = field(default_factory=list)
+    process: Optional[str] = None
 
     @property
     def duration_s(self) -> float:
@@ -73,9 +82,11 @@ class RequestTrace:
     """
 
     __slots__ = ("trace_id", "name", "marks", "steps", "batch_size",
-                 "_root")
+                 "children", "_root")
 
-    # mark key -> (span name, preceding mark key) in pipeline order.
+    # (span name, begin mark key, end mark key) in pipeline order.
+    # Subclasses override to describe a different pipeline (the replica
+    # tier's TierRequestTrace swaps in IPC phases).
     _PHASES: Tuple[Tuple[str, str, str], ...] = (
         ("queue_wait", "enqueued", "dequeued"),
         ("dispatch_wait", "dequeued", "task_start"),
@@ -83,6 +94,8 @@ class RequestTrace:
         ("execute", "assembled", "executed"),
         ("finalize", "executed", "completed"),
     )
+    # The phase that hosts executor step spans / attached child spans.
+    _STEPS_PHASE = "execute"
 
     def __init__(self, name: str = "request") -> None:
         self.trace_id = next(_trace_ids)
@@ -92,6 +105,9 @@ class RequestTrace:
         # thread, start/end relative to the run's own t0).
         self.steps: List[Dict[str, object]] = []
         self.batch_size: int = 0
+        # Pre-built child spans (absolute parent-clock times) adopted
+        # into a named phase — how remote replica spans join the tree.
+        self.children: Dict[str, List[Span]] = {}
         self._root: Optional[Span] = None
 
     def mark(self, key: str, at: Optional[float] = None) -> None:
@@ -100,6 +116,10 @@ class RequestTrace:
     def attach_steps(self, timeline: List[Dict[str, object]]) -> None:
         """Adopt an executor timeline (run-relative times) for this trace."""
         self.steps = list(timeline)
+
+    def attach_children(self, phase: str, spans: List[Span]) -> None:
+        """Adopt finished spans (absolute times) under a named phase."""
+        self.children.setdefault(phase, []).extend(spans)
 
     def build_spans(self) -> Optional[Span]:
         """The request's span tree, or None if the trace never started."""
@@ -119,7 +139,7 @@ class RequestTrace:
             if begin is None or finish is None:
                 continue
             phase = Span(span_name, "serving", begin, finish)
-            if span_name == "execute" and self.steps:
+            if span_name == self._STEPS_PHASE and self.steps:
                 execute_t0 = marks.get("execute_t0", begin)
                 for entry in self.steps:
                     phase.children.append(Span(
@@ -130,6 +150,7 @@ class RequestTrace:
                         args={"rows": entry["rows"]}
                         if "rows" in entry else {},
                     ))
+            phase.children.extend(self.children.get(span_name, ()))
             root.children.append(phase)
         self._root = root
         return root

@@ -130,6 +130,26 @@ class TestServeBench:
         events = validate_chrome_trace(trace_path.read_text())
         assert events  # at least one complete event per sampled request
 
+    def test_replicas_trace_out_merges_fleet(self, tmp_path, capsys):
+        from repro.telemetry import (
+            chrome_trace_processes,
+            validate_chrome_trace,
+        )
+
+        trace_path = tmp_path / "fleet.json"
+        assert main(["serve-bench", "--model", "mlp",
+                     "--replicas", "2", "--requests", "16",
+                     "--warmup", "4", "--max-batch", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet chrome trace" in out
+        validate_chrome_trace(trace_path.read_text())
+        tracks = chrome_trace_processes(trace_path.read_text())
+        assert "parent" in tracks.values()
+        assert any(name.startswith("replica-")
+                   for name in tracks.values())
+
 
 class TestMetricsCommand:
     def test_prometheus_output_covers_subsystems(self, capsys):
@@ -184,6 +204,42 @@ class TestTraceCommand:
                 return
         raise AssertionError(
             f"expected >= 2 worker tracks, got {sorted(tracks)}")
+
+    def test_replica_fleet_trace(self, tmp_path, capsys):
+        from repro.telemetry import (
+            chrome_trace_processes,
+            validate_chrome_trace,
+        )
+
+        path = tmp_path / "fleet.json"
+        assert main(["trace", "--model", "mlp", "--replicas", "2",
+                     "--runs", "1", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "process tracks" in out
+        validate_chrome_trace(path.read_text())
+        tracks = chrome_trace_processes(path.read_text())
+        assert set(tracks.values()) >= {"parent", "replica-0",
+                                        "replica-1"}
+
+
+class TestFlightrecCommand:
+    def test_dump_and_sibling_parse(self, tmp_path, capsys):
+        from repro.telemetry import (
+            load_flightrec_dump,
+            validate_chrome_trace,
+        )
+
+        path = tmp_path / "frec.json"
+        assert main(["flightrec", "dump", "--model", "mlp",
+                     "--replicas", "1", "--requests", "8",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder dump v1" in out
+        payload = load_flightrec_dump(path)
+        kinds = {event["kind"] for event in payload["events"]}
+        assert "admit" in kinds and "batch" in kinds
+        sibling = path.with_name(path.stem + ".trace.json")
+        validate_chrome_trace(sibling.read_text())
 
 
 class TestOptimize:
